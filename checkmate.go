@@ -1,0 +1,271 @@
+// Package checkmate is a Go reproduction of "CheckMate: Evaluating
+// Checkpointing Protocols for Streaming Dataflows" (ICDE 2024). It bundles:
+//
+//   - a streaming dataflow engine (goroutine-per-operator-instance, bounded
+//     FIFO channels with backpressure, hash/forward/broadcast partitioning,
+//     failure injection and global rollback recovery);
+//   - the three checkpointing protocol families of the paper — coordinated
+//     aligned (COOR), uncoordinated (UNC) and communication-induced (CIC,
+//     the HMNR protocol) — plus a checkpoint-free baseline;
+//   - simulated substrates for the paper's external systems: a replayable
+//     partitioned message queue (Kafka) and a durable checkpoint object
+//     store (Minio);
+//   - the NexMark workload (queries Q1, Q3, Q8, Q12 with a hot-items skew
+//     knob, plus the Q2/Q4/Q5/Q7/Q11 and event-time Q12ET extensions) and
+//     the cyclic reachability query;
+//   - an experiment harness that regenerates every table and figure of the
+//     paper's evaluation section;
+//   - extensions the paper points at: the three processing guarantees of
+//     §II-A as an engine knob (Semantics), exactly-once output via
+//     transactional sinks (OutputTransactional), event-time watermarks
+//     (WatermarkHandler), checkpoint trigger policies for the
+//     uncoordinated family (UNCWithPolicy), straggler injection,
+//     checkpoint garbage collection and compression, and savepoint-based
+//     rescaling (Savepoint, Rescalable).
+//
+// # Quickstart
+//
+// Build a job, pick a protocol, run it:
+//
+//	job := &checkmate.JobSpec{
+//		Ops: []checkmate.OpSpec{
+//			{Name: "src", Source: &checkmate.SourceSpec{Topic: "events"}},
+//			{Name: "count", New: func(int) checkmate.Operator { return myCounter() }},
+//		},
+//		Edges: []checkmate.EdgeSpec{{From: 0, To: 1, Part: checkmate.Hash}},
+//	}
+//	res, err := checkmate.Run(checkmate.RunConfig{
+//		Query: "q1", Protocol: checkmate.UNC(), Workers: 4, Rate: 50_000,
+//	})
+//
+// See examples/ for complete programs and bench_test.go for the experiment
+// reproduction entry points.
+package checkmate
+
+import (
+	"checkmate/internal/core"
+	"checkmate/internal/harness"
+	"checkmate/internal/metrics"
+	"checkmate/internal/mq"
+	"checkmate/internal/objstore"
+	"checkmate/internal/protocol"
+	"checkmate/internal/wire"
+)
+
+// Dataflow graph construction.
+type (
+	// JobSpec is a logical dataflow graph.
+	JobSpec = core.JobSpec
+	// OpSpec describes one operator of a job.
+	OpSpec = core.OpSpec
+	// EdgeSpec connects two operators.
+	EdgeSpec = core.EdgeSpec
+	// SourceSpec marks an operator as a topic source.
+	SourceSpec = core.SourceSpec
+	// Partitioning selects how records travel across an edge.
+	Partitioning = core.Partitioning
+	// Operator is user logic executed by an instance.
+	Operator = core.Operator
+	// TimerHandler is implemented by operators using timers.
+	TimerHandler = core.TimerHandler
+	// WatermarkHandler is implemented by operators reacting to event-time
+	// progress (watermark-fired windows).
+	WatermarkHandler = core.WatermarkHandler
+	// Context is the runtime API available during callbacks.
+	Context = core.Context
+	// Event is one record delivered to an operator.
+	Event = core.Event
+)
+
+// Partitioning modes.
+const (
+	// Forward connects instance i to instance i (no shuffling).
+	Forward = core.Forward
+	// Hash shuffles records by key.
+	Hash = core.Hash
+	// Broadcast delivers records to all downstream instances.
+	Broadcast = core.Broadcast
+)
+
+// Engine execution.
+type (
+	// Engine executes one job under one protocol.
+	Engine = core.Engine
+	// EngineConfig parameterizes an Engine.
+	EngineConfig = core.Config
+	// Protocol is a checkpointing protocol implementation.
+	Protocol = core.Protocol
+	// Features is the Table I qualitative feature row of a protocol.
+	Features = core.Features
+	// Semantics selects the processing guarantee (exactly-once,
+	// at-least-once, at-most-once) enforced by the logging protocols.
+	Semantics = core.Semantics
+	// OutputMode selects how sink output is exposed to the external
+	// consumer (none, immediate, or transactional exactly-once output).
+	OutputMode = core.OutputMode
+	// OutputRecord is one record as seen by the external output consumer.
+	OutputRecord = core.OutputRecord
+	// OutputStats summarizes output-collector accounting.
+	OutputStats = core.OutputStats
+	// Savepoint is a parallelism-independent image of a drained pipeline
+	// (stop-with-savepoint): a new engine can resume from it with a
+	// different worker count.
+	Savepoint = core.Savepoint
+	// Rescalable is implemented by operators whose keyed state can be
+	// redistributed when restoring a savepoint at a new parallelism.
+	Rescalable = core.Rescalable
+	// KeyedEntry is one exported keyed-state entry of a savepoint.
+	KeyedEntry = core.KeyedEntry
+)
+
+// Processing guarantees (paper §II-A, Definitions 1-3).
+const (
+	// ExactlyOnce reflects every state change exactly once (default).
+	ExactlyOnce = core.ExactlyOnce
+	// AtLeastOnce never loses a record but may process some more than once.
+	AtLeastOnce = core.AtLeastOnce
+	// AtMostOnce never duplicates but loses in-flight records on failure.
+	AtMostOnce = core.AtMostOnce
+)
+
+// Output modes (paper §II-A: exactly-once processing vs exactly-once
+// output).
+const (
+	// OutputNone collects no sink output (default).
+	OutputNone = core.OutputNone
+	// OutputImmediate publishes sink output instantly; an external
+	// consumer can observe duplicates after a failure.
+	OutputImmediate = core.OutputImmediate
+	// OutputTransactional commits sink output per checkpoint epoch,
+	// extending exactly-once processing to exactly-once output.
+	OutputTransactional = core.OutputTransactional
+)
+
+// SemanticsByName resolves a processing guarantee by name.
+func SemanticsByName(name string) (Semantics, error) { return core.SemanticsByName(name) }
+
+// NewEngine validates a job and builds an engine.
+func NewEngine(cfg EngineConfig, job *JobSpec) (*Engine, error) {
+	return core.NewEngine(cfg, job)
+}
+
+// Protocols.
+
+// NONE returns the checkpoint-free baseline protocol.
+func NONE() Protocol { return protocol.None{} }
+
+// COOR returns the coordinated aligned checkpointing protocol.
+func COOR() Protocol { return protocol.Coordinated{} }
+
+// UNC returns the uncoordinated checkpointing protocol.
+func UNC() Protocol { return protocol.Uncoordinated{} }
+
+// CIC returns the communication-induced checkpointing protocol (HMNR).
+func CIC() Protocol { return protocol.CIC{} }
+
+// ProtocolByName resolves NONE/COOR/UNC/CIC (plus the UCOOR and BCS
+// extensions) by name.
+func ProtocolByName(name string) (Protocol, error) { return protocol.ByName(name) }
+
+// Checkpoint trigger policies for the uncoordinated protocol (§III-B's
+// "different operators can have different checkpoint intervals").
+type (
+	// TriggerPolicy decides when an uncoordinated instance checkpoints.
+	TriggerPolicy = protocol.TriggerPolicy
+	// IntervalPolicy checkpoints on a (jittered) wall-clock interval.
+	IntervalPolicy = protocol.Interval
+	// EventCountPolicy checkpoints after a processed-message budget,
+	// bounding the replay volume on recovery.
+	EventCountPolicy = protocol.EventCount
+	// IdlePolicy checkpoints when the instance goes quiet (cheap moment:
+	// small frontier, often just-evicted window state).
+	IdlePolicy = protocol.Idle
+)
+
+// UNCWithPolicy returns the uncoordinated protocol with a custom checkpoint
+// trigger policy.
+func UNCWithPolicy(p TriggerPolicy) Protocol {
+	return protocol.UncoordinatedWithPolicy{Policy: p}
+}
+
+// AllProtocols returns the baseline plus the three protocol families.
+func AllProtocols() []Protocol { return protocol.All() }
+
+// Experiments.
+type (
+	// RunConfig describes a single experiment run.
+	RunConfig = harness.RunConfig
+	// RunResult is the outcome of a run.
+	RunResult = harness.RunResult
+	// MSTConfig controls the sustainable-throughput search.
+	MSTConfig = harness.MSTConfig
+	// Suite reproduces the paper's evaluation section.
+	Suite = harness.Suite
+	// Summary is the full metric snapshot of a run.
+	Summary = metrics.Summary
+	// Table is an aligned-text result table.
+	Table = metrics.Table
+)
+
+// QueryCyclic names the cyclic reachability query in RunConfig.Query.
+const QueryCyclic = harness.QueryCyclic
+
+// Run executes one experiment run.
+func Run(cfg RunConfig) (RunResult, error) { return harness.Run(cfg) }
+
+// FindMST searches for the maximum sustainable throughput.
+func FindMST(cfg MSTConfig) (float64, error) { return harness.FindMST(cfg) }
+
+// NewSuite returns the bench-scale experiment suite (20× time-compressed).
+func NewSuite() *Suite { return harness.NewSuite() }
+
+// FullPaperSuite returns the paper-scale suite (60-second runs, up to 100
+// workers).
+func FullPaperSuite() *Suite { return harness.FullPaperSuite() }
+
+// Substrates, exposed for custom pipelines.
+type (
+	// Broker is the simulated replayable message queue (Kafka stand-in).
+	Broker = mq.Broker
+	// Topic is a named set of partitions.
+	Topic = mq.Topic
+	// ObjectStore is the simulated durable checkpoint store (Minio
+	// stand-in).
+	ObjectStore = objstore.Store
+	// ObjectStoreConfig configures the store's latency model.
+	ObjectStoreConfig = objstore.Config
+	// Recorder collects run metrics.
+	Recorder = metrics.Recorder
+)
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker { return mq.NewBroker() }
+
+// NewObjectStore returns an empty object store.
+func NewObjectStore(cfg ObjectStoreConfig) *ObjectStore { return objstore.New(cfg) }
+
+// NewRecorder returns a metrics recorder; see metrics.NewRecorder.
+var NewRecorder = metrics.NewRecorder
+
+// Serialization, for implementing custom record types.
+type (
+	// Encoder appends primitive values to a buffer.
+	Encoder = wire.Encoder
+	// Decoder reads primitive values from a buffer.
+	Decoder = wire.Decoder
+	// Value is the interface record payloads implement.
+	Value = wire.Value
+)
+
+// NewEncoder returns an encoder writing into buf (which may be nil).
+func NewEncoder(buf []byte) *Encoder { return wire.NewEncoder(buf) }
+
+// NewDecoder returns a decoder reading from buf.
+func NewDecoder(buf []byte) *Decoder { return wire.NewDecoder(buf) }
+
+// RegisterType registers the decoder of a custom payload type. Application
+// type IDs should start at 100; IDs below that are reserved for the bundled
+// workloads.
+func RegisterType(id uint16, fn func(*Decoder) (Value, error)) {
+	wire.RegisterType(id, func(d *wire.Decoder) (wire.Value, error) { return fn(d) })
+}

@@ -1,0 +1,177 @@
+// Command checkmate runs a single checkpointing-protocol experiment and
+// prints the full metric summary, mirroring one cell of the paper's
+// evaluation grid.
+//
+// Examples:
+//
+//	checkmate -query q3 -protocol UNC -workers 10 -rate 50000
+//	checkmate -query cyclic -protocol CIC -workers 5 -rate 20000 -failure-at 3s
+//	checkmate -query q12 -protocol COOR -hot 0.3 -rate 20000
+//	checkmate -query q1 -protocol COOR -mst            # search max sustainable throughput
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"checkmate"
+)
+
+func main() {
+	var (
+		query     = flag.String("query", "q1", "query: q1, q2, q3, q4, q5, q7, q8, q11, q12, q12et or cyclic")
+		proto     = flag.String("protocol", "COOR", "protocol: NONE, COOR, UNC, CIC, UCOOR or BCS")
+		workers   = flag.Int("workers", 4, "parallelism (workers)")
+		rate      = flag.Float64("rate", 20000, "input rate (events/second)")
+		duration  = flag.Duration("duration", 6*time.Second, "run duration")
+		failAt    = flag.Duration("failure-at", 0, "inject a worker failure at this offset (0 = none)")
+		hot       = flag.Float64("hot", 0, "hot-items ratio (0..1)")
+		interval  = flag.Duration("interval", 0, "checkpoint interval (default duration/12)")
+		window    = flag.Duration("window", 0, "Q8/Q12 tumbling window and Q5 sliding size (default duration/6)")
+		slide     = flag.Duration("slide", 0, "Q5 sliding-window step (default window/2)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		mst       = flag.Bool("mst", false, "search the maximum sustainable throughput instead of a fixed-rate run")
+		netWork   = flag.Int("netcost", 0, "synthetic per-byte network cost factor (0 = default)")
+		semantics = flag.String("semantics", "exactly-once", "processing guarantee for UNC/CIC: exactly-once, at-least-once, at-most-once")
+		policy    = flag.String("policy", "", "UNC trigger policy: fixed, events=<n>, idle=<dur> (default: jittered interval)")
+		straggler = flag.Duration("straggler", 0, "per-event delay injected on one worker (straggler simulation)")
+		gc        = flag.Bool("gc", false, "enable checkpoint garbage collection")
+		flaky     = flag.Float64("store-failure-rate", 0, "transient object-store failure rate (0..1), retried by the engine")
+		output    = flag.String("output", "none", "sink output mode: none, immediate, transactional")
+		compress  = flag.Bool("compress", false, "deflate checkpoint blobs before upload")
+		scope     = flag.Bool("scope", false, "analyze the single-failure rollback scope after the run (UNC/CIC)")
+	)
+	flag.Parse()
+
+	p, err := checkmate.ProtocolByName(*proto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *policy != "" {
+		pol, perr := parsePolicy(*policy)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		p = checkmate.UNCWithPolicy(pol)
+	}
+	sem, err := checkmate.SemanticsByName(*semantics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := checkmate.RunConfig{
+		Query:                *query,
+		Protocol:             p,
+		Workers:              *workers,
+		Rate:                 *rate,
+		Duration:             *duration,
+		FailureAt:            *failAt,
+		HotRatio:             *hot,
+		CheckpointInterval:   *interval,
+		Window:               *window,
+		Slide:                *slide,
+		Seed:                 *seed,
+		NetWorkFactor:        *netWork,
+		Semantics:            sem,
+		StragglerDelay:       *straggler,
+		CheckpointGC:         *gc,
+		StoreFailureRate:     *flaky,
+		CompressCheckpoints:  *compress,
+		AnalyzeRollbackScope: *scope,
+	}
+	switch *output {
+	case "none":
+	case "immediate":
+		base.Output = checkmate.OutputImmediate
+	case "transactional":
+		base.Output = checkmate.OutputTransactional
+	default:
+		log.Fatalf("checkmate: unknown output mode %q", *output)
+	}
+
+	if *mst {
+		v, err := checkmate.FindMST(checkmate.MSTConfig{Base: base, ProbeDuration: *duration / 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("maximum sustainable throughput: %.0f events/second\n", v)
+		return
+	}
+
+	res, err := checkmate.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+	if !res.Sustainable && *failAt == 0 {
+		fmt.Fprintln(os.Stderr, "warning: the configured rate was not sustainable")
+	}
+}
+
+// parsePolicy parses the -policy flag: "fixed", "events=<n>" or
+// "idle=<duration>".
+func parsePolicy(s string) (checkmate.TriggerPolicy, error) {
+	switch {
+	case s == "fixed":
+		return checkmate.IntervalPolicy{}, nil
+	case len(s) > 7 && s[:7] == "events=":
+		var n int
+		if _, err := fmt.Sscanf(s[7:], "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("checkmate: bad event budget %q", s)
+		}
+		return checkmate.EventCountPolicy{Events: n}, nil
+	case len(s) > 5 && s[:5] == "idle=":
+		d, err := time.ParseDuration(s[5:])
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("checkmate: bad idle duration %q", s)
+		}
+		return checkmate.IdlePolicy{IdleFor: d}, nil
+	default:
+		return nil, fmt.Errorf("checkmate: unknown policy %q (want fixed, events=<n> or idle=<dur>)", s)
+	}
+}
+
+func printResult(res checkmate.RunResult) {
+	s := res.Summary
+	fmt.Printf("query %s | protocol %s | %d workers | %.0f ev/s\n",
+		res.Config.Query, res.Config.Protocol.Name(), res.Config.Workers, res.Config.Rate)
+	fmt.Printf("  sustainable:        %v (max source lag %v)\n", res.Sustainable, res.MaxLag.Round(time.Millisecond))
+	fmt.Printf("  sink records:       %d\n", s.SinkCount)
+	fmt.Printf("  p50 / p99 latency:  %v / %v\n", s.Timeline.P50.Round(100*time.Microsecond), s.Timeline.P99.Round(100*time.Microsecond))
+	fmt.Printf("  avg checkpoint:     %v\n", s.AvgCheckpointTime.Round(10*time.Microsecond))
+	fmt.Printf("  checkpoints:        %d total, %d invalid, %d forced\n", s.TotalCheckpoints, s.InvalidCheckpoints, s.ForcedCkpts)
+	fmt.Printf("  message overhead:   %.2fx (%d payload B, %d protocol B)\n", s.OverheadRatio, s.PayloadBytes, s.ProtocolBytes)
+	fmt.Printf("  data/marker msgs:   %d / %d\n", s.DataMessages, s.MarkerMessages)
+	if s.Failures > 0 {
+		fmt.Printf("  failure:            restart %v, recovery %v (recovered=%v)\n",
+			s.RestartTime.Round(time.Millisecond), s.RecoveryTime.Round(time.Millisecond), s.Recovered)
+		fmt.Printf("  replayed / dropped: %d / %d, rollback distance %d records\n",
+			s.ReplayMessages, s.DupDropped, s.RollbackDistance)
+	}
+	if s.GCCheckpoints > 0 {
+		fmt.Printf("  gc reclaimed:       %d checkpoints (%d bytes)\n", s.GCCheckpoints, s.GCBytes)
+	}
+	if s.WatermarkMessages > 0 {
+		fmt.Printf("  watermarks:         %d\n", s.WatermarkMessages)
+	}
+	if res.Output.Emitted > 0 {
+		fmt.Printf("  output:             %d visible, %d dup UIDs, %d discarded, %d pending; vis p50/p99 %v / %v\n",
+			res.Output.Visible, res.DuplicateUIDs, res.Output.Discarded, res.Output.Pending,
+			res.VisibilityP50.Round(time.Millisecond), res.VisibilityP99.Round(time.Millisecond))
+	}
+	if res.Scope.Instances > 0 {
+		fmt.Printf("  rollback scope:     avg %.1f / max %d of %d instances (avg depth %.2f)\n",
+			res.Scope.AvgScope, res.Scope.MaxScope, res.Scope.Instances, res.Scope.AvgDepth)
+	}
+	for _, n := range s.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	fmt.Println("\nper-second p50/p99 (ms):")
+	for _, pt := range s.Timeline.Points {
+		fmt.Printf("  t=%5.1fs  n=%7d  p50=%8.2f  p99=%8.2f\n",
+			pt.Start.Seconds(), pt.Count,
+			float64(pt.P50)/1e6, float64(pt.P99)/1e6)
+	}
+}

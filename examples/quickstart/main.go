@@ -1,0 +1,185 @@
+// Command quickstart builds a custom three-stage pipeline with the public
+// checkmate API, runs it under the uncoordinated checkpointing protocol,
+// kills a worker mid-run, and verifies exactly-once processing by comparing
+// the sink state with the failure-free expectation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"checkmate"
+)
+
+// temperature is a custom record type: a sensor reading.
+type temperature struct {
+	Sensor uint64
+	Milli  int64 // millidegrees
+}
+
+func (t *temperature) TypeID() uint16 { return 100 }
+func (t *temperature) MarshalWire(e *checkmate.Encoder) {
+	e.Uvarint(t.Sensor)
+	e.Varint(t.Milli)
+}
+
+func init() {
+	checkmate.RegisterType(100, func(d *checkmate.Decoder) (checkmate.Value, error) {
+		return &temperature{Sensor: d.Uvarint(), Milli: d.Varint()}, d.Err()
+	})
+}
+
+// celsius converts readings (stateless map stage).
+type celsius struct{}
+
+func (celsius) OnEvent(ctx checkmate.Context, ev checkmate.Event) {
+	t := ev.Value.(*temperature)
+	ctx.Emit(t.Sensor, &temperature{Sensor: t.Sensor, Milli: t.Milli - 273_150})
+}
+func (celsius) Snapshot(enc *checkmate.Encoder)      {}
+func (celsius) Restore(dec *checkmate.Decoder) error { return nil }
+
+// perSensorSum is the stateful sink: per-sensor reading counts and sums.
+type perSensorSum struct {
+	counts map[uint64]uint64
+	sum    int64
+}
+
+func newPerSensorSum() *perSensorSum { return &perSensorSum{counts: map[uint64]uint64{}} }
+
+func (s *perSensorSum) OnEvent(ctx checkmate.Context, ev checkmate.Event) {
+	t := ev.Value.(*temperature)
+	s.counts[t.Sensor]++
+	s.sum += t.Milli
+}
+
+func (s *perSensorSum) Snapshot(enc *checkmate.Encoder) {
+	enc.Uvarint(uint64(len(s.counts)))
+	for k, v := range s.counts {
+		enc.Uvarint(k)
+		enc.Uvarint(v)
+	}
+	enc.Varint(s.sum)
+}
+
+func (s *perSensorSum) Restore(dec *checkmate.Decoder) error {
+	n := int(dec.Uvarint())
+	s.counts = make(map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		k := dec.Uvarint()
+		s.counts[k] = dec.Uvarint()
+	}
+	s.sum = dec.Varint()
+	return dec.Err()
+}
+
+func main() {
+	const (
+		workers = 4
+		records = 40_000
+		rate    = 40_000.0 // events/second
+	)
+
+	// 1. Fill the replayable queue (the Kafka stand-in) with readings
+	//    following an arrival schedule.
+	broker := checkmate.NewBroker()
+	topic, err := broker.CreateTopic("readings", workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perPart := records / workers
+	for p := 0; p < workers; p++ {
+		for i := 0; i < perPart; i++ {
+			sched := int64(float64(i) / rate * float64(workers) * float64(time.Second))
+			topic.Partition(p).Append(sched, uint64(i), &temperature{
+				Sensor: uint64(p*perPart + i),
+				Milli:  293_150 + int64(i%1000),
+			})
+		}
+	}
+
+	// 2. Describe the dataflow: source -> map -> keyed sink.
+	sinks := make([]*perSensorSum, workers)
+	job := &checkmate.JobSpec{
+		Name: "quickstart",
+		Ops: []checkmate.OpSpec{
+			{Name: "readings", Source: &checkmate.SourceSpec{Topic: "readings"}},
+			{Name: "to-celsius", New: func(int) checkmate.Operator { return celsius{} }},
+			{Name: "sum", Sink: true, New: func(idx int) checkmate.Operator {
+				s := newPerSensorSum()
+				sinks[idx] = s
+				return s
+			}},
+		},
+		Edges: []checkmate.EdgeSpec{
+			{From: 0, To: 1, Part: checkmate.Forward},
+			{From: 1, To: 2, Part: checkmate.Hash},
+		},
+	}
+
+	// 3. Run under the uncoordinated protocol with a mid-run worker crash.
+	recorder := checkmate.NewRecorder(time.Now(), 10*time.Second, 250*time.Millisecond)
+	eng, err := checkmate.NewEngine(checkmate.EngineConfig{
+		Workers:            workers,
+		Protocol:           checkmate.UNC(),
+		CheckpointInterval: 150 * time.Millisecond,
+		Broker:             broker,
+		Store:              checkmate.NewObjectStore(checkmate.ObjectStoreConfig{PutLatency: time.Millisecond}),
+		Recorder:           recorder,
+	}, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		fmt.Println("!! killing worker 2")
+		eng.InjectFailure(2)
+	}()
+
+	// Wait for the pipeline to drain: all input ingested and the sink count
+	// stable for a while. (Backlog alone is not enough — sources that keep
+	// up with the arrival schedule always report a near-zero backlog.)
+	var lastCount uint64
+	stableSince := time.Now()
+	for {
+		time.Sleep(100 * time.Millisecond)
+		if n := recorder.SinkCount(); n != lastCount {
+			lastCount = n
+			stableSince = time.Now()
+		}
+		if eng.SourceBacklog() == 0 && lastCount > 0 && time.Since(stableSince) > 500*time.Millisecond {
+			break
+		}
+	}
+	eng.Stop()
+
+	// 4. Verify exactly-once: every sensor counted exactly once.
+	var total uint64
+	for idx := 0; idx < workers; idx++ {
+		op := eng.OperatorState(2, idx)
+		if op == nil {
+			continue
+		}
+		s := op.(*perSensorSum)
+		total += uint64(len(s.counts))
+		for sensor, n := range s.counts {
+			if n != 1 {
+				log.Fatalf("sensor %d processed %d times: exactly-once violated", sensor, n)
+			}
+		}
+	}
+	sum := recorder.Summarize(false)
+	fmt.Printf("records processed exactly once: %d/%d\n", total, perPart*workers)
+	fmt.Printf("checkpoints taken: %d, replayed in-flight messages: %d, duplicates dropped: %d\n",
+		sum.TotalCheckpoints, sum.ReplayMessages, sum.DupDropped)
+	fmt.Printf("restart after failure: %v, p50 end-to-end latency: %v\n",
+		sum.RestartTime, sum.Timeline.P50)
+	if total != uint64(perPart*workers) {
+		log.Fatal("some records were lost")
+	}
+	fmt.Println("exactly-once verified ✓")
+}

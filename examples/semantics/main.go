@@ -1,0 +1,149 @@
+// Command semantics demonstrates the three processing guarantees of the
+// paper's §II-A (Definitions 1-3) on one counting pipeline with a mid-run
+// worker crash:
+//
+//   - exactly-once: the final count equals the failure-free count;
+//   - at-least-once: nothing is lost, but replayed overlap may be counted
+//     twice;
+//   - at-most-once: nothing is double-counted, but in-flight records across
+//     the recovery line are lost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"checkmate"
+)
+
+// tick is the record type: one event per key.
+type tick struct{ ID uint64 }
+
+func (t *tick) TypeID() uint16                   { return 101 }
+func (t *tick) MarshalWire(e *checkmate.Encoder) { e.Uvarint(t.ID) }
+
+func init() {
+	checkmate.RegisterType(101, func(d *checkmate.Decoder) (checkmate.Value, error) {
+		return &tick{ID: d.Uvarint()}, d.Err()
+	})
+}
+
+// counter is the stateful sink: a plain total.
+type counter struct{ n uint64 }
+
+func (c *counter) OnEvent(ctx checkmate.Context, ev checkmate.Event) { c.n++ }
+func (c *counter) Snapshot(enc *checkmate.Encoder)                   { enc.Uvarint(c.n) }
+func (c *counter) Restore(dec *checkmate.Decoder) error {
+	c.n = dec.Uvarint()
+	return dec.Err()
+}
+
+const (
+	workers = 2
+	records = 20_000
+	rate    = 50_000.0
+)
+
+// run executes the pipeline under the given guarantee with a worker crash
+// and returns the final count.
+func run(sem checkmate.Semantics) uint64 {
+	broker := checkmate.NewBroker()
+	topic, err := broker.CreateTopic("ticks", workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perPart := records / workers
+	for p := 0; p < workers; p++ {
+		for i := 0; i < perPart; i++ {
+			sched := int64(float64(i) / rate * float64(workers) * float64(time.Second))
+			topic.Partition(p).Append(sched, uint64(p*perPart+i), &tick{ID: uint64(p*perPart + i)})
+		}
+	}
+	job := &checkmate.JobSpec{
+		Name: "semantics",
+		Ops: []checkmate.OpSpec{
+			{Name: "ticks", Source: &checkmate.SourceSpec{Topic: "ticks"}},
+			{Name: "count", Sink: true, New: func(int) checkmate.Operator { return &counter{} }},
+		},
+		Edges: []checkmate.EdgeSpec{{From: 0, To: 1, Part: checkmate.Hash}},
+	}
+	recorder := checkmate.NewRecorder(time.Now(), 10*time.Second, 250*time.Millisecond)
+	eng, err := checkmate.NewEngine(checkmate.EngineConfig{
+		Workers:            workers,
+		Protocol:           checkmate.UNC(),
+		Semantics:          sem,
+		CheckpointInterval: 80 * time.Millisecond,
+		Broker:             broker,
+		Store:              checkmate.NewObjectStore(checkmate.ObjectStoreConfig{PutLatency: 500 * time.Microsecond}),
+		Recorder:           recorder,
+	}, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		eng.InjectFailure(1)
+	}()
+	// Wait until the sources drained and the sink count has been stable for
+	// a while (a failure mid-run briefly makes the backlog read zero while
+	// the world is rebuilt, so backlog alone is not enough).
+	var lastCount uint64
+	stableSince := time.Now()
+	for {
+		time.Sleep(50 * time.Millisecond)
+		if n := recorder.SinkCount(); n != lastCount {
+			lastCount = n
+			stableSince = time.Now()
+		}
+		if eng.SourceBacklog() == 0 && lastCount > 0 && time.Since(stableSince) > 400*time.Millisecond {
+			break
+		}
+	}
+	eng.Stop()
+	var total uint64
+	for idx := 0; idx < workers; idx++ {
+		if op := eng.OperatorState(1, idx); op != nil {
+			total += op.(*counter).n
+		}
+	}
+	return total
+}
+
+func main() {
+	fmt.Printf("pipeline: %d records, one worker killed mid-run, protocol UNC\n\n", records)
+	for _, sem := range []checkmate.Semantics{
+		checkmate.ExactlyOnce, checkmate.AtLeastOnce, checkmate.AtMostOnce,
+	} {
+		total := run(sem)
+		verdict := ""
+		switch {
+		case total == records:
+			verdict = "exact"
+		case total > records:
+			verdict = fmt.Sprintf("%d duplicates (allowed: at-least-once)", total-records)
+		default:
+			verdict = fmt.Sprintf("%d lost (allowed: at-most-once)", records-uint64(total))
+		}
+		fmt.Printf("%-14s -> counted %6d / %d  (%s)\n", sem, total, records, verdict)
+
+		switch sem {
+		case checkmate.ExactlyOnce:
+			if total != records {
+				log.Fatalf("exactly-once violated: %d != %d", total, records)
+			}
+		case checkmate.AtLeastOnce:
+			if total < records {
+				log.Fatalf("at-least-once lost records: %d < %d", total, records)
+			}
+		case checkmate.AtMostOnce:
+			if total > records {
+				log.Fatalf("at-most-once duplicated records: %d > %d", total, records)
+			}
+		}
+	}
+	fmt.Println("\nall guarantees hold ✓")
+}

@@ -1,0 +1,169 @@
+// Command txsink demonstrates the paper's §II-A distinction between
+// exactly-once *processing* and exactly-once *output*. One pipeline runs
+// twice under the coordinated protocol with a mid-run worker crash:
+//
+//   - with an immediate sink, the external consumer observes duplicated
+//     results — recovery rolls the sink back behind output it had already
+//     published, and replay regenerates it;
+//   - with a transactional sink, output is buffered per checkpoint epoch
+//     and published only when the epoch's checkpoint can never be rolled
+//     back, so the consumer sees every result exactly once.
+//
+// The program prints the duplicate counts and the price of transactional
+// output: higher output-visibility latency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"checkmate"
+)
+
+// reading is the record type: a keyed measurement.
+type reading struct{ V uint64 }
+
+func (r *reading) TypeID() uint16                   { return 102 }
+func (r *reading) MarshalWire(e *checkmate.Encoder) { e.Uvarint(r.V) }
+
+func init() {
+	checkmate.RegisterType(102, func(d *checkmate.Decoder) (checkmate.Value, error) {
+		return &reading{V: d.Uvarint()}, d.Err()
+	})
+}
+
+// scale is a stateless map operator (payload transformation).
+type scale struct{}
+
+func (scale) OnEvent(ctx checkmate.Context, ev checkmate.Event) {
+	ctx.Emit(ev.Key, &reading{V: ev.Value.(*reading).V * 10})
+}
+func (scale) Snapshot(enc *checkmate.Encoder)      {}
+func (scale) Restore(dec *checkmate.Decoder) error { return nil }
+
+// collect is the sink; state is just a count (the output collector holds
+// the consumer-visible records).
+type collect struct{ n uint64 }
+
+func (c *collect) OnEvent(ctx checkmate.Context, ev checkmate.Event) { c.n++ }
+func (c *collect) Snapshot(enc *checkmate.Encoder)                   { enc.Uvarint(c.n) }
+func (c *collect) Restore(dec *checkmate.Decoder) error {
+	c.n = dec.Uvarint()
+	return dec.Err()
+}
+
+const (
+	workers = 2
+	records = 20_000
+	rate    = 50_000.0
+)
+
+func run(mode checkmate.OutputMode) *checkmate.Engine {
+	broker := checkmate.NewBroker()
+	topic, err := broker.CreateTopic("readings", workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perPart := records / workers
+	for p := 0; p < workers; p++ {
+		for i := 0; i < perPart; i++ {
+			sched := int64(float64(i) / rate * float64(workers) * float64(time.Second))
+			topic.Partition(p).Append(sched, uint64(p*perPart+i), &reading{V: uint64(i)})
+		}
+	}
+	job := &checkmate.JobSpec{
+		Name: "txsink",
+		Ops: []checkmate.OpSpec{
+			{Name: "readings", Source: &checkmate.SourceSpec{Topic: "readings"}},
+			{Name: "scale", New: func(int) checkmate.Operator { return scale{} }},
+			{Name: "out", Sink: true, New: func(int) checkmate.Operator { return &collect{} }},
+		},
+		Edges: []checkmate.EdgeSpec{
+			{From: 0, To: 1, Part: checkmate.Forward},
+			{From: 1, To: 2, Part: checkmate.Hash},
+		},
+	}
+	recorder := checkmate.NewRecorder(time.Now(), 10*time.Second, 250*time.Millisecond)
+	eng, err := checkmate.NewEngine(checkmate.EngineConfig{
+		Workers:            workers,
+		Protocol:           checkmate.COOR(),
+		Output:             mode,
+		CheckpointInterval: 60 * time.Millisecond,
+		Broker:             broker,
+		Store:              checkmate.NewObjectStore(checkmate.ObjectStoreConfig{PutLatency: 500 * time.Microsecond}),
+		Recorder:           recorder,
+	}, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		eng.InjectFailure(1)
+	}()
+	var lastCount uint64
+	stableSince := time.Now()
+	for {
+		time.Sleep(50 * time.Millisecond)
+		if n := recorder.SinkCount(); n != lastCount {
+			lastCount = n
+			stableSince = time.Now()
+		}
+		if eng.SourceBacklog() == 0 && lastCount > 0 && time.Since(stableSince) > 400*time.Millisecond {
+			break
+		}
+	}
+	eng.Stop()
+	return eng
+}
+
+// describe tallies the consumer-visible output of one run.
+func describe(eng *checkmate.Engine) (distinct, dups int, visP50 time.Duration) {
+	visible := eng.VisibleOutput()
+	counts := make(map[uint64]int, len(visible))
+	lats := make([]time.Duration, 0, len(visible))
+	for _, r := range visible {
+		counts[r.UID]++
+		lats = append(lats, time.Duration(r.VisibleNS-r.SchedNS))
+	}
+	for _, n := range counts {
+		if n > 1 {
+			dups++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		visP50 = lats[len(lats)/2]
+	}
+	return len(counts), dups, visP50
+}
+
+func main() {
+	fmt.Printf("pipeline: %d records under COOR, one worker killed mid-run\n\n", records)
+
+	for _, mode := range []checkmate.OutputMode{checkmate.OutputImmediate, checkmate.OutputTransactional} {
+		eng := run(mode)
+		distinct, dups, p50 := describe(eng)
+		st := eng.OutputStats()
+		fmt.Printf("%-13s sink: %5d distinct results, %5d seen twice; %5d discarded at rollback; visibility p50 %v\n",
+			mode, distinct, dups, st.Discarded, p50.Round(time.Millisecond))
+		switch mode {
+		case checkmate.OutputImmediate:
+			if dups == 0 {
+				fmt.Println("              (no duplicates this run — the failure landed right after a checkpoint)")
+			}
+		case checkmate.OutputTransactional:
+			if dups != 0 {
+				log.Fatalf("transactional output published %d duplicates", dups)
+			}
+			if distinct != records {
+				log.Fatalf("transactional output incomplete: %d / %d results visible", distinct, records)
+			}
+		}
+	}
+	fmt.Println("\nexactly-once output holds under the transactional sink ✓")
+}

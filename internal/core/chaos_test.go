@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestChaosRepeatedFailures injects several randomly-timed worker failures
+// during one run and verifies exactly-once processing end to end for every
+// protocol kind that supports recovery.
+func TestChaosRepeatedFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is slow")
+	}
+	kinds := []Protocol{
+		nullProto{KindCoordinated, "COOR"},
+		nullProto{KindUncoordinated, "UNC"},
+		nullProto{KindCIC, "CIC"},
+		newUAProto(),
+	}
+	for _, p := range kinds {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			env, job := buildEnv(t, 3, 6000, 10000)
+			eng, err := NewEngine(env.config(p), job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Start(); err != nil {
+				t.Fatal(err)
+			}
+			for f := 0; f < 3; f++ {
+				time.Sleep(time.Duration(100+rng.Intn(120)) * time.Millisecond)
+				eng.InjectFailure(rng.Intn(3))
+			}
+			waitDrained(t, eng, env, 30*time.Second)
+			eng.Stop()
+			sums, total := collectSums(eng, 3)
+			if want := uint64(6000 * 2); total != want {
+				t.Fatalf("exactly-once violated: total = %d, want %d (failures=%d)",
+					total, want, env.recorder.Summarize(false).Failures)
+			}
+			for k, v := range sums {
+				if v != 2 {
+					t.Fatalf("key %d sum = %d", k, v)
+				}
+			}
+		})
+	}
+}
+
+// TestFailureBeforeFirstCheckpoint forces recovery to the virtual initial
+// checkpoints: the whole pipeline restarts from scratch and must still be
+// exactly-once.
+func TestFailureBeforeFirstCheckpoint(t *testing.T) {
+	for _, p := range []Protocol{
+		nullProto{KindCoordinated, "COOR"},
+		nullProto{KindUncoordinated, "UNC"},
+	} {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			env, job := buildEnv(t, 2, 2000, 15000)
+			cfg := env.config(p)
+			cfg.CheckpointInterval = time.Hour // no checkpoint will complete
+			eng, err := NewEngine(cfg, job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Start(); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(40 * time.Millisecond)
+			eng.InjectFailure(0)
+			waitDrained(t, eng, env, 15*time.Second)
+			eng.Stop()
+			_, total := collectSums(eng, 2)
+			if want := uint64(2000 * 2); total != want {
+				t.Fatalf("restart-from-scratch violated exactly-once: %d, want %d", total, want)
+			}
+		})
+	}
+}
+
+// TestFailureDuringRecoveryWindowIgnored verifies a second InjectFailure
+// while a recovery is already in progress does not corrupt the engine.
+func TestFailureDuringRecoveryWindowIgnored(t *testing.T) {
+	env, job := buildEnv(t, 2, 2000, 15000)
+	eng, err := NewEngine(env.config(nullProto{KindUncoordinated, "UNC"}), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	eng.InjectFailure(0)
+	eng.InjectFailure(1) // recovery already in progress: ignored
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	_, total := collectSums(eng, 2)
+	if want := uint64(2000 * 2); total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+	if env.recorder.Summarize(false).Failures != 1 {
+		t.Fatal("second overlapping failure should have been ignored")
+	}
+}
+
+// TestStopDuringRecovery verifies Stop racing with an in-flight recovery
+// shuts down cleanly.
+func TestStopDuringRecovery(t *testing.T) {
+	env, job := buildEnv(t, 2, 4000, 15000)
+	eng, err := NewEngine(env.config(nullProto{KindUncoordinated, "UNC"}), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	eng.InjectFailure(0)
+	time.Sleep(2 * time.Millisecond) // inside detection window
+	eng.Stop()                       // must not hang or panic
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// flateWriters pools deflate writers: flate.NewWriter allocates megabyte-
+// sized window state, and checkpoint uploads are frequent enough that
+// per-call allocation shows up as GC pressure in the round time.
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// flateCompress deflates a checkpoint blob (BestSpeed: checkpointing is
+// latency-sensitive; the win is in store bytes, not ratio records).
+func flateCompress(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w := flateWriters.Get().(*flate.Writer)
+	defer flateWriters.Put(w)
+	w.Reset(&buf)
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// flateDecompress inflates a checkpoint blob.
+func flateDecompress(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: decompress checkpoint: %w", err)
+	}
+	return out, nil
+}

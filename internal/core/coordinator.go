@@ -1,0 +1,339 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"checkmate/internal/recovery"
+)
+
+// coordinator plays the role of the paper's coordinator node: it schedules
+// coordinated checkpoint rounds, receives checkpoint metadata from all
+// instances, periodically computes the current recovery line to trim the
+// in-flight logs, and produces the line used for rollback after a failure.
+type coordinator struct {
+	eng *Engine
+
+	mu           sync.Mutex
+	metas        []recovery.Meta
+	roundStart   map[uint64]time.Time
+	roundReports map[uint64]int
+	roundMetas   map[uint64][]recovery.Meta
+	// completedRound is the newest fully-reported coordinated round.
+	completedRound uint64
+	// initiatedRound is the newest round whose markers were injected.
+	initiatedRound uint64
+	lastInitiate   time.Time
+	// gcDone marks checkpoints already deleted by the garbage collector.
+	gcDone map[recovery.CkptRef]bool
+}
+
+func newCoordinator(eng *Engine) *coordinator {
+	return &coordinator{
+		eng:          eng,
+		roundStart:   make(map[uint64]time.Time),
+		roundReports: make(map[uint64]int),
+		roundMetas:   make(map[uint64][]recovery.Meta),
+		gcDone:       make(map[recovery.CkptRef]bool),
+	}
+}
+
+// metaWireSize approximates the encoded size of a checkpoint-metadata
+// report, charged as protocol bytes (the paper: "the uncoordinated protocol
+// requires the operators to send the metadata of every checkpoint they take
+// to the coordinator").
+func metaWireSize(m *recovery.Meta) int {
+	return 24 + 12*(len(m.SentUpTo)+len(m.RecvUpTo)) + len(m.StoreKey)
+}
+
+// report registers a durable checkpoint. Called from upload goroutines.
+func (c *coordinator) report(m recovery.Meta, dur time.Duration) {
+	rec := c.eng.cfg.Recorder
+	rec.AddProtocolBytes(metaWireSize(&m))
+	kind := c.eng.cfg.Protocol.Kind()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metas = append(c.metas, m)
+	switch kind {
+	case KindCoordinated:
+		c.roundMetas[m.Round] = append(c.roundMetas[m.Round], m)
+		c.roundReports[m.Round]++
+		if c.roundReports[m.Round] == c.eng.total {
+			if m.Round > c.completedRound {
+				c.completedRound = m.Round
+			}
+			if start, ok := c.roundStart[m.Round]; ok {
+				rec.RecordRoundDuration(time.Since(start))
+			}
+			// A completed round is durable at every instance: its epoch's
+			// transactional output commits.
+			c.eng.output.commitAll(m.Round, c.eng.nowNS())
+		}
+	case KindUncoordinated, KindCIC:
+		rec.RecordCheckpointDuration(dur)
+	}
+}
+
+// run is the coordinator loop: round scheduling and log trimming.
+func (c *coordinator) run(w *world) {
+	defer w.wg.Done()
+	kind := c.eng.cfg.Protocol.Kind()
+	ticker := time.NewTicker(c.eng.cfg.PollInterval)
+	defer ticker.Stop()
+	lastTrim := time.Now()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-ticker.C:
+		}
+		switch {
+		case kind == KindCoordinated:
+			c.maybeStartRound(w)
+			if c.eng.cfg.CheckpointGC && time.Since(lastTrim) >= c.eng.cfg.CheckpointInterval {
+				lastTrim = time.Now()
+				c.gcCoordinated()
+			}
+		case kind.NeedsLogging():
+			if time.Since(lastTrim) >= c.eng.cfg.CheckpointInterval {
+				lastTrim = time.Now()
+				c.trimLogs()
+			}
+		}
+	}
+}
+
+// gcCoordinated deletes the checkpoints of rounds strictly older than the
+// newest completed round: a completed round is always a newer valid
+// recovery line, so older rounds can never be used again.
+func (c *coordinator) gcCoordinated() {
+	c.mu.Lock()
+	var victims []recovery.Meta
+	for round, metas := range c.roundMetas {
+		if round >= c.completedRound {
+			continue
+		}
+		for _, m := range metas {
+			if !c.gcDone[m.Ref] {
+				c.gcDone[m.Ref] = true
+				victims = append(victims, m)
+			}
+		}
+	}
+	c.mu.Unlock()
+	c.deleteBlobs(victims)
+}
+
+// gcAgainstLine deletes every reported checkpoint strictly older than the
+// given recovery line. Safe for UNC/CIC because the maximal consistent line
+// is monotone as checkpoints accumulate.
+func (c *coordinator) gcAgainstLine(line recovery.Line, metas []recovery.Meta) {
+	var victims []recovery.Meta
+	c.mu.Lock()
+	for _, m := range metas {
+		gid := m.Ref.Instance
+		if gid < len(line) && m.Ref.Seq < line[gid].Seq && !c.gcDone[m.Ref] {
+			c.gcDone[m.Ref] = true
+			victims = append(victims, m)
+		}
+	}
+	c.mu.Unlock()
+	c.deleteBlobs(victims)
+}
+
+// deleteBlobs removes checkpoint blobs from the store and accounts the
+// reclaimed space.
+func (c *coordinator) deleteBlobs(victims []recovery.Meta) {
+	if len(victims) == 0 {
+		return
+	}
+	var bytes uint64
+	for _, m := range victims {
+		bytes += uint64(c.eng.cfg.Store.Delete(m.StoreKey))
+	}
+	c.eng.cfg.Recorder.AddGCReclaimed(len(victims), bytes)
+}
+
+// maybeStartRound initiates the next coordinated round once the interval
+// elapsed and the previous round completed (rounds never overlap, as in
+// Flink's default configuration).
+func (c *coordinator) maybeStartRound(w *world) {
+	c.mu.Lock()
+	due := time.Since(c.lastInitiate) >= c.eng.cfg.CheckpointInterval
+	idle := c.initiatedRound == c.completedRound
+	var round uint64
+	if due && idle {
+		c.initiatedRound++
+		round = c.initiatedRound
+		c.roundStart[round] = time.Now()
+		c.lastInitiate = time.Now()
+	}
+	c.mu.Unlock()
+	if round == 0 {
+		return
+	}
+	rec := c.eng.cfg.Recorder
+	for _, it := range w.instances {
+		if it.spec.Source == nil {
+			continue
+		}
+		rec.AddProtocolBytes(16) // coordinator -> worker control message
+		select {
+		case it.ctl <- round:
+		case <-w.stopCh:
+			return
+		}
+	}
+}
+
+// trimLogs computes the current recovery line and discards in-flight log
+// prefixes that can never be replayed again. Safe because the maximal
+// consistent line is monotone as checkpoints accumulate.
+func (c *coordinator) trimLogs() {
+	c.mu.Lock()
+	metas := append([]recovery.Meta(nil), c.metas...)
+	c.mu.Unlock()
+	res := recovery.FindLine(c.eng.total, c.eng.channels, metas)
+	for _, ch := range c.eng.channels {
+		if ref := res.Line[ch.To]; ref.Seq > 0 {
+			frontier := recvFrontier(metas, ref, ch.ID)
+			if frontier > 0 {
+				c.eng.log.Trim(ch.ID, frontier)
+			}
+		}
+	}
+	// The maximal consistent line is monotone: checkpoints it covers can
+	// never roll back, so their epochs' transactional output commits.
+	c.eng.output.commitLine(res.Line, c.eng.nowNS())
+	if c.eng.cfg.CheckpointGC {
+		c.gcAgainstLine(res.Line, metas)
+	}
+}
+
+func recvFrontier(metas []recovery.Meta, ref recovery.CkptRef, ch uint64) uint64 {
+	for i := range metas {
+		if metas[i].Ref == ref {
+			return metas[i].RecvUpTo[ch]
+		}
+	}
+	return 0
+}
+
+// resetAfterFailure clears checkpoint state that a rollback to `line`
+// invalidates. For the coordinated protocol the round in flight at failure
+// time can never complete (its markers died with the world), so it is
+// abandoned and round initiation resumes from the last completed round —
+// without this, maybeStartRound's no-overlapping-rounds guard would
+// stall checkpointing forever after the first failure. For the logging
+// protocols, metadata of checkpoints newer than the line is purged: the
+// restored instances re-use those sequence numbers, and keeping the stale
+// entries would double-count invalid checkpoints and shadow fresh
+// metadata.
+func (c *coordinator) resetAfterFailure(line recovery.Line) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for round := range c.roundMetas {
+		if round > c.completedRound {
+			delete(c.roundMetas, round)
+			delete(c.roundReports, round)
+			delete(c.roundStart, round)
+		}
+	}
+	c.initiatedRound = c.completedRound
+	// Trigger the next round promptly after the restart, as production
+	// systems do after a restore.
+	c.lastInitiate = time.Time{}
+
+	keep := c.metas[:0]
+	for _, m := range c.metas {
+		if ref, ok := line[m.Ref.Instance]; !ok || m.Ref.Seq <= ref.Seq {
+			keep = append(keep, m)
+		}
+	}
+	c.metas = keep
+}
+
+// snapshotMetas returns a copy of all reported metadata.
+func (c *coordinator) snapshotMetas() []recovery.Meta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]recovery.Meta(nil), c.metas...)
+}
+
+// lineForRecovery computes the protocol-appropriate recovery line together
+// with checkpoint accounting.
+func (c *coordinator) lineForRecovery() (recovery.Line, accounting, []recovery.Meta) {
+	kind := c.eng.cfg.Protocol.Kind()
+	c.mu.Lock()
+	metas := append([]recovery.Meta(nil), c.metas...)
+	completed := c.completedRound
+	c.mu.Unlock()
+
+	switch kind {
+	case KindCoordinated:
+		line := make(recovery.Line, c.eng.total)
+		for gid := 0; gid < c.eng.total; gid++ {
+			line[gid] = recovery.CkptRef{Instance: gid, Seq: 0}
+		}
+		var lineMetas []recovery.Meta
+		if completed > 0 {
+			c.mu.Lock()
+			for _, m := range c.roundMetas[completed] {
+				line[m.Ref.Instance] = m.Ref
+				lineMetas = append(lineMetas, m)
+			}
+			c.mu.Unlock()
+		}
+		acct := accounting{total: int(completed) * c.eng.total, invalid: 0}
+		return line, acct, lineMetas
+	case KindUncoordinated, KindCIC:
+		res := recovery.FindLine(c.eng.total, c.eng.channels, metas)
+		return res.Line, accounting{total: res.Total, invalid: res.Invalid}, metas
+	default:
+		return nil, accounting{}, nil
+	}
+}
+
+// finalCommitOutput flushes every committable transactional epoch when the
+// run ends, so the consumer-visible output reflects all completed rounds
+// (COOR) or the final stable recovery line (UNC/CIC). Called after the
+// world stopped: no instance is appending concurrently.
+func (c *coordinator) finalCommitOutput() {
+	if c.eng.output.mode != OutputTransactional {
+		return
+	}
+	kind := c.eng.cfg.Protocol.Kind()
+	c.mu.Lock()
+	metas := append([]recovery.Meta(nil), c.metas...)
+	completed := c.completedRound
+	c.mu.Unlock()
+	switch {
+	case kind == KindCoordinated:
+		c.eng.output.commitAll(completed, c.eng.nowNS())
+	case kind.NeedsLogging():
+		res := recovery.FindLine(c.eng.total, c.eng.channels, metas)
+		c.eng.output.commitLine(res.Line, c.eng.nowNS())
+	}
+}
+
+// endOfRunAccounting produces Table III style accounting when no failure
+// occurred during the run.
+func (c *coordinator) endOfRunAccounting() accounting {
+	kind := c.eng.cfg.Protocol.Kind()
+	c.mu.Lock()
+	metas := append([]recovery.Meta(nil), c.metas...)
+	completed := c.completedRound
+	c.mu.Unlock()
+	if kind == KindCoordinated {
+		return accounting{total: int(completed) * c.eng.total, invalid: 0}
+	}
+	res := recovery.FindLine(c.eng.total, c.eng.channels, metas)
+	return accounting{total: res.Total, invalid: res.Invalid}
+}
+
+// accounting carries the Table III counters.
+type accounting struct {
+	total   int
+	invalid int
+	set     bool
+}

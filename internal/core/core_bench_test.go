@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/wire"
+)
+
+func BenchmarkMessageEncodeDecode(b *testing.B) {
+	enc := wire.NewEncoder(make([]byte, 0, 256))
+	m := Message{Kind: msgData, Edge: 2, FromIdx: 3, ToIdx: 4, Seq: 1000,
+		UID: 0xabcdef0123, Key: 777, SchedNS: 123456789, Value: &intVal{N: 42}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		encodeMessage(enc, &m)
+		if _, err := decodeMessage(enc.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInboxPushPop(b *testing.B) {
+	in := newInbox([]int{1024})
+	data := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.push(0, data)
+		in.pop()
+	}
+}
+
+func BenchmarkInboxManyChannels(b *testing.B) {
+	// A join instance at 50 workers has ~100 input channels; measure the
+	// round-robin scan cost.
+	caps := make([]int, 100)
+	for i := range caps {
+		caps[i] = 64
+	}
+	in := newInbox(caps)
+	data := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.push(i%100, data)
+		in.pop()
+	}
+}
+
+// BenchmarkPipelineThroughput measures raw engine throughput on a 3-stage
+// pipeline without checkpointing — the substrate cost every protocol pays.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env, job := benchEnv(b, 2, 50_000)
+		eng, err := NewEngine(env.config(nullProto{KindNone, "NONE"}), job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Start(); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for env.recorder.SinkCount() < 50_000 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		eng.Stop()
+		b.SetBytes(int64(env.recorder.PayloadBytes()))
+	}
+}
+
+func benchEnv(b *testing.B, workers, records int) (*testEnv, *JobSpec) {
+	b.Helper()
+	env, job := buildEnv(b, workers, records, 100_000_000) // schedule everything at t=0
+	return env, job
+}

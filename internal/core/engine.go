@@ -1,0 +1,807 @@
+package core
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"checkmate/internal/dedup"
+	"checkmate/internal/metrics"
+	"checkmate/internal/mq"
+	"checkmate/internal/msglog"
+	"checkmate/internal/objstore"
+	"checkmate/internal/recovery"
+	"checkmate/internal/wire"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the default parallelism (one worker hosts one parallel
+	// instance of every operator, as in the paper's deployment).
+	Workers int
+	// Protocol is the checkpointing protocol under evaluation.
+	Protocol Protocol
+	// CheckpointInterval is the nominal interval between checkpoints
+	// (coordinated round period; local interval base for UNC/CIC).
+	CheckpointInterval time.Duration
+	// ChannelCap bounds each inter-instance queue (records). Determines
+	// backpressure depth.
+	ChannelCap int
+	// FeedbackCap bounds feedback-edge queues. Much larger than ChannelCap
+	// to avoid cyclic-backpressure deadlocks.
+	FeedbackCap int
+	// Broker provides source topics.
+	Broker *mq.Broker
+	// Store persists checkpoints.
+	Store *objstore.Store
+	// Recorder collects metrics.
+	Recorder *metrics.Recorder
+	// DetectionDelay is the failure-detection latency.
+	DetectionDelay time.Duration
+	// DedupCap bounds the per-instance UID dedup ring (UNC/CIC).
+	DedupCap int
+	// PollInterval is the idle-poll resolution for timers and local
+	// checkpoint triggers.
+	PollInterval time.Duration
+	// CatchUpLag is the source lag threshold under which the system counts
+	// as recovered after a failure.
+	CatchUpLag time.Duration
+	// NetWorkFactor adds synthetic per-byte network cost (checksum passes
+	// over each envelope), calibrating how strongly message size impacts
+	// throughput. 0 disables.
+	NetWorkFactor int
+	// Semantics selects the processing guarantee for the logging protocols
+	// (UNC/CIC); see the Semantics type. Defaults to ExactlyOnce.
+	Semantics Semantics
+	// StragglerDelay injects synthetic per-event processing delay into
+	// every non-source instance hosted on StragglerWorker, simulating a
+	// straggling worker (slow node, noisy neighbour) independent of data
+	// skew. 0 disables.
+	StragglerDelay time.Duration
+	// StragglerWorker selects the straggling worker when StragglerDelay is
+	// set.
+	StragglerWorker int
+	// WatermarkInterval enables event-time watermarks: every source emits
+	// a watermark (its maximum extracted event time minus WatermarkLag) on
+	// all output channels at this period, and every operator tracks the
+	// minimum across its inputs, forwarding on advancement. 0 (default)
+	// disables watermark flow entirely.
+	WatermarkInterval time.Duration
+	// WatermarkLag is the out-of-orderness bound subtracted from the
+	// maximum observed event time when generating source watermarks.
+	WatermarkLag time.Duration
+	// Output selects how sink output is exposed to the external consumer:
+	// not at all (default), immediately (duplicates possible after
+	// failures), or transactionally (exactly-once output via epoch
+	// commit). Transactional output requires a checkpointing protocol and,
+	// for the logging protocols, exactly-once semantics.
+	Output OutputMode
+	// CompressCheckpoints deflates checkpoint blobs before upload and
+	// inflates them on restore, trading CPU in the (asynchronous) upload
+	// path for object-store bytes — the state-backend knob incremental
+	// snapshots complement.
+	CompressCheckpoints bool
+	// CheckpointGC enables checkpoint garbage collection: blobs strictly
+	// older than the globally stable recovery line (UNC/CIC) or the newest
+	// completed round (COOR) are deleted from the store. Safe because the
+	// maximal consistent line is monotone as checkpoints accumulate. The
+	// paper motivates this: invalid and superseded checkpoints occupy
+	// expensive storage that will never be used.
+	CheckpointGC bool
+	// Seed derives per-instance jitter.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.ChannelCap <= 0 {
+		c.ChannelCap = 128
+	}
+	if c.FeedbackCap <= 0 {
+		c.FeedbackCap = 1 << 16
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 500 * time.Millisecond
+	}
+	if c.DetectionDelay <= 0 {
+		c.DetectionDelay = 50 * time.Millisecond
+	}
+	if c.DedupCap <= 0 {
+		// The coordinator computes exact replay ranges, so the UID ring is
+		// a safety net against over-replay; it only needs to cover the
+		// in-flight window of a channel, not the full history.
+		c.DedupCap = 1 << 14
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Millisecond
+	}
+	if c.CatchUpLag <= 0 {
+		c.CatchUpLag = 150 * time.Millisecond
+	}
+}
+
+// world is one generation of running goroutines. A failure tears the whole
+// world down; recovery builds a fresh one from durable state.
+type world struct {
+	gen       int
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	uploadWG  sync.WaitGroup
+	instances []*instance
+	stopOnce  sync.Once
+}
+
+// Engine executes one job under one protocol. Build with NewEngine, then
+// Start; inject failures with InjectFailure; Stop tears everything down and
+// finalizes accounting.
+type Engine struct {
+	cfg  Config
+	job  *JobSpec
+	par  []int
+	base []int
+	// total is the number of operator instances (global ids 0..total-1).
+	total     int
+	logging   bool
+	exactOnce bool
+	unaligned bool
+	channels  []recovery.ChannelInfo
+	// inChansByGID / outChansByGID are the static wiring tables.
+	inChansByGID  [][]inChan
+	outChansByGID [][]outChan
+	outEdgesByGID [][]outEdge
+	// queueIdx maps channelKey -> receiver's local queue index.
+	queueIdx map[uint64]int
+
+	log    *msglog.Log
+	coord  *coordinator
+	output *outputCollector
+	start  time.Time
+
+	volatileOffsets []atomic.Uint64
+
+	mu      sync.Mutex
+	world   *world
+	gen     int
+	stopped bool
+	acct    accounting
+	// savepoint, when set via ApplySavepoint, initializes the first world.
+	savepoint *Savepoint
+	// recovering guards against overlapping recoveries.
+	recovering bool
+	sinkGoal   uint64
+}
+
+// NewEngine validates the job and builds the wiring tables.
+func NewEngine(cfg Config, job *JobSpec) (*Engine, error) {
+	cfg.applyDefaults()
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("core: no protocol configured")
+	}
+	if cfg.Broker == nil || cfg.Store == nil || cfg.Recorder == nil {
+		return nil, fmt.Errorf("core: broker, store and recorder are required")
+	}
+	par, err := job.Validate(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	unaligned := false
+	if ua, ok := cfg.Protocol.(interface{ Unaligned() bool }); ok {
+		unaligned = ua.Unaligned()
+	}
+	if cfg.Protocol.Kind().NeedsAlignment() && !unaligned && job.IsCyclic() {
+		return nil, fmt.Errorf("core: the coordinated aligned protocol cannot handle cyclic dataflows (job %q): a marker on the feedback edge would deadlock", job.Name)
+	}
+	kind := cfg.Protocol.Kind()
+	if cfg.Output == OutputTransactional {
+		if kind == KindNone {
+			return nil, fmt.Errorf("core: transactional output requires a checkpointing protocol")
+		}
+		if kind.NeedsLogging() && cfg.Semantics != ExactlyOnce {
+			return nil, fmt.Errorf("core: transactional output under %s requires exactly-once semantics, got %s", kind, cfg.Semantics)
+		}
+	}
+	e := &Engine{
+		cfg:       cfg,
+		job:       job,
+		par:       par,
+		logging:   kind.NeedsLogging() && cfg.Semantics != AtMostOnce,
+		exactOnce: kind.NeedsLogging() && cfg.Semantics == ExactlyOnce,
+		unaligned: unaligned,
+		log:       msglog.New(),
+		output:    newOutputCollector(cfg.Output),
+	}
+	e.base = make([]int, len(job.Ops))
+	for i := range job.Ops {
+		e.base[i] = e.total
+		e.total += par[i]
+	}
+	e.volatileOffsets = make([]atomic.Uint64, e.total)
+	e.buildWiring()
+	e.coord = newCoordinator(e)
+	return e, nil
+}
+
+// gidOf returns the global instance id of (op, idx).
+func (e *Engine) gidOf(op, idx int) int { return e.base[op] + idx }
+
+// buildWiring computes the static channel tables.
+func (e *Engine) buildWiring() {
+	e.inChansByGID = make([][]inChan, e.total)
+	e.outChansByGID = make([][]outChan, e.total)
+	e.outEdgesByGID = make([][]outEdge, e.total)
+	e.queueIdx = make(map[uint64]int)
+
+	for ei, edge := range e.job.Edges {
+		pf, pt := e.par[edge.From], e.par[edge.To]
+		for i := 0; i < pf; i++ {
+			fromGID := e.gidOf(edge.From, i)
+			var targets []int
+			switch edge.Part {
+			case Forward:
+				targets = []int{i}
+			case Hash, Broadcast:
+				targets = make([]int, pt)
+				for j := range targets {
+					targets[j] = j
+				}
+			}
+			oe := outEdge{edge: ei, part: edge.Part}
+			for _, j := range targets {
+				toGID := e.gidOf(edge.To, j)
+				key := channelKey(ei, i, j)
+				queue := len(e.inChansByGID[toGID])
+				e.inChansByGID[toGID] = append(e.inChansByGID[toGID], inChan{key: key, edge: ei, fromGID: fromGID})
+				e.queueIdx[key] = queue
+				oe.targets = append(oe.targets, len(e.outChansByGID[fromGID]))
+				e.outChansByGID[fromGID] = append(e.outChansByGID[fromGID], outChan{
+					key: key, edge: ei, toGID: toGID, toIdx: j, toQueue: queue,
+				})
+				e.channels = append(e.channels, recovery.ChannelInfo{ID: key, From: fromGID, To: toGID})
+			}
+			e.outEdgesByGID[fromGID] = append(e.outEdgesByGID[fromGID], oe)
+		}
+	}
+}
+
+// nowNS reports nanoseconds since run start.
+func (e *Engine) nowNS() int64 { return time.Since(e.start).Nanoseconds() }
+
+// Start launches the job.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.world != nil {
+		return fmt.Errorf("core: engine already started")
+	}
+	e.start = time.Now()
+	w, err := e.buildWorld(nil, nil)
+	if err != nil {
+		return err
+	}
+	e.world = w
+	e.launch(w)
+	return nil
+}
+
+// buildWorld constructs a fresh generation. line/blobs restore state when
+// recovering (nil on first start or gap recovery).
+func (e *Engine) buildWorld(line recovery.Line, blobs map[int][]byte) (*world, error) {
+	e.gen++
+	w := &world{gen: e.gen, stopCh: make(chan struct{}), instances: make([]*instance, e.total)}
+	kind := e.cfg.Protocol.Kind()
+	for op := range e.job.Ops {
+		spec := &e.job.Ops[op]
+		for idx := 0; idx < e.par[op]; idx++ {
+			gid := e.gidOf(op, idx)
+			it := &instance{
+				eng:      e,
+				w:        w,
+				gid:      gid,
+				op:       op,
+				idx:      idx,
+				spec:     spec,
+				inChans:  e.inChansByGID[gid],
+				outChans: e.outChansByGID[gid],
+				outEdges: e.outEdgesByGID[gid],
+				timerAt:  -1,
+				enc:      wire.NewEncoder(make([]byte, 0, 512)),
+				piggyEnc: wire.NewEncoder(make([]byte, 0, 128)),
+			}
+			it.sentSeq = make([]uint64, len(it.outChans))
+			it.recvSeq = make([]uint64, len(it.inChans))
+			it.curWM = noWatermark
+			it.maxEventNS = noWatermark
+			it.lastWMSent = noWatermark
+			it.chanWM = make([]int64, len(it.inChans))
+			for i := range it.chanWM {
+				it.chanWM[i] = noWatermark
+			}
+			if spec.Source != nil {
+				it.ctl = make(chan uint64, 4)
+			} else {
+				it.oper = spec.New(idx)
+				caps := make([]int, len(it.inChans))
+				for i, ic := range it.inChans {
+					if e.job.Edges[ic.edge].Feedback {
+						caps[i] = e.cfg.FeedbackCap
+					} else {
+						caps[i] = e.cfg.ChannelCap
+					}
+				}
+				it.in = newInbox(caps)
+				it.alignGot = make([]bool, len(it.inChans))
+			}
+			interval := e.cfg.CheckpointInterval
+			if spec.CheckpointInterval > 0 && kind != KindCoordinated {
+				interval = spec.CheckpointInterval
+			}
+			it.ctrl = e.cfg.Protocol.NewController(gid, e.total, interval, e.cfg.Seed+int64(gid))
+			if e.exactOnce {
+				it.dedup = dedup.NewSet(e.cfg.DedupCap)
+			}
+			if e.cfg.StragglerDelay > 0 && spec.Source == nil && idx == e.cfg.StragglerWorker%e.par[op] {
+				it.stragglerNS = e.cfg.StragglerDelay.Nanoseconds()
+			}
+			if line != nil {
+				if ref := line[gid]; ref.Seq > 0 {
+					blob, ok := blobs[gid]
+					if !ok {
+						return nil, fmt.Errorf("core: missing checkpoint blob for %s[%d] %v", spec.Name, idx, ref)
+					}
+					if err := it.restore(blob); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if line == nil && blobs == nil && kind == KindNone && e.gen > 1 {
+				// Gap recovery: resume sources from their volatile offsets.
+				it.offset = e.volatileOffsets[gid].Load()
+			}
+			w.instances[gid] = it
+		}
+	}
+	if e.savepoint != nil && e.gen == 1 {
+		if err := e.applySavepointLocked(w); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// launch starts all goroutines of a world.
+func (e *Engine) launch(w *world) {
+	for _, it := range w.instances {
+		w.wg.Add(1)
+		if it.spec.Source != nil {
+			part := e.partitionFor(it)
+			go it.runSource(part)
+		} else {
+			go it.run()
+		}
+	}
+	w.wg.Add(1)
+	go e.coord.run(w)
+}
+
+// partitionFor adapts the broker partition of a source instance.
+func (e *Engine) partitionFor(it *instance) sourcePartition {
+	topic, err := e.cfg.Broker.Topic(it.spec.Source.Topic)
+	if err != nil {
+		panic(fmt.Sprintf("core: source %s[%d]: %v", it.spec.Name, it.idx, err))
+	}
+	if it.idx >= len(topic.Partitions) {
+		panic(fmt.Sprintf("core: source %s[%d]: topic %q has only %d partitions",
+			it.spec.Name, it.idx, topic.Name, len(topic.Partitions)))
+	}
+	return brokerPartition{p: topic.Partition(it.idx)}
+}
+
+type brokerPartition struct{ p *mq.Partition }
+
+func (bp brokerPartition) Read(offset uint64) (sourceRecord, bool) {
+	r, ok := bp.p.Read(offset)
+	if !ok {
+		return sourceRecord{}, false
+	}
+	return sourceRecord{Offset: r.Offset, ScheduleNS: r.ScheduleNS, Key: r.Key, Value: r.Value}, true
+}
+
+// stopWorld tears down a world and waits for all of its goroutines,
+// including pending checkpoint uploads.
+func (e *Engine) stopWorld(w *world) {
+	w.stopOnce.Do(func() {
+		close(w.stopCh)
+		for _, it := range w.instances {
+			if it.in != nil {
+				it.in.close()
+			}
+		}
+	})
+	w.wg.Wait()
+	w.uploadWG.Wait()
+}
+
+// InjectFailure simulates the crash of one worker: all instances hosted on
+// it die immediately; the coordinator detects the failure after the
+// configured detection delay and performs a global rollback.
+func (e *Engine) InjectFailure(worker int) {
+	e.mu.Lock()
+	w := e.world
+	if w == nil || e.stopped || e.recovering {
+		e.mu.Unlock()
+		return
+	}
+	e.recovering = true
+	e.mu.Unlock()
+
+	for _, it := range w.instances {
+		if it.idx == worker%e.par[it.op] {
+			it.dead.Store(true)
+			if it.in != nil {
+				it.in.close()
+			}
+		}
+	}
+	detectAt := time.Now().Add(e.cfg.DetectionDelay)
+	go func() {
+		time.Sleep(time.Until(detectAt))
+		e.recover(detectAt, w)
+	}()
+}
+
+// recover performs the global rollback: stop the world, compute the
+// protocol's recovery line, restore all instances from durable checkpoints,
+// re-inject in-flight messages from the logs, and restart.
+func (e *Engine) recover(detectAt time.Time, failedWorld *world) {
+	rec := e.cfg.Recorder
+	e.stopWorld(failedWorld)
+
+	e.mu.Lock()
+	if e.stopped || e.world != failedWorld {
+		e.recovering = false
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+
+	kind := e.cfg.Protocol.Kind()
+	var (
+		w   *world
+		err error
+	)
+	var replayed uint64
+	if kind == KindNone {
+		rec.Note("gap recovery: all operator state lost (at-most-once)")
+		w, err = e.buildWorld(nil, nil)
+	} else {
+		line, acct, metas := e.coord.lineForRecovery()
+		acct.set = true
+		e.mu.Lock()
+		e.acct = acct
+		e.mu.Unlock()
+		rec.SetCheckpointAccounting(acct.total, acct.invalid)
+		// Resolve buffered transactional output against the rollback line:
+		// durable epochs flush, newer ones are discarded (replay will
+		// regenerate them).
+		e.output.rollback(line, e.nowNS())
+		// Abandon the round in flight (COOR) and purge checkpoint metadata
+		// the rollback invalidated (UNC/CIC).
+		e.coord.resetAfterFailure(line)
+
+		blobs, ferr := e.fetchBlobs(line, metas)
+		if ferr == nil {
+			w, err = e.buildWorld(line, blobs)
+		} else {
+			err = ferr
+		}
+		if err == nil {
+			var rollback uint64
+			for _, it := range w.instances {
+				if it.spec.Source != nil {
+					cur := e.volatileOffsets[it.gid].Load()
+					if cur > it.offset {
+						rollback += cur - it.offset
+					}
+					e.volatileOffsets[it.gid].Store(it.offset)
+				}
+			}
+			if e.logging {
+				replayed = e.replayInFlight(w, line, metas)
+			}
+			// Unaligned checkpoints carry their in-flight channel state in
+			// the blobs; re-inject it before the instances start.
+			for _, it := range w.instances {
+				for _, c := range it.pendingInject {
+					it.in.force(c.queue, c.data)
+					replayed++
+				}
+				if n := len(it.pendingInject); n > 0 {
+					rec.IncReplayMessages(n)
+					it.pendingInject = nil
+				}
+			}
+			rec.AddReplayedOnRecovery(replayed, rollback)
+		}
+	}
+	if err != nil {
+		rec.Note("recovery failed: %v", err)
+		e.mu.Lock()
+		e.recovering = false
+		e.mu.Unlock()
+		return
+	}
+
+	e.mu.Lock()
+	e.world = w
+	e.recovering = false
+	stopped := e.stopped
+	e.mu.Unlock()
+	if stopped {
+		return
+	}
+	e.launch(w)
+	rec.RecordRestart(time.Since(detectAt))
+	go e.monitorCatchUp(w, detectAt)
+}
+
+// fetchBlobs downloads the state of every checkpoint on the line.
+func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int][]byte, error) {
+	keys := make(map[int]string)
+	for gid, ref := range line {
+		if ref.Seq == 0 {
+			continue
+		}
+		found := false
+		for i := range metas {
+			if metas[i].Ref == ref {
+				keys[gid] = metas[i].StoreKey
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: no metadata for line checkpoint %v", ref)
+		}
+	}
+	blobs := make(map[int][]byte, len(keys))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	sem := make(chan struct{}, 16)
+	for gid, key := range keys {
+		wg.Add(1)
+		go func(gid int, key string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var (
+				blob []byte
+				err  error
+			)
+			for attempt := 0; attempt < storeRetries; attempt++ {
+				if blob, err = e.cfg.Store.Get(key); err == nil {
+					break
+				}
+			}
+			if err == nil && e.cfg.CompressCheckpoints {
+				blob, err = flateDecompress(blob)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			blobs[gid] = blob
+		}(gid, key)
+	}
+	wg.Wait()
+	return blobs, firstErr
+}
+
+// replayInFlight truncates stale log suffixes and re-injects the channel
+// state of the recovery line into the fresh inboxes. Returns the number of
+// replayed messages.
+func (e *Engine) replayInFlight(w *world, line recovery.Line, metas []recovery.Meta) uint64 {
+	// Truncate every channel's log to the sender's restored frontier.
+	frontier := make(map[uint64]uint64, len(e.channels))
+	for _, ch := range e.channels {
+		sender := w.instances[ch.From]
+		for i := range sender.outChans {
+			if sender.outChans[i].key == ch.ID {
+				frontier[ch.ID] = sender.sentSeq[i]
+				break
+			}
+		}
+	}
+	e.log.TrimSuffixAll(frontier)
+
+	var replayed uint64
+	if e.cfg.Semantics == AtLeastOnce {
+		// At-least-once systems keep no durable receive frontiers, so
+		// recovery conservatively re-delivers every retained log entry up
+		// to the sender's restored frontier. Nothing is lost; overlap with
+		// already-reflected state produces the duplicates Definition 2
+		// permits.
+		for _, ch := range e.channels {
+			entries := e.log.Range(ch.ID, 0, frontier[ch.ID])
+			target := w.instances[ch.To]
+			queue := e.queueIdx[ch.ID]
+			for _, en := range entries {
+				target.in.force(queue, en.Data)
+				replayed++
+			}
+		}
+	} else {
+		for _, rng := range recovery.InFlight(e.channels, metas, line) {
+			entries := e.log.Range(rng.Channel.ID, rng.FromExcl, rng.ToIncl)
+			target := w.instances[rng.Channel.To]
+			queue := e.queueIdx[rng.Channel.ID]
+			for _, en := range entries {
+				target.in.force(queue, en.Data)
+				replayed++
+			}
+		}
+	}
+	e.cfg.Recorder.IncReplayMessages(int(replayed))
+	return replayed
+}
+
+// monitorCatchUp polls source lag after a restart and records the recovery
+// time once the pipeline caught up with its input schedule.
+func (e *Engine) monitorCatchUp(w *world, detectAt time.Time) {
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-ticker.C:
+		}
+		if e.MaxSourceLag() <= e.cfg.CatchUpLag && e.SourceBacklog() == 0 {
+			e.cfg.Recorder.RecordRecovery(time.Since(detectAt))
+			return
+		}
+	}
+}
+
+// MaxSourceLag reports the worst lag behind the arrival schedule across all
+// source instances of the current world.
+func (e *Engine) MaxSourceLag() time.Duration {
+	e.mu.Lock()
+	w := e.world
+	e.mu.Unlock()
+	if w == nil {
+		return 0
+	}
+	var worst int64
+	for _, it := range w.instances {
+		if it.spec.Source == nil {
+			continue
+		}
+		if lag := it.lagNS.Load(); lag > worst {
+			worst = lag
+		}
+	}
+	return time.Duration(worst)
+}
+
+// SourceBacklog reports the number of already-scheduled records not yet
+// ingested by the sources.
+func (e *Engine) SourceBacklog() uint64 {
+	e.mu.Lock()
+	w := e.world
+	e.mu.Unlock()
+	if w == nil {
+		return 0
+	}
+	now := e.nowNS()
+	var backlog uint64
+	for _, it := range w.instances {
+		if it.spec.Source == nil {
+			continue
+		}
+		topic, err := e.cfg.Broker.Topic(it.spec.Source.Topic)
+		if err != nil {
+			continue
+		}
+		part := topic.Partition(it.idx)
+		off := it.offset
+		for {
+			r, ok := part.Read(off)
+			if !ok || r.ScheduleNS > now {
+				break
+			}
+			backlog++
+			off++
+			if backlog > 1<<20 {
+				return backlog
+			}
+		}
+	}
+	return backlog
+}
+
+// Stop tears the engine down and finalizes checkpoint accounting.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	w := e.world
+	acctSet := e.acct.set
+	e.mu.Unlock()
+	if w != nil {
+		e.stopWorld(w)
+	}
+	e.coord.finalCommitOutput()
+	if !acctSet {
+		acct := e.coord.endOfRunAccounting()
+		e.cfg.Recorder.SetCheckpointAccounting(acct.total, acct.invalid)
+	}
+}
+
+// Channels exposes the channel topology (for tests and diagnostics).
+func (e *Engine) Channels() []recovery.ChannelInfo { return e.channels }
+
+// CheckpointMetas returns a snapshot of all checkpoint metadata reported to
+// the coordinator — the input of recovery-line and rollback-scope analysis.
+func (e *Engine) CheckpointMetas() []recovery.Meta { return e.coord.snapshotMetas() }
+
+// LiveFrontiers captures the per-channel sent/received frontiers of every
+// instance. Call after Stop: the counters are only stable once the world's
+// goroutines exited. Together with CheckpointMetas and Channels this feeds
+// recovery.RollbackScope, quantifying how much of the pipeline a partial
+// failure would roll back under the uncoordinated protocols.
+func (e *Engine) LiveFrontiers() map[int]recovery.Frontiers {
+	e.mu.Lock()
+	w := e.world
+	e.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	live := make(map[int]recovery.Frontiers, e.total)
+	for gid, it := range w.instances {
+		f := recovery.Frontiers{
+			Sent: make(map[uint64]uint64, len(it.outChans)),
+			Recv: make(map[uint64]uint64, len(it.inChans)),
+		}
+		for i := range it.outChans {
+			f.Sent[it.outChans[i].key] = it.sentSeq[i]
+		}
+		for i := range it.inChans {
+			f.Recv[it.inChans[i].key] = it.recvSeq[i]
+		}
+		live[gid] = f
+	}
+	return live
+}
+
+// TotalInstances reports the number of operator instances.
+func (e *Engine) TotalInstances() int { return e.total }
+
+// OperatorState extracts, after Stop, the operator instance logic for
+// inspection by tests and result verification (e.g. comparing sink state
+// between a failure run and a failure-free run).
+func (e *Engine) OperatorState(op, idx int) Operator {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.world == nil {
+		return nil
+	}
+	return e.world.instances[e.gidOf(op, idx)].oper
+}
+
+// netWork burns CPU proportional to the envelope size, modelling
+// serialization plus NIC/bandwidth cost of the simulated network.
+func (e *Engine) netWork(data []byte) {
+	for i := 0; i < e.cfg.NetWorkFactor; i++ {
+		crcSink += crc32.ChecksumIEEE(data)
+	}
+}
+
+// crcSink defeats dead-code elimination of the synthetic network work.
+var crcSink uint32

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"checkmate/internal/metrics"
+	"checkmate/internal/mq"
+	"checkmate/internal/objstore"
+	"checkmate/internal/wire"
+)
+
+// splitter emits each input on two outgoing edges (tests multi-edge
+// routing).
+type splitter struct{}
+
+func (splitter) OnEvent(ctx Context, ev Event) {
+	ctx.EmitTo(0, ev.Key, ev.Value)
+	ctx.EmitTo(1, ev.Key, ev.Value)
+}
+func (splitter) Snapshot(enc *wire.Encoder)      {}
+func (splitter) Restore(dec *wire.Decoder) error { return nil }
+
+// counterOp counts arrivals (concurrency-safe for cross-goroutine reads in
+// tests).
+type counterOp struct{ n atomic.Uint64 }
+
+func (c *counterOp) OnEvent(ctx Context, ev Event) { c.n.Add(1) }
+func (c *counterOp) Snapshot(enc *wire.Encoder)    { enc.Uvarint(c.n.Load()) }
+func (c *counterOp) Restore(dec *wire.Decoder) error {
+	c.n.Store(dec.Uvarint())
+	return dec.Err()
+}
+
+// timerOp fires a timer repeatedly and counts invocations.
+type timerOp struct {
+	fires atomic.Uint64
+	armed bool
+}
+
+func (o *timerOp) OnEvent(ctx Context, ev Event) {
+	if !o.armed {
+		o.armed = true
+		ctx.SetTimer(ctx.NowNS() + int64(10*time.Millisecond))
+	}
+}
+
+func (o *timerOp) OnTimer(ctx Context, nowNS int64) {
+	o.fires.Add(1)
+	ctx.SetTimer(nowNS + int64(10*time.Millisecond))
+}
+
+func (o *timerOp) Snapshot(enc *wire.Encoder)      {}
+func (o *timerOp) Restore(dec *wire.Decoder) error { return nil }
+
+func multiEnv(t *testing.T, workers, records int) (*testEnv, Config) {
+	t.Helper()
+	env := &testEnv{
+		broker:   mq.NewBroker(),
+		store:    objstore.New(objstore.Config{}),
+		recorder: metrics.NewRecorder(time.Now(), 30*time.Second, time.Second),
+		workers:  workers,
+	}
+	topic, err := env.broker.CreateTopic("nums", workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPart := records / workers
+	for p := 0; p < workers; p++ {
+		for i := 0; i < perPart; i++ {
+			topic.Partition(p).Append(0, uint64(i), &intVal{N: 1})
+		}
+	}
+	return env, env.config(nullProto{KindNone, "NONE"})
+}
+
+func TestMultiOutEdgeRouting(t *testing.T) {
+	_, cfg := multiEnv(t, 2, 1000)
+	left := &counterOp{}
+	right := &counterOp{}
+	job := &JobSpec{
+		Name: "split",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nums"}},
+			{Name: "split", New: func(int) Operator { return splitter{} }},
+			{Name: "left", Parallelism: 1, Sink: true, New: func(int) Operator { return left }},
+			{Name: "right", Parallelism: 1, Sink: true, New: func(int) Operator { return right }},
+		},
+		Edges: []EdgeSpec{
+			{From: 0, To: 1, Part: Forward},
+			{From: 1, To: 2, Part: Hash},
+			{From: 1, To: 3, Part: Hash},
+		},
+	}
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for (left.n.Load() < 1000 || right.n.Load() < 1000) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	eng.Stop()
+	if left.n.Load() != 1000 || right.n.Load() != 1000 {
+		t.Fatalf("left=%d right=%d, want 1000 each", left.n.Load(), right.n.Load())
+	}
+}
+
+func TestBroadcastDeliversToAllInstances(t *testing.T) {
+	_, cfg := multiEnv(t, 2, 500)
+	counters := make([]*counterOp, 2)
+	job := &JobSpec{
+		Name: "bcast",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nums"}},
+			{Name: "all", Sink: true, New: func(idx int) Operator {
+				counters[idx] = &counterOp{}
+				return counters[idx]
+			}},
+		},
+		Edges: []EdgeSpec{{From: 0, To: 1, Part: Broadcast}},
+	}
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if counters[0] != nil && counters[1] != nil &&
+			counters[0].n.Load() >= 500 && counters[1].n.Load() >= 500 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	eng.Stop()
+	// Every instance receives every record.
+	for i, c := range counters {
+		if c.n.Load() != 500 {
+			t.Fatalf("instance %d received %d, want 500", i, c.n.Load())
+		}
+	}
+}
+
+func TestTimersFire(t *testing.T) {
+	_, cfg := multiEnv(t, 1, 10)
+	op := &timerOp{}
+	job := &JobSpec{
+		Name: "timers",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nums"}},
+			{Name: "timer", Sink: true, New: func(int) Operator { return op }},
+		},
+		Edges: []EdgeSpec{{From: 0, To: 1, Part: Forward}},
+	}
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for op.fires.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	eng.Stop()
+	if op.fires.Load() < 3 {
+		t.Fatalf("timer fired %d times, want >= 3", op.fires.Load())
+	}
+}
+
+func TestEngineTopologyAccessors(t *testing.T) {
+	_, cfg := multiEnv(t, 3, 30)
+	job := &JobSpec{
+		Name: "acc",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nums"}},
+			{Name: "sink", Sink: true, New: func(int) Operator { return &counterOp{} }},
+		},
+		Edges: []EdgeSpec{{From: 0, To: 1, Part: Hash}},
+	}
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.TotalInstances(); got != 6 {
+		t.Fatalf("TotalInstances = %d, want 6", got)
+	}
+	// Hash edge: full 3x3 mesh.
+	if got := len(eng.Channels()); got != 9 {
+		t.Fatalf("channels = %d, want 9", got)
+	}
+	if eng.OperatorState(1, 0) != nil {
+		t.Fatal("OperatorState before Start should be nil")
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	_, cfg := multiEnv(t, 2, 10)
+	job := &JobSpec{
+		Name: "cfg",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nums"}},
+			{Name: "sink", Sink: true, New: func(int) Operator { return &counterOp{} }},
+		},
+		Edges: []EdgeSpec{{From: 0, To: 1, Part: Forward}},
+	}
+	bad := cfg
+	bad.Protocol = nil
+	if _, err := NewEngine(bad, job); err == nil {
+		t.Fatal("nil protocol should fail")
+	}
+	bad = cfg
+	bad.Broker = nil
+	if _, err := NewEngine(bad, job); err == nil {
+		t.Fatal("nil broker should fail")
+	}
+	bad = cfg
+	bad.Workers = 0
+	if _, err := NewEngine(bad, job); err == nil {
+		t.Fatal("zero workers should fail")
+	}
+}
+
+func TestSourceMissingTopicPanics(t *testing.T) {
+	_, cfg := multiEnv(t, 2, 10)
+	job := &JobSpec{
+		Name: "missing",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nope"}},
+			{Name: "sink", Sink: true, New: func(int) Operator { return &counterOp{} }},
+		},
+		Edges: []EdgeSpec{{From: 0, To: 1, Part: Forward}},
+	}
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing topic")
+		}
+	}()
+	_ = eng.Start()
+}

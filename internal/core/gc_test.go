@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// runGC executes the counting pipeline with checkpoint GC enabled, injecting
+// one failure, and returns the engine environment for inspection.
+func runGC(t *testing.T, kind Kind, fail bool) (*testEnv, *Engine) {
+	t.Helper()
+	env, job := buildEnv(t, 2, 3000, 10000)
+	cfg := env.config(nullProto{kind, kind.String()})
+	cfg.CheckpointGC = true
+	cfg.CheckpointInterval = 40 * time.Millisecond
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if fail {
+		time.Sleep(150 * time.Millisecond)
+		eng.InjectFailure(1)
+	}
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	return env, eng
+}
+
+// GC must reclaim superseded UNC checkpoints while recovery stays exact.
+func TestGCUncoordinatedReclaimsAndRecovers(t *testing.T) {
+	env, eng := runGC(t, KindUncoordinated, true)
+	sum := env.recorder.Summarize(false)
+	if sum.GCCheckpoints == 0 || sum.GCBytes == 0 {
+		t.Fatalf("GC reclaimed nothing: %d ckpts / %d bytes", sum.GCCheckpoints, sum.GCBytes)
+	}
+	if _, total := collectSums(eng, env.workers); total != 3000*2 {
+		t.Fatalf("exactly-once violated with GC: total = %d, want %d", total, 3000*2)
+	}
+	// The store retains at most the metadata the GC has not (yet) proven
+	// stale; it must hold far fewer blobs than were ever uploaded.
+	stats := env.store.Stats()
+	if uint64(env.store.Len()) >= stats.Puts {
+		t.Fatalf("store kept every blob: len=%d puts=%d", env.store.Len(), stats.Puts)
+	}
+	t.Logf("GC: reclaimed %d checkpoints (%d bytes), store retains %d of %d uploads",
+		sum.GCCheckpoints, sum.GCBytes, env.store.Len(), stats.Puts)
+}
+
+// GC on the coordinated protocol deletes all rounds older than the newest
+// completed one.
+func TestGCCoordinatedKeepsOnlyRecentRounds(t *testing.T) {
+	env, eng := runGC(t, KindCoordinated, true)
+	sum := env.recorder.Summarize(true)
+	if sum.GCCheckpoints == 0 {
+		t.Fatal("coordinated GC reclaimed nothing")
+	}
+	if _, total := collectSums(eng, env.workers); total != 3000*2 {
+		t.Fatalf("exactly-once violated with GC: total = %d", total)
+	}
+	t.Logf("COOR GC: reclaimed %d checkpoints, store retains %d blobs",
+		sum.GCCheckpoints, env.store.Len())
+}
+
+// Without the knob nothing is deleted.
+func TestGCDisabledKeepsAllCheckpoints(t *testing.T) {
+	env, job := buildEnv(t, 2, 2000, 10000)
+	cfg := env.config(nullProto{KindUncoordinated, "UNC"})
+	cfg.CheckpointInterval = 40 * time.Millisecond
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	sum := env.recorder.Summarize(false)
+	if sum.GCCheckpoints != 0 {
+		t.Fatalf("GC ran while disabled: %d", sum.GCCheckpoints)
+	}
+	stats := env.store.Stats()
+	if uint64(env.store.Len()) != stats.Puts {
+		t.Fatalf("store lost blobs without GC: len=%d puts=%d", env.store.Len(), stats.Puts)
+	}
+}

@@ -1,0 +1,849 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"checkmate/internal/dedup"
+	"checkmate/internal/recovery"
+	"checkmate/internal/wire"
+)
+
+// noWatermark is the watermark value before any event time was observed.
+const noWatermark = math.MinInt64
+
+// outChan is one outgoing channel of an instance (one target instance of
+// one outgoing edge).
+type outChan struct {
+	key     uint64 // channelKey
+	edge    int    // job edge index
+	toGID   int
+	toIdx   int // receiver instance index within its operator
+	toQueue int // receiver's local queue index for this channel
+}
+
+// outEdge groups the outgoing channels of one edge.
+type outEdge struct {
+	edge    int
+	part    Partitioning
+	targets []int // indexes into instance.outChans
+}
+
+// inChan is one incoming channel of an instance.
+type inChan struct {
+	key     uint64
+	edge    int
+	fromGID int
+}
+
+// instance is one parallel instance of an operator, executing as a single
+// goroutine (plus transient checkpoint-upload goroutines).
+type instance struct {
+	eng  *Engine
+	w    *world
+	gid  int
+	op   int
+	idx  int
+	spec *OpSpec
+
+	oper Operator // nil for sources
+
+	in       *inbox // nil for sources
+	inChans  []inChan
+	outChans []outChan
+	outEdges []outEdge
+
+	sentSeq []uint64 // per outChans entry
+	recvSeq []uint64 // per inChans entry
+	ckptSeq uint64
+	offset  uint64 // source read position
+
+	ctrl  Controller
+	dedup *dedup.Set
+
+	// COOR alignment state.
+	aligning   bool
+	alignRound uint64
+	alignGot   []bool
+	alignCount int
+
+	// Current-event context for Context callbacks.
+	curSchedNS int64
+	curEventNS int64
+	curUID     uint64
+	emitK      int
+
+	timerAt int64 // -1 when unset
+
+	// Event-time watermark state (active when Config.WatermarkInterval is
+	// set). chanWM is the last watermark per input channel; curWM is their
+	// minimum; maxEventNS is the largest event time a source extracted;
+	// lastWMSent/lastWMAt drive source watermark emission.
+	chanWM     []int64
+	curWM      int64
+	maxEventNS int64
+	lastWMSent int64
+	lastWMAt   int64
+
+	// stragglerNS, when positive, injects this much synthetic processing
+	// delay per event (straggling-worker simulation).
+	stragglerNS int64
+
+	// ua tracks an unaligned checkpoint in progress (unaligned coordinated
+	// protocol only).
+	ua *uaPending
+	// pendingInject holds captured channel state decoded during restore,
+	// re-injected by the engine before the instance starts.
+	pendingInject []capturedMsg
+
+	// ctl receives coordinated-round initiation commands (sources only).
+	ctl chan uint64
+
+	// lagNS tracks how far behind its arrival schedule the source runs.
+	lagNS atomic.Int64
+
+	dead atomic.Bool
+
+	enc      *wire.Encoder // reusable envelope encoder
+	piggyEnc *wire.Encoder // reusable piggyback encoder
+	msgCount int
+}
+
+var _ Context = (*instance)(nil)
+
+// Emit implements Context.
+func (it *instance) Emit(key uint64, v wire.Value) { it.EmitTo(0, key, v) }
+
+// EmitTo implements Context.
+func (it *instance) EmitTo(outEdge int, key uint64, v wire.Value) {
+	if outEdge < 0 || outEdge >= len(it.outEdges) {
+		panic(fmt.Sprintf("core: %s[%d]: EmitTo(%d) with %d out edges", it.spec.Name, it.idx, outEdge, len(it.outEdges)))
+	}
+	uid := deriveUID(it.curUID, it.gid, it.emitK)
+	it.emitK++
+	it.send(outEdge, key, v, it.curSchedNS, it.curEventNS, uid)
+}
+
+// WatermarkNS implements Context.
+func (it *instance) WatermarkNS() int64 { return it.curWM }
+
+// Index implements Context.
+func (it *instance) Index() int { return it.idx }
+
+// Parallelism implements Context.
+func (it *instance) Parallelism() int { return it.eng.par[it.op] }
+
+// NowNS implements Context.
+func (it *instance) NowNS() int64 { return it.eng.nowNS() }
+
+// SetTimer implements Context.
+func (it *instance) SetTimer(atNS int64) { it.timerAt = atNS }
+
+// send routes one record over out edge oe.
+func (it *instance) send(oe int, key uint64, v wire.Value, schedNS, eventNS int64, uid uint64) {
+	edge := &it.outEdges[oe]
+	switch edge.part {
+	case Forward:
+		it.sendTo(edge.targets[0], key, v, schedNS, eventNS, uid)
+	case Hash:
+		// Reduce in uint64 space: int(key)%n is negative for keys >= 2^63.
+		it.sendTo(edge.targets[key%uint64(len(edge.targets))], key, v, schedNS, eventNS, uid)
+	case Broadcast:
+		for _, t := range edge.targets {
+			it.sendTo(t, key, v, schedNS, eventNS, uid)
+		}
+	}
+}
+
+// sendTo serializes and delivers one record on outChans[t], logging it when
+// the protocol requires in-flight logging. Blocks under backpressure.
+func (it *instance) sendTo(t int, key uint64, v wire.Value, schedNS, eventNS int64, uid uint64) {
+	oc := &it.outChans[t]
+	it.sentSeq[t]++
+	m := Message{
+		Kind:    msgData,
+		Edge:    oc.edge,
+		FromIdx: it.idx,
+		ToIdx:   oc.toIdx,
+		Seq:     it.sentSeq[t],
+		UID:     uid,
+		Key:     key,
+		SchedNS: schedNS,
+		EventNS: eventNS,
+		Value:   v,
+	}
+	if it.ctrl != nil {
+		it.piggyEnc.Reset()
+		it.ctrl.OnSend(oc.toGID, it.piggyEnc)
+		if it.piggyEnc.Len() > 0 {
+			m.Piggyback = it.piggyEnc.Bytes()
+		}
+	}
+	it.enc.Reset()
+	payloadB, protoB := encodeMessage(it.enc, &m)
+	data := append([]byte(nil), it.enc.Bytes()...)
+	rec := it.eng.cfg.Recorder
+	rec.AddPayloadBytes(payloadB)
+	rec.AddProtocolBytes(protoB)
+	rec.IncDataMessages()
+	if it.eng.logging {
+		it.eng.log.Append(oc.key, m.Seq, data)
+	}
+	target := it.w.instances[oc.toGID]
+	it.eng.netWork(data)
+	target.in.push(oc.toQueue, data)
+}
+
+// sendMarker delivers a checkpoint marker on every outgoing channel. Under
+// the unaligned protocol markers overtake queued data (front insertion);
+// aligned markers queue in FIFO order and may block under backpressure —
+// exactly the failure mode the paper attributes to the aligned protocol.
+func (it *instance) sendMarker(round uint64) {
+	rec := it.eng.cfg.Recorder
+	for i := range it.outChans {
+		oc := &it.outChans[i]
+		m := Message{Kind: msgMarker, Edge: oc.edge, FromIdx: it.idx, ToIdx: oc.toIdx, Round: round}
+		it.enc.Reset()
+		_, protoB := encodeMessage(it.enc, &m)
+		data := append([]byte(nil), it.enc.Bytes()...)
+		rec.AddProtocolBytes(protoB)
+		rec.IncMarkerMessages()
+		target := it.w.instances[oc.toGID].in
+		if it.eng.unaligned {
+			target.pushFront(oc.toQueue, data)
+		} else {
+			target.push(oc.toQueue, data)
+		}
+	}
+}
+
+// sendWatermark forwards a watermark on every outgoing channel. Watermarks
+// are control messages: never logged, regenerated after recovery, counted
+// as protocol bytes.
+func (it *instance) sendWatermark(wm int64) {
+	rec := it.eng.cfg.Recorder
+	for i := range it.outChans {
+		oc := &it.outChans[i]
+		m := Message{Kind: msgWatermark, Edge: oc.edge, FromIdx: it.idx, ToIdx: oc.toIdx, Watermark: wm}
+		it.enc.Reset()
+		_, protoB := encodeMessage(it.enc, &m)
+		data := append([]byte(nil), it.enc.Bytes()...)
+		rec.AddProtocolBytes(protoB)
+		rec.IncWatermarkMessages()
+		it.w.instances[oc.toGID].in.push(oc.toQueue, data)
+	}
+}
+
+// maybeEmitSourceWM emits a source watermark when the emission interval
+// elapsed and event time progressed.
+func (it *instance) maybeEmitSourceWM() {
+	interval := it.eng.cfg.WatermarkInterval
+	if interval <= 0 || it.maxEventNS == noWatermark {
+		return
+	}
+	now := it.eng.nowNS()
+	if now-it.lastWMAt < interval.Nanoseconds() {
+		return
+	}
+	it.lastWMAt = now
+	wm := it.maxEventNS - it.eng.cfg.WatermarkLag.Nanoseconds()
+	if wm > it.lastWMSent {
+		it.lastWMSent = wm
+		it.sendWatermark(wm)
+	}
+}
+
+// handleWatermark merges an incoming watermark into the per-channel state
+// and, when the combined (minimum) watermark advances, notifies the
+// operator and forwards downstream.
+func (it *instance) handleWatermark(m Message, ch int) {
+	if m.Watermark <= it.chanWM[ch] {
+		return
+	}
+	it.chanWM[ch] = m.Watermark
+	min := it.chanWM[0]
+	for _, wm := range it.chanWM[1:] {
+		if wm < min {
+			min = wm
+		}
+	}
+	if min <= it.curWM {
+		return
+	}
+	it.curWM = min
+	if wh, ok := it.oper.(WatermarkHandler); ok {
+		// Deterministic emission context: UIDs derive from the watermark
+		// value, so a window re-fired after recovery regenerates identical
+		// result identities.
+		it.curSchedNS = it.eng.nowNS()
+		it.curEventNS = min
+		it.curUID = deriveUID(uint64(min), it.gid, -2)
+		it.emitK = 0
+		wh.OnWatermark(it, min)
+	}
+	it.sendWatermark(min)
+}
+
+// capturedMsg is one in-flight envelope persisted as channel state by an
+// unaligned checkpoint.
+type capturedMsg struct {
+	queue int
+	data  []byte
+}
+
+// uaPending is an unaligned checkpoint in progress: the state snapshot was
+// taken at the first marker; in-flight (pre-barrier) messages are captured
+// as they are processed until every channel's barrier arrived and its
+// overtaken prefix drained.
+type uaPending struct {
+	round      uint64
+	t0         time.Time
+	stateBlob  []byte
+	meta       recovery.Meta
+	markerSeen []bool
+	// counted is the remaining pre-barrier messages per channel: -1 until
+	// the channel's marker arrives (capture everything), then the number
+	// of overtaken messages still queued.
+	counted  []int
+	captures []capturedMsg
+	seen     int
+}
+
+// run is the main loop of a non-source instance.
+func (it *instance) run() {
+	defer it.w.wg.Done()
+	timer := time.NewTimer(it.eng.cfg.PollInterval)
+	defer timer.Stop()
+	for {
+		for n := 0; n < 256; n++ {
+			if it.stopped() {
+				return
+			}
+			data, ch, ok := it.in.pop()
+			if !ok {
+				break
+			}
+			it.handle(data, ch)
+		}
+		if it.stopped() {
+			return
+		}
+		it.poll()
+		// Wait for work, a timer, or shutdown.
+		wait := it.eng.cfg.PollInterval
+		if it.timerAt >= 0 {
+			if d := time.Duration(it.timerAt - it.eng.nowNS()); d < wait {
+				wait = d
+			}
+		}
+		if it.in.pending() > 0 {
+			continue
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-it.in.notify:
+		case <-timer.C:
+		case <-it.w.stopCh:
+			return
+		}
+	}
+}
+
+func (it *instance) stopped() bool {
+	if it.dead.Load() {
+		return true
+	}
+	select {
+	case <-it.w.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// poll fires due timers, source watermarks, and protocol-initiated local
+// checkpoints.
+func (it *instance) poll() {
+	if it.spec.Source != nil {
+		it.maybeEmitSourceWM()
+	}
+	now := it.eng.nowNS()
+	if it.timerAt >= 0 && now >= it.timerAt {
+		it.timerAt = -1
+		if th, ok := it.oper.(TimerHandler); ok {
+			it.curSchedNS = now
+			it.curUID = deriveUID(uint64(now), it.gid, -1)
+			it.emitK = 0
+			th.OnTimer(it, now)
+		}
+	}
+	if it.ctrl != nil && it.ctrl.ShouldCheckpoint(time.Duration(now)) {
+		it.takeCheckpoint(0, false)
+	}
+}
+
+// handle processes one envelope from local input channel ch.
+func (it *instance) handle(data []byte, ch int) {
+	it.eng.netWork(data)
+	m, err := decodeMessage(data)
+	if err != nil {
+		it.eng.cfg.Recorder.Note("instance %s[%d]: corrupt message: %v", it.spec.Name, it.idx, err)
+		return
+	}
+	if m.Kind == msgMarker {
+		it.handleMarker(m, ch)
+		return
+	}
+	if m.Kind == msgWatermark {
+		it.handleWatermark(m, ch)
+		return
+	}
+	it.captureUnaligned(ch, data)
+	rec := it.eng.cfg.Recorder
+	if it.eng.exactOnce {
+		// Per-channel sequence deduplication for replayed traffic. Durable
+		// receive frontiers are exactly-once machinery; at-least-once mode
+		// processes replayed overlap again (Definition 2).
+		if m.Seq <= it.recvSeq[ch] {
+			rec.IncDupDropped()
+			return
+		}
+	}
+	if m.Seq > it.recvSeq[ch] {
+		it.recvSeq[ch] = m.Seq
+	}
+	if it.ctrl != nil {
+		if it.ctrl.OnReceive(it.inChans[ch].fromGID, m.Piggyback) {
+			it.takeCheckpoint(0, true)
+		}
+	}
+	if it.dedup != nil {
+		if it.dedup.Check(m.UID) {
+			rec.IncDupDropped()
+			return
+		}
+	}
+	if it.spec.Sink {
+		now := it.eng.nowNS()
+		rec.RecordSinkLatency(it.eng.start.Add(time.Duration(now)), time.Duration(now-m.SchedNS))
+		it.eng.output.add(OutputRecord{
+			Sink:    it.gid,
+			Epoch:   it.ckptSeq + 1,
+			Key:     m.Key,
+			Value:   m.Value,
+			UID:     m.UID,
+			SchedNS: m.SchedNS,
+			EmitNS:  now,
+		})
+	}
+	if it.stragglerNS > 0 {
+		spinUntil := time.Now().Add(time.Duration(it.stragglerNS))
+		for time.Now().Before(spinUntil) {
+			// Busy-wait: a straggler is slow, not idle — it holds its CPU,
+			// exactly like an overloaded worker.
+		}
+	}
+	it.curSchedNS = m.SchedNS
+	it.curEventNS = m.EventNS
+	it.curUID = m.UID
+	it.emitK = 0
+	it.oper.OnEvent(it, Event{Key: m.Key, Value: m.Value, SchedNS: m.SchedNS, EventNS: m.EventNS, UID: m.UID, Edge: m.Edge})
+	it.msgCount++
+	if it.msgCount%64 == 0 {
+		it.poll()
+	}
+}
+
+// handleMarker implements the alignment phase of the coordinated protocol,
+// or the capture phase of its unaligned variant.
+func (it *instance) handleMarker(m Message, ch int) {
+	if it.eng.unaligned {
+		it.handleUnalignedMarker(m, ch)
+		return
+	}
+	if !it.aligning {
+		it.aligning = true
+		it.alignRound = m.Round
+		for i := range it.alignGot {
+			it.alignGot[i] = false
+		}
+		it.alignCount = 0
+	}
+	if m.Round != it.alignRound {
+		it.eng.cfg.Recorder.Note("instance %s[%d]: marker round %d during alignment of %d", it.spec.Name, it.idx, m.Round, it.alignRound)
+		return
+	}
+	if it.alignGot[ch] {
+		return
+	}
+	it.alignGot[ch] = true
+	it.alignCount++
+	if it.alignCount < len(it.inChans) {
+		// Block the channel until all markers of this round arrived.
+		it.in.setBlocked(ch, true)
+		return
+	}
+	// All markers received: snapshot, forward markers, unblock.
+	it.takeCheckpoint(it.alignRound, false)
+	it.sendMarker(it.alignRound)
+	it.in.unblockAll()
+	it.aligning = false
+}
+
+// snapshotState serializes the instance state (counters, dedup, controller
+// and operator state) and builds the checkpoint metadata. It advances the
+// checkpoint sequence and notifies the controller.
+func (it *instance) snapshotState(round uint64, forced bool) ([]byte, recovery.Meta) {
+	it.ckptSeq++
+	enc := wire.NewEncoder(make([]byte, 0, 4096))
+	enc.Uvarint(it.ckptSeq)
+	enc.UvarintSlice(it.sentSeq)
+	enc.UvarintSlice(it.recvSeq)
+	enc.Uvarint(it.offset)
+	enc.Varint(it.maxEventNS)
+	enc.Varint(it.curWM)
+	enc.Uvarint(uint64(len(it.chanWM)))
+	for _, wm := range it.chanWM {
+		enc.Varint(wm)
+	}
+	if it.dedup != nil {
+		enc.Bool(true)
+		it.dedup.Snapshot(enc)
+	} else {
+		enc.Bool(false)
+	}
+	if it.ctrl != nil {
+		enc.Bool(true)
+		it.ctrl.Snapshot(enc)
+	} else {
+		enc.Bool(false)
+	}
+	if it.oper != nil {
+		enc.Bool(true)
+		it.oper.Snapshot(enc)
+	} else {
+		enc.Bool(false)
+	}
+	blob := append([]byte(nil), enc.Bytes()...)
+
+	meta := recovery.Meta{
+		Ref:      recovery.CkptRef{Instance: it.gid, Seq: it.ckptSeq},
+		SentUpTo: make(map[uint64]uint64, len(it.outChans)),
+		RecvUpTo: make(map[uint64]uint64, len(it.inChans)),
+		StoreKey: fmt.Sprintf("ckpt/%s/%s/%d/%d", it.eng.job.Name, it.spec.Name, it.idx, it.ckptSeq),
+		Round:    round,
+		Forced:   forced,
+		AtNS:     it.eng.nowNS(),
+	}
+	for i := range it.outChans {
+		meta.SentUpTo[it.outChans[i].key] = it.sentSeq[i]
+	}
+	for i := range it.inChans {
+		meta.RecvUpTo[it.inChans[i].key] = it.recvSeq[i]
+	}
+	rec := it.eng.cfg.Recorder
+	if forced {
+		rec.IncForcedCheckpoints()
+	} else if round == 0 {
+		rec.IncLocalCheckpoints()
+	}
+	if it.ctrl != nil {
+		it.ctrl.OnCheckpoint(forced)
+	}
+	return blob, meta
+}
+
+// upload persists a finished checkpoint asynchronously and reports it to
+// the coordinator once durable. Transient store errors are retried a few
+// times (an un-uploaded checkpoint simply never joins a recovery line, so
+// giving up after retries is safe).
+func (it *instance) upload(blob []byte, meta recovery.Meta, t0 time.Time) {
+	rec := it.eng.cfg.Recorder
+	w := it.w
+	w.uploadWG.Add(1)
+	go func() {
+		defer w.uploadWG.Done()
+		var err error
+		if it.eng.cfg.CompressCheckpoints {
+			if blob, err = flateCompress(blob); err != nil {
+				rec.Note("checkpoint compression %s failed: %v", meta.StoreKey, err)
+				return
+			}
+		}
+		for attempt := 0; attempt < storeRetries; attempt++ {
+			if err = it.eng.cfg.Store.Put(meta.StoreKey, blob); err == nil {
+				it.eng.coord.report(meta, time.Since(t0))
+				return
+			}
+		}
+		rec.Note("checkpoint upload %s failed after %d attempts: %v", meta.StoreKey, storeRetries, err)
+	}()
+}
+
+// storeRetries bounds the retry loops around object-store RPCs.
+const storeRetries = 4
+
+// takeCheckpoint snapshots the instance synchronously (this is the
+// processing stall the paper measures) and uploads asynchronously. round is
+// non-zero for coordinated checkpoints; forced marks CIC forced ones.
+func (it *instance) takeCheckpoint(round uint64, forced bool) {
+	t0 := time.Now()
+	blob, meta := it.snapshotState(round, forced)
+	// Aligned and local checkpoints carry no channel state.
+	enc := wire.NewEncoder(nil)
+	enc.Raw(blob)
+	enc.Uvarint(0)
+	it.upload(append([]byte(nil), enc.Bytes()...), meta, t0)
+}
+
+// handleUnalignedMarker implements the unaligned coordinated variant: the
+// first marker of a round triggers an immediate snapshot and immediate
+// marker forwarding (no blocking); pre-barrier in-flight messages are then
+// captured into the checkpoint as channel state while processing continues.
+func (it *instance) handleUnalignedMarker(m Message, ch int) {
+	if it.ua == nil {
+		blob, meta := it.snapshotState(m.Round, false)
+		it.ua = &uaPending{
+			round:      m.Round,
+			t0:         time.Now(),
+			stateBlob:  blob,
+			meta:       meta,
+			markerSeen: make([]bool, len(it.inChans)),
+			counted:    make([]int, len(it.inChans)),
+			seen:       0,
+		}
+		for i := range it.ua.counted {
+			it.ua.counted[i] = -1
+		}
+		it.sendMarker(m.Round)
+	}
+	if m.Round != it.ua.round {
+		it.eng.cfg.Recorder.Note("instance %s[%d]: unaligned marker round %d during round %d", it.spec.Name, it.idx, m.Round, it.ua.round)
+		return
+	}
+	if !it.ua.markerSeen[ch] {
+		it.ua.markerSeen[ch] = true
+		it.ua.seen++
+		// Messages the marker overtook are pre-barrier: capture that many
+		// more from this channel.
+		it.ua.counted[ch] = it.in.takeMarkCount(ch)
+	}
+	it.maybeFinalizeUnaligned()
+}
+
+// captureUnaligned records a pre-barrier message as channel state. Returns
+// immediately when no unaligned checkpoint is active.
+func (it *instance) captureUnaligned(ch int, data []byte) {
+	ua := it.ua
+	if ua == nil {
+		return
+	}
+	switch {
+	case ua.counted[ch] < 0: // marker not yet arrived: everything is pre-barrier
+		ua.captures = append(ua.captures, capturedMsg{queue: ch, data: data})
+	case ua.counted[ch] > 0:
+		ua.captures = append(ua.captures, capturedMsg{queue: ch, data: data})
+		ua.counted[ch]--
+		it.maybeFinalizeUnaligned()
+	}
+}
+
+// maybeFinalizeUnaligned completes the unaligned checkpoint once every
+// barrier arrived and all overtaken prefixes drained.
+func (it *instance) maybeFinalizeUnaligned() {
+	ua := it.ua
+	if ua == nil || ua.seen < len(it.inChans) {
+		return
+	}
+	for _, c := range ua.counted {
+		if c != 0 {
+			return
+		}
+	}
+	enc := wire.NewEncoder(make([]byte, 0, len(ua.stateBlob)+1024))
+	enc.Raw(ua.stateBlob)
+	enc.Uvarint(uint64(len(ua.captures)))
+	for _, c := range ua.captures {
+		enc.Uvarint(uint64(c.queue))
+		enc.Bytes2(c.data)
+	}
+	it.upload(append([]byte(nil), enc.Bytes()...), ua.meta, ua.t0)
+	it.ua = nil
+}
+
+// restore rebuilds instance state from a checkpoint blob.
+func (it *instance) restore(blob []byte) error {
+	dec := wire.NewDecoder(blob)
+	it.ckptSeq = dec.Uvarint()
+	sent := dec.UvarintSlice()
+	recv := dec.UvarintSlice()
+	it.offset = dec.Uvarint()
+	if len(sent) != len(it.sentSeq) || len(recv) != len(it.recvSeq) {
+		return fmt.Errorf("core: restore %s[%d]: channel count mismatch (%d/%d sent, %d/%d recv)",
+			it.spec.Name, it.idx, len(sent), len(it.sentSeq), len(recv), len(it.recvSeq))
+	}
+	copy(it.sentSeq, sent)
+	copy(it.recvSeq, recv)
+	it.maxEventNS = dec.Varint()
+	it.curWM = dec.Varint()
+	if n := int(dec.Uvarint()); n != len(it.chanWM) {
+		return fmt.Errorf("core: restore %s[%d]: watermark channel count mismatch (%d/%d)",
+			it.spec.Name, it.idx, n, len(it.chanWM))
+	}
+	for i := range it.chanWM {
+		it.chanWM[i] = dec.Varint()
+	}
+	if dec.Bool() {
+		ds, err := dedup.RestoreSet(dec)
+		if err != nil {
+			return fmt.Errorf("core: restore %s[%d] dedup: %w", it.spec.Name, it.idx, err)
+		}
+		it.dedup = ds
+	}
+	if dec.Bool() {
+		if it.ctrl == nil {
+			return fmt.Errorf("core: restore %s[%d]: checkpoint has controller state but protocol has none", it.spec.Name, it.idx)
+		}
+		if err := it.ctrl.Restore(dec); err != nil {
+			return fmt.Errorf("core: restore %s[%d] controller: %w", it.spec.Name, it.idx, err)
+		}
+	}
+	if dec.Bool() {
+		if it.oper == nil {
+			return fmt.Errorf("core: restore %s[%d]: checkpoint has operator state for a source", it.spec.Name, it.idx)
+		}
+		if err := it.oper.Restore(dec); err != nil {
+			return fmt.Errorf("core: restore %s[%d] operator: %w", it.spec.Name, it.idx, err)
+		}
+	}
+	// Channel state captured by an unaligned checkpoint: re-injected into
+	// this instance's inbox by the engine before it starts.
+	n := int(dec.Uvarint())
+	for i := 0; i < n; i++ {
+		queue := int(dec.Uvarint())
+		data := dec.Bytes()
+		if dec.Err() != nil {
+			break
+		}
+		if queue < 0 || queue >= len(it.inChans) {
+			return fmt.Errorf("core: restore %s[%d]: channel-state queue %d out of range", it.spec.Name, it.idx, queue)
+		}
+		it.pendingInject = append(it.pendingInject, capturedMsg{queue: queue, data: append([]byte(nil), data...)})
+	}
+	return dec.Err()
+}
+
+// runSource is the main loop of a source instance: rate-limited reads from
+// its broker partition, coordinated-round handling, and local checkpoints.
+func (it *instance) runSource(part sourcePartition) {
+	defer it.w.wg.Done()
+	timer := time.NewTimer(it.eng.cfg.PollInterval)
+	defer timer.Stop()
+	for {
+		if it.stopped() {
+			return
+		}
+		select {
+		case round := <-it.ctl:
+			it.takeCheckpoint(round, false)
+			it.sendMarker(round)
+			continue
+		default:
+		}
+		rec, ok := part.Read(it.offset)
+		if !ok {
+			// End of available input: idle-poll.
+			it.poll()
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(it.eng.cfg.PollInterval)
+			select {
+			case round := <-it.ctl:
+				it.takeCheckpoint(round, false)
+				it.sendMarker(round)
+			case <-timer.C:
+			case <-it.w.stopCh:
+				return
+			}
+			continue
+		}
+		// Respect the arrival schedule: never emit early.
+		for {
+			now := it.eng.nowNS()
+			d := rec.ScheduleNS - now
+			if d <= 0 {
+				it.lagNS.Store(-d)
+				break
+			}
+			it.lagNS.Store(0)
+			sleep := time.Duration(d)
+			if sleep > it.eng.cfg.PollInterval {
+				sleep = it.eng.cfg.PollInterval
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(sleep)
+			select {
+			case round := <-it.ctl:
+				it.takeCheckpoint(round, false)
+				it.sendMarker(round)
+			case <-timer.C:
+			case <-it.w.stopCh:
+				return
+			}
+			if it.stopped() {
+				return
+			}
+		}
+		uid := sourceUID(it.spec.Source.Topic, it.idx, rec.Offset)
+		eventNS := rec.ScheduleNS
+		if f := it.spec.Source.EventTime; f != nil {
+			eventNS = f(rec.Key, rec.Value)
+		}
+		if eventNS > it.maxEventNS {
+			it.maxEventNS = eventNS
+		}
+		for oe := range it.outEdges {
+			it.send(oe, rec.Key, rec.Value, rec.ScheduleNS, eventNS, uid)
+		}
+		it.offset = rec.Offset + 1
+		it.eng.volatileOffsets[it.gid].Store(it.offset)
+		it.msgCount++
+		if it.msgCount%64 == 0 {
+			it.poll()
+		}
+	}
+}
+
+// sourcePartition abstracts the broker partition a source reads.
+type sourcePartition interface {
+	Read(offset uint64) (sourceRecord, bool)
+}
+
+// sourceRecord mirrors mq.Record without importing it here (the engine
+// adapter wraps the broker).
+type sourceRecord struct {
+	Offset     uint64
+	ScheduleNS int64
+	Key        uint64
+	Value      wire.Value
+}

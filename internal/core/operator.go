@@ -1,0 +1,79 @@
+package core
+
+import (
+	"checkmate/internal/wire"
+)
+
+// Event is one record delivered to an operator.
+type Event struct {
+	// Key is the routing key the record was partitioned by.
+	Key uint64
+	// Value is the record payload.
+	Value wire.Value
+	// SchedNS is the arrival-schedule timestamp (ns since run start) of the
+	// source record this event derives from; it propagates through the
+	// pipeline for end-to-end latency measurement.
+	SchedNS int64
+	// UID is the deterministic provenance identifier of the record.
+	UID uint64
+	// Edge is the job-graph edge index the event arrived on, letting
+	// multi-input operators (joins, feedback consumers) distinguish sides.
+	Edge int
+	// EventNS is the record's event-time timestamp. Equal to SchedNS
+	// unless the source extracts an event time from the payload.
+	EventNS int64
+}
+
+// Context is the API an operator uses to interact with the runtime during
+// OnEvent/OnTimer. It is only valid for the duration of the callback.
+type Context interface {
+	// Emit sends a record on the operator's first outgoing edge.
+	Emit(key uint64, v wire.Value)
+	// EmitTo sends a record on the k-th outgoing edge of the operator (in
+	// JobSpec.Edges order restricted to this operator).
+	EmitTo(outEdge int, key uint64, v wire.Value)
+	// Index reports the instance index within the operator.
+	Index() int
+	// Parallelism reports the operator's parallelism.
+	Parallelism() int
+	// NowNS reports nanoseconds since run start.
+	NowNS() int64
+	// SetTimer schedules (or reschedules) the instance's single pending
+	// timer; OnTimer fires once no earlier than atNS.
+	SetTimer(atNS int64)
+	// WatermarkNS reports the instance's current event-time watermark:
+	// the minimum over all input channels of the last watermark received.
+	// math.MinInt64 until every input channel delivered one. Watermarks
+	// only flow when Config.WatermarkInterval is set.
+	WatermarkNS() int64
+}
+
+// Operator is the user logic of a non-source operator instance. Operators
+// are single-threaded: the runtime invokes all callbacks from the instance's
+// own goroutine.
+type Operator interface {
+	// OnEvent processes one record.
+	OnEvent(ctx Context, ev Event)
+	// Snapshot appends the operator state to enc. Together with Restore it
+	// must round-trip the full state.
+	Snapshot(enc *wire.Encoder)
+	// Restore rebuilds state written by Snapshot.
+	Restore(dec *wire.Decoder) error
+}
+
+// TimerHandler is implemented by operators that use Context.SetTimer.
+type TimerHandler interface {
+	// OnTimer fires when a timer set via SetTimer expires.
+	OnTimer(ctx Context, nowNS int64)
+}
+
+// WatermarkHandler is implemented by operators reacting to event-time
+// progress (e.g. event-time windows firing when the watermark passes their
+// end). OnWatermark is invoked from the instance goroutine whenever the
+// instance's combined watermark advances; emissions during the callback
+// derive deterministic UIDs from the watermark value, so results re-fired
+// after a recovery deduplicate exactly.
+type WatermarkHandler interface {
+	// OnWatermark fires when the instance's watermark advances to wmNS.
+	OnWatermark(ctx Context, wmNS int64)
+}

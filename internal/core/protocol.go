@@ -1,0 +1,98 @@
+package core
+
+import (
+	"time"
+
+	"checkmate/internal/wire"
+)
+
+// Kind classifies a checkpointing protocol family; the engine derives the
+// mechanisms to activate from it (Table I of the paper).
+type Kind int
+
+// Protocol kinds.
+const (
+	// KindNone disables checkpointing (baseline). Failures lose state.
+	KindNone Kind = iota
+	// KindCoordinated is the coordinated aligned protocol: marker
+	// circulation, channel blocking, no logging, no dedup.
+	KindCoordinated
+	// KindUncoordinated takes independent local checkpoints and needs
+	// in-flight message logging, replay and deduplication.
+	KindUncoordinated
+	// KindCIC is communication-induced checkpointing: uncoordinated
+	// mechanisms plus piggybacked control state and forced checkpoints.
+	KindCIC
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "NONE"
+	case KindCoordinated:
+		return "COOR"
+	case KindUncoordinated:
+		return "UNC"
+	case KindCIC:
+		return "CIC"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// NeedsLogging reports whether the kind requires in-flight message logging
+// and deduplication.
+func (k Kind) NeedsLogging() bool { return k == KindUncoordinated || k == KindCIC }
+
+// NeedsAlignment reports whether the kind uses markers and channel blocking.
+func (k Kind) NeedsAlignment() bool { return k == KindCoordinated }
+
+// Features is the qualitative feature matrix of Table I.
+type Features struct {
+	BlockingMarkers    bool
+	InFlightLogging    bool
+	DedupRequired      bool
+	MessageOverhead    bool
+	IndependentCkpts   bool
+	StragglerStalls    bool
+	UnusedCheckpoints  bool
+	ForcedCheckpoints  bool
+	SupportsCycles     bool
+	RecoveryLineNeeded bool
+}
+
+// Controller is the per-instance protocol logic. The runtime invokes it from
+// the instance goroutine only; implementations need no locking.
+type Controller interface {
+	// OnSend is called before a data message is sent to global instance
+	// `to`; the controller may append piggyback bytes to enc.
+	OnSend(to int, enc *wire.Encoder)
+	// OnReceive is called when a data message from global instance `from`
+	// with the given piggyback arrives, before processing. Returning true
+	// forces a checkpoint before the message is processed.
+	OnReceive(from int, piggyback []byte) (forceCheckpoint bool)
+	// ShouldCheckpoint is polled periodically with the time since run
+	// start; returning true triggers a local checkpoint.
+	ShouldCheckpoint(now time.Duration) bool
+	// OnCheckpoint is called after a checkpoint is taken (forced reports
+	// whether it was protocol-forced).
+	OnCheckpoint(forced bool)
+	// Snapshot/Restore persist the controller state inside checkpoints.
+	Snapshot(enc *wire.Encoder)
+	Restore(dec *wire.Decoder) error
+}
+
+// Protocol is a checkpointing protocol implementation.
+type Protocol interface {
+	// Name is the display name.
+	Name() string
+	// Kind classifies the protocol.
+	Kind() Kind
+	// Features returns the Table I feature row.
+	Features() Features
+	// NewController builds the per-instance controller for global instance
+	// self out of total instances. It may return nil when the protocol
+	// needs no per-instance logic (NONE, COOR).
+	NewController(self, total int, interval time.Duration, seed int64) Controller
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"sync"
+)
+
+// inbox is the receive side of one operator instance: one bounded FIFO queue
+// per incoming channel plus a wakeup signal. Senders block when a queue is
+// full (backpressure); the receiver scans queues round-robin, skipping
+// channels blocked by checkpoint-marker alignment.
+type inbox struct {
+	mu     sync.Mutex
+	queues []*chQueue
+	notify chan struct{}
+	rr     int
+	closed bool
+}
+
+// chQueue is one bounded per-channel FIFO of serialized envelopes.
+type chQueue struct {
+	buf     [][]byte
+	head    int
+	cap     int
+	blocked bool // alignment: do not deliver, do not drain
+	cond    *sync.Cond
+	// markCount records how many pre-barrier messages were overtaken by
+	// the last front-inserted (unaligned) marker.
+	markCount int
+}
+
+func newInbox(caps []int) *inbox {
+	in := &inbox{
+		queues: make([]*chQueue, len(caps)),
+		notify: make(chan struct{}, 1),
+	}
+	for i, c := range caps {
+		q := &chQueue{cap: c}
+		q.cond = sync.NewCond(&in.mu)
+		in.queues[i] = q
+	}
+	return in
+}
+
+func (q *chQueue) len() int { return len(q.buf) - q.head }
+
+// push appends an envelope to queue ch, blocking while the queue is full.
+// It returns false if the inbox was closed (world stopping) before the
+// message could be enqueued.
+func (in *inbox) push(ch int, data []byte) bool {
+	in.mu.Lock()
+	q := in.queues[ch]
+	for q.len() >= q.cap && !in.closed {
+		q.cond.Wait()
+	}
+	if in.closed {
+		in.mu.Unlock()
+		return false
+	}
+	q.buf = append(q.buf, data)
+	in.mu.Unlock()
+	select {
+	case in.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// pushFront inserts an envelope at the head of queue ch, overtaking all
+// queued messages (unaligned checkpoint markers). It never blocks and
+// records the number of overtaken messages in the queue's markCount.
+func (in *inbox) pushFront(ch int, data []byte) bool {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return false
+	}
+	q := in.queues[ch]
+	q.markCount = q.len()
+	if q.head > 0 {
+		q.head--
+		q.buf[q.head] = data
+	} else {
+		q.buf = append(q.buf, nil)
+		copy(q.buf[1:], q.buf)
+		q.buf[0] = data
+	}
+	in.mu.Unlock()
+	select {
+	case in.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// takeMarkCount reads and clears the overtaken-message count of queue ch.
+func (in *inbox) takeMarkCount(ch int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.queues[ch].markCount
+	in.queues[ch].markCount = 0
+	return n
+}
+
+// force appends an envelope ignoring the capacity bound. Used to pre-load
+// replayed in-flight messages before a recovered instance starts.
+func (in *inbox) force(ch int, data []byte) {
+	in.mu.Lock()
+	in.queues[ch].buf = append(in.queues[ch].buf, data)
+	in.mu.Unlock()
+	select {
+	case in.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes and returns the next deliverable envelope, scanning
+// round-robin over non-blocked queues. ok is false when nothing is
+// deliverable.
+func (in *inbox) pop() (data []byte, ch int, ok bool) {
+	in.mu.Lock()
+	n := len(in.queues)
+	for i := 0; i < n; i++ {
+		idx := (in.rr + i) % n
+		q := in.queues[idx]
+		if q.blocked || q.len() == 0 {
+			continue
+		}
+		data = q.buf[q.head]
+		q.buf[q.head] = nil
+		q.head++
+		if q.head == len(q.buf) {
+			q.buf = q.buf[:0]
+			q.head = 0
+		} else if q.head > 4096 && q.head*2 > len(q.buf) {
+			q.buf = append(q.buf[:0:0], q.buf[q.head:]...)
+			q.head = 0
+		}
+		if q.len() == q.cap-1 {
+			q.cond.Broadcast()
+		}
+		in.rr = (idx + 1) % n
+		in.mu.Unlock()
+		return data, idx, true
+	}
+	in.mu.Unlock()
+	return nil, 0, false
+}
+
+// setBlocked marks queue ch as (un)blocked for alignment. Unblocking wakes
+// both the receiver and any waiting senders.
+func (in *inbox) setBlocked(ch int, blocked bool) {
+	in.mu.Lock()
+	in.queues[ch].blocked = blocked
+	if !blocked {
+		in.queues[ch].cond.Broadcast()
+	}
+	in.mu.Unlock()
+	if !blocked {
+		select {
+		case in.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// unblockAll clears all alignment blocks.
+func (in *inbox) unblockAll() {
+	in.mu.Lock()
+	for _, q := range in.queues {
+		if q.blocked {
+			q.blocked = false
+			q.cond.Broadcast()
+		}
+	}
+	in.mu.Unlock()
+	select {
+	case in.notify <- struct{}{}:
+	default:
+	}
+}
+
+// close marks the inbox closed and wakes all blocked senders; pushes fail
+// from now on.
+func (in *inbox) close() {
+	in.mu.Lock()
+	in.closed = true
+	for _, q := range in.queues {
+		q.cond.Broadcast()
+	}
+	in.mu.Unlock()
+	select {
+	case in.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pending reports the number of queued envelopes currently deliverable
+// (alignment-blocked channels excluded — their contents cannot be consumed
+// until the round completes).
+func (in *inbox) pending() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, q := range in.queues {
+		if !q.blocked {
+			n += q.len()
+		}
+	}
+	return n
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/wire"
+)
+
+// highBitKeyBy rekeys every record with the top bit set — keys >= 2^63 used
+// to break hash routing via signed modulo (regression test).
+type highBitKeyBy struct{}
+
+func (highBitKeyBy) OnEvent(ctx Context, ev Event) {
+	ctx.Emit(ev.Key|1<<63, ev.Value)
+}
+func (highBitKeyBy) Snapshot(enc *wire.Encoder)      {}
+func (highBitKeyBy) Restore(dec *wire.Decoder) error { return nil }
+
+func TestHashRoutingLargeKeys(t *testing.T) {
+	env, _ := buildEnv(t, 2, 1000, 20000)
+	job := &JobSpec{
+		Name: "bigkeys",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nums"}},
+			{Name: "rekey", New: func(int) Operator { return highBitKeyBy{} }},
+			{Name: "sink", Sink: true, New: func(idx int) Operator {
+				s := newKeyedSum()
+				env.sinks[idx] = s
+				return s
+			}},
+		},
+		Edges: []EdgeSpec{
+			{From: 0, To: 1, Part: Forward},
+			{From: 1, To: 2, Part: Hash},
+		},
+	}
+	eng, err := NewEngine(env.config(nullProto{KindUncoordinated, "UNC"}), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	if _, total := collectSums(eng, env.workers); total != 1000*1 {
+		t.Fatalf("total = %d, want %d", total, 1000)
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"checkmate/internal/wire"
+)
+
+// Rescalable is implemented by operators whose state can be redistributed
+// across a different parallelism. ExportKeyed decomposes the state into
+// (routing key, opaque payload) entries; on restore the engine routes each
+// entry to the new instance its key hashes to — the same `key mod
+// parallelism` rule the Hash partitioner applies to records — and merges it
+// via ImportKeyed. Operators whose state is not keyed by the routing key
+// (or not keyed at all) should not implement Rescalable; they restore only
+// at unchanged parallelism.
+type Rescalable interface {
+	Operator
+	// ExportKeyed invokes emit once per keyed state entry.
+	ExportKeyed(emit func(key uint64, payload []byte))
+	// ImportKeyed merges one entry previously produced by ExportKeyed.
+	ImportKeyed(key uint64, payload []byte) error
+}
+
+// KeyedEntry is one exported keyed-state entry of a savepoint.
+type KeyedEntry struct {
+	Key     uint64
+	Payload []byte
+}
+
+// Savepoint is a self-contained, parallelism-independent image of a
+// *drained* pipeline: all input consumed so far is fully reflected in
+// operator state and no message is in flight. It is the stop-with-savepoint
+// primitive production systems use for upgrades and rescaling: a new engine
+// can resume from it with a different worker count, redistributing the
+// keyed state of Rescalable operators. (Checkpoint-based recovery, by
+// contrast, restores in-flight channel state and therefore requires
+// unchanged parallelism.)
+type Savepoint struct {
+	// JobName records the origin job (informational).
+	JobName string
+	// Keyed holds the merged keyed entries of each Rescalable operator,
+	// by operator name.
+	Keyed map[string][]KeyedEntry
+	// Opaque holds the per-instance state blobs of operators that are not
+	// Rescalable, by operator name. Restorable only at unchanged
+	// parallelism — except all-empty blobs (stateless operators), which
+	// restore anywhere.
+	Opaque map[string][][]byte
+	// Offsets holds the per-partition source read positions, by source
+	// operator name. Source parallelism is bound to topic partitions and
+	// never rescales.
+	Offsets map[string][]uint64
+}
+
+// ExportSavepoint captures a savepoint from a stopped, drained engine.
+// Call after Stop(); it fails if any instance still has queued input (the
+// savepoint would silently drop those messages).
+func (e *Engine) ExportSavepoint() (*Savepoint, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.stopped {
+		return nil, fmt.Errorf("core: savepoint requires a stopped engine")
+	}
+	if e.world == nil {
+		return nil, fmt.Errorf("core: engine never started")
+	}
+	sp := &Savepoint{
+		JobName: e.job.Name,
+		Keyed:   make(map[string][]KeyedEntry),
+		Opaque:  make(map[string][][]byte),
+		Offsets: make(map[string][]uint64),
+	}
+	for op := range e.job.Ops {
+		spec := &e.job.Ops[op]
+		for idx := 0; idx < e.par[op]; idx++ {
+			it := e.world.instances[e.gidOf(op, idx)]
+			if it.in != nil && it.in.pending() > 0 {
+				return nil, fmt.Errorf("core: savepoint of %q: instance %s[%d] has %d undrained messages",
+					e.job.Name, spec.Name, idx, it.in.pending())
+			}
+			switch {
+			case spec.Source != nil:
+				sp.Offsets[spec.Name] = append(sp.Offsets[spec.Name], it.offset)
+			default:
+				if r, ok := it.oper.(Rescalable); ok {
+					r.ExportKeyed(func(key uint64, payload []byte) {
+						sp.Keyed[spec.Name] = append(sp.Keyed[spec.Name],
+							KeyedEntry{Key: key, Payload: append([]byte(nil), payload...)})
+					})
+				} else {
+					enc := wire.NewEncoder(nil)
+					it.oper.Snapshot(enc)
+					sp.Opaque[spec.Name] = append(sp.Opaque[spec.Name], append([]byte(nil), enc.Bytes()...))
+				}
+			}
+		}
+	}
+	return sp, nil
+}
+
+// ApplySavepoint arms a freshly built (not yet started) engine to
+// initialize its first world from the savepoint. The new job may declare a
+// different parallelism for Rescalable operators; source operators must
+// keep the parallelism recorded in the savepoint (their instances are
+// bound to topic partitions), and non-Rescalable stateful operators must
+// keep theirs.
+func (e *Engine) ApplySavepoint(sp *Savepoint) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.world != nil {
+		return fmt.Errorf("core: savepoint must be applied before Start")
+	}
+	// Validate coverage before arming: every operator of the new job needs
+	// matching savepoint data.
+	for op := range e.job.Ops {
+		spec := &e.job.Ops[op]
+		switch {
+		case spec.Source != nil:
+			offs, ok := sp.Offsets[spec.Name]
+			if !ok {
+				return fmt.Errorf("core: savepoint has no offsets for source %q", spec.Name)
+			}
+			if len(offs) != e.par[op] {
+				return fmt.Errorf("core: source %q parallelism %d differs from savepoint's %d (sources cannot rescale)",
+					spec.Name, e.par[op], len(offs))
+			}
+		default:
+			if _, ok := sp.Keyed[spec.Name]; ok {
+				continue
+			}
+			blobs, ok := sp.Opaque[spec.Name]
+			if !ok {
+				return fmt.Errorf("core: savepoint has no state for operator %q", spec.Name)
+			}
+			stateless := true
+			for _, b := range blobs {
+				if len(b) > 0 {
+					stateless = false
+					break
+				}
+			}
+			if !stateless && len(blobs) != e.par[op] {
+				return fmt.Errorf("core: operator %q is stateful and not Rescalable: parallelism %d differs from savepoint's %d",
+					spec.Name, e.par[op], len(blobs))
+			}
+		}
+	}
+	e.savepoint = sp
+	return nil
+}
+
+// applySavepointLocked initializes the instances of the first world from
+// the armed savepoint. Called from buildWorld.
+func (e *Engine) applySavepointLocked(w *world) error {
+	sp := e.savepoint
+	for op := range e.job.Ops {
+		spec := &e.job.Ops[op]
+		for idx := 0; idx < e.par[op]; idx++ {
+			it := w.instances[e.gidOf(op, idx)]
+			switch {
+			case spec.Source != nil:
+				it.offset = sp.Offsets[spec.Name][idx]
+				e.volatileOffsets[it.gid].Store(it.offset)
+			default:
+				if entries, ok := sp.Keyed[spec.Name]; ok {
+					r, isR := it.oper.(Rescalable)
+					if !isR {
+						return fmt.Errorf("core: savepoint has keyed state for %q but the operator is not Rescalable", spec.Name)
+					}
+					par := uint64(e.par[op])
+					for _, en := range entries {
+						if en.Key%par != uint64(idx) {
+							continue
+						}
+						if err := r.ImportKeyed(en.Key, en.Payload); err != nil {
+							return fmt.Errorf("core: import keyed state of %q[%d]: %w", spec.Name, idx, err)
+						}
+					}
+					continue
+				}
+				blobs := sp.Opaque[spec.Name]
+				if idx < len(blobs) && len(blobs[idx]) > 0 {
+					if err := it.oper.Restore(wire.NewDecoder(blobs[idx])); err != nil {
+						return fmt.Errorf("core: restore opaque state of %q[%d]: %w", spec.Name, idx, err)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/metrics"
+	"checkmate/internal/mq"
+	"checkmate/internal/objstore"
+)
+
+// spEnv is the rescaling test fixture: a broker topic with a fixed
+// partition count (= source parallelism) fed in two batches, and a
+// source -> map -> keyedSum job whose sink parallelism can change between
+// runs.
+type spEnv struct {
+	broker     *mq.Broker
+	topic      *mq.Topic
+	partitions int
+	appended   int // records appended so far (used for key continuity)
+}
+
+func newSPEnv(t *testing.T, partitions int) *spEnv {
+	t.Helper()
+	env := &spEnv{broker: mq.NewBroker(), partitions: partitions}
+	topic, err := env.broker.CreateTopic("nums", partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.topic = topic
+	return env
+}
+
+// feed appends `records` more records spread over the partitions, scheduled
+// from time zero at the given rate (each engine run has its own clock).
+func (env *spEnv) feed(records int, rate float64) {
+	perPart := records / env.partitions
+	for p := 0; p < env.partitions; p++ {
+		for i := 0; i < perPart; i++ {
+			key := uint64(env.appended + p*perPart + i)
+			sched := int64(float64(i) / rate * float64(time.Second))
+			env.topic.Partition(p).Append(sched, key, &intVal{N: 1})
+		}
+	}
+	env.appended += perPart * env.partitions
+}
+
+// job builds the pipeline with the source pinned to the topic partitions
+// and the map/sink at the engine's worker count.
+func (env *spEnv) job(sinks []*keyedSum) *JobSpec {
+	return &JobSpec{
+		Name: "rescale",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nums"}, Parallelism: env.partitions},
+			{Name: "map", New: func(int) Operator { return doubler{} }},
+			{Name: "sink", Sink: true, New: func(idx int) Operator {
+				s := newKeyedSum()
+				sinks[idx] = s
+				return s
+			}},
+		},
+		Edges: []EdgeSpec{
+			{From: 0, To: 1, Part: Hash},
+			{From: 1, To: 2, Part: Hash},
+		},
+	}
+}
+
+func (env *spEnv) config(workers int) Config {
+	return Config{
+		Workers:            workers,
+		Protocol:           nullProto{KindUncoordinated, "UNC"},
+		CheckpointInterval: 60 * time.Millisecond,
+		ChannelCap:         64,
+		Broker:             env.broker,
+		Store:              objstore.New(objstore.Config{PutLatency: 200 * time.Microsecond}),
+		Recorder:           metrics.NewRecorder(time.Now(), 30*time.Second, time.Second),
+		PollInterval:       time.Millisecond,
+		Seed:               42,
+	}
+}
+
+// runPhase starts an engine (optionally from a savepoint), drains the
+// available input, stops, and returns the engine.
+func (env *spEnv) runPhase(t *testing.T, workers int, sp *Savepoint) (*Engine, []*keyedSum) {
+	t.Helper()
+	sinks := make([]*keyedSum, workers)
+	cfg := env.config(workers)
+	eng, err := NewEngine(cfg, env.job(sinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp != nil {
+		if err := eng.ApplySavepoint(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	limit := time.Now().Add(15 * time.Second)
+	var last uint64
+	stable := time.Now()
+	for time.Now().Before(limit) {
+		if n := cfg.Recorder.SinkCount(); n != last {
+			last = n
+			stable = time.Now()
+		}
+		if eng.SourceBacklog() == 0 && time.Since(stable) > 200*time.Millisecond {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	eng.Stop()
+	return eng, sinks
+}
+
+// mergeSums collects the final keyed sums across sink instances.
+func mergeSums(sinks []*keyedSum) (map[uint64]uint64, uint64) {
+	merged := make(map[uint64]uint64)
+	var total uint64
+	for _, s := range sinks {
+		if s == nil {
+			continue
+		}
+		sums, tot := s.snapshotTotals()
+		for k, v := range sums {
+			merged[k] += v
+		}
+		total += tot
+	}
+	return merged, total
+}
+
+// testRescale runs phase 1 at 2 sink workers, savepoints, rescales to
+// `newWorkers`, feeds more input, and verifies the final state equals a
+// straight-through baseline.
+func testRescale(t *testing.T, newWorkers int) {
+	const batch = 3000
+
+	// Baseline: everything in one run at the original parallelism.
+	base := newSPEnv(t, 2)
+	base.feed(2*batch, 30000)
+	_, baseSinks := base.runPhase(t, 2, nil)
+	wantSums, wantTotal := mergeSums(baseSinks)
+	if wantTotal != 2*batch*2 { // doubler: every record contributes 2
+		t.Fatalf("baseline total = %d", wantTotal)
+	}
+
+	// Phase 1 at 2 workers, then savepoint.
+	env := newSPEnv(t, 2)
+	env.feed(batch, 30000)
+	eng1, _ := env.runPhase(t, 2, nil)
+	sp, err := eng1.ExportSavepoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Offsets["src"]) != 2 || len(sp.Keyed["sink"]) == 0 {
+		t.Fatalf("savepoint = offsets %v, keyed %d entries", sp.Offsets, len(sp.Keyed["sink"]))
+	}
+
+	// Phase 2: more input, rescaled sink.
+	env.feed(batch, 30000)
+	_, sinks2 := env.runPhase(t, newWorkers, sp)
+	gotSums, gotTotal := mergeSums(sinks2)
+
+	if gotTotal != wantTotal {
+		t.Fatalf("total after rescale to %d workers = %d, baseline %d", newWorkers, gotTotal, wantTotal)
+	}
+	if len(gotSums) != len(wantSums) {
+		t.Fatalf("distinct keys = %d, baseline %d", len(gotSums), len(wantSums))
+	}
+	for k, v := range wantSums {
+		if gotSums[k] != v {
+			t.Fatalf("key %d: sum %d, baseline %d", k, gotSums[k], v)
+		}
+	}
+}
+
+func TestSavepointRescaleUp(t *testing.T)   { testRescale(t, 3) }
+func TestSavepointRescaleDown(t *testing.T) { testRescale(t, 1) }
+func TestSavepointSameParallelism(t *testing.T) {
+	testRescale(t, 2)
+}
+
+func TestSavepointValidation(t *testing.T) {
+	env := newSPEnv(t, 2)
+	env.feed(1000, 30000)
+	eng, _ := env.runPhase(t, 2, nil)
+	sp, err := eng.ExportSavepoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Source parallelism cannot change.
+	bad := newSPEnv(t, 3)
+	bad.feed(300, 30000)
+	sinks := make([]*keyedSum, 3)
+	eng2, err := NewEngine(bad.config(3), bad.job(sinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.ApplySavepoint(sp); err == nil {
+		t.Fatal("source rescale must be rejected")
+	}
+
+	// Missing operator state must be rejected.
+	spBroken := *sp
+	spBroken.Keyed = map[string][]KeyedEntry{}
+	spBroken.Opaque = map[string][][]byte{"map": sp.Opaque["map"]}
+	sinks = make([]*keyedSum, 2)
+	eng3, err := NewEngine(env.config(2), env.job(sinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng3.ApplySavepoint(&spBroken); err == nil {
+		t.Fatal("missing sink state must be rejected")
+	}
+
+	// Applying after Start is rejected.
+	sinks = make([]*keyedSum, 2)
+	eng4, err := NewEngine(env.config(2), env.job(sinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng4.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng4.Stop()
+	if err := eng4.ApplySavepoint(sp); err == nil {
+		t.Fatal("savepoint after Start must be rejected")
+	}
+}
+
+func TestExportSavepointRequiresStopped(t *testing.T) {
+	env := newSPEnv(t, 2)
+	env.feed(500, 30000)
+	sinks := make([]*keyedSum, 2)
+	eng, err := NewEngine(env.config(2), env.job(sinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExportSavepoint(); err == nil {
+		t.Fatal("savepoint of a running engine must be rejected")
+	}
+	eng.Stop()
+	if _, err := eng.ExportSavepoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSavepointStatelessOpaqueRescales checks the all-empty-blob rule: a
+// stateless non-Rescalable operator (doubler) restores at any parallelism.
+func TestSavepointStatelessOpaqueRescales(t *testing.T) {
+	env := newSPEnv(t, 2)
+	env.feed(1000, 30000)
+	eng, _ := env.runPhase(t, 2, nil)
+	sp, err := eng.ExportSavepoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := sp.Opaque["map"]
+	if len(blobs) != 2 {
+		t.Fatalf("map blobs = %d", len(blobs))
+	}
+	for _, b := range blobs {
+		if len(b) != 0 {
+			t.Fatalf("doubler snapshot not empty: %d bytes", len(b))
+		}
+	}
+	env.feed(1000, 30000)
+	if _, sinks := env.runPhase(t, 4, sp); sinks[3] == nil {
+		t.Fatal("rescaled world incomplete")
+	}
+}

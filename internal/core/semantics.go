@@ -1,0 +1,56 @@
+package core
+
+import "fmt"
+
+// Semantics selects the processing guarantee the engine enforces for the
+// logging protocol families (UNC/CIC), per the paper's Definitions 1-3
+// (§II-A). The coordinated protocol is exactly-once by construction
+// (alignment yields a consistent frontier without logging), and the
+// checkpoint-free baseline is inherently at-most-once; for those kinds the
+// knob is a no-op.
+type Semantics int
+
+const (
+	// ExactlyOnce (the default) replays exact in-flight ranges and
+	// deduplicates, so every state change is reflected exactly once
+	// (Definition 3).
+	ExactlyOnce Semantics = iota
+	// AtLeastOnce keeps in-flight logging and replay but drops the
+	// deduplication machinery (the durable per-channel receive frontiers
+	// and the UID ring): recovery conservatively replays every retained log
+	// entry, so no message is lost but some are processed more than once
+	// (Definition 2).
+	AtLeastOnce
+	// AtMostOnce drops the in-flight log entirely: recovery restores the
+	// recovery line and resumes, losing the messages that were in flight
+	// across it — the paper's "gap recovery" (Definition 1).
+	AtMostOnce
+)
+
+// String names the guarantee.
+func (s Semantics) String() string {
+	switch s {
+	case ExactlyOnce:
+		return "exactly-once"
+	case AtLeastOnce:
+		return "at-least-once"
+	case AtMostOnce:
+		return "at-most-once"
+	default:
+		return fmt.Sprintf("semantics(%d)", int(s))
+	}
+}
+
+// SemanticsByName resolves a guarantee by name.
+func SemanticsByName(name string) (Semantics, error) {
+	switch name {
+	case "exactly-once", "exactly_once", "exactly":
+		return ExactlyOnce, nil
+	case "at-least-once", "at_least_once", "at-least":
+		return AtLeastOnce, nil
+	case "at-most-once", "at_most_once", "at-most":
+		return AtMostOnce, nil
+	default:
+		return 0, fmt.Errorf("core: unknown semantics %q", name)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/metrics"
+)
+
+func TestSemanticsString(t *testing.T) {
+	cases := map[Semantics]string{
+		ExactlyOnce:   "exactly-once",
+		AtLeastOnce:   "at-least-once",
+		AtMostOnce:    "at-most-once",
+		Semantics(99): "semantics(99)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestSemanticsByName(t *testing.T) {
+	for _, name := range []string{"exactly-once", "at-least-once", "at-most-once"} {
+		s, err := SemanticsByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.String() != name {
+			t.Fatalf("round trip %q -> %v", name, s)
+		}
+	}
+	if _, err := SemanticsByName("twice"); err == nil {
+		t.Fatal("unknown semantics accepted")
+	}
+}
+
+// runSemantics executes the standard counting pipeline under UNC with the
+// given guarantee and one mid-run worker failure, returning the final summed
+// state and the run summary.
+func runSemantics(t *testing.T, sem Semantics) (uint64, metrics.Summary) {
+	t.Helper()
+	env, job := buildEnv(t, 2, 3000, 12000)
+	cfg := env.config(nullProto{KindUncoordinated, "UNC"})
+	cfg.Semantics = sem
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	eng.InjectFailure(1)
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	_, total := collectSums(eng, env.workers)
+	return total, env.recorder.Summarize(false)
+}
+
+// Definition 3 (§II-A): exactly-once — the final state equals the
+// failure-free state.
+func TestSemanticsExactlyOnceUnderFailure(t *testing.T) {
+	total, sum := runSemantics(t, ExactlyOnce)
+	if want := uint64(3000 * 2); total != want {
+		t.Fatalf("exactly-once total = %d, want %d", total, want)
+	}
+	if sum.Failures != 1 {
+		t.Fatalf("failures = %d", sum.Failures)
+	}
+}
+
+// Definition 2: at-least-once — nothing is lost; duplicates are allowed (and
+// with the conservative full-log replay, expected).
+func TestSemanticsAtLeastOnceUnderFailure(t *testing.T) {
+	total, sum := runSemantics(t, AtLeastOnce)
+	if want := uint64(3000 * 2); total < want {
+		t.Fatalf("at-least-once lost records: total = %d, want >= %d", total, want)
+	}
+	if sum.DupDropped != 0 {
+		t.Fatalf("at-least-once ran dedup machinery: DupDropped = %d", sum.DupDropped)
+	}
+	t.Logf("at-least-once total = %d (failure-free = %d, overshoot = %d)", total, 3000*2, total-3000*2)
+}
+
+// Definition 1: at-most-once — nothing is processed twice; in-flight records
+// across the recovery line are lost.
+func TestSemanticsAtMostOnceUnderFailure(t *testing.T) {
+	total, sum := runSemantics(t, AtMostOnce)
+	if want := uint64(3000 * 2); total > want {
+		t.Fatalf("at-most-once duplicated records: total = %d, want <= %d", total, want)
+	}
+	if sum.ReplayMessages != 0 {
+		t.Fatalf("at-most-once replayed %d messages", sum.ReplayMessages)
+	}
+	t.Logf("at-most-once total = %d (failure-free = %d, lost = %d)", total, 3000*2, 3000*2-total)
+}
+
+// Without a failure every guarantee produces the exact result: the
+// guarantees only differ in what recovery may lose or re-process.
+func TestSemanticsEquivalentFailureFree(t *testing.T) {
+	for _, sem := range []Semantics{ExactlyOnce, AtLeastOnce, AtMostOnce} {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			env, job := buildEnv(t, 2, 2000, 12000)
+			cfg := env.config(nullProto{KindUncoordinated, "UNC"})
+			cfg.Semantics = sem
+			eng, err := NewEngine(cfg, job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Start(); err != nil {
+				t.Fatal(err)
+			}
+			waitDrained(t, eng, env, 15*time.Second)
+			eng.Stop()
+			if _, total := collectSums(eng, env.workers); total != 2000*2 {
+				t.Fatalf("%v failure-free total = %d, want %d", sem, total, 2000*2)
+			}
+		})
+	}
+}
+
+// The knob is a no-op for the coordinated protocol: alignment provides
+// exactly-once without logging, so weakening the guarantee changes nothing.
+func TestSemanticsNoOpForCoordinated(t *testing.T) {
+	env, job := buildEnv(t, 2, 3000, 12000)
+	cfg := env.config(nullProto{KindCoordinated, "COOR"})
+	cfg.Semantics = AtLeastOnce
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	eng.InjectFailure(1)
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	if _, total := collectSums(eng, env.workers); total != 3000*2 {
+		t.Fatalf("coordinated total = %d, want %d", total, 3000*2)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/metrics"
+)
+
+// runStraggler executes the counting pipeline with an optional synthetic
+// straggler on worker 0 and returns the run summary.
+func runStraggler(t *testing.T, kind Kind, delay time.Duration) metrics.Summary {
+	t.Helper()
+	env, job := buildEnv(t, 2, 2000, 10000)
+	cfg := env.config(nullProto{kind, kind.String()})
+	cfg.StragglerDelay = delay
+	cfg.StragglerWorker = 0
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitDrained(t, eng, env, 30*time.Second)
+	eng.Stop()
+	return env.recorder.Summarize(kind == KindCoordinated)
+}
+
+// A straggling worker delays marker propagation, inflating the coordinated
+// round time — the paper's explanation for COOR's collapse under skew
+// (§VII), reproduced here without any data skew.
+func TestStragglerInflatesCoordinatedRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := runStraggler(t, KindCoordinated, 0)
+	slow := runStraggler(t, KindCoordinated, 300*time.Microsecond)
+	if base.TotalCheckpoints == 0 || slow.TotalCheckpoints == 0 {
+		t.Fatalf("rounds: base=%d slow=%d", base.TotalCheckpoints, slow.TotalCheckpoints)
+	}
+	if slow.AvgRoundTime <= base.AvgRoundTime {
+		t.Fatalf("straggler did not inflate round time: base=%v slow=%v",
+			base.AvgRoundTime, slow.AvgRoundTime)
+	}
+	t.Logf("COOR round time: baseline=%v straggler=%v", base.AvgRoundTime, slow.AvgRoundTime)
+}
+
+// The uncoordinated protocol checkpoints locally: a straggler slows its own
+// snapshots at most marginally and never blocks healthy instances.
+func TestStragglerLeavesUNCLocalCheckpointsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	slowCOOR := runStraggler(t, KindCoordinated, 300*time.Microsecond)
+	slowUNC := runStraggler(t, KindUncoordinated, 300*time.Microsecond)
+	if slowUNC.TotalCheckpoints == 0 {
+		t.Fatal("UNC took no checkpoints")
+	}
+	if slowUNC.AvgCheckpointTime >= slowCOOR.AvgCheckpointTime {
+		t.Fatalf("UNC local checkpoint (%v) not faster than COOR round (%v) under straggler",
+			slowUNC.AvgCheckpointTime, slowCOOR.AvgCheckpointTime)
+	}
+	t.Logf("under straggler: UNC local=%v vs COOR round=%v",
+		slowUNC.AvgCheckpointTime, slowCOOR.AvgCheckpointTime)
+}
+
+// Straggler injection must not break correctness: exactly-once totals hold.
+func TestStragglerExactlyOnceWithFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env, job := buildEnv(t, 2, 2000, 10000)
+	cfg := env.config(nullProto{KindUncoordinated, "UNC"})
+	cfg.StragglerDelay = 100 * time.Microsecond
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	eng.InjectFailure(1)
+	waitDrained(t, eng, env, 30*time.Second)
+	eng.Stop()
+	if _, total := collectSums(eng, env.workers); total != 2000*2 {
+		t.Fatalf("total = %d, want %d", total, 2000*2)
+	}
+}

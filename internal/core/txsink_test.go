@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// runOutput executes the standard source->map->sink job under the given
+// protocol kind and output mode, optionally injecting a failure, and
+// returns the engine after Stop.
+func runOutput(t *testing.T, kind Kind, mode OutputMode, interval time.Duration, withFailure bool) *Engine {
+	t.Helper()
+	env, job := buildEnv(t, 2, 3000, 12000)
+	cfg := env.config(nullProto{kind, kind.String()})
+	cfg.Output = mode
+	cfg.CheckpointInterval = interval
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if withFailure {
+		time.Sleep(120 * time.Millisecond)
+		eng.InjectFailure(1)
+	}
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	return eng
+}
+
+// uidCounts tallies visible records by UID.
+func uidCounts(recs []OutputRecord) map[uint64]int {
+	counts := make(map[uint64]int, len(recs))
+	for _, r := range recs {
+		counts[r.UID]++
+	}
+	return counts
+}
+
+func TestOutputModeString(t *testing.T) {
+	for mode, want := range map[OutputMode]string{
+		OutputNone: "none", OutputImmediate: "immediate", OutputTransactional: "transactional",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", mode, got, want)
+		}
+	}
+}
+
+func TestOutputNoneCollectsNothing(t *testing.T) {
+	eng := runOutput(t, KindCoordinated, OutputNone, 60*time.Millisecond, false)
+	if got := eng.VisibleOutput(); len(got) != 0 {
+		t.Fatalf("OutputNone produced %d visible records", len(got))
+	}
+	if st := eng.OutputStats(); st != (OutputStats{}) {
+		t.Fatalf("OutputNone stats = %+v", st)
+	}
+}
+
+func TestTransactionalRejectsInvalidConfig(t *testing.T) {
+	env, job := buildEnv(t, 2, 100, 1000)
+
+	cfg := env.config(nullProto{KindNone, "NONE"})
+	cfg.Output = OutputTransactional
+	if _, err := NewEngine(cfg, job); err == nil {
+		t.Fatal("transactional output without a protocol must be rejected")
+	}
+
+	cfg = env.config(nullProto{KindUncoordinated, "UNC"})
+	cfg.Output = OutputTransactional
+	cfg.Semantics = AtLeastOnce
+	if _, err := NewEngine(cfg, job); err == nil {
+		t.Fatal("transactional output under at-least-once must be rejected")
+	}
+}
+
+// TestImmediateOutputFailureFree establishes the ground truth: without
+// failures, immediate output publishes exactly one record per input.
+func TestImmediateOutputFailureFree(t *testing.T) {
+	eng := runOutput(t, KindCoordinated, OutputImmediate, 60*time.Millisecond, false)
+	counts := uidCounts(eng.VisibleOutput())
+	if len(counts) != 3000 {
+		t.Fatalf("distinct UIDs = %d, want 3000", len(counts))
+	}
+	for uid, n := range counts {
+		if n != 1 {
+			t.Fatalf("uid %x appeared %d times in a failure-free run", uid, n)
+		}
+	}
+	for _, r := range eng.VisibleOutput() {
+		if r.VisibleNS != r.EmitNS {
+			t.Fatalf("immediate record has VisibleNS %d != EmitNS %d", r.VisibleNS, r.EmitNS)
+		}
+	}
+}
+
+// TestImmediateOutputDuplicatesAfterFailure demonstrates the paper's
+// exactly-once-processing vs exactly-once-output distinction: with a
+// checkpoint interval longer than the run, recovery rolls everything back
+// and the external consumer observes every pre-failure output twice, even
+// though operator state remains exactly-once.
+func TestImmediateOutputDuplicatesAfterFailure(t *testing.T) {
+	for _, kind := range []Kind{KindCoordinated, KindUncoordinated} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			eng := runOutput(t, kind, OutputImmediate, 10*time.Second, true)
+			counts := uidCounts(eng.VisibleOutput())
+			dups := 0
+			for _, n := range counts {
+				if n > 1 {
+					dups++
+				}
+			}
+			if dups == 0 {
+				t.Fatal("expected duplicate output after full rollback under immediate mode")
+			}
+			if len(counts) != 3000 {
+				t.Fatalf("distinct UIDs = %d, want 3000", len(counts))
+			}
+		})
+	}
+}
+
+// TestTransactionalOutputExactlyOnce is the headline property: across a
+// mid-run failure, the external consumer observes every result exactly
+// once under every checkpointing protocol.
+func TestTransactionalOutputExactlyOnce(t *testing.T) {
+	for _, kind := range []Kind{KindCoordinated, KindUncoordinated, KindCIC} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			eng := runOutput(t, kind, OutputTransactional, 60*time.Millisecond, true)
+			visible := eng.VisibleOutput()
+			counts := uidCounts(visible)
+			for uid, n := range counts {
+				if n > 1 {
+					t.Fatalf("uid %x visible %d times: transactional output duplicated", uid, n)
+				}
+			}
+			if len(counts) != 3000 {
+				t.Fatalf("distinct visible UIDs = %d, want 3000 (stats %+v)", len(counts), eng.OutputStats())
+			}
+			st := eng.OutputStats()
+			if st.Emitted != st.Visible+st.Discarded+st.Pending {
+				t.Fatalf("stats do not balance: %+v", st)
+			}
+			for _, r := range visible {
+				if r.VisibleNS < r.EmitNS {
+					t.Fatalf("record visible before it was emitted: %+v", r)
+				}
+				if r.EmitNS < r.SchedNS {
+					t.Fatalf("record emitted before its schedule: %+v", r)
+				}
+			}
+		})
+	}
+}
+
+// TestTransactionalPerSinkOrder checks the consumer-facing FIFO property:
+// for each sink instance, records become visible in emit order and with
+// non-decreasing epochs.
+func TestTransactionalPerSinkOrder(t *testing.T) {
+	eng := runOutput(t, KindUncoordinated, OutputTransactional, 60*time.Millisecond, true)
+	lastEmit := make(map[int]int64)
+	lastEpoch := make(map[int]uint64)
+	for _, r := range eng.VisibleOutput() {
+		if r.EmitNS < lastEmit[r.Sink] {
+			t.Fatalf("sink %d: visible out of emit order (%d after %d)", r.Sink, r.EmitNS, lastEmit[r.Sink])
+		}
+		if r.Epoch < lastEpoch[r.Sink] {
+			t.Fatalf("sink %d: epoch regressed (%d after %d)", r.Sink, r.Epoch, lastEpoch[r.Sink])
+		}
+		lastEmit[r.Sink] = r.EmitNS
+		lastEpoch[r.Sink] = r.Epoch
+	}
+}
+
+// TestTransactionalDiscardsOnRollback forces a full rollback (no completed
+// checkpoint before the failure) and checks that the pre-failure buffered
+// output was discarded rather than published, keeping the consumer view
+// exact.
+func TestTransactionalDiscardsOnRollback(t *testing.T) {
+	eng := runOutput(t, KindUncoordinated, OutputTransactional, 350*time.Millisecond, true)
+	st := eng.OutputStats()
+	if st.Discarded == 0 {
+		t.Fatalf("expected discarded pre-failure output, stats %+v", st)
+	}
+	counts := uidCounts(eng.VisibleOutput())
+	for uid, n := range counts {
+		if n > 1 {
+			t.Fatalf("uid %x visible %d times despite discard path", uid, n)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"checkmate/internal/recovery"
+)
+
+func rec(sink int, epoch uint64, uid uint64) OutputRecord {
+	return OutputRecord{Sink: sink, Epoch: epoch, UID: uid, EmitNS: int64(uid)}
+}
+
+func TestCollectorImmediatePublishesInstantly(t *testing.T) {
+	o := newOutputCollector(OutputImmediate)
+	o.add(rec(0, 5, 1))
+	if got := o.Visible(); len(got) != 1 || got[0].VisibleNS != got[0].EmitNS {
+		t.Fatalf("visible = %+v", got)
+	}
+}
+
+func TestCollectorNoneIsFree(t *testing.T) {
+	o := newOutputCollector(OutputNone)
+	o.add(rec(0, 1, 1))
+	if st := o.Stats(); st != (OutputStats{}) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCollectorCommitAllByEpoch(t *testing.T) {
+	o := newOutputCollector(OutputTransactional)
+	o.add(rec(0, 1, 1))
+	o.add(rec(0, 2, 2))
+	o.add(rec(1, 1, 3))
+	o.commitAll(1, 100)
+	vis := o.Visible()
+	if len(vis) != 2 {
+		t.Fatalf("visible = %d, want 2", len(vis))
+	}
+	for _, r := range vis {
+		if r.Epoch != 1 || r.VisibleNS != 100 {
+			t.Fatalf("record = %+v", r)
+		}
+	}
+	if st := o.Stats(); st.Pending != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCollectorAddAfterCommitPublishesInstantly covers the race where a
+// record of an already-committed epoch arrives after the commit: it must
+// become visible immediately rather than sit pending forever.
+func TestCollectorAddAfterCommitPublishesInstantly(t *testing.T) {
+	o := newOutputCollector(OutputTransactional)
+	o.commitAll(3, 50)
+	o.add(rec(0, 2, 7))
+	vis := o.Visible()
+	if len(vis) != 1 || vis[0].UID != 7 {
+		t.Fatalf("visible = %+v", vis)
+	}
+	if st := o.Stats(); st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCollectorCommitIsMonotone checks that a stale (lower) line never
+// retracts the high-water mark: records committed once stay committed and
+// later lines only extend visibility.
+func TestCollectorCommitIsMonotone(t *testing.T) {
+	o := newOutputCollector(OutputTransactional)
+	o.add(rec(0, 1, 1))
+	o.add(rec(0, 2, 2))
+	o.commitLine(recovery.Line{0: {Instance: 0, Seq: 2}}, 10)
+	if len(o.Visible()) != 2 {
+		t.Fatal("commit did not publish both epochs")
+	}
+	// A stale line must not matter for future adds of covered epochs.
+	o.commitLine(recovery.Line{0: {Instance: 0, Seq: 1}}, 20)
+	o.add(rec(0, 2, 3))
+	if len(o.Visible()) != 3 {
+		t.Fatal("stale line retracted the high-water mark")
+	}
+}
+
+func TestCollectorRollbackSplitsPending(t *testing.T) {
+	o := newOutputCollector(OutputTransactional)
+	o.add(rec(0, 1, 1))
+	o.add(rec(0, 2, 2))
+	o.add(rec(1, 1, 3))
+	o.rollback(recovery.Line{0: {Instance: 0, Seq: 1}, 1: {Instance: 1, Seq: 0}}, 99)
+	vis := o.Visible()
+	if len(vis) != 1 || vis[0].UID != 1 {
+		t.Fatalf("visible = %+v", vis)
+	}
+	st := o.Stats()
+	if st.Discarded != 2 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: for any interleaving of adds and commits, every visible record
+// has epoch <= the committed high-water of its sink at publication time,
+// per-sink publication preserves add order, and counts balance.
+func TestQuickCollectorInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		o := newOutputCollector(OutputTransactional)
+		var added uint64
+		uid := uint64(0)
+		// Per-sink epochs are nondecreasing, as in the engine (epoch =
+		// ckptSeq+1 of a single-threaded instance).
+		epoch := [3]uint64{1, 1, 1}
+		for _, op := range ops {
+			sink := int(op % 3)
+			switch (op / 4) % 3 {
+			case 0, 1: // add twice as often as commit
+				if op%8 == 0 {
+					epoch[sink]++ // the sink checkpointed
+				}
+				uid++
+				added++
+				o.add(rec(sink, epoch[sink], uid))
+			case 2:
+				o.commitAll(uint64(op%7), int64(op))
+			}
+		}
+		st := o.Stats()
+		if st.Emitted != added || st.Emitted != st.Visible+st.Discarded+st.Pending {
+			return false
+		}
+		lastUID := make(map[int]uint64)
+		for _, r := range o.Visible() {
+			if r.UID <= lastUID[r.Sink] {
+				return false // per-sink publication order broken
+			}
+			lastUID[r.Sink] = r.UID
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

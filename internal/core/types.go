@@ -1,0 +1,186 @@
+// Package core implements the streaming dataflow testbed the protocols are
+// evaluated on: logical job graphs, parallel operator instances executing as
+// goroutines, bounded FIFO channels with backpressure, hash/forward/broadcast
+// partitioning, a coordinator, failure injection, and global rollback
+// recovery. It corresponds to the Styx/Stateflow testbed of the paper (§IV).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"checkmate/internal/wire"
+)
+
+// Partitioning selects how records travel across an edge.
+type Partitioning int
+
+// Partitioning modes.
+const (
+	// Forward connects instance i of the upstream operator to instance i of
+	// the downstream operator (no shuffling). Requires equal parallelism.
+	Forward Partitioning = iota
+	// Hash routes each record to downstream instance key mod parallelism
+	// (full shuffle: every upstream instance has a channel to every
+	// downstream instance).
+	Hash
+	// Broadcast delivers each record to every downstream instance.
+	Broadcast
+)
+
+// String names the partitioning mode.
+func (p Partitioning) String() string {
+	switch p {
+	case Forward:
+		return "forward"
+	case Hash:
+		return "hash"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("partitioning(%d)", int(p))
+	}
+}
+
+// SourceSpec marks an operator as a source reading from a broker topic.
+// Instance i of the operator consumes partition i of the topic.
+type SourceSpec struct {
+	// Topic is the broker topic to consume.
+	Topic string
+	// EventTime extracts the event-time timestamp from a record. Nil means
+	// event time equals the arrival-schedule timestamp. Only meaningful
+	// when Config.WatermarkInterval enables watermark flow.
+	EventTime func(key uint64, v wire.Value) int64
+}
+
+// OpSpec describes one logical operator of a job.
+type OpSpec struct {
+	// Name identifies the operator in metrics and object-store keys.
+	Name string
+	// Parallelism overrides the job-wide worker count when positive.
+	Parallelism int
+	// Source, when non-nil, makes this operator a source. Source operators
+	// have no inputs and must have a nil New.
+	Source *SourceSpec
+	// Sink marks the operator as a pipeline sink: every record arriving at
+	// it is counted into the end-to-end latency timeline.
+	Sink bool
+	// CheckpointInterval overrides the engine-wide checkpoint interval for
+	// this operator's instances under the uncoordinated protocols — the
+	// per-operator configurability the paper names as an unexplored
+	// strength of the uncoordinated family (§III-B). Zero inherits the
+	// engine interval; ignored by the coordinated protocol, whose rounds
+	// are global.
+	CheckpointInterval time.Duration
+	// New constructs the operator logic for instance idx. Nil for sources.
+	New func(idx int) Operator
+}
+
+// EdgeSpec connects two operators of a job.
+type EdgeSpec struct {
+	// From and To index into JobSpec.Ops.
+	From, To int
+	// Part selects the partitioning mode.
+	Part Partitioning
+	// Feedback marks the edge as a feedback (cycle-closing) edge. Feedback
+	// edges get a much larger channel capacity to avoid cyclic-backpressure
+	// deadlocks, and are what makes a job cyclic.
+	Feedback bool
+}
+
+// JobSpec is a logical dataflow graph.
+type JobSpec struct {
+	Name  string
+	Ops   []OpSpec
+	Edges []EdgeSpec
+}
+
+// Validate checks structural well-formedness for the given default
+// parallelism and returns the resolved per-operator parallelism.
+func (j *JobSpec) Validate(defaultParallelism int) ([]int, error) {
+	if len(j.Ops) == 0 {
+		return nil, fmt.Errorf("core: job %q has no operators", j.Name)
+	}
+	if defaultParallelism <= 0 {
+		return nil, fmt.Errorf("core: job %q: parallelism must be positive, got %d", j.Name, defaultParallelism)
+	}
+	par := make([]int, len(j.Ops))
+	for i, op := range j.Ops {
+		par[i] = op.Parallelism
+		if par[i] <= 0 {
+			par[i] = defaultParallelism
+		}
+		if op.Name == "" {
+			return nil, fmt.Errorf("core: job %q: operator %d has no name", j.Name, i)
+		}
+		if op.Source != nil && op.New != nil {
+			return nil, fmt.Errorf("core: job %q: source operator %q must not have logic", j.Name, op.Name)
+		}
+		if op.Source == nil && op.New == nil {
+			return nil, fmt.Errorf("core: job %q: operator %q has no factory", j.Name, op.Name)
+		}
+	}
+	hasIn := make([]bool, len(j.Ops))
+	for _, e := range j.Edges {
+		if e.From < 0 || e.From >= len(j.Ops) || e.To < 0 || e.To >= len(j.Ops) {
+			return nil, fmt.Errorf("core: job %q: edge %d->%d out of range", j.Name, e.From, e.To)
+		}
+		if j.Ops[e.To].Source != nil {
+			return nil, fmt.Errorf("core: job %q: edge into source %q", j.Name, j.Ops[e.To].Name)
+		}
+		if e.Part == Forward && par[e.From] != par[e.To] {
+			return nil, fmt.Errorf("core: job %q: forward edge %q->%q with unequal parallelism %d vs %d",
+				j.Name, j.Ops[e.From].Name, j.Ops[e.To].Name, par[e.From], par[e.To])
+		}
+		hasIn[e.To] = true
+	}
+	for i, op := range j.Ops {
+		if op.Source == nil && !hasIn[i] {
+			return nil, fmt.Errorf("core: job %q: operator %q has no inputs", j.Name, op.Name)
+		}
+	}
+	return par, nil
+}
+
+// IsCyclic reports whether the job graph contains a cycle (including
+// explicit feedback edges).
+func (j *JobSpec) IsCyclic() bool {
+	adj := make([][]int, len(j.Ops))
+	for _, e := range j.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(j.Ops))
+	var visit func(int) bool
+	visit = func(u int) bool {
+		color[u] = grey
+		for _, v := range adj[u] {
+			switch color[v] {
+			case grey:
+				return true
+			case white:
+				if visit(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range j.Ops {
+		if color[u] == white && visit(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// channelKey packs (edge, fromIdx, toIdx) into the 64-bit channel
+// identifier used by the message log and the recovery metadata.
+func channelKey(edge, fromIdx, toIdx int) uint64 {
+	return uint64(edge)<<40 | uint64(fromIdx)<<20 | uint64(toIdx)
+}

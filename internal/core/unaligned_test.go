@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// uaProto is the test stand-in for the unaligned coordinated protocol.
+type uaProto struct{ nullProto }
+
+func newUAProto() uaProto {
+	return uaProto{nullProto{kind: KindCoordinated, name: "UCOOR"}}
+}
+
+func (uaProto) Unaligned() bool { return true }
+
+func TestUnalignedFailureFree(t *testing.T) {
+	env, job := buildEnv(t, 2, 3000, 12000)
+	eng, err := NewEngine(env.config(newUAProto()), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	_, total := collectSums(eng, env.workers)
+	if want := uint64(3000 * 2); total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+	sum := env.recorder.Summarize(true)
+	if sum.TotalCheckpoints == 0 {
+		t.Fatal("no completed unaligned rounds")
+	}
+	if sum.MarkerMessages == 0 {
+		t.Fatal("no markers circulated")
+	}
+}
+
+func TestUnalignedExactlyOnceUnderFailure(t *testing.T) {
+	env, job := buildEnv(t, 2, 3000, 12000)
+	eng, err := NewEngine(env.config(newUAProto()), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	eng.InjectFailure(0)
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	sums, total := collectSums(eng, env.workers)
+	if want := uint64(3000 * 2); total != want {
+		t.Fatalf("exactly-once violated: total = %d, want %d", total, want)
+	}
+	for k, v := range sums {
+		if v != 2 {
+			t.Fatalf("key %d sum = %d", k, v)
+		}
+	}
+	sum := env.recorder.Summarize(true)
+	if sum.Failures != 1 {
+		t.Fatalf("failures = %d", sum.Failures)
+	}
+}
+
+func TestUnalignedAllowsCycles(t *testing.T) {
+	env, _ := buildEnv(t, 2, 100, 1000)
+	job := &JobSpec{
+		Name: "cyclic-ua",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nums"}},
+			{Name: "loop", New: func(int) Operator { return doubler{} }},
+		},
+		Edges: []EdgeSpec{
+			{From: 0, To: 1, Part: Forward},
+			{From: 1, To: 1, Part: Hash, Feedback: true},
+		},
+	}
+	if _, err := NewEngine(env.config(newUAProto()), job); err != nil {
+		t.Fatalf("unaligned coordinated must accept cyclic jobs: %v", err)
+	}
+}
+
+func TestInboxPushFrontOvertakes(t *testing.T) {
+	in := newInbox([]int{4})
+	in.push(0, []byte{1})
+	in.push(0, []byte{2})
+	in.pushFront(0, []byte{9}) // marker overtakes
+	if got := in.takeMarkCount(0); got != 2 {
+		t.Fatalf("markCount = %d, want 2", got)
+	}
+	if got := in.takeMarkCount(0); got != 0 {
+		t.Fatalf("markCount not cleared: %d", got)
+	}
+	data, _, ok := in.pop()
+	if !ok || data[0] != 9 {
+		t.Fatalf("front pop = %v", data)
+	}
+	data, _, _ = in.pop()
+	if data[0] != 1 {
+		t.Fatalf("order broken: %v", data)
+	}
+}
+
+func TestInboxPushFrontAfterPartialDrain(t *testing.T) {
+	in := newInbox([]int{8})
+	for i := byte(1); i <= 4; i++ {
+		in.push(0, []byte{i})
+	}
+	in.pop() // head advances
+	in.pushFront(0, []byte{9})
+	if got := in.takeMarkCount(0); got != 3 {
+		t.Fatalf("markCount = %d, want 3", got)
+	}
+	want := []byte{9, 2, 3, 4}
+	for _, w := range want {
+		data, _, ok := in.pop()
+		if !ok || data[0] != w {
+			t.Fatalf("pop = %v, want %d", data, w)
+		}
+	}
+}
+
+func TestInboxPushFrontClosed(t *testing.T) {
+	in := newInbox([]int{1})
+	in.close()
+	if in.pushFront(0, []byte{1}) {
+		t.Fatal("pushFront on closed inbox should fail")
+	}
+}
+
+func TestUnalignedRepeatedFailures(t *testing.T) {
+	env, job := buildEnv(t, 2, 3000, 12000)
+	eng, err := NewEngine(env.config(newUAProto()), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	eng.InjectFailure(0)
+	time.Sleep(150 * time.Millisecond)
+	eng.InjectFailure(1)
+	waitDrained(t, eng, env, 20*time.Second)
+	eng.Stop()
+	_, total := collectSums(eng, env.workers)
+	if want := uint64(3000 * 2); total != want {
+		t.Fatalf("exactly-once violated after two failures: total = %d, want %d", total, want)
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"checkmate/internal/metrics"
+	"checkmate/internal/mq"
+	"checkmate/internal/objstore"
+	"checkmate/internal/wire"
+)
+
+// wmRecorder is a sink operator recording every watermark callback.
+type wmRecorder struct {
+	mu  sync.Mutex
+	wms []int64
+	evs []Event
+}
+
+func (w *wmRecorder) OnEvent(ctx Context, ev Event) {
+	w.mu.Lock()
+	w.evs = append(w.evs, ev)
+	w.mu.Unlock()
+}
+
+func (w *wmRecorder) OnWatermark(ctx Context, wm int64) {
+	w.mu.Lock()
+	w.wms = append(w.wms, wm)
+	w.mu.Unlock()
+}
+
+func (w *wmRecorder) Snapshot(enc *wire.Encoder)      {}
+func (w *wmRecorder) Restore(dec *wire.Decoder) error { return nil }
+
+// etWindowCount is a tumbling event-time windowed counter fired on
+// watermarks, with deterministic (sorted) emission — the minimal event-time
+// operator used to verify exactly-once window firing across failures.
+type etWindowCount struct {
+	win     int64
+	windows map[int64]map[uint64]uint64
+}
+
+func newETWindowCount(win time.Duration) *etWindowCount {
+	return &etWindowCount{win: win.Nanoseconds(), windows: make(map[int64]map[uint64]uint64)}
+}
+
+func (c *etWindowCount) OnEvent(ctx Context, ev Event) {
+	start := ev.EventNS - ev.EventNS%c.win
+	if start+c.win <= ctx.WatermarkNS() {
+		return // late: the window already fired
+	}
+	w, ok := c.windows[start]
+	if !ok {
+		w = make(map[uint64]uint64)
+		c.windows[start] = w
+	}
+	w[ev.Key]++
+}
+
+func (c *etWindowCount) OnWatermark(ctx Context, wm int64) {
+	for start, w := range c.windows {
+		if start+c.win > wm {
+			continue
+		}
+		keys := make([]uint64, 0, len(w))
+		for k := range w {
+			keys = append(keys, k)
+		}
+		// Sorted emission keeps re-fired UID sequences identical.
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				if keys[j] < keys[i] {
+					keys[i], keys[j] = keys[j], keys[i]
+				}
+			}
+		}
+		for _, k := range keys {
+			// Disambiguate (window, key) pairs in the downstream keyed sum.
+			ctx.Emit(uint64(start/c.win)<<32|k, &intVal{N: w[k]})
+		}
+		delete(c.windows, start)
+	}
+}
+
+func (c *etWindowCount) Snapshot(enc *wire.Encoder) {
+	enc.Varint(c.win)
+	enc.Uvarint(uint64(len(c.windows)))
+	for start, w := range c.windows {
+		enc.Varint(start)
+		enc.Uvarint(uint64(len(w)))
+		for k, n := range w {
+			enc.Uvarint(k)
+			enc.Uvarint(n)
+		}
+	}
+}
+
+func (c *etWindowCount) Restore(dec *wire.Decoder) error {
+	c.win = dec.Varint()
+	n := int(dec.Uvarint())
+	c.windows = make(map[int64]map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		start := dec.Varint()
+		m := int(dec.Uvarint())
+		w := make(map[uint64]uint64, m)
+		for j := 0; j < m; j++ {
+			k := dec.Uvarint()
+			w[k] = dec.Uvarint()
+		}
+		c.windows[start] = w
+	}
+	return dec.Err()
+}
+
+// buildWMEnv loads `records` records over `workers` partitions with event
+// time equal to schedule time.
+func buildWMEnv(t testing.TB, workers, records int, rate float64) (*mq.Broker, *metrics.Recorder) {
+	t.Helper()
+	broker := mq.NewBroker()
+	topic, err := broker.CreateTopic("nums", workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPart := records / workers
+	for p := 0; p < workers; p++ {
+		for i := 0; i < perPart; i++ {
+			sched := int64(float64(i) / rate * float64(time.Second))
+			topic.Partition(p).Append(sched, uint64(p*perPart+i), &intVal{N: 1})
+		}
+	}
+	return broker, metrics.NewRecorder(time.Now(), 30*time.Second, time.Second)
+}
+
+func wmConfig(broker *mq.Broker, rec *metrics.Recorder, workers int, p Protocol) Config {
+	return Config{
+		Workers:            workers,
+		Protocol:           p,
+		CheckpointInterval: 60 * time.Millisecond,
+		ChannelCap:         64,
+		Broker:             broker,
+		Store:              objstore.New(objstore.Config{PutLatency: 200 * time.Microsecond}),
+		Recorder:           rec,
+		DetectionDelay:     10 * time.Millisecond,
+		PollInterval:       time.Millisecond,
+		CatchUpLag:         50 * time.Millisecond,
+		WatermarkInterval:  5 * time.Millisecond,
+		Seed:               42,
+	}
+}
+
+// drainQuiet waits until the sources drained and the sink count stayed
+// stable for a while.
+func drainQuiet(t testing.TB, eng *Engine, rec *metrics.Recorder) {
+	t.Helper()
+	limit := time.Now().Add(15 * time.Second)
+	var last uint64
+	stable := time.Now()
+	for time.Now().Before(limit) {
+		if n := rec.SinkCount(); n != last {
+			last = n
+			stable = time.Now()
+		}
+		if eng.SourceBacklog() == 0 && time.Since(stable) > 200*time.Millisecond && last > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("pipeline did not drain (sink count %d)", rec.SinkCount())
+}
+
+func TestWatermarkPropagation(t *testing.T) {
+	broker, rec := buildWMEnv(t, 2, 2000, 20000)
+	sinks := make([]*wmRecorder, 2)
+	job := &JobSpec{
+		Name: "wm",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nums"}},
+			{Name: "map", New: func(int) Operator { return doubler{} }},
+			{Name: "sink", Sink: true, New: func(idx int) Operator {
+				s := &wmRecorder{}
+				sinks[idx] = s
+				return s
+			}},
+		},
+		Edges: []EdgeSpec{
+			{From: 0, To: 1, Part: Forward},
+			{From: 1, To: 2, Part: Hash},
+		},
+	}
+	cfg := wmConfig(broker, rec, 2, nullProto{KindCoordinated, "COOR"})
+	cfg.WatermarkLag = 3 * time.Millisecond
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	drainQuiet(t, eng, rec)
+	eng.Stop()
+
+	for idx, s := range sinks {
+		s.mu.Lock()
+		wms, evs := s.wms, s.evs
+		s.mu.Unlock()
+		if len(wms) == 0 {
+			t.Fatalf("sink %d saw no watermarks", idx)
+		}
+		for i := 1; i < len(wms); i++ {
+			if wms[i] <= wms[i-1] {
+				t.Fatalf("sink %d: watermark not strictly increasing: %d after %d", idx, wms[i], wms[i-1])
+			}
+		}
+		for _, ev := range evs {
+			if ev.EventNS != ev.SchedNS {
+				t.Fatalf("sink %d: EventNS %d != SchedNS %d without an extractor", idx, ev.EventNS, ev.SchedNS)
+			}
+		}
+	}
+	sum := rec.Summarize(true)
+	if sum.WatermarkMessages == 0 {
+		t.Fatal("no watermark messages accounted")
+	}
+}
+
+// runETWindow executes the event-time windowed count pipeline and returns
+// the merged per-(window,key) sums.
+func runETWindow(t *testing.T, kind Kind, withFailure bool) (map[uint64]uint64, uint64) {
+	t.Helper()
+	broker, rec := buildWMEnv(t, 2, 4000, 20000)
+	sinks := make([]*keyedSum, 2)
+	job := &JobSpec{
+		Name: "etwin",
+		Ops: []OpSpec{
+			{Name: "src", Source: &SourceSpec{Topic: "nums"}},
+			{Name: "win", New: func(int) Operator { return newETWindowCount(25 * time.Millisecond) }},
+			{Name: "sink", Sink: true, New: func(idx int) Operator {
+				s := newKeyedSum()
+				sinks[idx] = s
+				return s
+			}},
+		},
+		Edges: []EdgeSpec{
+			{From: 0, To: 1, Part: Hash},
+			{From: 1, To: 2, Part: Hash},
+		},
+	}
+	eng, err := NewEngine(wmConfig(broker, rec, 2, nullProto{kind, kind.String()}), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if withFailure {
+		time.Sleep(90 * time.Millisecond)
+		eng.InjectFailure(1)
+	}
+	drainQuiet(t, eng, rec)
+	eng.Stop()
+
+	merged := make(map[uint64]uint64)
+	var total uint64
+	for idx := 0; idx < 2; idx++ {
+		op := eng.OperatorState(2, idx)
+		if op == nil {
+			continue
+		}
+		sums, tot := op.(*keyedSum).snapshotTotals()
+		for k, v := range sums {
+			merged[k] += v
+		}
+		total += tot
+	}
+	return merged, total
+}
+
+// TestEventTimeWindowExactlyOnce verifies that watermark-fired event-time
+// windows recover exactly: the per-window counts after a mid-run failure
+// equal the failure-free counts under both the coordinated and the
+// uncoordinated protocol.
+func TestEventTimeWindowExactlyOnce(t *testing.T) {
+	wantSums, wantTotal := runETWindow(t, KindCoordinated, false)
+	if wantTotal == 0 {
+		t.Fatal("no window fired in the failure-free run")
+	}
+	for _, kind := range []Kind{KindCoordinated, KindUncoordinated} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sums, total := runETWindow(t, kind, true)
+			if total != wantTotal {
+				t.Fatalf("total = %d, failure-free = %d", total, wantTotal)
+			}
+			if len(sums) != len(wantSums) {
+				t.Fatalf("distinct window-keys = %d, failure-free = %d", len(sums), len(wantSums))
+			}
+			for k, v := range wantSums {
+				if sums[k] != v {
+					t.Fatalf("window-key %x: count %d, failure-free %d", k, sums[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestWatermarksDisabledByDefault checks the zero-cost default: without
+// WatermarkInterval no watermark messages flow.
+func TestWatermarksDisabledByDefault(t *testing.T) {
+	env, job := buildEnv(t, 2, 500, 20000)
+	eng, err := NewEngine(env.config(nullProto{KindCoordinated, "COOR"}), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitDrained(t, eng, env, 10*time.Second)
+	eng.Stop()
+	if n := env.recorder.Summarize(true).WatermarkMessages; n != 0 {
+		t.Fatalf("watermark messages with watermarks disabled: %d", n)
+	}
+}

@@ -1,0 +1,386 @@
+// Package cyclic implements the paper's cyclic workload (§VI): an
+// adaptation of the FFP reachability query. Two input streams — directed
+// links and source nodes — are joined; the select operator discards pairs
+// whose end node is already on the path; the project operator builds a new
+// source record that is emitted both as output and recursively as input to
+// the join, closing the feedback loop in the dataflow graph.
+//
+// The generator follows the paper's event mix: 60% new link, 15% new source
+// node, 20% link deletion, 5% source deletion, over a static universe of
+// nodes (1M by default).
+package cyclic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/mq"
+	"checkmate/internal/wire"
+)
+
+// Wire type IDs used by this package (20..29).
+const (
+	typeLink      = 20
+	typeSourceRec = 21
+	typePair      = 22
+)
+
+// maxPathLen bounds reachability paths; longer paths are discarded. This
+// bounds state for adversarial graphs without affecting the protocol
+// behaviour under the paper's sparse workload.
+const maxPathLen = 10
+
+// Link is a directed edge event (addition or deletion).
+type Link struct {
+	From, To uint64
+	Delete   bool
+}
+
+// TypeID implements wire.Value.
+func (l *Link) TypeID() uint16 { return typeLink }
+
+// MarshalWire implements wire.Value.
+func (l *Link) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(l.From)
+	e.Uvarint(l.To)
+	e.Bool(l.Delete)
+}
+
+func decodeLink(d *wire.Decoder) (wire.Value, error) {
+	l := &Link{From: d.Uvarint(), To: d.Uvarint(), Delete: d.Bool()}
+	return l, d.Err()
+}
+
+// SourceRec is a source-node event or a derived reachability record: node
+// Node is reachable from Origin via Path.
+type SourceRec struct {
+	Origin uint64
+	Node   uint64
+	Path   []uint64
+	Delete bool
+}
+
+// TypeID implements wire.Value.
+func (s *SourceRec) TypeID() uint16 { return typeSourceRec }
+
+// MarshalWire implements wire.Value.
+func (s *SourceRec) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(s.Origin)
+	e.Uvarint(s.Node)
+	e.UvarintSlice(s.Path)
+	e.Bool(s.Delete)
+}
+
+func decodeSourceRec(d *wire.Decoder) (wire.Value, error) {
+	s := &SourceRec{Origin: d.Uvarint(), Node: d.Uvarint(), Path: d.UvarintSlice(), Delete: d.Bool()}
+	return s, d.Err()
+}
+
+// Pair is a joined (link, source) candidate flowing join -> select ->
+// project.
+type Pair struct {
+	Link Link
+	Src  SourceRec
+}
+
+// TypeID implements wire.Value.
+func (p *Pair) TypeID() uint16 { return typePair }
+
+// MarshalWire implements wire.Value.
+func (p *Pair) MarshalWire(e *wire.Encoder) {
+	p.Link.MarshalWire(e)
+	p.Src.MarshalWire(e)
+}
+
+func decodePair(d *wire.Decoder) (wire.Value, error) {
+	l, err := decodeLink(d)
+	if err != nil {
+		return nil, err
+	}
+	s, err := decodeSourceRec(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{Link: *(l.(*Link)), Src: *(s.(*SourceRec))}, nil
+}
+
+func init() {
+	wire.RegisterType(typeLink, decodeLink)
+	wire.RegisterType(typeSourceRec, decodeSourceRec)
+	wire.RegisterType(typePair, decodePair)
+}
+
+// ---- operators ----
+
+// joinOp joins links and source records co-partitioned by node: links are
+// keyed by their start node, source records by the node they make
+// reachable. Deletions remove state.
+type joinOp struct {
+	links   map[uint64][]uint64     // from -> to nodes
+	sources map[uint64][]*SourceRec // node -> records reaching the node
+}
+
+func newJoinOp() *joinOp {
+	return &joinOp{links: make(map[uint64][]uint64), sources: make(map[uint64][]*SourceRec)}
+}
+
+// OnEvent implements core.Operator.
+func (j *joinOp) OnEvent(ctx core.Context, ev core.Event) {
+	switch v := ev.Value.(type) {
+	case *Link:
+		if v.Delete {
+			tos := j.links[v.From]
+			for i, to := range tos {
+				if to == v.To {
+					j.links[v.From] = append(tos[:i], tos[i+1:]...)
+					break
+				}
+			}
+			if len(j.links[v.From]) == 0 {
+				delete(j.links, v.From)
+			}
+			return
+		}
+		j.links[v.From] = append(j.links[v.From], v.To)
+		for _, src := range j.sources[v.From] {
+			ctx.Emit(src.Origin, &Pair{Link: *v, Src: *src})
+		}
+	case *SourceRec:
+		if v.Delete {
+			// Source removal: drop every record of this origin held here.
+			recs := j.sources[v.Node]
+			kept := recs[:0]
+			for _, r := range recs {
+				if r.Origin != v.Origin {
+					kept = append(kept, r)
+				}
+			}
+			if len(kept) == 0 {
+				delete(j.sources, v.Node)
+			} else {
+				j.sources[v.Node] = kept
+			}
+			return
+		}
+		j.sources[v.Node] = append(j.sources[v.Node], v)
+		for _, to := range j.links[v.Node] {
+			ctx.Emit(v.Origin, &Pair{Link: Link{From: v.Node, To: to}, Src: *v})
+		}
+	}
+}
+
+// Snapshot implements core.Operator.
+func (j *joinOp) Snapshot(enc *wire.Encoder) {
+	enc.Uvarint(uint64(len(j.links)))
+	for from, tos := range j.links {
+		enc.Uvarint(from)
+		enc.UvarintSlice(tos)
+	}
+	enc.Uvarint(uint64(len(j.sources)))
+	for node, recs := range j.sources {
+		enc.Uvarint(node)
+		enc.Uvarint(uint64(len(recs)))
+		for _, r := range recs {
+			r.MarshalWire(enc)
+		}
+	}
+}
+
+// Restore implements core.Operator.
+func (j *joinOp) Restore(dec *wire.Decoder) error {
+	nl := int(dec.Uvarint())
+	j.links = make(map[uint64][]uint64, nl)
+	for i := 0; i < nl; i++ {
+		from := dec.Uvarint()
+		j.links[from] = dec.UvarintSlice()
+	}
+	ns := int(dec.Uvarint())
+	j.sources = make(map[uint64][]*SourceRec, ns)
+	for i := 0; i < ns; i++ {
+		node := dec.Uvarint()
+		n := int(dec.Uvarint())
+		recs := make([]*SourceRec, 0, n)
+		for k := 0; k < n; k++ {
+			v, err := decodeSourceRec(dec)
+			if err != nil {
+				return err
+			}
+			recs = append(recs, v.(*SourceRec))
+		}
+		j.sources[node] = recs
+	}
+	return dec.Err()
+}
+
+// selectOp discards pairs whose link end is already on the source path
+// (cycle prevention) or whose path grew too long.
+type selectOp struct{}
+
+// OnEvent implements core.Operator.
+func (selectOp) OnEvent(ctx core.Context, ev core.Event) {
+	p := ev.Value.(*Pair)
+	if len(p.Src.Path) >= maxPathLen {
+		return
+	}
+	for _, n := range p.Src.Path {
+		if n == p.Link.To {
+			return
+		}
+	}
+	ctx.Emit(ev.Key, p)
+}
+
+// Snapshot implements core.Operator.
+func (selectOp) Snapshot(enc *wire.Encoder) {}
+
+// Restore implements core.Operator.
+func (selectOp) Restore(dec *wire.Decoder) error { return nil }
+
+// projectOp builds the new reachability record and emits it both to the
+// sink (out edge 0) and back to the join via the feedback edge (out edge 1).
+type projectOp struct{}
+
+// OnEvent implements core.Operator.
+func (projectOp) OnEvent(ctx core.Context, ev core.Event) {
+	p := ev.Value.(*Pair)
+	path := make([]uint64, 0, len(p.Src.Path)+1)
+	path = append(path, p.Src.Path...)
+	path = append(path, p.Link.To)
+	rec := &SourceRec{Origin: p.Src.Origin, Node: p.Link.To, Path: path}
+	ctx.EmitTo(0, rec.Origin, rec) // output
+	ctx.EmitTo(1, rec.Node, rec)   // feedback into the join
+}
+
+// Snapshot implements core.Operator.
+func (projectOp) Snapshot(enc *wire.Encoder) {}
+
+// Restore implements core.Operator.
+func (projectOp) Restore(dec *wire.Decoder) error { return nil }
+
+// reachSink counts discovered reachability records.
+type reachSink struct {
+	Count uint64
+}
+
+// OnEvent implements core.Operator.
+func (s *reachSink) OnEvent(ctx core.Context, ev core.Event) { s.Count++ }
+
+// Snapshot implements core.Operator.
+func (s *reachSink) Snapshot(enc *wire.Encoder) { enc.Uvarint(s.Count) }
+
+// Restore implements core.Operator.
+func (s *reachSink) Restore(dec *wire.Decoder) error {
+	s.Count = dec.Uvarint()
+	return dec.Err()
+}
+
+// Topics consumed by the reachability query.
+const (
+	TopicLinks   = "links"
+	TopicSources = "srcnodes"
+)
+
+// Build returns the cyclic reachability job (Fig. 6 of the paper).
+func Build() *core.JobSpec {
+	return &core.JobSpec{
+		Name: "reachability",
+		Ops: []core.OpSpec{
+			{Name: "links", Source: &core.SourceSpec{Topic: TopicLinks}},
+			{Name: "sources", Source: &core.SourceSpec{Topic: TopicSources}},
+			{Name: "join", New: func(int) core.Operator { return newJoinOp() }},
+			{Name: "select", New: func(int) core.Operator { return selectOp{} }},
+			{Name: "project", New: func(int) core.Operator { return projectOp{} }},
+			{Name: "sink", Sink: true, New: func(int) core.Operator { return &reachSink{} }},
+		},
+		Edges: []core.EdgeSpec{
+			{From: 0, To: 2, Part: core.Hash},
+			{From: 1, To: 2, Part: core.Hash},
+			{From: 2, To: 3, Part: core.Forward},
+			{From: 3, To: 4, Part: core.Forward},
+			{From: 4, To: 5, Part: core.Forward},
+			{From: 4, To: 2, Part: core.Hash, Feedback: true},
+		},
+	}
+}
+
+// GenConfig parameterizes the link/source generator.
+type GenConfig struct {
+	// Rate is the total event rate across both topics (events/second).
+	Rate float64
+	// Duration spans the arrival schedule.
+	Duration time.Duration
+	// Partitions per topic.
+	Partitions int
+	// Nodes is the static node universe (paper: 1M).
+	Nodes uint64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generate fills the links and srcnodes topics with the paper's event mix:
+// 60% new link, 15% new source, 20% delete link, 5% delete source.
+func Generate(broker *mq.Broker, cfg GenConfig) (map[string]uint64, error) {
+	if cfg.Rate <= 0 || cfg.Partitions <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("cyclic: invalid generator config %+v", cfg)
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 1_000_000
+	}
+	links, err := broker.CreateTopic(TopicLinks, cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	sources, err := broker.CreateTopic(TopicSources, cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := uint64(cfg.Rate * cfg.Duration.Seconds())
+	interval := float64(cfg.Duration.Nanoseconds()) / float64(total)
+
+	type link struct{ from, to uint64 }
+	var liveLinks []link
+	var liveSources []uint64
+	counts := map[string]uint64{}
+	part := 0
+	for i := uint64(0); i < total; i++ {
+		sched := int64(float64(i) * interval)
+		p := rng.Float64()
+		switch {
+		case p < 0.60: // new link
+			l := link{from: rng.Uint64() % cfg.Nodes, to: rng.Uint64() % cfg.Nodes}
+			liveLinks = append(liveLinks, l)
+			links.Partition(part%cfg.Partitions).Append(sched, l.from, &Link{From: l.from, To: l.to})
+			counts[TopicLinks]++
+		case p < 0.75: // new source node
+			n := rng.Uint64() % cfg.Nodes
+			liveSources = append(liveSources, n)
+			sources.Partition(part%cfg.Partitions).Append(sched, n, &SourceRec{Origin: n, Node: n, Path: []uint64{n}})
+			counts[TopicSources]++
+		case p < 0.95: // delete an existing link
+			if len(liveLinks) == 0 {
+				continue
+			}
+			idx := rng.Intn(len(liveLinks))
+			l := liveLinks[idx]
+			liveLinks[idx] = liveLinks[len(liveLinks)-1]
+			liveLinks = liveLinks[:len(liveLinks)-1]
+			links.Partition(part%cfg.Partitions).Append(sched, l.from, &Link{From: l.from, To: l.to, Delete: true})
+			counts[TopicLinks]++
+		default: // delete an existing source node
+			if len(liveSources) == 0 {
+				continue
+			}
+			idx := rng.Intn(len(liveSources))
+			n := liveSources[idx]
+			liveSources[idx] = liveSources[len(liveSources)-1]
+			liveSources = liveSources[:len(liveSources)-1]
+			sources.Partition(part%cfg.Partitions).Append(sched, n, &SourceRec{Origin: n, Node: n, Delete: true})
+			counts[TopicSources]++
+		}
+		part++
+	}
+	return counts, nil
+}

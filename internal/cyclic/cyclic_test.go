@@ -1,0 +1,207 @@
+package cyclic
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/mq"
+	"checkmate/internal/wire"
+)
+
+type fakeCtx struct {
+	emitted []struct {
+		edge int
+		key  uint64
+		v    wire.Value
+	}
+}
+
+func (f *fakeCtx) Emit(key uint64, v wire.Value) { f.EmitTo(0, key, v) }
+func (f *fakeCtx) EmitTo(edge int, key uint64, v wire.Value) {
+	f.emitted = append(f.emitted, struct {
+		edge int
+		key  uint64
+		v    wire.Value
+	}{edge, key, v})
+}
+func (f *fakeCtx) Index() int         { return 0 }
+func (f *fakeCtx) Parallelism() int   { return 1 }
+func (f *fakeCtx) NowNS() int64       { return 0 }
+func (f *fakeCtx) SetTimer(at int64)  {}
+func (f *fakeCtx) WatermarkNS() int64 { return 0 }
+
+func TestBuildIsCyclic(t *testing.T) {
+	job := Build()
+	if _, err := job.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if !job.IsCyclic() {
+		t.Fatal("reachability job must be cyclic")
+	}
+}
+
+func TestJoinLinkThenSource(t *testing.T) {
+	j := newJoinOp()
+	ctx := &fakeCtx{}
+	j.OnEvent(ctx, core.Event{Value: &Link{From: 1, To: 2}})
+	if len(ctx.emitted) != 0 {
+		t.Fatal("link without source must not emit")
+	}
+	j.OnEvent(ctx, core.Event{Value: &SourceRec{Origin: 1, Node: 1, Path: []uint64{1}}})
+	if len(ctx.emitted) != 1 {
+		t.Fatalf("source arriving at linked node must join: %+v", ctx.emitted)
+	}
+	p := ctx.emitted[0].v.(*Pair)
+	if p.Link.To != 2 || p.Src.Origin != 1 {
+		t.Fatalf("pair = %+v", p)
+	}
+}
+
+func TestJoinSourceThenLink(t *testing.T) {
+	j := newJoinOp()
+	ctx := &fakeCtx{}
+	j.OnEvent(ctx, core.Event{Value: &SourceRec{Origin: 5, Node: 5, Path: []uint64{5}}})
+	j.OnEvent(ctx, core.Event{Value: &Link{From: 5, To: 6}})
+	if len(ctx.emitted) != 1 {
+		t.Fatalf("emitted = %+v", ctx.emitted)
+	}
+}
+
+func TestJoinDeletions(t *testing.T) {
+	j := newJoinOp()
+	ctx := &fakeCtx{}
+	j.OnEvent(ctx, core.Event{Value: &Link{From: 1, To: 2}})
+	j.OnEvent(ctx, core.Event{Value: &Link{From: 1, To: 2, Delete: true}})
+	j.OnEvent(ctx, core.Event{Value: &SourceRec{Origin: 1, Node: 1, Path: []uint64{1}}})
+	if len(ctx.emitted) != 0 {
+		t.Fatal("deleted link must not join")
+	}
+	j.OnEvent(ctx, core.Event{Value: &SourceRec{Origin: 1, Node: 1, Delete: true}})
+	j.OnEvent(ctx, core.Event{Value: &Link{From: 1, To: 3}})
+	if len(ctx.emitted) != 0 {
+		t.Fatal("deleted source must not join")
+	}
+}
+
+func TestSelectDiscardsCycles(t *testing.T) {
+	ctx := &fakeCtx{}
+	// Link back into a node already on the path: discard.
+	selectOp{}.OnEvent(ctx, core.Event{Value: &Pair{
+		Link: Link{From: 2, To: 1},
+		Src:  SourceRec{Origin: 1, Node: 2, Path: []uint64{1, 2}},
+	}})
+	if len(ctx.emitted) != 0 {
+		t.Fatal("cycle not discarded")
+	}
+	selectOp{}.OnEvent(ctx, core.Event{Value: &Pair{
+		Link: Link{From: 2, To: 3},
+		Src:  SourceRec{Origin: 1, Node: 2, Path: []uint64{1, 2}},
+	}})
+	if len(ctx.emitted) != 1 {
+		t.Fatal("valid extension discarded")
+	}
+}
+
+func TestSelectCapsPathLength(t *testing.T) {
+	long := make([]uint64, maxPathLen)
+	for i := range long {
+		long[i] = uint64(i)
+	}
+	ctx := &fakeCtx{}
+	selectOp{}.OnEvent(ctx, core.Event{Value: &Pair{Link: Link{From: 9, To: 99}, Src: SourceRec{Path: long}}})
+	if len(ctx.emitted) != 0 {
+		t.Fatal("over-long path not discarded")
+	}
+}
+
+func TestProjectEmitsOutputAndFeedback(t *testing.T) {
+	ctx := &fakeCtx{}
+	projectOp{}.OnEvent(ctx, core.Event{Value: &Pair{
+		Link: Link{From: 1, To: 2},
+		Src:  SourceRec{Origin: 1, Node: 1, Path: []uint64{1}},
+	}})
+	if len(ctx.emitted) != 2 {
+		t.Fatalf("project must emit twice, got %d", len(ctx.emitted))
+	}
+	out := ctx.emitted[0]
+	fb := ctx.emitted[1]
+	if out.edge != 0 || fb.edge != 1 {
+		t.Fatalf("edges = %d, %d", out.edge, fb.edge)
+	}
+	rec := fb.v.(*SourceRec)
+	if rec.Node != 2 || len(rec.Path) != 2 || rec.Path[1] != 2 {
+		t.Fatalf("feedback rec = %+v", rec)
+	}
+	if fb.key != 2 {
+		t.Fatalf("feedback key = %d, want end node", fb.key)
+	}
+}
+
+func TestJoinSnapshotRestore(t *testing.T) {
+	j := newJoinOp()
+	ctx := &fakeCtx{}
+	j.OnEvent(ctx, core.Event{Value: &Link{From: 1, To: 2}})
+	j.OnEvent(ctx, core.Event{Value: &SourceRec{Origin: 9, Node: 9, Path: []uint64{9}}})
+	enc := wire.NewEncoder(nil)
+	j.Snapshot(enc)
+	j2 := newJoinOp()
+	if err := j2.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := &fakeCtx{}
+	j2.OnEvent(ctx2, core.Event{Value: &SourceRec{Origin: 1, Node: 1, Path: []uint64{1}}})
+	if len(ctx2.emitted) != 1 {
+		t.Fatal("restored join lost link state")
+	}
+	j2.OnEvent(ctx2, core.Event{Value: &Link{From: 9, To: 10}})
+	if len(ctx2.emitted) != 2 {
+		t.Fatal("restored join lost source state")
+	}
+}
+
+func TestGenerateMixAndDeterminism(t *testing.T) {
+	gen := func() map[string]uint64 {
+		b := mq.NewBroker()
+		counts, err := Generate(b, GenConfig{Rate: 10000, Duration: time.Second, Partitions: 2, Nodes: 1000, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counts
+	}
+	c1, c2 := gen(), gen()
+	if c1[TopicLinks] != c2[TopicLinks] || c1[TopicSources] != c2[TopicSources] {
+		t.Fatalf("nondeterministic: %v vs %v", c1, c2)
+	}
+	total := c1[TopicLinks] + c1[TopicSources]
+	if total < 9000 || total > 10000 {
+		t.Fatalf("total = %d", total)
+	}
+	// Links get ~80% of events (60% new + 20% delete).
+	frac := float64(c1[TopicLinks]) / float64(total)
+	if frac < 0.74 || frac > 0.86 {
+		t.Fatalf("link fraction = %v", frac)
+	}
+}
+
+func TestGenerateInvalid(t *testing.T) {
+	if _, err := Generate(mq.NewBroker(), GenConfig{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestValueRoundTrips(t *testing.T) {
+	vals := []wire.Value{
+		&Link{From: 1, To: 2, Delete: true},
+		&SourceRec{Origin: 1, Node: 2, Path: []uint64{1, 2}, Delete: false},
+		&Pair{Link: Link{From: 1, To: 2}, Src: SourceRec{Origin: 3, Node: 4, Path: []uint64{3}}},
+	}
+	for _, v := range vals {
+		enc := wire.NewEncoder(nil)
+		wire.EncodeValue(enc, v)
+		got, err := wire.DecodeValue(wire.NewDecoder(enc.Bytes()))
+		if err != nil || got.TypeID() != v.TypeID() {
+			t.Fatalf("%T: %v", v, err)
+		}
+	}
+}

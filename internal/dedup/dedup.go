@@ -1,0 +1,117 @@
+// Package dedup implements the receiver-side message deduplication that the
+// uncoordinated and communication-induced protocols need when replaying
+// messages from the in-flight log (paper Table I: "Deduplication Required").
+//
+// Every data message carries a 64-bit UID derived deterministically from its
+// provenance, so a replayed or regenerated copy of a message carries the
+// same UID as the original. A Set remembers recently processed UIDs in a
+// bounded ring: once the ring is full the oldest UIDs are evicted, which is
+// safe because log trimming guarantees messages older than the eviction
+// horizon can never be redelivered.
+//
+// The set is part of the operator checkpoint: it is snapshot and restored
+// together with the state so that post-recovery deduplication reflects
+// exactly the processed-set at checkpoint time.
+package dedup
+
+import (
+	"checkmate/internal/wire"
+)
+
+// Set is a bounded exactly-once filter. Not safe for concurrent use; each
+// operator instance owns one and accesses it from its processing loop.
+type Set struct {
+	cap  int
+	ring []uint64
+	pos  int
+	full bool
+	seen map[uint64]int // uid -> count of live ring slots holding it
+}
+
+// NewSet returns a set remembering at most capacity UIDs. Capacity must be
+// positive.
+func NewSet(capacity int) *Set {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Set{
+		cap:  capacity,
+		ring: make([]uint64, 0, min(capacity, 1024)),
+		seen: make(map[uint64]int),
+	}
+}
+
+// Check records uid and reports whether it was already present (i.e. the
+// message is a duplicate and must be dropped).
+func (s *Set) Check(uid uint64) bool {
+	if _, dup := s.seen[uid]; dup {
+		return true
+	}
+	s.insert(uid)
+	return false
+}
+
+func (s *Set) insert(uid uint64) {
+	if len(s.ring) < s.cap && !s.full {
+		s.ring = append(s.ring, uid)
+		s.seen[uid]++
+		if len(s.ring) == s.cap {
+			s.full = true
+		}
+		return
+	}
+	old := s.ring[s.pos]
+	if n := s.seen[old]; n <= 1 {
+		delete(s.seen, old)
+	} else {
+		s.seen[old] = n - 1
+	}
+	s.ring[s.pos] = uid
+	s.seen[uid]++
+	s.pos = (s.pos + 1) % s.cap
+}
+
+// Len reports the number of remembered UIDs.
+func (s *Set) Len() int { return len(s.seen) }
+
+// Snapshot appends the set's encoding to enc.
+func (s *Set) Snapshot(enc *wire.Encoder) {
+	enc.Uvarint(uint64(s.cap))
+	enc.Uvarint(uint64(s.pos))
+	enc.Bool(s.full)
+	enc.Uvarint(uint64(len(s.ring)))
+	for _, uid := range s.ring {
+		enc.Uint64(uid)
+	}
+}
+
+// RestoreSet reads a set written by Snapshot.
+func RestoreSet(dec *wire.Decoder) (*Set, error) {
+	capacity := int(dec.Uvarint())
+	pos := int(dec.Uvarint())
+	full := dec.Bool()
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 || n > capacity || pos >= capacity && capacity > 0 && pos != 0 {
+		return nil, wire.ErrCorrupt
+	}
+	s := &Set{cap: capacity, pos: pos, full: full, ring: make([]uint64, n), seen: make(map[uint64]int, n)}
+	for i := 0; i < n; i++ {
+		uid := dec.Uint64()
+		s.ring[i] = uid
+		s.seen[uid]++
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

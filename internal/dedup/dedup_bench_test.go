@@ -1,0 +1,23 @@
+package dedup
+
+import "testing"
+
+func BenchmarkCheckFresh(b *testing.B) {
+	s := NewSet(1 << 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Check(uint64(i))
+	}
+}
+
+func BenchmarkCheckDuplicate(b *testing.B) {
+	s := NewSet(1 << 14)
+	for i := 0; i < 1000; i++ {
+		s.Check(uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Check(uint64(i % 1000))
+	}
+}

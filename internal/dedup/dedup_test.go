@@ -1,0 +1,149 @@
+package dedup
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"checkmate/internal/wire"
+)
+
+func TestCheckBasic(t *testing.T) {
+	s := NewSet(16)
+	if s.Check(1) {
+		t.Fatal("first occurrence flagged as duplicate")
+	}
+	if !s.Check(1) {
+		t.Fatal("second occurrence not flagged")
+	}
+	if s.Check(2) {
+		t.Fatal("distinct uid flagged")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestEviction(t *testing.T) {
+	s := NewSet(4)
+	for uid := uint64(1); uid <= 4; uid++ {
+		s.Check(uid)
+	}
+	// Ring full; inserting a 5th evicts uid 1.
+	s.Check(5)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Check(1) {
+		t.Fatal("evicted uid still flagged as duplicate")
+	}
+	// uid 1 reinserted; that evicted uid 2.
+	if s.Check(2) {
+		t.Fatal("uid 2 should have been evicted")
+	}
+}
+
+func TestNonPositiveCapacity(t *testing.T) {
+	s := NewSet(0)
+	if s.Check(1) {
+		t.Fatal("fresh set flagged duplicate")
+	}
+	if !s.Check(1) {
+		t.Fatal("capacity-1 set must remember last uid")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := NewSet(8)
+	for uid := uint64(1); uid <= 12; uid++ { // wraps the ring
+		s.Check(uid)
+	}
+	enc := wire.NewEncoder(nil)
+	s.Snapshot(enc)
+	got, err := RestoreSet(wire.NewDecoder(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("restored Len = %d, want %d", got.Len(), s.Len())
+	}
+	// Remembered uids (5..12) must still be flagged; evicted ones must not.
+	for uid := uint64(5); uid <= 12; uid++ {
+		if !got.Check(uid) {
+			t.Fatalf("uid %d lost in snapshot", uid)
+		}
+	}
+}
+
+func TestRestoreCorrupt(t *testing.T) {
+	if _, err := RestoreSet(wire.NewDecoder(nil)); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	enc := wire.NewEncoder(nil)
+	enc.Uvarint(4)  // cap
+	enc.Uvarint(0)  // pos
+	enc.Bool(false) // full
+	enc.Uvarint(9)  // n > cap: corrupt
+	if _, err := RestoreSet(wire.NewDecoder(enc.Bytes())); err == nil {
+		t.Fatal("expected corrupt error")
+	}
+}
+
+func TestQuickExactlyOnceWithinHorizon(t *testing.T) {
+	// Property: for any sequence of uids where duplicates arrive within the
+	// ring capacity of the original, Check admits each distinct uid exactly
+	// once.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet(64)
+		admitted := make(map[uint64]int)
+		// recent holds uids admitted within the last 32 insertions; replays
+		// do not refresh it, so every replay of a uid happens while the uid
+		// is within half the ring capacity — inside the guarantee horizon.
+		var recent []uint64
+		for i := 0; i < 500; i++ {
+			var uid uint64
+			if len(recent) > 0 && rng.Intn(3) == 0 {
+				uid = recent[rng.Intn(len(recent))]
+			} else {
+				uid = rng.Uint64()
+			}
+			if !s.Check(uid) {
+				admitted[uid]++
+				recent = append(recent, uid)
+				if len(recent) > 32 {
+					recent = recent[1:]
+				}
+			}
+		}
+		for _, n := range admitted {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(uids []uint64, capRaw uint8) bool {
+		capacity := int(capRaw)%32 + 1
+		s := NewSet(capacity)
+		for _, u := range uids {
+			s.Check(u)
+		}
+		enc := wire.NewEncoder(nil)
+		s.Snapshot(enc)
+		got, err := RestoreSet(wire.NewDecoder(enc.Bytes()))
+		if err != nil {
+			return false
+		}
+		return got.Len() == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,364 @@
+// Package harness drives the paper's experiments end to end: it builds
+// workloads, runs a query under a protocol at a given input rate, injects
+// failures, decides sustainability, searches for the maximum sustainable
+// throughput, and formats the tables and figure data series of the paper's
+// evaluation section (§VII).
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/cyclic"
+	"checkmate/internal/metrics"
+	"checkmate/internal/mq"
+	"checkmate/internal/nexmark"
+	"checkmate/internal/objstore"
+	"checkmate/internal/recovery"
+)
+
+// QueryCyclic names the cyclic reachability query in RunConfig.Query.
+const QueryCyclic = "cyclic"
+
+// RunConfig describes a single experiment run.
+type RunConfig struct {
+	// Query is one of q1, q2, q3, q4, q5, q7, q8, q11, q12, q12et or
+	// "cyclic". The paper evaluates q1/q3/q8/q12; the rest are
+	// workload-library extensions (q12et is the event-time twin of q12).
+	Query string
+	// Protocol is the checkpointing protocol.
+	Protocol core.Protocol
+	// Workers is the parallelism (one worker per parallel instance).
+	Workers int
+	// Rate is the total input event rate (events/second).
+	Rate float64
+	// Duration is the measured run length (the paper's 60 s, possibly
+	// time-compressed).
+	Duration time.Duration
+	// FailureAt injects a worker failure this long into the run (0 = no
+	// failure). The paper uses 18 s of a 60 s run.
+	FailureAt time.Duration
+	// FailWorker selects the worker to kill.
+	FailWorker int
+	// HotRatio is the NexMark hot-items ratio (0 = uniform).
+	HotRatio float64
+	// CheckpointInterval is the protocol checkpoint interval.
+	CheckpointInterval time.Duration
+	// Window is the tumbling window of Q8/Q12 and the sliding-window size
+	// of Q5.
+	Window time.Duration
+	// Slide is the sliding-window step of Q5 (defaults to Window/2).
+	Slide time.Duration
+	// SessionGap is the inactivity gap closing a Q11 session (defaults to
+	// Window/2).
+	SessionGap time.Duration
+	// Nodes is the cyclic query's node universe.
+	Nodes uint64
+	// Seed drives all deterministic randomness.
+	Seed int64
+	// NetWorkFactor is the synthetic per-byte network cost factor.
+	NetWorkFactor int
+	// StorePutLatency / StoreGetLatency configure the checkpoint store.
+	StorePutLatency time.Duration
+	StoreGetLatency time.Duration
+	// ChannelCap bounds inter-instance queues.
+	ChannelCap int
+	// LagThreshold decides sustainability; defaults to 4% of Duration.
+	LagThreshold time.Duration
+	// DrainGrace extends the run after Duration to let in-flight records
+	// drain into the latency timeline.
+	DrainGrace time.Duration
+	// Semantics selects the processing guarantee for the logging protocols
+	// (default exactly-once).
+	Semantics core.Semantics
+	// StragglerDelay injects per-event processing delay on one worker's
+	// instances (straggler simulation); 0 disables.
+	StragglerDelay time.Duration
+	// StragglerWorker selects the straggling worker.
+	StragglerWorker int
+	// CheckpointGC enables checkpoint garbage collection in the store.
+	CheckpointGC bool
+	// StoreFailureRate injects transient object-store errors (0..1); the
+	// engine retries them.
+	StoreFailureRate float64
+	// Output selects sink-output collection: none (default), immediate
+	// (duplicates visible after failures), or transactional (exactly-once
+	// output via epoch commit).
+	Output core.OutputMode
+	// WatermarkInterval enables event-time watermark flow (required by the
+	// q12et event-time query; defaulted automatically for it).
+	WatermarkInterval time.Duration
+	// WatermarkLag is the out-of-orderness bound of source watermarks.
+	WatermarkLag time.Duration
+	// CompressCheckpoints deflates checkpoint blobs before upload.
+	CompressCheckpoints bool
+	// AnalyzeRollbackScope computes, after the run, the rollback scope of
+	// every possible single-instance failure under the logging protocols
+	// (see RunResult.Scope). Failure-free runs only.
+	AnalyzeRollbackScope bool
+}
+
+func (c *RunConfig) applyDefaults() {
+	if c.Duration <= 0 {
+		c.Duration = 6 * time.Second
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = c.Duration / 12 // 5 s at paper scale
+	}
+	if c.Window <= 0 {
+		c.Window = c.Duration / 60 * 10 // 10 s at paper scale
+	}
+	if c.LagThreshold <= 0 {
+		c.LagThreshold = c.Duration / 25
+	}
+	if c.StorePutLatency <= 0 {
+		c.StorePutLatency = 2 * time.Millisecond
+	}
+	if c.StoreGetLatency <= 0 {
+		c.StoreGetLatency = 2 * time.Millisecond
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = c.Duration / 10
+	}
+	if c.NetWorkFactor == 0 {
+		c.NetWorkFactor = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Query == "q12et" && c.WatermarkInterval <= 0 {
+		// One watermark per quarter paper-second keeps event-time windows
+		// firing promptly at any time compression.
+		c.WatermarkInterval = c.Duration / 240
+	}
+}
+
+// RunResult carries the outcome of one run.
+type RunResult struct {
+	Config      RunConfig
+	Summary     metrics.Summary
+	Sustainable bool
+	// MaxLag is the worst source lag observed in the second half of the
+	// run (the sustainability criterion).
+	MaxLag time.Duration
+	// Produced counts generated records per topic.
+	Produced map[string]uint64
+	// Output summarizes the sink-output collector (zero unless
+	// RunConfig.Output enabled collection).
+	Output core.OutputStats
+	// DuplicateUIDs counts distinct results the external consumer observed
+	// more than once — the exactly-once-output violation immediate mode
+	// exhibits after failures.
+	DuplicateUIDs int
+	// VisibilityP50 and VisibilityP99 are percentiles of the end-to-end
+	// output visibility latency (visible time minus schedule time).
+	VisibilityP50, VisibilityP99 time.Duration
+	// Store reports the checkpoint-store traffic of the run.
+	Store objstore.Stats
+	// Scope summarizes the single-failure rollback-scope analysis (set by
+	// RunConfig.AnalyzeRollbackScope).
+	Scope ScopeStats
+}
+
+// ScopeStats aggregates recovery.RollbackScope over every possible
+// single-instance failure: how localized recovery could be under the
+// uncoordinated family, in contrast to the global rollback the coordinated
+// protocol requires by construction.
+type ScopeStats struct {
+	// Instances is the pipeline's total instance count.
+	Instances int
+	// AvgScope and MaxScope count instances that must restore state when
+	// one instance fails (averaged over / maximized over the choice of
+	// failed instance).
+	AvgScope float64
+	MaxScope int
+	// AvgDepth is the mean number of checkpoints rolled back per in-scope
+	// instance.
+	AvgDepth float64
+}
+
+// buildWorkload creates the broker topics and the job for cfg.
+func buildWorkload(cfg *RunConfig) (*mq.Broker, *core.JobSpec, map[string]uint64, error) {
+	broker := mq.NewBroker()
+	genDur := cfg.Duration
+	if cfg.Query == QueryCyclic {
+		counts, err := cyclic.Generate(broker, cyclic.GenConfig{
+			Rate: cfg.Rate, Duration: genDur, Partitions: cfg.Workers,
+			Nodes: cfg.Nodes, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return broker, cyclic.Build(), counts, nil
+	}
+	counts, err := nexmark.Generate(broker, nexmark.GenConfig{
+		Rate: cfg.Rate, Duration: genDur, Partitions: cfg.Workers,
+		HotRatio: cfg.HotRatio, Seed: cfg.Seed,
+		Topics: nexmark.TopicsFor(cfg.Query),
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	job, err := nexmark.Build(cfg.Query, nexmark.QueryConfig{
+		Window: cfg.Window, Slide: cfg.Slide, SessionGap: cfg.SessionGap,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return broker, job, counts, nil
+}
+
+// Run executes one experiment.
+func Run(cfg RunConfig) (RunResult, error) {
+	cfg.applyDefaults()
+	if cfg.Rate <= 0 || cfg.Workers <= 0 {
+		return RunResult{}, fmt.Errorf("harness: rate and workers must be positive (rate=%v workers=%d)", cfg.Rate, cfg.Workers)
+	}
+	broker, job, produced, err := buildWorkload(&cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	store := objstore.New(objstore.Config{
+		PutLatency:     cfg.StorePutLatency,
+		GetLatency:     cfg.StoreGetLatency,
+		PerByteLatency: time.Nanosecond,
+		FailureRate:    cfg.StoreFailureRate,
+		Seed:           cfg.Seed,
+	})
+	bucket := cfg.Duration / 60 // always 60 "paper seconds"
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	recorder := metrics.NewRecorder(time.Now(), cfg.Duration+cfg.DrainGrace, bucket)
+	eng, err := core.NewEngine(core.Config{
+		Workers:             cfg.Workers,
+		Protocol:            cfg.Protocol,
+		CheckpointInterval:  cfg.CheckpointInterval,
+		ChannelCap:          cfg.ChannelCap,
+		Broker:              broker,
+		Store:               store,
+		Recorder:            recorder,
+		DetectionDelay:      cfg.Duration / 120,
+		PollInterval:        2 * time.Millisecond,
+		CatchUpLag:          cfg.LagThreshold / 2,
+		NetWorkFactor:       cfg.NetWorkFactor,
+		Semantics:           cfg.Semantics,
+		StragglerDelay:      cfg.StragglerDelay,
+		StragglerWorker:     cfg.StragglerWorker,
+		CheckpointGC:        cfg.CheckpointGC,
+		Output:              cfg.Output,
+		WatermarkInterval:   cfg.WatermarkInterval,
+		WatermarkLag:        cfg.WatermarkLag,
+		CompressCheckpoints: cfg.CompressCheckpoints,
+		Seed:                cfg.Seed,
+	}, job)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := eng.Start(); err != nil {
+		return RunResult{}, err
+	}
+
+	start := time.Now()
+	if cfg.FailureAt > 0 {
+		go func() {
+			time.Sleep(cfg.FailureAt)
+			eng.InjectFailure(cfg.FailWorker)
+		}()
+	}
+	// Sample source lag over the second half of the run for the
+	// sustainability verdict.
+	var maxLag time.Duration
+	half := cfg.Duration / 2
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= cfg.Duration {
+			break
+		}
+		if elapsed >= half && cfg.FailureAt == 0 {
+			if lag := eng.MaxSourceLag(); lag > maxLag {
+				maxLag = lag
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Grace period so in-flight records drain into the timeline.
+	deadline := time.Now().Add(cfg.DrainGrace)
+	for time.Now().Before(deadline) {
+		if eng.SourceBacklog() == 0 && eng.MaxSourceLag() < cfg.LagThreshold/4 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lag := eng.MaxSourceLag(); cfg.FailureAt == 0 && lag > maxLag {
+		maxLag = lag
+	}
+	eng.Stop()
+
+	sum := recorder.Summarize(cfg.Protocol.Kind() == core.KindCoordinated)
+	res := RunResult{
+		Config:      cfg,
+		Summary:     sum,
+		MaxLag:      maxLag,
+		Sustainable: maxLag < cfg.LagThreshold && sum.SinkCount > 0,
+		Produced:    produced,
+	}
+	res.Store = store.Stats()
+	if cfg.AnalyzeRollbackScope && cfg.Protocol.Kind().NeedsLogging() {
+		res.Scope = analyzeScope(eng)
+	}
+	if cfg.Output != core.OutputNone {
+		res.Output = eng.OutputStats()
+		visible := eng.VisibleOutput()
+		counts := make(map[uint64]int, len(visible))
+		lats := make([]time.Duration, 0, len(visible))
+		for _, r := range visible {
+			counts[r.UID]++
+			lats = append(lats, time.Duration(r.VisibleNS-r.SchedNS))
+		}
+		for _, n := range counts {
+			if n > 1 {
+				res.DuplicateUIDs++
+			}
+		}
+		if len(lats) > 0 {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			res.VisibilityP50 = lats[len(lats)/2]
+			res.VisibilityP99 = lats[len(lats)*99/100]
+		}
+	}
+	return res, nil
+}
+
+// analyzeScope runs the rollback-dependency-graph scope analysis for every
+// possible single-instance failure of a stopped engine: how many instances
+// would have to restore state, and how deeply, if that instance alone
+// failed — the partial-recovery potential of the uncoordinated family.
+func analyzeScope(eng *core.Engine) ScopeStats {
+	total := eng.TotalInstances()
+	metas := eng.CheckpointMetas()
+	channels := eng.Channels()
+	live := eng.LiveFrontiers()
+	st := ScopeStats{Instances: total}
+	var scopeSum, depthSum, depthN int
+	for i := 0; i < total; i++ {
+		scope := recovery.RollbackScope(total, channels, metas, []int{i}, live)
+		scopeSum += len(scope)
+		if len(scope) > st.MaxScope {
+			st.MaxScope = len(scope)
+		}
+		for _, e := range scope {
+			depthSum += int(e.Depth)
+			depthN++
+		}
+	}
+	if total > 0 {
+		st.AvgScope = float64(scopeSum) / float64(total)
+	}
+	if depthN > 0 {
+		st.AvgDepth = float64(depthSum) / float64(depthN)
+	}
+	return st
+}

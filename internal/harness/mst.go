@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MSTConfig controls the maximum-sustainable-throughput search.
+type MSTConfig struct {
+	// Base is the run configuration; Rate and Duration are overridden.
+	Base RunConfig
+	// ProbeDuration is the length of each probe run.
+	ProbeDuration time.Duration
+	// StartRate seeds the search.
+	StartRate float64
+	// MaxRate caps the search (memory/CPU guard).
+	MaxRate float64
+	// Bisections is the number of binary-search refinement steps.
+	Bisections int
+}
+
+func (c *MSTConfig) applyDefaults() {
+	if c.ProbeDuration <= 0 {
+		c.ProbeDuration = 1500 * time.Millisecond
+	}
+	if c.StartRate <= 0 {
+		c.StartRate = 5000
+	}
+	if c.MaxRate <= 0 {
+		c.MaxRate = 2_000_000
+	}
+	if c.Bisections <= 0 {
+		c.Bisections = 4
+	}
+}
+
+// FindMST searches for the maximum sustainable throughput of the base
+// configuration: the highest input rate at which the sources keep up with
+// the arrival schedule (paper §V, following Karimov et al.).
+func FindMST(cfg MSTConfig) (float64, error) {
+	cfg.applyDefaults()
+	probe := func(rate float64) (bool, error) {
+		rc := cfg.Base
+		rc.Rate = rate
+		rc.Duration = cfg.ProbeDuration
+		rc.FailureAt = 0
+		res, err := Run(rc)
+		if err != nil {
+			return false, err
+		}
+		return res.Sustainable, nil
+	}
+
+	lo := 0.0
+	hi := cfg.StartRate
+	// Grow until unsustainable (or the cap).
+	for {
+		ok, err := probe(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		lo = hi
+		if hi >= cfg.MaxRate {
+			return lo, nil
+		}
+		hi *= 2
+		if hi > cfg.MaxRate {
+			hi = cfg.MaxRate
+		}
+	}
+	if lo == 0 {
+		// Even the start rate is unsustainable: shrink downward once to
+		// give the bisection a sustainable floor.
+		lo = hi / 16
+	}
+	for i := 0; i < cfg.Bisections; i++ {
+		mid := (lo + hi) / 2
+		ok, err := probe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if lo <= 0 {
+		return 0, fmt.Errorf("harness: no sustainable rate found below %v", hi)
+	}
+	return lo, nil
+}
+
+// mstKey identifies a cached MST measurement.
+type mstKey struct {
+	query    string
+	protocol string
+	workers  int
+}
+
+// MSTCache memoizes MST searches across experiments (the paper reuses the
+// measured MST of each (query, protocol, parallelism) cell for its 80%- and
+// 50%-load runs).
+type MSTCache struct {
+	mu    sync.Mutex
+	cache map[mstKey]float64
+}
+
+// NewMSTCache returns an empty cache.
+func NewMSTCache() *MSTCache { return &MSTCache{cache: make(map[mstKey]float64)} }
+
+// Get returns the cached MST or runs the search.
+func (c *MSTCache) Get(cfg MSTConfig) (float64, error) {
+	key := mstKey{cfg.Base.Query, cfg.Base.Protocol.Name(), cfg.Base.Workers}
+	c.mu.Lock()
+	if v, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	v, err := FindMST(cfg)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.cache[key] = v
+	c.mu.Unlock()
+	return v, nil
+}

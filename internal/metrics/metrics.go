@@ -1,0 +1,433 @@
+// Package metrics implements the measurements the paper defines in §V:
+// end-to-end latency (per-second 50th and 99th percentiles), sustainable
+// throughput accounting, average checkpointing time, restart and recovery
+// time, invalid checkpoints, and message overhead.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder collects all run-level measurements. It is shared by every
+// component of a run (instances, coordinator, harness) and safe for
+// concurrent use.
+type Recorder struct {
+	start time.Time
+
+	timeline *Timeline
+
+	// Byte accounting, split so overhead ratios can be computed.
+	payloadBytes  atomic.Uint64 // serialized record payload + routing header
+	protocolBytes atomic.Uint64 // piggybacked protocol state, markers, control
+
+	// Message accounting.
+	dataMessages      atomic.Uint64
+	markerMessages    atomic.Uint64
+	watermarkMessages atomic.Uint64
+	replayMessages    atomic.Uint64
+	dupDropped        atomic.Uint64
+	forcedCkpts       atomic.Uint64
+	localCkpts        atomic.Uint64
+
+	// Checkpoint garbage collection.
+	gcCkpts atomic.Uint64
+	gcBytes atomic.Uint64
+
+	sinkCount atomic.Uint64
+
+	mu             sync.Mutex
+	ckptDurations  []time.Duration
+	roundDurations []time.Duration
+	restartTimes   []time.Duration
+	recoveryTimes  []time.Duration
+	totalCkpts     int
+	invalidCkpts   int
+	replayedOnRec  uint64
+	rollbackDist   uint64
+	failures       int
+	notes          []string
+}
+
+// NewRecorder returns a recorder; the timeline covers [0, horizon) split in
+// one-second buckets (scaled by the run's time compression).
+func NewRecorder(start time.Time, horizon, bucket time.Duration) *Recorder {
+	return &Recorder{start: start, timeline: NewTimeline(horizon, bucket)}
+}
+
+// Start returns the run start time.
+func (r *Recorder) Start() time.Time { return r.start }
+
+// Timeline returns the latency timeline.
+func (r *Recorder) Timeline() *Timeline { return r.timeline }
+
+// RecordSinkLatency records one end-to-end latency observation at the sink.
+// at is the absolute observation time; latency is observation − schedule.
+func (r *Recorder) RecordSinkLatency(at time.Time, latency time.Duration) {
+	r.sinkCount.Add(1)
+	r.timeline.Record(at.Sub(r.start), latency)
+}
+
+// SinkCount reports the number of records that reached the sinks.
+func (r *Recorder) SinkCount() uint64 { return r.sinkCount.Load() }
+
+// AddPayloadBytes accounts bytes of record payloads put on the wire.
+func (r *Recorder) AddPayloadBytes(n int) { r.payloadBytes.Add(uint64(n)) }
+
+// AddProtocolBytes accounts bytes of protocol-related information put on the
+// wire (piggybacks, markers, coordinator control traffic).
+func (r *Recorder) AddProtocolBytes(n int) { r.protocolBytes.Add(uint64(n)) }
+
+// PayloadBytes reports accumulated payload bytes.
+func (r *Recorder) PayloadBytes() uint64 { return r.payloadBytes.Load() }
+
+// ProtocolBytes reports accumulated protocol bytes.
+func (r *Recorder) ProtocolBytes() uint64 { return r.protocolBytes.Load() }
+
+// OverheadRatio reports (payload+protocol)/payload, the paper's Table II
+// metric. It returns 1 when no payload bytes were recorded.
+func (r *Recorder) OverheadRatio() float64 {
+	p := float64(r.payloadBytes.Load())
+	if p == 0 {
+		return 1
+	}
+	return (p + float64(r.protocolBytes.Load())) / p
+}
+
+// IncDataMessages counts a data message crossing a channel.
+func (r *Recorder) IncDataMessages() { r.dataMessages.Add(1) }
+
+// IncMarkerMessages counts a checkpoint marker crossing a channel.
+func (r *Recorder) IncMarkerMessages() { r.markerMessages.Add(1) }
+
+// IncWatermarkMessages counts one event-time watermark message.
+func (r *Recorder) IncWatermarkMessages() { r.watermarkMessages.Add(1) }
+
+// IncReplayMessages counts a message re-injected from the in-flight log.
+func (r *Recorder) IncReplayMessages(n int) { r.replayMessages.Add(uint64(n)) }
+
+// IncDupDropped counts a message dropped by deduplication.
+func (r *Recorder) IncDupDropped() { r.dupDropped.Add(1) }
+
+// AddGCReclaimed accounts checkpoints (and their bytes) deleted from the
+// store by the checkpoint garbage collector.
+func (r *Recorder) AddGCReclaimed(ckpts int, bytes uint64) {
+	r.gcCkpts.Add(uint64(ckpts))
+	r.gcBytes.Add(bytes)
+}
+
+// IncForcedCheckpoints counts a CIC forced checkpoint.
+func (r *Recorder) IncForcedCheckpoints() { r.forcedCkpts.Add(1) }
+
+// IncLocalCheckpoints counts a local (timer-driven) checkpoint.
+func (r *Recorder) IncLocalCheckpoints() { r.localCkpts.Add(1) }
+
+// RecordCheckpointDuration records the time one checkpoint took (local
+// snapshot for UNC/CIC).
+func (r *Recorder) RecordCheckpointDuration(d time.Duration) {
+	r.mu.Lock()
+	r.ckptDurations = append(r.ckptDurations, d)
+	r.mu.Unlock()
+}
+
+// RecordRoundDuration records a full coordinated round duration (COOR's
+// checkpointing time).
+func (r *Recorder) RecordRoundDuration(d time.Duration) {
+	r.mu.Lock()
+	r.roundDurations = append(r.roundDurations, d)
+	r.mu.Unlock()
+}
+
+// RecordRestart records the restart time after a failure (detection → ready
+// to process).
+func (r *Recorder) RecordRestart(d time.Duration) {
+	r.mu.Lock()
+	r.restartTimes = append(r.restartTimes, d)
+	r.failures++
+	r.mu.Unlock()
+}
+
+// RecordRecovery records the recovery time after a failure (detection →
+// caught up with the input schedule).
+func (r *Recorder) RecordRecovery(d time.Duration) {
+	r.mu.Lock()
+	r.recoveryTimes = append(r.recoveryTimes, d)
+	r.mu.Unlock()
+}
+
+// SetCheckpointAccounting records total/invalid checkpoint counts determined
+// at recovery time (or end of run).
+func (r *Recorder) SetCheckpointAccounting(total, invalid int) {
+	r.mu.Lock()
+	r.totalCkpts = total
+	r.invalidCkpts = invalid
+	r.mu.Unlock()
+}
+
+// AddReplayedOnRecovery accounts messages replayed during a recovery and the
+// rollback distance (messages reprocessed from source rewind).
+func (r *Recorder) AddReplayedOnRecovery(replayed, rollback uint64) {
+	r.mu.Lock()
+	r.replayedOnRec += replayed
+	r.rollbackDist += rollback
+	r.mu.Unlock()
+}
+
+// Note appends a free-form annotation carried into the summary.
+func (r *Recorder) Note(format string, args ...any) {
+	r.mu.Lock()
+	r.notes = append(r.notes, fmt.Sprintf(format, args...))
+	r.mu.Unlock()
+}
+
+// Summary is an immutable snapshot of all measurements of a run.
+type Summary struct {
+	SinkCount      uint64
+	PayloadBytes   uint64
+	ProtocolBytes  uint64
+	OverheadRatio  float64
+	DataMessages   uint64
+	MarkerMessages uint64
+	// WatermarkMessages counts event-time watermark control messages.
+	WatermarkMessages uint64
+	ReplayMessages    uint64
+	DupDropped        uint64
+	ForcedCkpts       uint64
+	LocalCkpts        uint64
+
+	AvgCheckpointTime time.Duration // protocol definition dependent
+	AvgRoundTime      time.Duration
+	RestartTime       time.Duration // last failure
+	RecoveryTime      time.Duration // last failure; 0 if never recovered
+	Recovered         bool
+	Failures          int
+
+	TotalCheckpoints   int
+	InvalidCheckpoints int
+	ReplayedOnRecovery uint64
+	RollbackDistance   uint64
+
+	// GCCheckpoints / GCBytes report checkpoints reclaimed from the store
+	// by the garbage collector.
+	GCCheckpoints uint64
+	GCBytes       uint64
+
+	Timeline TimelineSummary
+	Notes    []string
+}
+
+// Summarize computes the summary. coordinated selects whether the average
+// checkpointing time is the round duration (COOR) or the local snapshot
+// duration (UNC/CIC).
+func (r *Recorder) Summarize(coordinated bool) Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Summary{
+		SinkCount:          r.sinkCount.Load(),
+		PayloadBytes:       r.payloadBytes.Load(),
+		ProtocolBytes:      r.protocolBytes.Load(),
+		OverheadRatio:      r.overheadRatioLocked(),
+		DataMessages:       r.dataMessages.Load(),
+		MarkerMessages:     r.markerMessages.Load(),
+		WatermarkMessages:  r.watermarkMessages.Load(),
+		ReplayMessages:     r.replayMessages.Load(),
+		DupDropped:         r.dupDropped.Load(),
+		ForcedCkpts:        r.forcedCkpts.Load(),
+		LocalCkpts:         r.localCkpts.Load(),
+		AvgRoundTime:       avgDur(r.roundDurations),
+		TotalCheckpoints:   r.totalCkpts,
+		InvalidCheckpoints: r.invalidCkpts,
+		ReplayedOnRecovery: r.replayedOnRec,
+		RollbackDistance:   r.rollbackDist,
+		GCCheckpoints:      r.gcCkpts.Load(),
+		GCBytes:            r.gcBytes.Load(),
+		Failures:           r.failures,
+		Timeline:           r.timeline.Summarize(),
+		Notes:              append([]string(nil), r.notes...),
+	}
+	if coordinated {
+		s.AvgCheckpointTime = avgDur(r.roundDurations)
+	} else {
+		s.AvgCheckpointTime = avgDur(r.ckptDurations)
+	}
+	if n := len(r.restartTimes); n > 0 {
+		s.RestartTime = r.restartTimes[n-1]
+	}
+	if n := len(r.recoveryTimes); n > 0 {
+		s.RecoveryTime = r.recoveryTimes[n-1]
+		s.Recovered = true
+	}
+	return s
+}
+
+func (r *Recorder) overheadRatioLocked() float64 {
+	p := float64(r.payloadBytes.Load())
+	if p == 0 {
+		return 1
+	}
+	return (p + float64(r.protocolBytes.Load())) / p
+}
+
+func avgDur(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Timeline buckets latency observations by time since run start and computes
+// per-bucket percentiles, reproducing the per-second latency series of
+// Figures 9 and 10. Each bucket keeps a capped reservoir of samples;
+// percentiles are exact until the cap, then computed over a uniform sample.
+type Timeline struct {
+	bucket  time.Duration
+	buckets []*reservoir
+}
+
+const reservoirCap = 4096
+
+type reservoir struct {
+	mu      sync.Mutex
+	n       uint64
+	samples []time.Duration
+}
+
+func (rv *reservoir) record(d time.Duration) {
+	rv.mu.Lock()
+	rv.n++
+	if len(rv.samples) < reservoirCap {
+		rv.samples = append(rv.samples, d)
+	} else {
+		// Uniform reservoir sampling (Vitter's Algorithm R) with a cheap
+		// deterministic-ish index derived from the counter; adequate for
+		// percentile estimation at this scale.
+		idx := (rv.n * 2654435761) % uint64(reservoirCap)
+		rv.samples[idx] = d
+	}
+	rv.mu.Unlock()
+}
+
+// NewTimeline creates a timeline covering [0, horizon) with the given bucket
+// width.
+func NewTimeline(horizon, bucket time.Duration) *Timeline {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	n := int(horizon/bucket) + 1
+	if n < 1 {
+		n = 1
+	}
+	t := &Timeline{bucket: bucket, buckets: make([]*reservoir, n)}
+	for i := range t.buckets {
+		t.buckets[i] = &reservoir{}
+	}
+	return t
+}
+
+// Record adds one observation at the given offset since run start.
+func (t *Timeline) Record(since time.Duration, latency time.Duration) {
+	if since < 0 {
+		since = 0
+	}
+	i := int(since / t.bucket)
+	if i >= len(t.buckets) {
+		i = len(t.buckets) - 1
+	}
+	t.buckets[i].record(latency)
+}
+
+// BucketWidth returns the bucket width.
+func (t *Timeline) BucketWidth() time.Duration { return t.bucket }
+
+// NumBuckets returns the number of buckets.
+func (t *Timeline) NumBuckets() int { return len(t.buckets) }
+
+// TimelinePoint is the percentile summary of one bucket.
+type TimelinePoint struct {
+	Start time.Duration
+	Count uint64
+	P50   time.Duration
+	P99   time.Duration
+}
+
+// TimelineSummary is the full per-bucket series plus whole-run percentiles.
+type TimelineSummary struct {
+	Bucket time.Duration
+	Points []TimelinePoint
+	// Overall percentiles across all buckets (sample-weighted).
+	P50, P99 time.Duration
+}
+
+// Summarize computes per-bucket and overall percentiles.
+func (t *Timeline) Summarize() TimelineSummary {
+	out := TimelineSummary{Bucket: t.bucket}
+	var all []time.Duration
+	for i, rv := range t.buckets {
+		rv.mu.Lock()
+		samples := append([]time.Duration(nil), rv.samples...)
+		n := rv.n
+		rv.mu.Unlock()
+		if n == 0 {
+			continue
+		}
+		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+		out.Points = append(out.Points, TimelinePoint{
+			Start: time.Duration(i) * t.bucket,
+			Count: n,
+			P50:   pct(samples, 0.50),
+			P99:   pct(samples, 0.99),
+		})
+		all = append(all, samples...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		out.P50 = pct(all, 0.50)
+		out.P99 = pct(all, 0.99)
+	}
+	return out
+}
+
+// LastQuartileP50 returns the p50 over the last quarter of non-empty
+// buckets, used by the sustainable-throughput verdict.
+func (s TimelineSummary) LastQuartileP50() time.Duration {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	start := len(s.Points) * 3 / 4
+	var worst time.Duration
+	for _, p := range s.Points[start:] {
+		if p.P50 > worst {
+			worst = p.P50
+		}
+	}
+	return worst
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Percentile computes the q-quantile (0 < q <= 1) of ds without mutating it.
+func Percentile(ds []time.Duration, q float64) time.Duration {
+	cp := append([]time.Duration(nil), ds...)
+	sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+	return pct(cp, q)
+}

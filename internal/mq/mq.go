@@ -1,0 +1,156 @@
+// Package mq simulates the replayable, fault-tolerant message queue the
+// paper's testbed uses as its source and sink (Apache Kafka). A Broker holds
+// topics; a topic holds partitions; a partition is an append-only log of
+// records addressed by offset.
+//
+// Records carry an arrival schedule timestamp: the instant at which the
+// record is supposed to become available to the pipeline. Sources never read
+// a record before its schedule time, and end-to-end latency is measured from
+// the schedule time, so queueing delay caused by backpressure is fully
+// charged to the system — the standard methodology for sustainable
+// throughput measurements.
+//
+// The broker survives worker failures (it is a separate durable system in
+// the paper's deployment), so after a failure sources simply rewind to their
+// checkpointed offsets.
+package mq
+
+import (
+	"fmt"
+	"sync"
+
+	"checkmate/internal/wire"
+)
+
+// Record is one entry of a partition log.
+type Record struct {
+	// Offset is the position within the partition.
+	Offset uint64
+	// ScheduleNS is the nanosecond timestamp (relative to the run start)
+	// at which the record becomes available for consumption.
+	ScheduleNS int64
+	// Key is the partitioning/routing key of the payload.
+	Key uint64
+	// Value is the record payload.
+	Value wire.Value
+}
+
+// Partition is an append-only log. Appends and reads may happen
+// concurrently; reads of already-appended records are wait-free after the
+// initial slice snapshot.
+type Partition struct {
+	mu      sync.RWMutex
+	records []Record
+}
+
+// Append adds a record and returns its offset.
+func (p *Partition) Append(scheduleNS int64, key uint64, v wire.Value) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := uint64(len(p.records))
+	p.records = append(p.records, Record{Offset: off, ScheduleNS: scheduleNS, Key: key, Value: v})
+	return off
+}
+
+// Len reports the number of records in the partition.
+func (p *Partition) Len() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return uint64(len(p.records))
+}
+
+// Read returns the record at offset and true, or a zero record and false if
+// the offset is past the end of the log.
+func (p *Partition) Read(offset uint64) (Record, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if offset >= uint64(len(p.records)) {
+		return Record{}, false
+	}
+	return p.records[offset], true
+}
+
+// ReadBatch appends up to max records starting at offset to dst and returns
+// the extended slice. It stops early at the end of the log.
+func (p *Partition) ReadBatch(dst []Record, offset uint64, max int) []Record {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for i := 0; i < max; i++ {
+		idx := offset + uint64(i)
+		if idx >= uint64(len(p.records)) {
+			break
+		}
+		dst = append(dst, p.records[idx])
+	}
+	return dst
+}
+
+// Topic is a named set of partitions.
+type Topic struct {
+	Name       string
+	Partitions []*Partition
+}
+
+// Partition returns partition i.
+func (t *Topic) Partition(i int) *Partition { return t.Partitions[i] }
+
+// TotalLen reports the total number of records across all partitions.
+func (t *Topic) TotalLen() uint64 {
+	var n uint64
+	for _, p := range t.Partitions {
+		n += p.Len()
+	}
+	return n
+}
+
+// Broker is the durable queue system: a registry of topics.
+type Broker struct {
+	mu     sync.RWMutex
+	topics map[string]*Topic
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{topics: make(map[string]*Topic)}
+}
+
+// CreateTopic creates a topic with n partitions. It returns an error if the
+// topic already exists or n is not positive.
+func (b *Broker) CreateTopic(name string, n int) (*Topic, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mq: topic %q: partition count must be positive, got %d", name, n)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.topics[name]; ok {
+		return nil, fmt.Errorf("mq: topic %q already exists", name)
+	}
+	t := &Topic{Name: name, Partitions: make([]*Partition, n)}
+	for i := range t.Partitions {
+		t.Partitions[i] = &Partition{}
+	}
+	b.topics[name] = t
+	return t, nil
+}
+
+// Topic returns the named topic, or an error if it does not exist.
+func (b *Broker) Topic(name string) (*Topic, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("mq: topic %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Topics returns the names of all topics.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.topics))
+	for n := range b.topics {
+		names = append(names, n)
+	}
+	return names
+}

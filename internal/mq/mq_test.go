@@ -1,0 +1,141 @@
+package mq
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"checkmate/internal/wire"
+)
+
+type payload struct{ N uint64 }
+
+func (p *payload) TypeID() uint16              { return 901 }
+func (p *payload) MarshalWire(e *wire.Encoder) { e.Uvarint(p.N) }
+
+func TestBrokerTopics(t *testing.T) {
+	b := NewBroker()
+	tp, err := b.CreateTopic("bids", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Partitions) != 4 {
+		t.Fatalf("partitions = %d, want 4", len(tp.Partitions))
+	}
+	if _, err := b.CreateTopic("bids", 2); err == nil {
+		t.Fatal("duplicate topic creation should fail")
+	}
+	if _, err := b.CreateTopic("bad", 0); err == nil {
+		t.Fatal("zero partitions should fail")
+	}
+	got, err := b.Topic("bids")
+	if err != nil || got != tp {
+		t.Fatalf("Topic lookup = %v, %v", got, err)
+	}
+	if _, err := b.Topic("missing"); err == nil {
+		t.Fatal("missing topic lookup should fail")
+	}
+	if names := b.Topics(); len(names) != 1 || names[0] != "bids" {
+		t.Fatalf("Topics = %v", names)
+	}
+}
+
+func TestPartitionAppendRead(t *testing.T) {
+	p := &Partition{}
+	for i := 0; i < 10; i++ {
+		off := p.Append(int64(i*100), uint64(i), &payload{N: uint64(i)})
+		if off != uint64(i) {
+			t.Fatalf("offset = %d, want %d", off, i)
+		}
+	}
+	if p.Len() != 10 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	r, ok := p.Read(3)
+	if !ok || r.Offset != 3 || r.ScheduleNS != 300 || r.Key != 3 {
+		t.Fatalf("Read(3) = %+v, %v", r, ok)
+	}
+	if _, ok := p.Read(10); ok {
+		t.Fatal("read past end should fail")
+	}
+}
+
+func TestPartitionReadBatch(t *testing.T) {
+	p := &Partition{}
+	for i := 0; i < 5; i++ {
+		p.Append(0, uint64(i), nil)
+	}
+	got := p.ReadBatch(nil, 2, 10)
+	if len(got) != 3 || got[0].Key != 2 || got[2].Key != 4 {
+		t.Fatalf("ReadBatch = %+v", got)
+	}
+	got = p.ReadBatch(got[:0], 0, 2)
+	if len(got) != 2 {
+		t.Fatalf("ReadBatch limited = %d records", len(got))
+	}
+	if got := p.ReadBatch(nil, 99, 5); len(got) != 0 {
+		t.Fatalf("ReadBatch past end = %d records", len(got))
+	}
+}
+
+func TestPartitionConcurrentAppendRead(t *testing.T) {
+	p := &Partition{}
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.Append(int64(i), uint64(i), nil)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var read uint64
+		for read < n {
+			if r, ok := p.Read(read); ok {
+				if r.Key != read {
+					t.Errorf("record %d has key %d", read, r.Key)
+					return
+				}
+				read++
+			}
+		}
+	}()
+	wg.Wait()
+	if p.Len() != n {
+		t.Fatalf("Len = %d, want %d", p.Len(), n)
+	}
+}
+
+func TestTopicTotalLen(t *testing.T) {
+	b := NewBroker()
+	tp, _ := b.CreateTopic("x", 3)
+	tp.Partition(0).Append(0, 0, nil)
+	tp.Partition(2).Append(0, 0, nil)
+	tp.Partition(2).Append(0, 0, nil)
+	if tp.TotalLen() != 3 {
+		t.Fatalf("TotalLen = %d", tp.TotalLen())
+	}
+}
+
+func TestQuickAppendOffsetsMonotone(t *testing.T) {
+	f := func(keys []uint64) bool {
+		p := &Partition{}
+		for i, k := range keys {
+			if p.Append(0, k, nil) != uint64(i) {
+				return false
+			}
+		}
+		for i, k := range keys {
+			r, ok := p.Read(uint64(i))
+			if !ok || r.Key != k {
+				return false
+			}
+		}
+		return p.Len() == uint64(len(keys))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

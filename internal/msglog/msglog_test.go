@@ -1,0 +1,160 @@
+package msglog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendRange(t *testing.T) {
+	l := New()
+	for seq := uint64(1); seq <= 10; seq++ {
+		l.Append(7, seq, []byte{byte(seq)})
+	}
+	got := l.Range(7, 3, 6)
+	if len(got) != 3 {
+		t.Fatalf("Range = %d entries, want 3", len(got))
+	}
+	for i, e := range got {
+		want := uint64(4 + i)
+		if e.Seq != want || e.Data[0] != byte(want) {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+	if got := l.Range(7, 10, 20); len(got) != 0 {
+		t.Fatalf("Range past end = %d entries", len(got))
+	}
+	if got := l.Range(99, 0, 100); got != nil {
+		t.Fatalf("Range unknown channel = %v", got)
+	}
+}
+
+func TestAppendCopiesData(t *testing.T) {
+	l := New()
+	buf := []byte{1, 2, 3}
+	l.Append(1, 1, buf)
+	buf[0] = 99
+	got := l.Range(1, 0, 1)
+	if got[0].Data[0] != 1 {
+		t.Fatal("Append aliased caller buffer")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	l := New()
+	for seq := uint64(1); seq <= 10; seq++ {
+		l.Append(1, seq, make([]byte, 4))
+	}
+	l.Trim(1, 4)
+	if got := l.Range(1, 0, 10); len(got) != 6 || got[0].Seq != 5 {
+		t.Fatalf("after trim Range = %v entries, first seq %d", len(got), got[0].Seq)
+	}
+	st := l.Stats()
+	if st.Entries != 6 || st.Bytes != 24 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	l.Trim(1, 100) // trim everything
+	if got := l.Range(1, 0, 100); len(got) != 0 {
+		t.Fatalf("after full trim = %d entries", len(got))
+	}
+	l.Trim(2, 5) // unknown channel is a no-op
+}
+
+func TestTrimSuffix(t *testing.T) {
+	l := New()
+	for seq := uint64(1); seq <= 10; seq++ {
+		l.Append(1, seq, make([]byte, 2))
+	}
+	l.TrimSuffix(1, 7)
+	got := l.Range(1, 0, 100)
+	if len(got) != 7 || got[len(got)-1].Seq != 7 {
+		t.Fatalf("after TrimSuffix entries = %d, last seq %d", len(got), got[len(got)-1].Seq)
+	}
+	if st := l.Stats(); st.Bytes != 14 {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+	// Appending after a suffix trim continues the sequence.
+	l.Append(1, 8, []byte{9, 9})
+	got = l.Range(1, 7, 8)
+	if len(got) != 1 || got[0].Data[0] != 9 {
+		t.Fatalf("regenerated entry = %+v", got)
+	}
+	l.TrimSuffix(2, 5) // unknown channel: no-op
+}
+
+func TestTrimSuffixAll(t *testing.T) {
+	l := New()
+	for ch := uint64(1); ch <= 3; ch++ {
+		for seq := uint64(1); seq <= 5; seq++ {
+			l.Append(ch, seq, nil)
+		}
+	}
+	// Channel 1 keeps 3, channel 2 keeps 0 (absent from frontier), channel
+	// 3 keeps all.
+	l.TrimSuffixAll(map[uint64]uint64{1: 3, 3: 99})
+	if got := l.Range(1, 0, 100); len(got) != 3 {
+		t.Fatalf("ch1 = %d entries", len(got))
+	}
+	if got := l.Range(2, 0, 100); len(got) != 0 {
+		t.Fatalf("ch2 = %d entries", len(got))
+	}
+	if got := l.Range(3, 0, 100); len(got) != 5 {
+		t.Fatalf("ch3 = %d entries", len(got))
+	}
+}
+
+func TestStatsMultiChannel(t *testing.T) {
+	l := New()
+	l.Append(1, 1, make([]byte, 10))
+	l.Append(2, 1, make([]byte, 5))
+	l.Append(2, 2, make([]byte, 5))
+	st := l.Stats()
+	if st.Channels != 2 || st.Entries != 3 || st.Bytes != 20 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for ch := uint64(0); ch < 8; ch++ {
+		wg.Add(1)
+		go func(ch uint64) {
+			defer wg.Done()
+			for seq := uint64(1); seq <= 500; seq++ {
+				l.Append(ch, seq, []byte(fmt.Sprintf("%d/%d", ch, seq)))
+			}
+		}(ch)
+	}
+	wg.Wait()
+	for ch := uint64(0); ch < 8; ch++ {
+		got := l.Range(ch, 0, 500)
+		if len(got) != 500 {
+			t.Fatalf("channel %d has %d entries", ch, len(got))
+		}
+	}
+}
+
+func TestQuickRangeMatchesNaive(t *testing.T) {
+	f := func(n uint8, fromRaw, toRaw uint16) bool {
+		total := uint64(n%50) + 1
+		l := New()
+		for seq := uint64(1); seq <= total; seq++ {
+			l.Append(1, seq, nil)
+		}
+		from := uint64(fromRaw) % (total + 2)
+		to := uint64(toRaw) % (total + 2)
+		got := l.Range(1, from, to)
+		want := 0
+		for seq := uint64(1); seq <= total; seq++ {
+			if seq > from && seq <= to {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

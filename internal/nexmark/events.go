@@ -1,0 +1,252 @@
+// Package nexmark implements the NexMark e-commerce streaming benchmark
+// pieces the paper evaluates on: the three event types (persons, auctions,
+// bids), a deterministic generator with a hot-items skew knob, and queries
+// Q1, Q3, Q8 and Q12 expressed as dataflow jobs for the core engine.
+package nexmark
+
+import (
+	"checkmate/internal/wire"
+)
+
+// Wire type IDs used by this package (10..49).
+const (
+	typePerson    = 10
+	typeAuction   = 11
+	typeBid       = 12
+	typeQ1Result  = 13
+	typeQ3Result  = 14
+	typeQ8Result  = 15
+	typeQ12Result = 16
+)
+
+// Person is a NexMark person record.
+type Person struct {
+	ID         uint64
+	Name       string
+	Email      string
+	CreditCard string
+	City       string
+	State      string
+	DateTime   int64
+	Extra      string
+}
+
+// TypeID implements wire.Value.
+func (p *Person) TypeID() uint16 { return typePerson }
+
+// MarshalWire implements wire.Value.
+func (p *Person) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(p.ID)
+	e.String(p.Name)
+	e.String(p.Email)
+	e.String(p.CreditCard)
+	e.String(p.City)
+	e.String(p.State)
+	e.Varint(p.DateTime)
+	e.String(p.Extra)
+}
+
+func decodePerson(d *wire.Decoder) (wire.Value, error) {
+	p := &Person{
+		ID:         d.Uvarint(),
+		Name:       d.String(),
+		Email:      d.String(),
+		CreditCard: d.String(),
+		City:       d.String(),
+		State:      d.String(),
+		DateTime:   d.Varint(),
+		Extra:      d.String(),
+	}
+	return p, d.Err()
+}
+
+// Auction is a NexMark auction record.
+type Auction struct {
+	ID          uint64
+	ItemName    string
+	Description string
+	InitialBid  uint64
+	Reserve     uint64
+	DateTime    int64
+	Expires     int64
+	Seller      uint64
+	Category    uint64
+	Extra       string
+}
+
+// TypeID implements wire.Value.
+func (a *Auction) TypeID() uint16 { return typeAuction }
+
+// MarshalWire implements wire.Value.
+func (a *Auction) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(a.ID)
+	e.String(a.ItemName)
+	e.String(a.Description)
+	e.Uvarint(a.InitialBid)
+	e.Uvarint(a.Reserve)
+	e.Varint(a.DateTime)
+	e.Varint(a.Expires)
+	e.Uvarint(a.Seller)
+	e.Uvarint(a.Category)
+	e.String(a.Extra)
+}
+
+func decodeAuction(d *wire.Decoder) (wire.Value, error) {
+	a := &Auction{
+		ID:          d.Uvarint(),
+		ItemName:    d.String(),
+		Description: d.String(),
+		InitialBid:  d.Uvarint(),
+		Reserve:     d.Uvarint(),
+		DateTime:    d.Varint(),
+		Expires:     d.Varint(),
+		Seller:      d.Uvarint(),
+		Category:    d.Uvarint(),
+		Extra:       d.String(),
+	}
+	return a, d.Err()
+}
+
+// Bid is a NexMark bid record.
+type Bid struct {
+	Auction  uint64
+	Bidder   uint64
+	Price    uint64
+	Channel  string
+	URL      string
+	DateTime int64
+	Extra    string
+}
+
+// TypeID implements wire.Value.
+func (b *Bid) TypeID() uint16 { return typeBid }
+
+// MarshalWire implements wire.Value.
+func (b *Bid) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(b.Auction)
+	e.Uvarint(b.Bidder)
+	e.Uvarint(b.Price)
+	e.String(b.Channel)
+	e.String(b.URL)
+	e.Varint(b.DateTime)
+	e.String(b.Extra)
+}
+
+func decodeBid(d *wire.Decoder) (wire.Value, error) {
+	b := &Bid{
+		Auction:  d.Uvarint(),
+		Bidder:   d.Uvarint(),
+		Price:    d.Uvarint(),
+		Channel:  d.String(),
+		URL:      d.String(),
+		DateTime: d.Varint(),
+		Extra:    d.String(),
+	}
+	return b, d.Err()
+}
+
+// Q1Result is the output of query 1 (currency conversion).
+type Q1Result struct {
+	Auction  uint64
+	Bidder   uint64
+	PriceEur uint64
+	DateTime int64
+}
+
+// TypeID implements wire.Value.
+func (r *Q1Result) TypeID() uint16 { return typeQ1Result }
+
+// MarshalWire implements wire.Value.
+func (r *Q1Result) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(r.Auction)
+	e.Uvarint(r.Bidder)
+	e.Uvarint(r.PriceEur)
+	e.Varint(r.DateTime)
+}
+
+func decodeQ1Result(d *wire.Decoder) (wire.Value, error) {
+	r := &Q1Result{Auction: d.Uvarint(), Bidder: d.Uvarint(), PriceEur: d.Uvarint(), DateTime: d.Varint()}
+	return r, d.Err()
+}
+
+// Q3Result is the output of query 3 (persons joined with their auctions).
+type Q3Result struct {
+	Name    string
+	City    string
+	State   string
+	Auction uint64
+}
+
+// TypeID implements wire.Value.
+func (r *Q3Result) TypeID() uint16 { return typeQ3Result }
+
+// MarshalWire implements wire.Value.
+func (r *Q3Result) MarshalWire(e *wire.Encoder) {
+	e.String(r.Name)
+	e.String(r.City)
+	e.String(r.State)
+	e.Uvarint(r.Auction)
+}
+
+func decodeQ3Result(d *wire.Decoder) (wire.Value, error) {
+	r := &Q3Result{Name: d.String(), City: d.String(), State: d.String(), Auction: d.Uvarint()}
+	return r, d.Err()
+}
+
+// Q8Result is the output of query 8 (new persons with new auctions in the
+// same window).
+type Q8Result struct {
+	Person  uint64
+	Name    string
+	Auction uint64
+	Window  int64
+}
+
+// TypeID implements wire.Value.
+func (r *Q8Result) TypeID() uint16 { return typeQ8Result }
+
+// MarshalWire implements wire.Value.
+func (r *Q8Result) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(r.Person)
+	e.String(r.Name)
+	e.Uvarint(r.Auction)
+	e.Varint(r.Window)
+}
+
+func decodeQ8Result(d *wire.Decoder) (wire.Value, error) {
+	r := &Q8Result{Person: d.Uvarint(), Name: d.String(), Auction: d.Uvarint(), Window: d.Varint()}
+	return r, d.Err()
+}
+
+// Q12Result is the output of query 12 (running per-bidder bid counts in a
+// processing-time window).
+type Q12Result struct {
+	Bidder uint64
+	Count  uint64
+	Window int64
+}
+
+// TypeID implements wire.Value.
+func (r *Q12Result) TypeID() uint16 { return typeQ12Result }
+
+// MarshalWire implements wire.Value.
+func (r *Q12Result) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(r.Bidder)
+	e.Uvarint(r.Count)
+	e.Varint(r.Window)
+}
+
+func decodeQ12Result(d *wire.Decoder) (wire.Value, error) {
+	r := &Q12Result{Bidder: d.Uvarint(), Count: d.Uvarint(), Window: d.Varint()}
+	return r, d.Err()
+}
+
+func init() {
+	wire.RegisterType(typePerson, decodePerson)
+	wire.RegisterType(typeAuction, decodeAuction)
+	wire.RegisterType(typeBid, decodeBid)
+	wire.RegisterType(typeQ1Result, decodeQ1Result)
+	wire.RegisterType(typeQ3Result, decodeQ3Result)
+	wire.RegisterType(typeQ8Result, decodeQ8Result)
+	wire.RegisterType(typeQ12Result, decodeQ12Result)
+}

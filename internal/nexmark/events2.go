@@ -1,0 +1,85 @@
+package nexmark
+
+import (
+	"checkmate/internal/wire"
+)
+
+// Wire type IDs of the Q2/Q5 records (continuing the 10..49 block).
+const (
+	typeQ2Result  = 17
+	typeQ5Partial = 18
+	typeQ5Result  = 19
+)
+
+// Q2Result is the output of query 2 (selection of specific auctions).
+type Q2Result struct {
+	Auction uint64
+	Price   uint64
+}
+
+// TypeID implements wire.Value.
+func (r *Q2Result) TypeID() uint16 { return typeQ2Result }
+
+// MarshalWire implements wire.Value.
+func (r *Q2Result) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(r.Auction)
+	e.Uvarint(r.Price)
+}
+
+func decodeQ2Result(d *wire.Decoder) (wire.Value, error) {
+	r := &Q2Result{Auction: d.Uvarint(), Price: d.Uvarint()}
+	return r, d.Err()
+}
+
+// Q5Partial is one counting instance's per-window bid count for one auction,
+// sent to the max stage of query 5.
+type Q5Partial struct {
+	Auction uint64
+	Count   uint64
+	Window  int64
+}
+
+// TypeID implements wire.Value.
+func (r *Q5Partial) TypeID() uint16 { return typeQ5Partial }
+
+// MarshalWire implements wire.Value.
+func (r *Q5Partial) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(r.Auction)
+	e.Uvarint(r.Count)
+	e.Varint(r.Window)
+}
+
+func decodeQ5Partial(d *wire.Decoder) (wire.Value, error) {
+	r := &Q5Partial{Auction: d.Uvarint(), Count: d.Uvarint(), Window: d.Varint()}
+	return r, d.Err()
+}
+
+// Q5Result is the output of query 5: the hottest auction of one sliding
+// window (running variant: a new record is emitted whenever the leader
+// changes).
+type Q5Result struct {
+	Auction uint64
+	Count   uint64
+	Window  int64
+}
+
+// TypeID implements wire.Value.
+func (r *Q5Result) TypeID() uint16 { return typeQ5Result }
+
+// MarshalWire implements wire.Value.
+func (r *Q5Result) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(r.Auction)
+	e.Uvarint(r.Count)
+	e.Varint(r.Window)
+}
+
+func decodeQ5Result(d *wire.Decoder) (wire.Value, error) {
+	r := &Q5Result{Auction: d.Uvarint(), Count: d.Uvarint(), Window: d.Varint()}
+	return r, d.Err()
+}
+
+func init() {
+	wire.RegisterType(typeQ2Result, decodeQ2Result)
+	wire.RegisterType(typeQ5Partial, decodeQ5Partial)
+	wire.RegisterType(typeQ5Result, decodeQ5Result)
+}

@@ -1,0 +1,120 @@
+package nexmark
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/wire"
+)
+
+func etBid(bidder uint64, ts int64) core.Event {
+	return core.Event{
+		Key:     bidder,
+		Value:   &Bid{Auction: 1, Bidder: bidder, Price: 100, DateTime: ts},
+		EventNS: ts,
+	}
+}
+
+func TestQ12ETWindowAssignment(t *testing.T) {
+	c := newQ12CountET(100 * time.Nanosecond)
+	ctx := &fakeCtx{wm: -1 << 62}
+	c.OnEvent(ctx, etBid(7, 10))
+	c.OnEvent(ctx, etBid(7, 90))
+	c.OnEvent(ctx, etBid(8, 150))
+	if len(c.windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(c.windows))
+	}
+	if c.windows[0][7] != 2 || c.windows[100][8] != 1 {
+		t.Fatalf("windows = %v", c.windows)
+	}
+	if len(ctx.emitted) != 0 {
+		t.Fatal("nothing should fire before a watermark")
+	}
+}
+
+func TestQ12ETFiresOnWatermark(t *testing.T) {
+	c := newQ12CountET(100 * time.Nanosecond)
+	ctx := &fakeCtx{wm: -1 << 62}
+	c.OnEvent(ctx, etBid(7, 10))
+	c.OnEvent(ctx, etBid(9, 20))
+	c.OnEvent(ctx, etBid(8, 150))
+
+	c.OnWatermark(ctx, 99) // window [0,100) not yet complete
+	if len(ctx.emitted) != 0 {
+		t.Fatal("fired before window end")
+	}
+	c.OnWatermark(ctx, 100)
+	if len(ctx.emitted) != 2 {
+		t.Fatalf("emitted = %d, want 2", len(ctx.emitted))
+	}
+	// Sorted by bidder for deterministic re-fire.
+	if ctx.emitted[0].key != 7 || ctx.emitted[1].key != 9 {
+		t.Fatalf("emission order = %v, %v", ctx.emitted[0].key, ctx.emitted[1].key)
+	}
+	r := ctx.emitted[0].v.(*Q12Result)
+	if r.Bidder != 7 || r.Count != 1 || r.Window != 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	if len(c.windows) != 1 {
+		t.Fatalf("fired window not evicted: %v", c.windows)
+	}
+}
+
+func TestQ12ETDropsLate(t *testing.T) {
+	c := newQ12CountET(100 * time.Nanosecond)
+	ctx := &fakeCtx{wm: -1 << 62}
+	c.OnEvent(ctx, etBid(7, 10))
+	c.OnWatermark(ctx, 100)
+	ctx.wm = 100
+	c.OnEvent(ctx, etBid(7, 50)) // its window already fired
+	if c.late != 1 {
+		t.Fatalf("late = %d, want 1", c.late)
+	}
+	if len(c.windows) != 0 {
+		t.Fatalf("late event opened a window: %v", c.windows)
+	}
+}
+
+func TestQ12ETSnapshotRoundTrip(t *testing.T) {
+	c := newQ12CountET(100 * time.Nanosecond)
+	ctx := &fakeCtx{wm: -1 << 62}
+	c.OnEvent(ctx, etBid(7, 10))
+	c.OnEvent(ctx, etBid(8, 150))
+	c.late = 3
+
+	enc := wire.NewEncoder(nil)
+	c.Snapshot(enc)
+	restored := &q12CountET{}
+	if err := restored.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.win != c.win || restored.late != 3 || len(restored.windows) != 2 {
+		t.Fatalf("restored = %+v", restored)
+	}
+	if restored.windows[0][7] != 1 || restored.windows[100][8] != 1 {
+		t.Fatalf("restored windows = %v", restored.windows)
+	}
+}
+
+func TestBidEventTime(t *testing.T) {
+	if got := BidEventTime(1, &Bid{DateTime: 42}); got != 42 {
+		t.Fatalf("BidEventTime = %d", got)
+	}
+}
+
+func TestBuildQ12ET(t *testing.T) {
+	job, err := Build("q12et", QueryConfig{Window: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Ops[0].Source == nil || job.Ops[0].Source.EventTime == nil {
+		t.Fatal("q12et source must extract event time")
+	}
+	if _, err := job.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if job.IsCyclic() {
+		t.Fatal("q12et must be acyclic")
+	}
+}

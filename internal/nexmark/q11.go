@@ -1,0 +1,120 @@
+package nexmark
+
+import (
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/window"
+	"checkmate/internal/wire"
+)
+
+// typeQ11Result continues the 10..49 wire-id block (20..22 are taken by the
+// cyclic query records).
+const typeQ11Result = 25
+
+// Q11Result is the output of query 11: one closed bidding session of one
+// bidder (how many bids the user made in each session of activity).
+type Q11Result struct {
+	Bidder uint64
+	Count  uint64
+	Start  int64
+	End    int64
+}
+
+// TypeID implements wire.Value.
+func (r *Q11Result) TypeID() uint16 { return typeQ11Result }
+
+// MarshalWire implements wire.Value.
+func (r *Q11Result) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(r.Bidder)
+	e.Uvarint(r.Count)
+	e.Varint(r.Start)
+	e.Varint(r.End)
+}
+
+func decodeQ11Result(d *wire.Decoder) (wire.Value, error) {
+	r := &Q11Result{Bidder: d.Uvarint(), Count: d.Uvarint(), Start: d.Varint(), End: d.Varint()}
+	return r, d.Err()
+}
+
+func init() {
+	wire.RegisterType(typeQ11Result, decodeQ11Result)
+}
+
+// q11Session counts bids per bidder per session: a session closes after Gap
+// of inactivity (processing time), at which point one result record is
+// emitted. Session state is tracked by window.Session and snapshotted with
+// the operator.
+type q11Session struct {
+	gap      time.Duration
+	sessions *window.Session
+	// nextSweep is the armed sweep deadline (0 = unarmed). An instance has
+	// a single pending timer, so OnEvent must not push an armed sweep
+	// forward — continuous arrivals would starve it forever.
+	nextSweep int64
+}
+
+func newQ11Session(gap time.Duration) *q11Session {
+	return &q11Session{gap: gap, sessions: window.NewSession(gap)}
+}
+
+// OnEvent implements core.Operator.
+func (q *q11Session) OnEvent(ctx core.Context, ev core.Event) {
+	b := ev.Value.(*Bid)
+	now := ctx.NowNS()
+	q.sessions.Add(b.Bidder, now)
+	if q.nextSweep <= 0 {
+		q.nextSweep = now + int64(q.gap)
+		ctx.SetTimer(q.nextSweep)
+	}
+}
+
+// OnTimer implements core.TimerHandler: emit and drop closed sessions.
+func (q *q11Session) OnTimer(ctx core.Context, nowNS int64) {
+	for bidder, ivs := range q.sessions.Sweep(nowNS) {
+		for _, iv := range ivs {
+			ctx.Emit(bidder, &Q11Result{Bidder: bidder, Count: iv.Count, Start: iv.Start, End: iv.End})
+		}
+	}
+	if q.sessions.OpenSessions() > 0 {
+		q.nextSweep = nowNS + int64(q.gap)
+		ctx.SetTimer(q.nextSweep)
+	} else {
+		q.nextSweep = 0
+	}
+}
+
+// Snapshot implements core.Operator.
+func (q *q11Session) Snapshot(enc *wire.Encoder) {
+	enc.Varint(int64(q.gap))
+	q.sessions.Snapshot(enc)
+}
+
+// Restore implements core.Operator.
+func (q *q11Session) Restore(dec *wire.Decoder) error {
+	q.gap = time.Duration(dec.Varint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	// The pending timer does not survive recovery; the next event re-arms
+	// the sweep.
+	q.nextSweep = 0
+	return q.sessions.Restore(dec)
+}
+
+func buildQ11(gap time.Duration) *core.JobSpec {
+	return &core.JobSpec{
+		Name: "q11",
+		Ops: []core.OpSpec{
+			{Name: "bids", Source: &core.SourceSpec{Topic: TopicBids}},
+			{Name: "keyBy", New: func(int) core.Operator { return bidKeyBy{} }},
+			{Name: "session", New: func(int) core.Operator { return newQ11Session(gap) }},
+			{Name: "sink", Sink: true, New: func(int) core.Operator { return NewCountSink() }},
+		},
+		Edges: []core.EdgeSpec{
+			{From: 0, To: 1, Part: core.Forward},
+			{From: 1, To: 2, Part: core.Hash},
+			{From: 2, To: 3, Part: core.Forward},
+		},
+	}
+}

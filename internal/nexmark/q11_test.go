@@ -1,0 +1,85 @@
+package nexmark
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/wire"
+)
+
+func TestQ11EventRoundTrip(t *testing.T) {
+	enc := wire.NewEncoder(nil)
+	(&Q11Result{Bidder: 3, Count: 5, Start: 10, End: 40}).MarshalWire(enc)
+	v, err := decodeQ11Result(wire.NewDecoder(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := v.(*Q11Result)
+	if r.Bidder != 3 || r.Count != 5 || r.Start != 10 || r.End != 40 {
+		t.Fatalf("round trip = %+v", r)
+	}
+}
+
+func TestQ11SessionCounting(t *testing.T) {
+	q := newQ11Session(10 * time.Nanosecond)
+	ctx := &fakeCtx{now: 100}
+	q.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 1}})
+	ctx.now = 105
+	q.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 1}}) // same session
+	ctx.now = 200
+	q.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 1}}) // new session
+	if len(ctx.emitted) != 0 {
+		t.Fatal("emitted before sessions closed")
+	}
+	// Sweep at 150: the first session (ends 115) closed; the second is open.
+	q.OnTimer(ctx, 150)
+	if len(ctx.emitted) != 1 {
+		t.Fatalf("emitted %d results, want 1", len(ctx.emitted))
+	}
+	r := ctx.emitted[0].v.(*Q11Result)
+	if r.Bidder != 1 || r.Count != 2 || r.Start != 100 || r.End != 115 {
+		t.Fatalf("session result = %+v", r)
+	}
+	if ctx.emitted[0].key != 1 {
+		t.Fatalf("result keyed by %d, want bidder", ctx.emitted[0].key)
+	}
+	// The open session re-arms the sweep timer.
+	if ctx.timer != 150+10 {
+		t.Fatalf("timer = %d, want 160", ctx.timer)
+	}
+}
+
+func TestQ11SnapshotRestore(t *testing.T) {
+	q := newQ11Session(10 * time.Nanosecond)
+	ctx := &fakeCtx{now: 100}
+	q.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 4}})
+	enc := wire.NewEncoder(nil)
+	q.Snapshot(enc)
+	r := newQ11Session(time.Nanosecond)
+	if err := r.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if r.gap != q.gap {
+		t.Fatalf("restored gap = %v", r.gap)
+	}
+	// Sweeping the restored operator emits the carried-over session.
+	ctx2 := &fakeCtx{now: 500}
+	r.OnTimer(ctx2, 500)
+	if len(ctx2.emitted) != 1 || ctx2.emitted[0].v.(*Q11Result).Bidder != 4 {
+		t.Fatalf("restored sessions lost: %+v", ctx2.emitted)
+	}
+}
+
+func TestBuildQ11(t *testing.T) {
+	job, err := Build("q11", QueryConfig{Window: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := TopicsFor("q11"); len(got) != 1 || got[0] != TopicBids {
+		t.Fatalf("topics = %v", got)
+	}
+}

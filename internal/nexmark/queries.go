@@ -1,0 +1,493 @@
+package nexmark
+
+import (
+	"fmt"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/wire"
+)
+
+// QueryConfig tunes query parameters.
+type QueryConfig struct {
+	// Window is the tumbling processing-time window of Q8 and Q12, and the
+	// sliding window size of Q5.
+	Window time.Duration
+	// Slide is the sliding-window step of Q5. Defaults to Window/2 and must
+	// divide Window.
+	Slide time.Duration
+	// SessionGap is the inactivity gap closing a Q11 session. Defaults to
+	// Window/2.
+	SessionGap time.Duration
+}
+
+func (qc *QueryConfig) applyDefaults() {
+	if qc.Window <= 0 {
+		qc.Window = time.Second
+	}
+	if qc.Slide <= 0 {
+		qc.Slide = qc.Window / 2
+	}
+	if qc.SessionGap <= 0 {
+		qc.SessionGap = qc.Window / 2
+	}
+}
+
+// Queries lists the NexMark queries this package implements. The paper
+// evaluates q1, q3, q8 and q12; q2, q5 and q11 extend the workload library.
+var Queries = []string{"q1", "q2", "q3", "q4", "q5", "q7", "q8", "q11", "q12", "q12et"}
+
+// Build returns the dataflow job of the named query (q1, q2, q3, q5, q8,
+// q11, q12).
+func Build(name string, qc QueryConfig) (*core.JobSpec, error) {
+	qc.applyDefaults()
+	switch name {
+	case "q1", "Q1":
+		return buildQ1(), nil
+	case "q2", "Q2":
+		return buildQ2(), nil
+	case "q3", "Q3":
+		return buildQ3(), nil
+	case "q4", "Q4":
+		return buildQ4(), nil
+	case "q5", "Q5":
+		return buildQ5(qc.Window, qc.Slide), nil
+	case "q7", "Q7":
+		return buildQ7(qc.Window), nil
+	case "q8", "Q8":
+		return buildQ8(qc.Window), nil
+	case "q11", "Q11":
+		return buildQ11(qc.SessionGap), nil
+	case "q12", "Q12":
+		return buildQ12(qc.Window), nil
+	case "q12et", "Q12ET":
+		return buildQ12ET(qc.Window), nil
+	default:
+		return nil, fmt.Errorf("nexmark: unknown query %q", name)
+	}
+}
+
+// TopicsFor lists the topics the named query consumes.
+func TopicsFor(name string) []string {
+	switch name {
+	case "q1", "Q1", "q2", "Q2", "q5", "Q5", "q7", "Q7", "q11", "Q11", "q12", "Q12", "q12et", "Q12ET":
+		return []string{TopicBids}
+	case "q3", "Q3", "q8", "Q8":
+		return []string{TopicPersons, TopicAuctions}
+	case "q4", "Q4":
+		return []string{TopicAuctions, TopicBids}
+	default:
+		return nil
+	}
+}
+
+// ---- Q1: currency conversion (stateless map, no shuffling) ----
+
+// q1Map converts bid prices from USD to EUR (the classic 0.908 rate).
+type q1Map struct{}
+
+// OnEvent implements core.Operator.
+func (q1Map) OnEvent(ctx core.Context, ev core.Event) {
+	b := ev.Value.(*Bid)
+	ctx.Emit(ev.Key, &Q1Result{
+		Auction:  b.Auction,
+		Bidder:   b.Bidder,
+		PriceEur: b.Price * 908 / 1000,
+		DateTime: b.DateTime,
+	})
+}
+
+// Snapshot implements core.Operator (stateless).
+func (q1Map) Snapshot(enc *wire.Encoder) {}
+
+// Restore implements core.Operator.
+func (q1Map) Restore(dec *wire.Decoder) error { return nil }
+
+func buildQ1() *core.JobSpec {
+	return &core.JobSpec{
+		Name: "q1",
+		Ops: []core.OpSpec{
+			{Name: "bids", Source: &core.SourceSpec{Topic: TopicBids}},
+			{Name: "map", New: func(int) core.Operator { return q1Map{} }},
+			{Name: "sink", Sink: true, New: func(int) core.Operator { return NewCountSink() }},
+		},
+		Edges: []core.EdgeSpec{
+			{From: 0, To: 1, Part: core.Forward},
+			{From: 1, To: 2, Part: core.Forward},
+		},
+	}
+}
+
+// ---- Q3: incremental stateful join with filters and shuffling ----
+
+// personFilter passes persons from OR, ID or CA, keyed by person id.
+type personFilter struct{}
+
+// OnEvent implements core.Operator.
+func (personFilter) OnEvent(ctx core.Context, ev core.Event) {
+	p := ev.Value.(*Person)
+	switch p.State {
+	case "OR", "ID", "CA":
+		ctx.Emit(p.ID, p)
+	}
+}
+
+// Snapshot implements core.Operator.
+func (personFilter) Snapshot(enc *wire.Encoder) {}
+
+// Restore implements core.Operator.
+func (personFilter) Restore(dec *wire.Decoder) error { return nil }
+
+// auctionFilter passes auctions of category 10, keyed by seller.
+type auctionFilter struct{}
+
+// OnEvent implements core.Operator.
+func (auctionFilter) OnEvent(ctx core.Context, ev core.Event) {
+	a := ev.Value.(*Auction)
+	if a.Category == 10 {
+		ctx.Emit(a.Seller, a)
+	}
+}
+
+// Snapshot implements core.Operator.
+func (auctionFilter) Snapshot(enc *wire.Encoder) {}
+
+// Restore implements core.Operator.
+func (auctionFilter) Restore(dec *wire.Decoder) error { return nil }
+
+// q3Join is the incremental two-sided join: persons and auctions keyed by
+// person id = seller. Both sides are retained (the paper's "state grows"
+// observation for Q3).
+type q3Join struct {
+	persons  map[uint64]*Person
+	auctions map[uint64][]uint64 // seller -> auction ids seen before the person
+}
+
+func newQ3Join() *q3Join {
+	return &q3Join{persons: make(map[uint64]*Person), auctions: make(map[uint64][]uint64)}
+}
+
+// OnEvent implements core.Operator.
+func (j *q3Join) OnEvent(ctx core.Context, ev core.Event) {
+	switch v := ev.Value.(type) {
+	case *Person:
+		j.persons[v.ID] = v
+		for _, auction := range j.auctions[v.ID] {
+			ctx.Emit(v.ID, &Q3Result{Name: v.Name, City: v.City, State: v.State, Auction: auction})
+		}
+		delete(j.auctions, v.ID)
+	case *Auction:
+		if p, ok := j.persons[v.Seller]; ok {
+			ctx.Emit(p.ID, &Q3Result{Name: p.Name, City: p.City, State: p.State, Auction: v.ID})
+			return
+		}
+		j.auctions[v.Seller] = append(j.auctions[v.Seller], v.ID)
+	}
+}
+
+// Snapshot implements core.Operator.
+func (j *q3Join) Snapshot(enc *wire.Encoder) {
+	enc.Uvarint(uint64(len(j.persons)))
+	for _, p := range j.persons {
+		p.MarshalWire(enc)
+	}
+	enc.Uvarint(uint64(len(j.auctions)))
+	for seller, ids := range j.auctions {
+		enc.Uvarint(seller)
+		enc.UvarintSlice(ids)
+	}
+}
+
+// Restore implements core.Operator.
+func (j *q3Join) Restore(dec *wire.Decoder) error {
+	np := int(dec.Uvarint())
+	j.persons = make(map[uint64]*Person, np)
+	for i := 0; i < np; i++ {
+		v, err := decodePerson(dec)
+		if err != nil {
+			return err
+		}
+		p := v.(*Person)
+		j.persons[p.ID] = p
+	}
+	na := int(dec.Uvarint())
+	j.auctions = make(map[uint64][]uint64, na)
+	for i := 0; i < na; i++ {
+		seller := dec.Uvarint()
+		j.auctions[seller] = dec.UvarintSlice()
+	}
+	return dec.Err()
+}
+
+func buildQ3() *core.JobSpec {
+	return &core.JobSpec{
+		Name: "q3",
+		Ops: []core.OpSpec{
+			{Name: "persons", Source: &core.SourceSpec{Topic: TopicPersons}},
+			{Name: "auctions", Source: &core.SourceSpec{Topic: TopicAuctions}},
+			{Name: "filterP", New: func(int) core.Operator { return personFilter{} }},
+			{Name: "filterA", New: func(int) core.Operator { return auctionFilter{} }},
+			{Name: "join", New: func(int) core.Operator { return newQ3Join() }},
+			{Name: "sink", Sink: true, New: func(int) core.Operator { return NewCountSink() }},
+		},
+		Edges: []core.EdgeSpec{
+			{From: 0, To: 2, Part: core.Forward},
+			{From: 1, To: 3, Part: core.Forward},
+			{From: 2, To: 4, Part: core.Hash},
+			{From: 3, To: 4, Part: core.Hash},
+			{From: 4, To: 5, Part: core.Forward},
+		},
+	}
+}
+
+// ---- Q8: windowed join (running processing-time tumbling window) ----
+
+// q8Window holds the per-window join state.
+type q8Window struct {
+	persons  map[uint64]string   // id -> name
+	auctions map[uint64][]uint64 // seller -> auction ids
+}
+
+// q8Join joins new persons with new auctions inside a processing-time
+// tumbling window. Running variant: matches are emitted on arrival; window
+// state is dropped on expiry (the paper's "running window").
+type q8Join struct {
+	win     int64
+	windows map[int64]*q8Window
+}
+
+func newQ8Join(win time.Duration) *q8Join {
+	return &q8Join{win: win.Nanoseconds(), windows: make(map[int64]*q8Window)}
+}
+
+func (j *q8Join) window(start int64) *q8Window {
+	w, ok := j.windows[start]
+	if !ok {
+		w = &q8Window{persons: make(map[uint64]string), auctions: make(map[uint64][]uint64)}
+		j.windows[start] = w
+	}
+	return w
+}
+
+// OnEvent implements core.Operator.
+func (j *q8Join) OnEvent(ctx core.Context, ev core.Event) {
+	now := ctx.NowNS()
+	start := now - now%j.win
+	w := j.window(start)
+	switch v := ev.Value.(type) {
+	case *Person:
+		w.persons[v.ID] = v.Name
+		for _, auction := range w.auctions[v.ID] {
+			ctx.Emit(v.ID, &Q8Result{Person: v.ID, Name: v.Name, Auction: auction, Window: start})
+		}
+		delete(w.auctions, v.ID)
+	case *Auction:
+		if name, ok := w.persons[v.Seller]; ok {
+			ctx.Emit(v.Seller, &Q8Result{Person: v.Seller, Name: name, Auction: v.ID, Window: start})
+			return
+		}
+		w.auctions[v.Seller] = append(w.auctions[v.Seller], v.ID)
+	}
+	ctx.SetTimer(start + 2*j.win)
+}
+
+// OnTimer implements core.TimerHandler: drop expired windows.
+func (j *q8Join) OnTimer(ctx core.Context, nowNS int64) {
+	cur := nowNS - nowNS%j.win
+	for start := range j.windows {
+		if start < cur {
+			delete(j.windows, start)
+		}
+	}
+	if len(j.windows) > 0 {
+		ctx.SetTimer(cur + 2*j.win)
+	}
+}
+
+// Snapshot implements core.Operator.
+func (j *q8Join) Snapshot(enc *wire.Encoder) {
+	enc.Varint(j.win)
+	enc.Uvarint(uint64(len(j.windows)))
+	for start, w := range j.windows {
+		enc.Varint(start)
+		enc.Uvarint(uint64(len(w.persons)))
+		for id, name := range w.persons {
+			enc.Uvarint(id)
+			enc.String(name)
+		}
+		enc.Uvarint(uint64(len(w.auctions)))
+		for seller, ids := range w.auctions {
+			enc.Uvarint(seller)
+			enc.UvarintSlice(ids)
+		}
+	}
+}
+
+// Restore implements core.Operator.
+func (j *q8Join) Restore(dec *wire.Decoder) error {
+	j.win = dec.Varint()
+	n := int(dec.Uvarint())
+	j.windows = make(map[int64]*q8Window, n)
+	for i := 0; i < n; i++ {
+		start := dec.Varint()
+		w := &q8Window{}
+		np := int(dec.Uvarint())
+		w.persons = make(map[uint64]string, np)
+		for k := 0; k < np; k++ {
+			id := dec.Uvarint()
+			w.persons[id] = dec.String()
+		}
+		na := int(dec.Uvarint())
+		w.auctions = make(map[uint64][]uint64, na)
+		for k := 0; k < na; k++ {
+			seller := dec.Uvarint()
+			w.auctions[seller] = dec.UvarintSlice()
+		}
+		j.windows[start] = w
+	}
+	return dec.Err()
+}
+
+func buildQ8(win time.Duration) *core.JobSpec {
+	return &core.JobSpec{
+		Name: "q8",
+		Ops: []core.OpSpec{
+			{Name: "persons", Source: &core.SourceSpec{Topic: TopicPersons}},
+			{Name: "auctions", Source: &core.SourceSpec{Topic: TopicAuctions}},
+			{Name: "join", New: func(int) core.Operator { return newQ8Join(win) }},
+			{Name: "sink", Sink: true, New: func(int) core.Operator { return NewCountSink() }},
+		},
+		Edges: []core.EdgeSpec{
+			{From: 0, To: 2, Part: core.Hash},
+			{From: 1, To: 2, Part: core.Hash},
+			{From: 2, To: 3, Part: core.Forward},
+		},
+	}
+}
+
+// ---- Q12: windowed running count of bids per bidder ----
+
+// bidKeyBy rekeys bids by bidder (the "minor shuffling" of Q12).
+type bidKeyBy struct{}
+
+// OnEvent implements core.Operator.
+func (bidKeyBy) OnEvent(ctx core.Context, ev core.Event) {
+	b := ev.Value.(*Bid)
+	ctx.Emit(b.Bidder, b)
+}
+
+// Snapshot implements core.Operator.
+func (bidKeyBy) Snapshot(enc *wire.Encoder) {}
+
+// Restore implements core.Operator.
+func (bidKeyBy) Restore(dec *wire.Decoder) error { return nil }
+
+// q12Count maintains running per-bidder counts per processing-time window.
+type q12Count struct {
+	win     int64
+	windows map[int64]map[uint64]uint64
+}
+
+func newQ12Count(win time.Duration) *q12Count {
+	return &q12Count{win: win.Nanoseconds(), windows: make(map[int64]map[uint64]uint64)}
+}
+
+// OnEvent implements core.Operator.
+func (c *q12Count) OnEvent(ctx core.Context, ev core.Event) {
+	b := ev.Value.(*Bid)
+	now := ctx.NowNS()
+	start := now - now%c.win
+	w, ok := c.windows[start]
+	if !ok {
+		w = make(map[uint64]uint64)
+		c.windows[start] = w
+	}
+	w[b.Bidder]++
+	ctx.Emit(b.Bidder, &Q12Result{Bidder: b.Bidder, Count: w[b.Bidder], Window: start})
+	ctx.SetTimer(start + 2*c.win)
+}
+
+// OnTimer implements core.TimerHandler.
+func (c *q12Count) OnTimer(ctx core.Context, nowNS int64) {
+	cur := nowNS - nowNS%c.win
+	for start := range c.windows {
+		if start < cur {
+			delete(c.windows, start)
+		}
+	}
+	if len(c.windows) > 0 {
+		ctx.SetTimer(cur + 2*c.win)
+	}
+}
+
+// Snapshot implements core.Operator.
+func (c *q12Count) Snapshot(enc *wire.Encoder) {
+	enc.Varint(c.win)
+	enc.Uvarint(uint64(len(c.windows)))
+	for start, w := range c.windows {
+		enc.Varint(start)
+		enc.Uvarint(uint64(len(w)))
+		for bidder, count := range w {
+			enc.Uvarint(bidder)
+			enc.Uvarint(count)
+		}
+	}
+}
+
+// Restore implements core.Operator.
+func (c *q12Count) Restore(dec *wire.Decoder) error {
+	c.win = dec.Varint()
+	n := int(dec.Uvarint())
+	c.windows = make(map[int64]map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		start := dec.Varint()
+		m := int(dec.Uvarint())
+		w := make(map[uint64]uint64, m)
+		for k := 0; k < m; k++ {
+			bidder := dec.Uvarint()
+			w[bidder] = dec.Uvarint()
+		}
+		c.windows[start] = w
+	}
+	return dec.Err()
+}
+
+func buildQ12(win time.Duration) *core.JobSpec {
+	return &core.JobSpec{
+		Name: "q12",
+		Ops: []core.OpSpec{
+			{Name: "bids", Source: &core.SourceSpec{Topic: TopicBids}},
+			{Name: "keyBy", New: func(int) core.Operator { return bidKeyBy{} }},
+			{Name: "count", New: func(int) core.Operator { return newQ12Count(win) }},
+			{Name: "sink", Sink: true, New: func(int) core.Operator { return NewCountSink() }},
+		},
+		Edges: []core.EdgeSpec{
+			{From: 0, To: 1, Part: core.Forward},
+			{From: 1, To: 2, Part: core.Hash},
+			{From: 2, To: 3, Part: core.Forward},
+		},
+	}
+}
+
+// ---- shared sink ----
+
+// CountSink counts records; as checkpointed state the count participates in
+// exactly-once verification.
+type CountSink struct {
+	Count uint64
+}
+
+// NewCountSink returns an empty sink.
+func NewCountSink() *CountSink { return &CountSink{} }
+
+// OnEvent implements core.Operator.
+func (s *CountSink) OnEvent(ctx core.Context, ev core.Event) { s.Count++ }
+
+// Snapshot implements core.Operator.
+func (s *CountSink) Snapshot(enc *wire.Encoder) { enc.Uvarint(s.Count) }
+
+// Restore implements core.Operator.
+func (s *CountSink) Restore(dec *wire.Decoder) error {
+	s.Count = dec.Uvarint()
+	return dec.Err()
+}

@@ -1,0 +1,209 @@
+package nexmark
+
+import (
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/window"
+	"checkmate/internal/wire"
+)
+
+// ---- Q2: selection (stateless filter, no shuffling) ----
+
+// q2SelectDivisor selects auctions whose id is a multiple of it, the classic
+// NexMark Q2 predicate ("auction = 1007 OR auction = 1020 OR ..." modeled as
+// a modulus so the selectivity is rate-independent).
+const q2SelectDivisor = 123
+
+// q2Filter passes bids on the selected auctions.
+type q2Filter struct{}
+
+// OnEvent implements core.Operator.
+func (q2Filter) OnEvent(ctx core.Context, ev core.Event) {
+	b := ev.Value.(*Bid)
+	if b.Auction%q2SelectDivisor == 0 {
+		ctx.Emit(ev.Key, &Q2Result{Auction: b.Auction, Price: b.Price})
+	}
+}
+
+// Snapshot implements core.Operator (stateless).
+func (q2Filter) Snapshot(enc *wire.Encoder) {}
+
+// Restore implements core.Operator.
+func (q2Filter) Restore(dec *wire.Decoder) error { return nil }
+
+func buildQ2() *core.JobSpec {
+	return &core.JobSpec{
+		Name: "q2",
+		Ops: []core.OpSpec{
+			{Name: "bids", Source: &core.SourceSpec{Topic: TopicBids}},
+			{Name: "filter", New: func(int) core.Operator { return q2Filter{} }},
+			{Name: "sink", Sink: true, New: func(int) core.Operator { return NewCountSink() }},
+		},
+		Edges: []core.EdgeSpec{
+			{From: 0, To: 1, Part: core.Forward},
+			{From: 1, To: 2, Part: core.Forward},
+		},
+	}
+}
+
+// ---- Q5: hot items (sliding-window count + global max) ----
+
+// bidKeyByAuction rekeys bids by auction id (the shuffle into the counting
+// stage).
+type bidKeyByAuction struct{}
+
+// OnEvent implements core.Operator.
+func (bidKeyByAuction) OnEvent(ctx core.Context, ev core.Event) {
+	b := ev.Value.(*Bid)
+	ctx.Emit(b.Auction, b)
+}
+
+// Snapshot implements core.Operator.
+func (bidKeyByAuction) Snapshot(enc *wire.Encoder) {}
+
+// Restore implements core.Operator.
+func (bidKeyByAuction) Restore(dec *wire.Decoder) error { return nil }
+
+// q5Count counts bids per auction over sliding processing-time windows and
+// emits each window's per-auction counts when the window closes. Partial
+// counts are keyed by window start so one max instance sees a whole window.
+type q5Count struct {
+	win    window.Sliding
+	counts *window.Counts
+}
+
+func newQ5Count(size, slide time.Duration) *q5Count {
+	w := window.Sliding{Size: size, Slide: slide}
+	if err := w.Validate(); err != nil {
+		panic("nexmark: q5: " + err.Error())
+	}
+	return &q5Count{win: w, counts: window.NewCounts()}
+}
+
+// OnEvent implements core.Operator.
+func (c *q5Count) OnEvent(ctx core.Context, ev core.Event) {
+	b := ev.Value.(*Bid)
+	now := ctx.NowNS()
+	for _, start := range c.win.Assign(nil, now) {
+		c.counts.Add(start, b.Auction, 1)
+	}
+	// Fire when the oldest live window closes.
+	ctx.SetTimer(now - now%int64(c.win.Slide) + int64(c.win.Slide))
+}
+
+// OnTimer implements core.TimerHandler: flush and drop every closed window.
+func (c *q5Count) OnTimer(ctx core.Context, nowNS int64) {
+	for _, start := range c.counts.Windows() {
+		if c.win.End(start) > nowNS {
+			break
+		}
+		for _, e := range c.counts.WindowEntries(start) {
+			ctx.Emit(uint64(start), &Q5Partial{Auction: e.Key, Count: e.Count, Window: start})
+		}
+	}
+	c.counts.Expire(nowNS - int64(c.win.Size))
+	if c.counts.Len() > 0 {
+		ctx.SetTimer(nowNS - nowNS%int64(c.win.Slide) + int64(c.win.Slide))
+	}
+}
+
+// Snapshot implements core.Operator.
+func (c *q5Count) Snapshot(enc *wire.Encoder) {
+	enc.Varint(int64(c.win.Size))
+	enc.Varint(int64(c.win.Slide))
+	c.counts.Snapshot(enc)
+}
+
+// Restore implements core.Operator.
+func (c *q5Count) Restore(dec *wire.Decoder) error {
+	c.win.Size = time.Duration(dec.Varint())
+	c.win.Slide = time.Duration(dec.Varint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	return c.counts.Restore(dec)
+}
+
+// q5Max tracks the hottest auction per window across the partial counts of
+// all counting instances (running variant: emits whenever the leader
+// improves) and expires settled windows.
+type q5Max struct {
+	slide int64
+	best  map[int64]window.Entry // window start -> current leader
+}
+
+func newQ5Max(slide time.Duration) *q5Max {
+	return &q5Max{slide: slide.Nanoseconds(), best: make(map[int64]window.Entry)}
+}
+
+// OnEvent implements core.Operator.
+func (m *q5Max) OnEvent(ctx core.Context, ev core.Event) {
+	p := ev.Value.(*Q5Partial)
+	cur, ok := m.best[p.Window]
+	if !ok || p.Count > cur.Count || (p.Count == cur.Count && p.Auction < cur.Key) {
+		m.best[p.Window] = window.Entry{Key: p.Auction, Count: p.Count}
+		ctx.Emit(p.Auction, &Q5Result{Auction: p.Auction, Count: p.Count, Window: p.Window})
+	}
+	// Windows older than a few slides have settled; garbage-collect them.
+	ctx.SetTimer(ctx.NowNS() + 4*m.slide)
+}
+
+// OnTimer implements core.TimerHandler.
+func (m *q5Max) OnTimer(ctx core.Context, nowNS int64) {
+	for start := range m.best {
+		if start < nowNS-8*m.slide {
+			delete(m.best, start)
+		}
+	}
+	if len(m.best) > 0 {
+		ctx.SetTimer(nowNS + 4*m.slide)
+	}
+}
+
+// Snapshot implements core.Operator.
+func (m *q5Max) Snapshot(enc *wire.Encoder) {
+	enc.Varint(m.slide)
+	enc.Uvarint(uint64(len(m.best)))
+	for start, e := range m.best {
+		enc.Varint(start)
+		enc.Uvarint(e.Key)
+		enc.Uvarint(e.Count)
+	}
+}
+
+// Restore implements core.Operator.
+func (m *q5Max) Restore(dec *wire.Decoder) error {
+	m.slide = dec.Varint()
+	n := int(dec.Uvarint())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	m.best = make(map[int64]window.Entry, n)
+	for i := 0; i < n; i++ {
+		start := dec.Varint()
+		key := dec.Uvarint()
+		count := dec.Uvarint()
+		m.best[start] = window.Entry{Key: key, Count: count}
+	}
+	return dec.Err()
+}
+
+func buildQ5(size, slide time.Duration) *core.JobSpec {
+	return &core.JobSpec{
+		Name: "q5",
+		Ops: []core.OpSpec{
+			{Name: "bids", Source: &core.SourceSpec{Topic: TopicBids}},
+			{Name: "keyBy", New: func(int) core.Operator { return bidKeyByAuction{} }},
+			{Name: "count", New: func(int) core.Operator { return newQ5Count(size, slide) }},
+			{Name: "max", New: func(int) core.Operator { return newQ5Max(slide) }},
+			{Name: "sink", Sink: true, New: func(int) core.Operator { return NewCountSink() }},
+		},
+		Edges: []core.EdgeSpec{
+			{From: 0, To: 1, Part: core.Forward},
+			{From: 1, To: 2, Part: core.Hash},
+			{From: 2, To: 3, Part: core.Hash},
+			{From: 3, To: 4, Part: core.Forward},
+		},
+	}
+}

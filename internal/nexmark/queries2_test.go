@@ -1,0 +1,175 @@
+package nexmark
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/wire"
+)
+
+func TestQ2FilterSelectivity(t *testing.T) {
+	ctx := &fakeCtx{}
+	for a := uint64(1); a <= 3*q2SelectDivisor; a++ {
+		q2Filter{}.OnEvent(ctx, core.Event{Key: a, Value: &Bid{Auction: a, Price: a * 10}})
+	}
+	if len(ctx.emitted) != 3 {
+		t.Fatalf("emitted %d, want 3", len(ctx.emitted))
+	}
+	r := ctx.emitted[0].v.(*Q2Result)
+	if r.Auction != q2SelectDivisor || r.Price != q2SelectDivisor*10 {
+		t.Fatalf("first result = %+v", r)
+	}
+}
+
+func TestQ2EventRoundTrip(t *testing.T) {
+	enc := wire.NewEncoder(nil)
+	(&Q2Result{Auction: 7, Price: 9}).MarshalWire(enc)
+	v, err := decodeQ2Result(wire.NewDecoder(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := v.(*Q2Result)
+	if r.Auction != 7 || r.Price != 9 {
+		t.Fatalf("round trip = %+v", r)
+	}
+}
+
+func TestQ5EventRoundTrips(t *testing.T) {
+	enc := wire.NewEncoder(nil)
+	(&Q5Partial{Auction: 1, Count: 2, Window: -30}).MarshalWire(enc)
+	v, err := decodeQ5Partial(wire.NewDecoder(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := v.(*Q5Partial); p.Auction != 1 || p.Count != 2 || p.Window != -30 {
+		t.Fatalf("partial round trip = %+v", p)
+	}
+	enc.Reset()
+	(&Q5Result{Auction: 3, Count: 4, Window: 50}).MarshalWire(enc)
+	v, err = decodeQ5Result(wire.NewDecoder(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := v.(*Q5Result); r.Auction != 3 || r.Count != 4 || r.Window != 50 {
+		t.Fatalf("result round trip = %+v", r)
+	}
+}
+
+func TestQ5CountFlushesClosedWindows(t *testing.T) {
+	c := newQ5Count(10*time.Nanosecond, 5*time.Nanosecond)
+	ctx := &fakeCtx{now: 7}
+	c.OnEvent(ctx, core.Event{Value: &Bid{Auction: 1}})
+	c.OnEvent(ctx, core.Event{Value: &Bid{Auction: 1}})
+	c.OnEvent(ctx, core.Event{Value: &Bid{Auction: 2}})
+	if len(ctx.emitted) != 0 {
+		t.Fatal("counts emitted before window close")
+	}
+	if ctx.timer != 10 {
+		t.Fatalf("timer = %d, want 10 (next slide boundary)", ctx.timer)
+	}
+	// At t=15 the window [0,10) and [5,15) are both closed.
+	ctx.now = 15
+	c.OnTimer(ctx, 15)
+	// Event at t=7 lands in windows starting at 0 and 5; both closed at 15.
+	if len(ctx.emitted) != 4 {
+		t.Fatalf("emitted %d partials, want 4 (2 windows x 2 auctions)", len(ctx.emitted))
+	}
+	p := ctx.emitted[0].v.(*Q5Partial)
+	if p.Window != 0 || p.Auction != 1 || p.Count != 2 {
+		t.Fatalf("first partial = %+v", p)
+	}
+	// Partials of one window are keyed by the window start.
+	for _, e := range ctx.emitted {
+		if e.key != uint64(e.v.(*Q5Partial).Window) {
+			t.Fatalf("partial keyed by %d, want window start", e.key)
+		}
+	}
+}
+
+func TestQ5CountSnapshotRestore(t *testing.T) {
+	c := newQ5Count(10*time.Nanosecond, 5*time.Nanosecond)
+	ctx := &fakeCtx{now: 3}
+	c.OnEvent(ctx, core.Event{Value: &Bid{Auction: 9}})
+	enc := wire.NewEncoder(nil)
+	c.Snapshot(enc)
+	r := newQ5Count(time.Nanosecond, time.Nanosecond)
+	if err := r.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if r.win.Size != 10*time.Nanosecond || r.win.Slide != 5*time.Nanosecond {
+		t.Fatalf("restored window config = %+v", r.win)
+	}
+	// Flushing after restore must emit the same partials.
+	ctx2 := &fakeCtx{now: 20}
+	r.OnTimer(ctx2, 20)
+	found := false
+	for _, e := range ctx2.emitted {
+		p := e.v.(*Q5Partial)
+		if p.Auction == 9 && p.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restored counts lost the pending window")
+	}
+}
+
+func TestQ5MaxRunningLeader(t *testing.T) {
+	m := newQ5Max(5 * time.Nanosecond)
+	ctx := &fakeCtx{now: 100}
+	m.OnEvent(ctx, core.Event{Value: &Q5Partial{Auction: 1, Count: 3, Window: 0}})
+	m.OnEvent(ctx, core.Event{Value: &Q5Partial{Auction: 2, Count: 2, Window: 0}}) // not a new leader
+	m.OnEvent(ctx, core.Event{Value: &Q5Partial{Auction: 3, Count: 7, Window: 0}})
+	m.OnEvent(ctx, core.Event{Value: &Q5Partial{Auction: 4, Count: 7, Window: 0}}) // tie: higher key loses
+	if len(ctx.emitted) != 2 {
+		t.Fatalf("emitted %d results, want 2 leader changes", len(ctx.emitted))
+	}
+	last := ctx.emitted[1].v.(*Q5Result)
+	if last.Auction != 3 || last.Count != 7 {
+		t.Fatalf("final leader = %+v", last)
+	}
+}
+
+func TestQ5MaxExpiresOldWindows(t *testing.T) {
+	m := newQ5Max(5 * time.Nanosecond)
+	ctx := &fakeCtx{now: 0}
+	m.OnEvent(ctx, core.Event{Value: &Q5Partial{Auction: 1, Count: 1, Window: 0}})
+	m.OnEvent(ctx, core.Event{Value: &Q5Partial{Auction: 1, Count: 1, Window: 1000}})
+	m.OnTimer(ctx, 500)
+	if len(m.best) != 1 {
+		t.Fatalf("windows after expiry = %d, want 1", len(m.best))
+	}
+	if _, ok := m.best[1000]; !ok {
+		t.Fatal("fresh window was expired")
+	}
+}
+
+func TestQ5MaxSnapshotRestore(t *testing.T) {
+	m := newQ5Max(5 * time.Nanosecond)
+	ctx := &fakeCtx{}
+	m.OnEvent(ctx, core.Event{Value: &Q5Partial{Auction: 8, Count: 4, Window: 10}})
+	enc := wire.NewEncoder(nil)
+	m.Snapshot(enc)
+	r := newQ5Max(time.Nanosecond)
+	if err := r.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if r.slide != m.slide || len(r.best) != 1 || r.best[10].Key != 8 || r.best[10].Count != 4 {
+		t.Fatalf("restored max state = %+v", r.best)
+	}
+	// A partial that does not beat the restored leader emits nothing.
+	ctx2 := &fakeCtx{}
+	r.OnEvent(ctx2, core.Event{Value: &Q5Partial{Auction: 9, Count: 3, Window: 10}})
+	if len(ctx2.emitted) != 0 {
+		t.Fatal("restored leader was forgotten")
+	}
+}
+
+func TestBidKeyByAuction(t *testing.T) {
+	ctx := &fakeCtx{}
+	bidKeyByAuction{}.OnEvent(ctx, core.Event{Key: 99, Value: &Bid{Auction: 7, Bidder: 3}})
+	if len(ctx.emitted) != 1 || ctx.emitted[0].key != 7 {
+		t.Fatalf("rekeyed to %d, want auction 7", ctx.emitted[0].key)
+	}
+}

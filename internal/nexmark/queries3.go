@@ -1,0 +1,444 @@
+// Queries 4 and 7 of the NexMark suite — workload-library extensions
+// beyond the four queries the paper evaluates.
+//
+// Q4 (average closing price per category) exercises a two-stage keyed
+// shuffle: bids join auctions by auction id to maintain the current
+// winning bid, and a second stage averages winning bids per category. The
+// streaming adaptation is incremental ("running"), like the paper's
+// running windows: every change of a winning bid updates the category
+// average immediately.
+//
+// Q7 (highest bid per window) exercises a global aggregation topology: a
+// parallel per-instance pre-maximum feeds a parallelism-1 global maximum —
+// the classic combiner pattern for non-keyed aggregates.
+package nexmark
+
+import (
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/wire"
+)
+
+// Wire type IDs of the Q4/Q7 records (continuing the 10..49 block).
+const (
+	typeQ4MaxUpdate = 26
+	typeQ4Result    = 27
+	typeQ7Partial   = 28
+	typeQ7Result    = 29
+)
+
+// Q4MaxUpdate reports a change of the winning (maximum) bid of one auction
+// to the category-averaging stage.
+type Q4MaxUpdate struct {
+	Category uint64
+	Old      uint64 // previous winning price (0 when First)
+	New      uint64 // new winning price
+	First    bool   // first bid of this auction
+}
+
+// TypeID implements wire.Value.
+func (r *Q4MaxUpdate) TypeID() uint16 { return typeQ4MaxUpdate }
+
+// MarshalWire implements wire.Value.
+func (r *Q4MaxUpdate) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(r.Category)
+	e.Uvarint(r.Old)
+	e.Uvarint(r.New)
+	e.Bool(r.First)
+}
+
+func decodeQ4MaxUpdate(d *wire.Decoder) (wire.Value, error) {
+	r := &Q4MaxUpdate{Category: d.Uvarint(), Old: d.Uvarint(), New: d.Uvarint(), First: d.Bool()}
+	return r, d.Err()
+}
+
+// Q4Result is the output of query 4: the running average winning bid of
+// one category.
+type Q4Result struct {
+	Category uint64
+	Avg      uint64
+}
+
+// TypeID implements wire.Value.
+func (r *Q4Result) TypeID() uint16 { return typeQ4Result }
+
+// MarshalWire implements wire.Value.
+func (r *Q4Result) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(r.Category)
+	e.Uvarint(r.Avg)
+}
+
+func decodeQ4Result(d *wire.Decoder) (wire.Value, error) {
+	r := &Q4Result{Category: d.Uvarint(), Avg: d.Uvarint()}
+	return r, d.Err()
+}
+
+// Q7Partial is one pre-aggregation instance's window maximum.
+type Q7Partial struct {
+	Window int64
+	Price  uint64
+	Bidder uint64
+}
+
+// TypeID implements wire.Value.
+func (r *Q7Partial) TypeID() uint16 { return typeQ7Partial }
+
+// MarshalWire implements wire.Value.
+func (r *Q7Partial) MarshalWire(e *wire.Encoder) {
+	e.Varint(r.Window)
+	e.Uvarint(r.Price)
+	e.Uvarint(r.Bidder)
+}
+
+func decodeQ7Partial(d *wire.Decoder) (wire.Value, error) {
+	r := &Q7Partial{Window: d.Varint(), Price: d.Uvarint(), Bidder: d.Uvarint()}
+	return r, d.Err()
+}
+
+// Q7Result is the output of query 7: the highest bid of one window
+// (running variant — re-emitted whenever the leader improves).
+type Q7Result struct {
+	Window int64
+	Price  uint64
+	Bidder uint64
+}
+
+// TypeID implements wire.Value.
+func (r *Q7Result) TypeID() uint16 { return typeQ7Result }
+
+// MarshalWire implements wire.Value.
+func (r *Q7Result) MarshalWire(e *wire.Encoder) {
+	e.Varint(r.Window)
+	e.Uvarint(r.Price)
+	e.Uvarint(r.Bidder)
+}
+
+func decodeQ7Result(d *wire.Decoder) (wire.Value, error) {
+	r := &Q7Result{Window: d.Varint(), Price: d.Uvarint(), Bidder: d.Uvarint()}
+	return r, d.Err()
+}
+
+func init() {
+	wire.RegisterType(typeQ4MaxUpdate, decodeQ4MaxUpdate)
+	wire.RegisterType(typeQ4Result, decodeQ4Result)
+	wire.RegisterType(typeQ7Partial, decodeQ7Partial)
+	wire.RegisterType(typeQ7Result, decodeQ7Result)
+}
+
+// ---- Q4: average winning bid per category ----
+
+// auctionByID rekeys auctions by auction id (topic records are keyed by
+// seller).
+type auctionByID struct{}
+
+// OnEvent implements core.Operator.
+func (auctionByID) OnEvent(ctx core.Context, ev core.Event) {
+	a := ev.Value.(*Auction)
+	ctx.Emit(a.ID, a)
+}
+
+// Snapshot implements core.Operator.
+func (auctionByID) Snapshot(enc *wire.Encoder) {}
+
+// Restore implements core.Operator.
+func (auctionByID) Restore(dec *wire.Decoder) error { return nil }
+
+// q4MaxBid joins bids with auctions by auction id and tracks the winning
+// bid per auction. Bids may arrive before their auction; the running
+// maximum is buffered until the auction's category is known.
+type q4MaxBid struct {
+	category map[uint64]uint64 // auction id -> category
+	winning  map[uint64]uint64 // auction id -> current winning price
+	pending  map[uint64]uint64 // auction id -> max price seen before the auction
+}
+
+func newQ4MaxBid() *q4MaxBid {
+	return &q4MaxBid{
+		category: make(map[uint64]uint64),
+		winning:  make(map[uint64]uint64),
+		pending:  make(map[uint64]uint64),
+	}
+}
+
+// OnEvent implements core.Operator.
+func (q *q4MaxBid) OnEvent(ctx core.Context, ev core.Event) {
+	switch v := ev.Value.(type) {
+	case *Auction:
+		if _, ok := q.category[v.ID]; ok {
+			return // duplicate auction id: first one wins
+		}
+		q.category[v.ID] = v.Category
+		if max, ok := q.pending[v.ID]; ok {
+			delete(q.pending, v.ID)
+			q.winning[v.ID] = max
+			ctx.Emit(v.Category, &Q4MaxUpdate{Category: v.Category, New: max, First: true})
+		}
+	case *Bid:
+		cat, haveAuction := q.category[v.Auction]
+		if !haveAuction {
+			if v.Price > q.pending[v.Auction] {
+				q.pending[v.Auction] = v.Price
+			}
+			return
+		}
+		old := q.winning[v.Auction]
+		if v.Price <= old {
+			return
+		}
+		q.winning[v.Auction] = v.Price
+		ctx.Emit(cat, &Q4MaxUpdate{Category: cat, Old: old, New: v.Price, First: old == 0})
+	}
+}
+
+// Snapshot implements core.Operator.
+func (q *q4MaxBid) Snapshot(enc *wire.Encoder) {
+	snapshotU64Map(enc, q.category)
+	snapshotU64Map(enc, q.winning)
+	snapshotU64Map(enc, q.pending)
+}
+
+// Restore implements core.Operator.
+func (q *q4MaxBid) Restore(dec *wire.Decoder) error {
+	q.category = restoreU64Map(dec)
+	q.winning = restoreU64Map(dec)
+	q.pending = restoreU64Map(dec)
+	return dec.Err()
+}
+
+func snapshotU64Map(enc *wire.Encoder, m map[uint64]uint64) {
+	enc.Uvarint(uint64(len(m)))
+	for k, v := range m {
+		enc.Uvarint(k)
+		enc.Uvarint(v)
+	}
+}
+
+func restoreU64Map(dec *wire.Decoder) map[uint64]uint64 {
+	n := int(dec.Uvarint())
+	m := make(map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		k := dec.Uvarint()
+		m[k] = dec.Uvarint()
+	}
+	return m
+}
+
+// q4Avg maintains the running average winning bid per category.
+type q4Avg struct {
+	sum   map[uint64]uint64
+	count map[uint64]uint64
+}
+
+func newQ4Avg() *q4Avg {
+	return &q4Avg{sum: make(map[uint64]uint64), count: make(map[uint64]uint64)}
+}
+
+// OnEvent implements core.Operator.
+func (q *q4Avg) OnEvent(ctx core.Context, ev core.Event) {
+	u := ev.Value.(*Q4MaxUpdate)
+	if u.First {
+		q.count[u.Category]++
+	}
+	q.sum[u.Category] += u.New - u.Old
+	ctx.Emit(u.Category, &Q4Result{Category: u.Category, Avg: q.sum[u.Category] / q.count[u.Category]})
+}
+
+// Snapshot implements core.Operator.
+func (q *q4Avg) Snapshot(enc *wire.Encoder) {
+	snapshotU64Map(enc, q.sum)
+	snapshotU64Map(enc, q.count)
+}
+
+// Restore implements core.Operator.
+func (q *q4Avg) Restore(dec *wire.Decoder) error {
+	q.sum = restoreU64Map(dec)
+	q.count = restoreU64Map(dec)
+	return dec.Err()
+}
+
+func buildQ4() *core.JobSpec {
+	return &core.JobSpec{
+		Name: "q4",
+		Ops: []core.OpSpec{
+			{Name: "auctions", Source: &core.SourceSpec{Topic: TopicAuctions}},
+			{Name: "bids", Source: &core.SourceSpec{Topic: TopicBids}},
+			{Name: "keyA", New: func(int) core.Operator { return auctionByID{} }},
+			{Name: "keyB", New: func(int) core.Operator { return bidByAuction{} }},
+			{Name: "maxbid", New: func(int) core.Operator { return newQ4MaxBid() }},
+			{Name: "avg", New: func(int) core.Operator { return newQ4Avg() }},
+			{Name: "sink", Sink: true, New: func(int) core.Operator { return NewCountSink() }},
+		},
+		Edges: []core.EdgeSpec{
+			{From: 0, To: 2, Part: core.Forward},
+			{From: 1, To: 3, Part: core.Forward},
+			{From: 2, To: 4, Part: core.Hash},
+			{From: 3, To: 4, Part: core.Hash},
+			{From: 4, To: 5, Part: core.Hash},
+			{From: 5, To: 6, Part: core.Forward},
+		},
+	}
+}
+
+// bidByAuction rekeys bids by auction id.
+type bidByAuction struct{}
+
+// OnEvent implements core.Operator.
+func (bidByAuction) OnEvent(ctx core.Context, ev core.Event) {
+	b := ev.Value.(*Bid)
+	ctx.Emit(b.Auction, b)
+}
+
+// Snapshot implements core.Operator.
+func (bidByAuction) Snapshot(enc *wire.Encoder) {}
+
+// Restore implements core.Operator.
+func (bidByAuction) Restore(dec *wire.Decoder) error { return nil }
+
+// ---- Q7: highest bid per processing-time tumbling window ----
+
+// q7Local is the per-instance pre-aggregation: the running window maximum,
+// forwarded to the global stage whenever it improves.
+type q7Local struct {
+	win    int64
+	best   map[int64]uint64 // window start -> best local price
+	bidder map[int64]uint64
+}
+
+func newQ7Local(win time.Duration) *q7Local {
+	return &q7Local{win: win.Nanoseconds(), best: make(map[int64]uint64), bidder: make(map[int64]uint64)}
+}
+
+// OnEvent implements core.Operator.
+func (q *q7Local) OnEvent(ctx core.Context, ev core.Event) {
+	b := ev.Value.(*Bid)
+	now := ctx.NowNS()
+	start := now - now%q.win
+	if b.Price <= q.best[start] {
+		return
+	}
+	q.best[start] = b.Price
+	q.bidder[start] = b.Bidder
+	// Constant key: all partials of one window meet at one global instance.
+	ctx.Emit(0, &Q7Partial{Window: start, Price: b.Price, Bidder: b.Bidder})
+	ctx.SetTimer(start + 2*q.win)
+}
+
+// OnTimer implements core.TimerHandler: evict closed windows.
+func (q *q7Local) OnTimer(ctx core.Context, nowNS int64) {
+	cur := nowNS - nowNS%q.win
+	for start := range q.best {
+		if start < cur {
+			delete(q.best, start)
+			delete(q.bidder, start)
+		}
+	}
+	if len(q.best) > 0 {
+		ctx.SetTimer(cur + 2*q.win)
+	}
+}
+
+// Snapshot implements core.Operator.
+func (q *q7Local) Snapshot(enc *wire.Encoder) {
+	enc.Varint(q.win)
+	enc.Uvarint(uint64(len(q.best)))
+	for start, price := range q.best {
+		enc.Varint(start)
+		enc.Uvarint(price)
+		enc.Uvarint(q.bidder[start])
+	}
+}
+
+// Restore implements core.Operator.
+func (q *q7Local) Restore(dec *wire.Decoder) error {
+	q.win = dec.Varint()
+	n := int(dec.Uvarint())
+	q.best = make(map[int64]uint64, n)
+	q.bidder = make(map[int64]uint64, n)
+	for i := 0; i < n; i++ {
+		start := dec.Varint()
+		q.best[start] = dec.Uvarint()
+		q.bidder[start] = dec.Uvarint()
+	}
+	return dec.Err()
+}
+
+// q7Global combines the partial maxima into the global window maximum
+// (parallelism 1).
+type q7Global struct {
+	win    int64
+	best   map[int64]uint64
+	bidder map[int64]uint64
+}
+
+func newQ7Global(win time.Duration) *q7Global {
+	return &q7Global{win: win.Nanoseconds(), best: make(map[int64]uint64), bidder: make(map[int64]uint64)}
+}
+
+// OnEvent implements core.Operator.
+func (q *q7Global) OnEvent(ctx core.Context, ev core.Event) {
+	p := ev.Value.(*Q7Partial)
+	if p.Price <= q.best[p.Window] {
+		return
+	}
+	q.best[p.Window] = p.Price
+	q.bidder[p.Window] = p.Bidder
+	ctx.Emit(uint64(p.Window), &Q7Result{Window: p.Window, Price: p.Price, Bidder: p.Bidder})
+	ctx.SetTimer(p.Window + 2*q.win)
+}
+
+// OnTimer implements core.TimerHandler.
+func (q *q7Global) OnTimer(ctx core.Context, nowNS int64) {
+	cur := nowNS - nowNS%q.win
+	for start := range q.best {
+		if start < cur {
+			delete(q.best, start)
+			delete(q.bidder, start)
+		}
+	}
+	if len(q.best) > 0 {
+		ctx.SetTimer(cur + 2*q.win)
+	}
+}
+
+// Snapshot implements core.Operator.
+func (q *q7Global) Snapshot(enc *wire.Encoder) {
+	enc.Varint(q.win)
+	enc.Uvarint(uint64(len(q.best)))
+	for start, price := range q.best {
+		enc.Varint(start)
+		enc.Uvarint(price)
+		enc.Uvarint(q.bidder[start])
+	}
+}
+
+// Restore implements core.Operator.
+func (q *q7Global) Restore(dec *wire.Decoder) error {
+	q.win = dec.Varint()
+	n := int(dec.Uvarint())
+	q.best = make(map[int64]uint64, n)
+	q.bidder = make(map[int64]uint64, n)
+	for i := 0; i < n; i++ {
+		start := dec.Varint()
+		q.best[start] = dec.Uvarint()
+		q.bidder[start] = dec.Uvarint()
+	}
+	return dec.Err()
+}
+
+func buildQ7(win time.Duration) *core.JobSpec {
+	return &core.JobSpec{
+		Name: "q7",
+		Ops: []core.OpSpec{
+			{Name: "bids", Source: &core.SourceSpec{Topic: TopicBids}},
+			{Name: "localMax", New: func(int) core.Operator { return newQ7Local(win) }},
+			{Name: "globalMax", Parallelism: 1, New: func(int) core.Operator { return newQ7Global(win) }},
+			{Name: "sink", Sink: true, Parallelism: 1, New: func(int) core.Operator { return NewCountSink() }},
+		},
+		Edges: []core.EdgeSpec{
+			{From: 0, To: 1, Part: core.Forward},
+			{From: 1, To: 2, Part: core.Hash},
+			{From: 2, To: 3, Part: core.Forward},
+		},
+	}
+}

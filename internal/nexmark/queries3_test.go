@@ -1,0 +1,166 @@
+package nexmark
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/wire"
+)
+
+func TestQ4MaxBidJoin(t *testing.T) {
+	q := newQ4MaxBid()
+	ctx := &fakeCtx{}
+
+	// Bid before its auction: buffered, nothing emitted.
+	q.OnEvent(ctx, core.Event{Value: &Bid{Auction: 1, Bidder: 5, Price: 300}})
+	if len(ctx.emitted) != 0 || q.pending[1] != 300 {
+		t.Fatalf("early bid: emitted=%d pending=%v", len(ctx.emitted), q.pending)
+	}
+
+	// Auction arrives: pending max flushes as the first winning bid.
+	q.OnEvent(ctx, core.Event{Value: &Auction{ID: 1, Category: 12}})
+	if len(ctx.emitted) != 1 {
+		t.Fatalf("emitted = %d", len(ctx.emitted))
+	}
+	u := ctx.emitted[0].v.(*Q4MaxUpdate)
+	if u.Category != 12 || u.New != 300 || !u.First {
+		t.Fatalf("update = %+v", u)
+	}
+
+	// Lower bid: ignored. Higher bid: incremental update.
+	q.OnEvent(ctx, core.Event{Value: &Bid{Auction: 1, Price: 200}})
+	if len(ctx.emitted) != 1 {
+		t.Fatal("lower bid must not emit")
+	}
+	q.OnEvent(ctx, core.Event{Value: &Bid{Auction: 1, Price: 500}})
+	u = ctx.emitted[1].v.(*Q4MaxUpdate)
+	if u.Old != 300 || u.New != 500 || u.First {
+		t.Fatalf("update = %+v", u)
+	}
+}
+
+func TestQ4AvgIncremental(t *testing.T) {
+	q := newQ4Avg()
+	ctx := &fakeCtx{}
+	q.OnEvent(ctx, core.Event{Value: &Q4MaxUpdate{Category: 3, New: 100, First: true}})
+	q.OnEvent(ctx, core.Event{Value: &Q4MaxUpdate{Category: 3, New: 300, First: true}})
+	if r := ctx.emitted[1].v.(*Q4Result); r.Avg != 200 {
+		t.Fatalf("avg = %d, want 200", r.Avg)
+	}
+	// Winning bid of the first auction rises 100 -> 500: avg becomes 400.
+	q.OnEvent(ctx, core.Event{Value: &Q4MaxUpdate{Category: 3, Old: 100, New: 500}})
+	if r := ctx.emitted[2].v.(*Q4Result); r.Avg != 400 {
+		t.Fatalf("avg = %d, want 400", r.Avg)
+	}
+}
+
+func TestQ4SnapshotRoundTrip(t *testing.T) {
+	q := newQ4MaxBid()
+	ctx := &fakeCtx{}
+	q.OnEvent(ctx, core.Event{Value: &Auction{ID: 1, Category: 12}})
+	q.OnEvent(ctx, core.Event{Value: &Bid{Auction: 1, Price: 500}})
+	q.OnEvent(ctx, core.Event{Value: &Bid{Auction: 9, Price: 50}})
+
+	enc := wire.NewEncoder(nil)
+	q.Snapshot(enc)
+	restored := newQ4MaxBid()
+	if err := restored.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.category[1] != 12 || restored.winning[1] != 500 || restored.pending[9] != 50 {
+		t.Fatalf("restored = %+v", restored)
+	}
+
+	a := newQ4Avg()
+	a.OnEvent(ctx, core.Event{Value: &Q4MaxUpdate{Category: 3, New: 100, First: true}})
+	enc.Reset()
+	a.Snapshot(enc)
+	ra := newQ4Avg()
+	if err := ra.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if ra.sum[3] != 100 || ra.count[3] != 1 {
+		t.Fatalf("restored avg = %+v", ra)
+	}
+}
+
+func TestQ7LocalAndGlobalMax(t *testing.T) {
+	local := newQ7Local(100 * time.Nanosecond)
+	ctx := &fakeCtx{now: 10}
+	local.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 1, Price: 200}})
+	local.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 2, Price: 150}}) // not an improvement
+	local.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 3, Price: 400}})
+	if len(ctx.emitted) != 2 {
+		t.Fatalf("local emitted = %d, want 2", len(ctx.emitted))
+	}
+	p := ctx.emitted[1].v.(*Q7Partial)
+	if p.Price != 400 || p.Bidder != 3 || p.Window != 0 {
+		t.Fatalf("partial = %+v", p)
+	}
+	if ctx.emitted[0].key != 0 || ctx.emitted[1].key != 0 {
+		t.Fatal("partials must use the constant global key")
+	}
+
+	global := newQ7Global(100 * time.Nanosecond)
+	gctx := &fakeCtx{now: 10}
+	global.OnEvent(gctx, core.Event{Value: &Q7Partial{Window: 0, Price: 400, Bidder: 3}})
+	global.OnEvent(gctx, core.Event{Value: &Q7Partial{Window: 0, Price: 300, Bidder: 9}})
+	global.OnEvent(gctx, core.Event{Value: &Q7Partial{Window: 0, Price: 900, Bidder: 9}})
+	if len(gctx.emitted) != 2 {
+		t.Fatalf("global emitted = %d, want 2", len(gctx.emitted))
+	}
+	r := gctx.emitted[1].v.(*Q7Result)
+	if r.Price != 900 || r.Bidder != 9 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestQ7WindowEviction(t *testing.T) {
+	local := newQ7Local(100 * time.Nanosecond)
+	ctx := &fakeCtx{now: 10}
+	local.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 1, Price: 200}})
+	if len(local.best) != 1 {
+		t.Fatal("window not opened")
+	}
+	local.OnTimer(ctx, 250) // window [0,100) is long closed
+	if len(local.best) != 0 {
+		t.Fatalf("window not evicted: %v", local.best)
+	}
+}
+
+func TestQ7SnapshotRoundTrip(t *testing.T) {
+	local := newQ7Local(100 * time.Nanosecond)
+	ctx := &fakeCtx{now: 10}
+	local.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 7, Price: 321}})
+	enc := wire.NewEncoder(nil)
+	local.Snapshot(enc)
+	restored := &q7Local{}
+	if err := restored.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.best[0] != 321 || restored.bidder[0] != 7 {
+		t.Fatalf("restored = %+v", restored)
+	}
+}
+
+func TestBuildQ4Q7(t *testing.T) {
+	for _, name := range []string{"q4", "q7"} {
+		job, err := Build(name, QueryConfig{Window: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := job.Validate(4); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if job.IsCyclic() {
+			t.Fatalf("%s must be acyclic", name)
+		}
+	}
+	if got := TopicsFor("q4"); len(got) != 2 {
+		t.Fatalf("q4 topics = %v", got)
+	}
+	if got := TopicsFor("q7"); len(got) != 1 || got[0] != TopicBids {
+		t.Fatalf("q7 topics = %v", got)
+	}
+}

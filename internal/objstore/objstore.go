@@ -1,0 +1,173 @@
+// Package objstore simulates the persistent object store the paper's
+// testbed uses for operator state checkpoints (Minio). It is a durable
+// (failure-surviving) key-value blob store with configurable PUT/GET
+// latency, so checkpoint time = serialization + upload, and restart time
+// includes state download — the two cost components the paper measures.
+package objstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config controls the simulated store behaviour.
+type Config struct {
+	// PutLatency is the simulated latency of a blob upload.
+	PutLatency time.Duration
+	// GetLatency is the simulated latency of a blob download.
+	GetLatency time.Duration
+	// PerByteLatency adds latency proportional to the blob size, modelling
+	// limited bandwidth to the store. Expressed as duration per byte.
+	PerByteLatency time.Duration
+	// FailureRate injects transient errors: each Put/Get fails with this
+	// probability (0..1) before touching the blob, modelling the flaky
+	// object-store RPCs a production deployment retries. 0 disables.
+	FailureRate float64
+	// Seed drives the deterministic failure injection.
+	Seed int64
+}
+
+// Store is a durable blob store. The zero value is not usable; construct
+// with New.
+type Store struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	blobs map[string][]byte
+
+	puts      atomic.Uint64
+	gets      atomic.Uint64
+	putBytes  atomic.Uint64
+	getBytes  atomic.Uint64
+	failures  atomic.Uint64
+	sleepFunc func(time.Duration)
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New returns an empty store with the given config.
+func New(cfg Config) *Store {
+	s := &Store{cfg: cfg, blobs: make(map[string][]byte), sleepFunc: time.Sleep}
+	if cfg.FailureRate > 0 {
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return s
+}
+
+// injectFailure reports whether this operation should fail.
+func (s *Store) injectFailure() bool {
+	if s.rng == nil {
+		return false
+	}
+	s.rngMu.Lock()
+	fail := s.rng.Float64() < s.cfg.FailureRate
+	s.rngMu.Unlock()
+	if fail {
+		s.failures.Add(1)
+	}
+	return fail
+}
+
+// SetSleepFunc overrides the latency sleep, for tests.
+func (s *Store) SetSleepFunc(f func(time.Duration)) { s.sleepFunc = f }
+
+func (s *Store) simulate(base time.Duration, n int) {
+	d := base + time.Duration(n)*s.cfg.PerByteLatency
+	if d > 0 {
+		s.sleepFunc(d)
+	}
+}
+
+// Put stores a copy of data under key, overwriting any previous blob.
+func (s *Store) Put(key string, data []byte) error {
+	if s.injectFailure() {
+		return fmt.Errorf("objstore: injected transient PUT failure for %q", key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.simulate(s.cfg.PutLatency, len(data))
+	s.mu.Lock()
+	s.blobs[key] = cp
+	s.mu.Unlock()
+	s.puts.Add(1)
+	s.putBytes.Add(uint64(len(data)))
+	return nil
+}
+
+// Get returns a copy of the blob stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	if s.injectFailure() {
+		return nil, fmt.Errorf("objstore: injected transient GET failure for %q", key)
+	}
+	s.mu.RLock()
+	data, ok := s.blobs[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("objstore: key %q not found", key)
+	}
+	s.simulate(s.cfg.GetLatency, len(data))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.gets.Add(1)
+	s.getBytes.Add(uint64(len(data)))
+	return cp, nil
+}
+
+// Delete removes the blob stored under key and returns the number of bytes
+// freed. Deleting a missing key is not an error (idempotent, like S3) and
+// frees zero bytes.
+func (s *Store) Delete(key string) int {
+	s.mu.Lock()
+	n := len(s.blobs[key])
+	delete(s.blobs, key)
+	s.mu.Unlock()
+	return n
+}
+
+// List returns all keys with the given prefix, sorted.
+func (s *Store) List(prefix string) []string {
+	s.mu.RLock()
+	keys := make([]string, 0, 8)
+	for k := range s.blobs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Len reports the number of stored blobs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}
+
+// Stats reports cumulative operation counters.
+type Stats struct {
+	Puts     uint64
+	Gets     uint64
+	PutBytes uint64
+	GetBytes uint64
+	// Failures counts injected transient errors.
+	Failures uint64
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Puts:     s.puts.Load(),
+		Gets:     s.gets.Load(),
+		PutBytes: s.putBytes.Load(),
+		GetBytes: s.getBytes.Load(),
+		Failures: s.failures.Load(),
+	}
+}

@@ -1,0 +1,157 @@
+package objstore
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New(Config{})
+	if err := s.Put("a/1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/1")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Returned blob must be a copy.
+	got[0] = 'X'
+	again, _ := s.Get("a/1")
+	if string(again) != "hello" {
+		t.Fatal("Get returned aliasing slice")
+	}
+	s.Delete("a/1")
+	if _, err := s.Get("a/1"); err == nil {
+		t.Fatal("Get after Delete should fail")
+	}
+	s.Delete("a/1") // idempotent
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s := New(Config{})
+	data := []byte("abc")
+	if err := s.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'Z'
+	got, _ := s.Get("k")
+	if string(got) != "abc" {
+		t.Fatal("Put aliased caller's buffer")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := New(Config{})
+	_ = s.Put("k", []byte("v1"))
+	_ = s.Put("k", []byte("v2"))
+	got, _ := s.Get("k")
+	if string(got) != "v2" {
+		t.Fatalf("Get = %q", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestList(t *testing.T) {
+	s := New(Config{})
+	for _, k := range []string{"ckpt/op1/3", "ckpt/op1/1", "ckpt/op2/1", "other"} {
+		_ = s.Put(k, nil)
+	}
+	got := s.List("ckpt/op1/")
+	if len(got) != 2 || got[0] != "ckpt/op1/1" || got[1] != "ckpt/op1/3" {
+		t.Fatalf("List = %v", got)
+	}
+	if got := s.List("none/"); len(got) != 0 {
+		t.Fatalf("List none = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New(Config{})
+	_ = s.Put("a", make([]byte, 100))
+	_ = s.Put("b", make([]byte, 50))
+	_, _ = s.Get("a")
+	st := s.Stats()
+	if st.Puts != 2 || st.Gets != 1 || st.PutBytes != 150 || st.GetBytes != 100 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestLatencySimulation(t *testing.T) {
+	s := New(Config{PutLatency: 3 * time.Millisecond, GetLatency: time.Millisecond, PerByteLatency: time.Nanosecond})
+	var slept time.Duration
+	s.SetSleepFunc(func(d time.Duration) { slept += d })
+	_ = s.Put("k", make([]byte, 1000))
+	if want := 3*time.Millisecond + 1000*time.Nanosecond; slept != want {
+		t.Fatalf("put slept %v, want %v", slept, want)
+	}
+	slept = 0
+	_, _ = s.Get("k")
+	if want := time.Millisecond + 1000*time.Nanosecond; slept != want {
+		t.Fatalf("get slept %v, want %v", slept, want)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := string(rune('a' + g))
+			for i := 0; i < 200; i++ {
+				_ = s.Put(key, []byte{byte(i)})
+				if b, err := s.Get(key); err != nil || len(b) != 1 {
+					t.Errorf("get %q: %v", key, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestFailureInjectionDeterministic(t *testing.T) {
+	run := func() (failures uint64, errs int) {
+		s := New(Config{FailureRate: 0.5, Seed: 42})
+		for i := 0; i < 100; i++ {
+			if err := s.Put("k", []byte("v")); err != nil {
+				errs++
+			}
+			if _, err := s.Get("k"); err != nil {
+				errs++
+			}
+		}
+		return s.Stats().Failures, errs
+	}
+	f1, e1 := run()
+	f2, e2 := run()
+	if f1 != f2 || e1 != e2 {
+		t.Fatalf("injection not deterministic: %d/%d vs %d/%d", f1, e1, f2, e2)
+	}
+	if f1 == 0 || uint64(e1) != f1 {
+		t.Fatalf("failures=%d errs=%d", f1, e1)
+	}
+	// Roughly half of 200 ops should fail at rate 0.5.
+	if f1 < 60 || f1 > 140 {
+		t.Fatalf("failure count %d implausible for rate 0.5", f1)
+	}
+}
+
+func TestZeroFailureRateNeverFails(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 50; i++ {
+		if err := s.Put("k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Failures != 0 {
+		t.Fatal("failures injected at rate 0")
+	}
+}

@@ -1,0 +1,142 @@
+package protocol
+
+import (
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/wire"
+)
+
+// UnalignedCoordinated is the unaligned variant of the coordinated protocol
+// (the direction the paper's backpressure discussion points to, adopted by
+// Apache Flink as "unaligned checkpoints"): markers overtake queued data,
+// the first marker triggers an immediate snapshot and immediate marker
+// forwarding, and the overtaken in-flight messages are persisted as channel
+// state inside the checkpoint. No channel ever blocks, so stragglers and
+// backpressure cannot stall a round — at the cost of capturing and storing
+// in-flight data.
+//
+// Unlike the aligned variant it also supports cyclic dataflows: markers
+// cannot deadlock on the feedback edge because they never block a channel.
+type UnalignedCoordinated struct{}
+
+// Name implements core.Protocol.
+func (UnalignedCoordinated) Name() string { return "UCOOR" }
+
+// Kind implements core.Protocol.
+func (UnalignedCoordinated) Kind() core.Kind { return core.KindCoordinated }
+
+// Unaligned activates the engine's marker-overtaking path.
+func (UnalignedCoordinated) Unaligned() bool { return true }
+
+// Features implements core.Protocol.
+func (UnalignedCoordinated) Features() core.Features {
+	return core.Features{
+		BlockingMarkers: false,
+		InFlightLogging: true, // channel state inside checkpoints
+		SupportsCycles:  true,
+	}
+}
+
+// NewController implements core.Protocol: like the aligned variant, the
+// runtime does all the work.
+func (UnalignedCoordinated) NewController(self, total int, interval time.Duration, seed int64) core.Controller {
+	return nil
+}
+
+// BCS is the Briatico–Ciuffoletti–Simoncini communication-induced protocol,
+// the second CIC protocol the paper considered ("initial tests indicate
+// that the HMNR has better performance than BCS", §III-C). Each instance
+// keeps a single checkpoint index; the index is piggybacked on every
+// message, and a receiver whose index is behind takes a forced checkpoint
+// before processing. The piggyback is tiny (one varint) but the forced
+// checkpoint rate is much higher than HMNR's — the trade-off the ablation
+// bench reproduces.
+type BCS struct{}
+
+// Name implements core.Protocol.
+func (BCS) Name() string { return "BCS" }
+
+// Kind implements core.Protocol.
+func (BCS) Kind() core.Kind { return core.KindCIC }
+
+// Features implements core.Protocol.
+func (BCS) Features() core.Features {
+	return core.Features{
+		InFlightLogging:    true,
+		DedupRequired:      true,
+		MessageOverhead:    true,
+		IndependentCkpts:   true,
+		UnusedCheckpoints:  true,
+		ForcedCheckpoints:  true,
+		SupportsCycles:     true,
+		RecoveryLineNeeded: true,
+	}
+}
+
+// NewController implements core.Protocol.
+func (BCS) NewController(self, total int, interval time.Duration, seed int64) core.Controller {
+	return &bcsController{local: newLocalIntervalController(interval, seed)}
+}
+
+type bcsController struct {
+	local *localIntervalController
+	sn    uint64
+	// pendingSN defers the index jump of a forced checkpoint until the
+	// checkpoint is actually taken (OnCheckpoint).
+	pendingSN uint64
+}
+
+// OnSend implements core.Controller.
+func (c *bcsController) OnSend(to int, enc *wire.Encoder) {
+	enc.Uvarint(c.sn)
+}
+
+// OnReceive implements core.Controller: force a checkpoint when the sender
+// is ahead.
+func (c *bcsController) OnReceive(from int, piggyback []byte) bool {
+	if len(piggyback) == 0 {
+		return false
+	}
+	dec := wire.NewDecoder(piggyback)
+	sn := dec.Uvarint()
+	if dec.Err() != nil {
+		return false
+	}
+	if sn > c.sn {
+		c.pendingSN = sn
+		return true
+	}
+	return false
+}
+
+// ShouldCheckpoint implements core.Controller.
+func (c *bcsController) ShouldCheckpoint(now time.Duration) bool {
+	return c.local.ShouldCheckpoint(now)
+}
+
+// OnCheckpoint implements core.Controller.
+func (c *bcsController) OnCheckpoint(forced bool) {
+	c.local.OnCheckpoint(forced)
+	if forced && c.pendingSN > c.sn {
+		c.sn = c.pendingSN
+	} else {
+		c.sn++
+	}
+	c.pendingSN = 0
+}
+
+// Snapshot implements core.Controller.
+func (c *bcsController) Snapshot(enc *wire.Encoder) {
+	c.local.Snapshot(enc)
+	enc.Uvarint(c.sn)
+}
+
+// Restore implements core.Controller.
+func (c *bcsController) Restore(dec *wire.Decoder) error {
+	if err := c.local.Restore(dec); err != nil {
+		return err
+	}
+	c.sn = dec.Uvarint()
+	return dec.Err()
+}

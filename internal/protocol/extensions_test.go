@@ -1,0 +1,95 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/wire"
+)
+
+func TestUnalignedCoordinatedProperties(t *testing.T) {
+	p := UnalignedCoordinated{}
+	if p.Kind() != core.KindCoordinated {
+		t.Fatal("UCOOR must be a coordinated protocol")
+	}
+	if !p.Unaligned() {
+		t.Fatal("UCOOR must report unaligned")
+	}
+	f := p.Features()
+	if f.BlockingMarkers {
+		t.Fatal("unaligned markers must not block")
+	}
+	if !f.SupportsCycles {
+		t.Fatal("unaligned coordinated supports cycles")
+	}
+	if p.NewController(0, 2, time.Second, 1) != nil {
+		t.Fatal("UCOOR needs no controller")
+	}
+	byName, err := ByName("UCOOR")
+	if err != nil || byName.Name() != "UCOOR" {
+		t.Fatalf("ByName(UCOOR) = %v, %v", byName, err)
+	}
+}
+
+func TestBCSForcesWhenBehind(t *testing.T) {
+	c0 := BCS{}.NewController(0, 2, time.Hour, 1)
+	c1 := BCS{}.NewController(1, 2, time.Hour, 2)
+
+	// Same index: no force.
+	p := sendPiggy(c1, 0)
+	if c0.OnReceive(1, p) {
+		t.Fatal("equal index must not force")
+	}
+	// Sender checkpoints: its index advances; receiver must force.
+	c1.OnCheckpoint(false)
+	p = sendPiggy(c1, 0)
+	if !c0.OnReceive(1, p) {
+		t.Fatal("receiver behind sender must force")
+	}
+	// After the forced checkpoint the receiver catches up to the sender's
+	// index; the same message no longer forces.
+	c0.OnCheckpoint(true)
+	if c0.OnReceive(1, p) {
+		t.Fatal("caught-up receiver must not force again")
+	}
+}
+
+func TestBCSPiggybackTiny(t *testing.T) {
+	bcs := BCS{}.NewController(0, 1000, time.Hour, 1)
+	hmnr := CIC{}.NewController(0, 1000, time.Hour, 1)
+	pb := sendPiggy(bcs, 1)
+	ph := sendPiggy(hmnr, 1)
+	if len(pb) >= len(ph)/10 {
+		t.Fatalf("BCS piggyback (%dB) should be far smaller than HMNR's (%dB)", len(pb), len(ph))
+	}
+}
+
+func TestBCSSnapshotRestore(t *testing.T) {
+	c := BCS{}.NewController(0, 2, time.Second, 1).(*bcsController)
+	c.OnCheckpoint(false)
+	c.OnCheckpoint(false)
+	enc := wire.NewEncoder(nil)
+	c.Snapshot(enc)
+	c2 := BCS{}.NewController(0, 2, time.Second, 9).(*bcsController)
+	if err := c2.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if c2.sn != c.sn {
+		t.Fatalf("restored sn = %d, want %d", c2.sn, c.sn)
+	}
+}
+
+func TestBCSIgnoresCorruptPiggyback(t *testing.T) {
+	c := BCS{}.NewController(0, 2, time.Second, 1)
+	if c.OnReceive(1, nil) {
+		t.Fatal("empty piggyback must not force")
+	}
+}
+
+func TestBCSByName(t *testing.T) {
+	p, err := ByName("BCS")
+	if err != nil || p.Kind() != core.KindCIC {
+		t.Fatalf("ByName(BCS) = %v, %v", p, err)
+	}
+}

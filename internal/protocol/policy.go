@@ -1,0 +1,282 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/wire"
+)
+
+// TriggerPolicy decides when an uncoordinated instance takes its local
+// checkpoints. The paper (§III-B) names this configurability as an
+// unexplored strength of the uncoordinated family: "different operators can
+// have different checkpoint intervals, making them adaptive to the current
+// system's needs". The policies here make that knob concrete:
+//
+//   - Interval: the paper's vanilla behaviour — a (jittered) wall-clock
+//     interval;
+//   - EventCount: checkpoint after N processed messages, bounding the
+//     per-channel replay volume regardless of rate;
+//   - Idle: checkpoint when the instance goes quiet (e.g. right after a
+//     window fired and its contents were evicted — the paper's "checkpoint
+//     right after the aggregate is calculated"), with a wall-clock
+//     fallback so idle-free instances still make progress.
+type TriggerPolicy interface {
+	// PolicyName is the display name used in tables.
+	PolicyName() string
+	// newController builds the per-instance trigger logic.
+	newController(interval time.Duration, seed int64) core.Controller
+}
+
+// UncoordinatedWithPolicy is the uncoordinated protocol with a custom
+// checkpoint trigger policy. A zero Policy falls back to the paper's
+// jittered interval.
+type UncoordinatedWithPolicy struct {
+	Policy TriggerPolicy
+}
+
+// Name implements core.Protocol.
+func (u UncoordinatedWithPolicy) Name() string {
+	if u.Policy == nil {
+		return "UNC"
+	}
+	return fmt.Sprintf("UNC(%s)", u.Policy.PolicyName())
+}
+
+// Kind implements core.Protocol.
+func (UncoordinatedWithPolicy) Kind() core.Kind { return core.KindUncoordinated }
+
+// Features implements core.Protocol.
+func (UncoordinatedWithPolicy) Features() core.Features { return Uncoordinated{}.Features() }
+
+// NewController implements core.Protocol.
+func (u UncoordinatedWithPolicy) NewController(self, total int, interval time.Duration, seed int64) core.Controller {
+	if u.Policy == nil {
+		return newLocalIntervalController(interval, seed)
+	}
+	return u.Policy.newController(interval, seed)
+}
+
+// Interval checkpoints on a wall-clock interval with a configurable jitter
+// fraction (0 = strictly periodic; 0.2 = the paper's +/-20%).
+type Interval struct {
+	// Jitter is the +/- fraction applied to every interval.
+	Jitter float64
+}
+
+// PolicyName implements TriggerPolicy.
+func (p Interval) PolicyName() string {
+	if p.Jitter == 0 {
+		return "fixed"
+	}
+	return fmt.Sprintf("jitter=%g", p.Jitter)
+}
+
+func (p Interval) newController(interval time.Duration, seed int64) core.Controller {
+	c := &intervalTrigger{interval: interval, jitter: p.Jitter, rng: rand.New(rand.NewSource(seed))}
+	c.next = interval/4 + time.Duration(c.rng.Int63n(int64(interval)))
+	return c
+}
+
+// intervalTrigger is the interval policy controller.
+type intervalTrigger struct {
+	interval time.Duration
+	jitter   float64
+	next     time.Duration
+	rng      *rand.Rand
+}
+
+// OnSend implements core.Controller.
+func (c *intervalTrigger) OnSend(to int, enc *wire.Encoder) {}
+
+// OnReceive implements core.Controller.
+func (c *intervalTrigger) OnReceive(from int, piggyback []byte) bool { return false }
+
+// ShouldCheckpoint implements core.Controller.
+func (c *intervalTrigger) ShouldCheckpoint(now time.Duration) bool { return now >= c.next }
+
+// OnCheckpoint implements core.Controller.
+func (c *intervalTrigger) OnCheckpoint(forced bool) {
+	step := c.interval
+	if c.jitter > 0 {
+		f := 1 - c.jitter + 2*c.jitter*c.rng.Float64()
+		step = time.Duration(float64(c.interval) * f)
+	}
+	c.next += step
+}
+
+// Snapshot implements core.Controller.
+func (c *intervalTrigger) Snapshot(enc *wire.Encoder) { enc.Varint(int64(c.next)) }
+
+// Restore implements core.Controller.
+func (c *intervalTrigger) Restore(dec *wire.Decoder) error {
+	c.next = time.Duration(dec.Varint())
+	return dec.Err()
+}
+
+// EventCount checkpoints after Events processed messages, with a wall-clock
+// fallback of FallbackFactor nominal intervals so idle instances (and
+// sources, which receive no messages) still checkpoint.
+type EventCount struct {
+	// Events is the processed-message budget per checkpoint. Must be
+	// positive.
+	Events int
+	// FallbackFactor scales the nominal interval into the wall-clock
+	// fallback; 0 means 1x (sources receive no messages, so the fallback is their only trigger).
+	FallbackFactor float64
+}
+
+// PolicyName implements TriggerPolicy.
+func (p EventCount) PolicyName() string { return fmt.Sprintf("events=%d", p.Events) }
+
+func (p EventCount) newController(interval time.Duration, seed int64) core.Controller {
+	if p.Events <= 0 {
+		panic("protocol: EventCount.Events must be positive")
+	}
+	ff := p.FallbackFactor
+	if ff <= 0 {
+		ff = 1
+	}
+	return &eventCountTrigger{
+		budget:   p.Events,
+		fallback: time.Duration(float64(interval) * ff),
+	}
+}
+
+// eventCountTrigger is the event-count policy controller.
+type eventCountTrigger struct {
+	budget   int
+	fallback time.Duration
+	seen     int
+	deadline time.Duration
+	started  bool
+}
+
+// OnSend implements core.Controller.
+func (c *eventCountTrigger) OnSend(to int, enc *wire.Encoder) {}
+
+// OnReceive implements core.Controller.
+func (c *eventCountTrigger) OnReceive(from int, piggyback []byte) bool {
+	c.seen++
+	return false
+}
+
+// ShouldCheckpoint implements core.Controller.
+func (c *eventCountTrigger) ShouldCheckpoint(now time.Duration) bool {
+	if !c.started {
+		c.started = true
+		c.deadline = now + c.fallback
+	}
+	return c.seen >= c.budget || now >= c.deadline
+}
+
+// OnCheckpoint implements core.Controller.
+func (c *eventCountTrigger) OnCheckpoint(forced bool) {
+	c.seen = 0
+	// The deadline re-arms at the next ShouldCheckpoint poll.
+	c.started = false
+}
+
+// Snapshot implements core.Controller.
+func (c *eventCountTrigger) Snapshot(enc *wire.Encoder) {
+	enc.Uvarint(uint64(c.seen))
+}
+
+// Restore implements core.Controller.
+func (c *eventCountTrigger) Restore(dec *wire.Decoder) error {
+	c.seen = int(dec.Uvarint())
+	c.started = false
+	return dec.Err()
+}
+
+// Idle checkpoints when the instance processed at least one message since
+// its last checkpoint and then went quiet for IdleFor — the cheap moment to
+// snapshot (small in-flight frontier, often just-evicted window state). A
+// wall-clock fallback of FallbackFactor nominal intervals bounds the
+// checkpoint age under continuous load.
+type Idle struct {
+	// IdleFor is the quiet period that triggers a checkpoint. Must be
+	// positive.
+	IdleFor time.Duration
+	// FallbackFactor scales the nominal interval into the wall-clock
+	// fallback; 0 means 1x (sources receive no messages, so the fallback is their only trigger).
+	FallbackFactor float64
+}
+
+// PolicyName implements TriggerPolicy.
+func (p Idle) PolicyName() string { return fmt.Sprintf("idle=%s", p.IdleFor) }
+
+func (p Idle) newController(interval time.Duration, seed int64) core.Controller {
+	if p.IdleFor <= 0 {
+		panic("protocol: Idle.IdleFor must be positive")
+	}
+	ff := p.FallbackFactor
+	if ff <= 0 {
+		ff = 1
+	}
+	return &idleTrigger{
+		idleFor:  p.IdleFor,
+		fallback: time.Duration(float64(interval) * ff),
+	}
+}
+
+// idleTrigger is the idle policy controller. It detects quiet periods by
+// comparing the processed-message count across ShouldCheckpoint polls.
+type idleTrigger struct {
+	idleFor  time.Duration
+	fallback time.Duration
+
+	seen       int // messages since last checkpoint
+	lastSeen   int // seen at the last poll
+	lastChange time.Duration
+	deadline   time.Duration
+	started    bool
+}
+
+// OnSend implements core.Controller.
+func (c *idleTrigger) OnSend(to int, enc *wire.Encoder) {}
+
+// OnReceive implements core.Controller.
+func (c *idleTrigger) OnReceive(from int, piggyback []byte) bool {
+	c.seen++
+	return false
+}
+
+// ShouldCheckpoint implements core.Controller.
+func (c *idleTrigger) ShouldCheckpoint(now time.Duration) bool {
+	if !c.started {
+		c.started = true
+		c.deadline = now + c.fallback
+		c.lastChange = now
+		c.lastSeen = c.seen
+	}
+	if c.seen != c.lastSeen {
+		c.lastSeen = c.seen
+		c.lastChange = now
+	}
+	if now >= c.deadline {
+		return true
+	}
+	return c.seen > 0 && now-c.lastChange >= c.idleFor
+}
+
+// OnCheckpoint implements core.Controller.
+func (c *idleTrigger) OnCheckpoint(forced bool) {
+	c.seen = 0
+	c.lastSeen = 0
+	c.started = false
+}
+
+// Snapshot implements core.Controller.
+func (c *idleTrigger) Snapshot(enc *wire.Encoder) {
+	enc.Uvarint(uint64(c.seen))
+}
+
+// Restore implements core.Controller.
+func (c *idleTrigger) Restore(dec *wire.Decoder) error {
+	c.seen = int(dec.Uvarint())
+	c.started = false
+	return dec.Err()
+}

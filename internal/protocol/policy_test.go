@@ -1,0 +1,223 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/wire"
+)
+
+func TestUncoordinatedWithPolicyDefaults(t *testing.T) {
+	p := UncoordinatedWithPolicy{}
+	if p.Name() != "UNC" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if p.Kind() != (Uncoordinated{}).Kind() {
+		t.Fatal("kind mismatch")
+	}
+	if p.Features() != (Uncoordinated{}).Features() {
+		t.Fatal("features mismatch")
+	}
+	if c := p.NewController(0, 4, 100*time.Millisecond, 1); c == nil {
+		t.Fatal("nil controller")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	cases := []struct {
+		p    TriggerPolicy
+		want string
+	}{
+		{Interval{}, "fixed"},
+		{Interval{Jitter: 0.2}, "jitter=0.2"},
+		{EventCount{Events: 500}, "events=500"},
+		{Idle{IdleFor: 5 * time.Millisecond}, "idle=5ms"},
+	}
+	for _, c := range cases {
+		if got := c.p.PolicyName(); got != c.want {
+			t.Errorf("PolicyName = %q, want %q", got, c.want)
+		}
+		full := UncoordinatedWithPolicy{Policy: c.p}.Name()
+		if full != "UNC("+c.want+")" {
+			t.Errorf("protocol name = %q", full)
+		}
+	}
+}
+
+func TestIntervalFixedIsPeriodic(t *testing.T) {
+	c := Interval{}.newController(10*time.Millisecond, 3).(*intervalTrigger)
+	first := c.next
+	var fires []time.Duration
+	for now := time.Duration(0); now < 100*time.Millisecond; now += time.Millisecond {
+		if c.ShouldCheckpoint(now) {
+			fires = append(fires, now)
+			c.OnCheckpoint(false)
+		}
+	}
+	if len(fires) < 5 {
+		t.Fatalf("fired %d times", len(fires))
+	}
+	// After the randomized start, the period is exactly the interval.
+	for i := 1; i < len(fires); i++ {
+		gap := c.next - first - time.Duration(i)*10*time.Millisecond
+		_ = gap
+	}
+	for i := 2; i < len(fires); i++ {
+		d1 := fires[i] - fires[i-1]
+		if d1 != 10*time.Millisecond {
+			t.Fatalf("period %v, want exactly 10ms (fires=%v)", d1, fires)
+		}
+	}
+}
+
+func TestIntervalJitterVaries(t *testing.T) {
+	c := Interval{Jitter: 0.2}.newController(10*time.Millisecond, 3).(*intervalTrigger)
+	prev := c.next
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 20; i++ {
+		c.OnCheckpoint(false)
+		step := c.next - prev
+		prev = c.next
+		if step < 8*time.Millisecond || step > 12*time.Millisecond {
+			t.Fatalf("jittered step %v outside +/-20%%", step)
+		}
+		seen[step] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("jitter produced only %d distinct steps", len(seen))
+	}
+}
+
+func TestEventCountTriggersOnBudget(t *testing.T) {
+	c := EventCount{Events: 5}.newController(time.Second, 1).(*eventCountTrigger)
+	if c.ShouldCheckpoint(0) {
+		t.Fatal("fired with no events")
+	}
+	for i := 0; i < 4; i++ {
+		c.OnReceive(0, nil)
+	}
+	if c.ShouldCheckpoint(time.Millisecond) {
+		t.Fatal("fired below budget")
+	}
+	c.OnReceive(0, nil)
+	if !c.ShouldCheckpoint(2 * time.Millisecond) {
+		t.Fatal("did not fire at budget")
+	}
+	c.OnCheckpoint(false)
+	if c.ShouldCheckpoint(3 * time.Millisecond) {
+		t.Fatal("budget did not reset after checkpoint")
+	}
+}
+
+func TestEventCountWallClockFallback(t *testing.T) {
+	c := EventCount{Events: 1 << 30, FallbackFactor: 2}.newController(10*time.Millisecond, 1).(*eventCountTrigger)
+	if c.ShouldCheckpoint(0) {
+		t.Fatal("fired immediately")
+	}
+	if c.ShouldCheckpoint(19 * time.Millisecond) {
+		t.Fatal("fired before the fallback deadline")
+	}
+	if !c.ShouldCheckpoint(21 * time.Millisecond) {
+		t.Fatal("fallback deadline did not fire")
+	}
+}
+
+func TestEventCountPanicsOnZeroBudget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Events=0")
+		}
+	}()
+	EventCount{}.newController(time.Second, 1)
+}
+
+func TestIdleTriggersAfterQuietPeriod(t *testing.T) {
+	c := Idle{IdleFor: 5 * time.Millisecond}.newController(time.Second, 1).(*idleTrigger)
+	if c.ShouldCheckpoint(0) {
+		t.Fatal("fired with no activity")
+	}
+	c.OnReceive(0, nil)
+	if c.ShouldCheckpoint(time.Millisecond) {
+		t.Fatal("fired while active")
+	}
+	// Still busy: counter keeps moving.
+	c.OnReceive(0, nil)
+	if c.ShouldCheckpoint(4 * time.Millisecond) {
+		t.Fatal("fired while messages keep arriving")
+	}
+	// Quiet for >= IdleFor after the last message.
+	if !c.ShouldCheckpoint(10 * time.Millisecond) {
+		t.Fatal("did not fire after the quiet period")
+	}
+	c.OnCheckpoint(false)
+	// No further activity: stays quiet without firing (nothing to save).
+	if c.ShouldCheckpoint(30 * time.Millisecond) {
+		t.Fatal("fired with nothing processed since last checkpoint")
+	}
+}
+
+func TestIdleWallClockFallback(t *testing.T) {
+	c := Idle{IdleFor: time.Hour, FallbackFactor: 3}.newController(10*time.Millisecond, 1).(*idleTrigger)
+	c.ShouldCheckpoint(0) // arms the deadline
+	c.OnReceive(0, nil)   // continuously busy
+	if c.ShouldCheckpoint(29 * time.Millisecond) {
+		t.Fatal("fired before fallback")
+	}
+	c.OnReceive(0, nil)
+	if !c.ShouldCheckpoint(31 * time.Millisecond) {
+		t.Fatal("fallback did not fire under continuous load")
+	}
+}
+
+func TestIdlePanicsOnZeroIdle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for IdleFor=0")
+		}
+	}()
+	Idle{}.newController(time.Second, 1)
+}
+
+func TestPolicyControllersSnapshotRoundTrip(t *testing.T) {
+	controllers := []struct {
+		name string
+		mk   func() interface {
+			Snapshot(*wire.Encoder)
+			Restore(*wire.Decoder) error
+		}
+	}{
+		{"interval", func() interface {
+			Snapshot(*wire.Encoder)
+			Restore(*wire.Decoder) error
+		} {
+			return Interval{Jitter: 0.1}.newController(10*time.Millisecond, 1).(*intervalTrigger)
+		}},
+		{"eventCount", func() interface {
+			Snapshot(*wire.Encoder)
+			Restore(*wire.Decoder) error
+		} {
+			c := EventCount{Events: 100}.newController(10*time.Millisecond, 1).(*eventCountTrigger)
+			c.OnReceive(0, nil)
+			return c
+		}},
+		{"idle", func() interface {
+			Snapshot(*wire.Encoder)
+			Restore(*wire.Decoder) error
+		} {
+			c := Idle{IdleFor: time.Millisecond}.newController(10*time.Millisecond, 1).(*idleTrigger)
+			c.OnReceive(0, nil)
+			return c
+		}},
+	}
+	for _, tc := range controllers {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.mk()
+			enc := wire.NewEncoder(nil)
+			c.Snapshot(enc)
+			r := tc.mk()
+			if err := r.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,345 @@
+// Package protocol implements the three checkpointing protocol families the
+// paper evaluates — coordinated aligned (COOR), uncoordinated (UNC) and
+// communication-induced (CIC, the HMNR protocol) — plus the checkpoint-free
+// baseline (NONE) used for normalization.
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/vclock"
+	"checkmate/internal/wire"
+)
+
+// ByName returns the protocol with the given name (NONE, COOR, UNC, CIC).
+func ByName(name string) (core.Protocol, error) {
+	switch name {
+	case "NONE", "none":
+		return None{}, nil
+	case "COOR", "coor", "coordinated":
+		return Coordinated{}, nil
+	case "UNC", "unc", "uncoordinated":
+		return Uncoordinated{}, nil
+	case "CIC", "cic", "communication-induced":
+		return CIC{}, nil
+	case "UCOOR", "ucoor", "unaligned":
+		return UnalignedCoordinated{}, nil
+	case "BCS", "bcs":
+		return BCS{}, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown protocol %q", name)
+	}
+}
+
+// All returns the three protocols of the paper plus the baseline, in the
+// order the paper's figures list them.
+func All() []core.Protocol {
+	return []core.Protocol{None{}, Coordinated{}, Uncoordinated{}, CIC{}}
+}
+
+// None is the checkpoint-free baseline. Failures lose all operator state
+// (gap recovery / at-most-once).
+type None struct{}
+
+// Name implements core.Protocol.
+func (None) Name() string { return "NONE" }
+
+// Kind implements core.Protocol.
+func (None) Kind() core.Kind { return core.KindNone }
+
+// Features implements core.Protocol.
+func (None) Features() core.Features {
+	return core.Features{SupportsCycles: true}
+}
+
+// NewController implements core.Protocol.
+func (None) NewController(self, total int, interval time.Duration, seed int64) core.Controller {
+	return nil
+}
+
+// Coordinated is the coordinated aligned checkpointing protocol (§III-A):
+// marker circulation from the sources, channel blocking during alignment,
+// no in-flight logging, no deduplication, no recovery-line search.
+type Coordinated struct{}
+
+// Name implements core.Protocol.
+func (Coordinated) Name() string { return "COOR" }
+
+// Kind implements core.Protocol.
+func (Coordinated) Kind() core.Kind { return core.KindCoordinated }
+
+// Features implements core.Protocol.
+func (Coordinated) Features() core.Features {
+	return core.Features{
+		BlockingMarkers: true,
+		StragglerStalls: true,
+	}
+}
+
+// NewController implements core.Protocol. The runtime implements marker
+// alignment itself; no per-instance logic is needed.
+func (Coordinated) NewController(self, total int, interval time.Duration, seed int64) core.Controller {
+	return nil
+}
+
+// Uncoordinated is the uncoordinated checkpointing protocol (§III-B): every
+// instance checkpoints on its own (jittered) interval; exactly-once needs
+// in-flight message logging, replay and deduplication, and recovery runs the
+// rollback propagation algorithm.
+type Uncoordinated struct{}
+
+// Name implements core.Protocol.
+func (Uncoordinated) Name() string { return "UNC" }
+
+// Kind implements core.Protocol.
+func (Uncoordinated) Kind() core.Kind { return core.KindUncoordinated }
+
+// Features implements core.Protocol.
+func (Uncoordinated) Features() core.Features {
+	return core.Features{
+		InFlightLogging:    true,
+		DedupRequired:      true,
+		IndependentCkpts:   true,
+		UnusedCheckpoints:  true,
+		SupportsCycles:     true,
+		RecoveryLineNeeded: true,
+	}
+}
+
+// NewController implements core.Protocol.
+func (Uncoordinated) NewController(self, total int, interval time.Duration, seed int64) core.Controller {
+	return newLocalIntervalController(interval, seed)
+}
+
+// localIntervalController triggers local checkpoints on a per-instance
+// jittered interval. Shared by UNC and (as the local-checkpoint part) CIC.
+type localIntervalController struct {
+	interval time.Duration
+	next     time.Duration
+	rng      *rand.Rand
+}
+
+func newLocalIntervalController(interval time.Duration, seed int64) *localIntervalController {
+	c := &localIntervalController{interval: interval, rng: rand.New(rand.NewSource(seed))}
+	// Spread first checkpoints uniformly over one interval so instances
+	// don't checkpoint in lockstep.
+	c.next = time.Duration(c.rng.Int63n(int64(interval))) + interval/4
+	return c
+}
+
+func (c *localIntervalController) jittered() time.Duration {
+	// +/-20% jitter around the nominal interval.
+	f := 0.8 + 0.4*c.rng.Float64()
+	return time.Duration(float64(c.interval) * f)
+}
+
+// OnSend implements core.Controller.
+func (c *localIntervalController) OnSend(to int, enc *wire.Encoder) {}
+
+// OnReceive implements core.Controller.
+func (c *localIntervalController) OnReceive(from int, piggyback []byte) bool { return false }
+
+// ShouldCheckpoint implements core.Controller.
+func (c *localIntervalController) ShouldCheckpoint(now time.Duration) bool {
+	return now >= c.next
+}
+
+// OnCheckpoint implements core.Controller.
+func (c *localIntervalController) OnCheckpoint(forced bool) {
+	c.next += c.jittered()
+}
+
+// Snapshot implements core.Controller. The schedule is volatile by design;
+// only the nominal interval matters after recovery.
+func (c *localIntervalController) Snapshot(enc *wire.Encoder) {
+	enc.Varint(int64(c.next))
+}
+
+// Restore implements core.Controller.
+func (c *localIntervalController) Restore(dec *wire.Decoder) error {
+	c.next = time.Duration(dec.Varint())
+	return dec.Err()
+}
+
+// CIC is the communication-induced checkpointing protocol (§III-C),
+// following HMNR (Hélary, Mostéfaoui, Netzer, Raynal): each instance keeps a
+// Lamport clock, a ckpt vector clock and the sent_to/taken/greater boolean
+// vectors; clock, ckpt, taken and greater are piggybacked on every message;
+// a forced checkpoint is taken before processing a message that would close
+// a Z-cycle.
+type CIC struct{}
+
+// Name implements core.Protocol.
+func (CIC) Name() string { return "CIC" }
+
+// Kind implements core.Protocol.
+func (CIC) Kind() core.Kind { return core.KindCIC }
+
+// Features implements core.Protocol.
+func (CIC) Features() core.Features {
+	return core.Features{
+		InFlightLogging:    true,
+		DedupRequired:      true,
+		MessageOverhead:    true,
+		IndependentCkpts:   true,
+		UnusedCheckpoints:  true,
+		ForcedCheckpoints:  true,
+		SupportsCycles:     true,
+		RecoveryLineNeeded: true,
+	}
+}
+
+// NewController implements core.Protocol.
+func (CIC) NewController(self, total int, interval time.Duration, seed int64) core.Controller {
+	return newHMNR(self, total, interval, seed)
+}
+
+// hmnr is the per-instance HMNR state.
+type hmnr struct {
+	local *localIntervalController
+	self  int
+	total int
+
+	clock   uint64
+	ckpt    vclock.Vector
+	sentTo  *vclock.Bits
+	taken   *vclock.Bits
+	greater *vclock.Bits
+}
+
+func newHMNR(self, total int, interval time.Duration, seed int64) *hmnr {
+	h := &hmnr{
+		local:   newLocalIntervalController(interval, seed),
+		self:    self,
+		total:   total,
+		clock:   1,
+		ckpt:    vclock.NewVector(total),
+		sentTo:  vclock.NewBits(total),
+		taken:   vclock.NewBits(total),
+		greater: vclock.NewBits(total),
+	}
+	h.greater.Set(self, true)
+	return h
+}
+
+// OnSend implements core.Controller: piggyback the protocol state.
+func (h *hmnr) OnSend(to int, enc *wire.Encoder) {
+	h.sentTo.Set(to, true)
+	enc.Uvarint(h.clock)
+	h.ckpt.Encode(enc)
+	h.taken.Encode(enc)
+	h.greater.Encode(enc)
+}
+
+// OnReceive implements core.Controller: evaluate the forced-checkpoint
+// condition, then merge the piggybacked knowledge.
+func (h *hmnr) OnReceive(from int, piggyback []byte) bool {
+	if len(piggyback) == 0 {
+		return false
+	}
+	dec := wire.NewDecoder(piggyback)
+	mClock := dec.Uvarint()
+	mCkpt, err := vclock.DecodeVector(dec)
+	if err != nil {
+		return false
+	}
+	mTaken, err := vclock.DecodeBits(dec)
+	if err != nil {
+		return false
+	}
+	mGreater, err := vclock.DecodeBits(dec)
+	if err != nil {
+		return false
+	}
+	_ = mGreater
+
+	// The paper's statement of the HMNR trigger: force a checkpoint if the
+	// receiver sent a message to the sender in its current interval and the
+	// sender's clock is larger than its own, or if a Z-path back to the
+	// receiver's current interval is open at the sender.
+	force := (h.sentTo.Get(from) && mClock > h.clock) ||
+		(h.self < mTaken.Len() && mTaken.Get(h.self) && mCkpt[h.self] == h.ckpt[h.self])
+
+	// Merge knowledge. A fresher interval of k overrides taken[k]; the same
+	// interval accumulates Z-path knowledge.
+	for k := 0; k < h.total && k < len(mCkpt); k++ {
+		switch {
+		case mCkpt[k] > h.ckpt[k]:
+			h.ckpt[k] = mCkpt[k]
+			h.taken.Set(k, mTaken.Get(k))
+		case mCkpt[k] == h.ckpt[k]:
+			if mTaken.Get(k) {
+				h.taken.Set(k, true)
+			}
+		}
+	}
+	// The message itself is a causal path from the sender's current
+	// interval.
+	h.taken.Set(from, true)
+	if mClock > h.clock {
+		h.clock = mClock
+		h.greater.Clear()
+		h.greater.Set(h.self, true)
+	}
+	h.greater.Set(from, h.clock > mClock)
+	return force
+}
+
+// ShouldCheckpoint implements core.Controller (the local/basic checkpoints
+// of CIC follow the same jittered interval as UNC).
+func (h *hmnr) ShouldCheckpoint(now time.Duration) bool {
+	return h.local.ShouldCheckpoint(now)
+}
+
+// OnCheckpoint implements core.Controller.
+func (h *hmnr) OnCheckpoint(forced bool) {
+	h.local.OnCheckpoint(forced)
+	h.clock++
+	h.ckpt[h.self]++
+	h.sentTo.Clear()
+	h.taken.Clear()
+	h.greater.Clear()
+	h.greater.Set(h.self, true)
+}
+
+// Snapshot implements core.Controller.
+func (h *hmnr) Snapshot(enc *wire.Encoder) {
+	h.local.Snapshot(enc)
+	enc.Uvarint(h.clock)
+	h.ckpt.Encode(enc)
+	h.sentTo.Encode(enc)
+	h.taken.Encode(enc)
+	h.greater.Encode(enc)
+}
+
+// Restore implements core.Controller.
+func (h *hmnr) Restore(dec *wire.Decoder) error {
+	if err := h.local.Restore(dec); err != nil {
+		return err
+	}
+	h.clock = dec.Uvarint()
+	ck, err := vclock.DecodeVector(dec)
+	if err != nil {
+		return err
+	}
+	st, err := vclock.DecodeBits(dec)
+	if err != nil {
+		return err
+	}
+	tk, err := vclock.DecodeBits(dec)
+	if err != nil {
+		return err
+	}
+	gr, err := vclock.DecodeBits(dec)
+	if err != nil {
+		return err
+	}
+	if len(ck) != h.total || st.Len() != h.total || tk.Len() != h.total || gr.Len() != h.total {
+		return fmt.Errorf("protocol: hmnr restore: vector length mismatch")
+	}
+	h.ckpt, h.sentTo, h.taken, h.greater = ck, st, tk, gr
+	return dec.Err()
+}

@@ -1,0 +1,221 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/wire"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"NONE", "COOR", "UNC", "CIC", "none", "coordinated", "uncoordinated", "communication-induced"} {
+		p, err := ByName(name)
+		if err != nil || p == nil {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) should fail")
+	}
+}
+
+func TestAllAndKinds(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("All() = %d protocols", len(all))
+	}
+	wantKinds := []core.Kind{core.KindNone, core.KindCoordinated, core.KindUncoordinated, core.KindCIC}
+	for i, p := range all {
+		if p.Kind() != wantKinds[i] {
+			t.Errorf("protocol %d kind = %v, want %v", i, p.Kind(), wantKinds[i])
+		}
+		if p.Name() == "" {
+			t.Errorf("protocol %d has empty name", i)
+		}
+	}
+}
+
+func TestFeatureMatrixMatchesTableI(t *testing.T) {
+	coor := Coordinated{}.Features()
+	unc := Uncoordinated{}.Features()
+	cic := CIC{}.Features()
+	// Table I: COOR blocks with markers, no logging/dedup/overhead.
+	if !coor.BlockingMarkers || coor.InFlightLogging || coor.DedupRequired || coor.MessageOverhead {
+		t.Errorf("COOR features wrong: %+v", coor)
+	}
+	if !coor.StragglerStalls {
+		t.Error("COOR must be subject to straggler stalls")
+	}
+	// UNC: logging + dedup + independent + unused checkpoints, no markers.
+	if unc.BlockingMarkers || !unc.InFlightLogging || !unc.DedupRequired || !unc.IndependentCkpts || !unc.UnusedCheckpoints {
+		t.Errorf("UNC features wrong: %+v", unc)
+	}
+	if unc.ForcedCheckpoints || unc.MessageOverhead {
+		t.Errorf("UNC must not force checkpoints or bloat messages: %+v", unc)
+	}
+	// CIC: UNC features + message overhead + forced checkpoints.
+	if !cic.InFlightLogging || !cic.DedupRequired || !cic.MessageOverhead || !cic.ForcedCheckpoints {
+		t.Errorf("CIC features wrong: %+v", cic)
+	}
+	// Only COOR cannot run cyclic queries.
+	if coor.SupportsCycles || !unc.SupportsCycles || !cic.SupportsCycles {
+		t.Error("cycle support flags wrong")
+	}
+}
+
+func TestLocalIntervalController(t *testing.T) {
+	c := newLocalIntervalController(100*time.Millisecond, 7)
+	first := c.next
+	if first < 25*time.Millisecond || first > 125*time.Millisecond {
+		t.Fatalf("first checkpoint at %v", first)
+	}
+	if c.ShouldCheckpoint(first - time.Millisecond) {
+		t.Fatal("checkpoint before schedule")
+	}
+	if !c.ShouldCheckpoint(first) {
+		t.Fatal("no checkpoint at schedule")
+	}
+	c.OnCheckpoint(false)
+	gap := c.next - first
+	if gap < 80*time.Millisecond || gap > 120*time.Millisecond {
+		t.Fatalf("jittered interval %v outside +/-20%%", gap)
+	}
+	// Snapshot/restore round trip.
+	enc := wire.NewEncoder(nil)
+	c.Snapshot(enc)
+	c2 := newLocalIntervalController(100*time.Millisecond, 8)
+	if err := c2.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if c2.next != c.next {
+		t.Fatalf("restored next = %v, want %v", c2.next, c.next)
+	}
+}
+
+func TestUNCControllerNoPiggyback(t *testing.T) {
+	c := Uncoordinated{}.NewController(0, 4, 50*time.Millisecond, 1)
+	enc := wire.NewEncoder(nil)
+	c.OnSend(1, enc)
+	if enc.Len() != 0 {
+		t.Fatal("UNC must not piggyback")
+	}
+	if c.OnReceive(1, nil) {
+		t.Fatal("UNC must not force checkpoints")
+	}
+}
+
+func TestCoordinatedAndNoneHaveNoControllers(t *testing.T) {
+	if (Coordinated{}).NewController(0, 2, time.Second, 1) != nil {
+		t.Fatal("COOR controller should be nil")
+	}
+	if (None{}).NewController(0, 2, time.Second, 1) != nil {
+		t.Fatal("NONE controller should be nil")
+	}
+}
+
+// sendPiggy runs OnSend and returns the piggyback bytes.
+func sendPiggy(c core.Controller, to int) []byte {
+	enc := wire.NewEncoder(nil)
+	c.OnSend(to, enc)
+	return append([]byte(nil), enc.Bytes()...)
+}
+
+func TestHMNRPiggybackSizeGrowsWithInstances(t *testing.T) {
+	small := CIC{}.NewController(0, 10, time.Second, 1)
+	big := CIC{}.NewController(0, 300, time.Second, 1)
+	ps := sendPiggy(small, 1)
+	pb := sendPiggy(big, 1)
+	if len(pb) <= len(ps) {
+		t.Fatalf("piggyback does not grow: %d (10 inst) vs %d (300 inst)", len(ps), len(pb))
+	}
+	if len(pb) < 100 {
+		t.Fatalf("300-instance piggyback suspiciously small: %d bytes", len(pb))
+	}
+}
+
+func TestHMNRForcedCheckpointZPattern(t *testing.T) {
+	// Two instances. Instance 0 sends to 1, then 1 checkpoints (clock
+	// bump), then 1 sends back to 0. Instance 0 must force a checkpoint:
+	// it sent to 1 in its current interval and 1's clock is larger.
+	c0 := CIC{}.NewController(0, 2, time.Hour, 1)
+	c1 := CIC{}.NewController(1, 2, time.Hour, 2)
+
+	p01 := sendPiggy(c0, 1) // 0 -> 1
+	if c1.OnReceive(0, p01) {
+		t.Fatal("first message must not force")
+	}
+	c1.OnCheckpoint(false) // 1 checkpoints: its clock exceeds 0's
+	p10 := sendPiggy(c1, 0)
+	if !c0.OnReceive(1, p10) {
+		t.Fatal("z-pattern must force a checkpoint at instance 0")
+	}
+	// After instance 0 checkpoints, the same message pattern no longer
+	// forces (sent_to cleared).
+	c0.OnCheckpoint(true)
+	p10b := sendPiggy(c1, 0)
+	if c0.OnReceive(1, p10b) {
+		t.Fatal("no send in current interval: must not force")
+	}
+}
+
+func TestHMNRNoForceWithoutPriorSend(t *testing.T) {
+	c0 := CIC{}.NewController(0, 2, time.Hour, 1)
+	c1 := CIC{}.NewController(1, 2, time.Hour, 2)
+	c1.OnCheckpoint(false)
+	c1.OnCheckpoint(false)
+	p10 := sendPiggy(c1, 0)
+	if c0.OnReceive(1, p10) {
+		t.Fatal("receiver that sent nothing must not force")
+	}
+}
+
+func TestHMNRTakenPropagation(t *testing.T) {
+	// 3 instances: 0 -> 1 -> 0 creates a Z-path back into 0's current
+	// interval; the taken bit for 0 piggybacked by 1 must force a
+	// checkpoint at 0 when 0 receives while its interval is unchanged.
+	c0 := CIC{}.NewController(0, 3, time.Hour, 1)
+	c1 := CIC{}.NewController(1, 3, time.Hour, 2)
+
+	p01 := sendPiggy(c0, 1)
+	c1.OnReceive(0, p01) // 1 now knows a causal path from 0's interval
+	p10 := sendPiggy(c1, 0)
+	if !c0.OnReceive(1, p10) {
+		t.Fatal("taken[0] must force a checkpoint at 0 (Z-cycle)")
+	}
+}
+
+func TestHMNRSnapshotRestore(t *testing.T) {
+	c := newHMNR(1, 4, time.Second, 3)
+	c.OnSend(2, wire.NewEncoder(nil))
+	c.OnCheckpoint(false)
+	c.OnSend(3, wire.NewEncoder(nil))
+	enc := wire.NewEncoder(nil)
+	c.Snapshot(enc)
+
+	c2 := newHMNR(1, 4, time.Second, 9)
+	if err := c2.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if c2.clock != c.clock || c2.ckpt[1] != c.ckpt[1] {
+		t.Fatalf("restored clock/ckpt = %d/%v, want %d/%v", c2.clock, c2.ckpt, c.clock, c.ckpt)
+	}
+	if !c2.sentTo.Get(3) || c2.sentTo.Get(2) {
+		t.Fatal("sentTo bits not restored")
+	}
+	// Restore with wrong instance count must fail.
+	c3 := newHMNR(1, 7, time.Second, 9)
+	if err := c3.Restore(wire.NewDecoder(enc.Bytes())); err == nil {
+		t.Fatal("restore with mismatched total should fail")
+	}
+}
+
+func TestHMNRIgnoresEmptyPiggyback(t *testing.T) {
+	c := newHMNR(0, 2, time.Second, 1)
+	if c.OnReceive(1, nil) {
+		t.Fatal("empty piggyback must not force")
+	}
+	if c.OnReceive(1, []byte{1, 2, 3}) { // corrupt piggyback is dropped
+		t.Fatal("corrupt piggyback must not force")
+	}
+}

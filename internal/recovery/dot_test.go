@@ -1,0 +1,85 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure4History reproduces the two-operator execution of the paper's
+// Fig. 4: O1 checkpoints 3 times, O2 4 times, with orphan messages creating
+// graph edges.
+func figure4History() (int, []ChannelInfo, []Meta) {
+	chs := []ChannelInfo{
+		{ID: 1, From: 0, To: 1},
+		{ID: 2, From: 1, To: 0},
+	}
+	s := newExecSim(2, chs)
+	// m1: O1 -> O2 delivered before C<2,2>.
+	s.send(chs[0])
+	s.deliver(chs[0])
+	s.checkpoint(0) // C<1,1>
+	s.checkpoint(1) // C<2,1>... the exact shape is close to, not identical
+	s.send(chs[1])  // m2: O2 -> O1
+	s.checkpoint(1) // C<2,2>
+	s.deliver(chs[1])
+	s.checkpoint(0) // C<1,2>
+	s.send(chs[0])  // m3 in flight
+	s.checkpoint(1) // C<2,3>
+	s.deliver(chs[0])
+	s.checkpoint(0) // C<1,3>
+	s.send(chs[1])  // m4: orphan of C<2,4> into nothing yet
+	s.checkpoint(1) // C<2,4>
+	return 2, chs, s.metas
+}
+
+func TestDOTContainsStructure(t *testing.T) {
+	n, chs, metas := figure4History()
+	res := FindLine(n, chs, metas)
+	dot := DOT(n, chs, metas, res.Line)
+	for _, want := range []string{
+		"digraph checkpoints",
+		"cluster_0", "cluster_1",
+		"C<0,0>", "C<1,0>", // virtual checkpoints
+		"palegreen", // the line is highlighted
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Every node id referenced by an edge must be declared.
+	if strings.Count(dot, "subgraph") != 2 {
+		t.Fatalf("expected 2 instance clusters")
+	}
+}
+
+func TestDOTWithoutLine(t *testing.T) {
+	n, chs, metas := figure4History()
+	dot := DOT(n, chs, metas, nil)
+	if strings.Contains(dot, "palegreen") {
+		t.Fatal("nil line must not highlight nodes")
+	}
+	if !strings.Contains(dot, "digraph") {
+		t.Fatal("not a dot document")
+	}
+}
+
+func TestDOTMarksInvalidCheckpoints(t *testing.T) {
+	chs := []ChannelInfo{{ID: 1, From: 0, To: 1}}
+	s := newExecSim(2, chs)
+	s.checkpoint(0) // C<0,1>: clean line candidate
+	s.checkpoint(1) // C<1,1>
+	s.send(chs[0])
+	s.deliver(chs[0])
+	s.checkpoint(1) // C<1,2>: orphan of post-C<0,1> traffic -> invalid
+	res := FindLine(2, chs, s.metas)
+	if res.Line[1].Seq != 1 {
+		t.Fatalf("line = %v", res.Line)
+	}
+	dot := DOT(2, chs, s.metas, res.Line)
+	if !strings.Contains(dot, "style=dashed, color=red") {
+		t.Fatalf("invalid checkpoint not marked:\n%s", dot)
+	}
+	if !strings.Contains(dot, "color=red, label=\"ch1\"") {
+		t.Fatalf("orphan edge not drawn:\n%s", dot)
+	}
+}

@@ -1,0 +1,331 @@
+// Rollback-dependency-graph (RDG) recovery-line computation and Z-path
+// analysis.
+//
+// The paper (§III-B) notes two equivalent ways to find a recovery line for
+// uncoordinated checkpoints: the checkpoint graph of Wang et al. (used by
+// FindLine) and the rollback-dependency graph of Bhargava and Lian. This
+// file implements the latter, over checkpoint *intervals* rather than
+// checkpoints: node I(i,x) is the execution of instance i between its
+// checkpoints x and x+1 (interval K_i, the one after the latest checkpoint,
+// is the volatile interval lost at failure).
+//
+// Edges:
+//   - message edges I(i,x) -> I(j,y) when a message sent by i during
+//     interval x was received by j during interval y, and
+//   - succession edges I(i,x) -> I(i,x+1) (rolling back an interval rolls
+//     back everything after it).
+//
+// This graph is simultaneously the Z-path graph of Netzer and Xu: a path
+// alternating succession and message edges is exactly a zigzag path,
+// because a succession edge encodes "the next message is sent in the same
+// or a later interval than the one where the previous message was
+// received" — including sends that precede the receive in real time, which
+// is what distinguishes Z-paths from causal paths. A checkpoint C(i,x) lies
+// on a Z-cycle iff some interval I(i,b) with b < x is reachable from
+// I(i,x); by the Netzer–Xu theorem such checkpoints are exactly the useless
+// ones (they can belong to no consistent global snapshot), which is the
+// fact the paper's §III-C builds on ("a given checkpoint is invalid if and
+// only if it is part of a Z-cycle").
+package recovery
+
+import "math"
+
+// Frontiers captures the live (volatile) per-channel sent and received
+// sequence frontiers of one instance at failure-detection time. The
+// recovery manager can always obtain them: surviving instances report
+// their counters, and a failed instance's sends are recorded in its
+// durable message log.
+type Frontiers struct {
+	Sent map[uint64]uint64
+	Recv map[uint64]uint64
+}
+
+// intervalGraph is the rollback-dependency / Z-path graph.
+type intervalGraph struct {
+	g      *graph
+	latest []uint64 // latest real checkpoint seq per instance (= volatile interval index)
+	offset []int    // node id of interval (i, 0)
+	nodes  int
+	adj    [][]int32 // all edges (succession + message)
+	madj   [][]int32 // message edges only
+	live   map[int]Frontiers
+}
+
+// node flattens an interval reference into a dense node id.
+func (ig *intervalGraph) node(inst int, idx uint64) int { return ig.offset[inst] + int(idx) }
+
+const noFrontier = math.MaxUint64
+
+// sentRange returns the half-open-below sequence range (lo, hi] of messages
+// instance inst sent on channel ch during interval idx. Without live
+// frontiers the volatile interval extends to infinity — everything past
+// the latest checkpoint's frontier is conservatively assumed sent in it;
+// with live frontiers it ends at the frontier actually observed.
+func (ig *intervalGraph) sentRange(inst int, idx uint64, ch uint64) (lo, hi uint64) {
+	lo = ig.g.sentUpTo(inst, idx, ch)
+	if idx >= ig.latest[inst] {
+		if f, ok := ig.live[inst]; ok {
+			return lo, f.Sent[ch]
+		}
+		return lo, noFrontier
+	}
+	return lo, ig.g.sentUpTo(inst, idx+1, ch)
+}
+
+// recvRange is the receiving analogue of sentRange.
+func (ig *intervalGraph) recvRange(inst int, idx uint64, ch uint64) (lo, hi uint64) {
+	lo = ig.g.recvUpTo(inst, idx, ch)
+	if idx >= ig.latest[inst] {
+		if f, ok := ig.live[inst]; ok {
+			return lo, f.Recv[ch]
+		}
+		return lo, noFrontier
+	}
+	return lo, ig.g.recvUpTo(inst, idx+1, ch)
+}
+
+// buildIntervalGraph constructs the RDG/Z-path graph from checkpoint
+// metadata, optionally bounding volatile intervals by live frontiers.
+func buildIntervalGraph(instances int, channels []ChannelInfo, metas []Meta, live map[int]Frontiers) *intervalGraph {
+	ig := &intervalGraph{
+		g:      buildGraph(instances, channels, metas),
+		latest: make([]uint64, instances),
+		offset: make([]int, instances),
+		live:   live,
+	}
+	copy(ig.latest, ig.g.latest)
+	for i := 0; i < instances; i++ {
+		ig.offset[i] = ig.nodes
+		ig.nodes += int(ig.latest[i]) + 1
+	}
+	ig.adj = make([][]int32, ig.nodes)
+	ig.madj = make([][]int32, ig.nodes)
+
+	// Succession edges.
+	for i := 0; i < instances; i++ {
+		for x := uint64(0); x < ig.latest[i]; x++ {
+			n := ig.node(i, x)
+			ig.adj[n] = append(ig.adj[n], int32(ig.node(i, x+1)))
+		}
+	}
+	// Message edges: intervals whose sent and received ranges overlap on a
+	// channel exchanged at least one message.
+	for _, ch := range channels {
+		for x := uint64(0); x <= ig.latest[ch.From]; x++ {
+			slo, shi := ig.sentRange(ch.From, x, ch.ID)
+			if slo == shi {
+				continue // nothing sent in this interval
+			}
+			for y := uint64(0); y <= ig.latest[ch.To]; y++ {
+				rlo, rhi := ig.recvRange(ch.To, y, ch.ID)
+				if rlo == rhi {
+					continue
+				}
+				if maxU64(slo, rlo) < minU64(shi, rhi) {
+					n, m := ig.node(ch.From, x), int32(ig.node(ch.To, y))
+					ig.adj[n] = append(ig.adj[n], m)
+					ig.madj[n] = append(ig.madj[n], m)
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// reachFrom marks every node reachable from the seeds (seeds included).
+func (ig *intervalGraph) reachFrom(seeds []int) []bool {
+	seen := make([]bool, ig.nodes)
+	stack := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range ig.adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, int(m))
+			}
+		}
+	}
+	return seen
+}
+
+// FindLineRDG computes the recovery line after a total failure using the
+// rollback-dependency graph: the volatile interval of every instance is
+// rolled back, rollback propagates along the graph edges, and each instance
+// restarts from the checkpoint at the start of its earliest rolled-back
+// interval. It returns the same line as FindLine (a property verified by
+// the test suite), with identical invalid-checkpoint accounting.
+func FindLineRDG(instances int, channels []ChannelInfo, metas []Meta) Result {
+	res, _ := findLineRDG(instances, channels, metas, nil, nil)
+	return res
+}
+
+// FindLinePartial computes the recovery line when only the given instances
+// fail. Unlike coordinated checkpointing — where recovery is global by
+// construction — the rollback-dependency graph localizes the rollback:
+// only instances whose intervals are reachable from a failed instance's
+// volatile interval move at all, which is the partial-recovery advantage
+// of the uncoordinated family that the paper's conclusions point to.
+// Instances outside the rollback scope keep their (virtual) position: the
+// returned line maps them to their latest checkpoint, and RollbackScope
+// reports which instances actually rolled back.
+//
+// live, when non-nil, supplies the volatile frontiers observed at failure
+// time; without it the analysis conservatively assumes every rolled-back
+// volatile send may have been received downstream, which widens the scope.
+func FindLinePartial(instances int, channels []ChannelInfo, metas []Meta, failed []int, live map[int]Frontiers) Result {
+	res, _ := findLineRDG(instances, channels, metas, failed, live)
+	return res
+}
+
+func findLineRDG(instances int, channels []ChannelInfo, metas []Meta, failed []int, live map[int]Frontiers) (Result, []bool) {
+	ig := buildIntervalGraph(instances, channels, metas, live)
+
+	var seeds []int
+	if failed == nil {
+		seeds = make([]int, instances)
+		for i := 0; i < instances; i++ {
+			seeds[i] = ig.node(i, ig.latest[i])
+		}
+	} else {
+		for _, i := range failed {
+			seeds = append(seeds, ig.node(i, ig.latest[i]))
+		}
+	}
+	rolled := ig.reachFrom(seeds)
+
+	res := Result{Total: ig.g.totalReal(), Iterations: 1}
+	line := make(Line, instances)
+	// restore[i] reports whether instance i must discard its volatile
+	// state and reload from line[i]: true iff any of its intervals —
+	// including the volatile one — was rolled back.
+	restore := make([]bool, instances)
+	for i := 0; i < instances; i++ {
+		seq := ig.latest[i]
+		for x := uint64(0); x <= ig.latest[i]; x++ {
+			if rolled[ig.node(i, x)] {
+				seq = x
+				restore[i] = true
+				break
+			}
+		}
+		line[i] = CkptRef{Instance: i, Seq: seq}
+	}
+	res.Line = line
+	for _, m := range metas {
+		if m.Ref.Seq > line[m.Ref.Instance].Seq {
+			res.Invalid++
+		}
+	}
+	return res, restore
+}
+
+// ScopeEntry is one instance of the partial-failure rollback scope: an
+// instance that must discard its volatile state and restore from a
+// checkpoint.
+type ScopeEntry struct {
+	Instance int
+	// Depth is the number of checkpoints rolled back (latest - line seq).
+	// Depth 0 means the instance restores from its latest checkpoint but
+	// still loses its volatile interval — the fate of every failed
+	// instance, and of live instances that processed messages a failed
+	// sender never durably sent.
+	Depth uint64
+}
+
+// RollbackScope computes the partial-failure rollback scope: every
+// instance with at least one rolled-back interval (always including the
+// failed instances, whose volatile interval is lost by definition). A
+// scope smaller than the instance count is recovery work saved versus the
+// global rollback that coordinated checkpointing requires.
+func RollbackScope(instances int, channels []ChannelInfo, metas []Meta, failed []int, live map[int]Frontiers) []ScopeEntry {
+	res, restore := findLineRDG(instances, channels, metas, failed, live)
+	ig := buildIntervalGraph(instances, channels, metas, live)
+	var scope []ScopeEntry
+	for i := 0; i < instances; i++ {
+		if restore[i] {
+			scope = append(scope, ScopeEntry{Instance: i, Depth: ig.latest[i] - res.Line[i].Seq})
+		}
+	}
+	return scope
+}
+
+// UselessCheckpoints returns the checkpoints that lie on a Z-cycle. By the
+// Netzer–Xu theorem these are exactly the checkpoints that can belong to no
+// consistent global snapshot, regardless of which other checkpoints are
+// chosen. The recovery line never contains a useless checkpoint, but the
+// converse does not hold: a checkpoint can be useful yet bypassed by the
+// particular (maximal) line chosen at failure time.
+func UselessCheckpoints(instances int, channels []ChannelInfo, metas []Meta) map[CkptRef]bool {
+	ig := buildIntervalGraph(instances, channels, metas, nil)
+	useless := make(map[CkptRef]bool)
+	for i := 0; i < instances; i++ {
+		for x := uint64(1); x <= ig.latest[i]; x++ {
+			seen := ig.reachFrom([]int{ig.node(i, x)})
+			for b := uint64(0); b < x; b++ {
+				if seen[ig.node(i, b)] {
+					useless[CkptRef{Instance: i, Seq: x}] = true
+					break
+				}
+			}
+		}
+	}
+	return useless
+}
+
+// HasZPath reports whether a zigzag path exists from checkpoint a to
+// checkpoint b: a sequence of messages m1..mn where m1 is sent after a,
+// each m(k+1) is sent in the same or a later checkpoint interval than the
+// one in which m(k) was received (possibly earlier in real time — the
+// zigzag), and mn is received before b. Z-paths generalize causal paths;
+// checkpoints a, b can belong to a consistent global snapshot together only
+// if no Z-path connects them in either direction.
+func HasZPath(instances int, channels []ChannelInfo, metas []Meta, a, b CkptRef) bool {
+	ig := buildIntervalGraph(instances, channels, metas, nil)
+	if a.Seq > ig.latest[a.Instance] || b.Seq > ig.latest[b.Instance] {
+		return false
+	}
+	if b.Seq == 0 {
+		return false // nothing is received before the virtual initial checkpoint
+	}
+	// A Z-path must contain at least one message, so seed the reachability
+	// not with the start interval itself but with the message-edge targets
+	// of its succession closure (the intervals where m1 may be sent). Every
+	// node reached this way is the receive interval of some message on the
+	// path, or a succession successor of one, so reaching any interval of
+	// b's instance strictly below b.Seq means the path's last message was
+	// received before b.
+	var seeds []int
+	for x := a.Seq; x <= ig.latest[a.Instance]; x++ {
+		for _, m := range ig.madj[ig.node(a.Instance, x)] {
+			seeds = append(seeds, int(m))
+		}
+	}
+	seen := ig.reachFrom(seeds)
+	for y := uint64(0); y < b.Seq; y++ {
+		if seen[ig.node(b.Instance, y)] {
+			return true
+		}
+	}
+	return false
+}

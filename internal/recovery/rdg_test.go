@@ -1,0 +1,453 @@
+package recovery
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRDGAlignedLine(t *testing.T) {
+	metas := []Meta{
+		meta(0, 1, map[uint64]uint64{1: 10}, nil),
+		meta(1, 1, nil, map[uint64]uint64{1: 10}),
+	}
+	res := FindLineRDG(2, chain2(), metas)
+	if res.Line[0].Seq != 1 || res.Line[1].Seq != 1 {
+		t.Fatalf("line = %v", res.Line)
+	}
+	if res.Invalid != 0 || res.Total != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRDGOrphanRollsBack(t *testing.T) {
+	metas := []Meta{
+		meta(0, 1, map[uint64]uint64{1: 10}, nil),
+		meta(1, 1, nil, map[uint64]uint64{1: 8}),
+		meta(1, 2, nil, map[uint64]uint64{1: 15}),
+	}
+	res := FindLineRDG(2, chain2(), metas)
+	if res.Line[0].Seq != 1 || res.Line[1].Seq != 1 {
+		t.Fatalf("line = %v", res.Line)
+	}
+	if res.Invalid != 1 {
+		t.Fatalf("invalid = %d", res.Invalid)
+	}
+}
+
+func TestRDGDominoCycleMatchesCheckpointGraph(t *testing.T) {
+	channels := []ChannelInfo{{ID: 1, From: 0, To: 1}, {ID: 2, From: 1, To: 0}}
+	metas := []Meta{
+		meta(0, 1, map[uint64]uint64{1: 1}, map[uint64]uint64{2: 1}),
+		meta(0, 2, map[uint64]uint64{1: 3}, map[uint64]uint64{2: 3}),
+		meta(1, 1, map[uint64]uint64{2: 2}, map[uint64]uint64{1: 2}),
+		meta(1, 2, map[uint64]uint64{2: 4}, map[uint64]uint64{1: 4}),
+	}
+	want := FindLine(2, channels, metas)
+	got := FindLineRDG(2, channels, metas)
+	if got.Line[0] != want.Line[0] || got.Line[1] != want.Line[1] || got.Invalid != want.Invalid {
+		t.Fatalf("RDG = %+v, checkpoint graph = %+v", got, want)
+	}
+	if got.Line[0].Seq != 0 || got.Line[1].Seq != 0 {
+		t.Fatalf("expected full domino, line = %v", got.Line)
+	}
+}
+
+func TestPartialRollbackScopeLocalized(t *testing.T) {
+	// Chain 0 -> 1 -> 2, all frontiers aligned: a failure of instance 2
+	// must not pull instances 0 or 1 into the rollback scope.
+	channels := []ChannelInfo{{ID: 1, From: 0, To: 1}, {ID: 2, From: 1, To: 2}}
+	metas := []Meta{
+		meta(0, 1, map[uint64]uint64{1: 10}, nil),
+		meta(1, 1, map[uint64]uint64{2: 7}, map[uint64]uint64{1: 10}),
+		meta(2, 1, nil, map[uint64]uint64{2: 7}),
+	}
+	scope := RollbackScope(3, channels, metas, []int{2}, nil)
+	if len(scope) != 1 || scope[0].Instance != 2 || scope[0].Depth != 0 {
+		t.Fatalf("scope = %+v, want only instance 2 at depth 0", scope)
+	}
+	line := FindLinePartial(3, channels, metas, []int{2}, nil).Line
+	for i := 0; i < 3; i++ {
+		if line[i].Seq != 1 {
+			t.Fatalf("line = %v", line)
+		}
+	}
+}
+
+func TestPartialRollbackPropagatesDownstream(t *testing.T) {
+	// Instance 1's checkpoint C<1,2> reflects messages 8..12 that instance
+	// 0's latest checkpoint has not sent. Failing instance 0 must drag
+	// instance 1 down to C<1,1>, which un-sends messages 4..5 on channel
+	// 2. Whether instance 2 is affected depends on what its volatile
+	// state absorbed: without live frontiers the analyzer must assume the
+	// worst; with live frontiers showing messages 4..5 still in flight,
+	// instance 2 stays out of scope.
+	channels := []ChannelInfo{{ID: 1, From: 0, To: 1}, {ID: 2, From: 1, To: 2}}
+	metas := []Meta{
+		meta(0, 1, map[uint64]uint64{1: 7}, nil),
+		meta(1, 1, map[uint64]uint64{2: 3}, map[uint64]uint64{1: 7}),
+		meta(1, 2, map[uint64]uint64{2: 5}, map[uint64]uint64{1: 12}),
+		meta(2, 1, nil, map[uint64]uint64{2: 3}),
+	}
+	scope := RollbackScope(3, channels, metas, []int{0}, nil)
+	want := []ScopeEntry{{0, 0}, {1, 1}, {2, 0}}
+	if len(scope) != 3 {
+		t.Fatalf("conservative scope = %+v, want %+v", scope, want)
+	}
+	for i, e := range scope {
+		if e != want[i] {
+			t.Fatalf("conservative scope = %+v, want %+v", scope, want)
+		}
+	}
+	live := map[int]Frontiers{
+		0: {Sent: map[uint64]uint64{1: 12}},
+		1: {Sent: map[uint64]uint64{2: 5}, Recv: map[uint64]uint64{1: 12}},
+		2: {Recv: map[uint64]uint64{2: 3}}, // messages 4..5 never arrived
+	}
+	scope = RollbackScope(3, channels, metas, []int{0}, live)
+	if len(scope) != 2 || scope[0] != (ScopeEntry{0, 0}) || scope[1] != (ScopeEntry{1, 1}) {
+		t.Fatalf("live scope = %+v", scope)
+	}
+}
+
+func TestHasZPathCausalChain(t *testing.T) {
+	// P0 checkpoints, then sends m; P1 receives m, then checkpoints. The
+	// causal path is a Z-path from C<0,1> to C<1,1>, so the two cannot
+	// coexist in a consistent snapshot (m would be an orphan).
+	metas := []Meta{
+		meta(0, 1, map[uint64]uint64{1: 0}, nil),
+		meta(1, 1, nil, map[uint64]uint64{1: 1}),
+	}
+	a, b := CkptRef{0, 1}, CkptRef{1, 1}
+	if !HasZPath(2, chain2(), metas, a, b) {
+		t.Fatal("expected Z-path along the causal chain")
+	}
+	if HasZPath(2, chain2(), metas, b, a) {
+		t.Fatal("unexpected reverse Z-path")
+	}
+	if len(UselessCheckpoints(2, chain2(), metas)) != 0 {
+		t.Fatal("no checkpoint lies on a Z-cycle here")
+	}
+}
+
+func TestUselessOnDominoCycle(t *testing.T) {
+	channels := []ChannelInfo{{ID: 1, From: 0, To: 1}, {ID: 2, From: 1, To: 0}}
+	metas := []Meta{
+		meta(0, 1, map[uint64]uint64{1: 1}, map[uint64]uint64{2: 1}),
+		meta(0, 2, map[uint64]uint64{1: 3}, map[uint64]uint64{2: 3}),
+		meta(1, 1, map[uint64]uint64{2: 2}, map[uint64]uint64{1: 2}),
+		meta(1, 2, map[uint64]uint64{2: 4}, map[uint64]uint64{1: 4}),
+	}
+	useless := UselessCheckpoints(2, channels, metas)
+	want := uselessByEnumeration(2, channels, metas, []uint64{2, 2})
+	if len(useless) != len(want) {
+		t.Fatalf("useless = %v, enumeration = %v", useless, want)
+	}
+	for ref := range want {
+		if !useless[ref] {
+			t.Fatalf("enumeration says %v is useless, analyzer disagrees", ref)
+		}
+	}
+}
+
+// liveOf extracts per-instance live frontiers from an execSim.
+func liveOf(s *execSim, instances int) map[int]Frontiers {
+	live := make(map[int]Frontiers, instances)
+	for i := 0; i < instances; i++ {
+		f := Frontiers{Sent: make(map[uint64]uint64), Recv: make(map[uint64]uint64)}
+		for _, ch := range s.channels {
+			if ch.From == i {
+				f.Sent[ch.ID] = s.sent[ch.ID]
+			}
+			if ch.To == i {
+				f.Recv[ch.ID] = s.recv[ch.ID]
+			}
+		}
+		live[i] = f
+	}
+	return live
+}
+
+// uselessByEnumeration brute-forces the Netzer–Xu definition: a checkpoint
+// is useless iff it appears in no consistent line.
+func uselessByEnumeration(instances int, channels []ChannelInfo, metas []Meta, maxSeq []uint64) map[CkptRef]bool {
+	useless := make(map[CkptRef]bool)
+	for _, m := range metas {
+		if !inSomeConsistentLine(instances, channels, metas, maxSeq, m.Ref) {
+			useless[m.Ref] = true
+		}
+	}
+	return useless
+}
+
+// inSomeConsistentLine reports whether any consistent line pins instance
+// fixed.Instance at checkpoint fixed.Seq.
+func inSomeConsistentLine(instances int, channels []ChannelInfo, metas []Meta, maxSeq []uint64, fixed CkptRef) bool {
+	line := make(Line, instances)
+	var walk func(i int) bool
+	walk = func(i int) bool {
+		if i == instances {
+			return Validate(channels, metas, line) == nil
+		}
+		if i == fixed.Instance {
+			line[i] = fixed
+			return walk(i + 1)
+		}
+		for seq := uint64(0); seq <= maxSeq[i]; seq++ {
+			line[i] = CkptRef{Instance: i, Seq: seq}
+			if walk(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(0)
+}
+
+// coexistByEnumeration reports whether two checkpoints appear together in
+// some consistent line.
+func coexistByEnumeration(instances int, channels []ChannelInfo, metas []Meta, maxSeq []uint64, a, b CkptRef) bool {
+	line := make(Line, instances)
+	var walk func(i int) bool
+	walk = func(i int) bool {
+		if i == instances {
+			return Validate(channels, metas, line) == nil
+		}
+		switch i {
+		case a.Instance:
+			line[i] = a
+			return walk(i + 1)
+		case b.Instance:
+			line[i] = b
+			return walk(i + 1)
+		}
+		for seq := uint64(0); seq <= maxSeq[i]; seq++ {
+			line[i] = CkptRef{Instance: i, Seq: seq}
+			if walk(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(0)
+}
+
+// Property: on any causally valid execution, the rollback-dependency graph
+// finds exactly the line the checkpoint-graph rollback propagation finds —
+// the equivalence the paper's §III-B asserts for the two constructions.
+func TestQuickRDGMatchesCheckpointGraph(t *testing.T) {
+	topologies := map[string]func(int) []ChannelInfo{"ring": ringTopology, "full": fullTopology}
+	for name, topo := range topologies {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				const n = 4
+				s := runRandom(seed, n, topo(n), 140)
+				want := FindLine(n, s.channels, s.metas)
+				got := FindLineRDG(n, s.channels, s.metas)
+				for i := 0; i < n; i++ {
+					if got.Line[i] != want.Line[i] {
+						t.Logf("seed %d: instance %d: RDG %v, ckpt graph %v", seed, i, got.Line[i], want.Line[i])
+						return false
+					}
+				}
+				return got.Invalid == want.Invalid && got.Total == want.Total
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: a partial failure of every instance degenerates to the total-
+// failure line.
+func TestQuickPartialAllFailedEqualsTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 4
+		s := runRandom(seed, n, ringTopology(n), 120)
+		all := []int{0, 1, 2, 3}
+		total := FindLineRDG(n, s.channels, s.metas)
+		part := FindLinePartial(n, s.channels, s.metas, all, nil)
+		for i := 0; i < n; i++ {
+			if total.Line[i] != part.Line[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after a partial rollback, no channel carries an orphan with
+// respect to the *effective* frontiers — restored checkpoints for in-scope
+// instances, live volatile frontiers for out-of-scope ones. This is the
+// correctness condition for localized recovery.
+func TestQuickPartialRollbackConsistent(t *testing.T) {
+	topologies := map[string]func(int) []ChannelInfo{"ring": ringTopology, "full": fullTopology}
+	for name, topo := range topologies {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64, failedRaw uint8, useLive bool) bool {
+				const n = 4
+				s := runRandom(seed, n, topo(n), 140)
+				failed := []int{int(failedRaw) % n}
+				var live map[int]Frontiers
+				if useLive {
+					live = liveOf(s, n)
+				}
+				res := FindLinePartial(n, s.channels, s.metas, failed, live)
+				g := buildGraph(n, s.channels, s.metas)
+
+				inScope := make([]bool, n)
+				for _, e := range RollbackScope(n, s.channels, s.metas, failed, live) {
+					inScope[e.Instance] = true
+				}
+				for _, ch := range s.channels {
+					effSent := s.sent[ch.ID]
+					if inScope[ch.From] {
+						effSent = g.sentUpTo(ch.From, res.Line[ch.From].Seq, ch.ID)
+					}
+					effRecv := s.recv[ch.ID]
+					if inScope[ch.To] {
+						effRecv = g.recvUpTo(ch.To, res.Line[ch.To].Seq, ch.ID)
+					}
+					if effRecv > effSent {
+						t.Logf("seed %d: orphan on channel %d after partial rollback of %v: recv %d > sent %d",
+							seed, ch.ID, failed, effRecv, effSent)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: the partial rollback scope never exceeds the total-failure
+// rollback, and always contains the failed instance.
+func TestQuickPartialScopeBounded(t *testing.T) {
+	f := func(seed int64, failedRaw uint8) bool {
+		const n = 4
+		s := runRandom(seed, n, fullTopology(n), 140)
+		failed := int(failedRaw) % n
+		part := FindLinePartial(n, s.channels, s.metas, []int{failed}, liveOf(s, n))
+		total := FindLineRDG(n, s.channels, s.metas)
+		for i := 0; i < n; i++ {
+			if part.Line[i].Seq < total.Line[i].Seq {
+				return false // partial rolled back further than total failure
+			}
+		}
+		scope := RollbackScope(n, s.channels, s.metas, []int{failed}, liveOf(s, n))
+		for _, e := range scope {
+			if e.Instance == failed {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Netzer–Xu theorem, via exhaustive enumeration on small
+// executions): a checkpoint lies on a Z-cycle iff it belongs to no
+// consistent recovery line.
+func TestQuickUselessIffOnNoConsistentLine(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 3
+		s := runRandom(seed, n, fullTopology(n), 45)
+		combos := 1
+		for _, k := range s.ckptSeq {
+			combos *= int(k) + 1
+		}
+		if combos > 4000 {
+			return true // keep the brute force cheap
+		}
+		useless := UselessCheckpoints(n, s.channels, s.metas)
+		want := uselessByEnumeration(n, s.channels, s.metas, s.ckptSeq)
+		if len(useless) != len(want) {
+			t.Logf("seed %d: analyzer %v, enumeration %v", seed, useless, want)
+			return false
+		}
+		for ref := range want {
+			if !useless[ref] {
+				t.Logf("seed %d: %v useless by enumeration only", seed, ref)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Netzer–Xu pair theorem): two checkpoints on different
+// instances coexist in some consistent line iff no Z-path connects them in
+// either direction and neither lies on a Z-cycle.
+func TestQuickZPathPairTheorem(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 3
+		s := runRandom(seed, n, fullTopology(n), 40)
+		combos := 1
+		for _, k := range s.ckptSeq {
+			combos *= int(k) + 1
+		}
+		if combos > 2000 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		checked := 0
+		for _, ma := range s.metas {
+			for _, mb := range s.metas {
+				if ma.Ref.Instance == mb.Ref.Instance {
+					continue
+				}
+				if rng.Intn(3) != 0 && checked > 4 {
+					continue // sample pairs to bound work
+				}
+				checked++
+				a, b := ma.Ref, mb.Ref
+				noZ := !HasZPath(n, s.channels, s.metas, a, b) &&
+					!HasZPath(n, s.channels, s.metas, b, a) &&
+					!HasZPath(n, s.channels, s.metas, a, a) &&
+					!HasZPath(n, s.channels, s.metas, b, b)
+				coexist := coexistByEnumeration(n, s.channels, s.metas, s.ckptSeq, a, b)
+				if noZ != coexist {
+					t.Logf("seed %d: pair %v,%v: noZ=%v coexist=%v", seed, a, b, noZ, coexist)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the recovery line chosen after a total failure never contains
+// a useless checkpoint.
+func TestQuickLineAvoidsUseless(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 4
+		s := runRandom(seed, n, ringTopology(n), 150)
+		res := FindLine(n, s.channels, s.metas)
+		useless := UselessCheckpoints(n, s.channels, s.metas)
+		for _, ref := range res.Line {
+			if ref.Seq > 0 && useless[ref] {
+				t.Logf("seed %d: line contains useless checkpoint %v", seed, ref)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

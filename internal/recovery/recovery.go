@@ -1,0 +1,273 @@
+// Package recovery implements recovery-line computation for uncoordinated
+// and communication-induced checkpoints: the checkpoint graph of Wang et
+// al. and the rollback propagation algorithm (Algorithm 1 of the paper).
+//
+// Checkpoints are identified by (instance, seq) where seq 0 denotes the
+// virtual initial checkpoint (empty state, always available). Checkpoint
+// metadata carries, per logical channel, the highest sequence number sent
+// and received at snapshot time; orphan messages are detected by comparing
+// these frontiers across checkpoints of communicating instances.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CkptRef identifies one checkpoint of one operator instance.
+type CkptRef struct {
+	// Instance is the global instance index.
+	Instance int
+	// Seq is the checkpoint sequence per instance; 0 is the virtual
+	// initial checkpoint.
+	Seq uint64
+}
+
+// String formats the reference like the paper's C<i,x> notation.
+func (c CkptRef) String() string { return fmt.Sprintf("C<%d,%d>", c.Instance, c.Seq) }
+
+// Meta is the durable metadata of one checkpoint.
+type Meta struct {
+	Ref CkptRef
+	// SentUpTo maps outgoing channel id -> highest sequence number sent
+	// before the snapshot.
+	SentUpTo map[uint64]uint64
+	// RecvUpTo maps incoming channel id -> highest sequence number received
+	// (processed) before the snapshot.
+	RecvUpTo map[uint64]uint64
+	// StoreKey locates the state blob in the object store.
+	StoreKey string
+	// Round is the coordinated round (COOR only; 0 otherwise).
+	Round uint64
+	// Forced marks a CIC forced checkpoint.
+	Forced bool
+	// AtNS is the snapshot time in nanoseconds since run start.
+	AtNS int64
+}
+
+// ChannelInfo describes one logical channel of the dataflow graph.
+type ChannelInfo struct {
+	ID   uint64
+	From int // sender global instance index
+	To   int // receiver global instance index
+}
+
+// Line maps each instance to the checkpoint chosen for recovery.
+type Line map[int]CkptRef
+
+// Result is the outcome of recovery-line computation.
+type Result struct {
+	Line Line
+	// Invalid counts checkpoints that cannot be used: those skipped by
+	// rollback propagation plus those newer than the chosen line.
+	Invalid int
+	// Total counts all real (seq >= 1) checkpoints considered.
+	Total int
+	// Iterations is the number of rollback propagation passes.
+	Iterations int
+}
+
+// FindLine runs the rollback propagation algorithm over the given
+// checkpoint metadata. instances is the total number of operator instances;
+// channels describes the dataflow edges between them. Every instance
+// without any real checkpoint contributes its virtual initial checkpoint.
+func FindLine(instances int, channels []ChannelInfo, metas []Meta) Result {
+	g := buildGraph(instances, channels, metas)
+
+	// Root set: freshest checkpoint per instance.
+	root := make([]uint64, instances)
+	for i := range root {
+		root[i] = g.latest[i]
+	}
+
+	res := Result{Total: g.totalReal()}
+
+	// Rollback propagation: while some root-set member is strictly
+	// reachable from another member, replace it with its predecessor.
+	for {
+		res.Iterations++
+		marked := g.markedInRootSet(root)
+		if len(marked) == 0 {
+			break
+		}
+		for _, inst := range marked {
+			if root[inst] == 0 {
+				// The virtual initial checkpoint has no predecessor; it can
+				// never be orphaned (it received nothing), so reaching this
+				// point would indicate a graph construction bug.
+				panic("recovery: virtual initial checkpoint marked")
+			}
+			root[inst]--
+		}
+	}
+
+	line := make(Line, instances)
+	for i, seq := range root {
+		line[i] = CkptRef{Instance: i, Seq: seq}
+	}
+	res.Line = line
+
+	// Invalid = real checkpoints strictly newer than the line: they can no
+	// longer take part in any recovery line once execution resumes past
+	// this rollback.
+	for _, m := range metas {
+		if m.Ref.Seq > root[m.Ref.Instance] {
+			res.Invalid++
+		}
+	}
+	return res
+}
+
+// graph is the checkpoint graph: nodes are (instance, seq) pairs; edges
+// follow the paper's definition.
+type graph struct {
+	instances int
+	latest    []uint64
+	// byInstance[i] maps seq -> Meta for instance i (seq >= 1).
+	byInstance []map[uint64]*Meta
+	// outChannels[i] lists channels whose sender is instance i.
+	outChannels [][]ChannelInfo
+}
+
+func buildGraph(instances int, channels []ChannelInfo, metas []Meta) *graph {
+	g := &graph{
+		instances:   instances,
+		latest:      make([]uint64, instances),
+		byInstance:  make([]map[uint64]*Meta, instances),
+		outChannels: make([][]ChannelInfo, instances),
+	}
+	for i := range g.byInstance {
+		g.byInstance[i] = make(map[uint64]*Meta)
+	}
+	for i := range metas {
+		m := &metas[i]
+		if m.Ref.Seq == 0 {
+			continue // virtual checkpoints are implicit
+		}
+		g.byInstance[m.Ref.Instance][m.Ref.Seq] = m
+		if m.Ref.Seq > g.latest[m.Ref.Instance] {
+			g.latest[m.Ref.Instance] = m.Ref.Seq
+		}
+	}
+	for _, ch := range channels {
+		g.outChannels[ch.From] = append(g.outChannels[ch.From], ch)
+	}
+	return g
+}
+
+func (g *graph) totalReal() int {
+	n := 0
+	for _, m := range g.byInstance {
+		n += len(m)
+	}
+	return n
+}
+
+// sentUpTo returns the sent frontier of checkpoint (inst, seq) on channel
+// ch. The virtual initial checkpoint has frontier 0.
+func (g *graph) sentUpTo(inst int, seq uint64, ch uint64) uint64 {
+	if seq == 0 {
+		return 0
+	}
+	m := g.byInstance[inst][seq]
+	if m == nil {
+		return 0
+	}
+	return m.SentUpTo[ch]
+}
+
+// recvUpTo returns the received frontier of checkpoint (inst, seq) on
+// channel ch.
+func (g *graph) recvUpTo(inst int, seq uint64, ch uint64) uint64 {
+	if seq == 0 {
+		return 0
+	}
+	m := g.byInstance[inst][seq]
+	if m == nil {
+		return 0
+	}
+	return m.RecvUpTo[ch]
+}
+
+// hasOrphanEdge reports whether the checkpoint graph has an edge from
+// (from, fseq) to (to, tseq): at least one message sent by `from` after its
+// checkpoint fseq was received by `to` before its checkpoint tseq.
+func (g *graph) hasOrphanEdge(from int, fseq uint64, to int, tseq uint64, ch ChannelInfo) bool {
+	if tseq == 0 {
+		return false // the initial checkpoint received nothing
+	}
+	return g.recvUpTo(to, tseq, ch.ID) > g.sentUpTo(from, fseq, ch.ID)
+}
+
+// markedInRootSet returns the instances whose root-set checkpoint is
+// strictly reachable from another root-set checkpoint. Reachability in the
+// checkpoint graph combines orphan edges between instances and the
+// same-instance succession edges c(i,x) -> c(i,x+1); a root-set member
+// c(j,y) is reachable from c(i,x) in the root set iff there is an orphan
+// edge from some checkpoint c(i,x') with x' >= x into some checkpoint
+// c(j,y') with y' <= y, possibly transitively. Because frontiers are
+// monotone in seq, the edge test against the root-set checkpoints
+// themselves captures one-hop reachability; transitivity is handled by
+// iterating the propagation loop (each pass rolls marked members back one
+// step, re-evaluating reachability).
+func (g *graph) markedInRootSet(root []uint64) []int {
+	markedSet := make(map[int]bool)
+	for from := 0; from < g.instances; from++ {
+		for _, ch := range g.outChannels[from] {
+			to := ch.To
+			if to == from {
+				continue
+			}
+			// Edge from the root checkpoint of `from` (or any of its
+			// successors, which are >= in frontier, but the root is what is
+			// in the set) into the root checkpoint of `to`.
+			if g.hasOrphanEdge(from, root[from], to, root[to], ch) {
+				markedSet[to] = true
+			}
+		}
+	}
+	marked := make([]int, 0, len(markedSet))
+	for inst := range markedSet {
+		marked = append(marked, inst)
+	}
+	sort.Ints(marked)
+	return marked
+}
+
+// Validate checks that a line is consistent: no channel has orphan
+// messages across the cut. It returns nil when consistent.
+func Validate(channels []ChannelInfo, metas []Meta, line Line) error {
+	g := buildGraph(len(line), channels, metas)
+	for _, ch := range channels {
+		from, to := line[ch.From], line[ch.To]
+		if g.recvUpTo(ch.To, to.Seq, ch.ID) > g.sentUpTo(ch.From, from.Seq, ch.ID) {
+			return fmt.Errorf("recovery: orphan on channel %d: %s received up to %d but %s sent only %d",
+				ch.ID, to, g.recvUpTo(ch.To, to.Seq, ch.ID), from, g.sentUpTo(ch.From, from.Seq, ch.ID))
+		}
+	}
+	return nil
+}
+
+// InFlight computes, for the given line, the channel state to replay: for
+// every channel, the range (recvUpTo(receiver), sentUpTo(sender)] of
+// messages that were in flight across the cut.
+type InFlightRange struct {
+	Channel  ChannelInfo
+	FromExcl uint64
+	ToIncl   uint64
+}
+
+// InFlight returns the replay ranges of all channels with non-empty
+// in-flight state under the line.
+func InFlight(channels []ChannelInfo, metas []Meta, line Line) []InFlightRange {
+	g := buildGraph(len(line), channels, metas)
+	var out []InFlightRange
+	for _, ch := range channels {
+		sent := g.sentUpTo(ch.From, line[ch.From].Seq, ch.ID)
+		recv := g.recvUpTo(ch.To, line[ch.To].Seq, ch.ID)
+		if sent > recv {
+			out = append(out, InFlightRange{Channel: ch, FromExcl: recv, ToIncl: sent})
+		}
+	}
+	return out
+}

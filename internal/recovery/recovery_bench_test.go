@@ -1,0 +1,36 @@
+package recovery
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFindLine measures recovery-line computation over a realistic
+// metadata volume (the paper observes that "finding the recovery line has
+// an insignificant cost").
+func BenchmarkFindLine(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	channels, metas := randomExecution(rng, 8)
+	for len(metas) < 400 {
+		_, more := randomExecution(rng, 8)
+		metas = append(metas, more...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindLine(8, channels, metas)
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	channels, metas := randomExecution(rng, 6)
+	res := FindLine(6, channels, metas)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Validate(channels, metas, res.Line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package recovery
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// execSim simulates a message-passing execution over a fixed topology and
+// produces checkpoint metadata exactly the way the engine does: frontiers
+// are per-channel sent/received sequence numbers at snapshot time.
+type execSim struct {
+	channels []ChannelInfo
+	sent     map[uint64]uint64 // channel -> sender frontier
+	recv     map[uint64]uint64 // channel -> receiver frontier
+	ckptSeq  []uint64
+	metas    []Meta
+}
+
+func newExecSim(instances int, channels []ChannelInfo) *execSim {
+	return &execSim{
+		channels: channels,
+		sent:     make(map[uint64]uint64),
+		recv:     make(map[uint64]uint64),
+		ckptSeq:  make([]uint64, instances),
+	}
+}
+
+// send appends one message to channel ch.
+func (s *execSim) send(ch ChannelInfo) { s.sent[ch.ID]++ }
+
+// deliver processes one pending message of channel ch, if any.
+func (s *execSim) deliver(ch ChannelInfo) {
+	if s.recv[ch.ID] < s.sent[ch.ID] {
+		s.recv[ch.ID]++
+	}
+}
+
+// checkpoint snapshots instance inst.
+func (s *execSim) checkpoint(inst int) {
+	s.ckptSeq[inst]++
+	m := Meta{
+		Ref:      CkptRef{Instance: inst, Seq: s.ckptSeq[inst]},
+		SentUpTo: make(map[uint64]uint64),
+		RecvUpTo: make(map[uint64]uint64),
+	}
+	for _, ch := range s.channels {
+		if ch.From == inst {
+			m.SentUpTo[ch.ID] = s.sent[ch.ID]
+		}
+		if ch.To == inst {
+			m.RecvUpTo[ch.ID] = s.recv[ch.ID]
+		}
+	}
+	s.metas = append(s.metas, m)
+}
+
+// ringTopology builds instance i -> instance (i+1)%n channels — a cycle, the
+// topology where the domino effect lives.
+func ringTopology(n int) []ChannelInfo {
+	chs := make([]ChannelInfo, 0, n)
+	for i := 0; i < n; i++ {
+		chs = append(chs, ChannelInfo{ID: uint64(100 + i), From: i, To: (i + 1) % n})
+	}
+	return chs
+}
+
+// fullTopology builds all ordered pairs.
+func fullTopology(n int) []ChannelInfo {
+	var chs []ChannelInfo
+	id := uint64(100)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				chs = append(chs, ChannelInfo{ID: id, From: i, To: j})
+				id++
+			}
+		}
+	}
+	return chs
+}
+
+// runRandom drives a random but causally valid execution from a seed.
+func runRandom(seed int64, instances int, channels []ChannelInfo, steps int) *execSim {
+	rng := rand.New(rand.NewSource(seed))
+	s := newExecSim(instances, channels)
+	for k := 0; k < steps; k++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			s.send(channels[rng.Intn(len(channels))])
+		case 2:
+			s.deliver(channels[rng.Intn(len(channels))])
+		case 3:
+			s.checkpoint(rng.Intn(instances))
+		}
+	}
+	return s
+}
+
+// bruteMaxLine enumerates every candidate line and returns the
+// component-wise maximum consistent one. Only viable for small histories.
+func bruteMaxLine(instances int, channels []ChannelInfo, metas []Meta, maxSeq []uint64) Line {
+	best := make(Line, instances)
+	for i := 0; i < instances; i++ {
+		best[i] = CkptRef{Instance: i, Seq: 0}
+	}
+	line := make(Line, instances)
+	var walk func(i int)
+	var found func()
+	found = func() {
+		for i := 0; i < instances; i++ {
+			if line[i].Seq > best[i].Seq {
+				best[i] = line[i]
+			}
+		}
+	}
+	walk = func(i int) {
+		if i == instances {
+			if Validate(channels, metas, line) == nil {
+				found()
+			}
+			return
+		}
+		for seq := uint64(0); seq <= maxSeq[i]; seq++ {
+			line[i] = CkptRef{Instance: i, Seq: seq}
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return best
+}
+
+// Property: on any causally valid execution, the line returned by rollback
+// propagation is consistent (no orphan crosses the cut).
+func TestQuickFindLineConsistent(t *testing.T) {
+	topologies := map[string]func(int) []ChannelInfo{"ring": ringTopology, "full": fullTopology}
+	for name, topo := range topologies {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				const n = 4
+				s := runRandom(seed, n, topo(n), 120)
+				res := FindLine(n, s.channels, s.metas)
+				if err := Validate(s.channels, s.metas, res.Line); err != nil {
+					t.Logf("seed %d: %v", seed, err)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: the returned line dominates every consistent line — it is the
+// component-wise maximum (minimum rollback distance), verified by brute
+// force on small executions.
+func TestQuickFindLineIsMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 3
+		s := runRandom(seed, n, fullTopology(n), 60)
+		res := FindLine(n, s.channels, s.metas)
+		maxSeq := make([]uint64, n)
+		copy(maxSeq, s.ckptSeq)
+		want := bruteMaxLine(n, s.channels, s.metas, maxSeq)
+		for i := 0; i < n; i++ {
+			if res.Line[i].Seq != want[i].Seq {
+				t.Logf("seed %d: instance %d: got seq %d, brute-force max %d",
+					seed, i, res.Line[i].Seq, want[i].Seq)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: invalid counts equal the checkpoints strictly newer than the
+// line, and never exceed the total.
+func TestQuickInvalidAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 4
+		s := runRandom(seed, n, ringTopology(n), 150)
+		res := FindLine(n, s.channels, s.metas)
+		if res.Total != len(s.metas) {
+			return false
+		}
+		want := 0
+		for _, m := range s.metas {
+			if m.Ref.Seq > res.Line[m.Ref.Instance].Seq {
+				want++
+			}
+		}
+		return res.Invalid == want && res.Invalid <= res.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the in-flight replay ranges under the chosen line exactly cover
+// the gap between receiver and sender frontiers, and are always non-empty
+// ranges with FromExcl < ToIncl.
+func TestQuickInFlightRanges(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 4
+		s := runRandom(seed, n, fullTopology(n), 120)
+		res := FindLine(n, s.channels, s.metas)
+		for _, rng := range InFlight(s.channels, s.metas, res.Line) {
+			if rng.FromExcl >= rng.ToIncl {
+				return false
+			}
+			// The range never exceeds what was actually sent.
+			if rng.ToIncl > s.sent[rng.Channel.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

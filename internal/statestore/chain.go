@@ -1,0 +1,114 @@
+package statestore
+
+import (
+	"fmt"
+
+	"checkmate/internal/wire"
+)
+
+// ChainPolicy decides when a chain takes a full snapshot instead of a delta.
+type ChainPolicy struct {
+	// MaxDeltas forces a full snapshot after this many consecutive deltas.
+	// Zero means every snapshot is full.
+	MaxDeltas int
+	// MaxDeltaFraction forces a full snapshot once the accumulated delta
+	// bytes since the last base exceed this fraction of the base snapshot
+	// size (e.g. 0.5). Zero disables the byte heuristic.
+	MaxDeltaFraction float64
+}
+
+// DefaultChainPolicy compacts after 8 deltas or once deltas reach half the
+// base size, whichever comes first.
+func DefaultChainPolicy() ChainPolicy {
+	return ChainPolicy{MaxDeltas: 8, MaxDeltaFraction: 0.5}
+}
+
+// Chain manages the base-plus-deltas checkpoint sequence of one store: it
+// chooses full vs delta per snapshot according to a policy and retains the
+// blob sequence needed to rebuild the newest state.
+//
+// A Chain corresponds to what an incremental state backend (e.g. a
+// RocksDB-style backend) persists per checkpoint; Rebuild is the recovery
+// path.
+type Chain struct {
+	policy ChainPolicy
+	// blobs holds the newest base followed by its deltas, oldest first.
+	blobs      [][]byte
+	deltaBytes int
+	baseBytes  int
+}
+
+// NewChain returns an empty chain with the given policy.
+func NewChain(policy ChainPolicy) *Chain {
+	return &Chain{policy: policy}
+}
+
+// Checkpoint snapshots s (full or delta per the policy), appends the blob to
+// the chain, and returns the blob together with whether it was a full
+// snapshot. The returned blob is owned by the chain.
+func (c *Chain) Checkpoint(s *Store) (blob []byte, full bool) {
+	full = c.shouldFull(s)
+	enc := wire.NewEncoder(make([]byte, 0, 1024))
+	if full {
+		s.SnapshotFull(enc)
+		c.blobs = c.blobs[:0]
+		c.baseBytes = enc.Len()
+		c.deltaBytes = 0
+	} else {
+		s.SnapshotDelta(enc)
+		c.deltaBytes += enc.Len()
+	}
+	b := append([]byte(nil), enc.Bytes()...)
+	c.blobs = append(c.blobs, b)
+	return b, full
+}
+
+func (c *Chain) shouldFull(s *Store) bool {
+	if len(c.blobs) == 0 {
+		return true
+	}
+	deltas := len(c.blobs) - 1
+	if c.policy.MaxDeltas <= 0 || deltas >= c.policy.MaxDeltas {
+		return true
+	}
+	if c.policy.MaxDeltaFraction > 0 && c.baseBytes > 0 {
+		if float64(c.deltaBytes) > c.policy.MaxDeltaFraction*float64(c.baseBytes) {
+			return true
+		}
+	}
+	return false
+}
+
+// Blobs returns the current base-plus-deltas sequence, oldest first. The
+// returned slice and its blobs are owned by the chain.
+func (c *Chain) Blobs() [][]byte { return c.blobs }
+
+// Len reports the number of blobs in the chain (1 base + N deltas).
+func (c *Chain) Len() int { return len(c.blobs) }
+
+// TotalBytes reports the summed size of all blobs currently retained.
+func (c *Chain) TotalBytes() int {
+	n := 0
+	for _, b := range c.blobs {
+		n += len(b)
+	}
+	return n
+}
+
+// Rebuild reconstructs a store from a base-plus-deltas blob sequence (oldest
+// first), as produced by Checkpoint.
+func Rebuild(blobs [][]byte) (*Store, error) {
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("statestore: Rebuild with no blobs")
+	}
+	s := New()
+	if err := s.Restore(wire.NewDecoder(blobs[0])); err != nil {
+		return nil, fmt.Errorf("statestore: rebuild base: %w", err)
+	}
+	for i, b := range blobs[1:] {
+		if err := s.ApplyDelta(wire.NewDecoder(b)); err != nil {
+			return nil, fmt.Errorf("statestore: rebuild delta %d: %w", i+1, err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,105 @@
+package statestore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"checkmate/internal/wire"
+)
+
+// populate fills a store with n 64-byte values.
+func populate(n int) *Store {
+	s := New()
+	v := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		s.Put(uint64(i), v)
+	}
+	return s
+}
+
+// BenchmarkSnapshotFullVsDelta is the incremental-checkpointing ablation:
+// with a large store and a small per-checkpoint churn, a delta snapshot
+// should cost proportionally to the churn, not the total state — the reason
+// the paper's "checkpoint right after the aggregate is calculated" advice
+// matters for window operators.
+func BenchmarkSnapshotFullVsDelta(b *testing.B) {
+	for _, size := range []int{1_000, 100_000} {
+		for _, churn := range []int{10, 1_000} {
+			if churn > size {
+				continue
+			}
+			b.Run(fmt.Sprintf("full/size=%d", size), func(b *testing.B) {
+				s := populate(size)
+				enc := wire.NewEncoder(make([]byte, 0, size*80))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					enc.Reset()
+					s.SnapshotFull(enc)
+				}
+				b.ReportMetric(float64(enc.Len()), "bytes/snapshot")
+			})
+			b.Run(fmt.Sprintf("delta/size=%d/churn=%d", size, churn), func(b *testing.B) {
+				s := populate(size)
+				enc := wire.NewEncoder(make([]byte, 0, churn*80))
+				s.SnapshotFull(enc)
+				v := make([]byte, 64)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					for k := 0; k < churn; k++ {
+						s.Put(uint64((i*churn+k)%size), v)
+					}
+					b.StartTimer()
+					enc.Reset()
+					s.SnapshotDelta(enc)
+				}
+				b.ReportMetric(float64(enc.Len()), "bytes/snapshot")
+			})
+		}
+	}
+}
+
+func BenchmarkChainCheckpointAndRebuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := populate(10_000)
+	c := NewChain(DefaultChainPolicy())
+	c.Checkpoint(s)
+	v := make([]byte, 64)
+	b.Run("checkpoint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 100; k++ {
+				s.Put(uint64(rng.Intn(10_000)), v)
+			}
+			c.Checkpoint(s)
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Rebuild(c.Blobs()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	s := populate(100_000)
+	v := make([]byte, 64)
+	b.Run("get", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Get(uint64(i % 100_000))
+		}
+	})
+	b.Run("put-overwrite", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Put(uint64(i%100_000), v)
+		}
+	})
+}

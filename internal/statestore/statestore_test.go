@@ -1,0 +1,443 @@
+package statestore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"checkmate/internal/wire"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	if _, ok := s.Get(1); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Put(1, []byte("a"))
+	s.Put(2, []byte("bb"))
+	if v, ok := s.Get(1); !ok || string(v) != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if s.Len() != 2 || s.Bytes() != 3 {
+		t.Fatalf("Len=%d Bytes=%d, want 2, 3", s.Len(), s.Bytes())
+	}
+	s.Put(1, []byte("ccc"))
+	if s.Bytes() != 5 {
+		t.Fatalf("Bytes after overwrite = %d, want 5", s.Bytes())
+	}
+	s.Delete(1)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("Get after Delete found the key")
+	}
+	if s.Len() != 1 || s.Bytes() != 2 {
+		t.Fatalf("Len=%d Bytes=%d after delete, want 1, 2", s.Len(), s.Bytes())
+	}
+	s.Delete(99) // absent: no-op
+	if s.Len() != 1 {
+		t.Fatal("deleting an absent key changed Len")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s := New()
+	v := []byte("abc")
+	s.Put(1, v)
+	v[0] = 'X'
+	got, _ := s.Get(1)
+	if string(got) != "abc" {
+		t.Fatalf("store aliased the caller's slice: %q", got)
+	}
+}
+
+func TestRangeOrderedAndStoppable(t *testing.T) {
+	s := New()
+	for _, k := range []uint64{5, 1, 9, 3} {
+		s.Put(k, []byte{byte(k)})
+	}
+	var keys []uint64
+	s.Range(func(k uint64, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []uint64{1, 3, 5, 9}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range order %v, want %v", keys, want)
+		}
+	}
+	n := 0
+	s.Range(func(uint64, []byte) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("Range did not stop: visited %d", n)
+	}
+}
+
+func TestFullSnapshotRoundTrip(t *testing.T) {
+	s := New()
+	for i := uint64(0); i < 100; i++ {
+		s.Put(i, []byte(fmt.Sprintf("v%d", i)))
+	}
+	enc := wire.NewEncoder(nil)
+	s.SnapshotFull(enc)
+	if s.DirtyCount() != 0 {
+		t.Fatal("full snapshot did not clear dirty tracking")
+	}
+	r := New()
+	if err := r.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	assertEqualStores(t, s, r)
+	if r.Seq() != s.Seq() {
+		t.Fatalf("restored seq %d, want %d", r.Seq(), s.Seq())
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	a, b := New(), New()
+	for i := uint64(0); i < 50; i++ {
+		a.Put(i, []byte{byte(i)})
+	}
+	for i := int64(49); i >= 0; i-- {
+		b.Put(uint64(i), []byte{byte(i)})
+	}
+	ea, eb := wire.NewEncoder(nil), wire.NewEncoder(nil)
+	a.SnapshotFull(ea)
+	b.SnapshotFull(eb)
+	if !bytes.Equal(ea.Bytes(), eb.Bytes()) {
+		t.Fatal("snapshots differ for equal contents with different insertion order")
+	}
+}
+
+func TestDeltaCarriesOnlyChurn(t *testing.T) {
+	s := New()
+	for i := uint64(0); i < 1000; i++ {
+		s.Put(i, []byte("vvvvvvvv"))
+	}
+	enc := wire.NewEncoder(nil)
+	s.SnapshotFull(enc)
+	fullLen := enc.Len()
+
+	s.Put(1, []byte("x"))
+	s.Delete(2)
+	enc.Reset()
+	s.SnapshotDelta(enc)
+	if enc.Len() >= fullLen/10 {
+		t.Fatalf("delta of 2 changed keys is %dB, full was %dB", enc.Len(), fullLen)
+	}
+}
+
+func TestApplyDeltaRoundTrip(t *testing.T) {
+	s := New()
+	s.Put(1, []byte("a"))
+	s.Put(2, []byte("b"))
+	base := wire.NewEncoder(nil)
+	s.SnapshotFull(base)
+
+	s.Put(3, []byte("c"))
+	s.Delete(1)
+	s.Put(2, []byte("B"))
+	d1 := wire.NewEncoder(nil)
+	s.SnapshotDelta(d1)
+
+	r := New()
+	if err := r.Restore(wire.NewDecoder(base.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyDelta(wire.NewDecoder(d1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	assertEqualStores(t, s, r)
+}
+
+func TestApplyDeltaRejectsOutOfOrder(t *testing.T) {
+	s := New()
+	s.Put(1, []byte("a"))
+	base := wire.NewEncoder(nil)
+	s.SnapshotFull(base)
+	s.Put(2, []byte("b"))
+	d1 := wire.NewEncoder(nil)
+	s.SnapshotDelta(d1)
+	s.Put(3, []byte("c"))
+	d2 := wire.NewEncoder(nil)
+	s.SnapshotDelta(d2)
+
+	r := New()
+	if err := r.Restore(wire.NewDecoder(base.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyDelta(wire.NewDecoder(d2.Bytes())); err == nil {
+		t.Fatal("skipping a delta was not rejected")
+	}
+	if err := r.ApplyDelta(wire.NewDecoder(d1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyDelta(wire.NewDecoder(d1.Bytes())); err == nil {
+		t.Fatal("re-applying a delta was not rejected")
+	}
+}
+
+func TestRestoreRejectsDeltaBlob(t *testing.T) {
+	s := New()
+	s.Put(1, []byte("a"))
+	full := wire.NewEncoder(nil)
+	s.SnapshotFull(full)
+	s.Put(2, []byte("b"))
+	delta := wire.NewEncoder(nil)
+	s.SnapshotDelta(delta)
+
+	if err := New().Restore(wire.NewDecoder(delta.Bytes())); err == nil {
+		t.Fatal("Restore accepted a delta blob")
+	}
+	if err := New().ApplyDelta(wire.NewDecoder(full.Bytes())); err == nil {
+		t.Fatal("ApplyDelta accepted a full blob")
+	}
+}
+
+func TestRestoreTruncated(t *testing.T) {
+	s := New()
+	for i := uint64(0); i < 20; i++ {
+		s.Put(i, []byte("some value"))
+	}
+	enc := wire.NewEncoder(nil)
+	s.SnapshotFull(enc)
+	blob := enc.Bytes()
+	for cut := 0; cut < len(blob); cut += 7 {
+		if err := New().Restore(wire.NewDecoder(blob[:cut])); err == nil {
+			t.Fatalf("truncated blob (%d/%d bytes) restored without error", cut, len(blob))
+		}
+	}
+}
+
+func TestSnapshotKind(t *testing.T) {
+	s := New()
+	s.Put(1, []byte("a"))
+	full := wire.NewEncoder(nil)
+	s.SnapshotFull(full)
+	s.Put(2, []byte("b"))
+	delta := wire.NewEncoder(nil)
+	s.SnapshotDelta(delta)
+
+	if isFull, seq, err := SnapshotKind(full.Bytes()); err != nil || !isFull || seq != 1 {
+		t.Fatalf("SnapshotKind(full) = %v, %d, %v", isFull, seq, err)
+	}
+	if isFull, seq, err := SnapshotKind(delta.Bytes()); err != nil || isFull || seq != 2 {
+		t.Fatalf("SnapshotKind(delta) = %v, %d, %v", isFull, seq, err)
+	}
+	if _, _, err := SnapshotKind([]byte{42}); err == nil {
+		t.Fatal("SnapshotKind accepted garbage")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New()
+	s.Put(1, []byte("a"))
+	seq := s.Seq()
+	s.Clear()
+	if s.Len() != 0 || s.Bytes() != 0 || s.DirtyCount() != 0 {
+		t.Fatal("Clear left residue")
+	}
+	if s.Seq() != seq {
+		t.Fatal("Clear changed the snapshot sequence")
+	}
+}
+
+// op is one model-checked operation.
+type op struct {
+	Key    uint64
+	Val    byte
+	Delete bool
+}
+
+func applyOps(s *Store, model map[uint64][]byte, ops []op) {
+	for _, o := range ops {
+		k := o.Key % 64 // small key space to exercise overwrites and deletes
+		if o.Delete {
+			s.Delete(k)
+			delete(model, k)
+		} else {
+			v := []byte{o.Val, o.Val}
+			s.Put(k, v)
+			model[k] = v
+		}
+	}
+}
+
+func assertMatchesModel(t *testing.T, s *Store, model map[uint64][]byte) {
+	t.Helper()
+	if s.Len() != len(model) {
+		t.Fatalf("Len=%d, model has %d", s.Len(), len(model))
+	}
+	wantBytes := 0
+	for k, v := range model {
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("Get(%d) = %q, %v; want %q", k, got, ok, v)
+		}
+		wantBytes += len(v)
+	}
+	if s.Bytes() != wantBytes {
+		t.Fatalf("Bytes=%d, model says %d", s.Bytes(), wantBytes)
+	}
+}
+
+func assertEqualStores(t *testing.T, a, b *Store) {
+	t.Helper()
+	if a.Len() != b.Len() || a.Bytes() != b.Bytes() {
+		t.Fatalf("stores differ: Len %d/%d Bytes %d/%d", a.Len(), b.Len(), a.Bytes(), b.Bytes())
+	}
+	a.Range(func(k uint64, v []byte) bool {
+		got, ok := b.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("key %d: %q vs %q (ok=%v)", k, v, got, ok)
+		}
+		return true
+	})
+}
+
+// Property: after any operation sequence the store matches a plain map.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []op) bool {
+		s := New()
+		model := make(map[uint64][]byte)
+		applyOps(s, model, ops)
+		assertMatchesModel(t, s, model)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: full-snapshot/restore is lossless after any operation sequence.
+func TestQuickFullSnapshotRoundTrip(t *testing.T) {
+	f := func(ops []op) bool {
+		s := New()
+		applyOps(s, make(map[uint64][]byte), ops)
+		enc := wire.NewEncoder(nil)
+		s.SnapshotFull(enc)
+		r := New()
+		if err := r.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		assertEqualStores(t, s, r)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a base snapshot plus any sequence of deltas rebuilds the exact
+// live contents.
+func TestQuickDeltaChainEquivalence(t *testing.T) {
+	f := func(batches [][]op) bool {
+		s := New()
+		model := make(map[uint64][]byte)
+		blobs := make([][]byte, 0, len(batches)+1)
+		enc := wire.NewEncoder(nil)
+		s.SnapshotFull(enc)
+		blobs = append(blobs, append([]byte(nil), enc.Bytes()...))
+		for _, batch := range batches {
+			applyOps(s, model, batch)
+			enc.Reset()
+			s.SnapshotDelta(enc)
+			blobs = append(blobs, append([]byte(nil), enc.Bytes()...))
+		}
+		r, err := Rebuild(blobs)
+		if err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+		assertEqualStores(t, s, r)
+		assertMatchesModel(t, r, model)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainCompactsAfterMaxDeltas(t *testing.T) {
+	s := New()
+	c := NewChain(ChainPolicy{MaxDeltas: 3})
+	if _, full := c.Checkpoint(s); !full {
+		t.Fatal("first checkpoint must be full")
+	}
+	fulls := 1
+	for i := 0; i < 9; i++ {
+		s.Put(uint64(i), []byte("v"))
+		if _, full := c.Checkpoint(s); full {
+			fulls++
+			if c.Len() != 1 {
+				t.Fatalf("chain not reset after full: len=%d", c.Len())
+			}
+		}
+	}
+	// 10 checkpoints with MaxDeltas=3 → fulls at 1, 5, 9 (1 + ceil(9/4))
+	if fulls != 3 {
+		t.Fatalf("got %d full snapshots, want 3", fulls)
+	}
+}
+
+func TestChainCompactsOnDeltaBytes(t *testing.T) {
+	s := New()
+	for i := uint64(0); i < 10; i++ {
+		s.Put(i, []byte("small"))
+	}
+	c := NewChain(ChainPolicy{MaxDeltas: 1000, MaxDeltaFraction: 0.5})
+	c.Checkpoint(s) // base
+	big := make([]byte, 4096)
+	s.Put(100, big) // delta alone exceeds half the tiny base
+	c.Checkpoint(s)
+	s.Put(101, []byte("x"))
+	if _, full := c.Checkpoint(s); !full {
+		t.Fatal("chain did not compact after oversized deltas")
+	}
+}
+
+func TestChainRebuildMatchesLive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	c := NewChain(DefaultChainPolicy())
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 20; i++ {
+			k := uint64(rng.Intn(200))
+			if rng.Intn(4) == 0 {
+				s.Delete(k)
+			} else {
+				v := make([]byte, rng.Intn(16)+1)
+				rng.Read(v)
+				s.Put(k, v)
+			}
+		}
+		c.Checkpoint(s)
+		r, err := Rebuild(c.Blobs())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		assertEqualStores(t, s, r)
+	}
+}
+
+func TestRebuildEmpty(t *testing.T) {
+	if _, err := Rebuild(nil); err == nil {
+		t.Fatal("Rebuild(nil) did not error")
+	}
+}
+
+func TestChainTotalBytes(t *testing.T) {
+	s := New()
+	c := NewChain(ChainPolicy{MaxDeltas: 100})
+	s.Put(1, []byte("aaaa"))
+	c.Checkpoint(s)
+	s.Put(2, []byte("bbbb"))
+	c.Checkpoint(s)
+	want := 0
+	for _, b := range c.Blobs() {
+		want += len(b)
+	}
+	if c.TotalBytes() != want || want == 0 {
+		t.Fatalf("TotalBytes=%d want %d", c.TotalBytes(), want)
+	}
+}

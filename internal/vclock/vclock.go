@@ -1,0 +1,151 @@
+// Package vclock provides the logical-clock machinery the HMNR
+// communication-induced checkpointing protocol piggybacks on every message:
+// a Lamport scalar clock, an integer vector clock counting checkpoints per
+// process, and dense boolean vectors (bitsets) for the sent_to / taken /
+// greater flags.
+//
+// Encodings are deliberately compact (uvarint vectors, bit-packed booleans)
+// so that the measured message overhead matches the order of magnitude the
+// paper reports rather than a naive fixed-width blowup.
+package vclock
+
+import (
+	"checkmate/internal/wire"
+)
+
+// Vector is an integer vector clock with one entry per process (operator
+// instance in our setting).
+type Vector []uint64
+
+// NewVector returns a zeroed vector for n processes.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// MergeMax sets v[i] = max(v[i], o[i]) element-wise. The vectors must have
+// the same length.
+func (v Vector) MergeMax(o Vector) {
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// Encode appends the vector to enc (length-prefixed uvarints).
+func (v Vector) Encode(enc *wire.Encoder) { enc.UvarintSlice(v) }
+
+// DecodeVector reads a vector written by Encode.
+func DecodeVector(dec *wire.Decoder) (Vector, error) {
+	vs := dec.UvarintSlice()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return Vector(vs), nil
+}
+
+// Bits is a dense boolean vector over n processes.
+type Bits struct {
+	n     int
+	words []uint64
+}
+
+// NewBits returns a cleared bitset for n processes.
+func NewBits(n int) *Bits {
+	return &Bits{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len reports the number of tracked processes.
+func (b *Bits) Len() int { return b.n }
+
+// Set sets bit i to val.
+func (b *Bits) Set(i int, val bool) {
+	if val {
+		b.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Get reports bit i.
+func (b *Bits) Get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Clear resets all bits to false.
+func (b *Bits) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Any reports whether any bit is set.
+func (b *Bits) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Or sets b |= o.
+func (b *Bits) Or(o *Bits) {
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// Clone returns a copy of b.
+func (b *Bits) Clone() *Bits {
+	c := &Bits{n: b.n, words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// Encode appends the bit-packed vector to enc.
+func (b *Bits) Encode(enc *wire.Encoder) {
+	enc.Uvarint(uint64(b.n))
+	for _, w := range b.words {
+		enc.Uint64(w)
+	}
+}
+
+// DecodeBits reads a bitset written by Encode.
+func DecodeBits(dec *wire.Decoder) (*Bits, error) {
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, wire.ErrCorrupt
+	}
+	b := NewBits(n)
+	for i := range b.words {
+		b.words[i] = dec.Uint64()
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// EncodedSize reports the number of bytes Encode will produce, used by the
+// message-overhead accounting.
+func (b *Bits) EncodedSize() int {
+	return uvarintLen(uint64(b.n)) + 8*len(b.words)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

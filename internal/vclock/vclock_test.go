@@ -1,0 +1,136 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"checkmate/internal/wire"
+)
+
+func TestVectorMergeMax(t *testing.T) {
+	a := Vector{1, 5, 3}
+	b := Vector{4, 2, 3}
+	a.MergeMax(b)
+	want := Vector{4, 5, 3}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	a := Vector{1, 2}
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	f := func(raw []uint64) bool {
+		v := Vector(raw)
+		e := wire.NewEncoder(nil)
+		v.Encode(e)
+		got, err := DecodeVector(wire.NewDecoder(e.Bytes()))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsBasic(t *testing.T) {
+	b := NewBits(130)
+	if b.Any() {
+		t.Fatal("fresh bitset has bits set")
+	}
+	b.Set(0, true)
+	b.Set(64, true)
+	b.Set(129, true)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) {
+		t.Fatal("set bits not readable")
+	}
+	if b.Get(1) || b.Get(63) || b.Get(128) {
+		t.Fatal("unset bits read as set")
+	}
+	if !b.Any() {
+		t.Fatal("Any = false after Set")
+	}
+	b.Set(64, false)
+	if b.Get(64) {
+		t.Fatal("bit not cleared")
+	}
+	b.Clear()
+	if b.Any() {
+		t.Fatal("Clear left bits set")
+	}
+}
+
+func TestBitsOrClone(t *testing.T) {
+	a := NewBits(10)
+	b := NewBits(10)
+	a.Set(1, true)
+	b.Set(7, true)
+	c := a.Clone()
+	c.Or(b)
+	if !c.Get(1) || !c.Get(7) {
+		t.Fatal("Or missing bits")
+	}
+	if a.Get(7) {
+		t.Fatal("Or mutated operand source")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(idxs []uint16, nRaw uint16) bool {
+		n := int(nRaw)%1000 + 1
+		b := NewBits(n)
+		for _, ix := range idxs {
+			b.Set(int(ix)%n, true)
+		}
+		e := wire.NewEncoder(nil)
+		b.Encode(e)
+		if e.Len() != b.EncodedSize() {
+			return false
+		}
+		got, err := DecodeBits(wire.NewDecoder(e.Bytes()))
+		if err != nil || got.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.Get(i) != b.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBitsCorrupt(t *testing.T) {
+	e := wire.NewEncoder(nil)
+	e.Uvarint(1 << 30) // absurd length
+	if _, err := DecodeBits(wire.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("expected corrupt error")
+	}
+	e.Reset()
+	e.Uvarint(128) // claims 128 bits but no words follow
+	if _, err := DecodeBits(wire.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("expected short-buffer error")
+	}
+}

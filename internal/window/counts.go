@@ -1,0 +1,142 @@
+package window
+
+import (
+	"sort"
+
+	"checkmate/internal/wire"
+)
+
+// Counts is a per-key, per-window counter table with deterministic
+// snapshot/restore, built for operators implementing windowed counts (Q12's
+// tumbling count, Q5's sliding hot-items count).
+type Counts struct {
+	// m maps window start -> key -> count. Grouping by window makes expiry
+	// O(windows) instead of O(keys).
+	m map[int64]map[uint64]uint64
+}
+
+// NewCounts returns an empty counter table.
+func NewCounts() *Counts {
+	return &Counts{m: make(map[int64]map[uint64]uint64)}
+}
+
+// Add increments (key, window start) by delta.
+func (c *Counts) Add(start int64, key uint64, delta uint64) {
+	byKey := c.m[start]
+	if byKey == nil {
+		byKey = make(map[uint64]uint64)
+		c.m[start] = byKey
+	}
+	byKey[key] += delta
+}
+
+// Get returns the count of (key, window start).
+func (c *Counts) Get(start int64, key uint64) uint64 { return c.m[start][key] }
+
+// Windows returns all window start times with live counters, ascending.
+func (c *Counts) Windows() []int64 {
+	starts := make([]int64, 0, len(c.m))
+	for s := range c.m {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts
+}
+
+// Entry is one (key, count) pair of a window.
+type Entry struct {
+	Key   uint64
+	Count uint64
+}
+
+// WindowEntries returns the entries of one window sorted by key.
+func (c *Counts) WindowEntries(start int64) []Entry {
+	byKey := c.m[start]
+	if len(byKey) == 0 {
+		return nil
+	}
+	es := make([]Entry, 0, len(byKey))
+	for k, n := range byKey {
+		es = append(es, Entry{Key: k, Count: n})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+	return es
+}
+
+// Max returns the entry with the highest count of one window (ties broken by
+// smaller key) and whether the window has any entries.
+func (c *Counts) Max(start int64) (Entry, bool) {
+	byKey := c.m[start]
+	if len(byKey) == 0 {
+		return Entry{}, false
+	}
+	var best Entry
+	first := true
+	for k, n := range byKey {
+		if first || n > best.Count || (n == best.Count && k < best.Key) {
+			best = Entry{Key: k, Count: n}
+			first = false
+		}
+	}
+	return best, true
+}
+
+// Expire drops every window with start < before and returns the number of
+// windows dropped.
+func (c *Counts) Expire(before int64) int {
+	n := 0
+	for s := range c.m {
+		if s < before {
+			delete(c.m, s)
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of live windows.
+func (c *Counts) Len() int { return len(c.m) }
+
+// Snapshot appends the full table to enc, deterministically (windows and
+// keys in ascending order).
+func (c *Counts) Snapshot(enc *wire.Encoder) {
+	starts := c.Windows()
+	enc.Uvarint(uint64(len(starts)))
+	for _, s := range starts {
+		enc.Varint(s)
+		es := c.WindowEntries(s)
+		enc.Uvarint(uint64(len(es)))
+		for _, e := range es {
+			enc.Uvarint(e.Key)
+			enc.Uvarint(e.Count)
+		}
+	}
+}
+
+// Restore replaces the table contents from dec.
+func (c *Counts) Restore(dec *wire.Decoder) error {
+	nw := int(dec.Uvarint())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	m := make(map[int64]map[uint64]uint64, nw)
+	for i := 0; i < nw; i++ {
+		start := dec.Varint()
+		ne := int(dec.Uvarint())
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		byKey := make(map[uint64]uint64, ne)
+		for j := 0; j < ne; j++ {
+			k := dec.Uvarint()
+			n := dec.Uvarint()
+			byKey[k] = n
+		}
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		m[start] = byKey
+	}
+	c.m = m
+	return nil
+}

@@ -1,0 +1,151 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"checkmate/internal/wire"
+)
+
+func TestCountsAddGet(t *testing.T) {
+	c := NewCounts()
+	c.Add(0, 1, 2)
+	c.Add(0, 1, 3)
+	c.Add(10, 1, 1)
+	if got := c.Get(0, 1); got != 5 {
+		t.Fatalf("Get(0,1) = %d, want 5", got)
+	}
+	if got := c.Get(10, 1); got != 1 {
+		t.Fatalf("Get(10,1) = %d, want 1", got)
+	}
+	if got := c.Get(0, 2); got != 0 {
+		t.Fatalf("Get(0,2) = %d, want 0", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCountsWindowsSorted(t *testing.T) {
+	c := NewCounts()
+	for _, s := range []int64{30, 10, 20} {
+		c.Add(s, 1, 1)
+	}
+	ws := c.Windows()
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Fatalf("Windows() = %v, want %v", ws, want)
+		}
+	}
+}
+
+func TestCountsWindowEntriesSorted(t *testing.T) {
+	c := NewCounts()
+	c.Add(0, 9, 1)
+	c.Add(0, 3, 2)
+	c.Add(0, 7, 3)
+	es := c.WindowEntries(0)
+	if len(es) != 3 || es[0].Key != 3 || es[1].Key != 7 || es[2].Key != 9 {
+		t.Fatalf("WindowEntries = %+v", es)
+	}
+	if es := c.WindowEntries(99); es != nil {
+		t.Fatalf("entries of missing window = %+v", es)
+	}
+}
+
+func TestCountsMax(t *testing.T) {
+	c := NewCounts()
+	if _, ok := c.Max(0); ok {
+		t.Fatal("Max of empty window reported ok")
+	}
+	c.Add(0, 1, 5)
+	c.Add(0, 2, 9)
+	c.Add(0, 3, 9) // tie: smaller key wins
+	best, ok := c.Max(0)
+	if !ok || best.Key != 2 || best.Count != 9 {
+		t.Fatalf("Max = %+v, %v", best, ok)
+	}
+}
+
+func TestCountsExpire(t *testing.T) {
+	c := NewCounts()
+	c.Add(0, 1, 1)
+	c.Add(10, 1, 1)
+	c.Add(20, 1, 1)
+	if n := c.Expire(15); n != 2 {
+		t.Fatalf("Expire dropped %d windows, want 2", n)
+	}
+	if c.Len() != 1 || c.Get(20, 1) != 1 {
+		t.Fatalf("post-expire state wrong: len=%d", c.Len())
+	}
+}
+
+func TestCountsSnapshotRoundTrip(t *testing.T) {
+	c := NewCounts()
+	c.Add(0, 1, 5)
+	c.Add(0, 2, 7)
+	c.Add(-10, 3, 1)
+	enc := wire.NewEncoder(nil)
+	c.Snapshot(enc)
+	r := NewCounts()
+	if err := r.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if r.Get(0, 1) != 5 || r.Get(0, 2) != 7 || r.Get(-10, 3) != 1 || r.Len() != 2 {
+		t.Fatalf("restored contents wrong")
+	}
+	// Determinism: re-snapshot must be byte-identical.
+	enc2 := wire.NewEncoder(nil)
+	r.Snapshot(enc2)
+	if string(enc.Bytes()) != string(enc2.Bytes()) {
+		t.Fatal("snapshot not deterministic after restore")
+	}
+}
+
+func TestCountsRestoreTruncated(t *testing.T) {
+	c := NewCounts()
+	for i := int64(0); i < 10; i++ {
+		c.Add(i*10, uint64(i), uint64(i)+1)
+	}
+	enc := wire.NewEncoder(nil)
+	c.Snapshot(enc)
+	blob := enc.Bytes()
+	for cut := 1; cut < len(blob); cut += 5 {
+		if err := NewCounts().Restore(wire.NewDecoder(blob[:cut])); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) restored without error", cut)
+		}
+	}
+}
+
+// Property: snapshot/restore round-trips arbitrary count tables.
+func TestQuickCountsRoundTrip(t *testing.T) {
+	type add struct {
+		Start int64
+		Key   uint64
+		N     uint16
+	}
+	f := func(adds []add) bool {
+		c := NewCounts()
+		for _, a := range adds {
+			c.Add(a.Start%16, a.Key%16, uint64(a.N))
+		}
+		enc := wire.NewEncoder(nil)
+		c.Snapshot(enc)
+		r := NewCounts()
+		if err := r.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+			return false
+		}
+		for _, s := range c.Windows() {
+			for _, e := range c.WindowEntries(s) {
+				if r.Get(s, e.Key) != e.Count {
+					return false
+				}
+			}
+		}
+		return r.Len() == c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package window provides processing-time window assigners and snapshottable
+// windowed accumulators for streaming operators.
+//
+// The paper's workload uses windowed joins (NexMark Q8) and windowed counts
+// (Q12, and the sliding-window hot-items query Q5). This package factors the
+// window arithmetic and the per-key/per-window state bookkeeping out of the
+// query operators:
+//
+//   - Tumbling and Sliding assign timestamps to window start times;
+//   - Session tracks gap-separated activity intervals per key;
+//   - Counts is a per-key, per-window counter table with deterministic
+//     snapshot/restore and expiry, built for the engine's Operator contract.
+//
+// All windows are identified by their start time in nanoseconds; a window
+// [start, start+Size) fires when processing time passes its end.
+package window
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"checkmate/internal/wire"
+)
+
+// Tumbling assigns each timestamp to exactly one fixed-size window.
+type Tumbling struct {
+	// Size is the window length. Must be positive.
+	Size time.Duration
+}
+
+// Start returns the start of the window containing ts (ns).
+func (w Tumbling) Start(ts int64) int64 {
+	size := int64(w.Size)
+	if size <= 0 {
+		panic("window: Tumbling.Size must be positive")
+	}
+	start := ts - ts%size
+	if ts < 0 && ts%size != 0 {
+		start -= size
+	}
+	return start
+}
+
+// End returns the end (exclusive) of the window starting at start.
+func (w Tumbling) End(start int64) int64 { return start + int64(w.Size) }
+
+// Sliding assigns each timestamp to Size/Slide overlapping windows.
+type Sliding struct {
+	// Size is the window length; Slide is the distance between consecutive
+	// window starts. Size must be a positive multiple of Slide.
+	Size, Slide time.Duration
+}
+
+// Validate checks the size/slide relationship.
+func (w Sliding) Validate() error {
+	if w.Slide <= 0 || w.Size <= 0 {
+		return fmt.Errorf("window: sliding size and slide must be positive (size=%v slide=%v)", w.Size, w.Slide)
+	}
+	if w.Size%w.Slide != 0 {
+		return fmt.Errorf("window: sliding size %v is not a multiple of slide %v", w.Size, w.Slide)
+	}
+	return nil
+}
+
+// Assign appends to dst the start times of every window containing ts,
+// oldest first, and returns the extended slice. Size/Slide windows are
+// assigned.
+func (w Sliding) Assign(dst []int64, ts int64) []int64 {
+	size, slide := int64(w.Size), int64(w.Slide)
+	if size <= 0 || slide <= 0 || size%slide != 0 {
+		panic("window: invalid Sliding configuration (call Validate)")
+	}
+	last := ts - ts%slide
+	if ts < 0 && ts%slide != 0 {
+		last -= slide
+	}
+	for start := last - size + slide; start <= last; start += slide {
+		dst = append(dst, start)
+	}
+	return dst
+}
+
+// End returns the end (exclusive) of the window starting at start.
+func (w Sliding) End(start int64) int64 { return start + int64(w.Size) }
+
+// Interval is one closed activity interval of a session.
+type Interval struct {
+	// Start is the first event timestamp of the session; End is the last
+	// event timestamp plus the gap (the session closes when time passes
+	// End).
+	Start, End int64
+	// Count is the number of events merged into the session.
+	Count uint64
+}
+
+// Session tracks gap-separated sessions per key. Two events of the same key
+// belong to one session iff they are within Gap of each other.
+type Session struct {
+	// Gap is the inactivity period that closes a session. Must be positive.
+	Gap time.Duration
+
+	open map[uint64][]Interval
+}
+
+// NewSession returns an empty session tracker.
+func NewSession(gap time.Duration) *Session {
+	if gap <= 0 {
+		panic("window: session gap must be positive")
+	}
+	return &Session{Gap: gap, open: make(map[uint64][]Interval)}
+}
+
+// Add merges an event at ts into key's sessions, extending or joining
+// intervals that overlap [ts, ts+Gap).
+func (s *Session) Add(key uint64, ts int64) {
+	gap := int64(s.Gap)
+	nw := Interval{Start: ts, End: ts + gap, Count: 1}
+	ivs := s.open[key]
+	merged := ivs[:0]
+	for _, iv := range ivs {
+		// Two intervals merge when they overlap.
+		if iv.End >= nw.Start && nw.End >= iv.Start {
+			if iv.Start < nw.Start {
+				nw.Start = iv.Start
+			}
+			if iv.End > nw.End {
+				nw.End = iv.End
+			}
+			nw.Count += iv.Count
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+	merged = append(merged, nw)
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Start < merged[j].Start })
+	s.open[key] = merged
+}
+
+// Sweep removes and returns every session of every key that closed before
+// now (End <= now), sorted by key then start.
+func (s *Session) Sweep(now int64) map[uint64][]Interval {
+	var closed map[uint64][]Interval
+	for key, ivs := range s.open {
+		keep := ivs[:0]
+		for _, iv := range ivs {
+			if iv.End <= now {
+				if closed == nil {
+					closed = make(map[uint64][]Interval)
+				}
+				closed[key] = append(closed[key], iv)
+			} else {
+				keep = append(keep, iv)
+			}
+		}
+		if len(keep) == 0 {
+			delete(s.open, key)
+		} else {
+			s.open[key] = keep
+		}
+	}
+	return closed
+}
+
+// OpenSessions reports the total number of open sessions across keys.
+func (s *Session) OpenSessions() int {
+	n := 0
+	for _, ivs := range s.open {
+		n += len(ivs)
+	}
+	return n
+}
+
+// Open returns the open intervals of one key (sorted by start). The returned
+// slice is owned by the tracker.
+func (s *Session) Open(key uint64) []Interval { return s.open[key] }
+
+// Snapshot appends the tracker state to enc, deterministically (keys and
+// intervals in ascending order).
+func (s *Session) Snapshot(enc *wire.Encoder) {
+	enc.Varint(int64(s.Gap))
+	keys := make([]uint64, 0, len(s.open))
+	for k := range s.open {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	enc.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		ivs := s.open[k]
+		enc.Uvarint(k)
+		enc.Uvarint(uint64(len(ivs)))
+		for _, iv := range ivs {
+			enc.Varint(iv.Start)
+			enc.Varint(iv.End)
+			enc.Uvarint(iv.Count)
+		}
+	}
+}
+
+// Restore replaces the tracker state from dec.
+func (s *Session) Restore(dec *wire.Decoder) error {
+	s.Gap = time.Duration(dec.Varint())
+	nk := int(dec.Uvarint())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	open := make(map[uint64][]Interval, nk)
+	for i := 0; i < nk; i++ {
+		k := dec.Uvarint()
+		ni := int(dec.Uvarint())
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		ivs := make([]Interval, 0, ni)
+		for j := 0; j < ni; j++ {
+			ivs = append(ivs, Interval{Start: dec.Varint(), End: dec.Varint(), Count: dec.Uvarint()})
+		}
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		open[k] = ivs
+	}
+	s.open = open
+	return nil
+}

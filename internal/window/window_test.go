@@ -1,0 +1,210 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"checkmate/internal/wire"
+)
+
+func TestTumblingStart(t *testing.T) {
+	w := Tumbling{Size: 10 * time.Nanosecond}
+	cases := []struct{ ts, want int64 }{
+		{0, 0}, {1, 0}, {9, 0}, {10, 10}, {19, 10}, {20, 20},
+		{-1, -10}, {-10, -10}, {-11, -20},
+	}
+	for _, c := range cases {
+		if got := w.Start(c.ts); got != c.want {
+			t.Errorf("Start(%d) = %d, want %d", c.ts, got, c.want)
+		}
+	}
+	if w.End(10) != 20 {
+		t.Errorf("End(10) = %d, want 20", w.End(10))
+	}
+}
+
+// Property: every timestamp falls inside its tumbling window, and windows
+// tile the line (start is a multiple of size).
+func TestQuickTumblingContains(t *testing.T) {
+	w := Tumbling{Size: 7 * time.Nanosecond}
+	f := func(ts int64) bool {
+		start := w.Start(ts)
+		return start <= ts && ts < w.End(start) && ((start%7)+7)%7 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlidingValidate(t *testing.T) {
+	if err := (Sliding{Size: 10, Slide: 5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Sliding{Size: 10, Slide: 3}).Validate(); err == nil {
+		t.Fatal("non-multiple slide accepted")
+	}
+	if err := (Sliding{Size: 0, Slide: 1}).Validate(); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestSlidingAssign(t *testing.T) {
+	w := Sliding{Size: 10 * time.Nanosecond, Slide: 5 * time.Nanosecond}
+	got := w.Assign(nil, 12)
+	want := []int64{5, 10}
+	if len(got) != len(want) {
+		t.Fatalf("Assign(12) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Assign(12) = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: sliding assignment returns exactly Size/Slide windows, each
+// containing ts, in ascending order.
+func TestQuickSlidingAssign(t *testing.T) {
+	w := Sliding{Size: 12 * time.Nanosecond, Slide: 4 * time.Nanosecond}
+	f := func(ts int64) bool {
+		starts := w.Assign(nil, ts)
+		if len(starts) != 3 {
+			return false
+		}
+		for i, s := range starts {
+			if !(s <= ts && ts < w.End(s)) {
+				return false
+			}
+			if i > 0 && s != starts[i-1]+4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionMergesWithinGap(t *testing.T) {
+	s := NewSession(10 * time.Nanosecond)
+	s.Add(1, 100)
+	s.Add(1, 105) // within gap: merge
+	if n := s.OpenSessions(); n != 1 {
+		t.Fatalf("open sessions = %d, want 1", n)
+	}
+	iv := s.Open(1)[0]
+	if iv.Start != 100 || iv.End != 115 || iv.Count != 2 {
+		t.Fatalf("merged interval = %+v", iv)
+	}
+	s.Add(1, 200) // far away: new session
+	if n := s.OpenSessions(); n != 2 {
+		t.Fatalf("open sessions = %d, want 2", n)
+	}
+}
+
+func TestSessionBridgingMerge(t *testing.T) {
+	s := NewSession(10 * time.Nanosecond)
+	s.Add(1, 100)
+	s.Add(1, 118)
+	if n := s.OpenSessions(); n != 2 {
+		t.Fatalf("open sessions = %d, want 2 before bridge", n)
+	}
+	s.Add(1, 109) // within gap of both: bridges them
+	if n := s.OpenSessions(); n != 1 {
+		t.Fatalf("open sessions = %d, want 1 after bridge", n)
+	}
+	iv := s.Open(1)[0]
+	if iv.Start != 100 || iv.End != 128 || iv.Count != 3 {
+		t.Fatalf("bridged interval = %+v", iv)
+	}
+}
+
+func TestSessionSweep(t *testing.T) {
+	s := NewSession(10 * time.Nanosecond)
+	s.Add(1, 100)
+	s.Add(2, 100)
+	s.Add(2, 150)
+	closed := s.Sweep(120)
+	if len(closed) != 2 {
+		t.Fatalf("closed keys = %d, want 2", len(closed))
+	}
+	if len(closed[1]) != 1 || closed[1][0].Start != 100 {
+		t.Fatalf("closed[1] = %+v", closed[1])
+	}
+	if s.OpenSessions() != 1 {
+		t.Fatalf("open sessions after sweep = %d, want 1", s.OpenSessions())
+	}
+	if got := s.Sweep(120); got != nil {
+		t.Fatalf("second sweep returned %v", got)
+	}
+}
+
+func TestSessionSnapshotRoundTrip(t *testing.T) {
+	s := NewSession(10 * time.Nanosecond)
+	s.Add(1, 100)
+	s.Add(1, 200)
+	s.Add(7, 50)
+	enc := wire.NewEncoder(nil)
+	s.Snapshot(enc)
+	r := NewSession(time.Nanosecond)
+	if err := r.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if r.Gap != s.Gap || r.OpenSessions() != s.OpenSessions() {
+		t.Fatalf("restored gap=%v sessions=%d", r.Gap, r.OpenSessions())
+	}
+	if ivs := r.Open(1); len(ivs) != 2 || ivs[0].Start != 100 || ivs[1].Start != 200 {
+		t.Fatalf("restored intervals = %+v", ivs)
+	}
+	// Determinism: re-snapshot must be byte-identical.
+	enc2 := wire.NewEncoder(nil)
+	r.Snapshot(enc2)
+	if string(enc.Bytes()) != string(enc2.Bytes()) {
+		t.Fatal("session snapshot not deterministic")
+	}
+}
+
+func TestSessionRestoreTruncated(t *testing.T) {
+	s := NewSession(10 * time.Nanosecond)
+	for i := int64(0); i < 8; i++ {
+		s.Add(uint64(i), i*100)
+	}
+	enc := wire.NewEncoder(nil)
+	s.Snapshot(enc)
+	blob := enc.Bytes()
+	for cut := 1; cut < len(blob); cut += 4 {
+		if err := NewSession(time.Nanosecond).Restore(wire.NewDecoder(blob[:cut])); err == nil {
+			t.Fatalf("truncated session snapshot (%d bytes) restored", cut)
+		}
+	}
+}
+
+// Property: per key, open intervals are always disjoint and separated by
+// more than the gap, regardless of insertion order.
+func TestQuickSessionInvariants(t *testing.T) {
+	f := func(tss []int64) bool {
+		s := NewSession(8 * time.Nanosecond)
+		total := uint64(0)
+		for _, ts := range tss {
+			s.Add(1, ts%1000)
+			total++
+		}
+		ivs := s.Open(1)
+		var count uint64
+		for i, iv := range ivs {
+			count += iv.Count
+			if iv.End-iv.Start < 8 {
+				return false // interval shorter than one gap
+			}
+			if i > 0 && ivs[i-1].End >= iv.Start {
+				return false // overlapping or touching intervals must merge
+			}
+		}
+		return len(tss) == 0 || count == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package wire implements the binary encoding used on every link of the
+// dataflow graph. Messages that cross an operator boundary are fully
+// serialized and deserialized so that the byte volume a protocol puts on the
+// wire (payloads, piggybacked protocol state, markers) translates into real
+// CPU work and measurable overhead, mirroring the network of the paper's
+// testbed.
+//
+// The format is a compact uvarint-based encoding with no reflection and no
+// allocation on the encode path beyond the destination buffer.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer is returned by Decoder methods when the input is exhausted
+// before the requested value could be read.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// ErrCorrupt is returned when the input bytes cannot be interpreted as the
+// requested value.
+var ErrCorrupt = errors.New("wire: corrupt input")
+
+// Encoder appends primitive values to a byte slice. The zero value is ready
+// to use; Bytes returns the accumulated encoding.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder writing into buf (which may be nil). Passing
+// a reusable buffer avoids allocation on hot paths.
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf[:0]} }
+
+// Reset discards the accumulated encoding but keeps the buffer capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the accumulated encoding. The slice aliases the encoder's
+// internal buffer and is invalidated by the next Append/Reset.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len reports the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uvarint appends v in unsigned varint encoding.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends v in zig-zag varint encoding.
+func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Uint64 appends v as 8 fixed bytes (little endian).
+func (e *Encoder) Uint64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// Uint32 appends v as 4 fixed bytes (little endian).
+func (e *Encoder) Uint32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// Byte appends a single byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Float64 appends an IEEE-754 double as 8 fixed bytes.
+func (e *Encoder) Float64(f float64) { e.Uint64(math.Float64bits(f)) }
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes2 appends a length-prefixed byte slice.
+func (e *Encoder) Bytes2(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Raw appends b verbatim with no length prefix.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// UvarintSlice appends a length-prefixed slice of uvarints.
+func (e *Encoder) UvarintSlice(vs []uint64) {
+	e.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.Uvarint(v)
+	}
+}
+
+// Decoder reads primitive values from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder reading from buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err reports the first error encountered while decoding, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(err error) { //nolint:unparam
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Uvarint reads an unsigned varint. On error it records the error and
+// returns 0.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a zig-zag varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Uint64 reads 8 fixed bytes.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// Uint32 reads 4 fixed bytes.
+func (d *Decoder) Uint32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 4 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// Byte reads one byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 1 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Bool reads one byte as a boolean.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// Float64 reads an IEEE-754 double.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(d.Remaining()) < n {
+		d.fail(ErrShortBuffer)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Bytes reads a length-prefixed byte slice. The returned slice aliases the
+// decoder's input.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(d.Remaining()) < n {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// UvarintSlice reads a length-prefixed slice of uvarints.
+func (d *Decoder) UvarintSlice() []uint64 {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) { // each element is at least one byte
+		d.fail(ErrCorrupt)
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = d.Uvarint()
+	}
+	return vs
+}
+
+// Value is the interface implemented by every record payload that flows
+// through the dataflow graph. Implementations must be deterministic:
+// Marshal followed by the registered decode function must reproduce an
+// equivalent value.
+type Value interface {
+	// TypeID identifies the concrete type for decoding. IDs must be
+	// registered with RegisterType before any message of the type is sent.
+	TypeID() uint16
+	// MarshalWire appends the value's encoding to enc.
+	MarshalWire(enc *Encoder)
+}
+
+// DecodeFunc decodes a value previously written by MarshalWire.
+type DecodeFunc func(dec *Decoder) (Value, error)
+
+// typeRegistry maps TypeIDs to decoders. Registration happens during package
+// init of the payload packages; the map is read-only afterwards, so no lock
+// is needed on the hot path.
+var typeRegistry [1 << 10]DecodeFunc
+
+// RegisterType registers the decoder for a payload type. It panics if the id
+// is out of range or already taken, since that is a programming error that
+// must surface immediately.
+func RegisterType(id uint16, fn DecodeFunc) {
+	if int(id) >= len(typeRegistry) {
+		panic(fmt.Sprintf("wire: type id %d out of range", id))
+	}
+	if typeRegistry[id] != nil {
+		panic(fmt.Sprintf("wire: type id %d registered twice", id))
+	}
+	typeRegistry[id] = fn
+}
+
+// EncodeValue appends the type-tagged encoding of v to enc. A nil value is
+// encoded as type id 0.
+func EncodeValue(enc *Encoder, v Value) {
+	if v == nil {
+		enc.Uvarint(0)
+		return
+	}
+	enc.Uvarint(uint64(v.TypeID()))
+	v.MarshalWire(enc)
+}
+
+// DecodeValue reads a type-tagged value written by EncodeValue.
+func DecodeValue(dec *Decoder) (Value, error) {
+	id := dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if id == 0 {
+		return nil, nil
+	}
+	if id >= uint64(len(typeRegistry)) || typeRegistry[id] == nil {
+		return nil, fmt.Errorf("%w: unknown type id %d", ErrCorrupt, id)
+	}
+	return typeRegistry[id](dec)
+}

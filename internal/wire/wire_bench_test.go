@@ -1,0 +1,48 @@
+package wire
+
+import "testing"
+
+func BenchmarkEncodePrimitives(b *testing.B) {
+	enc := NewEncoder(make([]byte, 0, 256))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		enc.Uvarint(uint64(i))
+		enc.Varint(-int64(i))
+		enc.Uint64(0xdeadbeef)
+		enc.String("hello world")
+		enc.Bytes2([]byte{1, 2, 3, 4})
+	}
+}
+
+func BenchmarkDecodePrimitives(b *testing.B) {
+	enc := NewEncoder(nil)
+	enc.Uvarint(12345)
+	enc.Varint(-678)
+	enc.Uint64(0xdeadbeef)
+	enc.String("hello world")
+	enc.Bytes2([]byte{1, 2, 3, 4})
+	data := enc.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dec := NewDecoder(data)
+		_ = dec.Uvarint()
+		_ = dec.Varint()
+		_ = dec.Uint64()
+		_ = dec.String()
+		_ = dec.Bytes()
+	}
+}
+
+func BenchmarkValueRoundTrip(b *testing.B) {
+	v := &testValue{A: 42, B: "payload-string"}
+	enc := NewEncoder(make([]byte, 0, 128))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		EncodeValue(enc, v)
+		if _, err := DecodeValue(NewDecoder(enc.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

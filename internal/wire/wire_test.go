@@ -1,0 +1,248 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uvarint(0)
+	e.Uvarint(1)
+	e.Uvarint(math.MaxUint64)
+	e.Varint(-1)
+	e.Varint(42)
+	e.Varint(math.MinInt64)
+	e.Uint64(0xdeadbeefcafebabe)
+	e.Uint32(0x01020304)
+	e.Byte(0x7f)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float64(3.14159)
+	e.String("hello, 世界")
+	e.Bytes2([]byte{1, 2, 3})
+	e.UvarintSlice([]uint64{5, 6, 7})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d, want 0", got)
+	}
+	if got := d.Uvarint(); got != 1 {
+		t.Errorf("Uvarint = %d, want 1", got)
+	}
+	if got := d.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("Uvarint = %d, want max", got)
+	}
+	if got := d.Varint(); got != -1 {
+		t.Errorf("Varint = %d, want -1", got)
+	}
+	if got := d.Varint(); got != 42 {
+		t.Errorf("Varint = %d, want 42", got)
+	}
+	if got := d.Varint(); got != math.MinInt64 {
+		t.Errorf("Varint = %d, want min", got)
+	}
+	if got := d.Uint64(); got != 0xdeadbeefcafebabe {
+		t.Errorf("Uint64 = %x", got)
+	}
+	if got := d.Uint32(); got != 0x01020304 {
+		t.Errorf("Uint32 = %x", got)
+	}
+	if got := d.Byte(); got != 0x7f {
+		t.Errorf("Byte = %x", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("Bool = false, want true")
+	}
+	if got := d.Bool(); got {
+		t.Error("Bool = true, want false")
+	}
+	if got := d.Float64(); got != 3.14159 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := d.String(); got != "hello, 世界" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	got := d.UvarintSlice()
+	if len(got) != 3 || got[0] != 5 || got[1] != 6 || got[2] != 7 {
+		t.Errorf("UvarintSlice = %v", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	cases := []func(d *Decoder){
+		func(d *Decoder) { d.Uvarint() },
+		func(d *Decoder) { d.Varint() },
+		func(d *Decoder) { d.Uint64() },
+		func(d *Decoder) { d.Uint32() },
+		func(d *Decoder) { d.Byte() },
+		func(d *Decoder) { _ = d.String() },
+		func(d *Decoder) { d.Bytes() },
+	}
+	for i, read := range cases {
+		d := NewDecoder(nil)
+		read(d)
+		if d.Err() == nil {
+			t.Errorf("case %d: expected error on empty buffer", i)
+		}
+	}
+}
+
+func TestDecoderTruncatedString(t *testing.T) {
+	e := NewEncoder(nil)
+	e.String("hello world")
+	enc := e.Bytes()
+	d := NewDecoder(enc[:4]) // cut the body
+	_ = d.String()
+	if d.Err() == nil {
+		t.Fatal("expected error on truncated string")
+	}
+}
+
+func TestDecoderErrorSticky(t *testing.T) {
+	d := NewDecoder([]byte{})
+	_ = d.Uint64()
+	if d.Err() == nil {
+		t.Fatal("want error")
+	}
+	// Further reads must not panic and keep returning zero values.
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("after error Uvarint = %d, want 0", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("after error String = %q, want empty", got)
+	}
+}
+
+func TestUvarintSliceCorrupt(t *testing.T) {
+	// Claims 1000 elements but carries almost no bytes.
+	e := NewEncoder(nil)
+	e.Uvarint(1000)
+	e.Uvarint(1)
+	d := NewDecoder(e.Bytes())
+	_ = d.UvarintSlice()
+	if d.Err() == nil {
+		t.Fatal("expected corrupt-input error")
+	}
+}
+
+func TestQuickUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		e := NewEncoder(nil)
+		e.Uvarint(v)
+		d := NewDecoder(e.Bytes())
+		return d.Uvarint() == v && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVarintRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		e := NewEncoder(nil)
+		e.Varint(v)
+		d := NewDecoder(e.Bytes())
+		return d.Varint() == v && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStringBytesRoundTrip(t *testing.T) {
+	f := func(s string, b []byte) bool {
+		e := NewEncoder(nil)
+		e.String(s)
+		e.Bytes2(b)
+		d := NewDecoder(e.Bytes())
+		gs := d.String()
+		gb := d.Bytes()
+		return gs == s && bytes.Equal(gb, b) && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type testValue struct {
+	A uint64
+	B string
+}
+
+func (v *testValue) TypeID() uint16 { return 900 }
+func (v *testValue) MarshalWire(e *Encoder) {
+	e.Uvarint(v.A)
+	e.String(v.B)
+}
+
+func init() {
+	RegisterType(900, func(d *Decoder) (Value, error) {
+		v := &testValue{A: d.Uvarint(), B: d.String()}
+		return v, d.Err()
+	})
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	EncodeValue(e, &testValue{A: 7, B: "x"})
+	EncodeValue(e, nil)
+	d := NewDecoder(e.Bytes())
+	v, err := DecodeValue(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, ok := v.(*testValue)
+	if !ok || tv.A != 7 || tv.B != "x" {
+		t.Fatalf("got %#v", v)
+	}
+	v2, err := DecodeValue(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != nil {
+		t.Fatalf("nil value round trip = %#v", v2)
+	}
+}
+
+func TestDecodeValueUnknownType(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uvarint(901) // unregistered
+	if _, err := DecodeValue(NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("expected unknown type error")
+	}
+}
+
+func TestRegisterTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	RegisterType(900, func(d *Decoder) (Value, error) { return nil, nil })
+}
+
+func TestEncoderReuse(t *testing.T) {
+	e := NewEncoder(make([]byte, 0, 64))
+	e.Uvarint(1)
+	first := e.Len()
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	e.Uvarint(1)
+	if e.Len() != first {
+		t.Fatal("re-encoded length differs")
+	}
+}
