@@ -49,6 +49,7 @@ import (
 	"checkmate/internal/mq"
 	"checkmate/internal/objstore"
 	"checkmate/internal/protocol"
+	"checkmate/internal/statestore"
 	"checkmate/internal/wire"
 )
 
@@ -71,6 +72,16 @@ type (
 	// WatermarkHandler is implemented by operators reacting to event-time
 	// progress (watermark-fired windows).
 	WatermarkHandler = core.WatermarkHandler
+	// KeyedStateUser is implemented by operators that keep keyed state in
+	// the engine-owned state backend (Context.KeyedState), enabling
+	// incremental (base-plus-delta) checkpoints of that state.
+	KeyedStateUser = core.KeyedStateUser
+	// StateStore is the keyed state backend handed to KeyedStateUser
+	// operators.
+	StateStore = statestore.Store
+	// ChainPolicy tunes base-vs-delta compaction of incremental
+	// checkpoints (EngineConfig.ChainPolicy).
+	ChainPolicy = statestore.ChainPolicy
 	// Context is the runtime API available during callbacks.
 	Context = core.Context
 	// Event is one record delivered to an operator.

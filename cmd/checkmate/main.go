@@ -42,6 +42,7 @@ func main() {
 		flaky     = flag.Float64("store-failure-rate", 0, "transient object-store failure rate (0..1), retried by the engine")
 		output    = flag.String("output", "none", "sink output mode: none, immediate, transactional")
 		compress  = flag.Bool("compress", false, "deflate checkpoint blobs before upload")
+		delta     = flag.Bool("delta", false, "incremental (base+delta) checkpoints of keyed operator state")
 		scope     = flag.Bool("scope", false, "analyze the single-failure rollback scope after the run (UNC/CIC)")
 	)
 	flag.Parse()
@@ -79,6 +80,7 @@ func main() {
 		CheckpointGC:         *gc,
 		StoreFailureRate:     *flaky,
 		CompressCheckpoints:  *compress,
+		DeltaCheckpoints:     *delta,
 		AnalyzeRollbackScope: *scope,
 	}
 	switch *output {
@@ -149,6 +151,10 @@ func printResult(res checkmate.RunResult) {
 			s.RestartTime.Round(time.Millisecond), s.RecoveryTime.Round(time.Millisecond), s.Recovered)
 		fmt.Printf("  replayed / dropped: %d / %d, rollback distance %d records\n",
 			s.ReplayMessages, s.DupDropped, s.RollbackDistance)
+	}
+	if s.FullKeyedCkpts+s.DeltaKeyedCkpts > 0 {
+		fmt.Printf("  keyed snapshots:    %d full (%d B), %d delta (%d B), max chain %d\n",
+			s.FullKeyedCkpts, s.FullKeyedBytes, s.DeltaKeyedCkpts, s.DeltaKeyedBytes, s.MaxChainLen)
 	}
 	if s.GCCheckpoints > 0 {
 		fmt.Printf("  gc reclaimed:       %d checkpoints (%d bytes)\n", s.GCCheckpoints, s.GCBytes)

@@ -1,0 +1,3 @@
+module checkmate
+
+go 1.22

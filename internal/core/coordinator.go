@@ -19,8 +19,13 @@ type coordinator struct {
 	roundStart   map[uint64]time.Time
 	roundReports map[uint64]int
 	roundMetas   map[uint64][]recovery.Meta
-	// completedRound is the newest fully-reported coordinated round.
+	// completedRound is the newest fully-reported coordinated round whose
+	// blob chains are all durable — the newest round recovery can use.
 	completedRound uint64
+	// resolvedRound is the newest fully-reported round regardless of chain
+	// durability; it gates round initiation so an undurable round (an
+	// abandoned chain segment) does not stall checkpointing forever.
+	resolvedRound uint64
 	// initiatedRound is the newest round whose markers were injected.
 	initiatedRound uint64
 	lastInitiate   time.Time
@@ -41,9 +46,14 @@ func newCoordinator(eng *Engine) *coordinator {
 // metaWireSize approximates the encoded size of a checkpoint-metadata
 // report, charged as protocol bytes (the paper: "the uncoordinated protocol
 // requires the operators to send the metadata of every checkpoint they take
-// to the coordinator").
+// to the coordinator"). Incremental checkpoints report their whole blob-ref
+// chain, so longer chains cost proportionally more metadata.
 func metaWireSize(m *recovery.Meta) int {
-	return 24 + 12*(len(m.SentUpTo)+len(m.RecvUpTo)) + len(m.StoreKey)
+	n := 24 + 12*(len(m.SentUpTo)+len(m.RecvUpTo))
+	for _, k := range m.StoreKeys {
+		n += len(k) + 2
+	}
+	return n
 }
 
 // report registers a durable checkpoint. Called from upload goroutines.
@@ -59,19 +69,72 @@ func (c *coordinator) report(m recovery.Meta, dur time.Duration) {
 		c.roundMetas[m.Round] = append(c.roundMetas[m.Round], m)
 		c.roundReports[m.Round]++
 		if c.roundReports[m.Round] == c.eng.total {
-			if m.Round > c.completedRound {
-				c.completedRound = m.Round
+			if m.Round > c.resolvedRound {
+				c.resolvedRound = m.Round
 			}
 			if start, ok := c.roundStart[m.Round]; ok {
 				rec.RecordRoundDuration(time.Since(start))
 			}
-			// A completed round is durable at every instance: its epoch's
-			// transactional output commits.
-			c.eng.output.commitAll(m.Round, c.eng.nowNS())
+			// The round only becomes the recovery anchor if every blob its
+			// chains reference is durable; a round leaning on an abandoned
+			// chain segment could never be restored. The next round's fresh
+			// full bases (abandonChainBlob) will complete normally.
+			if m.Round > c.completedRound && c.roundChainsDurableLocked(m.Round) {
+				c.completedRound = m.Round
+				// A completed round is durable at every instance: its
+				// epoch's transactional output commits.
+				c.eng.output.commitAll(m.Round, c.eng.nowNS())
+			}
 		}
 	case KindUncoordinated, KindCIC:
 		rec.RecordCheckpointDuration(dur)
 	}
+}
+
+// durableKeysLocked returns the self keys of every reported checkpoint —
+// the blobs known to be in the object store.
+func (c *coordinator) durableKeysLocked() map[string]bool {
+	durable := make(map[string]bool, len(c.metas))
+	for i := range c.metas {
+		durable[c.metas[i].SelfKey()] = true
+	}
+	return durable
+}
+
+// roundChainsDurableLocked reports whether every chain segment referenced
+// by the given round's checkpoints is durable.
+func (c *coordinator) roundChainsDurableLocked(round uint64) bool {
+	durable := c.durableKeysLocked()
+	for _, m := range c.roundMetas[round] {
+		for _, k := range m.StoreKeys {
+			if !durable[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// usableMetasLocked returns the reported metadata whose blob chains are
+// fully durable. A checkpoint whose chain references an abandoned upload
+// can never be restored, so it must not anchor recovery lines, log
+// trimming, or output commits.
+func (c *coordinator) usableMetasLocked() []recovery.Meta {
+	durable := c.durableKeysLocked()
+	usable := make([]recovery.Meta, 0, len(c.metas))
+	for _, m := range c.metas {
+		ok := true
+		for _, k := range m.StoreKeys {
+			if !durable[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			usable = append(usable, m)
+		}
+	}
+	return usable
 }
 
 // run is the coordinator loop: round scheduling and log trimming.
@@ -105,16 +168,30 @@ func (c *coordinator) run(w *world) {
 
 // gcCoordinated deletes the checkpoints of rounds strictly older than the
 // newest completed round: a completed round is always a newer valid
-// recovery line, so older rounds can never be used again.
+// recovery line, so older rounds can never be used again. Blobs still
+// serving as chain segments (base or intermediate delta) of a retained
+// round's incremental checkpoint are kept until the chain compacts past
+// them.
 func (c *coordinator) gcCoordinated() {
 	c.mu.Lock()
+	retained := make(map[string]bool)
+	for round, metas := range c.roundMetas {
+		if round < c.completedRound {
+			continue
+		}
+		for _, m := range metas {
+			for _, k := range m.StoreKeys {
+				retained[k] = true
+			}
+		}
+	}
 	var victims []recovery.Meta
 	for round, metas := range c.roundMetas {
 		if round >= c.completedRound {
 			continue
 		}
 		for _, m := range metas {
-			if !c.gcDone[m.Ref] {
+			if !c.gcDone[m.Ref] && !retained[m.SelfKey()] {
 				c.gcDone[m.Ref] = true
 				victims = append(victims, m)
 			}
@@ -125,14 +202,26 @@ func (c *coordinator) gcCoordinated() {
 }
 
 // gcAgainstLine deletes every reported checkpoint strictly older than the
-// given recovery line. Safe for UNC/CIC because the maximal consistent line
-// is monotone as checkpoints accumulate.
+// given recovery line whose blob is no longer referenced by any retained
+// checkpoint's chain. Safe for UNC/CIC because the maximal consistent line
+// is monotone as checkpoints accumulate; superseded chain segments (bases
+// and deltas older than the line checkpoint's own chain) are reclaimed as
+// soon as the line's chains stop referencing them.
 func (c *coordinator) gcAgainstLine(line recovery.Line, metas []recovery.Meta) {
-	var victims []recovery.Meta
 	c.mu.Lock()
+	retained := make(map[string]bool)
 	for _, m := range metas {
-		gid := m.Ref.Instance
-		if gid < len(line) && m.Ref.Seq < line[gid].Seq && !c.gcDone[m.Ref] {
+		ref, ok := line[m.Ref.Instance]
+		if !ok || m.Ref.Seq >= ref.Seq {
+			for _, k := range m.StoreKeys {
+				retained[k] = true
+			}
+		}
+	}
+	var victims []recovery.Meta
+	for _, m := range metas {
+		ref, ok := line[m.Ref.Instance]
+		if ok && m.Ref.Seq < ref.Seq && !c.gcDone[m.Ref] && !retained[m.SelfKey()] {
 			c.gcDone[m.Ref] = true
 			victims = append(victims, m)
 		}
@@ -149,7 +238,7 @@ func (c *coordinator) deleteBlobs(victims []recovery.Meta) {
 	}
 	var bytes uint64
 	for _, m := range victims {
-		bytes += uint64(c.eng.cfg.Store.Delete(m.StoreKey))
+		bytes += uint64(c.eng.cfg.Store.Delete(m.SelfKey()))
 	}
 	c.eng.cfg.Recorder.AddGCReclaimed(len(victims), bytes)
 }
@@ -160,7 +249,7 @@ func (c *coordinator) deleteBlobs(victims []recovery.Meta) {
 func (c *coordinator) maybeStartRound(w *world) {
 	c.mu.Lock()
 	due := time.Since(c.lastInitiate) >= c.eng.cfg.CheckpointInterval
-	idle := c.initiatedRound == c.completedRound
+	idle := c.initiatedRound == c.resolvedRound
 	var round uint64
 	if due && idle {
 		c.initiatedRound++
@@ -191,7 +280,7 @@ func (c *coordinator) maybeStartRound(w *world) {
 // consistent line is monotone as checkpoints accumulate.
 func (c *coordinator) trimLogs() {
 	c.mu.Lock()
-	metas := append([]recovery.Meta(nil), c.metas...)
+	metas := c.usableMetasLocked()
 	c.mu.Unlock()
 	res := recovery.FindLine(c.eng.total, c.eng.channels, metas)
 	for _, ch := range c.eng.channels {
@@ -240,6 +329,7 @@ func (c *coordinator) resetAfterFailure(line recovery.Line) {
 		}
 	}
 	c.initiatedRound = c.completedRound
+	c.resolvedRound = c.completedRound
 	// Trigger the next round promptly after the restart, as production
 	// systems do after a restore.
 	c.lastInitiate = time.Time{}
@@ -265,7 +355,7 @@ func (c *coordinator) snapshotMetas() []recovery.Meta {
 func (c *coordinator) lineForRecovery() (recovery.Line, accounting, []recovery.Meta) {
 	kind := c.eng.cfg.Protocol.Kind()
 	c.mu.Lock()
-	metas := append([]recovery.Meta(nil), c.metas...)
+	metas := c.usableMetasLocked()
 	completed := c.completedRound
 	c.mu.Unlock()
 
@@ -304,7 +394,7 @@ func (c *coordinator) finalCommitOutput() {
 	}
 	kind := c.eng.cfg.Protocol.Kind()
 	c.mu.Lock()
-	metas := append([]recovery.Meta(nil), c.metas...)
+	metas := c.usableMetasLocked()
 	completed := c.completedRound
 	c.mu.Unlock()
 	switch {
@@ -321,7 +411,7 @@ func (c *coordinator) finalCommitOutput() {
 func (c *coordinator) endOfRunAccounting() accounting {
 	kind := c.eng.cfg.Protocol.Kind()
 	c.mu.Lock()
-	metas := append([]recovery.Meta(nil), c.metas...)
+	metas := c.usableMetasLocked()
 	completed := c.completedRound
 	c.mu.Unlock()
 	if kind == KindCoordinated {

@@ -13,6 +13,7 @@ import (
 	"checkmate/internal/msglog"
 	"checkmate/internal/objstore"
 	"checkmate/internal/recovery"
+	"checkmate/internal/statestore"
 	"checkmate/internal/wire"
 )
 
@@ -85,11 +86,23 @@ type Config struct {
 	CompressCheckpoints bool
 	// CheckpointGC enables checkpoint garbage collection: blobs strictly
 	// older than the globally stable recovery line (UNC/CIC) or the newest
-	// completed round (COOR) are deleted from the store. Safe because the
-	// maximal consistent line is monotone as checkpoints accumulate. The
-	// paper motivates this: invalid and superseded checkpoints occupy
-	// expensive storage that will never be used.
+	// completed round (COOR) are deleted from the store, except blobs still
+	// referenced as base or delta segments by a retained checkpoint's
+	// chain. Safe because the maximal consistent line is monotone as
+	// checkpoints accumulate. The paper motivates this: invalid and
+	// superseded checkpoints occupy expensive storage that will never be
+	// used.
 	CheckpointGC bool
+	// DeltaCheckpoints persists the keyed state backend of KeyedStateUser
+	// operators incrementally: each checkpoint uploads only the keys
+	// changed since the previous one, with a full base snapshot taken per
+	// ChainPolicy. Recovery composes the base-plus-delta chain. Frequent
+	// checkpoints then pay for state churn instead of total state size —
+	// the dominant synchronous-snapshot cost the paper measures.
+	DeltaCheckpoints bool
+	// ChainPolicy tunes base-vs-delta compaction when DeltaCheckpoints is
+	// set. The zero value selects statestore.DefaultChainPolicy.
+	ChainPolicy statestore.ChainPolicy
 	// Seed derives per-instance jitter.
 	Seed int64
 }
@@ -118,6 +131,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.CatchUpLag <= 0 {
 		c.CatchUpLag = 150 * time.Millisecond
+	}
+	if c.DeltaCheckpoints && c.ChainPolicy == (statestore.ChainPolicy{}) {
+		c.ChainPolicy = statestore.DefaultChainPolicy()
 	}
 }
 
@@ -285,8 +301,9 @@ func (e *Engine) Start() error {
 }
 
 // buildWorld constructs a fresh generation. line/blobs restore state when
-// recovering (nil on first start or gap recovery).
-func (e *Engine) buildWorld(line recovery.Line, blobs map[int][]byte) (*world, error) {
+// recovering (nil on first start or gap recovery); each instance's blobs
+// form its checkpoint chain, oldest first.
+func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world, error) {
 	e.gen++
 	w := &world{gen: e.gen, stopCh: make(chan struct{}), instances: make([]*instance, e.total)}
 	kind := e.cfg.Protocol.Kind()
@@ -321,6 +338,17 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][]byte) (*world, e
 				it.ctl = make(chan uint64, 4)
 			} else {
 				it.oper = spec.New(idx)
+				if _, ok := it.oper.(KeyedStateUser); ok {
+					it.kv = statestore.New()
+					it.kvEnc = wire.NewEncoder(make([]byte, 0, 1024))
+					if e.cfg.DeltaCheckpoints {
+						// A fresh chain starts with a full snapshot, so a
+						// rebuilt world never emits deltas against blobs
+						// that predate its own first checkpoint. Streaming:
+						// blobs live in the object store, not in memory.
+						it.kvChain = statestore.NewStreamingChain(e.cfg.ChainPolicy)
+					}
+				}
 				caps := make([]int, len(it.inChans))
 				for i, ic := range it.inChans {
 					if e.job.Edges[ic.edge].Feedback {
@@ -345,11 +373,11 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][]byte) (*world, e
 			}
 			if line != nil {
 				if ref := line[gid]; ref.Seq > 0 {
-					blob, ok := blobs[gid]
+					chain, ok := blobs[gid]
 					if !ok {
-						return nil, fmt.Errorf("core: missing checkpoint blob for %s[%d] %v", spec.Name, idx, ref)
+						return nil, fmt.Errorf("core: missing checkpoint blobs for %s[%d] %v", spec.Name, idx, ref)
 					}
-					if err := it.restore(blob); err != nil {
+					if err := it.restore(chain); err != nil {
 						return nil, err
 					}
 				}
@@ -545,9 +573,11 @@ func (e *Engine) recover(detectAt time.Time, failedWorld *world) {
 	go e.monitorCatchUp(w, detectAt)
 }
 
-// fetchBlobs downloads the state of every checkpoint on the line.
-func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int][]byte, error) {
-	keys := make(map[int]string)
+// fetchBlobs downloads the blob chain of every checkpoint on the line,
+// preserving chain order (base first). Every segment of every chain is
+// fetched concurrently.
+func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int][][]byte, error) {
+	keys := make(map[int][]string)
 	for gid, ref := range line {
 		if ref.Seq == 0 {
 			continue
@@ -555,7 +585,10 @@ func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int]
 		found := false
 		for i := range metas {
 			if metas[i].Ref == ref {
-				keys[gid] = metas[i].StoreKey
+				if len(metas[i].StoreKeys) == 0 {
+					return nil, fmt.Errorf("core: checkpoint %v has no blob refs", ref)
+				}
+				keys[gid] = metas[i].StoreKeys
 				found = true
 				break
 			}
@@ -564,40 +597,46 @@ func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int]
 			return nil, fmt.Errorf("core: no metadata for line checkpoint %v", ref)
 		}
 	}
-	blobs := make(map[int][]byte, len(keys))
+	blobs := make(map[int][][]byte, len(keys))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
 	sem := make(chan struct{}, 16)
-	for gid, key := range keys {
-		wg.Add(1)
-		go func(gid int, key string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var (
-				blob []byte
-				err  error
-			)
-			for attempt := 0; attempt < storeRetries; attempt++ {
-				if blob, err = e.cfg.Store.Get(key); err == nil {
-					break
+	for gid, chain := range keys {
+		blobs[gid] = make([][]byte, len(chain))
+		for i, key := range chain {
+			wg.Add(1)
+			go func(gid, i int, key string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				var (
+					blob []byte
+					err  error
+				)
+				for attempt := 0; attempt < storeRetries; attempt++ {
+					if blob, err = e.cfg.Store.Get(key); err == nil {
+						break
+					}
 				}
-			}
-			if err == nil && e.cfg.CompressCheckpoints {
-				blob, err = flateDecompress(blob)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-				return
-			}
-			blobs[gid] = blob
-		}(gid, key)
+				if err == nil && e.cfg.CompressCheckpoints {
+					blob, err = flateDecompress(blob)
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("core: fetch chain blob %s: %w", key, err)
+					return
+				}
+				blobs[gid][i] = blob
+			}(gid, i, key)
+		}
 	}
 	wg.Wait()
-	return blobs, firstErr
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return blobs, nil
 }
 
 // replayInFlight truncates stale log suffixes and re-injects the channel

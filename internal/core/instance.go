@@ -8,6 +8,7 @@ import (
 
 	"checkmate/internal/dedup"
 	"checkmate/internal/recovery"
+	"checkmate/internal/statestore"
 	"checkmate/internal/wire"
 )
 
@@ -62,6 +63,21 @@ type instance struct {
 
 	ctrl  Controller
 	dedup *dedup.Set
+
+	// kv is the engine-owned keyed state backend, non-nil iff the operator
+	// implements KeyedStateUser. kvChain drives incremental (base+delta)
+	// persistence of kv when Config.DeltaCheckpoints is set; chainKeys
+	// tracks the object-store keys of the blobs the newest chain spans
+	// (base first, newest last), and kvEnc is the reusable keyed-segment
+	// scratch encoder. chainBroken is set by an upload goroutine when a
+	// chain blob was abandoned (retries exhausted): deltas on top of it
+	// could never be rebuilt, so the next snapshot must start a fresh full
+	// base.
+	kv          *statestore.Store
+	kvChain     *statestore.Chain
+	chainKeys   []string
+	kvEnc       *wire.Encoder
+	chainBroken atomic.Bool
 
 	// COOR alignment state.
 	aligning   bool
@@ -128,6 +144,14 @@ func (it *instance) EmitTo(outEdge int, key uint64, v wire.Value) {
 
 // WatermarkNS implements Context.
 func (it *instance) WatermarkNS() int64 { return it.curWM }
+
+// KeyedState implements Context.
+func (it *instance) KeyedState() *statestore.Store {
+	if it.kv == nil {
+		panic(fmt.Sprintf("core: %s[%d]: KeyedState called by an operator that does not implement KeyedStateUser", it.spec.Name, it.idx))
+	}
+	return it.kv
+}
 
 // Index implements Context.
 func (it *instance) Index() int { return it.idx }
@@ -501,12 +525,46 @@ func (it *instance) handleMarker(m Message, ch int) {
 	it.aligning = false
 }
 
-// snapshotState serializes the instance state (counters, dedup, controller
-// and operator state) and builds the checkpoint metadata. It advances the
-// checkpoint sequence and notifies the controller.
-func (it *instance) snapshotState(round uint64, forced bool) ([]byte, recovery.Meta) {
+// snapshotState serializes the instance state (keyed backend segment,
+// counters, dedup, controller and operator state) into a fresh encoder and
+// builds the checkpoint metadata. It advances the checkpoint sequence and
+// notifies the controller. The caller appends the channel-state section to
+// the returned encoder and uploads its bytes directly — the encoder is
+// never reused, so no defensive copy is taken anywhere on this path.
+//
+// Blob layout (v2): a length-prefixed keyed-state segment first (empty for
+// operators without a backend; a statestore full or delta snapshot
+// otherwise — the prefix lets chain restore extract the segment from any
+// blob without decoding the rest), then the instance scalars, then the
+// captured channel state.
+func (it *instance) snapshotState(round uint64, forced bool) (*wire.Encoder, recovery.Meta) {
 	it.ckptSeq++
+	storeKey := fmt.Sprintf("ckpt/%s/%s/%d/%d", it.eng.job.Name, it.spec.Name, it.idx, it.ckptSeq)
 	enc := wire.NewEncoder(make([]byte, 0, 4096))
+	rec := it.eng.cfg.Recorder
+	switch {
+	case it.kv == nil:
+		enc.Bytes2(nil)
+		it.chainKeys = append(it.chainKeys[:0], storeKey)
+	case it.kvChain != nil:
+		if it.chainBroken.Swap(false) {
+			it.kvChain.Reset()
+			it.chainKeys = it.chainKeys[:0]
+		}
+		seg, full := it.kvChain.Checkpoint(it.kv)
+		enc.Bytes2(seg)
+		if full {
+			it.chainKeys = it.chainKeys[:0]
+		}
+		it.chainKeys = append(it.chainKeys, storeKey)
+		rec.AddKeyedSnapshot(len(seg), len(it.chainKeys))
+	default:
+		it.kvEnc.Reset()
+		it.kv.SnapshotFull(it.kvEnc)
+		enc.Bytes2(it.kvEnc.Bytes())
+		it.chainKeys = append(it.chainKeys[:0], storeKey)
+		rec.AddKeyedSnapshot(it.kvEnc.Len(), 1)
+	}
 	enc.Uvarint(it.ckptSeq)
 	enc.UvarintSlice(it.sentSeq)
 	enc.UvarintSlice(it.recvSeq)
@@ -535,16 +593,15 @@ func (it *instance) snapshotState(round uint64, forced bool) ([]byte, recovery.M
 	} else {
 		enc.Bool(false)
 	}
-	blob := append([]byte(nil), enc.Bytes()...)
 
 	meta := recovery.Meta{
-		Ref:      recovery.CkptRef{Instance: it.gid, Seq: it.ckptSeq},
-		SentUpTo: make(map[uint64]uint64, len(it.outChans)),
-		RecvUpTo: make(map[uint64]uint64, len(it.inChans)),
-		StoreKey: fmt.Sprintf("ckpt/%s/%s/%d/%d", it.eng.job.Name, it.spec.Name, it.idx, it.ckptSeq),
-		Round:    round,
-		Forced:   forced,
-		AtNS:     it.eng.nowNS(),
+		Ref:       recovery.CkptRef{Instance: it.gid, Seq: it.ckptSeq},
+		SentUpTo:  make(map[uint64]uint64, len(it.outChans)),
+		RecvUpTo:  make(map[uint64]uint64, len(it.inChans)),
+		StoreKeys: append([]string(nil), it.chainKeys...),
+		Round:     round,
+		Forced:    forced,
+		AtNS:      it.eng.nowNS(),
 	}
 	for i := range it.outChans {
 		meta.SentUpTo[it.outChans[i].key] = it.sentSeq[i]
@@ -552,7 +609,6 @@ func (it *instance) snapshotState(round uint64, forced bool) ([]byte, recovery.M
 	for i := range it.inChans {
 		meta.RecvUpTo[it.inChans[i].key] = it.recvSeq[i]
 	}
-	rec := it.eng.cfg.Recorder
 	if forced {
 		rec.IncForcedCheckpoints()
 	} else if round == 0 {
@@ -561,15 +617,16 @@ func (it *instance) snapshotState(round uint64, forced bool) ([]byte, recovery.M
 	if it.ctrl != nil {
 		it.ctrl.OnCheckpoint(forced)
 	}
-	return blob, meta
+	return enc, meta
 }
 
 // upload persists a finished checkpoint asynchronously and reports it to
 // the coordinator once durable. Transient store errors are retried a few
 // times (an un-uploaded checkpoint simply never joins a recovery line, so
-// giving up after retries is safe).
+// giving up after retries is safe). The caller transfers ownership of blob.
 func (it *instance) upload(blob []byte, meta recovery.Meta, t0 time.Time) {
 	rec := it.eng.cfg.Recorder
+	key := meta.SelfKey()
 	w := it.w
 	w.uploadWG.Add(1)
 	go func() {
@@ -577,34 +634,47 @@ func (it *instance) upload(blob []byte, meta recovery.Meta, t0 time.Time) {
 		var err error
 		if it.eng.cfg.CompressCheckpoints {
 			if blob, err = flateCompress(blob); err != nil {
-				rec.Note("checkpoint compression %s failed: %v", meta.StoreKey, err)
+				rec.Note("checkpoint compression %s failed: %v", key, err)
+				it.abandonChainBlob()
 				return
 			}
 		}
 		for attempt := 0; attempt < storeRetries; attempt++ {
-			if err = it.eng.cfg.Store.Put(meta.StoreKey, blob); err == nil {
+			if err = it.eng.cfg.Store.Put(key, blob); err == nil {
 				it.eng.coord.report(meta, time.Since(t0))
 				return
 			}
 		}
-		rec.Note("checkpoint upload %s failed after %d attempts: %v", meta.StoreKey, storeRetries, err)
+		rec.Note("checkpoint upload %s failed after %d attempts: %v", key, storeRetries, err)
+		it.abandonChainBlob()
 	}()
 }
 
 // storeRetries bounds the retry loops around object-store RPCs.
 const storeRetries = 4
 
+// abandonChainBlob records that a checkpoint blob was dropped without
+// becoming durable. For self-contained checkpoints that is harmless (the
+// checkpoint simply never joins a recovery line), but a chain segment
+// under later deltas would leave them unrecoverable — so the next keyed
+// snapshot is forced to start a fresh full base. Called from upload
+// goroutines; snapshotState consumes the flag on the instance goroutine.
+func (it *instance) abandonChainBlob() {
+	if it.kvChain != nil {
+		it.chainBroken.Store(true)
+	}
+}
+
 // takeCheckpoint snapshots the instance synchronously (this is the
 // processing stall the paper measures) and uploads asynchronously. round is
 // non-zero for coordinated checkpoints; forced marks CIC forced ones.
 func (it *instance) takeCheckpoint(round uint64, forced bool) {
 	t0 := time.Now()
-	blob, meta := it.snapshotState(round, forced)
-	// Aligned and local checkpoints carry no channel state.
-	enc := wire.NewEncoder(nil)
-	enc.Raw(blob)
+	enc, meta := it.snapshotState(round, forced)
+	// Aligned and local checkpoints carry no channel state. The encoder is
+	// handed straight to upload: the snapshot is serialized exactly once.
 	enc.Uvarint(0)
-	it.upload(append([]byte(nil), enc.Bytes()...), meta, t0)
+	it.upload(enc.Bytes(), meta, t0)
 }
 
 // handleUnalignedMarker implements the unaligned coordinated variant: the
@@ -613,11 +683,11 @@ func (it *instance) takeCheckpoint(round uint64, forced bool) {
 // captured into the checkpoint as channel state while processing continues.
 func (it *instance) handleUnalignedMarker(m Message, ch int) {
 	if it.ua == nil {
-		blob, meta := it.snapshotState(m.Round, false)
+		enc, meta := it.snapshotState(m.Round, false)
 		it.ua = &uaPending{
 			round:      m.Round,
 			t0:         time.Now(),
-			stateBlob:  blob,
+			stateBlob:  enc.Bytes(),
 			meta:       meta,
 			markerSeen: make([]bool, len(it.inChans)),
 			counted:    make([]int, len(it.inChans)),
@@ -678,13 +748,48 @@ func (it *instance) maybeFinalizeUnaligned() {
 		enc.Uvarint(uint64(c.queue))
 		enc.Bytes2(c.data)
 	}
-	it.upload(append([]byte(nil), enc.Bytes()...), ua.meta, ua.t0)
+	it.upload(enc.Bytes(), ua.meta, ua.t0)
 	it.ua = nil
 }
 
-// restore rebuilds instance state from a checkpoint blob.
-func (it *instance) restore(blob []byte) error {
-	dec := wire.NewDecoder(blob)
+// restore rebuilds instance state from a checkpoint's blob chain (oldest
+// first; a self-contained checkpoint is a chain of one). Instance scalars,
+// operator state and channel captures come from the newest blob alone; the
+// keyed backend is rebuilt by composing the keyed segments of every blob —
+// base snapshot first, then each delta in order, with statestore rejecting
+// any out-of-order or missing link.
+func (it *instance) restore(blobs [][]byte) error {
+	if len(blobs) == 0 {
+		return fmt.Errorf("core: restore %s[%d]: empty blob chain", it.spec.Name, it.idx)
+	}
+	dec := wire.NewDecoder(blobs[len(blobs)-1])
+	lastSeg := dec.Bytes()
+	if dec.Err() != nil {
+		return fmt.Errorf("core: restore %s[%d]: keyed segment: %w", it.spec.Name, it.idx, dec.Err())
+	}
+	switch {
+	case it.kv == nil:
+		if len(lastSeg) > 0 || len(blobs) > 1 {
+			return fmt.Errorf("core: restore %s[%d]: checkpoint has keyed state but the operator has no backend", it.spec.Name, it.idx)
+		}
+	default:
+		if len(lastSeg) == 0 {
+			return fmt.Errorf("core: restore %s[%d]: operator uses the keyed backend but the checkpoint has no keyed segment", it.spec.Name, it.idx)
+		}
+		segments := make([][]byte, 0, len(blobs))
+		for i, b := range blobs[:len(blobs)-1] {
+			d := wire.NewDecoder(b)
+			seg := d.Bytes()
+			if d.Err() != nil || len(seg) == 0 {
+				return fmt.Errorf("core: restore %s[%d]: chain blob %d has no keyed segment", it.spec.Name, it.idx, i)
+			}
+			segments = append(segments, seg)
+		}
+		segments = append(segments, lastSeg)
+		if err := statestore.RebuildInto(it.kv, segments); err != nil {
+			return fmt.Errorf("core: restore %s[%d] keyed state: %w", it.spec.Name, it.idx, err)
+		}
+	}
 	it.ckptSeq = dec.Uvarint()
 	sent := dec.UvarintSlice()
 	recv := dec.UvarintSlice()

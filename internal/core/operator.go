@@ -1,6 +1,7 @@
 package core
 
 import (
+	"checkmate/internal/statestore"
 	"checkmate/internal/wire"
 )
 
@@ -46,6 +47,13 @@ type Context interface {
 	// math.MinInt64 until every input channel delivered one. Watermarks
 	// only flow when Config.WatermarkInterval is set.
 	WatermarkNS() int64
+	// KeyedState returns the instance's engine-owned keyed state backend.
+	// Only operators implementing KeyedStateUser have one; the engine
+	// snapshots and restores it on their behalf (incrementally when
+	// Config.DeltaCheckpoints is set), so state kept here must NOT also be
+	// written by the operator's own Snapshot. Calling KeyedState from an
+	// operator that is not a KeyedStateUser panics.
+	KeyedState() *statestore.Store
 }
 
 // Operator is the user logic of a non-source operator instance. Operators
@@ -59,6 +67,20 @@ type Operator interface {
 	Snapshot(enc *wire.Encoder)
 	// Restore rebuilds state written by Snapshot.
 	Restore(dec *wire.Decoder) error
+}
+
+// KeyedStateUser is implemented by operators that keep their keyed state in
+// the engine-owned state backend (Context.KeyedState) instead of operator
+// fields. For such operators the engine persists the backend contents as
+// part of every checkpoint — as a base-plus-delta chain when
+// Config.DeltaCheckpoints is enabled, so frequent checkpoints pay for state
+// churn rather than total state size — and rebuilds it before Restore is
+// called. The operator's own Snapshot/Restore then only carry non-keyed
+// scalars (configuration, counters). UsesKeyedState is a pure marker and is
+// never invoked.
+type KeyedStateUser interface {
+	Operator
+	UsesKeyedState()
 }
 
 // TimerHandler is implemented by operators that use Context.SetTimer.

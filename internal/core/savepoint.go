@@ -91,6 +91,15 @@ func (e *Engine) ExportSavepoint() (*Savepoint, error) {
 				} else {
 					enc := wire.NewEncoder(nil)
 					it.oper.Snapshot(enc)
+					if it.kv != nil {
+						// Keyed-backend state is engine-owned and not part
+						// of the operator's Snapshot: append it as a full
+						// statestore snapshot so the savepoint stays
+						// self-contained.
+						kvEnc := wire.NewEncoder(nil)
+						it.kv.SnapshotFull(kvEnc)
+						enc.Bytes2(kvEnc.Bytes())
+					}
 					sp.Opaque[spec.Name] = append(sp.Opaque[spec.Name], append([]byte(nil), enc.Bytes()...))
 				}
 			}
@@ -181,8 +190,14 @@ func (e *Engine) applySavepointLocked(w *world) error {
 				}
 				blobs := sp.Opaque[spec.Name]
 				if idx < len(blobs) && len(blobs[idx]) > 0 {
-					if err := it.oper.Restore(wire.NewDecoder(blobs[idx])); err != nil {
+					dec := wire.NewDecoder(blobs[idx])
+					if err := it.oper.Restore(dec); err != nil {
 						return fmt.Errorf("core: restore opaque state of %q[%d]: %w", spec.Name, idx, err)
+					}
+					if it.kv != nil {
+						if err := it.kv.Restore(wire.NewDecoder(dec.Bytes())); err != nil {
+							return fmt.Errorf("core: restore keyed state of %q[%d]: %w", spec.Name, idx, err)
+						}
 					}
 				}
 			}

@@ -17,6 +17,7 @@ import (
 
 	"checkmate/internal/core"
 	"checkmate/internal/mq"
+	"checkmate/internal/statestore"
 	"checkmate/internal/wire"
 )
 
@@ -116,103 +117,121 @@ func init() {
 
 // joinOp joins links and source records co-partitioned by node: links are
 // keyed by their start node, source records by the node they make
-// reachable. Deletions remove state.
+// reachable. Deletions remove state. Both sides live in the engine-owned
+// keyed state backend, keyed by node with one namespace bit (links vs
+// source records) at the bottom, so checkpoints of the growing reachability
+// state can be taken incrementally.
 type joinOp struct {
-	links   map[uint64][]uint64     // from -> to nodes
-	sources map[uint64][]*SourceRec // node -> records reaching the node
+	scratch *wire.Encoder
 }
 
 func newJoinOp() *joinOp {
-	return &joinOp{links: make(map[uint64][]uint64), sources: make(map[uint64][]*SourceRec)}
+	return &joinOp{scratch: wire.NewEncoder(nil)}
+}
+
+// UsesKeyedState implements core.KeyedStateUser.
+func (*joinOp) UsesKeyedState() {}
+
+func linkKey(node uint64) uint64   { return node<<1 | 0 }
+func sourceKey(node uint64) uint64 { return node<<1 | 1 }
+
+// linksAt decodes the outgoing-link list stored for node.
+func linksAt(kv *statestore.Store, node uint64) []uint64 {
+	b, ok := kv.Get(linkKey(node))
+	if !ok {
+		return nil
+	}
+	return wire.NewDecoder(b).UvarintSlice()
+}
+
+// sourcesAt decodes the source records stored for node.
+func sourcesAt(kv *statestore.Store, node uint64) []*SourceRec {
+	b, ok := kv.Get(sourceKey(node))
+	if !ok {
+		return nil
+	}
+	dec := wire.NewDecoder(b)
+	n := int(dec.Uvarint())
+	recs := make([]*SourceRec, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := decodeSourceRec(dec)
+		if err != nil {
+			panic(fmt.Sprintf("cyclic: join source state corrupt: %v", err))
+		}
+		recs = append(recs, v.(*SourceRec))
+	}
+	return recs
+}
+
+func (j *joinOp) putLinks(kv *statestore.Store, node uint64, tos []uint64) {
+	if len(tos) == 0 {
+		kv.Delete(linkKey(node))
+		return
+	}
+	j.scratch.Reset()
+	j.scratch.UvarintSlice(tos)
+	kv.Put(linkKey(node), j.scratch.Bytes())
+}
+
+func (j *joinOp) putSources(kv *statestore.Store, node uint64, recs []*SourceRec) {
+	if len(recs) == 0 {
+		kv.Delete(sourceKey(node))
+		return
+	}
+	j.scratch.Reset()
+	j.scratch.Uvarint(uint64(len(recs)))
+	for _, r := range recs {
+		r.MarshalWire(j.scratch)
+	}
+	kv.Put(sourceKey(node), j.scratch.Bytes())
 }
 
 // OnEvent implements core.Operator.
 func (j *joinOp) OnEvent(ctx core.Context, ev core.Event) {
+	kv := ctx.KeyedState()
 	switch v := ev.Value.(type) {
 	case *Link:
+		tos := linksAt(kv, v.From)
 		if v.Delete {
-			tos := j.links[v.From]
 			for i, to := range tos {
 				if to == v.To {
-					j.links[v.From] = append(tos[:i], tos[i+1:]...)
+					tos = append(tos[:i], tos[i+1:]...)
 					break
 				}
 			}
-			if len(j.links[v.From]) == 0 {
-				delete(j.links, v.From)
-			}
+			j.putLinks(kv, v.From, tos)
 			return
 		}
-		j.links[v.From] = append(j.links[v.From], v.To)
-		for _, src := range j.sources[v.From] {
+		j.putLinks(kv, v.From, append(tos, v.To))
+		for _, src := range sourcesAt(kv, v.From) {
 			ctx.Emit(src.Origin, &Pair{Link: *v, Src: *src})
 		}
 	case *SourceRec:
+		recs := sourcesAt(kv, v.Node)
 		if v.Delete {
 			// Source removal: drop every record of this origin held here.
-			recs := j.sources[v.Node]
 			kept := recs[:0]
 			for _, r := range recs {
 				if r.Origin != v.Origin {
 					kept = append(kept, r)
 				}
 			}
-			if len(kept) == 0 {
-				delete(j.sources, v.Node)
-			} else {
-				j.sources[v.Node] = kept
-			}
+			j.putSources(kv, v.Node, kept)
 			return
 		}
-		j.sources[v.Node] = append(j.sources[v.Node], v)
-		for _, to := range j.links[v.Node] {
+		j.putSources(kv, v.Node, append(recs, v))
+		for _, to := range linksAt(kv, v.Node) {
 			ctx.Emit(v.Origin, &Pair{Link: Link{From: v.Node, To: to}, Src: *v})
 		}
 	}
 }
 
-// Snapshot implements core.Operator.
-func (j *joinOp) Snapshot(enc *wire.Encoder) {
-	enc.Uvarint(uint64(len(j.links)))
-	for from, tos := range j.links {
-		enc.Uvarint(from)
-		enc.UvarintSlice(tos)
-	}
-	enc.Uvarint(uint64(len(j.sources)))
-	for node, recs := range j.sources {
-		enc.Uvarint(node)
-		enc.Uvarint(uint64(len(recs)))
-		for _, r := range recs {
-			r.MarshalWire(enc)
-		}
-	}
-}
+// Snapshot implements core.Operator. The join state lives in the keyed
+// backend and is persisted by the engine.
+func (j *joinOp) Snapshot(enc *wire.Encoder) {}
 
 // Restore implements core.Operator.
-func (j *joinOp) Restore(dec *wire.Decoder) error {
-	nl := int(dec.Uvarint())
-	j.links = make(map[uint64][]uint64, nl)
-	for i := 0; i < nl; i++ {
-		from := dec.Uvarint()
-		j.links[from] = dec.UvarintSlice()
-	}
-	ns := int(dec.Uvarint())
-	j.sources = make(map[uint64][]*SourceRec, ns)
-	for i := 0; i < ns; i++ {
-		node := dec.Uvarint()
-		n := int(dec.Uvarint())
-		recs := make([]*SourceRec, 0, n)
-		for k := 0; k < n; k++ {
-			v, err := decodeSourceRec(dec)
-			if err != nil {
-				return err
-			}
-			recs = append(recs, v.(*SourceRec))
-		}
-		j.sources[node] = recs
-	}
-	return dec.Err()
-}
+func (j *joinOp) Restore(dec *wire.Decoder) error { return nil }
 
 // selectOp discards pairs whose link end is already on the source path
 // (cycle prevention) or whose path grew too long.

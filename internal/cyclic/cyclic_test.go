@@ -6,6 +6,7 @@ import (
 
 	"checkmate/internal/core"
 	"checkmate/internal/mq"
+	"checkmate/internal/statestore"
 	"checkmate/internal/wire"
 )
 
@@ -15,6 +16,7 @@ type fakeCtx struct {
 		key  uint64
 		v    wire.Value
 	}
+	kv *statestore.Store
 }
 
 func (f *fakeCtx) Emit(key uint64, v wire.Value) { f.EmitTo(0, key, v) }
@@ -30,6 +32,12 @@ func (f *fakeCtx) Parallelism() int   { return 1 }
 func (f *fakeCtx) NowNS() int64       { return 0 }
 func (f *fakeCtx) SetTimer(at int64)  {}
 func (f *fakeCtx) WatermarkNS() int64 { return 0 }
+func (f *fakeCtx) KeyedState() *statestore.Store {
+	if f.kv == nil {
+		f.kv = statestore.New()
+	}
+	return f.kv
+}
 
 func TestBuildIsCyclic(t *testing.T) {
 	job := Build()
@@ -143,13 +151,15 @@ func TestJoinSnapshotRestore(t *testing.T) {
 	ctx := &fakeCtx{}
 	j.OnEvent(ctx, core.Event{Value: &Link{From: 1, To: 2}})
 	j.OnEvent(ctx, core.Event{Value: &SourceRec{Origin: 9, Node: 9, Path: []uint64{9}}})
+	// The join state lives in the keyed backend: snapshot and restore it
+	// the way the engine does.
 	enc := wire.NewEncoder(nil)
-	j.Snapshot(enc)
+	ctx.KeyedState().SnapshotFull(enc)
 	j2 := newJoinOp()
-	if err := j2.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+	ctx2 := &fakeCtx{}
+	if err := ctx2.KeyedState().Restore(wire.NewDecoder(enc.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	ctx2 := &fakeCtx{}
 	j2.OnEvent(ctx2, core.Event{Value: &SourceRec{Origin: 1, Node: 1, Path: []uint64{1}}})
 	if len(ctx2.emitted) != 1 {
 		t.Fatal("restored join lost link state")

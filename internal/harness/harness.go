@@ -94,6 +94,10 @@ type RunConfig struct {
 	WatermarkLag time.Duration
 	// CompressCheckpoints deflates checkpoint blobs before upload.
 	CompressCheckpoints bool
+	// DeltaCheckpoints persists the keyed state of backend-using operators
+	// (q3/q8/q12 joins and counts, the cyclic join) as base-plus-delta
+	// chains instead of full snapshots per checkpoint.
+	DeltaCheckpoints bool
 	// AnalyzeRollbackScope computes, after the run, the rollback scope of
 	// every possible single-instance failure under the logging protocols
 	// (see RunResult.Scope). Failure-free runs only.
@@ -252,6 +256,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		WatermarkInterval:   cfg.WatermarkInterval,
 		WatermarkLag:        cfg.WatermarkLag,
 		CompressCheckpoints: cfg.CompressCheckpoints,
+		DeltaCheckpoints:    cfg.DeltaCheckpoints,
 		Seed:                cfg.Seed,
 	}, job)
 	if err != nil {

@@ -28,6 +28,9 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestRunQ1AllProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol sweep is slow")
+	}
 	for _, p := range protocol.All() {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
@@ -63,6 +66,9 @@ func TestRunQ3WithFailure(t *testing.T) {
 }
 
 func TestRunQ8AndQ12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("windowed query runs are slow")
+	}
 	for _, q := range []string{"q8", "q12"} {
 		res := quickRun(t, RunConfig{
 			Query: q, Protocol: protocol.Coordinated{}, Workers: 2, Rate: 3000,
@@ -96,6 +102,9 @@ func TestRunCyclicRejectsCOOR(t *testing.T) {
 }
 
 func TestRunUnsustainableRateDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload run is slow")
+	}
 	// Far beyond what 2 workers can do with heavy synthetic per-byte work
 	// (q1 consumes the bid stream: 92% of the generated mix).
 	res := quickRun(t, RunConfig{
@@ -108,6 +117,9 @@ func TestRunUnsustainableRateDetected(t *testing.T) {
 }
 
 func TestFindMST(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MST search is slow")
+	}
 	mst, err := FindMST(MSTConfig{
 		Base:          RunConfig{Query: "q1", Protocol: protocol.None{}, Workers: 2, Seed: 7},
 		ProbeDuration: 500 * time.Millisecond,
@@ -124,6 +136,9 @@ func TestFindMST(t *testing.T) {
 }
 
 func TestMSTCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MST search is slow")
+	}
 	c := NewMSTCache()
 	cfg := MSTConfig{
 		Base:          RunConfig{Query: "q1", Protocol: protocol.None{}, Workers: 2, Seed: 8},
@@ -192,6 +207,9 @@ func TestRunUnalignedOnCyclicQuery(t *testing.T) {
 }
 
 func TestRunBCSForcesMoreCheckpointsThanHMNR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy comparison runs are slow")
+	}
 	run := func(p interface {
 		Name() string
 	}) RunResult {

@@ -38,6 +38,15 @@ type Recorder struct {
 	gcCkpts atomic.Uint64
 	gcBytes atomic.Uint64
 
+	// Keyed-state snapshot accounting: full (self-contained base) versus
+	// delta (incremental) segments written by the state backend, their
+	// byte volumes, and the longest base-plus-delta chain observed.
+	fullKeyedCkpts  atomic.Uint64
+	fullKeyedBytes  atomic.Uint64
+	deltaKeyedCkpts atomic.Uint64
+	deltaKeyedBytes atomic.Uint64
+	maxChainLen     atomic.Uint64
+
 	sinkCount atomic.Uint64
 
 	mu             sync.Mutex
@@ -118,6 +127,28 @@ func (r *Recorder) IncDupDropped() { r.dupDropped.Add(1) }
 func (r *Recorder) AddGCReclaimed(ckpts int, bytes uint64) {
 	r.gcCkpts.Add(uint64(ckpts))
 	r.gcBytes.Add(bytes)
+}
+
+// AddKeyedSnapshot accounts one keyed-state segment written into a
+// checkpoint: its size and the length of the base-plus-delta chain it
+// belongs to. A chain length of 1 is a self-contained full snapshot;
+// longer chains mean the segment is an incremental delta on top of an
+// earlier base. Checkpoints of instances without a keyed backend are not
+// counted here.
+func (r *Recorder) AddKeyedSnapshot(bytes, chainLen int) {
+	if chainLen > 1 {
+		r.deltaKeyedCkpts.Add(1)
+		r.deltaKeyedBytes.Add(uint64(bytes))
+	} else {
+		r.fullKeyedCkpts.Add(1)
+		r.fullKeyedBytes.Add(uint64(bytes))
+	}
+	for {
+		cur := r.maxChainLen.Load()
+		if uint64(chainLen) <= cur || r.maxChainLen.CompareAndSwap(cur, uint64(chainLen)) {
+			return
+		}
+	}
 }
 
 // IncForcedCheckpoints counts a CIC forced checkpoint.
@@ -216,6 +247,18 @@ type Summary struct {
 	GCCheckpoints uint64
 	GCBytes       uint64
 
+	// FullKeyedCkpts / DeltaKeyedCkpts count keyed-state segments written
+	// by the state backend as full bases vs incremental deltas; the byte
+	// counters hold their volumes. MaxChainLen is the longest
+	// base-plus-delta chain any checkpoint spanned. Steady-state
+	// DeltaKeyedBytes/DeltaKeyedCkpts versus FullKeyedBytes/FullKeyedCkpts
+	// quantifies the incremental-checkpointing saving.
+	FullKeyedCkpts  uint64
+	FullKeyedBytes  uint64
+	DeltaKeyedCkpts uint64
+	DeltaKeyedBytes uint64
+	MaxChainLen     uint64
+
 	Timeline TimelineSummary
 	Notes    []string
 }
@@ -245,6 +288,11 @@ func (r *Recorder) Summarize(coordinated bool) Summary {
 		RollbackDistance:   r.rollbackDist,
 		GCCheckpoints:      r.gcCkpts.Load(),
 		GCBytes:            r.gcBytes.Load(),
+		FullKeyedCkpts:     r.fullKeyedCkpts.Load(),
+		FullKeyedBytes:     r.fullKeyedBytes.Load(),
+		DeltaKeyedCkpts:    r.deltaKeyedCkpts.Load(),
+		DeltaKeyedBytes:    r.deltaKeyedBytes.Load(),
+		MaxChainLen:        r.maxChainLen.Load(),
 		Failures:           r.failures,
 		Timeline:           r.timeline.Summarize(),
 		Notes:              append([]string(nil), r.notes...),

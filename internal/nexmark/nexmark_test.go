@@ -6,6 +6,7 @@ import (
 
 	"checkmate/internal/core"
 	"checkmate/internal/mq"
+	"checkmate/internal/statestore"
 	"checkmate/internal/wire"
 )
 
@@ -143,6 +144,7 @@ type fakeCtx struct {
 	}
 	timer int64
 	wm    int64
+	kv    *statestore.Store
 }
 
 func (f *fakeCtx) Emit(key uint64, v wire.Value) { f.EmitTo(0, key, v) }
@@ -158,6 +160,12 @@ func (f *fakeCtx) Parallelism() int   { return 1 }
 func (f *fakeCtx) NowNS() int64       { return f.now }
 func (f *fakeCtx) SetTimer(at int64)  { f.timer = at }
 func (f *fakeCtx) WatermarkNS() int64 { return f.wm }
+func (f *fakeCtx) KeyedState() *statestore.Store {
+	if f.kv == nil {
+		f.kv = statestore.New()
+	}
+	return f.kv
+}
 
 func TestQ1MapConversion(t *testing.T) {
 	ctx := &fakeCtx{}
@@ -216,14 +224,16 @@ func TestQ3JoinSnapshotRestore(t *testing.T) {
 	ctx := &fakeCtx{}
 	j.OnEvent(ctx, core.Event{Value: &Person{ID: 1, Name: "a", State: "OR", City: "P"}})
 	j.OnEvent(ctx, core.Event{Value: &Auction{ID: 11, Seller: 2, Category: 10}})
+	// The join state lives in the keyed backend: snapshot and restore it
+	// the way the engine does.
 	enc := wire.NewEncoder(nil)
-	j.Snapshot(enc)
+	ctx.KeyedState().SnapshotFull(enc)
 	j2 := newQ3Join()
-	if err := j2.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+	ctx2 := &fakeCtx{}
+	if err := ctx2.KeyedState().Restore(wire.NewDecoder(enc.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	// Restored state: auction 11 still pending for person 2.
-	ctx2 := &fakeCtx{}
 	j2.OnEvent(ctx2, core.Event{Value: &Person{ID: 2, Name: "b", State: "ID"}})
 	if len(ctx2.emitted) != 1 || ctx2.emitted[0].v.(*Q3Result).Auction != 11 {
 		t.Fatalf("restored join lost pending auction: %+v", ctx2.emitted)
@@ -249,13 +259,14 @@ func TestQ8JoinWindowing(t *testing.T) {
 	if len(ctx.emitted) != 1 {
 		t.Fatal("cross-window join must not emit")
 	}
-	// Timer expiry drops old windows.
-	if len(j.windows) != 2 {
-		t.Fatalf("windows = %d", len(j.windows))
+	// Timer expiry drops old windows: the backend holds one entry per
+	// window (a person in the first, a pending auction in the second).
+	if n := ctx.KeyedState().Len(); n != 2 {
+		t.Fatalf("backend entries = %d", n)
 	}
 	j.OnTimer(ctx, ctx.now)
-	if len(j.windows) != 1 {
-		t.Fatalf("after expiry windows = %d", len(j.windows))
+	if n := ctx.KeyedState().Len(); n != 1 {
+		t.Fatalf("after expiry backend entries = %d", n)
 	}
 }
 
@@ -265,12 +276,12 @@ func TestQ8SnapshotRestore(t *testing.T) {
 	j.OnEvent(ctx, core.Event{Value: &Person{ID: 1, Name: "a"}})
 	j.OnEvent(ctx, core.Event{Value: &Auction{ID: 5, Seller: 9}})
 	enc := wire.NewEncoder(nil)
-	j.Snapshot(enc)
+	ctx.KeyedState().SnapshotFull(enc)
 	j2 := newQ8Join(time.Second)
-	if err := j2.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+	ctx2 := &fakeCtx{now: 2}
+	if err := ctx2.KeyedState().Restore(wire.NewDecoder(enc.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	ctx2 := &fakeCtx{now: 2}
 	j2.OnEvent(ctx2, core.Event{Value: &Person{ID: 9, Name: "b"}})
 	if len(ctx2.emitted) != 1 || ctx2.emitted[0].v.(*Q8Result).Auction != 5 {
 		t.Fatalf("restored window state lost auction: %+v", ctx2.emitted)
@@ -296,8 +307,8 @@ func TestQ12RunningCount(t *testing.T) {
 		t.Fatalf("new window count = %d, want 1", got)
 	}
 	c.OnTimer(ctx, ctx.now)
-	if len(c.windows) != 1 {
-		t.Fatalf("windows after expiry = %d", len(c.windows))
+	if n := ctx.KeyedState().Len(); n != 1 {
+		t.Fatalf("backend entries after expiry = %d", n)
 	}
 }
 
@@ -307,12 +318,12 @@ func TestQ12SnapshotRestore(t *testing.T) {
 	c.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 7}})
 	c.OnEvent(ctx, core.Event{Value: &Bid{Bidder: 7}})
 	enc := wire.NewEncoder(nil)
-	c.Snapshot(enc)
+	ctx.KeyedState().SnapshotFull(enc)
 	c2 := newQ12Count(time.Second)
-	if err := c2.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+	ctx2 := &fakeCtx{now: 20}
+	if err := ctx2.KeyedState().Restore(wire.NewDecoder(enc.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	ctx2 := &fakeCtx{now: 20}
 	c2.OnEvent(ctx2, core.Event{Value: &Bid{Bidder: 7}})
 	if got := ctx2.emitted[0].v.(*Q12Result).Count; got != 3 {
 		t.Fatalf("restored count = %d, want 3", got)

@@ -157,67 +157,66 @@ func (auctionFilter) Restore(dec *wire.Decoder) error { return nil }
 
 // q3Join is the incremental two-sided join: persons and auctions keyed by
 // person id = seller. Both sides are retained (the paper's "state grows"
-// observation for Q3).
+// observation for Q3) — in the engine-owned keyed state backend, so delta
+// checkpoints upload only the per-event churn instead of the ever-growing
+// join tables.
 type q3Join struct {
-	persons  map[uint64]*Person
-	auctions map[uint64][]uint64 // seller -> auction ids seen before the person
+	scratch *wire.Encoder
 }
 
 func newQ3Join() *q3Join {
-	return &q3Join{persons: make(map[uint64]*Person), auctions: make(map[uint64][]uint64)}
+	return &q3Join{scratch: wire.NewEncoder(nil)}
 }
+
+// UsesKeyedState implements core.KeyedStateUser.
+func (*q3Join) UsesKeyedState() {}
+
+// Backend key layout: the person id / seller in the upper bits, one
+// namespace bit (retained person vs pending-auction list) at the bottom.
+func q3PersonKey(id uint64) uint64  { return id<<1 | 0 }
+func q3AuctionKey(id uint64) uint64 { return id<<1 | 1 }
 
 // OnEvent implements core.Operator.
 func (j *q3Join) OnEvent(ctx core.Context, ev core.Event) {
+	kv := ctx.KeyedState()
 	switch v := ev.Value.(type) {
 	case *Person:
-		j.persons[v.ID] = v
-		for _, auction := range j.auctions[v.ID] {
-			ctx.Emit(v.ID, &Q3Result{Name: v.Name, City: v.City, State: v.State, Auction: auction})
+		j.scratch.Reset()
+		v.MarshalWire(j.scratch)
+		kv.Put(q3PersonKey(v.ID), j.scratch.Bytes())
+		if b, ok := kv.Get(q3AuctionKey(v.ID)); ok {
+			for _, auction := range wire.NewDecoder(b).UvarintSlice() {
+				ctx.Emit(v.ID, &Q3Result{Name: v.Name, City: v.City, State: v.State, Auction: auction})
+			}
+			kv.Delete(q3AuctionKey(v.ID))
 		}
-		delete(j.auctions, v.ID)
 	case *Auction:
-		if p, ok := j.persons[v.Seller]; ok {
+		if b, ok := kv.Get(q3PersonKey(v.Seller)); ok {
+			pv, err := decodePerson(wire.NewDecoder(b))
+			if err != nil {
+				panic(fmt.Sprintf("nexmark: q3 person state corrupt: %v", err))
+			}
+			p := pv.(*Person)
 			ctx.Emit(p.ID, &Q3Result{Name: p.Name, City: p.City, State: p.State, Auction: v.ID})
 			return
 		}
-		j.auctions[v.Seller] = append(j.auctions[v.Seller], v.ID)
+		var ids []uint64
+		if b, ok := kv.Get(q3AuctionKey(v.Seller)); ok {
+			ids = wire.NewDecoder(b).UvarintSlice()
+		}
+		ids = append(ids, v.ID)
+		j.scratch.Reset()
+		j.scratch.UvarintSlice(ids)
+		kv.Put(q3AuctionKey(v.Seller), j.scratch.Bytes())
 	}
 }
 
-// Snapshot implements core.Operator.
-func (j *q3Join) Snapshot(enc *wire.Encoder) {
-	enc.Uvarint(uint64(len(j.persons)))
-	for _, p := range j.persons {
-		p.MarshalWire(enc)
-	}
-	enc.Uvarint(uint64(len(j.auctions)))
-	for seller, ids := range j.auctions {
-		enc.Uvarint(seller)
-		enc.UvarintSlice(ids)
-	}
-}
+// Snapshot implements core.Operator. The join state lives in the keyed
+// backend and is persisted by the engine.
+func (j *q3Join) Snapshot(enc *wire.Encoder) {}
 
 // Restore implements core.Operator.
-func (j *q3Join) Restore(dec *wire.Decoder) error {
-	np := int(dec.Uvarint())
-	j.persons = make(map[uint64]*Person, np)
-	for i := 0; i < np; i++ {
-		v, err := decodePerson(dec)
-		if err != nil {
-			return err
-		}
-		p := v.(*Person)
-		j.persons[p.ID] = p
-	}
-	na := int(dec.Uvarint())
-	j.auctions = make(map[uint64][]uint64, na)
-	for i := 0; i < na; i++ {
-		seller := dec.Uvarint()
-		j.auctions[seller] = dec.UvarintSlice()
-	}
-	return dec.Err()
-}
+func (j *q3Join) Restore(dec *wire.Decoder) error { return nil }
 
 func buildQ3() *core.JobSpec {
 	return &core.JobSpec{
@@ -242,51 +241,55 @@ func buildQ3() *core.JobSpec {
 
 // ---- Q8: windowed join (running processing-time tumbling window) ----
 
-// q8Window holds the per-window join state.
-type q8Window struct {
-	persons  map[uint64]string   // id -> name
-	auctions map[uint64][]uint64 // seller -> auction ids
-}
-
 // q8Join joins new persons with new auctions inside a processing-time
 // tumbling window. Running variant: matches are emitted on arrival; window
-// state is dropped on expiry (the paper's "running window").
+// state is dropped on expiry (the paper's "running window"). All window
+// contents live in the engine-owned keyed state backend.
 type q8Join struct {
 	win     int64
-	windows map[int64]*q8Window
+	scratch *wire.Encoder
 }
 
 func newQ8Join(win time.Duration) *q8Join {
-	return &q8Join{win: win.Nanoseconds(), windows: make(map[int64]*q8Window)}
+	return &q8Join{win: win.Nanoseconds(), scratch: wire.NewEncoder(nil)}
 }
 
-func (j *q8Join) window(start int64) *q8Window {
-	w, ok := j.windows[start]
-	if !ok {
-		w = &q8Window{persons: make(map[uint64]string), auctions: make(map[uint64][]uint64)}
-		j.windows[start] = w
-	}
-	return w
-}
+// UsesKeyedState implements core.KeyedStateUser.
+func (*q8Join) UsesKeyedState() {}
+
+// Backend key layout: window index in the high 32 bits, person/seller id in
+// the middle, one namespace bit (person name vs pending-auction list) at
+// the bottom. NexMark ids are generator sequence numbers, far below 2^31.
+func q8Key(widx, id, side uint64) uint64 { return widx<<32 | id<<1 | side }
 
 // OnEvent implements core.Operator.
 func (j *q8Join) OnEvent(ctx core.Context, ev core.Event) {
 	now := ctx.NowNS()
 	start := now - now%j.win
-	w := j.window(start)
+	widx := uint64(start / j.win)
+	kv := ctx.KeyedState()
 	switch v := ev.Value.(type) {
 	case *Person:
-		w.persons[v.ID] = v.Name
-		for _, auction := range w.auctions[v.ID] {
-			ctx.Emit(v.ID, &Q8Result{Person: v.ID, Name: v.Name, Auction: auction, Window: start})
+		kv.Put(q8Key(widx, v.ID, 0), []byte(v.Name))
+		if b, ok := kv.Get(q8Key(widx, v.ID, 1)); ok {
+			for _, auction := range wire.NewDecoder(b).UvarintSlice() {
+				ctx.Emit(v.ID, &Q8Result{Person: v.ID, Name: v.Name, Auction: auction, Window: start})
+			}
+			kv.Delete(q8Key(widx, v.ID, 1))
 		}
-		delete(w.auctions, v.ID)
 	case *Auction:
-		if name, ok := w.persons[v.Seller]; ok {
-			ctx.Emit(v.Seller, &Q8Result{Person: v.Seller, Name: name, Auction: v.ID, Window: start})
+		if name, ok := kv.Get(q8Key(widx, v.Seller, 0)); ok {
+			ctx.Emit(v.Seller, &Q8Result{Person: v.Seller, Name: string(name), Auction: v.ID, Window: start})
 			return
 		}
-		w.auctions[v.Seller] = append(w.auctions[v.Seller], v.ID)
+		var ids []uint64
+		if b, ok := kv.Get(q8Key(widx, v.Seller, 1)); ok {
+			ids = wire.NewDecoder(b).UvarintSlice()
+		}
+		ids = append(ids, v.ID)
+		j.scratch.Reset()
+		j.scratch.UvarintSlice(ids)
+		kv.Put(q8Key(widx, v.Seller, 1), j.scratch.Bytes())
 	}
 	ctx.SetTimer(start + 2*j.win)
 }
@@ -294,57 +297,30 @@ func (j *q8Join) OnEvent(ctx core.Context, ev core.Event) {
 // OnTimer implements core.TimerHandler: drop expired windows.
 func (j *q8Join) OnTimer(ctx core.Context, nowNS int64) {
 	cur := nowNS - nowNS%j.win
-	for start := range j.windows {
-		if start < cur {
-			delete(j.windows, start)
+	curIdx := uint64(cur / j.win)
+	kv := ctx.KeyedState()
+	var expired []uint64
+	kv.Range(func(k uint64, _ []byte) bool {
+		if k>>32 < curIdx {
+			expired = append(expired, k)
 		}
+		return true
+	})
+	for _, k := range expired {
+		kv.Delete(k)
 	}
-	if len(j.windows) > 0 {
+	if kv.Len() > 0 {
 		ctx.SetTimer(cur + 2*j.win)
 	}
 }
 
-// Snapshot implements core.Operator.
-func (j *q8Join) Snapshot(enc *wire.Encoder) {
-	enc.Varint(j.win)
-	enc.Uvarint(uint64(len(j.windows)))
-	for start, w := range j.windows {
-		enc.Varint(start)
-		enc.Uvarint(uint64(len(w.persons)))
-		for id, name := range w.persons {
-			enc.Uvarint(id)
-			enc.String(name)
-		}
-		enc.Uvarint(uint64(len(w.auctions)))
-		for seller, ids := range w.auctions {
-			enc.Uvarint(seller)
-			enc.UvarintSlice(ids)
-		}
-	}
-}
+// Snapshot implements core.Operator. Window contents live in the keyed
+// backend; only the window width is operator state.
+func (j *q8Join) Snapshot(enc *wire.Encoder) { enc.Varint(j.win) }
 
 // Restore implements core.Operator.
 func (j *q8Join) Restore(dec *wire.Decoder) error {
 	j.win = dec.Varint()
-	n := int(dec.Uvarint())
-	j.windows = make(map[int64]*q8Window, n)
-	for i := 0; i < n; i++ {
-		start := dec.Varint()
-		w := &q8Window{}
-		np := int(dec.Uvarint())
-		w.persons = make(map[uint64]string, np)
-		for k := 0; k < np; k++ {
-			id := dec.Uvarint()
-			w.persons[id] = dec.String()
-		}
-		na := int(dec.Uvarint())
-		w.auctions = make(map[uint64][]uint64, na)
-		for k := 0; k < na; k++ {
-			seller := dec.Uvarint()
-			w.auctions[seller] = dec.UvarintSlice()
-		}
-		j.windows[start] = w
-	}
 	return dec.Err()
 }
 
@@ -382,73 +358,70 @@ func (bidKeyBy) Snapshot(enc *wire.Encoder) {}
 // Restore implements core.Operator.
 func (bidKeyBy) Restore(dec *wire.Decoder) error { return nil }
 
-// q12Count maintains running per-bidder counts per processing-time window.
+// q12Count maintains running per-bidder counts per processing-time window,
+// stored in the engine-owned keyed state backend.
 type q12Count struct {
 	win     int64
-	windows map[int64]map[uint64]uint64
+	scratch *wire.Encoder
 }
 
 func newQ12Count(win time.Duration) *q12Count {
-	return &q12Count{win: win.Nanoseconds(), windows: make(map[int64]map[uint64]uint64)}
+	return &q12Count{win: win.Nanoseconds(), scratch: wire.NewEncoder(nil)}
 }
+
+// UsesKeyedState implements core.KeyedStateUser.
+func (*q12Count) UsesKeyedState() {}
+
+// Backend key layout: window index in the high 32 bits, bidder id below.
+// NexMark bidder ids are generator sequence numbers, far below 2^32.
+func q12Key(widx, bidder uint64) uint64 { return widx<<32 | bidder }
 
 // OnEvent implements core.Operator.
 func (c *q12Count) OnEvent(ctx core.Context, ev core.Event) {
 	b := ev.Value.(*Bid)
 	now := ctx.NowNS()
 	start := now - now%c.win
-	w, ok := c.windows[start]
-	if !ok {
-		w = make(map[uint64]uint64)
-		c.windows[start] = w
+	widx := uint64(start / c.win)
+	kv := ctx.KeyedState()
+	var count uint64
+	if buf, ok := kv.Get(q12Key(widx, b.Bidder)); ok {
+		count = wire.NewDecoder(buf).Uvarint()
 	}
-	w[b.Bidder]++
-	ctx.Emit(b.Bidder, &Q12Result{Bidder: b.Bidder, Count: w[b.Bidder], Window: start})
+	count++
+	c.scratch.Reset()
+	c.scratch.Uvarint(count)
+	kv.Put(q12Key(widx, b.Bidder), c.scratch.Bytes())
+	ctx.Emit(b.Bidder, &Q12Result{Bidder: b.Bidder, Count: count, Window: start})
 	ctx.SetTimer(start + 2*c.win)
 }
 
 // OnTimer implements core.TimerHandler.
 func (c *q12Count) OnTimer(ctx core.Context, nowNS int64) {
 	cur := nowNS - nowNS%c.win
-	for start := range c.windows {
-		if start < cur {
-			delete(c.windows, start)
+	curIdx := uint64(cur / c.win)
+	kv := ctx.KeyedState()
+	var expired []uint64
+	kv.Range(func(k uint64, _ []byte) bool {
+		if k>>32 < curIdx {
+			expired = append(expired, k)
 		}
+		return true
+	})
+	for _, k := range expired {
+		kv.Delete(k)
 	}
-	if len(c.windows) > 0 {
+	if kv.Len() > 0 {
 		ctx.SetTimer(cur + 2*c.win)
 	}
 }
 
-// Snapshot implements core.Operator.
-func (c *q12Count) Snapshot(enc *wire.Encoder) {
-	enc.Varint(c.win)
-	enc.Uvarint(uint64(len(c.windows)))
-	for start, w := range c.windows {
-		enc.Varint(start)
-		enc.Uvarint(uint64(len(w)))
-		for bidder, count := range w {
-			enc.Uvarint(bidder)
-			enc.Uvarint(count)
-		}
-	}
-}
+// Snapshot implements core.Operator. Counts live in the keyed backend; only
+// the window width is operator state.
+func (c *q12Count) Snapshot(enc *wire.Encoder) { enc.Varint(c.win) }
 
 // Restore implements core.Operator.
 func (c *q12Count) Restore(dec *wire.Decoder) error {
 	c.win = dec.Varint()
-	n := int(dec.Uvarint())
-	c.windows = make(map[int64]map[uint64]uint64, n)
-	for i := 0; i < n; i++ {
-		start := dec.Varint()
-		m := int(dec.Uvarint())
-		w := make(map[uint64]uint64, m)
-		for k := 0; k < m; k++ {
-			bidder := dec.Uvarint()
-			w[bidder] = dec.Uvarint()
-		}
-		c.windows[start] = w
-	}
 	return dec.Err()
 }
 

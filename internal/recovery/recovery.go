@@ -35,14 +35,28 @@ type Meta struct {
 	// RecvUpTo maps incoming channel id -> highest sequence number received
 	// (processed) before the snapshot.
 	RecvUpTo map[uint64]uint64
-	// StoreKey locates the state blob in the object store.
-	StoreKey string
+	// StoreKeys locates the state blobs composing this checkpoint in the
+	// object store, oldest first: for a self-contained (full) checkpoint it
+	// holds exactly the checkpoint's own blob key; for an incremental
+	// checkpoint it lists the base snapshot's key, every intermediate delta
+	// key, and finally the checkpoint's own delta key. Restore fetches and
+	// composes them in order.
+	StoreKeys []string
 	// Round is the coordinated round (COOR only; 0 otherwise).
 	Round uint64
 	// Forced marks a CIC forced checkpoint.
 	Forced bool
 	// AtNS is the snapshot time in nanoseconds since run start.
 	AtNS int64
+}
+
+// SelfKey returns the checkpoint's own blob key (the last chain element),
+// or "" when the metadata carries no blob refs.
+func (m *Meta) SelfKey() string {
+	if len(m.StoreKeys) == 0 {
+		return ""
+	}
+	return m.StoreKeys[len(m.StoreKeys)-1]
 }
 
 // ChannelInfo describes one logical channel of the dataflow graph.

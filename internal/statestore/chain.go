@@ -24,8 +24,8 @@ func DefaultChainPolicy() ChainPolicy {
 }
 
 // Chain manages the base-plus-deltas checkpoint sequence of one store: it
-// chooses full vs delta per snapshot according to a policy and retains the
-// blob sequence needed to rebuild the newest state.
+// chooses full vs delta per snapshot according to a policy and (unless
+// streaming) retains the blob sequence needed to rebuild the newest state.
 //
 // A Chain corresponds to what an incremental state backend (e.g. a
 // RocksDB-style backend) persists per checkpoint; Rebuild is the recovery
@@ -33,13 +33,28 @@ func DefaultChainPolicy() ChainPolicy {
 type Chain struct {
 	policy ChainPolicy
 	// blobs holds the newest base followed by its deltas, oldest first.
-	blobs      [][]byte
+	// Empty in streaming mode.
+	blobs [][]byte
+	// n counts the blobs in the chain (1 base + deltas); maintained even
+	// when blobs are not retained.
+	n          int
+	retain     bool
 	deltaBytes int
 	baseBytes  int
 }
 
-// NewChain returns an empty chain with the given policy.
+// NewChain returns an empty chain with the given policy that retains every
+// blob, so the newest state can be rebuilt from Blobs.
 func NewChain(policy ChainPolicy) *Chain {
+	return &Chain{policy: policy, retain: true}
+}
+
+// NewStreamingChain returns an empty chain that applies the compaction
+// policy but does not retain blob contents — for callers that persist the
+// blobs elsewhere (e.g. an object store) and recover via RebuildInto.
+// Memory use then stays bounded by policy bookkeeping instead of growing
+// with the state size.
+func NewStreamingChain(policy ChainPolicy) *Chain {
 	return &Chain{policy: policy}
 }
 
@@ -52,6 +67,7 @@ func (c *Chain) Checkpoint(s *Store) (blob []byte, full bool) {
 	if full {
 		s.SnapshotFull(enc)
 		c.blobs = c.blobs[:0]
+		c.n = 0
 		c.baseBytes = enc.Len()
 		c.deltaBytes = 0
 	} else {
@@ -59,15 +75,28 @@ func (c *Chain) Checkpoint(s *Store) (blob []byte, full bool) {
 		c.deltaBytes += enc.Len()
 	}
 	b := append([]byte(nil), enc.Bytes()...)
-	c.blobs = append(c.blobs, b)
+	if c.retain {
+		c.blobs = append(c.blobs, b)
+	}
+	c.n++
 	return b, full
 }
 
+// Reset empties the chain so the next Checkpoint takes a full snapshot.
+// Use after a chain blob failed to persist: deltas on top of a lost base
+// could never be rebuilt.
+func (c *Chain) Reset() {
+	c.blobs = c.blobs[:0]
+	c.n = 0
+	c.baseBytes = 0
+	c.deltaBytes = 0
+}
+
 func (c *Chain) shouldFull(s *Store) bool {
-	if len(c.blobs) == 0 {
+	if c.n == 0 {
 		return true
 	}
-	deltas := len(c.blobs) - 1
+	deltas := c.n - 1
 	if c.policy.MaxDeltas <= 0 || deltas >= c.policy.MaxDeltas {
 		return true
 	}
@@ -80,11 +109,12 @@ func (c *Chain) shouldFull(s *Store) bool {
 }
 
 // Blobs returns the current base-plus-deltas sequence, oldest first. The
-// returned slice and its blobs are owned by the chain.
+// returned slice and its blobs are owned by the chain. Nil for streaming
+// chains, which do not retain blobs.
 func (c *Chain) Blobs() [][]byte { return c.blobs }
 
 // Len reports the number of blobs in the chain (1 base + N deltas).
-func (c *Chain) Len() int { return len(c.blobs) }
+func (c *Chain) Len() int { return c.n }
 
 // TotalBytes reports the summed size of all blobs currently retained.
 func (c *Chain) TotalBytes() int {
@@ -98,17 +128,29 @@ func (c *Chain) TotalBytes() int {
 // Rebuild reconstructs a store from a base-plus-deltas blob sequence (oldest
 // first), as produced by Checkpoint.
 func Rebuild(blobs [][]byte) (*Store, error) {
-	if len(blobs) == 0 {
-		return nil, fmt.Errorf("statestore: Rebuild with no blobs")
-	}
 	s := New()
+	if err := RebuildInto(s, blobs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RebuildInto replaces the contents of s with the state encoded by a
+// base-plus-deltas blob sequence (oldest first). The first blob must be a
+// full snapshot and every subsequent blob a delta whose sequence number
+// directly follows its predecessor's; a missing, duplicated or reordered
+// delta fails the rebuild.
+func RebuildInto(s *Store, blobs [][]byte) error {
+	if len(blobs) == 0 {
+		return fmt.Errorf("statestore: rebuild with no blobs")
+	}
 	if err := s.Restore(wire.NewDecoder(blobs[0])); err != nil {
-		return nil, fmt.Errorf("statestore: rebuild base: %w", err)
+		return fmt.Errorf("statestore: rebuild base: %w", err)
 	}
 	for i, b := range blobs[1:] {
 		if err := s.ApplyDelta(wire.NewDecoder(b)); err != nil {
-			return nil, fmt.Errorf("statestore: rebuild delta %d: %w", i+1, err)
+			return fmt.Errorf("statestore: rebuild delta %d: %w", i+1, err)
 		}
 	}
-	return s, nil
+	return nil
 }
