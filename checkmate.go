@@ -3,7 +3,12 @@
 //
 //   - a streaming dataflow engine (goroutine-per-operator-instance, bounded
 //     FIFO channels with backpressure, hash/forward/broadcast partitioning,
-//     failure injection and global rollback recovery);
+//     failure injection and global rollback recovery) with a batched data
+//     plane: records are exchanged in vectorized batch envelopes that share
+//     routing headers and protocol piggybacks, with a protocol-aware flush
+//     policy (EngineConfig.Batching) that drains buffers ahead of markers,
+//     watermarks and snapshots so checkpoint semantics are identical at
+//     every batch size;
 //   - the three checkpointing protocol families of the paper — coordinated
 //     aligned (COOR), uncoordinated (UNC) and communication-induced (CIC,
 //     the HMNR protocol) — plus a checkpoint-free baseline;
@@ -104,6 +109,12 @@ type (
 	Engine = core.Engine
 	// EngineConfig parameterizes an Engine.
 	EngineConfig = core.Config
+	// BatchingConfig is the flush policy of the vectorized exchange
+	// (EngineConfig.Batching): records crossing a channel are staged in
+	// per-channel output buffers and shipped as one batch envelope sharing
+	// the routing header, flushed on MaxRecords/MaxBytes/LingerTicks or by
+	// protocol events (markers, watermarks, snapshots).
+	BatchingConfig = core.BatchingConfig
 	// Protocol is a checkpointing protocol implementation.
 	Protocol = core.Protocol
 	// Features is the Table I qualitative feature row of a protocol.
@@ -212,6 +223,12 @@ type (
 	MSTConfig = harness.MSTConfig
 	// Suite reproduces the paper's evaluation section.
 	Suite = harness.Suite
+	// BenchConfig describes one drain-style data-plane throughput
+	// measurement (see BenchThroughput).
+	BenchConfig = harness.BenchConfig
+	// BenchPoint is one machine-readable throughput measurement, the unit
+	// of the committed BENCH_throughput.json trajectory.
+	BenchPoint = harness.BenchPoint
 	// Summary is the full metric snapshot of a run.
 	Summary = metrics.Summary
 	// Table is an aligned-text result table.
@@ -226,6 +243,11 @@ func Run(cfg RunConfig) (RunResult, error) { return harness.Run(cfg) }
 
 // FindMST searches for the maximum sustainable throughput.
 func FindMST(cfg MSTConfig) (float64, error) { return harness.FindMST(cfg) }
+
+// BenchThroughput drains a fixed record volume as fast as the engine can
+// and reports the achieved data-plane throughput — the measurement behind
+// the committed BENCH_throughput.json baseline.
+func BenchThroughput(cfg BenchConfig) (BenchPoint, error) { return harness.BenchThroughput(cfg) }
 
 // NewSuite returns the bench-scale experiment suite (20× time-compressed).
 func NewSuite() *Suite { return harness.NewSuite() }

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"checkmate"
@@ -44,8 +46,19 @@ func main() {
 		compress  = flag.Bool("compress", false, "deflate checkpoint blobs before upload")
 		delta     = flag.Bool("delta", false, "incremental (base+delta) checkpoints of keyed operator state")
 		scope     = flag.Bool("scope", false, "analyze the single-failure rollback scope after the run (UNC/CIC)")
+		batch     = flag.Int("batch", 0, "exchange batch size in records (0/1 = unbatched)")
+		batchB    = flag.Int("batch-bytes", 0, "exchange batch size bound in bytes (0 = default 32KiB)")
+		batchL    = flag.Int("batch-linger", 0, "exchange batch linger bound in poll-interval ticks (0 = default 1)")
+		benchJSON = flag.String("bench-json", "", "run the data-plane throughput grid (query x protocol x batch size) and write machine-readable results to this file")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchGrid(*benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	p, err := checkmate.ProtocolByName(*proto)
 	if err != nil {
@@ -82,6 +95,9 @@ func main() {
 		CompressCheckpoints:  *compress,
 		DeltaCheckpoints:     *delta,
 		AnalyzeRollbackScope: *scope,
+		BatchMaxRecords:      *batch,
+		BatchMaxBytes:        *batchB,
+		BatchLingerTicks:     *batchL,
 	}
 	switch *output {
 	case "none":
@@ -110,6 +126,57 @@ func main() {
 	if !res.Sustainable && *failAt == 0 {
 		fmt.Fprintln(os.Stderr, "warning: the configured rate was not sustainable")
 	}
+}
+
+// runBenchGrid measures drain-style data-plane throughput over the
+// query × protocol × batch-size grid and writes the machine-readable
+// baseline consumed by the BENCH_throughput.json trajectory.
+func runBenchGrid(path string) error {
+	queries := []string{"q1", "q3"}
+	protocols := []string{"COOR", "UNC", "CIC"}
+	batches := []int{1, 8, 64}
+	type benchFile struct {
+		GeneratedUnix int64                  `json:"generated_unix"`
+		CPUs          int                    `json:"cpus"`
+		Workers       int                    `json:"workers"`
+		Records       int                    `json:"records"`
+		Points        []checkmate.BenchPoint `json:"points"`
+	}
+	out := benchFile{GeneratedUnix: time.Now().Unix(), CPUs: runtime.NumCPU(), Workers: 2, Records: 200_000}
+	for _, q := range queries {
+		for _, pn := range protocols {
+			p, err := checkmate.ProtocolByName(pn)
+			if err != nil {
+				return err
+			}
+			for _, b := range batches {
+				pt, err := checkmate.BenchThroughput(checkmate.BenchConfig{
+					Query:           q,
+					Protocol:        p,
+					Workers:         out.Workers,
+					Records:         out.Records,
+					BatchMaxRecords: b,
+					Repeat:          3,
+				})
+				if err != nil {
+					return fmt.Errorf("bench %s/%s/batch=%d: %w", q, pn, b, err)
+				}
+				fmt.Printf("%-4s %-5s batch=%-3d  %10.0f rec/s  p50=%7.1fms  p99=%7.1fms  %.2fx overhead  %.1f rec/batch\n",
+					q, pn, b, pt.RecordsPerSec, pt.P50Millis, pt.P99Millis, pt.OverheadRatio, pt.AvgBatchRecords)
+				out.Points = append(out.Points, pt)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d points to %s\n", len(out.Points), path)
+	return nil
 }
 
 // parsePolicy parses the -policy flag: "fixed", "events=<n>" or
@@ -146,6 +213,11 @@ func printResult(res checkmate.RunResult) {
 	fmt.Printf("  checkpoints:        %d total, %d invalid, %d forced\n", s.TotalCheckpoints, s.InvalidCheckpoints, s.ForcedCkpts)
 	fmt.Printf("  message overhead:   %.2fx (%d payload B, %d protocol B)\n", s.OverheadRatio, s.PayloadBytes, s.ProtocolBytes)
 	fmt.Printf("  data/marker msgs:   %d / %d\n", s.DataMessages, s.MarkerMessages)
+	if s.BatchesSent > 0 {
+		fmt.Printf("  batches:            %d sent, avg %.1f rec/batch (max %d); flush: %d records, %d bytes, %d linger, %d control\n",
+			s.BatchesSent, s.AvgBatchRecords, s.MaxBatchRecords,
+			s.FlushRecords, s.FlushBytes, s.FlushLinger, s.FlushControl)
+	}
 	if s.Failures > 0 {
 		fmt.Printf("  failure:            restart %v, recovery %v (recovered=%v)\n",
 			s.RestartTime.Round(time.Millisecond), s.RecoveryTime.Round(time.Millisecond), s.Recovered)

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"checkmate/internal/wire"
+)
+
+// buildTestBatch encodes a batch envelope of n records with consecutive
+// seqs starting at firstSeq, values N=seq, exactly as flushOut frames them.
+func buildTestBatch(t *testing.T, firstSeq uint64, n int, piggy []byte) []byte {
+	t.Helper()
+	recs := wire.NewEncoder(nil)
+	for i := 0; i < n; i++ {
+		seq := firstSeq + uint64(i)
+		m := Message{Seq: seq, UID: 100 + seq, Key: seq, SchedNS: int64(seq) * 10, EventNS: int64(seq)*10 + 3, Value: &intVal{N: seq}}
+		encodeBatchRecord(recs, &m)
+	}
+	enc := wire.NewEncoder(nil)
+	encodeBatchHeader(enc, &batchHeader{Edge: 2, FromIdx: 1, ToIdx: 3, FirstSeq: firstSeq, Count: n, Piggyback: piggy})
+	enc.Raw(recs.Bytes())
+	return append([]byte(nil), enc.Bytes()...)
+}
+
+func TestBatchEnvelopeRoundTrip(t *testing.T) {
+	data := buildTestBatch(t, 7, 5, []byte{9, 9})
+	if got := envelopeRecordCount(data); got != 5 {
+		t.Fatalf("envelopeRecordCount = %d, want 5", got)
+	}
+	var cur batchCursor
+	if err := cur.init(data); err != nil {
+		t.Fatal(err)
+	}
+	if cur.hdr.Edge != 2 || cur.hdr.FromIdx != 1 || cur.hdr.ToIdx != 3 || string(cur.hdr.Piggyback) != string([]byte{9, 9}) {
+		t.Fatalf("header = %+v", cur.hdr)
+	}
+	for i := 0; i < 5; i++ {
+		var m Message
+		body, ok := cur.next(&m)
+		if !ok {
+			t.Fatalf("cursor ended early at %d: %v", i, cur.err())
+		}
+		want := uint64(7 + i)
+		if m.Seq != want || m.UID != 100+want || m.Key != want || m.SchedNS != int64(want)*10 ||
+			m.EventNS != int64(want)*10+3 || m.Value.(*intVal).N != want || m.Edge != 2 {
+			t.Fatalf("record %d = %+v", i, m)
+		}
+		if len(body) == 0 {
+			t.Fatalf("record %d has empty body", i)
+		}
+	}
+	if _, ok := cur.next(new(Message)); ok {
+		t.Fatal("cursor overran the batch")
+	}
+	if cur.err() != nil {
+		t.Fatal(cur.err())
+	}
+}
+
+func TestSliceBatchEnvelope(t *testing.T) {
+	data := buildTestBatch(t, 5, 6, []byte{1}) // seqs [5,10]
+	// Partial overlap: keep [7,9].
+	sliced, n, err := sliceBatchEnvelope(data, 7, 9)
+	if err != nil || n != 3 {
+		t.Fatalf("slice = %d records, err %v", n, err)
+	}
+	var cur batchCursor
+	if err := cur.init(sliced); err != nil {
+		t.Fatal(err)
+	}
+	if cur.hdr.FirstSeq != 7 || cur.hdr.Count != 3 || len(cur.hdr.Piggyback) != 1 {
+		t.Fatalf("sliced header = %+v", cur.hdr)
+	}
+	for want := uint64(7); want <= 9; want++ {
+		var m Message
+		_, ok := cur.next(&m)
+		if !ok || m.Seq != want || m.Value.(*intVal).N != want {
+			t.Fatalf("sliced record = %+v ok=%v, want seq %d", m, ok, want)
+		}
+	}
+	// Full overlap returns the envelope unchanged.
+	same, n, err := sliceBatchEnvelope(data, 1, 100)
+	if err != nil || n != 6 || &same[0] != &data[0] {
+		t.Fatalf("full-overlap slice: n=%d err=%v copied=%v", n, err, &same[0] != &data[0])
+	}
+	// No overlap.
+	if none, n, err := sliceBatchEnvelope(data, 11, 20); err != nil || n != 0 || none != nil {
+		t.Fatalf("no-overlap slice: %v %d %v", none, n, err)
+	}
+}
+
+func TestSingleRecordEnvelope(t *testing.T) {
+	data := buildTestBatch(t, 3, 4, []byte{7})
+	var cur batchCursor
+	if err := cur.init(data); err != nil {
+		t.Fatal(err)
+	}
+	var m Message
+	cur.next(&m)
+	body, ok := cur.next(&m) // record seq 4
+	if !ok {
+		t.Fatal(cur.err())
+	}
+	one := encodeSingleRecordEnvelope(&cur.hdr, m.Seq, body)
+	if got := envelopeRecordCount(one); got != 1 {
+		t.Fatalf("single envelope count = %d", got)
+	}
+	var c2 batchCursor
+	if err := c2.init(one); err != nil {
+		t.Fatal(err)
+	}
+	if c2.hdr.FirstSeq != 4 || string(c2.hdr.Piggyback) != string([]byte{7}) {
+		t.Fatalf("single header = %+v", c2.hdr)
+	}
+	var m2 Message
+	_, ok = c2.next(&m2)
+	if !ok || m2.Seq != 4 || m2.Value.(*intVal).N != 4 {
+		t.Fatalf("single record = %+v", m2)
+	}
+}
+
+// TestInboxBatchOvertake covers the unaligned-marker bookkeeping at record
+// granularity: a front-inserted marker counts the records inside queued
+// batches, and control frames (count 0) contribute nothing.
+func TestInboxBatchOvertake(t *testing.T) {
+	in := newInbox([]int{64})
+	in.push(0, []byte{1}, 5) // batch of 5
+	in.push(0, []byte{2}, 3) // batch of 3
+	in.push(0, []byte{3}, 0) // control frame: not overtaken data
+	in.pushFront(0, []byte{9}, 0)
+	if got := in.takeMarkCount(0); got != 8 {
+		t.Fatalf("markCount = %d, want 8 (records inside queued batches)", got)
+	}
+	// After draining the 5-batch, a marker only overtakes the remaining 3.
+	in.pop() // marker
+	in.pop() // 5-batch
+	in.pushFront(0, []byte{8}, 0)
+	if got := in.takeMarkCount(0); got != 3 {
+		t.Fatalf("markCount after partial drain = %d, want 3", got)
+	}
+	// Occupancy: 3-record batch + control frame + front-inserted marker
+	// (control frames charge one slot each).
+	if got := in.pending(); got != 5 {
+		t.Fatalf("pending = %d, want 5", got)
+	}
+}
+
+// runBatched runs the standard source->map->sink pipeline with the given
+// batching config and returns the merged per-key sums, the total and the
+// summary.
+func runBatched(t *testing.T, kind Kind, proto Protocol, batch BatchingConfig, withFailure bool) (map[uint64]uint64, uint64, uint64) {
+	t.Helper()
+	env, job := buildEnv(t, 2, 3000, 12000)
+	cfg := env.config(proto)
+	cfg.Batching = batch
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if withFailure {
+		time.Sleep(120 * time.Millisecond)
+		eng.InjectFailure(1)
+	}
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	sums, total := collectSums(eng, env.workers)
+	sum := env.recorder.Summarize(kind == KindCoordinated)
+	return sums, total, uint64(sum.TotalCheckpoints)
+}
+
+// TestBatchedUnbatchedEquivalence proves the batched data plane is
+// observationally equivalent to the unbatched one: identical operator
+// outputs under COOR, UNC and CIC, with checkpoint rounds still completing.
+// Covers markers arriving between and around batches under COOR alignment
+// (the sink aligns two hash channels carrying batches).
+func TestBatchedUnbatchedEquivalence(t *testing.T) {
+	for _, kind := range []Kind{KindCoordinated, KindUncoordinated, KindCIC} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			base, baseTotal, _ := runBatched(t, kind, nullProto{kind, kind.String()}, BatchingConfig{MaxRecords: 1}, false)
+			batched, batchedTotal, ckpts := runBatched(t, kind, nullProto{kind, kind.String()}, BatchingConfig{MaxRecords: 64}, false)
+			if baseTotal != batchedTotal {
+				t.Fatalf("totals differ: unbatched %d, batched %d", baseTotal, batchedTotal)
+			}
+			if !reflect.DeepEqual(base, batched) {
+				t.Fatalf("per-key sums differ between batch sizes (unbatched %d keys, batched %d keys)", len(base), len(batched))
+			}
+			if ckpts == 0 {
+				t.Fatal("no checkpoints completed under batching")
+			}
+		})
+	}
+}
+
+// TestBatchedExactlyOnceUnderFailure drives the full recovery machinery at
+// batch 64: UNC/CIC replay record-granular ranges from batched message
+// logs; COOR re-forms aligned rounds over batched channels. Exactly-once
+// totals prove the replay ranges are exact (no loss) and deduplication
+// catches any overlap.
+func TestBatchedExactlyOnceUnderFailure(t *testing.T) {
+	for _, kind := range []Kind{KindCoordinated, KindUncoordinated, KindCIC} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sums, total, _ := runBatched(t, kind, nullProto{kind, kind.String()}, BatchingConfig{MaxRecords: 64}, true)
+			if want := uint64(3000 * 2); total != want {
+				t.Fatalf("exactly-once violated at batch 64: total = %d, want %d", total, want)
+			}
+			for k, v := range sums {
+				if v != 2 {
+					t.Fatalf("key %d sum = %d, want 2", k, v)
+				}
+			}
+		})
+	}
+}
+
+// TestUnalignedBatchedFailure exercises unaligned markers overtaking queued
+// batches (front insertion with record-granular markCount) plus capture of
+// pre-barrier records sliced out of partially-consumed batches, under
+// repeated failure.
+func TestUnalignedBatchedFailure(t *testing.T) {
+	env, job := buildEnv(t, 2, 3000, 12000)
+	cfg := env.config(newUAProto())
+	cfg.Batching = BatchingConfig{MaxRecords: 64}
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	eng.InjectFailure(0)
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	sums, total := collectSums(eng, env.workers)
+	if want := uint64(3000 * 2); total != want {
+		t.Fatalf("exactly-once violated: total = %d, want %d", total, want)
+	}
+	for k, v := range sums {
+		if v != 2 {
+			t.Fatalf("key %d sum = %d", k, v)
+		}
+	}
+	sum := env.recorder.Summarize(true)
+	if sum.TotalCheckpoints == 0 {
+		t.Fatal("no unaligned rounds completed under batching")
+	}
+	if sum.BatchesSent == 0 || sum.AvgBatchRecords <= 1 {
+		t.Fatalf("batching not engaged: %d batches, %.2f rec/batch", sum.BatchesSent, sum.AvgBatchRecords)
+	}
+}
+
+// TestBatchFlushReasons checks the flush-trigger accounting: a fast run at
+// batch 64 must flush for a mix of reasons, and every data record must be
+// accounted to exactly one batch.
+func TestBatchFlushReasons(t *testing.T) {
+	env, job := buildEnv(t, 2, 2000, 50000)
+	cfg := env.config(nullProto{KindCoordinated, "COOR"})
+	cfg.Batching = BatchingConfig{MaxRecords: 64}
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	sum := env.recorder.Summarize(true)
+	if sum.BatchesSent == 0 {
+		t.Fatal("no batches sent")
+	}
+	if got := sum.FlushRecords + sum.FlushBytes + sum.FlushLinger + sum.FlushControl; got != sum.BatchesSent {
+		t.Fatalf("flush reasons %d != batches %d", got, sum.BatchesSent)
+	}
+	if sum.MaxBatchRecords > 64 {
+		t.Fatalf("max batch %d exceeds configured 64", sum.MaxBatchRecords)
+	}
+}

@@ -103,8 +103,32 @@ type Config struct {
 	// ChainPolicy tunes base-vs-delta compaction when DeltaCheckpoints is
 	// set. The zero value selects statestore.DefaultChainPolicy.
 	ChainPolicy statestore.ChainPolicy
+	// Batching configures the vectorized exchange: records crossing a
+	// channel are staged in per-channel output buffers and shipped as one
+	// batch envelope sharing the routing header. The zero value defaults to
+	// MaxRecords=1, which preserves the unbatched engine's per-message
+	// interleavings exactly.
+	Batching BatchingConfig
 	// Seed derives per-instance jitter.
 	Seed int64
+}
+
+// BatchingConfig is the flush policy of the vectorized exchange. A batch is
+// flushed as soon as it holds MaxRecords records or MaxBytes encoded bytes,
+// when it has lingered for LingerTicks poll intervals of virtual time, or —
+// regardless of the policy — whenever a checkpoint marker, watermark or
+// state snapshot requires the channel to be drained to keep protocol
+// semantics identical at every batch size.
+type BatchingConfig struct {
+	// MaxRecords bounds the records per batch envelope. <= 0 defaults to 1
+	// (batching effectively off: every record ships immediately).
+	MaxRecords int
+	// MaxBytes bounds the encoded record bytes per batch envelope.
+	// <= 0 defaults to 32 KiB.
+	MaxBytes int
+	// LingerTicks bounds how long a non-full batch may wait, measured in
+	// poll intervals of virtual time. <= 0 defaults to 1.
+	LingerTicks int
 }
 
 func (c *Config) applyDefaults() {
@@ -134,6 +158,15 @@ func (c *Config) applyDefaults() {
 	}
 	if c.DeltaCheckpoints && c.ChainPolicy == (statestore.ChainPolicy{}) {
 		c.ChainPolicy = statestore.DefaultChainPolicy()
+	}
+	if c.Batching.MaxRecords <= 0 {
+		c.Batching.MaxRecords = 1
+	}
+	if c.Batching.MaxBytes <= 0 {
+		c.Batching.MaxBytes = 32 << 10
+	}
+	if c.Batching.LingerTicks <= 0 {
+		c.Batching.LingerTicks = 1
 	}
 }
 
@@ -173,6 +206,9 @@ type Engine struct {
 	coord  *coordinator
 	output *outputCollector
 	start  time.Time
+	// lingerNS is the batch linger bound (Batching.LingerTicks poll
+	// intervals) in virtual-time nanoseconds.
+	lingerNS int64
 
 	volatileOffsets []atomic.Uint64
 
@@ -224,8 +260,9 @@ func NewEngine(cfg Config, job *JobSpec) (*Engine, error) {
 		logging:   kind.NeedsLogging() && cfg.Semantics != AtMostOnce,
 		exactOnce: kind.NeedsLogging() && cfg.Semantics == ExactlyOnce,
 		unaligned: unaligned,
-		log:       msglog.New(),
+		log:       msglog.NewWithSlicer(sliceBatchEnvelope),
 		output:    newOutputCollector(cfg.Output),
+		lingerNS:  int64(cfg.Batching.LingerTicks) * cfg.PollInterval.Nanoseconds(),
 	}
 	e.base = make([]int, len(job.Ops))
 	for i := range job.Ops {
@@ -327,6 +364,10 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world,
 			}
 			it.sentSeq = make([]uint64, len(it.outChans))
 			it.recvSeq = make([]uint64, len(it.inChans))
+			it.outBufs = make([]outBuf, len(it.outChans))
+			for i := range it.outBufs {
+				it.outBufs[i].recs = wire.NewEncoder(make([]byte, 0, 256))
+			}
 			it.curWM = noWatermark
 			it.maxEventNS = noWatermark
 			it.lastWMSent = noWatermark
@@ -422,17 +463,30 @@ func (e *Engine) partitionFor(it *instance) sourcePartition {
 		panic(fmt.Sprintf("core: source %s[%d]: topic %q has only %d partitions",
 			it.spec.Name, it.idx, topic.Name, len(topic.Partitions)))
 	}
-	return brokerPartition{p: topic.Partition(it.idx)}
+	return &brokerPartition{p: topic.Partition(it.idx)}
 }
 
-type brokerPartition struct{ p *mq.Partition }
+type brokerPartition struct {
+	p *mq.Partition
+	// scratch is reused across ReadBatch calls; each source instance owns
+	// its partition adapter, so no synchronization is needed.
+	scratch []mq.Record
+}
 
-func (bp brokerPartition) Read(offset uint64) (sourceRecord, bool) {
+func (bp *brokerPartition) Read(offset uint64) (sourceRecord, bool) {
 	r, ok := bp.p.Read(offset)
 	if !ok {
 		return sourceRecord{}, false
 	}
 	return sourceRecord{Offset: r.Offset, ScheduleNS: r.ScheduleNS, Key: r.Key, Value: r.Value}, true
+}
+
+func (bp *brokerPartition) ReadBatch(dst []sourceRecord, offset uint64, max int) []sourceRecord {
+	bp.scratch = bp.p.ReadBatch(bp.scratch[:0], offset, max)
+	for _, r := range bp.scratch {
+		dst = append(dst, sourceRecord{Offset: r.Offset, ScheduleNS: r.ScheduleNS, Key: r.Key, Value: r.Value})
+	}
+	return dst
 }
 
 // stopWorld tears down a world and waits for all of its goroutines,
@@ -540,12 +594,14 @@ func (e *Engine) recover(detectAt time.Time, failedWorld *world) {
 			// Unaligned checkpoints carry their in-flight channel state in
 			// the blobs; re-inject it before the instances start.
 			for _, it := range w.instances {
+				var injected int
 				for _, c := range it.pendingInject {
-					it.in.force(c.queue, c.data)
-					replayed++
+					it.in.force(c.queue, c.data, c.count)
+					replayed += uint64(c.count)
+					injected += c.count
 				}
-				if n := len(it.pendingInject); n > 0 {
-					rec.IncReplayMessages(n)
+				if injected > 0 {
+					rec.IncReplayMessages(injected)
 					it.pendingInject = nil
 				}
 			}
@@ -668,8 +724,8 @@ func (e *Engine) replayInFlight(w *world, line recovery.Line, metas []recovery.M
 			target := w.instances[ch.To]
 			queue := e.queueIdx[ch.ID]
 			for _, en := range entries {
-				target.in.force(queue, en.Data)
-				replayed++
+				target.in.force(queue, en.Data, en.Count)
+				replayed += uint64(en.Count)
 			}
 		}
 	} else {
@@ -678,8 +734,8 @@ func (e *Engine) replayInFlight(w *world, line recovery.Line, metas []recovery.M
 			target := w.instances[rng.Channel.To]
 			queue := e.queueIdx[rng.Channel.ID]
 			for _, en := range entries {
-				target.in.force(queue, en.Data)
-				replayed++
+				target.in.force(queue, en.Data, en.Count)
+				replayed += uint64(en.Count)
 			}
 		}
 	}

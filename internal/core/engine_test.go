@@ -489,36 +489,36 @@ func TestEngineDoubleStartStop(t *testing.T) {
 
 func TestInboxBasics(t *testing.T) {
 	in := newInbox([]int{2, 2})
-	if !in.push(0, []byte{1}) || !in.push(1, []byte{2}) {
+	if !in.push(0, []byte{1}, 1) || !in.push(1, []byte{2}, 1) {
 		t.Fatal("push failed")
 	}
-	data, ch, ok := in.pop()
-	if !ok || len(data) != 1 {
-		t.Fatalf("pop = %v %d %v", data, ch, ok)
+	data, n, ch, ok := in.pop()
+	if !ok || len(data) != 1 || n != 1 {
+		t.Fatalf("pop = %v %d %d %v", data, n, ch, ok)
 	}
 	in.setBlocked(1, true)
-	if _, _, ok := in.pop(); ok {
+	if _, _, _, ok := in.pop(); ok {
 		t.Fatal("pop delivered from blocked channel")
 	}
 	if in.pending() != 0 {
 		t.Fatalf("pending = %d (blocked excluded)", in.pending())
 	}
 	in.setBlocked(1, false)
-	if _, _, ok := in.pop(); !ok {
+	if _, _, _, ok := in.pop(); !ok {
 		t.Fatal("pop after unblock failed")
 	}
 	in.close()
-	if in.push(0, []byte{3}) {
+	if in.push(0, []byte{3}, 1) {
 		t.Fatal("push after close should fail")
 	}
 }
 
 func TestInboxBackpressure(t *testing.T) {
 	in := newInbox([]int{1})
-	in.push(0, []byte{1})
+	in.push(0, []byte{1}, 1)
 	done := make(chan bool, 1)
 	go func() {
-		done <- in.push(0, []byte{2}) // blocks until pop
+		done <- in.push(0, []byte{2}, 1) // blocks until pop
 	}()
 	select {
 	case <-done:
@@ -538,9 +538,9 @@ func TestInboxBackpressure(t *testing.T) {
 
 func TestInboxCloseWakesBlockedSender(t *testing.T) {
 	in := newInbox([]int{1})
-	in.push(0, []byte{1})
+	in.push(0, []byte{1}, 1)
 	done := make(chan bool, 1)
-	go func() { done <- in.push(0, []byte{2}) }()
+	go func() { done <- in.push(0, []byte{2}, 1) }()
 	time.Sleep(10 * time.Millisecond)
 	in.close()
 	select {
@@ -556,11 +556,11 @@ func TestInboxCloseWakesBlockedSender(t *testing.T) {
 func TestInboxForceIgnoresCap(t *testing.T) {
 	in := newInbox([]int{1})
 	for i := 0; i < 10; i++ {
-		in.force(0, []byte{byte(i)})
+		in.force(0, []byte{byte(i)}, 1)
 	}
 	count := 0
 	for {
-		if _, _, ok := in.pop(); !ok {
+		if _, _, _, ok := in.pop(); !ok {
 			break
 		}
 		count++

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"checkmate/internal/dedup"
+	"checkmate/internal/metrics"
 	"checkmate/internal/recovery"
 	"checkmate/internal/statestore"
 	"checkmate/internal/wire"
@@ -32,6 +33,17 @@ type outEdge struct {
 	targets []int // indexes into instance.outChans
 }
 
+// outBuf accumulates the records of one outgoing channel between flushes:
+// the vectorized-exchange output buffer. Records are staged as
+// length-prefixed bodies; the shared batch header (and the per-batch
+// protocol piggyback) is prepended at flush time.
+type outBuf struct {
+	recs     *wire.Encoder // length-prefixed record bodies
+	count    int
+	firstSeq uint64
+	firstNS  int64 // virtual time the first buffered record arrived
+}
+
 // inChan is one incoming channel of an instance.
 type inChan struct {
 	key     uint64
@@ -55,6 +67,12 @@ type instance struct {
 	inChans  []inChan
 	outChans []outChan
 	outEdges []outEdge
+
+	// outBufs holds the per-channel output batches (one per outChans entry);
+	// buffered is the total record count across them, so the hot path can
+	// skip flush scans when nothing is pending.
+	outBufs  []outBuf
+	buffered int
 
 	sentSeq []uint64 // per outChans entry
 	recvSeq []uint64 // per inChans entry
@@ -124,6 +142,7 @@ type instance struct {
 
 	enc      *wire.Encoder // reusable envelope encoder
 	piggyEnc *wire.Encoder // reusable piggyback encoder
+	cur      batchCursor   // reusable batch decode cursor
 	msgCount int
 }
 
@@ -181,16 +200,19 @@ func (it *instance) send(oe int, key uint64, v wire.Value, schedNS, eventNS int6
 	}
 }
 
-// sendTo serializes and delivers one record on outChans[t], logging it when
-// the protocol requires in-flight logging. Blocks under backpressure.
+// sendTo stages one record into the output batch of outChans[t]. The batch
+// is flushed — encoded as a single wire envelope sharing the routing header,
+// logged as one frame when the protocol requires in-flight logging, and
+// delivered under backpressure — when it reaches the configured record or
+// byte bound; protocol events and the linger bound flush it earlier.
 func (it *instance) sendTo(t int, key uint64, v wire.Value, schedNS, eventNS int64, uid uint64) {
-	oc := &it.outChans[t]
 	it.sentSeq[t]++
+	b := &it.outBufs[t]
+	if b.count == 0 {
+		b.firstSeq = it.sentSeq[t]
+		b.firstNS = it.eng.nowNS()
+	}
 	m := Message{
-		Kind:    msgData,
-		Edge:    oc.edge,
-		FromIdx: it.idx,
-		ToIdx:   oc.toIdx,
 		Seq:     it.sentSeq[t],
 		UID:     uid,
 		Key:     key,
@@ -198,33 +220,95 @@ func (it *instance) sendTo(t int, key uint64, v wire.Value, schedNS, eventNS int
 		EventNS: eventNS,
 		Value:   v,
 	}
+	encodeBatchRecord(b.recs, &m)
+	b.count++
+	it.buffered++
+	batching := &it.eng.cfg.Batching
+	switch {
+	case b.count >= batching.MaxRecords:
+		it.flushOut(t, metrics.FlushMaxRecords)
+	case b.recs.Len() >= batching.MaxBytes:
+		it.flushOut(t, metrics.FlushMaxBytes)
+	}
+}
+
+// flushOut encodes the pending batch of outChans[t] into one wire envelope
+// and delivers it. The per-batch protocol piggyback is attached here (once
+// per batch, not once per record). Blocks under backpressure.
+func (it *instance) flushOut(t int, reason metrics.FlushReason) {
+	b := &it.outBufs[t]
+	if b.count == 0 {
+		return
+	}
+	oc := &it.outChans[t]
+	hdr := batchHeader{Edge: oc.edge, FromIdx: it.idx, ToIdx: oc.toIdx, FirstSeq: b.firstSeq, Count: b.count}
 	if it.ctrl != nil {
 		it.piggyEnc.Reset()
 		it.ctrl.OnSend(oc.toGID, it.piggyEnc)
 		if it.piggyEnc.Len() > 0 {
-			m.Piggyback = it.piggyEnc.Bytes()
+			hdr.Piggyback = it.piggyEnc.Bytes()
 		}
 	}
 	it.enc.Reset()
-	payloadB, protoB := encodeMessage(it.enc, &m)
-	data := append([]byte(nil), it.enc.Bytes()...)
+	headerB, protoB := encodeBatchHeader(it.enc, &hdr)
+	payloadB := headerB + b.recs.Len()
+	// Assemble the envelope directly into its final buffer: one copy of the
+	// record section, not two.
+	data := make([]byte, 0, it.enc.Len()+b.recs.Len())
+	data = append(data, it.enc.Bytes()...)
+	data = append(data, b.recs.Bytes()...)
+	count := b.count
+	b.recs.Reset()
+	b.count = 0
+	it.buffered -= count
+
 	rec := it.eng.cfg.Recorder
 	rec.AddPayloadBytes(payloadB)
 	rec.AddProtocolBytes(protoB)
-	rec.IncDataMessages()
+	rec.AddDataMessages(count)
+	rec.AddBatchFlush(count, reason)
 	if it.eng.logging {
-		it.eng.log.Append(oc.key, m.Seq, data)
+		it.eng.log.AppendBatch(oc.key, hdr.FirstSeq, count, data)
 	}
 	target := it.w.instances[oc.toGID]
 	it.eng.netWork(data)
-	target.in.push(oc.toQueue, data)
+	target.in.push(oc.toQueue, data, count)
 }
 
-// sendMarker delivers a checkpoint marker on every outgoing channel. Under
-// the unaligned protocol markers overtake queued data (front insertion);
-// aligned markers queue in FIFO order and may block under backpressure —
-// exactly the failure mode the paper attributes to the aligned protocol.
+// flushAllOut flushes every non-empty output batch.
+func (it *instance) flushAllOut(reason metrics.FlushReason) {
+	if it.buffered == 0 {
+		return
+	}
+	for t := range it.outBufs {
+		it.flushOut(t, reason)
+	}
+}
+
+// flushLingering flushes output batches whose first record has been waiting
+// longer than the linger bound.
+func (it *instance) flushLingering() {
+	if it.buffered == 0 {
+		return
+	}
+	now := it.eng.nowNS()
+	for t := range it.outBufs {
+		b := &it.outBufs[t]
+		if b.count > 0 && now-b.firstNS >= it.eng.lingerNS {
+			it.flushOut(t, metrics.FlushLinger)
+		}
+	}
+}
+
+// sendMarker delivers a checkpoint marker on every outgoing channel, first
+// flushing pending output batches so the marker never overtakes records
+// that logically precede it — alignment semantics are identical at every
+// batch size. Under the unaligned protocol markers overtake queued data
+// (front insertion); aligned markers queue in FIFO order and may block
+// under backpressure — exactly the failure mode the paper attributes to
+// the aligned protocol.
 func (it *instance) sendMarker(round uint64) {
+	it.flushAllOut(metrics.FlushControl)
 	rec := it.eng.cfg.Recorder
 	for i := range it.outChans {
 		oc := &it.outChans[i]
@@ -236,17 +320,19 @@ func (it *instance) sendMarker(round uint64) {
 		rec.IncMarkerMessages()
 		target := it.w.instances[oc.toGID].in
 		if it.eng.unaligned {
-			target.pushFront(oc.toQueue, data)
+			target.pushFront(oc.toQueue, data, 0)
 		} else {
-			target.push(oc.toQueue, data)
+			target.push(oc.toQueue, data, 0)
 		}
 	}
 }
 
-// sendWatermark forwards a watermark on every outgoing channel. Watermarks
-// are control messages: never logged, regenerated after recovery, counted
-// as protocol bytes.
+// sendWatermark forwards a watermark on every outgoing channel, flushing
+// pending batches first so the watermark never overtakes the records whose
+// event times it promises are complete. Watermarks are control messages:
+// never logged, regenerated after recovery, counted as protocol bytes.
 func (it *instance) sendWatermark(wm int64) {
+	it.flushAllOut(metrics.FlushControl)
 	rec := it.eng.cfg.Recorder
 	for i := range it.outChans {
 		oc := &it.outChans[i]
@@ -256,7 +342,7 @@ func (it *instance) sendWatermark(wm int64) {
 		data := append([]byte(nil), it.enc.Bytes()...)
 		rec.AddProtocolBytes(protoB)
 		rec.IncWatermarkMessages()
-		it.w.instances[oc.toGID].in.push(oc.toQueue, data)
+		it.w.instances[oc.toGID].in.push(oc.toQueue, data, 0)
 	}
 }
 
@@ -311,9 +397,12 @@ func (it *instance) handleWatermark(m Message, ch int) {
 }
 
 // capturedMsg is one in-flight envelope persisted as channel state by an
-// unaligned checkpoint.
+// unaligned checkpoint. count is the number of data records the envelope
+// carries (captures are re-framed to single records, so it is 1 there; on
+// restore it is re-derived from the envelope).
 type capturedMsg struct {
 	queue int
+	count int
 	data  []byte
 }
 
@@ -345,7 +434,7 @@ func (it *instance) run() {
 			if it.stopped() {
 				return
 			}
-			data, ch, ok := it.in.pop()
+			data, _, ch, ok := it.in.pop()
 			if !ok {
 				break
 			}
@@ -365,6 +454,9 @@ func (it *instance) run() {
 		if it.in.pending() > 0 {
 			continue
 		}
+		// Going idle: no point holding half-full batches for the linger
+		// bound, downstream would only wait.
+		it.flushAllOut(metrics.FlushLinger)
 		if wait < 0 {
 			wait = 0
 		}
@@ -396,9 +488,10 @@ func (it *instance) stopped() bool {
 	}
 }
 
-// poll fires due timers, source watermarks, and protocol-initiated local
-// checkpoints.
+// poll fires due timers, source watermarks, lingering output batches, and
+// protocol-initiated local checkpoints.
 func (it *instance) poll() {
+	it.flushLingering()
 	if it.spec.Source != nil {
 		it.maybeEmitSourceWM()
 	}
@@ -417,41 +510,82 @@ func (it *instance) poll() {
 	}
 }
 
-// handle processes one envelope from local input channel ch.
+// handle processes one envelope from local input channel ch: a batch frame
+// or a control message. Data records are always framed as msgBatch (a
+// batch of one at MaxRecords=1) — by sendTo, by unaligned captures, and by
+// log replay — so a bare msgData frame here is corrupt input.
 func (it *instance) handle(data []byte, ch int) {
 	it.eng.netWork(data)
+	if len(data) > 0 && data[0] == msgBatch {
+		it.handleBatch(data, ch)
+		return
+	}
 	m, err := decodeMessage(data)
 	if err != nil {
 		it.eng.cfg.Recorder.Note("instance %s[%d]: corrupt message: %v", it.spec.Name, it.idx, err)
 		return
 	}
-	if m.Kind == msgMarker {
+	switch m.Kind {
+	case msgMarker:
 		it.handleMarker(m, ch)
-		return
-	}
-	if m.Kind == msgWatermark {
+	case msgWatermark:
 		it.handleWatermark(m, ch)
+	default:
+		it.eng.cfg.Recorder.Note("instance %s[%d]: unexpected non-batch data frame (kind %d)", it.spec.Name, it.idx, m.Kind)
+	}
+}
+
+// handleBatch iterates a batch envelope record by record. The protocol
+// piggyback is applied once per batch (before any of its records are
+// processed), sequence deduplication, UID deduplication and unaligned
+// capture stay record-granular.
+func (it *instance) handleBatch(data []byte, ch int) {
+	cur := &it.cur
+	if err := cur.init(data); err != nil {
+		it.eng.cfg.Recorder.Note("instance %s[%d]: corrupt batch: %v", it.spec.Name, it.idx, err)
 		return
 	}
-	it.captureUnaligned(ch, data)
 	rec := it.eng.cfg.Recorder
-	if it.eng.exactOnce {
-		// Per-channel sequence deduplication for replayed traffic. Durable
-		// receive frontiers are exactly-once machinery; at-least-once mode
-		// processes replayed overlap again (Definition 2).
-		if m.Seq <= it.recvSeq[ch] {
-			rec.IncDupDropped()
-			return
-		}
-	}
-	if m.Seq > it.recvSeq[ch] {
-		it.recvSeq[ch] = m.Seq
-	}
-	if it.ctrl != nil {
-		if it.ctrl.OnReceive(it.inChans[ch].fromGID, m.Piggyback) {
+	hdr := &cur.hdr
+	if it.ctrl != nil && !(it.eng.exactOnce && hdr.lastSeq() <= it.recvSeq[ch]) {
+		// A fully-duplicate batch (replayed overlap) is dropped below
+		// without touching the controller, mirroring the single-record
+		// path's drop-before-OnReceive order.
+		if it.ctrl.OnReceive(it.inChans[ch].fromGID, hdr.Piggyback) {
 			it.takeCheckpoint(0, true)
 		}
 	}
+	// Records framed in one envelope arrived at the same instant: read the
+	// clock once per batch, not once per record.
+	now := it.eng.nowNS()
+	var m Message
+	for {
+		body, ok := cur.next(&m)
+		if !ok {
+			if err := cur.err(); err != nil {
+				rec.Note("instance %s[%d]: corrupt batch record: %v", it.spec.Name, it.idx, err)
+			}
+			return
+		}
+		if it.ua != nil {
+			it.captureBatchRecord(ch, hdr, m.Seq, body)
+		}
+		if it.eng.exactOnce && m.Seq <= it.recvSeq[ch] {
+			rec.IncDupDropped()
+			continue
+		}
+		if m.Seq > it.recvSeq[ch] {
+			it.recvSeq[ch] = m.Seq
+		}
+		it.processRecord(&m, now)
+	}
+}
+
+// processRecord runs the protocol-independent tail of record delivery: UID
+// deduplication, sink accounting, straggler simulation and the operator
+// callback. nowNS is the delivery time of the enclosing envelope.
+func (it *instance) processRecord(m *Message, nowNS int64) {
+	rec := it.eng.cfg.Recorder
 	if it.dedup != nil {
 		if it.dedup.Check(m.UID) {
 			rec.IncDupDropped()
@@ -459,8 +593,7 @@ func (it *instance) handle(data []byte, ch int) {
 		}
 	}
 	if it.spec.Sink {
-		now := it.eng.nowNS()
-		rec.RecordSinkLatency(it.eng.start.Add(time.Duration(now)), time.Duration(now-m.SchedNS))
+		rec.RecordSinkLatencySince(time.Duration(nowNS), time.Duration(nowNS-m.SchedNS))
 		it.eng.output.add(OutputRecord{
 			Sink:    it.gid,
 			Epoch:   it.ckptSeq + 1,
@@ -468,7 +601,7 @@ func (it *instance) handle(data []byte, ch int) {
 			Value:   m.Value,
 			UID:     m.UID,
 			SchedNS: m.SchedNS,
-			EmitNS:  now,
+			EmitNS:  nowNS,
 		})
 	}
 	if it.stragglerNS > 0 {
@@ -538,6 +671,11 @@ func (it *instance) handleMarker(m Message, ch int) {
 // blob without decoding the rest), then the instance scalars, then the
 // captured channel state.
 func (it *instance) snapshotState(round uint64, forced bool) (*wire.Encoder, recovery.Meta) {
+	// Flush pending output batches first: the snapshot's sent frontier must
+	// match what actually reached the wire and the in-flight log, or the
+	// recovery line would compute replay ranges covering records that were
+	// never logged.
+	it.flushAllOut(metrics.FlushControl)
 	it.ckptSeq++
 	storeKey := fmt.Sprintf("ckpt/%s/%s/%d/%d", it.eng.job.Name, it.spec.Name, it.idx, it.ckptSeq)
 	enc := wire.NewEncoder(make([]byte, 0, 4096))
@@ -712,18 +850,20 @@ func (it *instance) handleUnalignedMarker(m Message, ch int) {
 	it.maybeFinalizeUnaligned()
 }
 
-// captureUnaligned records a pre-barrier message as channel state. Returns
-// immediately when no unaligned checkpoint is active.
-func (it *instance) captureUnaligned(ch int, data []byte) {
+// captureBatchRecord records one pre-barrier record of a batch as channel
+// state, re-framed as a count-1 envelope so the overtaken-record budget of
+// the channel (which is record-granular) drains exactly — a marker can
+// overtake part of a queued batch and the capture stops mid-batch.
+func (it *instance) captureBatchRecord(ch int, hdr *batchHeader, seq uint64, body []byte) {
 	ua := it.ua
 	if ua == nil {
 		return
 	}
 	switch {
 	case ua.counted[ch] < 0: // marker not yet arrived: everything is pre-barrier
-		ua.captures = append(ua.captures, capturedMsg{queue: ch, data: data})
+		ua.captures = append(ua.captures, capturedMsg{queue: ch, count: 1, data: encodeSingleRecordEnvelope(hdr, seq, body)})
 	case ua.counted[ch] > 0:
-		ua.captures = append(ua.captures, capturedMsg{queue: ch, data: data})
+		ua.captures = append(ua.captures, capturedMsg{queue: ch, count: 1, data: encodeSingleRecordEnvelope(hdr, seq, body)})
 		ua.counted[ch]--
 		it.maybeFinalizeUnaligned()
 	}
@@ -844,17 +984,30 @@ func (it *instance) restore(blobs [][]byte) error {
 		if queue < 0 || queue >= len(it.inChans) {
 			return fmt.Errorf("core: restore %s[%d]: channel-state queue %d out of range", it.spec.Name, it.idx, queue)
 		}
-		it.pendingInject = append(it.pendingInject, capturedMsg{queue: queue, data: append([]byte(nil), data...)})
+		cp := append([]byte(nil), data...)
+		it.pendingInject = append(it.pendingInject, capturedMsg{queue: queue, count: envelopeRecordCount(cp), data: cp})
 	}
 	return dec.Err()
 }
 
 // runSource is the main loop of a source instance: rate-limited reads from
 // its broker partition, coordinated-round handling, and local checkpoints.
+// Ingestion is batched symmetrically with the exchange: records are fetched
+// from the partition in ReadBatch chunks and staged locally; the read
+// buffer is purely local, so checkpointed offsets and recovery rewinds are
+// unaffected by read-ahead.
 func (it *instance) runSource(part sourcePartition) {
 	defer it.w.wg.Done()
 	timer := time.NewTimer(it.eng.cfg.PollInterval)
 	defer timer.Stop()
+	readMax := it.eng.cfg.Batching.MaxRecords
+	if readMax < minSourceReadBatch {
+		readMax = minSourceReadBatch
+	}
+	var (
+		readBuf []sourceRecord
+		readPos int
+	)
 	for {
 		if it.stopped() {
 			return
@@ -866,9 +1019,13 @@ func (it *instance) runSource(part sourcePartition) {
 			continue
 		default:
 		}
-		rec, ok := part.Read(it.offset)
-		if !ok {
-			// End of available input: idle-poll.
+		if readPos >= len(readBuf) {
+			readBuf = part.ReadBatch(readBuf[:0], it.offset, readMax)
+			readPos = 0
+		}
+		if readPos >= len(readBuf) {
+			// End of available input: flush what is buffered and idle-poll.
+			it.flushAllOut(metrics.FlushLinger)
 			it.poll()
 			if !timer.Stop() {
 				select {
@@ -887,6 +1044,7 @@ func (it *instance) runSource(part sourcePartition) {
 			}
 			continue
 		}
+		rec := readBuf[readPos]
 		// Respect the arrival schedule: never emit early.
 		for {
 			now := it.eng.nowNS()
@@ -896,6 +1054,9 @@ func (it *instance) runSource(part sourcePartition) {
 				break
 			}
 			it.lagNS.Store(0)
+			// About to wait for the schedule: buffered records would only
+			// age past the linger bound, so flush them now.
+			it.flushAllOut(metrics.FlushLinger)
 			sleep := time.Duration(d)
 			if sleep > it.eng.cfg.PollInterval {
 				sleep = it.eng.cfg.PollInterval
@@ -931,6 +1092,7 @@ func (it *instance) runSource(part sourcePartition) {
 			it.send(oe, rec.Key, rec.Value, rec.ScheduleNS, eventNS, uid)
 		}
 		it.offset = rec.Offset + 1
+		readPos++
 		it.eng.volatileOffsets[it.gid].Store(it.offset)
 		it.msgCount++
 		if it.msgCount%64 == 0 {
@@ -939,9 +1101,18 @@ func (it *instance) runSource(part sourcePartition) {
 	}
 }
 
+// minSourceReadBatch is the smallest source read-ahead chunk; even an
+// unbatched exchange (MaxRecords=1) amortizes partition lock acquisitions
+// over this many records, which is safe because the read buffer never
+// affects checkpointed offsets.
+const minSourceReadBatch = 16
+
 // sourcePartition abstracts the broker partition a source reads.
 type sourcePartition interface {
 	Read(offset uint64) (sourceRecord, bool)
+	// ReadBatch appends up to max records starting at offset to dst and
+	// returns the extended slice, stopping early at the end of the log.
+	ReadBatch(dst []sourceRecord, offset uint64, max int) []sourceRecord
 }
 
 // sourceRecord mirrors mq.Record without importing it here (the engine

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"checkmate/internal/wire"
 )
@@ -12,6 +11,10 @@ const (
 	msgData      = byte(1)
 	msgMarker    = byte(2)
 	msgWatermark = byte(3)
+	// msgBatch frames a run of consecutive data records of one channel in a
+	// single envelope: the routing header, the first sequence number and the
+	// protocol piggyback are encoded once and shared by every record.
+	msgBatch = byte(4)
 )
 
 // Message is the in-memory form of one record, marker or watermark crossing
@@ -98,32 +101,257 @@ func decodeMessage(buf []byte) (Message, error) {
 	return m, nil
 }
 
+// batchHeader is the shared preamble of a msgBatch envelope. The records of
+// a batch always carry consecutive sequence numbers starting at FirstSeq, so
+// only the first one is encoded; the piggyback is protocol state attached
+// once per batch rather than once per record.
+type batchHeader struct {
+	Edge      int
+	FromIdx   int
+	ToIdx     int
+	FirstSeq  uint64
+	Count     int
+	Piggyback []byte
+}
+
+func (h *batchHeader) lastSeq() uint64 { return h.FirstSeq + uint64(h.Count) - 1 }
+
+// encodeBatchHeader appends the shared batch preamble to enc and returns the
+// number of payload bytes and protocol bytes it contributed (the piggyback
+// section is protocol, everything else payload — mirroring encodeMessage).
+func encodeBatchHeader(enc *wire.Encoder, h *batchHeader) (payloadBytes, protocolBytes int) {
+	start := enc.Len()
+	enc.Byte(msgBatch)
+	enc.Uvarint(uint64(h.Edge))
+	enc.Uvarint(uint64(h.FromIdx))
+	enc.Uvarint(uint64(h.ToIdx))
+	enc.Uvarint(h.FirstSeq)
+	enc.Uvarint(uint64(h.Count))
+	payloadEnd := enc.Len()
+	enc.Bytes2(h.Piggyback)
+	return payloadEnd - start, enc.Len() - payloadEnd
+}
+
+// encodeBatchRecord appends one length-prefixed record body (uid, key,
+// schedule time, event-time delta, value) to the record section of a batch.
+// The length prefix lets batch envelopes be sliced at record granularity
+// without decoding payload values; the body is encoded in place with a
+// patched prefix, so each record is serialized exactly once.
+func encodeBatchRecord(enc *wire.Encoder, m *Message) {
+	start := enc.BeginLen()
+	enc.Uvarint(m.UID)
+	enc.Uvarint(m.Key)
+	enc.Varint(m.SchedNS)
+	enc.Varint(m.EventNS - m.SchedNS)
+	wire.EncodeValue(enc, m.Value)
+	enc.EndLen(start)
+}
+
+// decodeBatchHeader parses the shared preamble; the decoder is left at the
+// first record's length prefix.
+func decodeBatchHeader(dec *wire.Decoder) (batchHeader, error) {
+	var h batchHeader
+	if k := dec.Byte(); k != msgBatch {
+		return h, fmt.Errorf("core: decode batch: kind %d", k)
+	}
+	h.Edge = int(dec.Uvarint())
+	h.FromIdx = int(dec.Uvarint())
+	h.ToIdx = int(dec.Uvarint())
+	h.FirstSeq = dec.Uvarint()
+	h.Count = int(dec.Uvarint())
+	h.Piggyback = dec.Bytes()
+	if err := dec.Err(); err != nil {
+		return h, fmt.Errorf("core: decode batch header: %w", err)
+	}
+	if h.Count <= 0 || h.Count > dec.Remaining()+1 {
+		return h, fmt.Errorf("core: decode batch: implausible record count %d", h.Count)
+	}
+	return h, nil
+}
+
+// batchCursor iterates the records of a msgBatch envelope, materializing one
+// Message at a time (sequence numbers reconstructed from the header). The
+// zero value is initialized with init; it embeds both decoders so iterating
+// a batch costs no allocations beyond the payload values themselves.
+type batchCursor struct {
+	dec wire.Decoder // envelope-level: walks the record length prefixes
+	rec wire.Decoder // record-level: reused across record bodies
+	hdr batchHeader
+	i   int
+}
+
+func (c *batchCursor) init(buf []byte) error {
+	c.dec.ResetBytes(buf)
+	hdr, err := decodeBatchHeader(&c.dec)
+	if err != nil {
+		return err
+	}
+	c.hdr = hdr
+	c.i = 0
+	return nil
+}
+
+// next decodes the next record of the batch into m and returns its raw
+// length-prefixed body (for record-granular re-framing). m is an out-param
+// so iterating a batch copies no Message structs. ok is false once the
+// batch is exhausted or corrupt; check err() afterwards.
+func (c *batchCursor) next(m *Message) (body []byte, ok bool) {
+	if c.i >= c.hdr.Count || c.dec.Err() != nil {
+		return nil, false
+	}
+	body = c.dec.Bytes()
+	if c.dec.Err() != nil {
+		return nil, false
+	}
+	rd := &c.rec
+	rd.ResetBytes(body)
+	*m = Message{
+		Kind:    msgData,
+		Edge:    c.hdr.Edge,
+		FromIdx: c.hdr.FromIdx,
+		ToIdx:   c.hdr.ToIdx,
+		Seq:     c.hdr.FirstSeq + uint64(c.i),
+	}
+	m.UID = rd.Uvarint()
+	m.Key = rd.Uvarint()
+	m.SchedNS = rd.Varint()
+	m.EventNS = m.SchedNS + rd.Varint()
+	v, err := wire.DecodeValue(rd)
+	if err != nil {
+		c.dec.Fail(err)
+		return nil, false
+	}
+	m.Value = v
+	c.i++
+	return body, true
+}
+
+func (c *batchCursor) err() error { return c.dec.Err() }
+
+// encodeSingleRecordEnvelope re-frames one record of a batch as a count-1
+// batch envelope carrying the batch's piggyback, used when capturing
+// pre-barrier records one at a time as unaligned channel state.
+func encodeSingleRecordEnvelope(hdr *batchHeader, seq uint64, body []byte) []byte {
+	one := batchHeader{Edge: hdr.Edge, FromIdx: hdr.FromIdx, ToIdx: hdr.ToIdx,
+		FirstSeq: seq, Count: 1, Piggyback: hdr.Piggyback}
+	enc := wire.NewEncoder(make([]byte, 0, len(body)+len(hdr.Piggyback)+24))
+	encodeBatchHeader(enc, &one)
+	enc.Bytes2(body)
+	return enc.Bytes()
+}
+
+// sliceBatchEnvelope re-frames the records of a batch envelope whose
+// sequence numbers fall in [fromSeq, toSeq] as a fresh envelope, preserving
+// the piggyback. It returns the sliced envelope and its record count; a nil
+// envelope with count 0 means the ranges do not overlap. Single-record
+// msgData envelopes are passed through when they fall inside the range.
+// This is the record-granular replay primitive the batched message log uses.
+func sliceBatchEnvelope(data []byte, fromSeq, toSeq uint64) ([]byte, int, error) {
+	if len(data) == 0 {
+		return nil, 0, fmt.Errorf("core: slice batch: empty envelope")
+	}
+	if data[0] != msgBatch {
+		m, err := decodeMessage(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		if m.Seq < fromSeq || m.Seq > toSeq {
+			return nil, 0, nil
+		}
+		return data, 1, nil
+	}
+	dec := wire.NewDecoder(data)
+	hdr, err := decodeBatchHeader(dec)
+	if err != nil {
+		return nil, 0, err
+	}
+	if fromSeq <= hdr.FirstSeq && hdr.lastSeq() <= toSeq {
+		return data, hdr.Count, nil
+	}
+	out := batchHeader{Edge: hdr.Edge, FromIdx: hdr.FromIdx, ToIdx: hdr.ToIdx, Piggyback: hdr.Piggyback}
+	var bodies [][]byte
+	for i := 0; i < hdr.Count; i++ {
+		body := dec.Bytes()
+		if err := dec.Err(); err != nil {
+			return nil, 0, fmt.Errorf("core: slice batch record %d: %w", i, err)
+		}
+		seq := hdr.FirstSeq + uint64(i)
+		if seq < fromSeq || seq > toSeq {
+			continue
+		}
+		if len(bodies) == 0 {
+			out.FirstSeq = seq
+		}
+		bodies = append(bodies, body)
+	}
+	if len(bodies) == 0 {
+		return nil, 0, nil
+	}
+	out.Count = len(bodies)
+	enc := wire.NewEncoder(make([]byte, 0, len(data)))
+	encodeBatchHeader(enc, &out)
+	for _, b := range bodies {
+		enc.Bytes2(b)
+	}
+	return enc.Bytes(), out.Count, nil
+}
+
+// envelopeRecordCount reports the number of data records an envelope
+// delivers (0 for control messages).
+func envelopeRecordCount(data []byte) int {
+	if len(data) == 0 {
+		return 0
+	}
+	switch data[0] {
+	case msgData:
+		return 1
+	case msgBatch:
+		dec := wire.NewDecoder(data)
+		hdr, err := decodeBatchHeader(dec)
+		if err != nil {
+			return 0
+		}
+		return hdr.Count
+	default:
+		return 0
+	}
+}
+
+// FNV-1a constants, inlined so UID derivation is allocation-free on the
+// per-record hot path (hash/fnv's hasher escapes to the heap). The values
+// produced are bit-identical to hash/fnv.New64a over the same bytes.
+const (
+	fnvOffset64 = uint64(14695981039346656037)
+	fnvPrime64  = uint64(1099511628211)
+)
+
+// fnvU64 folds the little-endian bytes of v into an FNV-1a hash state.
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // sourceUID derives the deterministic provenance UID of a source record.
 func sourceUID(topic string, partition int, offset uint64) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(topic))
-	var b [16]byte
-	putU64(b[:8], uint64(partition))
-	putU64(b[8:], offset)
-	_, _ = h.Write(b[:])
-	return h.Sum64()
+	h := fnvOffset64
+	for i := 0; i < len(topic); i++ {
+		h ^= uint64(topic[i])
+		h *= fnvPrime64
+	}
+	h = fnvU64(h, uint64(partition))
+	h = fnvU64(h, offset)
+	return h
 }
 
 // deriveUID derives the UID of the k-th output produced while processing the
 // record with parent UID at the given operator instance. Deterministic so a
 // reprocessed record regenerates identical UIDs.
 func deriveUID(parent uint64, gid int, k int) uint64 {
-	h := fnv.New64a()
-	var b [24]byte
-	putU64(b[:8], parent)
-	putU64(b[8:16], uint64(gid))
-	putU64(b[16:], uint64(k))
-	_, _ = h.Write(b[:])
-	return h.Sum64()
-}
-
-func putU64(dst []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		dst[i] = byte(v >> (8 * i))
-	}
+	h := fnvU64(fnvOffset64, parent)
+	h = fnvU64(h, uint64(gid))
+	h = fnvU64(h, uint64(k))
+	return h
 }

@@ -16,15 +16,40 @@ type inbox struct {
 	closed bool
 }
 
-// chQueue is one bounded per-channel FIFO of serialized envelopes.
+// qEntry is one queued envelope: the serialized frame plus the number of
+// data records it delivers (0 for control frames — markers and watermarks —
+// the batch size for msgBatch envelopes). Tracking counts here keeps
+// backpressure depth and overtake accounting record-granular regardless of
+// how records are framed.
+type qEntry struct {
+	data  []byte
+	count int
+}
+
+// occupancy is the capacity charge of an entry: its record count, with
+// control frames charged one slot so a full queue still backpressures an
+// aligned marker exactly as the unbatched engine did.
+func (e qEntry) occupancy() int {
+	if e.count == 0 {
+		return 1
+	}
+	return e.count
+}
+
+// chQueue is one bounded per-channel FIFO of serialized envelopes. Capacity
+// is counted in records, not envelopes, so the configured channel depth
+// means the same thing at every batch size.
 type chQueue struct {
-	buf     [][]byte
+	buf     []qEntry
 	head    int
+	recs    int // queued data records across buf[head:]
+	occ     int // capacity charge: records plus one slot per control frame
 	cap     int
 	blocked bool // alignment: do not deliver, do not drain
 	cond    *sync.Cond
-	// markCount records how many pre-barrier messages were overtaken by
-	// the last front-inserted (unaligned) marker.
+	// markCount records how many pre-barrier records were overtaken by
+	// the last front-inserted (unaligned) marker. Record-granular: a queued
+	// batch contributes its full record count.
 	markCount int
 }
 
@@ -41,22 +66,26 @@ func newInbox(caps []int) *inbox {
 	return in
 }
 
-func (q *chQueue) len() int { return len(q.buf) - q.head }
+// len reports queued data records (not envelopes; control frames excluded).
+func (q *chQueue) len() int { return q.recs }
 
-// push appends an envelope to queue ch, blocking while the queue is full.
-// It returns false if the inbox was closed (world stopping) before the
-// message could be enqueued.
-func (in *inbox) push(ch int, data []byte) bool {
+// push appends an envelope carrying count records to queue ch, blocking
+// while the queue is at record capacity. It returns false if the inbox was
+// closed (world stopping) before the envelope could be enqueued.
+func (in *inbox) push(ch int, data []byte, count int) bool {
 	in.mu.Lock()
 	q := in.queues[ch]
-	for q.len() >= q.cap && !in.closed {
+	for q.occ >= q.cap && !in.closed {
 		q.cond.Wait()
 	}
 	if in.closed {
 		in.mu.Unlock()
 		return false
 	}
-	q.buf = append(q.buf, data)
+	e := qEntry{data: data, count: count}
+	q.buf = append(q.buf, e)
+	q.recs += count
+	q.occ += e.occupancy()
 	in.mu.Unlock()
 	select {
 	case in.notify <- struct{}{}:
@@ -66,24 +95,27 @@ func (in *inbox) push(ch int, data []byte) bool {
 }
 
 // pushFront inserts an envelope at the head of queue ch, overtaking all
-// queued messages (unaligned checkpoint markers). It never blocks and
-// records the number of overtaken messages in the queue's markCount.
-func (in *inbox) pushFront(ch int, data []byte) bool {
+// queued records (unaligned checkpoint markers). It never blocks and
+// records the number of overtaken records in the queue's markCount.
+func (in *inbox) pushFront(ch int, data []byte, count int) bool {
 	in.mu.Lock()
 	if in.closed {
 		in.mu.Unlock()
 		return false
 	}
 	q := in.queues[ch]
-	q.markCount = q.len()
+	q.markCount = q.recs
+	e := qEntry{data: data, count: count}
 	if q.head > 0 {
 		q.head--
-		q.buf[q.head] = data
+		q.buf[q.head] = e
 	} else {
-		q.buf = append(q.buf, nil)
+		q.buf = append(q.buf, qEntry{})
 		copy(q.buf[1:], q.buf)
-		q.buf[0] = data
+		q.buf[0] = e
 	}
+	q.recs += count
+	q.occ += e.occupancy()
 	in.mu.Unlock()
 	select {
 	case in.notify <- struct{}{}:
@@ -92,7 +124,7 @@ func (in *inbox) pushFront(ch int, data []byte) bool {
 	return true
 }
 
-// takeMarkCount reads and clears the overtaken-message count of queue ch.
+// takeMarkCount reads and clears the overtaken-record count of queue ch.
 func (in *inbox) takeMarkCount(ch int) int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -103,9 +135,13 @@ func (in *inbox) takeMarkCount(ch int) int {
 
 // force appends an envelope ignoring the capacity bound. Used to pre-load
 // replayed in-flight messages before a recovered instance starts.
-func (in *inbox) force(ch int, data []byte) {
+func (in *inbox) force(ch int, data []byte, count int) {
 	in.mu.Lock()
-	in.queues[ch].buf = append(in.queues[ch].buf, data)
+	q := in.queues[ch]
+	e := qEntry{data: data, count: count}
+	q.buf = append(q.buf, e)
+	q.recs += count
+	q.occ += e.occupancy()
 	in.mu.Unlock()
 	select {
 	case in.notify <- struct{}{}:
@@ -113,20 +149,20 @@ func (in *inbox) force(ch int, data []byte) {
 	}
 }
 
-// pop removes and returns the next deliverable envelope, scanning
-// round-robin over non-blocked queues. ok is false when nothing is
-// deliverable.
-func (in *inbox) pop() (data []byte, ch int, ok bool) {
+// pop removes and returns the next deliverable envelope (and its record
+// count), scanning round-robin over non-blocked queues. ok is false when
+// nothing is deliverable.
+func (in *inbox) pop() (data []byte, count int, ch int, ok bool) {
 	in.mu.Lock()
 	n := len(in.queues)
 	for i := 0; i < n; i++ {
 		idx := (in.rr + i) % n
 		q := in.queues[idx]
-		if q.blocked || q.len() == 0 {
+		if q.blocked || q.head == len(q.buf) {
 			continue
 		}
-		data = q.buf[q.head]
-		q.buf[q.head] = nil
+		e := q.buf[q.head]
+		q.buf[q.head] = qEntry{}
 		q.head++
 		if q.head == len(q.buf) {
 			q.buf = q.buf[:0]
@@ -135,15 +171,18 @@ func (in *inbox) pop() (data []byte, ch int, ok bool) {
 			q.buf = append(q.buf[:0:0], q.buf[q.head:]...)
 			q.head = 0
 		}
-		if q.len() == q.cap-1 {
+		wasFull := q.occ >= q.cap
+		q.recs -= e.count
+		q.occ -= e.occupancy()
+		if wasFull && q.occ < q.cap {
 			q.cond.Broadcast()
 		}
 		in.rr = (idx + 1) % n
 		in.mu.Unlock()
-		return data, idx, true
+		return e.data, e.count, idx, true
 	}
 	in.mu.Unlock()
-	return nil, 0, false
+	return nil, 0, 0, false
 }
 
 // setBlocked marks queue ch as (un)blocked for alignment. Unblocking wakes
@@ -194,16 +233,17 @@ func (in *inbox) close() {
 	}
 }
 
-// pending reports the number of queued envelopes currently deliverable
-// (alignment-blocked channels excluded — their contents cannot be consumed
-// until the round completes).
+// pending reports the number of queued envelopes-worth of work currently
+// deliverable — data records plus control frames — excluding
+// alignment-blocked channels (their contents cannot be consumed until the
+// round completes).
 func (in *inbox) pending() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	n := 0
 	for _, q := range in.queues {
 		if !q.blocked {
-			n += q.len()
+			n += q.occ
 		}
 	}
 	return n

@@ -86,20 +86,20 @@ func TestUnalignedAllowsCycles(t *testing.T) {
 
 func TestInboxPushFrontOvertakes(t *testing.T) {
 	in := newInbox([]int{4})
-	in.push(0, []byte{1})
-	in.push(0, []byte{2})
-	in.pushFront(0, []byte{9}) // marker overtakes
+	in.push(0, []byte{1}, 1)
+	in.push(0, []byte{2}, 1)
+	in.pushFront(0, []byte{9}, 0) // marker overtakes
 	if got := in.takeMarkCount(0); got != 2 {
 		t.Fatalf("markCount = %d, want 2", got)
 	}
 	if got := in.takeMarkCount(0); got != 0 {
 		t.Fatalf("markCount not cleared: %d", got)
 	}
-	data, _, ok := in.pop()
+	data, _, _, ok := in.pop()
 	if !ok || data[0] != 9 {
 		t.Fatalf("front pop = %v", data)
 	}
-	data, _, _ = in.pop()
+	data, _, _, _ = in.pop()
 	if data[0] != 1 {
 		t.Fatalf("order broken: %v", data)
 	}
@@ -108,16 +108,16 @@ func TestInboxPushFrontOvertakes(t *testing.T) {
 func TestInboxPushFrontAfterPartialDrain(t *testing.T) {
 	in := newInbox([]int{8})
 	for i := byte(1); i <= 4; i++ {
-		in.push(0, []byte{i})
+		in.push(0, []byte{i}, 1)
 	}
 	in.pop() // head advances
-	in.pushFront(0, []byte{9})
+	in.pushFront(0, []byte{9}, 0)
 	if got := in.takeMarkCount(0); got != 3 {
 		t.Fatalf("markCount = %d, want 3", got)
 	}
 	want := []byte{9, 2, 3, 4}
 	for _, w := range want {
-		data, _, ok := in.pop()
+		data, _, _, ok := in.pop()
 		if !ok || data[0] != w {
 			t.Fatalf("pop = %v, want %d", data, w)
 		}
@@ -127,7 +127,7 @@ func TestInboxPushFrontAfterPartialDrain(t *testing.T) {
 func TestInboxPushFrontClosed(t *testing.T) {
 	in := newInbox([]int{1})
 	in.close()
-	if in.pushFront(0, []byte{1}) {
+	if in.pushFront(0, []byte{1}, 0) {
 		t.Fatal("pushFront on closed inbox should fail")
 	}
 }

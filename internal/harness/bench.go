@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/metrics"
+	"checkmate/internal/objstore"
+)
+
+// BenchConfig describes one data-plane throughput measurement: a fixed
+// record volume scheduled (almost) instantly, drained as fast as the engine
+// can, so the measured rate is the engine's capacity rather than the
+// workload's arrival rate.
+type BenchConfig struct {
+	// Query is a workload name accepted by RunConfig.Query.
+	Query string
+	// Protocol is the checkpointing protocol under which to measure.
+	Protocol core.Protocol
+	// Workers is the parallelism. Defaults to 4.
+	Workers int
+	// Records is the total record volume to drain. Defaults to 100_000.
+	Records int
+	// BatchMaxRecords is the exchange batch size (0/1 = unbatched).
+	BatchMaxRecords int
+	// NetWorkFactor is the synthetic per-byte network cost; defaults to the
+	// harness default (4) so bench numbers are comparable to Run results.
+	NetWorkFactor int
+	// CheckpointInterval defaults to 250ms — a few rounds per drain.
+	CheckpointInterval time.Duration
+	// Seed drives workload generation. Defaults to 1.
+	Seed int64
+	// Timeout bounds the drain. Defaults to 120s.
+	Timeout time.Duration
+	// Repeat runs the measurement this many times and reports the run with
+	// the median throughput, damping scheduler noise on shared machines.
+	// Defaults to 1.
+	Repeat int
+}
+
+// BenchPoint is one machine-readable throughput measurement, the unit of
+// the committed BENCH_throughput.json trajectory.
+type BenchPoint struct {
+	Query           string  `json:"query"`
+	Protocol        string  `json:"protocol"`
+	BatchMaxRecords int     `json:"batch_max_records"`
+	Workers         int     `json:"workers"`
+	Records         uint64  `json:"records"`
+	Seconds         float64 `json:"seconds"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	P50Millis       float64 `json:"p50_ms"`
+	P99Millis       float64 `json:"p99_ms"`
+	PayloadBytes    uint64  `json:"payload_bytes"`
+	ProtocolBytes   uint64  `json:"protocol_bytes"`
+	OverheadRatio   float64 `json:"overhead_ratio"`
+	DataMessages    uint64  `json:"data_messages"`
+	BatchesSent     uint64  `json:"batches_sent"`
+	AvgBatchRecords float64 `json:"avg_batch_records"`
+	Checkpoints     uint64  `json:"checkpoints"`
+}
+
+// BenchThroughput generates cfg.Records records all scheduled within the
+// first few milliseconds of the run and measures how fast the pipeline
+// drains them end to end. Unlike Run, which paces sources on the arrival
+// schedule, the drain rate here is bounded only by the data plane — the
+// measurement the batching knobs exist to move.
+func (cfg BenchConfig) run() (BenchPoint, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Records <= 0 {
+		cfg.Records = 100_000
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 250 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.NetWorkFactor == 0 {
+		cfg.NetWorkFactor = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 120 * time.Second
+	}
+	// Schedule the whole volume across a nominal 50ms window: effectively
+	// all records are due immediately, so sources run flat out.
+	genWindow := 50 * time.Millisecond
+	rc := RunConfig{
+		Query:    cfg.Query,
+		Protocol: cfg.Protocol,
+		Workers:  cfg.Workers,
+		Rate:     float64(cfg.Records) / genWindow.Seconds(),
+		Duration: genWindow,
+		Seed:     cfg.Seed,
+	}
+	rc.applyDefaults()
+	broker, job, _, err := buildWorkload(&rc)
+	if err != nil {
+		return BenchPoint{}, err
+	}
+	store := objstore.New(objstore.Config{
+		PutLatency:     2 * time.Millisecond,
+		GetLatency:     2 * time.Millisecond,
+		PerByteLatency: time.Nanosecond,
+		Seed:           cfg.Seed,
+	})
+	recorder := metrics.NewRecorder(time.Now(), cfg.Timeout, time.Second)
+	eng, err := core.NewEngine(core.Config{
+		Workers:            cfg.Workers,
+		Protocol:           cfg.Protocol,
+		CheckpointInterval: cfg.CheckpointInterval,
+		Broker:             broker,
+		Store:              store,
+		Recorder:           recorder,
+		PollInterval:       2 * time.Millisecond,
+		NetWorkFactor:      cfg.NetWorkFactor,
+		Batching:           core.BatchingConfig{MaxRecords: cfg.BatchMaxRecords},
+		Seed:               cfg.Seed,
+	}, job)
+	if err != nil {
+		return BenchPoint{}, err
+	}
+	start := time.Now()
+	if err := eng.Start(); err != nil {
+		return BenchPoint{}, err
+	}
+	// Drain: done when the sources consumed everything and the sink count
+	// has been stable for a moment.
+	deadline := start.Add(cfg.Timeout)
+	var lastCount uint64
+	stableSince := time.Now()
+	var elapsed time.Duration
+	for {
+		if time.Now().After(deadline) {
+			eng.Stop()
+			return BenchPoint{}, fmt.Errorf("harness: bench %s/%s did not drain within %v (sink count %d)",
+				cfg.Query, cfg.Protocol.Name(), cfg.Timeout, recorder.SinkCount())
+		}
+		count := recorder.SinkCount()
+		if count != lastCount {
+			lastCount = count
+			stableSince = time.Now()
+			elapsed = time.Since(start)
+		}
+		// Check the (expensive, whole-backlog-scanning) SourceBacklog only
+		// once the sink count has already settled, so the measurement loop
+		// does not steal CPU from the data plane under measurement.
+		if count > 0 && time.Since(stableSince) > 100*time.Millisecond && eng.SourceBacklog() == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	eng.Stop()
+	sum := recorder.Summarize(cfg.Protocol.Kind() == core.KindCoordinated)
+	secs := elapsed.Seconds()
+	pt := BenchPoint{
+		Query:           cfg.Query,
+		Protocol:        cfg.Protocol.Name(),
+		BatchMaxRecords: maxInt(cfg.BatchMaxRecords, 1),
+		Workers:         cfg.Workers,
+		Records:         sum.SinkCount,
+		Seconds:         secs,
+		P50Millis:       float64(sum.Timeline.P50) / 1e6,
+		P99Millis:       float64(sum.Timeline.P99) / 1e6,
+		PayloadBytes:    sum.PayloadBytes,
+		ProtocolBytes:   sum.ProtocolBytes,
+		OverheadRatio:   sum.OverheadRatio,
+		DataMessages:    sum.DataMessages,
+		BatchesSent:     sum.BatchesSent,
+		AvgBatchRecords: sum.AvgBatchRecords,
+		Checkpoints:     uint64(sum.TotalCheckpoints),
+	}
+	if secs > 0 {
+		pt.RecordsPerSec = float64(sum.SinkCount) / secs
+	}
+	return pt, nil
+}
+
+// BenchThroughput runs one drain-style throughput measurement (the median
+// of cfg.Repeat runs).
+func BenchThroughput(cfg BenchConfig) (BenchPoint, error) {
+	if cfg.Repeat <= 1 {
+		return cfg.run()
+	}
+	pts := make([]BenchPoint, 0, cfg.Repeat)
+	for i := 0; i < cfg.Repeat; i++ {
+		pt, err := cfg.run()
+		if err != nil {
+			return BenchPoint{}, err
+		}
+		pts = append(pts, pt)
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].RecordsPerSec < pts[b].RecordsPerSec })
+	return pts[len(pts)/2], nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

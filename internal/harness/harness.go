@@ -98,6 +98,14 @@ type RunConfig struct {
 	// (q3/q8/q12 joins and counts, the cyclic join) as base-plus-delta
 	// chains instead of full snapshots per checkpoint.
 	DeltaCheckpoints bool
+	// BatchMaxRecords / BatchMaxBytes / BatchLingerTicks configure the
+	// vectorized exchange (core.BatchingConfig): how many records, encoded
+	// bytes, or poll-interval ticks an output batch may accumulate before
+	// it is flushed. Zero values preserve today's per-record behavior
+	// (batch size 1).
+	BatchMaxRecords  int
+	BatchMaxBytes    int
+	BatchLingerTicks int
 	// AnalyzeRollbackScope computes, after the run, the rollback scope of
 	// every possible single-instance failure under the logging protocols
 	// (see RunResult.Scope). Failure-free runs only.
@@ -257,7 +265,12 @@ func Run(cfg RunConfig) (RunResult, error) {
 		WatermarkLag:        cfg.WatermarkLag,
 		CompressCheckpoints: cfg.CompressCheckpoints,
 		DeltaCheckpoints:    cfg.DeltaCheckpoints,
-		Seed:                cfg.Seed,
+		Batching: core.BatchingConfig{
+			MaxRecords:  cfg.BatchMaxRecords,
+			MaxBytes:    cfg.BatchMaxBytes,
+			LingerTicks: cfg.BatchLingerTicks,
+		},
+		Seed: cfg.Seed,
 	}, job)
 	if err != nil {
 		return RunResult{}, err

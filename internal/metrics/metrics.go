@@ -25,7 +25,9 @@ type Recorder struct {
 	payloadBytes  atomic.Uint64 // serialized record payload + routing header
 	protocolBytes atomic.Uint64 // piggybacked protocol state, markers, control
 
-	// Message accounting.
+	// Message accounting. dataMessages counts records regardless of how
+	// they were framed; batchesSent counts the wire frames that carried
+	// them, split by what triggered the flush.
 	dataMessages      atomic.Uint64
 	markerMessages    atomic.Uint64
 	watermarkMessages atomic.Uint64
@@ -33,6 +35,10 @@ type Recorder struct {
 	dupDropped        atomic.Uint64
 	forcedCkpts       atomic.Uint64
 	localCkpts        atomic.Uint64
+
+	batchesSent     atomic.Uint64
+	maxBatchRecords atomic.Uint64
+	flushByReason   [numFlushReasons]atomic.Uint64
 
 	// Checkpoint garbage collection.
 	gcCkpts atomic.Uint64
@@ -81,6 +87,14 @@ func (r *Recorder) RecordSinkLatency(at time.Time, latency time.Duration) {
 	r.timeline.Record(at.Sub(r.start), latency)
 }
 
+// RecordSinkLatencySince is RecordSinkLatency for callers that already
+// track time as an offset since run start — the engine hot path — sparing
+// the absolute-time round trip per record.
+func (r *Recorder) RecordSinkLatencySince(since, latency time.Duration) {
+	r.sinkCount.Add(1)
+	r.timeline.Record(since, latency)
+}
+
 // SinkCount reports the number of records that reached the sinks.
 func (r *Recorder) SinkCount() uint64 { return r.sinkCount.Load() }
 
@@ -109,6 +123,59 @@ func (r *Recorder) OverheadRatio() float64 {
 
 // IncDataMessages counts a data message crossing a channel.
 func (r *Recorder) IncDataMessages() { r.dataMessages.Add(1) }
+
+// AddDataMessages counts n data records crossing a channel (one batched
+// wire frame can carry many).
+func (r *Recorder) AddDataMessages(n int) { r.dataMessages.Add(uint64(n)) }
+
+// FlushReason classifies what triggered the flush of an output batch.
+type FlushReason uint8
+
+// Flush reasons.
+const (
+	// FlushMaxRecords: the batch reached Batching.MaxRecords.
+	FlushMaxRecords FlushReason = iota
+	// FlushMaxBytes: the batch reached Batching.MaxBytes.
+	FlushMaxBytes
+	// FlushLinger: the batch aged past the linger bound (or the instance
+	// went idle with records buffered).
+	FlushLinger
+	// FlushControl: a protocol event (checkpoint marker, watermark or
+	// snapshot) forced the batch out to preserve ordering semantics.
+	FlushControl
+	numFlushReasons
+)
+
+// String names the flush reason.
+func (f FlushReason) String() string {
+	switch f {
+	case FlushMaxRecords:
+		return "records"
+	case FlushMaxBytes:
+		return "bytes"
+	case FlushLinger:
+		return "linger"
+	case FlushControl:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
+// AddBatchFlush accounts one flushed output batch: its record count and the
+// reason it left the buffer. Call in addition to AddDataMessages.
+func (r *Recorder) AddBatchFlush(records int, reason FlushReason) {
+	r.batchesSent.Add(1)
+	if reason < numFlushReasons {
+		r.flushByReason[reason].Add(1)
+	}
+	for {
+		cur := r.maxBatchRecords.Load()
+		if uint64(records) <= cur || r.maxBatchRecords.CompareAndSwap(cur, uint64(records)) {
+			return
+		}
+	}
+}
 
 // IncMarkerMessages counts a checkpoint marker crossing a channel.
 func (r *Recorder) IncMarkerMessages() { r.markerMessages.Add(1) }
@@ -230,6 +297,18 @@ type Summary struct {
 	ForcedCkpts       uint64
 	LocalCkpts        uint64
 
+	// BatchesSent counts the wire frames that carried the data records;
+	// AvgBatchRecords is DataMessages/BatchesSent and MaxBatchRecords the
+	// largest single flush. FlushRecords/FlushBytes/FlushLinger/FlushControl
+	// split BatchesSent by flush trigger.
+	BatchesSent     uint64
+	AvgBatchRecords float64
+	MaxBatchRecords uint64
+	FlushRecords    uint64
+	FlushBytes      uint64
+	FlushLinger     uint64
+	FlushControl    uint64
+
 	AvgCheckpointTime time.Duration // protocol definition dependent
 	AvgRoundTime      time.Duration
 	RestartTime       time.Duration // last failure
@@ -281,6 +360,12 @@ func (r *Recorder) Summarize(coordinated bool) Summary {
 		DupDropped:         r.dupDropped.Load(),
 		ForcedCkpts:        r.forcedCkpts.Load(),
 		LocalCkpts:         r.localCkpts.Load(),
+		BatchesSent:        r.batchesSent.Load(),
+		MaxBatchRecords:    r.maxBatchRecords.Load(),
+		FlushRecords:       r.flushByReason[FlushMaxRecords].Load(),
+		FlushBytes:         r.flushByReason[FlushMaxBytes].Load(),
+		FlushLinger:        r.flushByReason[FlushLinger].Load(),
+		FlushControl:       r.flushByReason[FlushControl].Load(),
 		AvgRoundTime:       avgDur(r.roundDurations),
 		TotalCheckpoints:   r.totalCkpts,
 		InvalidCheckpoints: r.invalidCkpts,
@@ -296,6 +381,9 @@ func (r *Recorder) Summarize(coordinated bool) Summary {
 		Failures:           r.failures,
 		Timeline:           r.timeline.Summarize(),
 		Notes:              append([]string(nil), r.notes...),
+	}
+	if s.BatchesSent > 0 {
+		s.AvgBatchRecords = float64(s.DataMessages) / float64(s.BatchesSent)
 	}
 	if coordinated {
 		s.AvgCheckpointTime = avgDur(r.roundDurations)

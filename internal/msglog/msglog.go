@@ -2,12 +2,15 @@
 // (upstream backup) that the uncoordinated and communication-induced
 // checkpointing protocols require for exactly-once processing.
 //
-// Every data message an operator instance sends is appended, keyed by its
-// logical channel, together with its per-channel sequence number. After a
-// failure, the recovery procedure replays from each channel's log the
-// messages that were sent before the sender's restored checkpoint but not
-// yet reflected in the receiver's restored checkpoint — the in-flight
-// channel state of the chosen recovery line.
+// Every data frame an operator instance sends is appended, keyed by its
+// logical channel, together with the per-channel sequence range it covers —
+// a single record or a whole batch envelope. After a failure, the recovery
+// procedure replays from each channel's log the records that were sent
+// before the sender's restored checkpoint but not yet reflected in the
+// receiver's restored checkpoint — the in-flight channel state of the
+// chosen recovery line. Replay ranges are record-granular even when frames
+// are batched: a configured Slicer re-frames the partial overlap of a batch
+// with the replay or trim boundary.
 //
 // Logs survive worker failures (they model state persisted outside the
 // failing worker) and are trimmed once a prefix is subsumed by checkpoints
@@ -15,15 +18,30 @@
 package msglog
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
-// Entry is one logged message: the serialized wire envelope plus its
-// per-channel sequence number.
+// Entry is one logged frame: the serialized wire envelope plus the
+// per-channel sequence range it covers. Seq is the sequence number of the
+// first record; Count the number of records (1 for unbatched frames), so
+// the frame spans [Seq, Seq+Count-1].
 type Entry struct {
-	Seq  uint64
-	Data []byte
+	Seq   uint64
+	Count int
+	Data  []byte
 }
+
+// last reports the sequence number of the frame's final record.
+func (e Entry) last() uint64 { return e.Seq + uint64(e.Count) - 1 }
+
+// Slicer re-frames the records of a batched envelope whose sequence numbers
+// fall in [fromSeq, toSeq] as a fresh envelope, returning it together with
+// its record count (nil/0 when the ranges do not overlap). The engine
+// injects its wire-format-aware implementation; a Log without a slicer only
+// supports Count-1 appends.
+type Slicer func(data []byte, fromSeq, toSeq uint64) ([]byte, int, error)
 
 // channelLog is the log of a single channel. Entries are appended in
 // sequence order; trimming removes a prefix.
@@ -40,11 +58,26 @@ type channelLog struct {
 type Log struct {
 	mu       sync.RWMutex
 	channels map[uint64]*channelLog
+	slicer   Slicer
+	// slicerErrs counts frames whose re-framing failed (corrupt data).
+	// Range degrades to returning the whole frame (over-replay, which
+	// receivers deduplicate); TrimSuffix still drops the frame (a stale
+	// suffix must never survive). Either way the incident is visible in
+	// Stats instead of silent.
+	slicerErrs atomic.Uint64
 }
 
-// New returns an empty log.
+// New returns an empty log that only accepts single-record appends.
 func New() *Log {
 	return &Log{channels: make(map[uint64]*channelLog)}
+}
+
+// NewWithSlicer returns an empty log that accepts batched appends,
+// re-framing batches record-granularly at replay and trim boundaries.
+func NewWithSlicer(s Slicer) *Log {
+	l := New()
+	l.slicer = s
+	return l
 }
 
 func (l *Log) channel(ch uint64) *channelLog {
@@ -64,21 +97,33 @@ func (l *Log) channel(ch uint64) *channelLog {
 	return cl
 }
 
-// Append logs the message with sequence number seq on channel ch. Sequence
-// numbers on a channel must be appended in strictly increasing order starting
-// at 1; Append copies data.
+// Append logs a single-record frame with sequence number seq on channel ch.
 func (l *Log) Append(ch uint64, seq uint64, data []byte) {
+	l.AppendBatch(ch, seq, 1, data)
+}
+
+// AppendBatch logs a frame covering records [firstSeq, firstSeq+count-1] on
+// channel ch. Sequence ranges on a channel must be appended contiguously in
+// strictly increasing order starting at 1; AppendBatch copies data. Batched
+// appends (count > 1) require the log to have a Slicer, otherwise trim and
+// replay boundaries could not be honored record-granularly.
+func (l *Log) AppendBatch(ch uint64, firstSeq uint64, count int, data []byte) {
+	if count > 1 && l.slicer == nil {
+		panic("msglog: batched append on a log without a slicer")
+	}
 	cl := l.channel(ch)
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	cl.mu.Lock()
-	cl.entries = append(cl.entries, Entry{Seq: seq, Data: cp})
+	cl.entries = append(cl.entries, Entry{Seq: firstSeq, Count: count, Data: cp})
 	cl.bytes += uint64(len(cp))
 	cl.mu.Unlock()
 }
 
-// Range returns the logged entries on channel ch with sequence numbers in
-// (fromExcl, toIncl]. Entries below the trimmed prefix are silently absent.
+// Range returns the logged frames on channel ch covering sequence numbers
+// in (fromExcl, toIncl]. Frames straddling a boundary are re-framed through
+// the slicer so the returned entries cover exactly the requested records;
+// records below the trimmed prefix are silently absent.
 func (l *Log) Range(ch uint64, fromExcl, toIncl uint64) []Entry {
 	l.mu.RLock()
 	cl, ok := l.channels[ch]
@@ -90,15 +135,52 @@ func (l *Log) Range(ch uint64, fromExcl, toIncl uint64) []Entry {
 	defer cl.mu.Unlock()
 	var out []Entry
 	for _, e := range cl.entries {
-		if e.Seq > fromExcl && e.Seq <= toIncl {
+		if e.last() <= fromExcl || e.Seq > toIncl {
+			continue
+		}
+		if e.Seq > fromExcl && e.last() <= toIncl {
 			out = append(out, e)
+			continue
+		}
+		sliced, err := l.slice(e, fromExcl+1, toIncl)
+		if err != nil {
+			// Corrupt frame: deliver it whole rather than silently losing
+			// its in-range records — over-replayed records are dropped by
+			// the receiver's sequence dedup, lost ones would violate
+			// exactly-once.
+			l.slicerErrs.Add(1)
+			out = append(out, e)
+			continue
+		}
+		if sliced.Count > 0 {
+			out = append(out, sliced)
 		}
 	}
 	return out
 }
 
-// Trim discards all entries on channel ch with sequence numbers <= seq.
+// slice re-frames entry e to the records in [fromSeq, toSeq].
+func (l *Log) slice(e Entry, fromSeq, toSeq uint64) (Entry, error) {
+	if l.slicer == nil {
+		return Entry{}, fmt.Errorf("msglog: cannot slice entry without a slicer")
+	}
+	data, count, err := l.slicer(e.Data, fromSeq, toSeq)
+	if err != nil {
+		return Entry{}, err
+	}
+	if count == 0 {
+		return Entry{Count: 0}, nil
+	}
+	first := e.Seq
+	if fromSeq > first {
+		first = fromSeq
+	}
+	return Entry{Seq: first, Count: count, Data: data}, nil
+}
+
+// Trim discards all records on channel ch with sequence numbers <= seq.
 // It is called when a checkpoint frontier makes the prefix unnecessary.
+// A batch straddling the boundary is re-framed to its surviving suffix.
 func (l *Log) Trim(ch uint64, seq uint64) {
 	l.mu.RLock()
 	cl, ok := l.channels[ch]
@@ -109,20 +191,36 @@ func (l *Log) Trim(ch uint64, seq uint64) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	i := 0
-	for i < len(cl.entries) && cl.entries[i].Seq <= seq {
+	for i < len(cl.entries) && cl.entries[i].last() <= seq {
 		cl.bytes -= uint64(len(cl.entries[i].Data))
 		i++
 	}
-	if i > 0 {
-		cl.entries = append(cl.entries[:0:0], cl.entries[i:]...)
-		cl.base = seq + 1
+	if i == 0 && (len(cl.entries) == 0 || cl.entries[0].Seq > seq) {
+		return
 	}
+	kept := append(cl.entries[:0:0], cl.entries[i:]...)
+	// Re-frame a batch straddling the trim point to its surviving suffix.
+	// On a slicer error the whole frame is kept: over-retention only costs
+	// log bytes, and replay overlap is deduplicated downstream.
+	if len(kept) > 0 && kept[0].Seq <= seq {
+		sliced, err := l.slice(kept[0], seq+1, kept[0].last())
+		if err != nil {
+			l.slicerErrs.Add(1)
+		} else if sliced.Count > 0 {
+			cl.bytes -= uint64(len(kept[0].Data))
+			cl.bytes += uint64(len(sliced.Data))
+			kept[0] = sliced
+		}
+	}
+	cl.entries = kept
+	cl.base = seq + 1
 }
 
-// TrimSuffix discards all entries on channel ch with sequence numbers
-// strictly greater than seq. It is called during recovery: entries past the
+// TrimSuffix discards all records on channel ch with sequence numbers
+// strictly greater than seq. It is called during recovery: records past the
 // sender's restored checkpoint will be regenerated by reprocessing (possibly
-// with different content), so the stale suffix must not survive.
+// with different content), so the stale suffix must not survive. A batch
+// straddling the boundary is re-framed to its surviving prefix.
 func (l *Log) TrimSuffix(ch uint64, seq uint64) {
 	l.mu.RLock()
 	cl, ok := l.channels[ch]
@@ -138,6 +236,24 @@ func (l *Log) TrimSuffix(ch uint64, seq uint64) {
 		cl.bytes -= uint64(len(cl.entries[keep].Data))
 	}
 	cl.entries = cl.entries[:keep]
+	if keep > 0 && cl.entries[keep-1].last() > seq {
+		last := cl.entries[keep-1]
+		cl.bytes -= uint64(len(last.Data))
+		sliced, err := l.slice(last, last.Seq, seq)
+		switch {
+		case err == nil && sliced.Count > 0:
+			cl.bytes += uint64(len(sliced.Data))
+			cl.entries[keep-1] = sliced
+		case err != nil:
+			// Corrupt frame: a stale suffix must never survive recovery, so
+			// the whole frame is dropped (losing its surviving prefix to
+			// conservative re-delivery elsewhere) and the incident counted.
+			l.slicerErrs.Add(1)
+			cl.entries = cl.entries[:keep-1]
+		default:
+			cl.entries = cl.entries[:keep-1]
+		}
+	}
 }
 
 // TrimSuffixAll applies TrimSuffix to every channel using the frontier map;
@@ -157,8 +273,14 @@ func (l *Log) TrimSuffixAll(frontier map[uint64]uint64) {
 // Stats reports the aggregate size of the log.
 type Stats struct {
 	Channels int
-	Entries  int
-	Bytes    uint64
+	// Entries counts logged frames; Records counts the data records they
+	// cover (equal unless frames are batched).
+	Entries int
+	Records int
+	Bytes   uint64
+	// SlicerErrors counts frames whose record-granular re-framing failed;
+	// non-zero means corrupt logged data was handled conservatively.
+	SlicerErrors uint64
 }
 
 // Stats returns a snapshot of the log's aggregate size.
@@ -167,9 +289,13 @@ func (l *Log) Stats() Stats {
 	defer l.mu.RUnlock()
 	var s Stats
 	s.Channels = len(l.channels)
+	s.SlicerErrors = l.slicerErrs.Load()
 	for _, cl := range l.channels {
 		cl.mu.Lock()
 		s.Entries += len(cl.entries)
+		for _, e := range cl.entries {
+			s.Records += e.Count
+		}
 		s.Bytes += cl.bytes
 		cl.mu.Unlock()
 	}

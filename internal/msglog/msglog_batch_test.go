@@ -1,0 +1,122 @@
+package msglog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The test batch format: data[0] is the first sequence number, every
+// following byte is one record (its value = its sequence number), so slices
+// are trivially checkable.
+func testBatch(firstSeq uint64, count int) []byte {
+	b := []byte{byte(firstSeq)}
+	for i := 0; i < count; i++ {
+		b = append(b, byte(firstSeq+uint64(i)))
+	}
+	return b
+}
+
+func testSlicer(data []byte, fromSeq, toSeq uint64) ([]byte, int, error) {
+	if len(data) < 2 {
+		return nil, 0, fmt.Errorf("short test batch")
+	}
+	first := uint64(data[0])
+	last := first + uint64(len(data)-2)
+	lo, hi := first, last
+	if fromSeq > lo {
+		lo = fromSeq
+	}
+	if toSeq < hi {
+		hi = toSeq
+	}
+	if lo > hi {
+		return nil, 0, nil
+	}
+	out := []byte{byte(lo)}
+	out = append(out, data[1+lo-first:1+hi-first+1]...)
+	return out, int(hi - lo + 1), nil
+}
+
+// expectRecords asserts that entries cover exactly seqs [from, to] in order.
+func expectRecords(t *testing.T, entries []Entry, from, to uint64) {
+	t.Helper()
+	var seqs []uint64
+	for _, e := range entries {
+		if int(e.Data[0]) != int(e.Seq) {
+			t.Fatalf("entry first-seq byte %d != Seq %d", e.Data[0], e.Seq)
+		}
+		if e.Count != len(e.Data)-1 {
+			t.Fatalf("entry count %d != payload records %d", e.Count, len(e.Data)-1)
+		}
+		for i := 0; i < e.Count; i++ {
+			seqs = append(seqs, e.Seq+uint64(i))
+		}
+	}
+	want := to - from + 1
+	if from > to {
+		want = 0
+	}
+	if uint64(len(seqs)) != want {
+		t.Fatalf("got %d records %v, want %d covering [%d,%d]", len(seqs), seqs, want, from, to)
+	}
+	for i, s := range seqs {
+		if s != from+uint64(i) {
+			t.Fatalf("record %d has seq %d, want %d (all: %v)", i, s, from+uint64(i), seqs)
+		}
+	}
+}
+
+func TestBatchRangeRecordGranular(t *testing.T) {
+	l := NewWithSlicer(testSlicer)
+	l.AppendBatch(1, 1, 4, testBatch(1, 4)) // [1,4]
+	l.AppendBatch(1, 5, 3, testBatch(5, 3)) // [5,7]
+	l.AppendBatch(1, 8, 5, testBatch(8, 5)) // [8,12]
+	expectRecords(t, l.Range(1, 0, 12), 1, 12)
+	// Both boundaries mid-batch: (2, 9] must slice the first and last batch.
+	expectRecords(t, l.Range(1, 2, 9), 3, 9)
+	// Range entirely inside one batch.
+	expectRecords(t, l.Range(1, 8, 11), 9, 11)
+	// No overlap.
+	expectRecords(t, l.Range(1, 12, 20), 1, 0)
+}
+
+func TestBatchTrimStraddle(t *testing.T) {
+	l := NewWithSlicer(testSlicer)
+	l.AppendBatch(1, 1, 4, testBatch(1, 4))
+	l.AppendBatch(1, 5, 4, testBatch(5, 4))
+	l.Trim(1, 6) // mid-second-batch: [7,8] must survive
+	expectRecords(t, l.Range(1, 0, 100), 7, 8)
+	if st := l.Stats(); st.Records != 2 {
+		t.Fatalf("Stats.Records = %d, want 2", st.Records)
+	}
+}
+
+func TestBatchTrimSuffixStraddle(t *testing.T) {
+	l := NewWithSlicer(testSlicer)
+	l.AppendBatch(1, 1, 4, testBatch(1, 4))
+	l.AppendBatch(1, 5, 4, testBatch(5, 4))
+	l.TrimSuffix(1, 6) // stale suffix [7,8] must not survive
+	expectRecords(t, l.Range(1, 0, 100), 1, 6)
+	// Appending the regenerated records continues the sequence.
+	l.AppendBatch(1, 7, 2, testBatch(7, 2))
+	expectRecords(t, l.Range(1, 0, 100), 1, 8)
+}
+
+func TestBatchStatsCountsRecords(t *testing.T) {
+	l := NewWithSlicer(testSlicer)
+	l.AppendBatch(1, 1, 10, testBatch(1, 10))
+	l.Append(2, 1, []byte{1, 1})
+	st := l.Stats()
+	if st.Entries != 2 || st.Records != 11 {
+		t.Fatalf("Stats = %+v, want 2 entries / 11 records", st)
+	}
+}
+
+func TestBatchedAppendWithoutSlicerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().AppendBatch(1, 1, 2, []byte{1, 1, 2})
+}

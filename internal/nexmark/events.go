@@ -46,16 +46,19 @@ func (p *Person) MarshalWire(e *wire.Encoder) {
 	e.String(p.Extra)
 }
 
+// decodePerson aliases string fields into the wire buffer (StringRef):
+// envelopes and checkpoint blobs are immutable once filled, so the decode
+// hot path pays no per-string allocation.
 func decodePerson(d *wire.Decoder) (wire.Value, error) {
 	p := &Person{
 		ID:         d.Uvarint(),
-		Name:       d.String(),
-		Email:      d.String(),
-		CreditCard: d.String(),
-		City:       d.String(),
-		State:      d.String(),
+		Name:       d.StringRef(),
+		Email:      d.StringRef(),
+		CreditCard: d.StringRef(),
+		City:       d.StringRef(),
+		State:      d.StringRef(),
 		DateTime:   d.Varint(),
-		Extra:      d.String(),
+		Extra:      d.StringRef(),
 	}
 	return p, d.Err()
 }
@@ -94,15 +97,15 @@ func (a *Auction) MarshalWire(e *wire.Encoder) {
 func decodeAuction(d *wire.Decoder) (wire.Value, error) {
 	a := &Auction{
 		ID:          d.Uvarint(),
-		ItemName:    d.String(),
-		Description: d.String(),
+		ItemName:    d.StringRef(),
+		Description: d.StringRef(),
 		InitialBid:  d.Uvarint(),
 		Reserve:     d.Uvarint(),
 		DateTime:    d.Varint(),
 		Expires:     d.Varint(),
 		Seller:      d.Uvarint(),
 		Category:    d.Uvarint(),
-		Extra:       d.String(),
+		Extra:       d.StringRef(),
 	}
 	return a, d.Err()
 }
@@ -137,12 +140,26 @@ func decodeBid(d *wire.Decoder) (wire.Value, error) {
 		Auction:  d.Uvarint(),
 		Bidder:   d.Uvarint(),
 		Price:    d.Uvarint(),
-		Channel:  d.String(),
-		URL:      d.String(),
+		Channel:  internChannel(d.StringRef()),
+		URL:      d.StringRef(),
 		DateTime: d.Varint(),
-		Extra:    d.String(),
+		Extra:    d.StringRef(),
 	}
 	return b, d.Err()
+}
+
+// bidChannels is the closed set of channel names the generator produces;
+// interning them detaches the (long-lived, frequently-retained) Channel
+// field from the wire buffer without a copy per record.
+var bidChannels = [...]string{"channel-a", "channel-b", "channel-c", "channel-d"}
+
+func internChannel(s string) string {
+	for _, c := range bidChannels {
+		if s == c {
+			return c
+		}
+	}
+	return s
 }
 
 // Q1Result is the output of query 1 (currency conversion).

@@ -169,7 +169,7 @@ func (f *fakeCtx) KeyedState() *statestore.Store {
 
 func TestQ1MapConversion(t *testing.T) {
 	ctx := &fakeCtx{}
-	q1Map{}.OnEvent(ctx, core.Event{Key: 5, Value: &Bid{Auction: 5, Bidder: 2, Price: 1000}})
+	(&q1Map{}).OnEvent(ctx, core.Event{Key: 5, Value: &Bid{Auction: 5, Bidder: 2, Price: 1000}})
 	if len(ctx.emitted) != 1 {
 		t.Fatal("no output")
 	}

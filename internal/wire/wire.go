@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // ErrShortBuffer is returned by Decoder methods when the input is exhausted
@@ -86,6 +87,32 @@ func (e *Encoder) Bytes2(b []byte) {
 // Raw appends b verbatim with no length prefix.
 func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
 
+// BeginLen reserves a length prefix for a section encoded in place and
+// returns the section's start offset; close it with EndLen. Compared to
+// staging the section in a scratch buffer and copying it in with Bytes2,
+// this encodes hot-path sections exactly once.
+func (e *Encoder) BeginLen() int {
+	e.buf = append(e.buf, 0)
+	return len(e.buf)
+}
+
+// EndLen patches the length prefix of the section opened at start (the
+// offset BeginLen returned). Sections shorter than 128 bytes — the common
+// case on the record hot path — are patched in place; longer ones shift the
+// section to make room for a wider varint.
+func (e *Encoder) EndLen(start int) {
+	n := len(e.buf) - start
+	if n < 0x80 {
+		e.buf[start-1] = byte(n)
+		return
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	w := binary.PutUvarint(tmp[:], uint64(n))
+	e.buf = append(e.buf, tmp[1:w]...)
+	copy(e.buf[start+w-1:], e.buf[start:start+n])
+	copy(e.buf[start-1:], tmp[:w])
+}
+
 // UvarintSlice appends a length-prefixed slice of uvarints.
 func (e *Encoder) UvarintSlice(vs []uint64) {
 	e.Uvarint(uint64(len(vs)))
@@ -104,6 +131,15 @@ type Decoder struct {
 // NewDecoder returns a decoder reading from buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
+// ResetBytes re-arms the decoder to read from buf, clearing any previous
+// error. It lets hot paths reuse one decoder across many sections instead
+// of allocating one per section.
+func (d *Decoder) ResetBytes(buf []byte) {
+	d.buf = buf
+	d.off = 0
+	d.err = nil
+}
+
 // Err reports the first error encountered while decoding, or nil.
 func (d *Decoder) Err() error { return d.err }
 
@@ -115,6 +151,11 @@ func (d *Decoder) fail(err error) { //nolint:unparam
 		d.err = err
 	}
 }
+
+// Fail records an external error on the decoder (first error wins), so a
+// caller interleaving its own parsing with Decoder reads can surface both
+// through a single Err check.
+func (d *Decoder) Fail(err error) { d.fail(err) }
 
 // Uvarint reads an unsigned varint. On error it records the error and
 // returns 0.
@@ -204,6 +245,26 @@ func (d *Decoder) String() string {
 		return ""
 	}
 	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// StringRef reads a length-prefixed string without copying: the returned
+// string aliases the decoder's input buffer. Safe whenever the buffer is
+// immutable for the lifetime of the string — true for wire envelopes and
+// checkpoint blobs, which are never mutated after they are filled. Hot
+// decode paths use this to avoid one allocation (and the GC scan work that
+// follows it) per string field.
+func (d *Decoder) StringRef() string {
+	n := d.Uvarint()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	if uint64(d.Remaining()) < n {
+		d.fail(ErrShortBuffer)
+		return ""
+	}
+	s := unsafe.String(&d.buf[d.off], int(n))
 	d.off += int(n)
 	return s
 }
