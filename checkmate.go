@@ -48,10 +48,12 @@
 package checkmate
 
 import (
+	"checkmate/internal/cluster"
 	"checkmate/internal/core"
 	"checkmate/internal/harness"
 	"checkmate/internal/metrics"
 	"checkmate/internal/mq"
+	"checkmate/internal/nexmark"
 	"checkmate/internal/objstore"
 	"checkmate/internal/protocol"
 	"checkmate/internal/statestore"
@@ -138,6 +140,55 @@ type (
 	Rescalable = core.Rescalable
 	// KeyedEntry is one exported keyed-state entry of a savepoint.
 	KeyedEntry = core.KeyedEntry
+)
+
+// Cluster topology: worker placement, failure domains, local recovery.
+type (
+	// ClusterConfig configures the simulated cluster topology of an
+	// engine (EngineConfig.Cluster): worker count, placement policy and
+	// the worker-local state cache.
+	ClusterConfig = cluster.Config
+	// PlacementPolicy names a placement strategy mapping operator
+	// instances to cluster workers.
+	PlacementPolicy = cluster.Policy
+	// Topology is an immutable instance→worker placement (Engine.Topology).
+	Topology = cluster.Topology
+	// FailurePlan expands a failure domain (single worker, rack,
+	// rolling restart) into concrete injection events.
+	FailurePlan = cluster.FailurePlan
+	// FailureDomain names a failure shape.
+	FailureDomain = cluster.Domain
+	// CacheStats snapshots the worker-local state cache counters.
+	CacheStats = cluster.CacheStats
+	// RTO is the phase breakdown of one recovery: detection → rollback
+	// computation → state fetch → replay → caught-up, plus local-vs-
+	// remote restore accounting (Summary.RTOs).
+	RTO = metrics.RTO
+)
+
+// Placement policies (ClusterConfig.Policy).
+const (
+	// PlacementSpread spreads each operator's instances across the
+	// cluster, co-locating equal instance indexes (default).
+	PlacementSpread = cluster.PolicySpread
+	// PlacementRoundRobin deals instances onto workers in global
+	// instance order.
+	PlacementRoundRobin = cluster.PolicyRoundRobin
+	// PlacementColocate hosts all instances of one operator on a single
+	// hashed worker.
+	PlacementColocate = cluster.PolicyColocate
+	// PlacementExplicit uses ClusterConfig.Assignment.
+	PlacementExplicit = cluster.PolicyExplicit
+)
+
+// Failure domains (FailurePlan.Domain).
+const (
+	// FailWorker crashes a single worker.
+	FailWorker = cluster.DomainWorker
+	// FailRack crashes several consecutive workers at once.
+	FailRack = cluster.DomainRack
+	// FailRolling crashes workers one after another.
+	FailRolling = cluster.DomainRolling
 )
 
 // Processing guarantees (paper §II-A, Definitions 1-3).
@@ -229,6 +280,12 @@ type (
 	// BenchPoint is one machine-readable throughput measurement, the unit
 	// of the committed BENCH_throughput.json trajectory.
 	BenchPoint = harness.BenchPoint
+	// RecoveryBenchConfig describes one recovery-time (RTO) measurement
+	// (see BenchRecovery).
+	RecoveryBenchConfig = harness.RecoveryBenchConfig
+	// RecoveryPoint is one machine-readable RTO measurement, the unit of
+	// the committed BENCH_recovery.json trajectory.
+	RecoveryPoint = harness.RecoveryPoint
 	// Summary is the full metric snapshot of a run.
 	Summary = metrics.Summary
 	// Table is an aligned-text result table.
@@ -237,6 +294,16 @@ type (
 
 // QueryCyclic names the cyclic reachability query in RunConfig.Query.
 const QueryCyclic = harness.QueryCyclic
+
+// QueryConfig tunes the bundled NexMark queries (see BuildQuery).
+type QueryConfig = nexmark.QueryConfig
+
+// BuildQuery constructs the dataflow of a bundled NexMark query by name,
+// for running outside the harness (custom engines, topology inspection).
+func BuildQuery(name string, qc QueryConfig) (*JobSpec, error) { return nexmark.Build(name, qc) }
+
+// QueryTopics lists the broker topics a bundled NexMark query consumes.
+func QueryTopics(name string) []string { return nexmark.TopicsFor(name) }
 
 // Run executes one experiment run.
 func Run(cfg RunConfig) (RunResult, error) { return harness.Run(cfg) }
@@ -248,6 +315,12 @@ func FindMST(cfg MSTConfig) (float64, error) { return harness.FindMST(cfg) }
 // and reports the achieved data-plane throughput — the measurement behind
 // the committed BENCH_throughput.json baseline.
 func BenchThroughput(cfg BenchConfig) (BenchPoint, error) { return harness.BenchThroughput(cfg) }
+
+// BenchRecovery injects a failure into a paced run and measures the RTO
+// phase breakdown (detection, rollback computation, state fetch, replay,
+// catch-up) — the measurement behind the committed BENCH_recovery.json
+// baseline.
+func BenchRecovery(cfg RecoveryBenchConfig) (RecoveryPoint, error) { return harness.BenchRecovery(cfg) }
 
 // NewSuite returns the bench-scale experiment suite (20× time-compressed).
 func NewSuite() *Suite { return harness.NewSuite() }

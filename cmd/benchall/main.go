@@ -22,7 +22,7 @@ func main() {
 	var (
 		full    = flag.Bool("full", false, "paper-scale configuration (60 s runs, up to 100 workers)")
 		out     = flag.String("out", "", "also write results to this file")
-		only    = flag.String("only", "", "run a single experiment: table1, fig7, table2, fig8, fig9, fig10, fig11, recovery, table3, fig12, fig13, table4")
+		only    = flag.String("only", "", "run a single experiment: table1, fig7, table2, fig8, fig9, fig10, fig11, recovery, rto, table3, fig12, fig13, table4")
 		scale   = flag.Float64("scale", 0, "override the time-compression factor")
 		workers = flag.Int("max-workers", 0, "cap the parallelism grid at this many workers")
 	)
@@ -88,6 +88,7 @@ func main() {
 		{"fig10", func() ([]*metrics.Table, error) { return suite.FigLatencyTimeline(99) }},
 		{"fig11", one(suite.Fig11RestartTime)},
 		{"recovery", one(suite.RecoveryTimeTable)},
+		{"rto", one(suite.RTOBreakdownTable)},
 		{"table3", one(suite.TableIIIInvalid)},
 		{"fig12-50", func() ([]*metrics.Table, error) {
 			t, err := suite.Fig12Skew(0.5)

@@ -50,11 +50,25 @@ func main() {
 		batchB    = flag.Int("batch-bytes", 0, "exchange batch size bound in bytes (0 = default 32KiB)")
 		batchL    = flag.Int("batch-linger", 0, "exchange batch linger bound in poll-interval ticks (0 = default 1)")
 		benchJSON = flag.String("bench-json", "", "run the data-plane throughput grid (query x protocol x batch size) and write machine-readable results to this file")
+
+		clusterN   = flag.Int("cluster", 0, "cluster worker count instances are placed on (0 = -workers)")
+		placement  = flag.String("placement", "", "placement policy: spread (default), round-robin, colocate")
+		failWorker = flag.Int("fail-worker", 0, "cluster worker killed at -failure-at (first worker of rack/rolling domains)")
+		failDomain = flag.String("fail-domain", "", "failure domain at -failure-at: worker (default), rack, rolling")
+		rackSize   = flag.Int("rack-size", 0, "blast radius of rack/rolling failure domains (default 2)")
+		localCache = flag.Bool("local-cache", false, "enable the worker-local state cache (warm recovery on surviving workers)")
+		benchRec   = flag.String("bench-recovery", "", "run the recovery benchmark grid (protocol x placement x cold/warm cache), print the RTO phase breakdown, and write machine-readable results to this file")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runBenchGrid(*benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchRec != "" {
+		if err := runRecoveryGrid(*benchRec); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -98,6 +112,12 @@ func main() {
 		BatchMaxRecords:      *batch,
 		BatchMaxBytes:        *batchB,
 		BatchLingerTicks:     *batchL,
+		ClusterWorkers:       *clusterN,
+		Placement:            *placement,
+		FailWorker:           *failWorker,
+		FailDomain:           *failDomain,
+		FailRackSize:         *rackSize,
+		LocalCache:           *localCache,
 	}
 	switch *output {
 	case "none":
@@ -179,6 +199,138 @@ func runBenchGrid(path string) error {
 	return nil
 }
 
+// runRecoveryGrid measures the RTO phase breakdown over the protocol ×
+// cold/warm-cache grid (plus a placement sweep under COOR), prints each
+// breakdown, and writes the machine-readable baseline consumed by the
+// BENCH_recovery.json trajectory. Cold points fetch every restored byte
+// from the object store; warm points restore surviving workers' instances
+// from their local caches — the runner verifies warm recovery fetched
+// strictly fewer remote bytes than a cold recovery of the same failure
+// (restored_bytes, which local+remote always sum to) would.
+func runRecoveryGrid(path string) error {
+	type benchFile struct {
+		GeneratedUnix int64                     `json:"generated_unix"`
+		CPUs          int                       `json:"cpus"`
+		Workers       int                       `json:"workers"`
+		Points        []checkmate.RecoveryPoint `json:"points"`
+	}
+	out := benchFile{GeneratedUnix: time.Now().Unix(), CPUs: runtime.NumCPU(), Workers: 4}
+	printPt := func(pt checkmate.RecoveryPoint) {
+		cache := "cold"
+		if pt.LocalCache {
+			cache = "warm"
+		}
+		fmt.Printf("%-4s %-5s %-11s %s  detect=%6.1fms rollback=%6.1fms fetch=%6.1fms replay=%6.1fms catchup=%7.1fms  RTO=%7.1fms  restored=%6.1fKB (local %6.1fKB, remote %6.1fKB)\n",
+			pt.Query, pt.Protocol, pt.Placement, cache,
+			pt.DetectMs, pt.RollbackMs, pt.FetchMs, pt.ReplayMs, pt.CatchUpMs, pt.RTOMs,
+			float64(pt.RestoredBytes)/1024, float64(pt.LocalBytes)/1024, float64(pt.RemoteBytes)/1024)
+	}
+	run := func(cfg checkmate.RecoveryBenchConfig) error {
+		pt, err := checkmate.BenchRecovery(cfg)
+		if err != nil {
+			return fmt.Errorf("bench-recovery %s/%s/%s: %w", cfg.Query, cfg.Protocol.Name(), cfg.Placement, err)
+		}
+		printPt(pt)
+		out.Points = append(out.Points, pt)
+		return nil
+	}
+	for _, pn := range []string{"COOR", "UNC", "CIC"} {
+		p, err := checkmate.ProtocolByName(pn)
+		if err != nil {
+			return err
+		}
+		for _, warm := range []bool{false, true} {
+			if err := run(checkmate.RecoveryBenchConfig{
+				Query: "q3", Protocol: p, Workers: out.Workers, LocalCache: warm, Repeat: 3,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	// Placement sweep: the same COOR failure under the other policies,
+	// aimed at the busiest worker so the point stays meaningful whatever
+	// workers the colocate hash assigns the operators to.
+	for _, pl := range []string{"round-robin", "colocate"} {
+		p, _ := checkmate.ProtocolByName("COOR")
+		fw, err := busiestWorker("q3", out.Workers, pl)
+		if err != nil {
+			return err
+		}
+		if err := run(checkmate.RecoveryBenchConfig{
+			Query: "q3", Protocol: p, Workers: out.Workers, Placement: pl, FailWorker: fw, LocalCache: true, Repeat: 3,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, pt := range out.Points {
+		if pt.RestoredBytes != pt.LocalBytes+pt.RemoteBytes {
+			return fmt.Errorf("bench-recovery: %s/%s restored %d B but local %d + remote %d B",
+				pt.Protocol, pt.Placement, pt.RestoredBytes, pt.LocalBytes, pt.RemoteBytes)
+		}
+		// The warm-vs-cold criterion is asserted on the spread points: a
+		// surviving worker always holds part of the line there. Under
+		// colocate the failed worker can legitimately host every stateful
+		// operator (all-remote) or none (nothing restored).
+		if pt.LocalCache && pt.Placement == "spread" && pt.RemoteBytes >= pt.RestoredBytes {
+			return fmt.Errorf("bench-recovery: warm %s/%s point fetched %d of %d restored bytes remotely — cache served nothing",
+				pt.Protocol, pt.Placement, pt.RemoteBytes, pt.RestoredBytes)
+		}
+		if !pt.LocalCache && pt.RemoteBytes != pt.RestoredBytes {
+			return fmt.Errorf("bench-recovery: cold %s point restored %d B but fetched %d B remotely",
+				pt.Protocol, pt.RestoredBytes, pt.RemoteBytes)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d points to %s\n", len(out.Points), path)
+	return nil
+}
+
+// busiestWorker materializes the placement of query under the given policy
+// (via a never-started engine) and returns the worker hosting the most
+// instances — the highest-impact failure target.
+func busiestWorker(query string, workers int, placement string) (int, error) {
+	broker := checkmate.NewBroker()
+	for _, topic := range checkmate.QueryTopics(query) {
+		if _, err := broker.CreateTopic(topic, workers); err != nil {
+			return 0, err
+		}
+	}
+	job, err := checkmate.BuildQuery(query, checkmate.QueryConfig{Window: time.Second})
+	if err != nil {
+		return 0, err
+	}
+	p, err := checkmate.ProtocolByName("COOR")
+	if err != nil {
+		return 0, err
+	}
+	eng, err := checkmate.NewEngine(checkmate.EngineConfig{
+		Workers:  workers,
+		Protocol: p,
+		Broker:   broker,
+		Store:    checkmate.NewObjectStore(checkmate.ObjectStoreConfig{}),
+		Recorder: checkmate.NewRecorder(time.Now(), time.Minute, time.Second),
+		Cluster:  checkmate.ClusterConfig{Policy: checkmate.PlacementPolicy(placement)},
+	}, job)
+	if err != nil {
+		return 0, err
+	}
+	topo := eng.Topology()
+	best := 0
+	for w := 1; w < topo.Workers(); w++ {
+		if len(topo.InstancesOn(w)) > len(topo.InstancesOn(best)) {
+			best = w
+		}
+	}
+	return best, nil
+}
+
 // parsePolicy parses the -policy flag: "fixed", "events=<n>" or
 // "idle=<duration>".
 func parsePolicy(s string) (checkmate.TriggerPolicy, error) {
@@ -223,6 +375,16 @@ func printResult(res checkmate.RunResult) {
 			s.RestartTime.Round(time.Millisecond), s.RecoveryTime.Round(time.Millisecond), s.Recovered)
 		fmt.Printf("  replayed / dropped: %d / %d, rollback distance %d records\n",
 			s.ReplayMessages, s.DupDropped, s.RollbackDistance)
+	}
+	for _, rto := range s.RTOs {
+		fmt.Printf("  rto (worker %v):     detect %v | rollback %v | fetch %v | replay %v | catchup %v | total %v\n",
+			rto.FailedWorkers,
+			rto.Detect.Round(100*time.Microsecond), rto.Rollback.Round(100*time.Microsecond),
+			rto.Fetch.Round(100*time.Microsecond), rto.Replay.Round(100*time.Microsecond),
+			rto.CatchUp.Round(100*time.Microsecond), rto.Total.Round(100*time.Microsecond))
+		fmt.Printf("    restored %d B (local %d, remote %d), cache %d hit / %d miss, scope %d instances on %d workers\n",
+			rto.RestoredBytes, rto.LocalBytes, rto.RemoteBytes,
+			rto.CacheHits, rto.CacheMisses, rto.ScopeInstances, rto.ScopeWorkers)
 	}
 	if s.FullKeyedCkpts+s.DeltaKeyedCkpts > 0 {
 		fmt.Printf("  keyed snapshots:    %d full (%d B), %d delta (%d B), max chain %d\n",

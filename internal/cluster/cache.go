@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the worker-local state cache: each worker keeps the checkpoint
+// blobs its instances uploaded (or fetched during an earlier recovery) in
+// memory, keyed by object-store key. An instance recovering on a surviving
+// worker restores its base+delta chain segments from this cache instead of
+// the object store; a worker crash invalidates the worker's whole cache,
+// because the restarted process starts with empty memory.
+//
+// The cache stores blobs in their persisted form (post-compression), so a
+// cache hit and a remote fetch feed the identical bytes into restore — the
+// cache changes where state comes from, never what state is restored.
+// Blobs are retained by reference: callers transfer ownership on Put and
+// must not modify slices returned by Get.
+type Cache struct {
+	mu     sync.Mutex
+	shards []map[string][]byte
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	localBytes    atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// NewCache returns an empty cache for a cluster of workers workers.
+func NewCache(workers int) *Cache {
+	c := &Cache{shards: make([]map[string][]byte, workers)}
+	for i := range c.shards {
+		c.shards[i] = make(map[string][]byte)
+	}
+	return c
+}
+
+// Put caches blob under key on worker w, overwriting any previous entry
+// (recovered instances reuse checkpoint sequence numbers, so a key can be
+// legitimately rewritten with fresh content after a rollback).
+func (c *Cache) Put(w int, key string, blob []byte) {
+	if w < 0 || w >= len(c.shards) {
+		return
+	}
+	c.mu.Lock()
+	c.shards[w][key] = blob
+	c.mu.Unlock()
+}
+
+// Get returns the blob cached under key on worker w and accounts the hit
+// or miss. The returned slice must not be modified.
+func (c *Cache) Get(w int, key string) ([]byte, bool) {
+	if w < 0 || w >= len(c.shards) {
+		return nil, false
+	}
+	c.mu.Lock()
+	blob, ok := c.shards[w][key]
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.localBytes.Add(uint64(len(blob)))
+	return blob, true
+}
+
+// Invalidate drops worker w's entire cache — the worker crashed and its
+// memory is gone. Returns the number of entries dropped.
+func (c *Cache) Invalidate(w int) int {
+	if w < 0 || w >= len(c.shards) {
+		return 0
+	}
+	c.mu.Lock()
+	n := len(c.shards[w])
+	c.shards[w] = make(map[string][]byte)
+	c.mu.Unlock()
+	c.invalidations.Add(1)
+	return n
+}
+
+// Drop removes key from every worker's cache (checkpoint garbage
+// collection: a blob deleted from the object store must not be served
+// locally either).
+func (c *Cache) Drop(key string) {
+	c.mu.Lock()
+	for _, shard := range c.shards {
+		delete(shard, key)
+	}
+	c.mu.Unlock()
+}
+
+// EntriesOn reports the number of blobs cached on worker w.
+func (c *Cache) EntriesOn(w int) int {
+	if w < 0 || w >= len(c.shards) {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.shards[w])
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	// Entries and Bytes report the currently cached volume.
+	Entries int
+	Bytes   uint64
+	// Hits / Misses count Get outcomes; LocalBytes is the blob volume
+	// served from cache (the object-store traffic avoided).
+	Hits, Misses uint64
+	LocalBytes   uint64
+	// Invalidations counts worker-loss cache wipes.
+	Invalidations uint64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		LocalBytes:    c.localBytes.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+	c.mu.Lock()
+	for _, shard := range c.shards {
+		st.Entries += len(shard)
+		for _, blob := range shard {
+			st.Bytes += uint64(len(blob))
+		}
+	}
+	c.mu.Unlock()
+	return st
+}

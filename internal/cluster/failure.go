@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Domain names a failure domain: which workers a fault takes down, and in
+// what rhythm.
+type Domain string
+
+// Failure domains.
+const (
+	// DomainWorker crashes a single worker — the paper's baseline failure.
+	DomainWorker Domain = "worker"
+	// DomainRack crashes Size consecutive workers at once (correlated
+	// failure: shared rack, switch or power domain).
+	DomainRack Domain = "rack"
+	// DomainRolling crashes Size workers one after another, Interval
+	// apart — a rolling restart where each worker recovers before (or
+	// while) the next one goes down.
+	DomainRolling Domain = "rolling"
+)
+
+// ParseDomain resolves a failure domain by name ("" = DomainWorker).
+func ParseDomain(name string) (Domain, error) {
+	switch Domain(name) {
+	case "", DomainWorker:
+		return DomainWorker, nil
+	case DomainRack:
+		return DomainRack, nil
+	case DomainRolling:
+		return DomainRolling, nil
+	default:
+		return "", fmt.Errorf("cluster: unknown failure domain %q (want worker, rack or rolling)", name)
+	}
+}
+
+// FailurePlan expands a failure domain into concrete failure events.
+type FailurePlan struct {
+	// Domain selects the failure shape ("" = DomainWorker).
+	Domain Domain
+	// Worker is the first (or only) worker hit, wrapped into the cluster.
+	Worker int
+	// Size is the blast radius of rack and rolling domains (<=1 defaults
+	// to 2). Ignored by DomainWorker.
+	Size int
+	// Interval separates successive rolling failures (<=0 defaults to
+	// 500ms). Ignored by the one-shot domains.
+	Interval time.Duration
+}
+
+// FailureEvent is one injection: the workers to kill together, and how
+// long after the previous event to inject them.
+type FailureEvent struct {
+	// AfterPrev is the delay since the previous event (zero for the
+	// first).
+	AfterPrev time.Duration
+	// Workers are the workers crashing together.
+	Workers []int
+}
+
+// Events expands the plan against a cluster of workers workers. Worker ids
+// wrap around the ring, so a rack starting near the end of the cluster
+// folds over to the low workers; duplicate targets collapse.
+func (p FailurePlan) Events(workers int) ([]FailureEvent, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("cluster: failure plan needs a positive worker count, got %d", workers)
+	}
+	domain, err := ParseDomain(string(p.Domain))
+	if err != nil {
+		return nil, err
+	}
+	size := p.Size
+	if size <= 1 {
+		size = 2
+	}
+	if size > workers {
+		size = workers
+	}
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	wrap := func(w int) int {
+		w %= workers
+		if w < 0 {
+			w += workers
+		}
+		return w
+	}
+	switch domain {
+	case DomainWorker:
+		return []FailureEvent{{Workers: []int{wrap(p.Worker)}}}, nil
+	case DomainRack:
+		seen := make(map[int]bool, size)
+		var targets []int
+		for i := 0; i < size; i++ {
+			w := wrap(p.Worker + i)
+			if !seen[w] {
+				seen[w] = true
+				targets = append(targets, w)
+			}
+		}
+		return []FailureEvent{{Workers: targets}}, nil
+	case DomainRolling:
+		events := make([]FailureEvent, 0, size)
+		for i := 0; i < size; i++ {
+			ev := FailureEvent{Workers: []int{wrap(p.Worker + i)}}
+			if i > 0 {
+				ev.AfterPrev = interval
+			}
+			events = append(events, ev)
+		}
+		return events, nil
+	}
+	return nil, fmt.Errorf("cluster: unhandled domain %q", domain)
+}

@@ -239,6 +239,12 @@ func (c *coordinator) deleteBlobs(victims []recovery.Meta) {
 	var bytes uint64
 	for _, m := range victims {
 		bytes += uint64(c.eng.cfg.Store.Delete(m.SelfKey()))
+		if c.eng.cache != nil {
+			// A blob deleted from the store must not linger in worker
+			// memory either, or a later recovery could restore state the
+			// garbage collector already declared unreachable.
+			c.eng.cache.Drop(m.SelfKey())
+		}
 	}
 	c.eng.cfg.Recorder.AddGCReclaimed(len(victims), bytes)
 }

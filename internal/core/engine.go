@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"checkmate/internal/cluster"
 	"checkmate/internal/dedup"
 	"checkmate/internal/metrics"
 	"checkmate/internal/mq"
@@ -62,8 +64,22 @@ type Config struct {
 	// skew. 0 disables.
 	StragglerDelay time.Duration
 	// StragglerWorker selects the straggling worker when StragglerDelay is
-	// set.
+	// set: a cluster worker id in [0, Cluster.Workers), folded into the
+	// cluster if out of range. Which instances straggle follows from the
+	// placement policy — every non-source instance the topology hosts on
+	// that worker, and only those. (Before the cluster model this knob was
+	// applied as StragglerWorker mod parallelism per operator, which
+	// silently straggled a different instance index in operators whose
+	// parallelism differed from the worker count.)
 	StragglerWorker int
+	// Cluster configures the simulated cluster topology: how many workers
+	// host the operator instances, the placement policy mapping instances
+	// to workers, and the worker-local state cache consulted before the
+	// object store when instances restore checkpoint state. The zero value
+	// spreads instances over Workers workers (one worker per unit of
+	// default parallelism, reproducing the legacy deployment model) with
+	// the cache disabled.
+	Cluster cluster.Config
 	// WatermarkInterval enables event-time watermarks: every source emits
 	// a watermark (its maximum extracted event time minus WatermarkLag) on
 	// all output channels at this period, and every operator tracks the
@@ -190,7 +206,11 @@ type Engine struct {
 	par  []int
 	base []int
 	// total is the number of operator instances (global ids 0..total-1).
-	total     int
+	total int
+	// topo places every instance on a cluster worker; cache is the
+	// worker-local state cache (nil unless Cluster.LocalCache).
+	topo      *cluster.Topology
+	cache     *cluster.Cache
 	logging   bool
 	exactOnce bool
 	unaligned bool
@@ -268,6 +288,17 @@ func NewEngine(cfg Config, job *JobSpec) (*Engine, error) {
 	for i := range job.Ops {
 		e.base[i] = e.total
 		e.total += par[i]
+	}
+	ops := make([]cluster.OpInfo, len(job.Ops))
+	for i := range job.Ops {
+		ops[i] = cluster.OpInfo{Name: job.Ops[i].Name, Parallelism: par[i]}
+	}
+	e.topo, err = cluster.New(cfg.Cluster, cfg.Workers, ops)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cluster.LocalCache {
+		e.cache = cluster.NewCache(e.topo.Workers())
 	}
 	e.volatileOffsets = make([]atomic.Uint64, e.total)
 	e.buildWiring()
@@ -354,6 +385,7 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world,
 				gid:      gid,
 				op:       op,
 				idx:      idx,
+				worker:   e.topo.WorkerOf(gid),
 				spec:     spec,
 				inChans:  e.inChansByGID[gid],
 				outChans: e.outChansByGID[gid],
@@ -409,7 +441,7 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world,
 			if e.exactOnce {
 				it.dedup = dedup.NewSet(e.cfg.DedupCap)
 			}
-			if e.cfg.StragglerDelay > 0 && spec.Source == nil && idx == e.cfg.StragglerWorker%e.par[op] {
+			if e.cfg.StragglerDelay > 0 && spec.Source == nil && it.worker == e.topo.Normalize(e.cfg.StragglerWorker) {
 				it.stragglerNS = e.cfg.StragglerDelay.Nanoseconds()
 			}
 			if line != nil {
@@ -504,10 +536,29 @@ func (e *Engine) stopWorld(w *world) {
 	w.uploadWG.Wait()
 }
 
-// InjectFailure simulates the crash of one worker: all instances hosted on
-// it die immediately; the coordinator detects the failure after the
-// configured detection delay and performs a global rollback.
-func (e *Engine) InjectFailure(worker int) {
+// InjectFailure simulates the crash of one cluster worker: all instances
+// the placement hosts on it die immediately; the coordinator detects the
+// failure after the configured detection delay and performs a rollback.
+// The worker id is folded into the cluster if out of range.
+func (e *Engine) InjectFailure(worker int) { e.InjectWorkerFailure(worker) }
+
+// InjectWorkerFailure simulates the simultaneous crash of one or more
+// cluster workers — a correlated failure domain (shared rack, switch or
+// power domain) when more than one is given. Every instance hosted on a
+// failed worker dies immediately and the worker's local state cache is
+// invalidated (its memory is gone); recovery then restores the protocol's
+// rollback line, fetching state from surviving workers' caches where
+// possible. A failure hitting only empty workers (no hosted instances) is
+// a no-op.
+func (e *Engine) InjectWorkerFailure(workers ...int) {
+	if len(workers) == 0 {
+		return
+	}
+	failed := make(map[int]bool, len(workers))
+	for _, w := range workers {
+		failed[e.topo.Normalize(w)] = true
+	}
+
 	e.mu.Lock()
 	w := e.world
 	if w == nil || e.stopped || e.recovering {
@@ -517,27 +568,61 @@ func (e *Engine) InjectFailure(worker int) {
 	e.recovering = true
 	e.mu.Unlock()
 
+	killed := 0
 	for _, it := range w.instances {
-		if it.idx == worker%e.par[it.op] {
+		if failed[it.worker] {
 			it.dead.Store(true)
 			if it.in != nil {
 				it.in.close()
 			}
+			killed++
 		}
 	}
-	detectAt := time.Now().Add(e.cfg.DetectionDelay)
+	if killed == 0 {
+		e.cfg.Recorder.Note("failure of empty worker(s) %v: no instances hosted, nothing to recover", workers)
+		e.mu.Lock()
+		e.recovering = false
+		e.mu.Unlock()
+		return
+	}
+	failedWorkers := make([]int, 0, len(failed))
+	for fw := range failed {
+		failedWorkers = append(failedWorkers, fw)
+	}
+	sort.Ints(failedWorkers)
+	if e.cache != nil {
+		for _, fw := range failedWorkers {
+			e.cache.Invalidate(fw)
+		}
+	}
+	failedAt := time.Now()
+	detectAt := failedAt.Add(e.cfg.DetectionDelay)
 	go func() {
 		time.Sleep(time.Until(detectAt))
-		e.recover(detectAt, w)
+		e.recover(failedAt, detectAt, failedWorkers, w)
 	}()
 }
 
-// recover performs the global rollback: stop the world, compute the
-// protocol's recovery line, restore all instances from durable checkpoints,
-// re-inject in-flight messages from the logs, and restart.
-func (e *Engine) recover(detectAt time.Time, failedWorld *world) {
+// recover performs the rollback: stop the world, compute the protocol's
+// recovery line, restore all instances from durable checkpoints (worker-
+// local cache first, object store on miss), re-inject in-flight messages
+// from the logs, and restart. Each phase is timed into the RTO breakdown.
+func (e *Engine) recover(failedAt, detectAt time.Time, failedWorkers []int, failedWorld *world) {
 	rec := e.cfg.Recorder
+	rto := metrics.RTO{
+		Detect:        detectAt.Sub(failedAt),
+		FailedWorkers: failedWorkers,
+	}
+	phase := time.Now()
 	e.stopWorld(failedWorld)
+	// The dead world's in-flight uploads have drained now; wipe anything
+	// they cached onto the failed workers after the first invalidation —
+	// the restarted worker processes must not remember those blobs.
+	if e.cache != nil {
+		for _, fw := range failedWorkers {
+			e.cache.Invalidate(fw)
+		}
+	}
 
 	e.mu.Lock()
 	if e.stopped || e.world != failedWorld {
@@ -555,7 +640,11 @@ func (e *Engine) recover(detectAt time.Time, failedWorld *world) {
 	var replayed uint64
 	if kind == KindNone {
 		rec.Note("gap recovery: all operator state lost (at-most-once)")
+		rto.Rollback = time.Since(phase)
+		phase = time.Now()
 		w, err = e.buildWorld(nil, nil)
+		rto.Fetch = time.Since(phase)
+		phase = time.Now()
 	} else {
 		line, acct, metas := e.coord.lineForRecovery()
 		acct.set = true
@@ -570,13 +659,33 @@ func (e *Engine) recover(detectAt time.Time, failedWorld *world) {
 		// Abandon the round in flight (COOR) and purge checkpoint metadata
 		// the rollback invalidated (UNC/CIC).
 		e.coord.resetAfterFailure(line)
+		// Rollback scope, grouped by hosting worker: which part of the
+		// cluster the failure actually reaches.
+		var scope []recovery.ScopeEntry
+		for gid, ref := range line {
+			if ref.Seq > 0 {
+				scope = append(scope, recovery.ScopeEntry{Instance: gid})
+			}
+		}
+		byWorker := recovery.WorkerScope(scope, e.topo.WorkerOf)
+		rto.ScopeInstances = len(scope)
+		rto.ScopeWorkers = len(byWorker)
+		rto.Rollback = time.Since(phase)
+		phase = time.Now()
 
-		blobs, ferr := e.fetchBlobs(line, metas)
+		blobs, acctFetch, ferr := e.fetchBlobs(line, metas)
+		rto.RestoredBytes = acctFetch.restored
+		rto.LocalBytes = acctFetch.local
+		rto.RemoteBytes = acctFetch.remote
+		rto.CacheHits = acctFetch.hits
+		rto.CacheMisses = acctFetch.misses
 		if ferr == nil {
 			w, err = e.buildWorld(line, blobs)
 		} else {
 			err = ferr
 		}
+		rto.Fetch = time.Since(phase)
+		phase = time.Now()
 		if err == nil {
 			var rollback uint64
 			for _, it := range w.instances {
@@ -625,14 +734,32 @@ func (e *Engine) recover(detectAt time.Time, failedWorld *world) {
 		return
 	}
 	e.launch(w)
+	rto.Replay = time.Since(phase)
+	rec.RecordRTO(rto)
 	rec.RecordRestart(time.Since(detectAt))
 	go e.monitorCatchUp(w, detectAt)
 }
 
-// fetchBlobs downloads the blob chain of every checkpoint on the line,
+// fetchAcct accounts where the restored checkpoint state of one recovery
+// came from. Byte counts are in persisted (stored) form, so local and
+// remote volumes are directly comparable: restored = local + remote.
+type fetchAcct struct {
+	restored uint64 // blob bytes the restore consumed
+	local    uint64 // served from worker-local caches
+	remote   uint64 // fetched from the object store
+	hits     uint64 // cache hits (only counted when the cache is enabled)
+	misses   uint64 // cache misses
+}
+
+// fetchBlobs loads the blob chain of every checkpoint on the line,
 // preserving chain order (base first). Every segment of every chain is
-// fetched concurrently.
-func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int][][]byte, error) {
+// fetched concurrently. Each blob is looked up in the hosting worker's
+// local state cache first: a hit restores from worker memory with no
+// object-store RPC, a miss (cold cache, or the hosting worker itself died
+// and lost its cache) falls back to the store and re-warms the cache for
+// the next failure.
+func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int][][]byte, fetchAcct, error) {
+	var acct fetchAcct
 	keys := make(map[int][]string)
 	for gid, ref := range line {
 		if ref.Seq == 0 {
@@ -642,7 +769,7 @@ func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int]
 		for i := range metas {
 			if metas[i].Ref == ref {
 				if len(metas[i].StoreKeys) == 0 {
-					return nil, fmt.Errorf("core: checkpoint %v has no blob refs", ref)
+					return nil, acct, fmt.Errorf("core: checkpoint %v has no blob refs", ref)
 				}
 				keys[gid] = metas[i].StoreKeys
 				found = true
@@ -650,7 +777,7 @@ func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int]
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("core: no metadata for line checkpoint %v", ref)
+			return nil, acct, fmt.Errorf("core: no metadata for line checkpoint %v", ref)
 		}
 	}
 	blobs := make(map[int][][]byte, len(keys))
@@ -659,22 +786,38 @@ func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int]
 	var firstErr error
 	sem := make(chan struct{}, 16)
 	for gid, chain := range keys {
-		blobs[gid] = make([][]byte, len(chain))
+		// dst is handed to the fetch goroutines directly: the blobs map
+		// itself is only written by this loop.
+		dst := make([][]byte, len(chain))
+		blobs[gid] = dst
+		worker := e.topo.WorkerOf(gid)
 		for i, key := range chain {
 			wg.Add(1)
-			go func(gid, i int, key string) {
+			go func(worker, i int, key string, dst [][]byte) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				var (
-					blob []byte
-					err  error
+					blob  []byte
+					err   error
+					local bool
 				)
-				for attempt := 0; attempt < storeRetries; attempt++ {
-					if blob, err = e.cfg.Store.Get(key); err == nil {
-						break
+				if e.cache != nil {
+					blob, local = e.cache.Get(worker, key)
+				}
+				if !local {
+					for attempt := 0; attempt < storeRetries; attempt++ {
+						if blob, err = e.cfg.Store.Get(key); err == nil {
+							break
+						}
+					}
+					if err == nil && e.cache != nil {
+						// Re-warm: the restored instance's worker holds the
+						// blob again, exactly as if it had just uploaded it.
+						e.cache.Put(worker, key, blob)
 					}
 				}
+				stored := uint64(len(blob))
 				if err == nil && e.cfg.CompressCheckpoints {
 					blob, err = flateDecompress(blob)
 				}
@@ -684,15 +827,30 @@ func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int]
 					firstErr = fmt.Errorf("core: fetch chain blob %s: %w", key, err)
 					return
 				}
-				blobs[gid][i] = blob
-			}(gid, i, key)
+				if err == nil {
+					acct.restored += stored
+					if local {
+						acct.local += stored
+					} else {
+						acct.remote += stored
+					}
+					if e.cache != nil {
+						if local {
+							acct.hits++
+						} else {
+							acct.misses++
+						}
+					}
+				}
+				dst[i] = blob
+			}(worker, i, key, dst)
 		}
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, acct, firstErr
 	}
-	return blobs, nil
+	return blobs, acct, nil
 }
 
 // replayInFlight truncates stale log suffixes and re-injects the channel
@@ -754,8 +912,20 @@ func (e *Engine) monitorCatchUp(w *world, detectAt time.Time) {
 			return
 		case <-ticker.C:
 		}
+		// Only measure while w is the live, healthy world: once another
+		// failure starts tearing it down (or a newer world replaced it —
+		// rolling restarts), this monitor's detection baseline is stale and
+		// must not record the *next* recovery's catch-up.
+		e.mu.Lock()
+		live := e.world == w && !e.recovering
+		e.mu.Unlock()
+		if !live {
+			return
+		}
 		if e.MaxSourceLag() <= e.cfg.CatchUpLag && e.SourceBacklog() == 0 {
-			e.cfg.Recorder.RecordRecovery(time.Since(detectAt))
+			d := time.Since(detectAt)
+			e.cfg.Recorder.RecordRecovery(d)
+			e.cfg.Recorder.CompleteRTO(d)
 			return
 		}
 	}
@@ -802,7 +972,9 @@ func (e *Engine) SourceBacklog() uint64 {
 			continue
 		}
 		part := topic.Partition(it.idx)
-		off := it.offset
+		// The source goroutine owns it.offset; read the atomic mirror the
+		// engine keeps for exactly this kind of cross-goroutine peek.
+		off := e.volatileOffsets[it.gid].Load()
 		for {
 			r, ok := part.Read(off)
 			if !ok || r.ScheduleNS > now {
@@ -841,6 +1013,21 @@ func (e *Engine) Stop() {
 
 // Channels exposes the channel topology (for tests and diagnostics).
 func (e *Engine) Channels() []recovery.ChannelInfo { return e.channels }
+
+// Topology exposes the cluster placement of the job's instances.
+func (e *Engine) Topology() *cluster.Topology { return e.topo }
+
+// WorkerOf reports the cluster worker hosting global instance gid.
+func (e *Engine) WorkerOf(gid int) int { return e.topo.WorkerOf(gid) }
+
+// CacheStats reports the worker-local state cache counters (zero value
+// when the cache is disabled).
+func (e *Engine) CacheStats() cluster.CacheStats {
+	if e.cache == nil {
+		return cluster.CacheStats{}
+	}
+	return e.cache.Stats()
+}
 
 // CheckpointMetas returns a snapshot of all checkpoint metadata reported to
 // the coordinator — the input of recovery-line and rollback-scope analysis.

@@ -54,12 +54,15 @@ type inChan struct {
 // instance is one parallel instance of an operator, executing as a single
 // goroutine (plus transient checkpoint-upload goroutines).
 type instance struct {
-	eng  *Engine
-	w    *world
-	gid  int
-	op   int
-	idx  int
-	spec *OpSpec
+	eng *Engine
+	w   *world
+	gid int
+	op  int
+	idx int
+	// worker is the cluster worker hosting this instance (from the
+	// engine's placement topology).
+	worker int
+	spec   *OpSpec
 
 	oper Operator // nil for sources
 
@@ -779,6 +782,12 @@ func (it *instance) upload(blob []byte, meta recovery.Meta, t0 time.Time) {
 		}
 		for attempt := 0; attempt < storeRetries; attempt++ {
 			if err = it.eng.cfg.Store.Put(key, blob); err == nil {
+				if it.eng.cache != nil {
+					// The uploader's worker keeps the blob in local memory:
+					// a recovery that leaves this worker alive restores from
+					// here instead of the object store.
+					it.eng.cache.Put(it.worker, key, blob)
+				}
 				it.eng.coord.report(meta, time.Since(t0))
 				return
 			}

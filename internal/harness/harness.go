@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"checkmate/internal/cluster"
 	"checkmate/internal/core"
 	"checkmate/internal/cyclic"
 	"checkmate/internal/metrics"
@@ -40,8 +41,31 @@ type RunConfig struct {
 	// FailureAt injects a worker failure this long into the run (0 = no
 	// failure). The paper uses 18 s of a 60 s run.
 	FailureAt time.Duration
-	// FailWorker selects the worker to kill.
+	// FailWorker selects the cluster worker to kill (the first worker of
+	// rack and rolling failure domains).
 	FailWorker int
+	// FailDomain selects the failure domain injected at FailureAt:
+	// "worker" (default, a single crash), "rack" (FailRackSize workers at
+	// once) or "rolling" (FailRackSize successive single-worker crashes,
+	// FailInterval apart).
+	FailDomain string
+	// FailRackSize is the blast radius of rack/rolling failures
+	// (default 2).
+	FailRackSize int
+	// FailInterval separates successive rolling failures (default
+	// Duration/10).
+	FailInterval time.Duration
+	// ClusterWorkers is the simulated cluster size instances are placed
+	// on (0 = Workers, the legacy one-worker-per-parallel-instance
+	// model).
+	ClusterWorkers int
+	// Placement selects the instance→worker placement policy: "spread"
+	// (default), "round-robin" or "colocate".
+	Placement string
+	// LocalCache enables the worker-local state cache: recovery on
+	// surviving workers restores checkpoint state from worker memory
+	// instead of the object store.
+	LocalCache bool
 	// HotRatio is the NexMark hot-items ratio (0 = uniform).
 	HotRatio float64
 	// CheckpointInterval is the protocol checkpoint interval.
@@ -189,6 +213,14 @@ type ScopeStats struct {
 	// AvgDepth is the mean number of checkpoints rolled back per in-scope
 	// instance.
 	AvgDepth float64
+	// Workers is the cluster size; AvgWorkers and MaxWorkers count the
+	// distinct workers hosting in-scope instances (averaged/maximized
+	// over the choice of failed instance) — the per-worker rollback
+	// scope, i.e. how much of the cluster a single-instance failure
+	// drags into recovery under the given placement.
+	Workers    int
+	AvgWorkers float64
+	MaxWorkers int
 }
 
 // buildWorkload creates the broker topics and the job for cfg.
@@ -265,6 +297,11 @@ func Run(cfg RunConfig) (RunResult, error) {
 		WatermarkLag:        cfg.WatermarkLag,
 		CompressCheckpoints: cfg.CompressCheckpoints,
 		DeltaCheckpoints:    cfg.DeltaCheckpoints,
+		Cluster: cluster.Config{
+			Workers:    cfg.ClusterWorkers,
+			Policy:     cluster.Policy(cfg.Placement),
+			LocalCache: cfg.LocalCache,
+		},
 		Batching: core.BatchingConfig{
 			MaxRecords:  cfg.BatchMaxRecords,
 			MaxBytes:    cfg.BatchMaxBytes,
@@ -281,9 +318,33 @@ func Run(cfg RunConfig) (RunResult, error) {
 
 	start := time.Now()
 	if cfg.FailureAt > 0 {
+		clusterWorkers := cfg.ClusterWorkers
+		if clusterWorkers <= 0 {
+			clusterWorkers = cfg.Workers
+		}
+		interval := cfg.FailInterval
+		if interval <= 0 {
+			interval = cfg.Duration / 10
+		}
+		events, perr := cluster.FailurePlan{
+			Domain:   cluster.Domain(cfg.FailDomain),
+			Worker:   cfg.FailWorker,
+			Size:     cfg.FailRackSize,
+			Interval: interval,
+		}.Events(clusterWorkers)
+		if perr != nil {
+			eng.Stop()
+			return RunResult{}, perr
+		}
 		go func() {
 			time.Sleep(cfg.FailureAt)
-			eng.InjectFailure(cfg.FailWorker)
+			for _, ev := range events {
+				time.Sleep(ev.AfterPrev)
+				// A rolling event landing mid-recovery is dropped by the
+				// engine (one recovery at a time), as a real scheduler
+				// would pause a rolling restart on an unhealthy cluster.
+				eng.InjectWorkerFailure(ev.Workers...)
+			}
 		}()
 	}
 	// Sample source lag over the second half of the run for the
@@ -302,11 +363,23 @@ func Run(cfg RunConfig) (RunResult, error) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	// Grace period so in-flight records drain into the timeline.
+	// Grace period so in-flight records drain into the timeline: sources
+	// done is not enough — records still queued between operators would be
+	// dropped at Stop, so also wait (deadline-bounded) for the sink count
+	// to settle.
 	deadline := time.Now().Add(cfg.DrainGrace)
+	var lastSink uint64
+	sinkStable := 0
 	for time.Now().Before(deadline) {
 		if eng.SourceBacklog() == 0 && eng.MaxSourceLag() < cfg.LagThreshold/4 {
-			break
+			if count := recorder.SinkCount(); count == lastSink {
+				if sinkStable++; sinkStable >= 3 {
+					break
+				}
+			} else {
+				lastSink = count
+				sinkStable = 0
+			}
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -359,13 +432,18 @@ func analyzeScope(eng *core.Engine) ScopeStats {
 	metas := eng.CheckpointMetas()
 	channels := eng.Channels()
 	live := eng.LiveFrontiers()
-	st := ScopeStats{Instances: total}
-	var scopeSum, depthSum, depthN int
+	st := ScopeStats{Instances: total, Workers: eng.Topology().Workers()}
+	var scopeSum, depthSum, depthN, workerSum int
 	for i := 0; i < total; i++ {
 		scope := recovery.RollbackScope(total, channels, metas, []int{i}, live)
 		scopeSum += len(scope)
 		if len(scope) > st.MaxScope {
 			st.MaxScope = len(scope)
+		}
+		byWorker := recovery.WorkerScope(scope, eng.WorkerOf)
+		workerSum += len(byWorker)
+		if len(byWorker) > st.MaxWorkers {
+			st.MaxWorkers = len(byWorker)
 		}
 		for _, e := range scope {
 			depthSum += int(e.Depth)
@@ -374,6 +452,7 @@ func analyzeScope(eng *core.Engine) ScopeStats {
 	}
 	if total > 0 {
 		st.AvgScope = float64(scopeSum) / float64(total)
+		st.AvgWorkers = float64(workerSum) / float64(total)
 	}
 	if depthN > 0 {
 		st.AvgDepth = float64(depthSum) / float64(depthN)

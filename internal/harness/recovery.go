@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"checkmate/internal/core"
+	"checkmate/internal/metrics"
+)
+
+// RecoveryBenchConfig describes one recovery-time (RTO) measurement: a
+// paced run that suffers a failure partway through, measured from failure
+// to caught-up and split by recovery phase. The protocol, the placement
+// policy, the failure domain and the worker-local cache are the axes the
+// benchmark grid varies.
+type RecoveryBenchConfig struct {
+	// Query is a workload name accepted by RunConfig.Query.
+	Query string
+	// Protocol is the checkpointing protocol under evaluation.
+	Protocol core.Protocol
+	// Workers is the parallelism. Defaults to 4.
+	Workers int
+	// ClusterWorkers is the cluster size (0 = Workers).
+	ClusterWorkers int
+	// Placement is the placement policy (default "spread").
+	Placement string
+	// LocalCache enables the worker-local state cache (warm-cache
+	// recovery); disabled is the cold baseline where every restored byte
+	// is a remote object-store fetch.
+	LocalCache bool
+	// Domain is the failure domain ("worker", "rack", "rolling";
+	// default "worker"). RackSize bounds rack/rolling domains.
+	Domain   string
+	RackSize int
+	// FailWorker is the (first) worker killed, wrapped into the cluster;
+	// worker 0 by default.
+	FailWorker int
+	// Rate is the input rate (events/second). Defaults to 20000.
+	Rate float64
+	// Duration is the run length (default 5s); FailureAt the failure
+	// offset (default 40% of Duration).
+	Duration  time.Duration
+	FailureAt time.Duration
+	// CheckpointInterval defaults to a tenth of the run, so several
+	// checkpoints exist before the failure.
+	CheckpointInterval time.Duration
+	// Seed drives workload generation. Defaults to 1.
+	Seed int64
+	// Repeat runs the measurement this many times and reports the run
+	// with the median RTO, damping scheduler noise. Defaults to 1.
+	Repeat int
+}
+
+func (cfg *RecoveryBenchConfig) applyDefaults() error {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.ClusterWorkers <= 0 {
+		cfg.ClusterWorkers = cfg.Workers
+	}
+	if cfg.Placement == "" {
+		cfg.Placement = "spread"
+	}
+	if cfg.Domain == "" {
+		cfg.Domain = "worker"
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 20000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.FailureAt <= 0 {
+		cfg.FailureAt = cfg.Duration * 2 / 5
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = cfg.Duration / 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Protocol == nil {
+		return fmt.Errorf("harness: recovery bench needs a protocol")
+	}
+	return nil
+}
+
+// RecoveryPoint is one machine-readable RTO measurement, the unit of the
+// committed BENCH_recovery.json trajectory. Byte fields are in persisted
+// (stored) form: RestoredBytes is the checkpoint volume the recovery
+// consumed, of which LocalBytes came from worker-local caches and
+// RemoteBytes from the object store — a cold recovery of the same failure
+// fetches exactly RestoredBytes remotely, so RemoteBytes < RestoredBytes
+// quantifies the warm-cache saving on identical restored state.
+type RecoveryPoint struct {
+	Query          string `json:"query"`
+	Protocol       string `json:"protocol"`
+	Placement      string `json:"placement"`
+	Domain         string `json:"domain"`
+	Workers        int    `json:"workers"`
+	ClusterWorkers int    `json:"cluster_workers"`
+	LocalCache     bool   `json:"local_cache"`
+	FailedWorkers  []int  `json:"failed_workers"`
+
+	Recovered bool `json:"recovered"`
+	// The RTO phase breakdown, in milliseconds.
+	DetectMs   float64 `json:"detect_ms"`
+	RollbackMs float64 `json:"rollback_ms"`
+	FetchMs    float64 `json:"fetch_ms"`
+	ReplayMs   float64 `json:"replay_ms"`
+	CatchUpMs  float64 `json:"catchup_ms"`
+	RTOMs      float64 `json:"rto_ms"`
+
+	ScopeInstances int `json:"scope_instances"`
+	ScopeWorkers   int `json:"scope_workers"`
+
+	RestoredBytes uint64 `json:"restored_bytes"`
+	LocalBytes    uint64 `json:"local_bytes"`
+	RemoteBytes   uint64 `json:"remote_bytes"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+
+	// ReplayedRecords counts log entries re-injected; RollbackRecords is
+	// the source rewind distance.
+	ReplayedRecords uint64 `json:"replayed_records"`
+	RollbackRecords uint64 `json:"rollback_records"`
+}
+
+func (cfg RecoveryBenchConfig) point(rto metrics.RTO, sum metrics.Summary) RecoveryPoint {
+	pt := RecoveryPoint{
+		Query:          cfg.Query,
+		Protocol:       cfg.Protocol.Name(),
+		Placement:      cfg.Placement,
+		Domain:         cfg.Domain,
+		Workers:        cfg.Workers,
+		ClusterWorkers: cfg.ClusterWorkers,
+		LocalCache:     cfg.LocalCache,
+		FailedWorkers:  rto.FailedWorkers,
+
+		Recovered:  rto.Total > 0,
+		DetectMs:   ms(rto.Detect),
+		RollbackMs: ms(rto.Rollback),
+		FetchMs:    ms(rto.Fetch),
+		ReplayMs:   ms(rto.Replay),
+		CatchUpMs:  ms(rto.CatchUp),
+		RTOMs:      ms(rto.Total),
+
+		ScopeInstances: rto.ScopeInstances,
+		ScopeWorkers:   rto.ScopeWorkers,
+
+		RestoredBytes: rto.RestoredBytes,
+		LocalBytes:    rto.LocalBytes,
+		RemoteBytes:   rto.RemoteBytes,
+		CacheHits:     rto.CacheHits,
+		CacheMisses:   rto.CacheMisses,
+
+		ReplayedRecords: sum.ReplayedOnRecovery,
+		RollbackRecords: sum.RollbackDistance,
+	}
+	if !pt.Recovered {
+		// The run ended before catch-up: report the restart portion so the
+		// point is still comparable, flagged by Recovered=false.
+		pt.RTOMs = ms(rto.Detect + rto.Rollback + rto.Fetch + rto.Replay)
+	}
+	return pt
+}
+
+// run executes one recovery measurement.
+func (cfg RecoveryBenchConfig) run() (RecoveryPoint, error) {
+	res, err := Run(RunConfig{
+		Query:              cfg.Query,
+		Protocol:           cfg.Protocol,
+		Workers:            cfg.Workers,
+		Rate:               cfg.Rate,
+		Duration:           cfg.Duration,
+		FailureAt:          cfg.FailureAt,
+		FailWorker:         cfg.FailWorker,
+		FailDomain:         cfg.Domain,
+		FailRackSize:       cfg.RackSize,
+		CheckpointInterval: cfg.CheckpointInterval,
+		ClusterWorkers:     cfg.ClusterWorkers,
+		Placement:          cfg.Placement,
+		LocalCache:         cfg.LocalCache,
+		Seed:               cfg.Seed,
+	})
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	rtos := res.Summary.RTOs
+	if len(rtos) == 0 {
+		return RecoveryPoint{}, fmt.Errorf("harness: recovery bench %s/%s recorded no recovery (failure at %v of %v)",
+			cfg.Query, cfg.Protocol.Name(), cfg.FailureAt, cfg.Duration)
+	}
+	return cfg.point(rtos[len(rtos)-1], res.Summary), nil
+}
+
+// BenchRecovery measures the recovery time of one failure scenario and
+// returns its RTO phase breakdown (the median-RTO run of cfg.Repeat
+// attempts).
+func BenchRecovery(cfg RecoveryBenchConfig) (RecoveryPoint, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return RecoveryPoint{}, err
+	}
+	if cfg.Repeat <= 1 {
+		return cfg.run()
+	}
+	pts := make([]RecoveryPoint, 0, cfg.Repeat)
+	for i := 0; i < cfg.Repeat; i++ {
+		pt, err := cfg.run()
+		if err != nil {
+			return RecoveryPoint{}, err
+		}
+		pts = append(pts, pt)
+	}
+	// Prefer fully-recovered runs; among them pick the median RTO.
+	recovered := pts[:0]
+	for _, pt := range pts {
+		if pt.Recovered {
+			recovered = append(recovered, pt)
+		}
+	}
+	if len(recovered) == 0 {
+		recovered = pts
+	}
+	sort.Slice(recovered, func(a, b int) bool { return recovered[a].RTOMs < recovered[b].RTOMs })
+	return recovered[len(recovered)/2], nil
+}

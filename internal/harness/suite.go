@@ -368,6 +368,48 @@ func (s *Suite) RecoveryTimeTable() (*metrics.Table, error) {
 	return t, nil
 }
 
+// RTOBreakdownTable reports the median recovery-time-objective (RTO) phase
+// breakdown per protocol from the recovery benchmark harness, with the
+// worker-local state cache cold versus warm — the cluster-aware complement
+// of RecoveryTimeTable: the same failure, split into detection, rollback
+// computation, state fetch, replay and catch-up, plus where the restored
+// bytes came from.
+func (s *Suite) RTOBreakdownTable() (*metrics.Table, error) {
+	t := metrics.NewTable("Recovery benchmark: median RTO per protocol (q3, spread placement, single-worker failure)",
+		"Protocol", "Cache", "Detect", "Rollback", "Fetch", "Replay", "CatchUp", "RTO(ms)", "RemoteKB", "LocalKB")
+	for _, p := range s.checkpointed() {
+		for _, warm := range []bool{false, true} {
+			label := "cold"
+			if warm {
+				label = "warm"
+			}
+			pt, err := BenchRecovery(RecoveryBenchConfig{
+				Query:      "q3",
+				Protocol:   p,
+				Workers:    4,
+				LocalCache: warm,
+				Duration:   s.dur(60),
+				Seed:       s.Seed,
+				Repeat:     3,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.logf("RTO %-4s %s cache: %.1f ms (fetch %.1f ms, %d B remote)", p.Name(), label, pt.RTOMs, pt.FetchMs, pt.RemoteBytes)
+			t.AddRow(p.Name(), label,
+				fmt.Sprintf("%.1f", pt.DetectMs),
+				fmt.Sprintf("%.1f", pt.RollbackMs),
+				fmt.Sprintf("%.1f", pt.FetchMs),
+				fmt.Sprintf("%.1f", pt.ReplayMs),
+				fmt.Sprintf("%.1f", pt.CatchUpMs),
+				fmt.Sprintf("%.1f", pt.RTOMs),
+				fmt.Sprintf("%.1f", float64(pt.RemoteBytes)/1024),
+				fmt.Sprintf("%.1f", float64(pt.LocalBytes)/1024))
+		}
+	}
+	return t, nil
+}
+
 // ---- Table III ----
 
 // TableIIIInvalid reports total checkpoints and invalid percentages from

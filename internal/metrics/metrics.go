@@ -60,6 +60,7 @@ type Recorder struct {
 	roundDurations []time.Duration
 	restartTimes   []time.Duration
 	recoveryTimes  []time.Duration
+	rtos           []RTO
 	totalCkpts     int
 	invalidCkpts   int
 	replayedOnRec  uint64
@@ -257,6 +258,78 @@ func (r *Recorder) RecordRecovery(d time.Duration) {
 	r.mu.Unlock()
 }
 
+// RTO is the phase breakdown of one recovery: the time from failure to
+// caught-up, split along the recovery pipeline — detection (failure →
+// detected), rollback computation (world teardown + recovery-line/rollback
+// scope computation), state fetch (checkpoint download + restore decode),
+// replay (in-flight log re-injection + restart), and catch-up (restart →
+// source lag back under the threshold) — plus where the restored state came
+// from (worker-local cache vs remote object store) and how far the rollback
+// reached across the cluster.
+type RTO struct {
+	// Detect is the failure-detection latency (failure → detected).
+	Detect time.Duration
+	// Rollback covers world teardown and recovery-line computation.
+	Rollback time.Duration
+	// Fetch covers checkpoint state download and restore decoding.
+	Fetch time.Duration
+	// Replay covers in-flight log replay, channel-state re-injection and
+	// the relaunch of the pipeline.
+	Replay time.Duration
+	// CatchUp is the time from restart until the sources caught up with
+	// their arrival schedule. Zero until the recovery completes.
+	CatchUp time.Duration
+	// Total is failure → caught-up. Zero until the recovery completes.
+	Total time.Duration
+
+	// FailedWorkers are the cluster workers the failure took down.
+	FailedWorkers []int
+	// ScopeInstances counts the instances that restored checkpoint state;
+	// ScopeWorkers counts the distinct workers hosting them — the
+	// per-worker rollback scope of the failure.
+	ScopeInstances int
+	ScopeWorkers   int
+
+	// RestoredBytes is the checkpoint blob volume restore consumed (in
+	// persisted form); LocalBytes of it came from worker-local caches,
+	// RemoteBytes from the object store. A cold recovery has
+	// RemoteBytes == RestoredBytes; warm-cache recovery on surviving
+	// workers fetches strictly less remotely for the same restored state.
+	RestoredBytes uint64
+	LocalBytes    uint64
+	RemoteBytes   uint64
+	// CacheHits / CacheMisses count worker-local cache lookups during the
+	// state-fetch phase.
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// RecordRTO registers the phase breakdown of a recovery in progress
+// (CatchUp and Total still zero); CompleteRTO finalizes it once the
+// pipeline caught up.
+func (r *Recorder) RecordRTO(rto RTO) {
+	r.mu.Lock()
+	r.rtos = append(r.rtos, rto)
+	r.mu.Unlock()
+}
+
+// CompleteRTO finalizes the most recent RTO: sinceDetect is the elapsed
+// time from failure detection to caught-up (the classic recovery time), of
+// which everything beyond the rollback/fetch/replay phases is catch-up.
+func (r *Recorder) CompleteRTO(sinceDetect time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.rtos) == 0 {
+		return
+	}
+	rto := &r.rtos[len(r.rtos)-1]
+	rto.CatchUp = sinceDetect - rto.Rollback - rto.Fetch - rto.Replay
+	if rto.CatchUp < 0 {
+		rto.CatchUp = 0
+	}
+	rto.Total = rto.Detect + sinceDetect
+}
+
 // SetCheckpointAccounting records total/invalid checkpoint counts determined
 // at recovery time (or end of run).
 func (r *Recorder) SetCheckpointAccounting(total, invalid int) {
@@ -338,6 +411,10 @@ type Summary struct {
 	DeltaKeyedBytes uint64
 	MaxChainLen     uint64
 
+	// RTOs carries the phase breakdown of every recovery of the run, in
+	// failure order (see RTO).
+	RTOs []RTO
+
 	Timeline TimelineSummary
 	Notes    []string
 }
@@ -379,6 +456,7 @@ func (r *Recorder) Summarize(coordinated bool) Summary {
 		DeltaKeyedBytes:    r.deltaKeyedBytes.Load(),
 		MaxChainLen:        r.maxChainLen.Load(),
 		Failures:           r.failures,
+		RTOs:               append([]RTO(nil), r.rtos...),
 		Timeline:           r.timeline.Summarize(),
 		Notes:              append([]string(nil), r.notes...),
 	}
