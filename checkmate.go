@@ -322,6 +322,23 @@ func BenchThroughput(cfg BenchConfig) (BenchPoint, error) { return harness.Bench
 // baseline.
 func BenchRecovery(cfg RecoveryBenchConfig) (RecoveryPoint, error) { return harness.BenchRecovery(cfg) }
 
+// FramePoolStats is a snapshot of the engine's frame-pool counters (see
+// ReadFramePoolStats).
+type FramePoolStats = core.FramePoolStats
+
+// SetFramePoison toggles the frame pool's poison-on-recycle debug mode
+// process-wide: recycled wire frames are scribbled before reuse so stale
+// aliases corrupt deterministically. Returns the previous setting.
+func SetFramePoison(enabled bool) (prev bool) { return core.SetFramePoison(enabled) }
+
+// SetFramePooling enables or disables frame pooling process-wide (enabled
+// by default); disabling restores the one-allocation-per-envelope data
+// plane for A/B measurements. Returns the previous setting.
+func SetFramePooling(enabled bool) (prev bool) { return core.SetFramePooling(enabled) }
+
+// ReadFramePoolStats returns the process-wide frame pool counters.
+func ReadFramePoolStats() FramePoolStats { return core.ReadFramePoolStats() }
+
 // NewSuite returns the bench-scale experiment suite (20× time-compressed).
 func NewSuite() *Suite { return harness.NewSuite() }
 

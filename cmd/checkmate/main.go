@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"checkmate"
@@ -58,8 +59,17 @@ func main() {
 		rackSize   = flag.Int("rack-size", 0, "blast radius of rack/rolling failure domains (default 2)")
 		localCache = flag.Bool("local-cache", false, "enable the worker-local state cache (warm recovery on surviving workers)")
 		benchRec   = flag.String("bench-recovery", "", "run the recovery benchmark grid (protocol x placement x cold/warm cache), print the RTO phase breakdown, and write machine-readable results to this file")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file on clean shutdown")
+		memProfile = flag.String("memprofile", "", "write an allocation (heap) profile to this file on clean shutdown")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	if *benchJSON != "" {
 		if err := runBenchGrid(*benchJSON); err != nil {
@@ -148,6 +158,51 @@ func main() {
 	}
 }
 
+// startProfiles starts CPU profiling (when cpuPath is set) and returns a
+// stop function that finalizes the CPU profile and writes the heap profile
+// (when memPath is set). The stop function runs on clean shutdown — paths
+// that exit through log.Fatal skip it by design.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				log.Printf("checkmate: close cpu profile: %v", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", cpuPath)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Printf("checkmate: create mem profile: %v", err)
+				return
+			}
+			// Materialize the final live-heap picture; the profile also
+			// carries cumulative allocation counts for alloc_objects views.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("checkmate: write mem profile: %v", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", memPath)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
 // runBenchGrid measures drain-style data-plane throughput over the
 // query × protocol × batch-size grid and writes the machine-readable
 // baseline consumed by the BENCH_throughput.json trajectory.
@@ -181,8 +236,9 @@ func runBenchGrid(path string) error {
 				if err != nil {
 					return fmt.Errorf("bench %s/%s/batch=%d: %w", q, pn, b, err)
 				}
-				fmt.Printf("%-4s %-5s batch=%-3d  %10.0f rec/s  p50=%7.1fms  p99=%7.1fms  %.2fx overhead  %.1f rec/batch\n",
-					q, pn, b, pt.RecordsPerSec, pt.P50Millis, pt.P99Millis, pt.OverheadRatio, pt.AvgBatchRecords)
+				fmt.Printf("%-4s %-5s batch=%-3d  %10.0f rec/s  p50=%7.1fms  p99=%7.1fms  %.2fx overhead  %.1f rec/batch  %6.2f allocs/rec  %7.0f B/rec  gc=%d/%.2fms\n",
+					q, pn, b, pt.RecordsPerSec, pt.P50Millis, pt.P99Millis, pt.OverheadRatio, pt.AvgBatchRecords,
+					pt.AllocsPerRecord, pt.BytesPerRecord, pt.GCCycles, pt.GCPauseTotalMs)
 				out.Points = append(out.Points, pt)
 			}
 		}

@@ -882,7 +882,7 @@ func (e *Engine) replayInFlight(w *world, line recovery.Line, metas []recovery.M
 			target := w.instances[ch.To]
 			queue := e.queueIdx[ch.ID]
 			for _, en := range entries {
-				target.in.force(queue, en.Data, en.Count)
+				target.in.force(queue, replayFrame(en.Data), en.Count)
 				replayed += uint64(en.Count)
 			}
 		}
@@ -892,13 +892,22 @@ func (e *Engine) replayInFlight(w *world, line recovery.Line, metas []recovery.M
 			target := w.instances[rng.Channel.To]
 			queue := e.queueIdx[rng.Channel.ID]
 			for _, en := range entries {
-				target.in.force(queue, en.Data, en.Count)
+				target.in.force(queue, replayFrame(en.Data), en.Count)
 				replayed += uint64(en.Count)
 			}
 		}
 	}
 	e.cfg.Recorder.IncReplayMessages(int(replayed))
 	return replayed
+}
+
+// replayFrame copies a logged envelope into a pooled frame before it is
+// force-loaded into an inbox. The message log retains its entries (a later
+// failure may replay them again), while inbox frames are receiver-owned and
+// recycled after delivery — handing the log's own buffer to the inbox would
+// let the pool scribble over retained log state.
+func replayFrame(data []byte) []byte {
+	return append(getFrame(len(data)), data...)
 }
 
 // monitorCatchUp polls source lag after a restart and records the recovery

@@ -146,6 +146,7 @@ type instance struct {
 	enc      *wire.Encoder // reusable envelope encoder
 	piggyEnc *wire.Encoder // reusable piggyback encoder
 	cur      batchCursor   // reusable batch decode cursor
+	cloneEnc *wire.Encoder // lazy scratch for cloning sink-retained values
 	msgCount int
 }
 
@@ -252,14 +253,14 @@ func (it *instance) flushOut(t int, reason metrics.FlushReason) {
 			hdr.Piggyback = it.piggyEnc.Bytes()
 		}
 	}
-	it.enc.Reset()
+	// Assemble the envelope directly into a pooled frame: one copy of the
+	// record section, no allocation in steady state. Ownership transfers to
+	// the receiving inbox with push; the receiver recycles after delivery.
+	it.enc.ResetTo(getFrame(batchHeaderMax + len(hdr.Piggyback) + b.recs.Len()))
 	headerB, protoB := encodeBatchHeader(it.enc, &hdr)
 	payloadB := headerB + b.recs.Len()
-	// Assemble the envelope directly into its final buffer: one copy of the
-	// record section, not two.
-	data := make([]byte, 0, it.enc.Len()+b.recs.Len())
-	data = append(data, it.enc.Bytes()...)
-	data = append(data, b.recs.Bytes()...)
+	it.enc.Raw(b.recs.Bytes())
+	data := it.enc.Take()
 	count := b.count
 	b.recs.Reset()
 	b.count = 0
@@ -271,11 +272,14 @@ func (it *instance) flushOut(t int, reason metrics.FlushReason) {
 	rec.AddDataMessages(count)
 	rec.AddBatchFlush(count, reason)
 	if it.eng.logging {
+		// The message log outlives delivery: it takes an owning copy.
 		it.eng.log.AppendBatch(oc.key, hdr.FirstSeq, count, data)
 	}
 	target := it.w.instances[oc.toGID]
 	it.eng.netWork(data)
-	target.in.push(oc.toQueue, data, count)
+	if !target.in.push(oc.toQueue, data, count) {
+		putFrame(data) // inbox closed: ownership never transferred
+	}
 }
 
 // flushAllOut flushes every non-empty output batch.
@@ -316,16 +320,20 @@ func (it *instance) sendMarker(round uint64) {
 	for i := range it.outChans {
 		oc := &it.outChans[i]
 		m := Message{Kind: msgMarker, Edge: oc.edge, FromIdx: it.idx, ToIdx: oc.toIdx, Round: round}
-		it.enc.Reset()
+		it.enc.ResetTo(getFrame(64))
 		_, protoB := encodeMessage(it.enc, &m)
-		data := append([]byte(nil), it.enc.Bytes()...)
+		data := it.enc.Take()
 		rec.AddProtocolBytes(protoB)
 		rec.IncMarkerMessages()
 		target := it.w.instances[oc.toGID].in
+		delivered := false
 		if it.eng.unaligned {
-			target.pushFront(oc.toQueue, data, 0)
+			delivered = target.pushFront(oc.toQueue, data, 0)
 		} else {
-			target.push(oc.toQueue, data, 0)
+			delivered = target.push(oc.toQueue, data, 0)
+		}
+		if !delivered {
+			putFrame(data)
 		}
 	}
 }
@@ -340,12 +348,14 @@ func (it *instance) sendWatermark(wm int64) {
 	for i := range it.outChans {
 		oc := &it.outChans[i]
 		m := Message{Kind: msgWatermark, Edge: oc.edge, FromIdx: it.idx, ToIdx: oc.toIdx, Watermark: wm}
-		it.enc.Reset()
+		it.enc.ResetTo(getFrame(64))
 		_, protoB := encodeMessage(it.enc, &m)
-		data := append([]byte(nil), it.enc.Bytes()...)
+		data := it.enc.Take()
 		rec.AddProtocolBytes(protoB)
 		rec.IncWatermarkMessages()
-		it.w.instances[oc.toGID].in.push(oc.toQueue, data, 0)
+		if !it.w.instances[oc.toGID].in.push(oc.toQueue, data, 0) {
+			putFrame(data)
+		}
 	}
 }
 
@@ -427,21 +437,36 @@ type uaPending struct {
 	seen     int
 }
 
+// drainMax bounds the envelopes popMany hands the consumer per inbox lock
+// acquisition. Large enough to amortize the lock and wakeup, small enough
+// that control frames and timers stay responsive.
+const drainMax = 32
+
 // run is the main loop of a non-source instance.
 func (it *instance) run() {
 	defer it.w.wg.Done()
 	timer := time.NewTimer(it.eng.cfg.PollInterval)
 	defer timer.Stop()
+	drain := make([]qEntry, 0, drainMax)
 	for {
-		for n := 0; n < 256; n++ {
+		for budget := 256; budget > 0; {
 			if it.stopped() {
 				return
 			}
-			data, _, ch, ok := it.in.pop()
-			if !ok {
+			var ch int
+			drain, ch = it.in.popMany(drain[:0])
+			if ch < 0 {
 				break
 			}
-			it.handle(data, ch)
+			budget -= len(drain)
+			for i := range drain {
+				it.handle(drain[i].data, ch)
+				// The receiver owns delivered frames; everything that
+				// outlives handle (msglog, UA captures, retained values)
+				// copied already.
+				putFrame(drain[i].data)
+				drain[i] = qEntry{}
+			}
 		}
 		if it.stopped() {
 			return
@@ -597,15 +622,35 @@ func (it *instance) processRecord(m *Message, nowNS int64) {
 	}
 	if it.spec.Sink {
 		rec.RecordSinkLatencySince(time.Duration(nowNS), time.Duration(nowNS-m.SchedNS))
-		it.eng.output.add(OutputRecord{
-			Sink:    it.gid,
-			Epoch:   it.ckptSeq + 1,
-			Key:     m.Key,
-			Value:   m.Value,
-			UID:     m.UID,
-			SchedNS: m.SchedNS,
-			EmitNS:  nowNS,
-		})
+		if it.eng.output.enabled() {
+			// The collector retains the value past delivery, but delivered
+			// values are borrowed: the reusing cursor overwrites Reusable
+			// ones on the next record, and any decoder using StringRef
+			// aliases the pooled frame, which is recycled after handle. So
+			// the retention boundary clones unconditionally — an encode+
+			// decode round trip per retained record, paid only when output
+			// collection is on (never on the drain benchmark path).
+			val := m.Value
+			if val != nil {
+				if it.cloneEnc == nil {
+					it.cloneEnc = wire.NewEncoder(nil)
+				}
+				if cp, err := wire.CloneValue(val, it.cloneEnc); err == nil {
+					val = cp
+				} else {
+					rec.Note("instance %s[%d]: clone sink value: %v", it.spec.Name, it.idx, err)
+				}
+			}
+			it.eng.output.add(OutputRecord{
+				Sink:    it.gid,
+				Epoch:   it.ckptSeq + 1,
+				Key:     m.Key,
+				Value:   val,
+				UID:     m.UID,
+				SchedNS: m.SchedNS,
+				EmitNS:  nowNS,
+			})
+		}
 	}
 	if it.stragglerNS > 0 {
 		spinUntil := time.Now().Add(time.Duration(it.stragglerNS))

@@ -116,6 +116,11 @@ type batchHeader struct {
 
 func (h *batchHeader) lastSeq() uint64 { return h.FirstSeq + uint64(h.Count) - 1 }
 
+// batchHeaderMax bounds the encoded batch preamble excluding the piggyback
+// body: the kind byte plus five uvarints (≤10 bytes each) and the piggyback
+// length prefix. Used to size pooled frames before encoding.
+const batchHeaderMax = 64
+
 // encodeBatchHeader appends the shared batch preamble to enc and returns the
 // number of payload bytes and protocol bytes it contributed (the piggyback
 // section is protocol, everything else payload — mirroring encodeMessage).
@@ -178,6 +183,13 @@ type batchCursor struct {
 	rec wire.Decoder // record-level: reused across record bodies
 	hdr batchHeader
 	i   int
+	// reuse is the single-slot value-decode cache: when consecutive records
+	// carry the same wire.Reusable type — the common case, since a channel
+	// usually transports one stream type — the value is re-decoded in place
+	// instead of allocated per record. The cached value is only valid until
+	// the next call, matching the frame ownership rule (consumers that
+	// retain a value past delivery must copy it).
+	reuse wire.Value
 }
 
 func (c *batchCursor) init(buf []byte) error {
@@ -216,11 +228,12 @@ func (c *batchCursor) next(m *Message) (body []byte, ok bool) {
 	m.Key = rd.Uvarint()
 	m.SchedNS = rd.Varint()
 	m.EventNS = m.SchedNS + rd.Varint()
-	v, err := wire.DecodeValue(rd)
+	v, err := wire.DecodeValueInto(rd, c.reuse)
 	if err != nil {
 		c.dec.Fail(err)
 		return nil, false
 	}
+	c.reuse = v
 	m.Value = v
 	c.i++
 	return body, true

@@ -2,18 +2,25 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
-// inbox is the receive side of one operator instance: one bounded FIFO queue
+// inbox is the receive side of one operator instance: one bounded FIFO ring
 // per incoming channel plus a wakeup signal. Senders block when a queue is
 // full (backpressure); the receiver scans queues round-robin, skipping
 // channels blocked by checkpoint-marker alignment.
+//
+// Locking is sharded per channel: each chQueue carries its own mutex and
+// condition variable, so senders on different channels never contend with
+// each other, and the receiver contends only with the single sender of the
+// queue it is draining. Only the receiver goroutine pops (and moves the
+// round-robin cursor); the engine's recovery force-loads run before the
+// world starts.
 type inbox struct {
-	mu     sync.Mutex
 	queues []*chQueue
 	notify chan struct{}
-	rr     int
-	closed bool
+	rr     int // receiver-only round-robin cursor
+	closed atomic.Bool
 }
 
 // qEntry is one queued envelope: the serialized frame plus the number of
@@ -36,17 +43,22 @@ func (e qEntry) occupancy() int {
 	return e.count
 }
 
-// chQueue is one bounded per-channel FIFO of serialized envelopes. Capacity
-// is counted in records, not envelopes, so the configured channel depth
-// means the same thing at every batch size.
+// chQueue is one bounded per-channel FIFO of serialized envelopes, stored
+// in a growable power-of-two ring so both append and front-insert (marker
+// overtake) are O(1). Capacity is counted in records, not envelopes, so the
+// configured channel depth means the same thing at every batch size.
 type chQueue struct {
-	buf     []qEntry
-	head    int
-	recs    int // queued data records across buf[head:]
+	mu   sync.Mutex
+	cond *sync.Cond // on mu: the channel's sender waiting out backpressure
+
+	buf  []qEntry // ring storage; len(buf) is a power of two
+	head int      // ring index of the oldest entry
+	n    int      // entries currently queued
+
+	recs    int // queued data records
 	occ     int // capacity charge: records plus one slot per control frame
 	cap     int
 	blocked bool // alignment: do not deliver, do not drain
-	cond    *sync.Cond
 	// markCount records how many pre-barrier records were overtaken by
 	// the last front-inserted (unaligned) marker. Record-granular: a queued
 	// batch contributes its full record count.
@@ -60,7 +72,7 @@ func newInbox(caps []int) *inbox {
 	}
 	for i, c := range caps {
 		q := &chQueue{cap: c}
-		q.cond = sync.NewCond(&in.mu)
+		q.cond = sync.NewCond(&q.mu)
 		in.queues[i] = q
 	}
 	return in
@@ -69,24 +81,69 @@ func newInbox(caps []int) *inbox {
 // len reports queued data records (not envelopes; control frames excluded).
 func (q *chQueue) len() int { return q.recs }
 
+// grow doubles the ring, re-linearizing entries at index 0.
+func (q *chQueue) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]qEntry, size)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// pushBack appends an entry to the ring (caller holds mu).
+func (q *chQueue) pushBack(e qEntry) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = e
+	q.n++
+	q.recs += e.count
+	q.occ += e.occupancy()
+}
+
+// pushFrontE inserts an entry at the ring head in O(1) (caller holds mu).
+func (q *chQueue) pushFrontE(e qEntry) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = e
+	q.n++
+	q.recs += e.count
+	q.occ += e.occupancy()
+}
+
+// popFront removes the oldest entry (caller holds mu; q.n > 0).
+func (q *chQueue) popFront() qEntry {
+	e := q.buf[q.head]
+	q.buf[q.head] = qEntry{} // release the frame reference
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	q.recs -= e.count
+	q.occ -= e.occupancy()
+	return e
+}
+
 // push appends an envelope carrying count records to queue ch, blocking
 // while the queue is at record capacity. It returns false if the inbox was
 // closed (world stopping) before the envelope could be enqueued.
 func (in *inbox) push(ch int, data []byte, count int) bool {
-	in.mu.Lock()
 	q := in.queues[ch]
-	for q.occ >= q.cap && !in.closed {
+	q.mu.Lock()
+	for q.occ >= q.cap && !in.closed.Load() {
 		q.cond.Wait()
 	}
-	if in.closed {
-		in.mu.Unlock()
+	if in.closed.Load() {
+		q.mu.Unlock()
 		return false
 	}
-	e := qEntry{data: data, count: count}
-	q.buf = append(q.buf, e)
-	q.recs += count
-	q.occ += e.occupancy()
-	in.mu.Unlock()
+	q.pushBack(qEntry{data: data, count: count})
+	q.mu.Unlock()
 	select {
 	case in.notify <- struct{}{}:
 	default:
@@ -98,25 +155,14 @@ func (in *inbox) push(ch int, data []byte, count int) bool {
 // queued records (unaligned checkpoint markers). It never blocks and
 // records the number of overtaken records in the queue's markCount.
 func (in *inbox) pushFront(ch int, data []byte, count int) bool {
-	in.mu.Lock()
-	if in.closed {
-		in.mu.Unlock()
+	if in.closed.Load() {
 		return false
 	}
 	q := in.queues[ch]
+	q.mu.Lock()
 	q.markCount = q.recs
-	e := qEntry{data: data, count: count}
-	if q.head > 0 {
-		q.head--
-		q.buf[q.head] = e
-	} else {
-		q.buf = append(q.buf, qEntry{})
-		copy(q.buf[1:], q.buf)
-		q.buf[0] = e
-	}
-	q.recs += count
-	q.occ += e.occupancy()
-	in.mu.Unlock()
+	q.pushFrontE(qEntry{data: data, count: count})
+	q.mu.Unlock()
 	select {
 	case in.notify <- struct{}{}:
 	default:
@@ -126,23 +172,21 @@ func (in *inbox) pushFront(ch int, data []byte, count int) bool {
 
 // takeMarkCount reads and clears the overtaken-record count of queue ch.
 func (in *inbox) takeMarkCount(ch int) int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	n := in.queues[ch].markCount
-	in.queues[ch].markCount = 0
+	q := in.queues[ch]
+	q.mu.Lock()
+	n := q.markCount
+	q.markCount = 0
+	q.mu.Unlock()
 	return n
 }
 
 // force appends an envelope ignoring the capacity bound. Used to pre-load
 // replayed in-flight messages before a recovered instance starts.
 func (in *inbox) force(ch int, data []byte, count int) {
-	in.mu.Lock()
 	q := in.queues[ch]
-	e := qEntry{data: data, count: count}
-	q.buf = append(q.buf, e)
-	q.recs += count
-	q.occ += e.occupancy()
-	in.mu.Unlock()
+	q.mu.Lock()
+	q.pushBack(qEntry{data: data, count: count})
+	q.mu.Unlock()
 	select {
 	case in.notify <- struct{}{}:
 	default:
@@ -151,49 +195,85 @@ func (in *inbox) force(ch int, data []byte, count int) {
 
 // pop removes and returns the next deliverable envelope (and its record
 // count), scanning round-robin over non-blocked queues. ok is false when
-// nothing is deliverable.
+// nothing is deliverable. Receiver-only.
 func (in *inbox) pop() (data []byte, count int, ch int, ok bool) {
-	in.mu.Lock()
 	n := len(in.queues)
 	for i := 0; i < n; i++ {
 		idx := (in.rr + i) % n
 		q := in.queues[idx]
-		if q.blocked || q.head == len(q.buf) {
+		q.mu.Lock()
+		if q.blocked || q.n == 0 {
+			q.mu.Unlock()
 			continue
 		}
-		e := q.buf[q.head]
-		q.buf[q.head] = qEntry{}
-		q.head++
-		if q.head == len(q.buf) {
-			q.buf = q.buf[:0]
-			q.head = 0
-		} else if q.head > 4096 && q.head*2 > len(q.buf) {
-			q.buf = append(q.buf[:0:0], q.buf[q.head:]...)
-			q.head = 0
-		}
 		wasFull := q.occ >= q.cap
-		q.recs -= e.count
-		q.occ -= e.occupancy()
+		e := q.popFront()
 		if wasFull && q.occ < q.cap {
 			q.cond.Broadcast()
 		}
+		q.mu.Unlock()
 		in.rr = (idx + 1) % n
-		in.mu.Unlock()
 		return e.data, e.count, idx, true
 	}
-	in.mu.Unlock()
 	return nil, 0, 0, false
+}
+
+// popMany drains up to cap(dst)-len(dst) deliverable envelopes from a
+// single channel under one lock acquisition, amortizing the lock and
+// backpressure-wakeup cost the same way batching amortized framing. It
+// appends to dst and returns the extended slice plus the channel drained.
+//
+// Exact-semantics guards:
+//   - The drain stops after the first control frame (count == 0): a marker
+//     may block its channel or complete a round when handled, so nothing
+//     queued behind it is popped until the consumer processed it.
+//   - Channels blocked by alignment are skipped entirely.
+//   - Occupancy is released entry-by-entry under the same lock hold, and
+//     the channel's sender is woken once if the drain crossed the capacity
+//     boundary — the same wakeup pop produced per envelope, batched.
+//   - The round-robin cursor advances to the next channel per call, so a
+//     busy channel cannot starve its peers (fairness granularity becomes
+//     the drain bound instead of one envelope).
+//
+// Receiver-only.
+func (in *inbox) popMany(dst []qEntry) ([]qEntry, int) {
+	n := len(in.queues)
+	for i := 0; i < n; i++ {
+		idx := (in.rr + i) % n
+		q := in.queues[idx]
+		q.mu.Lock()
+		if q.blocked || q.n == 0 {
+			q.mu.Unlock()
+			continue
+		}
+		wasFull := q.occ >= q.cap
+		for q.n > 0 && len(dst) < cap(dst) {
+			e := q.popFront()
+			dst = append(dst, e)
+			if e.count == 0 {
+				break // control frame: handle before draining further
+			}
+		}
+		if wasFull && q.occ < q.cap {
+			q.cond.Broadcast()
+		}
+		q.mu.Unlock()
+		in.rr = (idx + 1) % n
+		return dst, idx
+	}
+	return dst, -1
 }
 
 // setBlocked marks queue ch as (un)blocked for alignment. Unblocking wakes
 // both the receiver and any waiting senders.
 func (in *inbox) setBlocked(ch int, blocked bool) {
-	in.mu.Lock()
-	in.queues[ch].blocked = blocked
+	q := in.queues[ch]
+	q.mu.Lock()
+	q.blocked = blocked
 	if !blocked {
-		in.queues[ch].cond.Broadcast()
+		q.cond.Broadcast()
 	}
-	in.mu.Unlock()
+	q.mu.Unlock()
 	if !blocked {
 		select {
 		case in.notify <- struct{}{}:
@@ -204,14 +284,14 @@ func (in *inbox) setBlocked(ch int, blocked bool) {
 
 // unblockAll clears all alignment blocks.
 func (in *inbox) unblockAll() {
-	in.mu.Lock()
 	for _, q := range in.queues {
+		q.mu.Lock()
 		if q.blocked {
 			q.blocked = false
 			q.cond.Broadcast()
 		}
+		q.mu.Unlock()
 	}
-	in.mu.Unlock()
 	select {
 	case in.notify <- struct{}{}:
 	default:
@@ -221,12 +301,12 @@ func (in *inbox) unblockAll() {
 // close marks the inbox closed and wakes all blocked senders; pushes fail
 // from now on.
 func (in *inbox) close() {
-	in.mu.Lock()
-	in.closed = true
+	in.closed.Store(true)
 	for _, q := range in.queues {
+		q.mu.Lock()
 		q.cond.Broadcast()
+		q.mu.Unlock()
 	}
-	in.mu.Unlock()
 	select {
 	case in.notify <- struct{}{}:
 	default:
@@ -236,15 +316,18 @@ func (in *inbox) close() {
 // pending reports the number of queued envelopes-worth of work currently
 // deliverable — data records plus control frames — excluding
 // alignment-blocked channels (their contents cannot be consumed until the
-// round completes).
+// round completes). The sum is taken queue by queue, not under one global
+// lock; concurrent pushes may or may not be counted, which is fine for its
+// only use (the receiver deciding whether to sleep — a missed push is
+// caught by the notify channel).
 func (in *inbox) pending() int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
 	n := 0
 	for _, q := range in.queues {
+		q.mu.Lock()
 		if !q.blocked {
 			n += q.occ
 		}
+		q.mu.Unlock()
 	}
 	return n
 }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// drainOnce pops one popMany batch with the given capacity.
+func drainOnce(in *inbox, capacity int) ([]qEntry, int) {
+	return in.popMany(make([]qEntry, 0, capacity))
+}
+
+func TestPopManyDrainsOneChannelPerAcquisition(t *testing.T) {
+	in := newInbox([]int{64, 64, 64})
+	in.push(0, []byte{10}, 1)
+	in.push(0, []byte{11}, 1)
+	in.push(1, []byte{20}, 1)
+	in.push(2, []byte{30}, 1)
+	in.push(2, []byte{31}, 1)
+
+	got, ch := drainOnce(in, 32)
+	if ch != 0 || len(got) != 2 || got[0].data[0] != 10 || got[1].data[0] != 11 {
+		t.Fatalf("first drain = ch %d, %d entries", ch, len(got))
+	}
+	got, ch = drainOnce(in, 32)
+	if ch != 1 || len(got) != 1 || got[0].data[0] != 20 {
+		t.Fatalf("second drain = ch %d, %d entries", ch, len(got))
+	}
+	got, ch = drainOnce(in, 32)
+	if ch != 2 || len(got) != 2 {
+		t.Fatalf("third drain = ch %d, %d entries", ch, len(got))
+	}
+	if got, ch = drainOnce(in, 32); ch != -1 || len(got) != 0 {
+		t.Fatalf("empty inbox drained ch %d, %d entries", ch, len(got))
+	}
+}
+
+// TestPopManyRoundRobinFairness: a channel that keeps refilling must not
+// starve its peers — the cursor advances one channel per drain.
+func TestPopManyRoundRobinFairness(t *testing.T) {
+	in := newInbox([]int{64, 64})
+	for i := 0; i < 4; i++ {
+		in.push(0, []byte{byte(i)}, 1)
+	}
+	in.push(1, []byte{99}, 1)
+	if _, ch := drainOnce(in, 32); ch != 0 {
+		t.Fatalf("first drain from ch %d", ch)
+	}
+	// Channel 0 refills before the next drain; channel 1 must still be next.
+	in.push(0, []byte{42}, 1)
+	if _, ch := drainOnce(in, 32); ch != 1 {
+		t.Fatalf("refilled channel starved its peer: drained ch %d", ch)
+	}
+}
+
+// TestPopManyStopsAfterControlFrame: a marker may block its channel or
+// complete a round when handled, so nothing queued behind it may be drained
+// in the same batch.
+func TestPopManyStopsAfterControlFrame(t *testing.T) {
+	in := newInbox([]int{64})
+	in.push(0, []byte{1}, 1)
+	in.push(0, []byte{2}, 1)
+	in.push(0, []byte{3}, 0) // control frame
+	in.push(0, []byte{4}, 1)
+
+	got, _ := drainOnce(in, 32)
+	if len(got) != 3 || got[2].count != 0 || got[2].data[0] != 3 {
+		t.Fatalf("drain did not stop after the control frame: %d entries", len(got))
+	}
+	got, _ = drainOnce(in, 32)
+	if len(got) != 1 || got[0].data[0] != 4 {
+		t.Fatalf("post-control entry lost: %d entries", len(got))
+	}
+}
+
+func TestPopManyRespectsAlignmentBlocking(t *testing.T) {
+	in := newInbox([]int{64, 64})
+	in.push(0, []byte{1}, 1)
+	in.push(1, []byte{2}, 1)
+	in.setBlocked(0, true)
+
+	got, ch := drainOnce(in, 32)
+	if ch != 1 || len(got) != 1 || got[0].data[0] != 2 {
+		t.Fatalf("blocked channel drained: ch %d", ch)
+	}
+	if _, ch = drainOnce(in, 32); ch != -1 {
+		t.Fatalf("blocked channel delivered: ch %d", ch)
+	}
+	if in.pending() != 0 {
+		t.Fatalf("pending = %d (blocked channel must be excluded)", in.pending())
+	}
+	in.setBlocked(0, false)
+	got, ch = drainOnce(in, 32)
+	if ch != 0 || len(got) != 1 || got[0].data[0] != 1 {
+		t.Fatalf("unblocked channel not delivered: ch %d", ch)
+	}
+}
+
+// TestPushFrontMarkCountRecordGranular: an overtaking marker records the
+// full record count of queued batches and is delivered ahead of them.
+func TestPushFrontMarkCountRecordGranular(t *testing.T) {
+	in := newInbox([]int{64})
+	in.push(0, []byte{1}, 3) // batch of 3
+	in.push(0, []byte{2}, 2) // batch of 2
+	if !in.pushFront(0, []byte{9}, 0) {
+		t.Fatal("pushFront failed")
+	}
+	if n := in.takeMarkCount(0); n != 5 {
+		t.Fatalf("markCount = %d, want 5", n)
+	}
+	if n := in.takeMarkCount(0); n != 0 {
+		t.Fatalf("markCount not cleared: %d", n)
+	}
+	got, _ := drainOnce(in, 32)
+	if len(got) != 1 || got[0].data[0] != 9 || got[0].count != 0 {
+		t.Fatalf("marker did not overtake: %d entries, first %v", len(got), got[0].data)
+	}
+	got, _ = drainOnce(in, 32)
+	if len(got) != 2 || got[0].data[0] != 1 || got[1].data[0] != 2 {
+		t.Fatalf("overtaken batches lost: %d entries", len(got))
+	}
+}
+
+// TestPushFrontO1OnFullRing: repeated front-inserts at head position 0 must
+// not shift the queue (the ring keeps them O(1)); order stays marker-last-
+// in-first-out ahead of the data prefix.
+func TestPushFrontO1OnFullRing(t *testing.T) {
+	in := newInbox([]int{1 << 20})
+	for i := 0; i < 1000; i++ {
+		in.push(0, []byte{1}, 1)
+	}
+	for i := 0; i < 3; i++ {
+		in.pushFront(0, []byte{byte(100 + i)}, 0)
+	}
+	// Front-inserts surface newest-first, each drained alone (control).
+	for want := 102; want >= 100; want-- {
+		got, _ := drainOnce(in, 8)
+		if len(got) != 1 || int(got[0].data[0]) != want {
+			t.Fatalf("front-insert order: got %v, want %d", got[0].data, want)
+		}
+	}
+	drained := 0
+	for {
+		got, ch := drainOnce(in, 256)
+		if ch == -1 {
+			break
+		}
+		drained += len(got)
+	}
+	if drained != 1000 {
+		t.Fatalf("data entries after front-inserts = %d, want 1000", drained)
+	}
+}
+
+// TestPopManyBackpressureWakeup: a sender blocked at the record-capacity
+// boundary must wake when a drain crosses back below it.
+func TestPopManyBackpressureWakeup(t *testing.T) {
+	in := newInbox([]int{4})
+	in.push(0, []byte{1}, 4) // fills the record capacity with one batch
+	done := make(chan bool, 1)
+	go func() { done <- in.push(0, []byte{2}, 2) }()
+	select {
+	case <-done:
+		t.Fatal("push did not block at capacity")
+	case <-time.After(50 * time.Millisecond):
+	}
+	got, _ := drainOnce(in, 32)
+	if len(got) != 1 || got[0].count != 4 {
+		t.Fatalf("drain = %d entries", len(got))
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("blocked push failed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked sender not woken by popMany")
+	}
+	got, _ = drainOnce(in, 32)
+	if len(got) != 1 || got[0].count != 2 {
+		t.Fatalf("woken sender's entry lost: %d entries", len(got))
+	}
+}
+
+// TestPopManyDrainBound: the drain never exceeds the destination capacity,
+// and the remainder is delivered by the next call.
+func TestPopManyDrainBound(t *testing.T) {
+	in := newInbox([]int{1024})
+	for i := 0; i < 10; i++ {
+		in.push(0, []byte{byte(i)}, 1)
+	}
+	got, _ := drainOnce(in, 4)
+	if len(got) != 4 {
+		t.Fatalf("drain = %d entries, want 4", len(got))
+	}
+	got, _ = drainOnce(in, 16)
+	if len(got) != 6 || got[0].data[0] != 4 {
+		t.Fatalf("remainder drain = %d entries, first %v", len(got), got[0].data)
+	}
+}
+
+// BenchmarkPushFrontDeepQueue measures marker overtake with a deep backlog:
+// the pre-ring implementation shifted the whole queue when head == 0.
+func BenchmarkPushFrontDeepQueue(b *testing.B) {
+	in := newInbox([]int{1 << 30})
+	for i := 0; i < 8192; i++ {
+		in.push(0, []byte{1}, 1)
+	}
+	data := []byte{9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.pushFront(0, data, 0)
+		in.pop() // remove the marker again, keeping depth constant
+	}
+}

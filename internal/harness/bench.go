@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -38,6 +39,11 @@ type BenchConfig struct {
 	// the median throughput, damping scheduler noise on shared machines.
 	// Defaults to 1.
 	Repeat int
+	// NoFramePool disables the engine's frame pool for this measurement
+	// (process-wide while it runs), making every envelope a fresh heap
+	// allocation — the pre-pool behaviour. The alloc table uses it to show
+	// the pooled-versus-unpooled delta on identical code.
+	NoFramePool bool
 }
 
 // BenchPoint is one machine-readable throughput measurement, the unit of
@@ -59,6 +65,14 @@ type BenchPoint struct {
 	BatchesSent     uint64  `json:"batches_sent"`
 	AvgBatchRecords float64 `json:"avg_batch_records"`
 	Checkpoints     uint64  `json:"checkpoints"`
+	// Allocation accounting over the drain (runtime.ReadMemStats deltas,
+	// process-wide, normalized by sink records). It separates protocol
+	// overhead from GC overhead: a protocol comparison is only meaningful
+	// when the runtime underneath allocates the same way at every point.
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+	GCCycles        uint32  `json:"gc_cycles"`
+	GCPauseTotalMs  float64 `json:"gc_pause_total_ms"`
 }
 
 // BenchThroughput generates cfg.Records records all scheduled within the
@@ -123,6 +137,15 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 	if err != nil {
 		return BenchPoint{}, err
 	}
+	if cfg.NoFramePool {
+		prev := core.SetFramePooling(false)
+		defer core.SetFramePooling(prev)
+	}
+	// Settle the heap before measuring so the alloc/GC deltas cover the
+	// drain alone, not workload generation.
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	if err := eng.Start(); err != nil {
 		return BenchPoint{}, err
@@ -153,6 +176,10 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	// Snapshot memory stats before Stop: the drain is over, and Stop-side
+	// finalization (summaries, upload teardown) is not data-plane work.
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 	eng.Stop()
 	sum := recorder.Summarize(cfg.Protocol.Kind() == core.KindCoordinated)
 	secs := elapsed.Seconds()
@@ -172,6 +199,12 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		BatchesSent:     sum.BatchesSent,
 		AvgBatchRecords: sum.AvgBatchRecords,
 		Checkpoints:     uint64(sum.TotalCheckpoints),
+		GCCycles:        m1.NumGC - m0.NumGC,
+		GCPauseTotalMs:  float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e6,
+	}
+	if sum.SinkCount > 0 {
+		pt.AllocsPerRecord = float64(m1.Mallocs-m0.Mallocs) / float64(sum.SinkCount)
+		pt.BytesPerRecord = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(sum.SinkCount)
 	}
 	if secs > 0 {
 		pt.RecordsPerSec = float64(sum.SinkCount) / secs

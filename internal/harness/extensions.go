@@ -350,3 +350,54 @@ func (s *Suite) ExtensionRollbackScopeTable() (*metrics.Table, error) {
 	}
 	return t, nil
 }
+
+// AllocThroughputTable profiles the data plane's allocation behaviour: a
+// q1 drain per protocol and batch size reporting records/second next to
+// allocs/record, bytes/record and GC pause totals, plus a pool-disabled
+// baseline row ("pool off") per protocol at batch 8 so the pooled-versus-
+// unpooled delta is visible on identical code. This is the benchall view of
+// the zero-allocation data plane; BENCH_throughput.json carries the same
+// columns machine-readably.
+func (s *Suite) AllocThroughputTable() (*metrics.Table, error) {
+	t := metrics.NewTable("Data-plane allocation profile (q1 drain, 2 workers, 100k records)",
+		"Protocol", "Batch", "Pool", "krec/s", "allocs/rec", "B/rec", "GCs", "GC pause (ms)")
+	addRow := func(pt BenchPoint, pool string) {
+		t.AddRow(pt.Protocol, pt.BatchMaxRecords, pool,
+			fmt.Sprintf("%.0f", pt.RecordsPerSec/1e3),
+			fmt.Sprintf("%.2f", pt.AllocsPerRecord),
+			fmt.Sprintf("%.0f", pt.BytesPerRecord),
+			pt.GCCycles,
+			fmt.Sprintf("%.2f", pt.GCPauseTotalMs))
+	}
+	for _, name := range []string{"COOR", "UNC", "CIC"} {
+		p, err := protocol.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, batch := range []int{1, 8, 64} {
+			cfg := BenchConfig{
+				Query:           "q1",
+				Protocol:        p,
+				Workers:         2,
+				Records:         100_000,
+				BatchMaxRecords: batch,
+				Seed:            s.Seed,
+			}
+			pt, err := BenchThroughput(cfg)
+			if err != nil {
+				return nil, err
+			}
+			addRow(pt, "on")
+			if batch == 8 {
+				cfg.NoFramePool = true
+				off, err := BenchThroughput(cfg)
+				if err != nil {
+					return nil, err
+				}
+				addRow(off, "off")
+			}
+		}
+		s.logf("alloc profile %-4s done", name)
+	}
+	return t, nil
+}

@@ -134,6 +134,12 @@ type RunConfig struct {
 	// every possible single-instance failure under the logging protocols
 	// (see RunResult.Scope). Failure-free runs only.
 	AnalyzeRollbackScope bool
+	// PoisonFrames enables the frame pool's poison-on-recycle debug mode
+	// for the duration of the run: recycled wire frames are scribbled
+	// before reuse, so any component holding an alias past its ownership
+	// window corrupts deterministically instead of silently. The setting is
+	// process-wide while the run executes and restored afterwards.
+	PoisonFrames bool
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -259,6 +265,10 @@ func Run(cfg RunConfig) (RunResult, error) {
 	cfg.applyDefaults()
 	if cfg.Rate <= 0 || cfg.Workers <= 0 {
 		return RunResult{}, fmt.Errorf("harness: rate and workers must be positive (rate=%v workers=%d)", cfg.Rate, cfg.Workers)
+	}
+	if cfg.PoisonFrames {
+		prev := core.SetFramePoison(true)
+		defer core.SetFramePoison(prev)
 	}
 	broker, job, produced, err := buildWorkload(&cfg)
 	if err != nil {

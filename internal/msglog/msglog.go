@@ -104,9 +104,15 @@ func (l *Log) Append(ch uint64, seq uint64, data []byte) {
 
 // AppendBatch logs a frame covering records [firstSeq, firstSeq+count-1] on
 // channel ch. Sequence ranges on a channel must be appended contiguously in
-// strictly increasing order starting at 1; AppendBatch copies data. Batched
-// appends (count > 1) require the log to have a Slicer, otherwise trim and
-// replay boundaries could not be honored record-granularly.
+// strictly increasing order starting at 1. Batched appends (count > 1)
+// require the log to have a Slicer, otherwise trim and replay boundaries
+// could not be honored record-granularly.
+//
+// Ownership: AppendBatch takes an owning copy of data. The engine's wire
+// frames are pooled and recycled (scribbled, under the poison debug mode)
+// once delivered, while log entries must survive until trimmed — so the
+// copy here is the log's side of the frame ownership rule, and the caller
+// keeps ownership of data.
 func (l *Log) AppendBatch(ch uint64, firstSeq uint64, count int, data []byte) {
 	if count > 1 && l.slicer == nil {
 		panic("msglog: batched append on a log without a slicer")

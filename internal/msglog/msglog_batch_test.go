@@ -120,3 +120,25 @@ func TestBatchedAppendWithoutSlicerPanics(t *testing.T) {
 	}()
 	New().AppendBatch(1, 1, 2, []byte{1, 1, 2})
 }
+
+// TestAppendBatchTakesOwningCopy: the engine recycles (and, under the
+// poison debug mode, scribbles) wire frames after delivery, so the log must
+// not alias the caller's buffer.
+func TestAppendBatchTakesOwningCopy(t *testing.T) {
+	l := NewWithSlicer(testSlicer)
+	frame := testBatch(1, 4)
+	l.AppendBatch(1, 1, 4, frame)
+	for i := range frame {
+		frame[i] = 0xDB // simulate a poisoned recycle of the sender's frame
+	}
+	entries := l.Range(1, 0, 100)
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for _, b := range entries[0].Data {
+		if b == 0xDB {
+			t.Fatal("log entry aliases the recycled frame")
+		}
+	}
+	expectRecords(t, entries, 1, 4)
+}

@@ -46,21 +46,26 @@ func (p *Person) MarshalWire(e *wire.Encoder) {
 	e.String(p.Extra)
 }
 
-// decodePerson aliases string fields into the wire buffer (StringRef):
-// envelopes and checkpoint blobs are immutable once filled, so the decode
-// hot path pays no per-string allocation.
+// DecodeWireInto implements wire.Reusable. String fields alias the wire
+// buffer (StringRef): frames are immutable for the duration of delivery, so
+// the decode hot path pays no per-string allocation — and because the value
+// is only valid until the next record is decoded, consumers copy anything
+// they retain (see the frame ownership rule in core).
+func (p *Person) DecodeWireInto(d *wire.Decoder) error {
+	p.ID = d.Uvarint()
+	p.Name = d.StringRef()
+	p.Email = d.StringRef()
+	p.CreditCard = d.StringRef()
+	p.City = d.StringRef()
+	p.State = d.StringRef()
+	p.DateTime = d.Varint()
+	p.Extra = d.StringRef()
+	return d.Err()
+}
+
 func decodePerson(d *wire.Decoder) (wire.Value, error) {
-	p := &Person{
-		ID:         d.Uvarint(),
-		Name:       d.StringRef(),
-		Email:      d.StringRef(),
-		CreditCard: d.StringRef(),
-		City:       d.StringRef(),
-		State:      d.StringRef(),
-		DateTime:   d.Varint(),
-		Extra:      d.StringRef(),
-	}
-	return p, d.Err()
+	p := &Person{}
+	return p, p.DecodeWireInto(d)
 }
 
 // Auction is a NexMark auction record.
@@ -94,20 +99,25 @@ func (a *Auction) MarshalWire(e *wire.Encoder) {
 	e.String(a.Extra)
 }
 
+// DecodeWireInto implements wire.Reusable (see Person.DecodeWireInto for
+// the aliasing contract).
+func (a *Auction) DecodeWireInto(d *wire.Decoder) error {
+	a.ID = d.Uvarint()
+	a.ItemName = d.StringRef()
+	a.Description = d.StringRef()
+	a.InitialBid = d.Uvarint()
+	a.Reserve = d.Uvarint()
+	a.DateTime = d.Varint()
+	a.Expires = d.Varint()
+	a.Seller = d.Uvarint()
+	a.Category = d.Uvarint()
+	a.Extra = d.StringRef()
+	return d.Err()
+}
+
 func decodeAuction(d *wire.Decoder) (wire.Value, error) {
-	a := &Auction{
-		ID:          d.Uvarint(),
-		ItemName:    d.StringRef(),
-		Description: d.StringRef(),
-		InitialBid:  d.Uvarint(),
-		Reserve:     d.Uvarint(),
-		DateTime:    d.Varint(),
-		Expires:     d.Varint(),
-		Seller:      d.Uvarint(),
-		Category:    d.Uvarint(),
-		Extra:       d.StringRef(),
-	}
-	return a, d.Err()
+	a := &Auction{}
+	return a, a.DecodeWireInto(d)
 }
 
 // Bid is a NexMark bid record.
@@ -135,17 +145,22 @@ func (b *Bid) MarshalWire(e *wire.Encoder) {
 	e.String(b.Extra)
 }
 
+// DecodeWireInto implements wire.Reusable (see Person.DecodeWireInto for
+// the aliasing contract).
+func (b *Bid) DecodeWireInto(d *wire.Decoder) error {
+	b.Auction = d.Uvarint()
+	b.Bidder = d.Uvarint()
+	b.Price = d.Uvarint()
+	b.Channel = internChannel(d.StringRef())
+	b.URL = d.StringRef()
+	b.DateTime = d.Varint()
+	b.Extra = d.StringRef()
+	return d.Err()
+}
+
 func decodeBid(d *wire.Decoder) (wire.Value, error) {
-	b := &Bid{
-		Auction:  d.Uvarint(),
-		Bidder:   d.Uvarint(),
-		Price:    d.Uvarint(),
-		Channel:  internChannel(d.StringRef()),
-		URL:      d.StringRef(),
-		DateTime: d.Varint(),
-		Extra:    d.StringRef(),
-	}
-	return b, d.Err()
+	b := &Bid{}
+	return b, b.DecodeWireInto(d)
 }
 
 // bidChannels is the closed set of channel names the generator produces;
@@ -181,9 +196,18 @@ func (r *Q1Result) MarshalWire(e *wire.Encoder) {
 	e.Varint(r.DateTime)
 }
 
+// DecodeWireInto implements wire.Reusable.
+func (r *Q1Result) DecodeWireInto(d *wire.Decoder) error {
+	r.Auction = d.Uvarint()
+	r.Bidder = d.Uvarint()
+	r.PriceEur = d.Uvarint()
+	r.DateTime = d.Varint()
+	return d.Err()
+}
+
 func decodeQ1Result(d *wire.Decoder) (wire.Value, error) {
-	r := &Q1Result{Auction: d.Uvarint(), Bidder: d.Uvarint(), PriceEur: d.Uvarint(), DateTime: d.Varint()}
-	return r, d.Err()
+	r := &Q1Result{}
+	return r, r.DecodeWireInto(d)
 }
 
 // Q3Result is the output of query 3 (persons joined with their auctions).
@@ -205,9 +229,20 @@ func (r *Q3Result) MarshalWire(e *wire.Encoder) {
 	e.Uvarint(r.Auction)
 }
 
+// DecodeWireInto implements wire.Reusable. Strings are copied (String, not
+// StringRef): Q3 results are sink-bound and may be retained by the output
+// collector.
+func (r *Q3Result) DecodeWireInto(d *wire.Decoder) error {
+	r.Name = d.String()
+	r.City = d.String()
+	r.State = d.String()
+	r.Auction = d.Uvarint()
+	return d.Err()
+}
+
 func decodeQ3Result(d *wire.Decoder) (wire.Value, error) {
-	r := &Q3Result{Name: d.String(), City: d.String(), State: d.String(), Auction: d.Uvarint()}
-	return r, d.Err()
+	r := &Q3Result{}
+	return r, r.DecodeWireInto(d)
 }
 
 // Q8Result is the output of query 8 (new persons with new auctions in the
@@ -230,9 +265,18 @@ func (r *Q8Result) MarshalWire(e *wire.Encoder) {
 	e.Varint(r.Window)
 }
 
+// DecodeWireInto implements wire.Reusable (copying strings, like Q3Result).
+func (r *Q8Result) DecodeWireInto(d *wire.Decoder) error {
+	r.Person = d.Uvarint()
+	r.Name = d.String()
+	r.Auction = d.Uvarint()
+	r.Window = d.Varint()
+	return d.Err()
+}
+
 func decodeQ8Result(d *wire.Decoder) (wire.Value, error) {
-	r := &Q8Result{Person: d.Uvarint(), Name: d.String(), Auction: d.Uvarint(), Window: d.Varint()}
-	return r, d.Err()
+	r := &Q8Result{}
+	return r, r.DecodeWireInto(d)
 }
 
 // Q12Result is the output of query 12 (running per-bidder bid counts in a
@@ -253,9 +297,17 @@ func (r *Q12Result) MarshalWire(e *wire.Encoder) {
 	e.Varint(r.Window)
 }
 
+// DecodeWireInto implements wire.Reusable.
+func (r *Q12Result) DecodeWireInto(d *wire.Decoder) error {
+	r.Bidder = d.Uvarint()
+	r.Count = d.Uvarint()
+	r.Window = d.Varint()
+	return d.Err()
+}
+
 func decodeQ12Result(d *wire.Decoder) (wire.Value, error) {
-	r := &Q12Result{Bidder: d.Uvarint(), Count: d.Uvarint(), Window: d.Varint()}
-	return r, d.Err()
+	r := &Q12Result{}
+	return r, r.DecodeWireInto(d)
 }
 
 func init() {

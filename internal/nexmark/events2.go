@@ -26,9 +26,16 @@ func (r *Q2Result) MarshalWire(e *wire.Encoder) {
 	e.Uvarint(r.Price)
 }
 
+// DecodeWireInto implements wire.Reusable.
+func (r *Q2Result) DecodeWireInto(d *wire.Decoder) error {
+	r.Auction = d.Uvarint()
+	r.Price = d.Uvarint()
+	return d.Err()
+}
+
 func decodeQ2Result(d *wire.Decoder) (wire.Value, error) {
-	r := &Q2Result{Auction: d.Uvarint(), Price: d.Uvarint()}
-	return r, d.Err()
+	r := &Q2Result{}
+	return r, r.DecodeWireInto(d)
 }
 
 // Q5Partial is one counting instance's per-window bid count for one auction,
@@ -49,9 +56,17 @@ func (r *Q5Partial) MarshalWire(e *wire.Encoder) {
 	e.Varint(r.Window)
 }
 
+// DecodeWireInto implements wire.Reusable.
+func (r *Q5Partial) DecodeWireInto(d *wire.Decoder) error {
+	r.Auction = d.Uvarint()
+	r.Count = d.Uvarint()
+	r.Window = d.Varint()
+	return d.Err()
+}
+
 func decodeQ5Partial(d *wire.Decoder) (wire.Value, error) {
-	r := &Q5Partial{Auction: d.Uvarint(), Count: d.Uvarint(), Window: d.Varint()}
-	return r, d.Err()
+	r := &Q5Partial{}
+	return r, r.DecodeWireInto(d)
 }
 
 // Q5Result is the output of query 5: the hottest auction of one sliding
@@ -73,9 +88,17 @@ func (r *Q5Result) MarshalWire(e *wire.Encoder) {
 	e.Varint(r.Window)
 }
 
+// DecodeWireInto implements wire.Reusable.
+func (r *Q5Result) DecodeWireInto(d *wire.Decoder) error {
+	r.Auction = d.Uvarint()
+	r.Count = d.Uvarint()
+	r.Window = d.Varint()
+	return d.Err()
+}
+
 func decodeQ5Result(d *wire.Decoder) (wire.Value, error) {
-	r := &Q5Result{Auction: d.Uvarint(), Count: d.Uvarint(), Window: d.Varint()}
-	return r, d.Err()
+	r := &Q5Result{}
+	return r, r.DecodeWireInto(d)
 }
 
 func init() {

@@ -32,9 +32,18 @@ func (r *Q11Result) MarshalWire(e *wire.Encoder) {
 	e.Varint(r.End)
 }
 
+// DecodeWireInto implements wire.Reusable.
+func (r *Q11Result) DecodeWireInto(d *wire.Decoder) error {
+	r.Bidder = d.Uvarint()
+	r.Count = d.Uvarint()
+	r.Start = d.Varint()
+	r.End = d.Varint()
+	return d.Err()
+}
+
 func decodeQ11Result(d *wire.Decoder) (wire.Value, error) {
-	r := &Q11Result{Bidder: d.Uvarint(), Count: d.Uvarint(), Start: d.Varint(), End: d.Varint()}
-	return r, d.Err()
+	r := &Q11Result{}
+	return r, r.DecodeWireInto(d)
 }
 
 func init() {

@@ -48,9 +48,18 @@ func (r *Q4MaxUpdate) MarshalWire(e *wire.Encoder) {
 	e.Bool(r.First)
 }
 
+// DecodeWireInto implements wire.Reusable.
+func (r *Q4MaxUpdate) DecodeWireInto(d *wire.Decoder) error {
+	r.Category = d.Uvarint()
+	r.Old = d.Uvarint()
+	r.New = d.Uvarint()
+	r.First = d.Bool()
+	return d.Err()
+}
+
 func decodeQ4MaxUpdate(d *wire.Decoder) (wire.Value, error) {
-	r := &Q4MaxUpdate{Category: d.Uvarint(), Old: d.Uvarint(), New: d.Uvarint(), First: d.Bool()}
-	return r, d.Err()
+	r := &Q4MaxUpdate{}
+	return r, r.DecodeWireInto(d)
 }
 
 // Q4Result is the output of query 4: the running average winning bid of
@@ -69,9 +78,16 @@ func (r *Q4Result) MarshalWire(e *wire.Encoder) {
 	e.Uvarint(r.Avg)
 }
 
+// DecodeWireInto implements wire.Reusable.
+func (r *Q4Result) DecodeWireInto(d *wire.Decoder) error {
+	r.Category = d.Uvarint()
+	r.Avg = d.Uvarint()
+	return d.Err()
+}
+
 func decodeQ4Result(d *wire.Decoder) (wire.Value, error) {
-	r := &Q4Result{Category: d.Uvarint(), Avg: d.Uvarint()}
-	return r, d.Err()
+	r := &Q4Result{}
+	return r, r.DecodeWireInto(d)
 }
 
 // Q7Partial is one pre-aggregation instance's window maximum.
@@ -91,9 +107,17 @@ func (r *Q7Partial) MarshalWire(e *wire.Encoder) {
 	e.Uvarint(r.Bidder)
 }
 
+// DecodeWireInto implements wire.Reusable.
+func (r *Q7Partial) DecodeWireInto(d *wire.Decoder) error {
+	r.Window = d.Varint()
+	r.Price = d.Uvarint()
+	r.Bidder = d.Uvarint()
+	return d.Err()
+}
+
 func decodeQ7Partial(d *wire.Decoder) (wire.Value, error) {
-	r := &Q7Partial{Window: d.Varint(), Price: d.Uvarint(), Bidder: d.Uvarint()}
-	return r, d.Err()
+	r := &Q7Partial{}
+	return r, r.DecodeWireInto(d)
 }
 
 // Q7Result is the output of query 7: the highest bid of one window
@@ -114,9 +138,17 @@ func (r *Q7Result) MarshalWire(e *wire.Encoder) {
 	e.Uvarint(r.Bidder)
 }
 
+// DecodeWireInto implements wire.Reusable.
+func (r *Q7Result) DecodeWireInto(d *wire.Decoder) error {
+	r.Window = d.Varint()
+	r.Price = d.Uvarint()
+	r.Bidder = d.Uvarint()
+	return d.Err()
+}
+
 func decodeQ7Result(d *wire.Decoder) (wire.Value, error) {
-	r := &Q7Result{Window: d.Varint(), Price: d.Uvarint(), Bidder: d.Uvarint()}
-	return r, d.Err()
+	r := &Q7Result{}
+	return r, r.DecodeWireInto(d)
 }
 
 func init() {

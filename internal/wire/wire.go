@@ -38,6 +38,21 @@ func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf[:0]} }
 // Reset discards the accumulated encoding but keeps the buffer capacity.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// ResetTo re-arms the encoder to append into buf[:0], dropping its previous
+// buffer. Together with Take it lets a hot path encode directly into a
+// pooled frame and hand the filled frame off without a copy.
+func (e *Encoder) ResetTo(buf []byte) { e.buf = buf[:0] }
+
+// Take returns the accumulated encoding and detaches it from the encoder:
+// the caller owns the returned slice, and the encoder is left empty (its
+// next use must Reset To a fresh buffer or start from nil). This is the
+// ownership-transfer half of the ResetTo/Take pair.
+func (e *Encoder) Take() []byte {
+	b := e.buf
+	e.buf = nil
+	return b
+}
+
 // Bytes returns the accumulated encoding. The slice aliases the encoder's
 // internal buffer and is invalidated by the next Append/Reset.
 func (e *Encoder) Bytes() []byte { return e.buf }
@@ -251,10 +266,13 @@ func (d *Decoder) String() string {
 
 // StringRef reads a length-prefixed string without copying: the returned
 // string aliases the decoder's input buffer. Safe whenever the buffer is
-// immutable for the lifetime of the string — true for wire envelopes and
-// checkpoint blobs, which are never mutated after they are filled. Hot
-// decode paths use this to avoid one allocation (and the GC scan work that
-// follows it) per string field.
+// immutable for the lifetime of the string. Wire envelopes are pooled and
+// recycled after delivery, so a StringRef string decoded from one is only
+// valid until the delivering handle returns — consumers that retain it
+// must copy (CloneValue at the engine's retention boundaries); checkpoint
+// blobs are never mutated, so references into them live as long as the
+// blob. Hot decode paths use this to avoid one allocation (and the GC scan
+// work that follows it) per string field.
 func (d *Decoder) StringRef() string {
 	n := d.Uvarint()
 	if d.err != nil || n == 0 {
@@ -316,6 +334,72 @@ type Value interface {
 
 // DecodeFunc decodes a value previously written by MarshalWire.
 type DecodeFunc func(dec *Decoder) (Value, error)
+
+// Reusable is implemented by Values that can be re-decoded in place,
+// overwriting every field. Decode paths that deliver one value at a time
+// (the engine's batch cursor) reuse a single instance per type instead of
+// allocating one per record — the dominant steady-state allocation of the
+// data plane.
+//
+// The contract mirrors the frame-ownership rule: a reused value is valid
+// only until the next record is decoded, so consumers must not retain it.
+// All engine-internal consumers honor this (operators receive it only for
+// the duration of OnEvent; the sink output collector clones before
+// retention via CloneValue). Types whose consumers retain them must simply
+// not implement Reusable.
+type Reusable interface {
+	Value
+	// DecodeWireInto overwrites the value with the encoding read from dec
+	// (the inverse of MarshalWire, minus the type tag).
+	DecodeWireInto(dec *Decoder) error
+}
+
+// DecodeValueInto reads a type-tagged value like DecodeValue, but re-decodes
+// in place into prev when prev has the same concrete type and implements
+// Reusable. The returned value is only valid until the next call with the
+// same prev; see Reusable for the ownership contract.
+func DecodeValueInto(dec *Decoder, prev Value) (Value, error) {
+	id := dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if id == 0 {
+		return nil, nil
+	}
+	if prev != nil && uint64(prev.TypeID()) == id {
+		if r, ok := prev.(Reusable); ok {
+			if err := r.DecodeWireInto(dec); err != nil {
+				return nil, err
+			}
+			return r, nil
+		}
+	}
+	if id >= uint64(len(typeRegistry)) || typeRegistry[id] == nil {
+		return nil, fmt.Errorf("%w: unknown type id %d", ErrCorrupt, id)
+	}
+	return typeRegistry[id](dec)
+}
+
+// CloneValue returns an owning copy of v via an encode/decode round trip
+// through the type registry. Consumers that retain a value past delivery
+// (see Reusable and the frame ownership rule) call this at their retention
+// boundary. scratch is reset and reused for the staging encode; pass nil to
+// let the call allocate its own. The decode reads from a buffer owned by
+// the clone, never from scratch itself: StringRef-decoding types alias
+// their input buffer, so decoding straight out of the reusable scratch
+// would hand back a "copy" whose strings the next clone overwrites.
+func CloneValue(v Value, scratch *Encoder) (Value, error) {
+	if v == nil {
+		return nil, nil
+	}
+	if scratch == nil {
+		scratch = NewEncoder(nil)
+	}
+	scratch.Reset()
+	EncodeValue(scratch, v)
+	owned := append([]byte(nil), scratch.Bytes()...)
+	return DecodeValue(NewDecoder(owned))
+}
 
 // typeRegistry maps TypeIDs to decoders. Registration happens during package
 // init of the payload packages; the map is read-only afterwards, so no lock

@@ -246,3 +246,65 @@ func TestEncoderReuse(t *testing.T) {
 		t.Fatal("re-encoded length differs")
 	}
 }
+
+// refValue decodes its string with StringRef, aliasing the decode buffer —
+// the shape CloneValue must defend against.
+type refValue struct{ S string }
+
+func (v *refValue) TypeID() uint16         { return 901 }
+func (v *refValue) MarshalWire(e *Encoder) { e.String(v.S) }
+func (v *refValue) DecodeWireInto(d *Decoder) error {
+	v.S = d.StringRef()
+	return d.Err()
+}
+
+func init() {
+	RegisterType(901, func(d *Decoder) (Value, error) {
+		v := &refValue{}
+		return v, v.DecodeWireInto(d)
+	})
+}
+
+// TestCloneValueOwnsStringRefFields: a clone of a StringRef-decoding value
+// must not alias the shared scratch encoder — reusing the scratch for the
+// next clone must leave earlier clones intact.
+func TestCloneValueOwnsStringRefFields(t *testing.T) {
+	scratch := NewEncoder(nil)
+	c1, err := CloneValue(&refValue{S: "first-clone-content"}, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CloneValue(&refValue{S: "second-overwrites!!"}, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c1.(*refValue).S; got != "first-clone-content" {
+		t.Fatalf("first clone corrupted by scratch reuse: %q", got)
+	}
+	if got := c2.(*refValue).S; got != "second-overwrites!!" {
+		t.Fatalf("second clone = %q", got)
+	}
+}
+
+// TestDecodeValueIntoReuses: same-type consecutive decodes reuse the prev
+// instance; a type mismatch falls back to the registry.
+func TestDecodeValueIntoReuses(t *testing.T) {
+	enc := NewEncoder(nil)
+	EncodeValue(enc, &refValue{S: "abc"})
+	v1, err := DecodeValueInto(NewDecoder(enc.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.Reset()
+	EncodeValue(enc, &refValue{S: "def"})
+	v2, err := DecodeValueInto(NewDecoder(enc.Bytes()), v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatal("reusable value was not decoded in place")
+	}
+	if v2.(*refValue).S != "def" {
+		t.Fatalf("reused decode = %q", v2.(*refValue).S)
+	}
+}
