@@ -46,6 +46,7 @@ func main() {
 		output    = flag.String("output", "none", "sink output mode: none, immediate, transactional")
 		compress  = flag.Bool("compress", false, "deflate checkpoint blobs before upload")
 		delta     = flag.Bool("delta", false, "incremental (base+delta) checkpoints of keyed operator state")
+		syncSnap  = flag.Bool("sync-snapshots", false, "serialize checkpoint state on the processing goroutine (pre-async baseline) instead of asynchronous copy-on-write snapshots")
 		scope     = flag.Bool("scope", false, "analyze the single-failure rollback scope after the run (UNC/CIC)")
 		batch     = flag.Int("batch", 0, "exchange batch size in records (0/1 = unbatched)")
 		batchB    = flag.Int("batch-bytes", 0, "exchange batch size bound in bytes (0 = default 32KiB)")
@@ -118,6 +119,7 @@ func main() {
 		StoreFailureRate:     *flaky,
 		CompressCheckpoints:  *compress,
 		DeltaCheckpoints:     *delta,
+		SyncSnapshots:        *syncSnap,
 		AnalyzeRollbackScope: *scope,
 		BatchMaxRecords:      *batch,
 		BatchMaxBytes:        *batchB,
@@ -239,6 +241,45 @@ func runBenchGrid(path string) error {
 				fmt.Printf("%-4s %-5s batch=%-3d  %10.0f rec/s  p50=%7.1fms  p99=%7.1fms  %.2fx overhead  %.1f rec/batch  %6.2f allocs/rec  %7.0f B/rec  gc=%d/%.2fms\n",
 					q, pn, b, pt.RecordsPerSec, pt.P50Millis, pt.P99Millis, pt.OverheadRatio, pt.AvgBatchRecords,
 					pt.AllocsPerRecord, pt.BytesPerRecord, pt.GCCycles, pt.GCPauseTotalMs)
+				out.Points = append(out.Points, pt)
+			}
+		}
+	}
+	// Checkpoint pause A/B: q3 (growing keyed join state; 450k records put
+	// >100k distinct keys in the join stores) at batch 64, per protocol
+	// (unaligned coordinated included), async snapshots on vs off, at both
+	// full-snapshot and base-plus-delta persistence. These rows carry the
+	// pause columns of the asynchronous-snapshot pipeline.
+	const pauseRecords = 450_000
+	for _, pn := range []string{"COOR", "UCOOR", "UNC", "CIC"} {
+		p, err := checkmate.ProtocolByName(pn)
+		if err != nil {
+			return err
+		}
+		for _, delta := range []bool{false, true} {
+			for _, sync := range []bool{false, true} {
+				pt, err := checkmate.BenchThroughput(checkmate.BenchConfig{
+					Query:              "q3",
+					Protocol:           p,
+					Workers:            out.Workers,
+					Records:            pauseRecords,
+					BatchMaxRecords:    64,
+					CheckpointInterval: 100 * time.Millisecond,
+					SyncSnapshots:      sync,
+					DeltaCheckpoints:   delta,
+					Repeat:             3,
+				})
+				if err != nil {
+					return fmt.Errorf("bench pause q3/%s/delta=%v/sync=%v: %w", pn, delta, sync, err)
+				}
+				async := "async"
+				if sync {
+					async = "sync "
+				}
+				fmt.Printf("q3   %-5s %s delta=%-5v  %10.0f rec/s  ckpts=%-3d  pause max=%6.2fms mean=%6.3fms p99=%6.2fms  mat=%6.2fms up=%6.2fms  Δp99=%5.1fms\n",
+					pn, async, delta, pt.RecordsPerSec, pt.SyncPauses,
+					pt.MaxSyncPauseMs, pt.MeanSyncPauseMs, pt.P99SyncPauseMs,
+					pt.MeanMaterializeMs, pt.MeanUploadMs, pt.CkptP99DeltaMs)
 				out.Points = append(out.Points, pt)
 			}
 		}
@@ -441,6 +482,12 @@ func printResult(res checkmate.RunResult) {
 		fmt.Printf("    restored %d B (local %d, remote %d), cache %d hit / %d miss, scope %d instances on %d workers\n",
 			rto.RestoredBytes, rto.LocalBytes, rto.RemoteBytes,
 			rto.CacheHits, rto.CacheMisses, rto.ScopeInstances, rto.ScopeWorkers)
+	}
+	if s.SyncPauses > 0 {
+		fmt.Printf("  ckpt pauses:        %d sync captures, max %v / mean %v / p99 %v; materialize %v, upload %v\n",
+			s.SyncPauses, s.MaxSyncPause.Round(10*time.Microsecond),
+			s.MeanSyncPause.Round(10*time.Microsecond), s.P99SyncPause.Round(10*time.Microsecond),
+			s.MeanMaterialize.Round(10*time.Microsecond), s.MeanUpload.Round(10*time.Microsecond))
 	}
 	if s.FullKeyedCkpts+s.DeltaKeyedCkpts > 0 {
 		fmt.Printf("  keyed snapshots:    %d full (%d B), %d delta (%d B), max chain %d\n",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,6 +126,13 @@ type Config struct {
 	// MaxRecords=1, which preserves the unbatched engine's per-message
 	// interleavings exactly.
 	Batching BatchingConfig
+	// SyncSnapshots serializes checkpoint state on the processing goroutine
+	// (the pre-async behaviour) instead of freezing a copy-on-write capture
+	// and materializing it on the worker's uploader. Only the serialization
+	// moves; upload is asynchronous either way. Kept as the A/B baseline
+	// for the pause benchmarks — the default (false) takes the whole
+	// serialize+compress+upload pipeline off the record path.
+	SyncSnapshots bool
 	// Seed derives per-instance jitter.
 	Seed int64
 }
@@ -194,7 +202,11 @@ type world struct {
 	wg        sync.WaitGroup
 	uploadWG  sync.WaitGroup
 	instances []*instance
-	stopOnce  sync.Once
+	// up holds one checkpoint uploader queue per cluster worker; each
+	// instance's checkpoints materialize and upload FIFO on its worker's
+	// uploader goroutine (see uploader.go).
+	up       []*uploadQueue
+	stopOnce sync.Once
 }
 
 // Engine executes one job under one protocol. Build with NewEngine, then
@@ -374,6 +386,10 @@ func (e *Engine) Start() error {
 func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world, error) {
 	e.gen++
 	w := &world{gen: e.gen, stopCh: make(chan struct{}), instances: make([]*instance, e.total)}
+	w.up = make([]*uploadQueue, e.topo.Workers())
+	for i := range w.up {
+		w.up[i] = newUploadQueue()
+	}
 	kind := e.cfg.Protocol.Kind()
 	for op := range e.job.Ops {
 		spec := &e.job.Ops[op]
@@ -396,6 +412,15 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world,
 			}
 			it.sentSeq = make([]uint64, len(it.outChans))
 			it.recvSeq = make([]uint64, len(it.inChans))
+			// Store-key prefix with room for the sequence digits, so the
+			// snapshot path builds keys without fmt.
+			it.keyBuf = append(make([]byte, 0, 64), "ckpt/"...)
+			it.keyBuf = append(it.keyBuf, e.job.Name...)
+			it.keyBuf = append(it.keyBuf, '/')
+			it.keyBuf = append(it.keyBuf, spec.Name...)
+			it.keyBuf = append(it.keyBuf, '/')
+			it.keyBuf = strconv.AppendInt(it.keyBuf, int64(idx), 10)
+			it.keyBuf = append(it.keyBuf, '/')
 			it.outBufs = make([]outBuf, len(it.outChans))
 			for i := range it.outBufs {
 				it.outBufs[i].recs = wire.NewEncoder(make([]byte, 0, 256))
@@ -472,6 +497,10 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world,
 
 // launch starts all goroutines of a world.
 func (e *Engine) launch(w *world) {
+	for _, q := range w.up {
+		w.uploadWG.Add(1)
+		go w.runUploader(q)
+	}
 	for _, it := range w.instances {
 		w.wg.Add(1)
 		if it.spec.Source != nil {
@@ -522,7 +551,11 @@ func (bp *brokerPartition) ReadBatch(dst []sourceRecord, offset uint64, max int)
 }
 
 // stopWorld tears down a world and waits for all of its goroutines,
-// including pending checkpoint uploads.
+// including pending checkpoint materializations and uploads: the uploader
+// queues close only after every instance goroutine exited (no producer
+// left), then drain fully — so checkpoints captured before a failure still
+// become durable and reportable before the recovery line is computed,
+// exactly as the per-checkpoint upload goroutines behaved.
 func (e *Engine) stopWorld(w *world) {
 	w.stopOnce.Do(func() {
 		close(w.stopCh)
@@ -533,6 +566,9 @@ func (e *Engine) stopWorld(w *world) {
 		}
 	})
 	w.wg.Wait()
+	for _, q := range w.up {
+		q.close()
+	}
 	w.uploadWG.Wait()
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -52,7 +53,8 @@ type inChan struct {
 }
 
 // instance is one parallel instance of an operator, executing as a single
-// goroutine (plus transient checkpoint-upload goroutines).
+// goroutine; checkpoint materialization and upload run on the hosting
+// worker's uploader goroutine (see uploader.go).
 type instance struct {
 	eng *Engine
 	w   *world
@@ -99,6 +101,10 @@ type instance struct {
 	chainKeys   []string
 	kvEnc       *wire.Encoder
 	chainBroken atomic.Bool
+	// keyBuf holds the instance's object-store key prefix
+	// ("ckpt/<job>/<op>/<idx>/") with spare capacity for the sequence
+	// digits, so storeKey builds each key with a single string allocation.
+	keyBuf []byte
 
 	// COOR alignment state.
 	aligning   bool
@@ -420,14 +426,13 @@ type capturedMsg struct {
 }
 
 // uaPending is an unaligned checkpoint in progress: the state snapshot was
-// taken at the first marker; in-flight (pre-barrier) messages are captured
-// as they are processed until every channel's barrier arrived and its
-// overtaken prefix drained.
+// captured at the first marker (job holds the frozen keyed view and the
+// encoded scalars); in-flight (pre-barrier) messages are captured as they
+// are processed until every channel's barrier arrived and its overtaken
+// prefix drained, then the job is handed to the uploader.
 type uaPending struct {
 	round      uint64
-	t0         time.Time
-	stateBlob  []byte
-	meta       recovery.Meta
+	job        *uploadJob
 	markerSeen []bool
 	// counted is the remaining pre-barrier messages per channel: -1 until
 	// the channel's marker arrives (capture everything), then the number
@@ -706,51 +711,79 @@ func (it *instance) handleMarker(m Message, ch int) {
 	it.aligning = false
 }
 
-// snapshotState serializes the instance state (keyed backend segment,
-// counters, dedup, controller and operator state) into a fresh encoder and
-// builds the checkpoint metadata. It advances the checkpoint sequence and
-// notifies the controller. The caller appends the channel-state section to
-// the returned encoder and uploads its bytes directly — the encoder is
-// never reused, so no defensive copy is taken anywhere on this path.
+// storeKey builds the object-store key of the checkpoint at it.ckptSeq
+// ("ckpt/<job>/<op>/<idx>/<seq>") by appending the sequence digits to the
+// precomputed prefix in keyBuf: a single string allocation per call, on the
+// synchronous snapshot path.
+func (it *instance) storeKey() string {
+	b := strconv.AppendUint(it.keyBuf, it.ckptSeq, 10)
+	key := string(b)
+	// AppendUint may have grown the buffer past the prefix capacity; keep
+	// the grown buffer (still prefix-only in length) for the next call.
+	it.keyBuf = b[:len(it.keyBuf)]
+	return key
+}
+
+// snapshotState runs the synchronous phase of a checkpoint: it freezes the
+// instance state — scalars, dedup, controller and operator state are
+// encoded immediately (they are small), the keyed backend is frozen as a
+// copy-on-write capture in O(dirty-set)/O(live-set) time without
+// serialization — advances the checkpoint sequence, notifies the
+// controller, and builds the checkpoint metadata. The caller appends the
+// channel-state section to job.state and enqueues the job; serialization
+// of the keyed segment, blob assembly, compression and upload all happen
+// on the worker's uploader goroutine. With Config.SyncSnapshots the keyed
+// segment is serialized here instead (the pre-async behaviour, kept as the
+// A/B baseline), and only the upload remains asynchronous.
 //
-// Blob layout (v2): a length-prefixed keyed-state segment first (empty for
-// operators without a backend; a statestore full or delta snapshot
-// otherwise — the prefix lets chain restore extract the segment from any
-// blob without decoding the rest), then the instance scalars, then the
-// captured channel state.
-func (it *instance) snapshotState(round uint64, forced bool) (*wire.Encoder, recovery.Meta) {
+// Blob layout (v2, unchanged): a length-prefixed keyed-state segment first
+// (empty for operators without a backend; a statestore full or delta
+// snapshot otherwise — the prefix lets chain restore extract the segment
+// from any blob without decoding the rest), then the instance scalars,
+// then the captured channel state.
+func (it *instance) snapshotState(round uint64, forced bool) *uploadJob {
 	// Flush pending output batches first: the snapshot's sent frontier must
 	// match what actually reached the wire and the in-flight log, or the
 	// recovery line would compute replay ranges covering records that were
 	// never logged.
 	it.flushAllOut(metrics.FlushControl)
 	it.ckptSeq++
-	storeKey := fmt.Sprintf("ckpt/%s/%s/%d/%d", it.eng.job.Name, it.spec.Name, it.idx, it.ckptSeq)
-	enc := wire.NewEncoder(make([]byte, 0, 4096))
-	rec := it.eng.cfg.Recorder
+	storeKey := it.storeKey()
+	sync := it.eng.cfg.SyncSnapshots
+	job := &uploadJob{it: it}
+	enc := wire.NewEncoder(make([]byte, 0, 1024))
+	job.state = enc
 	switch {
 	case it.kv == nil:
-		enc.Bytes2(nil)
 		it.chainKeys = append(it.chainKeys[:0], storeKey)
 	case it.kvChain != nil:
 		if it.chainBroken.Swap(false) {
 			it.kvChain.Reset()
 			it.chainKeys = it.chainKeys[:0]
 		}
-		seg, full := it.kvChain.Checkpoint(it.kv)
-		enc.Bytes2(seg)
+		var full bool
+		if sync {
+			job.seg, full = it.kvChain.Checkpoint(it.kv)
+		} else {
+			job.capture, full = it.kvChain.CaptureCheckpoint(it.kv)
+		}
 		if full {
 			it.chainKeys = it.chainKeys[:0]
 		}
 		it.chainKeys = append(it.chainKeys, storeKey)
-		rec.AddKeyedSnapshot(len(seg), len(it.chainKeys))
+		job.chainLen = len(it.chainKeys)
 	default:
-		it.kvEnc.Reset()
-		it.kv.SnapshotFull(it.kvEnc)
-		enc.Bytes2(it.kvEnc.Bytes())
+		if sync {
+			it.kvEnc.Reset()
+			it.kv.SnapshotFull(it.kvEnc)
+			job.seg = append([]byte(nil), it.kvEnc.Bytes()...)
+		} else {
+			job.capture = it.kv.CaptureFull()
+		}
 		it.chainKeys = append(it.chainKeys[:0], storeKey)
-		rec.AddKeyedSnapshot(it.kvEnc.Len(), 1)
+		job.chainLen = 1
 	}
+	rec := it.eng.cfg.Recorder
 	enc.Uvarint(it.ckptSeq)
 	enc.UvarintSlice(it.sentSeq)
 	enc.UvarintSlice(it.recvSeq)
@@ -803,43 +836,8 @@ func (it *instance) snapshotState(round uint64, forced bool) (*wire.Encoder, rec
 	if it.ctrl != nil {
 		it.ctrl.OnCheckpoint(forced)
 	}
-	return enc, meta
-}
-
-// upload persists a finished checkpoint asynchronously and reports it to
-// the coordinator once durable. Transient store errors are retried a few
-// times (an un-uploaded checkpoint simply never joins a recovery line, so
-// giving up after retries is safe). The caller transfers ownership of blob.
-func (it *instance) upload(blob []byte, meta recovery.Meta, t0 time.Time) {
-	rec := it.eng.cfg.Recorder
-	key := meta.SelfKey()
-	w := it.w
-	w.uploadWG.Add(1)
-	go func() {
-		defer w.uploadWG.Done()
-		var err error
-		if it.eng.cfg.CompressCheckpoints {
-			if blob, err = flateCompress(blob); err != nil {
-				rec.Note("checkpoint compression %s failed: %v", key, err)
-				it.abandonChainBlob()
-				return
-			}
-		}
-		for attempt := 0; attempt < storeRetries; attempt++ {
-			if err = it.eng.cfg.Store.Put(key, blob); err == nil {
-				if it.eng.cache != nil {
-					// The uploader's worker keeps the blob in local memory:
-					// a recovery that leaves this worker alive restores from
-					// here instead of the object store.
-					it.eng.cache.Put(it.worker, key, blob)
-				}
-				it.eng.coord.report(meta, time.Since(t0))
-				return
-			}
-		}
-		rec.Note("checkpoint upload %s failed after %d attempts: %v", key, storeRetries, err)
-		it.abandonChainBlob()
-	}()
+	job.meta = meta
+	return job
 }
 
 // storeRetries bounds the retry loops around object-store RPCs.
@@ -857,16 +855,18 @@ func (it *instance) abandonChainBlob() {
 	}
 }
 
-// takeCheckpoint snapshots the instance synchronously (this is the
-// processing stall the paper measures) and uploads asynchronously. round is
-// non-zero for coordinated checkpoints; forced marks CIC forced ones.
+// takeCheckpoint captures the instance state synchronously — the (now
+// O(dirty-set)) processing stall the paper measures — and hands
+// materialization and upload to the worker's uploader. round is non-zero
+// for coordinated checkpoints; forced marks CIC forced ones.
 func (it *instance) takeCheckpoint(round uint64, forced bool) {
 	t0 := time.Now()
-	enc, meta := it.snapshotState(round, forced)
-	// Aligned and local checkpoints carry no channel state. The encoder is
-	// handed straight to upload: the snapshot is serialized exactly once.
-	enc.Uvarint(0)
-	it.upload(enc.Bytes(), meta, t0)
+	job := it.snapshotState(round, forced)
+	// Aligned and local checkpoints carry no channel state.
+	job.state.Uvarint(0)
+	job.syncDur = time.Since(t0)
+	it.eng.cfg.Recorder.RecordSyncPause(time.Duration(it.eng.nowNS()), job.syncDur)
+	it.enqueueUpload(job)
 }
 
 // handleUnalignedMarker implements the unaligned coordinated variant: the
@@ -875,12 +875,13 @@ func (it *instance) takeCheckpoint(round uint64, forced bool) {
 // captured into the checkpoint as channel state while processing continues.
 func (it *instance) handleUnalignedMarker(m Message, ch int) {
 	if it.ua == nil {
-		enc, meta := it.snapshotState(m.Round, false)
+		t0 := time.Now()
+		job := it.snapshotState(m.Round, false)
+		job.syncDur = time.Since(t0)
+		it.eng.cfg.Recorder.RecordSyncPause(time.Duration(it.eng.nowNS()), job.syncDur)
 		it.ua = &uaPending{
 			round:      m.Round,
-			t0:         time.Now(),
-			stateBlob:  enc.Bytes(),
-			meta:       meta,
+			job:        job,
 			markerSeen: make([]bool, len(it.inChans)),
 			counted:    make([]int, len(it.inChans)),
 			seen:       0,
@@ -935,14 +936,15 @@ func (it *instance) maybeFinalizeUnaligned() {
 			return
 		}
 	}
-	enc := wire.NewEncoder(make([]byte, 0, len(ua.stateBlob)+1024))
-	enc.Raw(ua.stateBlob)
+	// Append the channel-state section to the job's state encoder and hand
+	// the whole checkpoint to the uploader.
+	enc := ua.job.state
 	enc.Uvarint(uint64(len(ua.captures)))
 	for _, c := range ua.captures {
 		enc.Uvarint(uint64(c.queue))
 		enc.Bytes2(c.data)
 	}
-	it.upload(enc.Bytes(), ua.meta, ua.t0)
+	it.enqueueUpload(ua.job)
 	it.ua = nil
 }
 

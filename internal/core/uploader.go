@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"checkmate/internal/recovery"
+	"checkmate/internal/statestore"
+	"checkmate/internal/wire"
+)
+
+// The asynchronous snapshot pipeline: takeCheckpoint (and the unaligned
+// first-marker path) runs only the cheap synchronous *capture* phase on the
+// processing goroutine — scalars are encoded, the keyed backend is frozen
+// as a copy-on-write view — and hands an uploadJob to the hosting worker's
+// uploader. The uploader goroutine then *materializes* the blob
+// (serializes the capture, assembles the checkpoint layout, compresses)
+// and uploads it, reporting to the coordinator once durable.
+//
+// One uploader goroutine runs per cluster worker (a bounded pool, replacing
+// the former goroutine-per-checkpoint spawn), and each instance's jobs land
+// on its own worker's FIFO queue — so the blobs of one instance, and in
+// particular the segments of one base-plus-delta chain, always materialize
+// and upload strictly in chain-sequence order.
+
+// uploadJob is one captured checkpoint awaiting materialization and upload.
+type uploadJob struct {
+	it *instance
+	// capture is the frozen keyed-state view to materialize off-thread; nil
+	// when the operator has no keyed backend or when Config.SyncSnapshots
+	// already serialized the segment on the instance goroutine (seg).
+	capture *statestore.Capture
+	// seg is the prematerialized keyed segment (sync mode); nil otherwise.
+	seg []byte
+	// chainLen is the length of the base-plus-delta chain this segment
+	// completes, for keyed-snapshot accounting; 0 when the instance has no
+	// keyed backend.
+	chainLen int
+	// state holds everything of the checkpoint blob after the keyed
+	// segment: instance scalars, dedup/controller/operator state and the
+	// channel-state section. Owned by the job.
+	state *wire.Encoder
+	meta  recovery.Meta
+	// syncDur is the synchronous capture time the checkpoint already spent
+	// on its instance goroutine. The duration reported to the coordinator
+	// is syncDur plus the uploader's active time (materialize + compress +
+	// upload) — the checkpoint's own cost, deliberately excluding FIFO
+	// queue wait behind other checkpoints of the same worker, which the
+	// former goroutine-per-checkpoint model did not have either.
+	syncDur time.Duration
+}
+
+// uploadQueue is the FIFO of one worker's uploader goroutine.
+type uploadQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*uploadJob
+	closed bool
+}
+
+func newUploadQueue() *uploadQueue {
+	q := &uploadQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job. Jobs pushed after close are still processed: the
+// queue only ever closes after every producing instance goroutine exited.
+func (q *uploadQueue) push(j *uploadJob) {
+	q.mu.Lock()
+	q.jobs = append(q.jobs, j)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a job is available or the queue is closed and drained.
+func (q *uploadQueue) pop() *uploadJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	j := q.jobs[0]
+	q.jobs[0] = nil
+	q.jobs = q.jobs[1:]
+	return j
+}
+
+// close marks the queue finished; the uploader drains what is left and
+// exits. Call only after the producing instances stopped.
+func (q *uploadQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// runUploader is the per-worker uploader goroutine: it materializes and
+// persists checkpoints in FIFO order until the queue is closed and empty.
+func (w *world) runUploader(q *uploadQueue) {
+	defer w.uploadWG.Done()
+	for {
+		j := q.pop()
+		if j == nil {
+			return
+		}
+		j.it.processUpload(j)
+	}
+}
+
+// enqueueUpload hands a finished capture to the hosting worker's uploader.
+func (it *instance) enqueueUpload(job *uploadJob) {
+	it.w.up[it.worker].push(job)
+}
+
+// processUpload materializes one checkpoint blob and persists it: the
+// asynchronous half of a checkpoint. Transient store errors are retried a
+// few times (an un-uploaded checkpoint simply never joins a recovery line,
+// so giving up after retries is safe); an abandoned chain segment forces
+// the instance's next keyed snapshot to start a fresh full base.
+func (it *instance) processUpload(job *uploadJob) {
+	rec := it.eng.cfg.Recorder
+	procStart := time.Now()
+	matStart := procStart
+	seg := job.seg
+	if job.capture != nil {
+		segEnc := wire.NewEncoder(make([]byte, 0, job.capture.EstimatedBytes()+16))
+		job.capture.MaterializeTo(segEnc)
+		job.capture.Release()
+		seg = segEnc.Bytes()
+	}
+	// Assemble the blob layout (keyed segment first, length-prefixed, then
+	// the state section) exactly as the synchronous path wrote it, so
+	// restore stays oblivious to how the blob was produced.
+	enc := wire.NewEncoder(make([]byte, 0, len(seg)+job.state.Len()+8))
+	enc.Bytes2(seg)
+	enc.Raw(job.state.Bytes())
+	blob := enc.Bytes()
+	if job.chainLen > 0 {
+		rec.AddKeyedSnapshot(len(seg), job.chainLen)
+	}
+	rec.RecordMaterializeDuration(time.Since(matStart))
+
+	key := job.meta.SelfKey()
+	var err error
+	if it.eng.cfg.CompressCheckpoints {
+		if blob, err = flateCompress(blob); err != nil {
+			rec.Note("checkpoint compression %s failed: %v", key, err)
+			it.abandonChainBlob()
+			return
+		}
+	}
+	uploadStart := time.Now()
+	for attempt := 0; attempt < storeRetries; attempt++ {
+		if err = it.eng.cfg.Store.Put(key, blob); err == nil {
+			if it.eng.cache != nil {
+				// The uploader's worker keeps the blob in local memory: a
+				// recovery that leaves this worker alive restores from here
+				// instead of the object store.
+				it.eng.cache.Put(it.worker, key, blob)
+			}
+			rec.RecordUploadDuration(time.Since(uploadStart))
+			it.eng.coord.report(job.meta, job.syncDur+time.Since(procStart))
+			return
+		}
+	}
+	rec.Note("checkpoint upload %s failed after %d attempts: %v", key, storeRetries, err)
+	it.abandonChainBlob()
+}

@@ -44,6 +44,14 @@ type BenchConfig struct {
 	// allocation — the pre-pool behaviour. The alloc table uses it to show
 	// the pooled-versus-unpooled delta on identical code.
 	NoFramePool bool
+	// SyncSnapshots serializes checkpoint state on the processing
+	// goroutine — the pre-async baseline the pause table's A/B rows
+	// compare against.
+	SyncSnapshots bool
+	// DeltaCheckpoints persists keyed state as base-plus-delta chains, the
+	// large-state configuration whose steady-state capture pause is
+	// O(dirty-set).
+	DeltaCheckpoints bool
 }
 
 // BenchPoint is one machine-readable throughput measurement, the unit of
@@ -73,6 +81,21 @@ type BenchPoint struct {
 	BytesPerRecord  float64 `json:"bytes_per_record"`
 	GCCycles        uint32  `json:"gc_cycles"`
 	GCPauseTotalMs  float64 `json:"gc_pause_total_ms"`
+	// Checkpoint pause profile (asynchronous snapshots). SyncSnapshots and
+	// DeltaCheckpoints identify the A/B row; the pause columns measure the
+	// synchronous stall each checkpoint imposed on its processing
+	// goroutine, the off-thread materialize/upload phases, and the p99
+	// sink-latency delta between timeline buckets containing a checkpoint
+	// and checkpoint-free ones.
+	SyncSnapshots     bool    `json:"sync_snapshots"`
+	DeltaCheckpoints  bool    `json:"delta_checkpoints"`
+	SyncPauses        uint64  `json:"sync_pauses"`
+	MaxSyncPauseMs    float64 `json:"max_sync_pause_ms"`
+	MeanSyncPauseMs   float64 `json:"mean_sync_pause_ms"`
+	P99SyncPauseMs    float64 `json:"p99_sync_pause_ms"`
+	MeanMaterializeMs float64 `json:"mean_materialize_ms"`
+	MeanUploadMs      float64 `json:"mean_upload_ms"`
+	CkptP99DeltaMs    float64 `json:"ckpt_p99_delta_ms"`
 }
 
 // BenchThroughput generates cfg.Records records all scheduled within the
@@ -132,6 +155,8 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		PollInterval:       2 * time.Millisecond,
 		NetWorkFactor:      cfg.NetWorkFactor,
 		Batching:           core.BatchingConfig{MaxRecords: cfg.BatchMaxRecords},
+		SyncSnapshots:      cfg.SyncSnapshots,
+		DeltaCheckpoints:   cfg.DeltaCheckpoints,
 		Seed:               cfg.Seed,
 	}, job)
 	if err != nil {
@@ -201,6 +226,16 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		Checkpoints:     uint64(sum.TotalCheckpoints),
 		GCCycles:        m1.NumGC - m0.NumGC,
 		GCPauseTotalMs:  float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e6,
+
+		SyncSnapshots:     cfg.SyncSnapshots,
+		DeltaCheckpoints:  cfg.DeltaCheckpoints,
+		SyncPauses:        uint64(sum.SyncPauses),
+		MaxSyncPauseMs:    ms(sum.MaxSyncPause),
+		MeanSyncPauseMs:   ms(sum.MeanSyncPause),
+		P99SyncPauseMs:    ms(sum.P99SyncPause),
+		MeanMaterializeMs: ms(sum.MeanMaterialize),
+		MeanUploadMs:      ms(sum.MeanUpload),
+		CkptP99DeltaMs:    ms(sum.CkptBucketP99 - sum.QuietBucketP99),
 	}
 	if sum.SinkCount > 0 {
 		pt.AllocsPerRecord = float64(m1.Mallocs-m0.Mallocs) / float64(sum.SinkCount)

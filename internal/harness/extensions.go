@@ -351,6 +351,60 @@ func (s *Suite) ExtensionRollbackScopeTable() (*metrics.Table, error) {
 	return t, nil
 }
 
+// PauseTable profiles the checkpoint pause of asynchronous copy-on-write
+// snapshots: a q3 drain (growing join state, the paper's state-heavy
+// query) per protocol — aligned, unaligned and both logging families —
+// with async-on/off A/B rows at full-snapshot and base-plus-delta
+// persistence. The sync rows serialize the keyed store on the processing
+// goroutine (the pre-async behaviour); the async rows only freeze a
+// copy-on-write capture there, so their max/mean sync pause collapses to
+// the gather cost (O(dirty-set) in the delta configuration) while
+// materialize+upload move to the worker's uploader. "ckpt Δp99" is the p99
+// sink-latency penalty of checkpoint-containing seconds over quiet ones.
+func (s *Suite) PauseTable() (*metrics.Table, error) {
+	t := metrics.NewTable("Checkpoint pause profile (q3 drain, 2 workers, 150k records, 100ms interval)",
+		"Protocol", "Delta", "Async", "krec/s", "ckpts", "max pause", "mean pause", "p99 pause", "materialize", "upload", "ckpt Δp99 (ms)")
+	for _, name := range []string{"COOR", "UCOOR", "UNC", "CIC"} {
+		p, err := protocol.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, delta := range []bool{false, true} {
+			for _, sync := range []bool{false, true} {
+				pt, err := BenchThroughput(BenchConfig{
+					Query:              "q3",
+					Protocol:           p,
+					Workers:            2,
+					Records:            150_000,
+					BatchMaxRecords:    64,
+					CheckpointInterval: 100 * time.Millisecond,
+					SyncSnapshots:      sync,
+					DeltaCheckpoints:   delta,
+					Seed:               s.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				async := "on"
+				if sync {
+					async = "off"
+				}
+				t.AddRow(pt.Protocol, delta, async,
+					fmt.Sprintf("%.0f", pt.RecordsPerSec/1e3),
+					pt.SyncPauses,
+					fmt.Sprintf("%.2f", pt.MaxSyncPauseMs),
+					fmt.Sprintf("%.3f", pt.MeanSyncPauseMs),
+					fmt.Sprintf("%.2f", pt.P99SyncPauseMs),
+					fmt.Sprintf("%.2f", pt.MeanMaterializeMs),
+					fmt.Sprintf("%.2f", pt.MeanUploadMs),
+					fmt.Sprintf("%.1f", pt.CkptP99DeltaMs))
+			}
+		}
+		s.logf("pause profile %-5s done", name)
+	}
+	return t, nil
+}
+
 // AllocThroughputTable profiles the data plane's allocation behaviour: a
 // q1 drain per protocol and batch size reporting records/second next to
 // allocs/record, bytes/record and GC pause totals, plus a pool-disabled

@@ -122,6 +122,10 @@ type RunConfig struct {
 	// (q3/q8/q12 joins and counts, the cyclic join) as base-plus-delta
 	// chains instead of full snapshots per checkpoint.
 	DeltaCheckpoints bool
+	// SyncSnapshots serializes checkpoint state on the processing
+	// goroutine, the pre-async baseline (default: copy-on-write capture +
+	// off-thread materialization, see core.Config.SyncSnapshots).
+	SyncSnapshots bool
 	// BatchMaxRecords / BatchMaxBytes / BatchLingerTicks configure the
 	// vectorized exchange (core.BatchingConfig): how many records, encoded
 	// bytes, or poll-interval ticks an output batch may accumulate before
@@ -307,6 +311,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		WatermarkLag:        cfg.WatermarkLag,
 		CompressCheckpoints: cfg.CompressCheckpoints,
 		DeltaCheckpoints:    cfg.DeltaCheckpoints,
+		SyncSnapshots:       cfg.SyncSnapshots,
 		Cluster: cluster.Config{
 			Workers:    cfg.ClusterWorkers,
 			Policy:     cluster.Policy(cfg.Placement),

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"checkmate/internal/protocol"
+)
+
+// BenchmarkCheckpointPause drives the checkpoint-pause measurement end to
+// end — a q3 drain under delta chains with asynchronous snapshots on
+// versus off — and reports the per-checkpoint sync pause next to the drain
+// rate. The CI bench smoke runs this at one iteration so the pause
+// pipeline (capture, uploader, phase metrics) stays exercised; the full
+// A/B lives in `benchall -only pause` and BENCH_throughput.json.
+func BenchmarkCheckpointPause(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"async", false}, {"sync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, err := BenchThroughput(BenchConfig{
+					Query:              "q3",
+					Protocol:           protocol.Coordinated{},
+					Workers:            2,
+					Records:            30_000,
+					BatchMaxRecords:    64,
+					CheckpointInterval: 50 * time.Millisecond,
+					SyncSnapshots:      mode.sync,
+					DeltaCheckpoints:   true,
+					Seed:               1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pt.SyncPauses == 0 {
+					b.Fatal("no checkpoint pauses recorded; the pause pipeline is not firing")
+				}
+				b.ReportMetric(pt.MeanSyncPauseMs, "mean-pause-ms")
+				b.ReportMetric(pt.MaxSyncPauseMs, "max-pause-ms")
+				b.ReportMetric(pt.RecordsPerSec/1e3, "krec/s")
+			}
+		})
+	}
+}

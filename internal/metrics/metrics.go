@@ -67,6 +67,15 @@ type Recorder struct {
 	rollbackDist   uint64
 	failures       int
 	notes          []string
+
+	// Asynchronous-snapshot phase accounting: the synchronous capture pause
+	// each checkpoint imposed on its processing goroutine (with the virtual
+	// time it happened at, for correlating latency buckets), and the
+	// off-thread materialize and upload durations.
+	syncPauses     []time.Duration
+	syncPauseMarks []time.Duration
+	materializeDur []time.Duration
+	uploadDur      []time.Duration
 }
 
 // NewRecorder returns a recorder; the timeline covers [0, horizon) split in
@@ -230,6 +239,34 @@ func (r *Recorder) IncLocalCheckpoints() { r.localCkpts.Add(1) }
 func (r *Recorder) RecordCheckpointDuration(d time.Duration) {
 	r.mu.Lock()
 	r.ckptDurations = append(r.ckptDurations, d)
+	r.mu.Unlock()
+}
+
+// RecordSyncPause records the synchronous portion of one checkpoint: the
+// time the processing goroutine was stalled capturing state (everything
+// else — serialization, compression, upload — runs off-thread). since is
+// the virtual time offset of the pause, used to mark the latency-timeline
+// buckets checkpoints happened in.
+func (r *Recorder) RecordSyncPause(since, d time.Duration) {
+	r.mu.Lock()
+	r.syncPauses = append(r.syncPauses, d)
+	r.syncPauseMarks = append(r.syncPauseMarks, since)
+	r.mu.Unlock()
+}
+
+// RecordMaterializeDuration records the off-thread serialization time of
+// one checkpoint (capture → blob bytes, including the keyed segment).
+func (r *Recorder) RecordMaterializeDuration(d time.Duration) {
+	r.mu.Lock()
+	r.materializeDur = append(r.materializeDur, d)
+	r.mu.Unlock()
+}
+
+// RecordUploadDuration records the store round-trip time of one checkpoint
+// blob (compression and retries included).
+func (r *Recorder) RecordUploadDuration(d time.Duration) {
+	r.mu.Lock()
+	r.uploadDur = append(r.uploadDur, d)
 	r.mu.Unlock()
 }
 
@@ -411,6 +448,22 @@ type Summary struct {
 	DeltaKeyedBytes uint64
 	MaxChainLen     uint64
 
+	// Asynchronous-snapshot pause profile. SyncPauses counts recorded
+	// checkpoint captures; Max/Mean/P99SyncPause characterize the stall the
+	// record path paid per checkpoint, and MeanMaterialize/MeanUpload the
+	// off-thread phases. CkptBucketP99/QuietBucketP99 are the
+	// sample-weighted p99 sink latencies of timeline buckets containing at
+	// least one checkpoint capture versus the checkpoint-free buckets — the
+	// visibility delta a checkpoint round imposes on tail latency.
+	SyncPauses      int
+	MaxSyncPause    time.Duration
+	MeanSyncPause   time.Duration
+	P99SyncPause    time.Duration
+	MeanMaterialize time.Duration
+	MeanUpload      time.Duration
+	CkptBucketP99   time.Duration
+	QuietBucketP99  time.Duration
+
 	// RTOs carries the phase breakdown of every recovery of the run, in
 	// failure order (see RTO).
 	RTOs []RTO
@@ -468,6 +521,30 @@ func (r *Recorder) Summarize(coordinated bool) Summary {
 	} else {
 		s.AvgCheckpointTime = avgDur(r.ckptDurations)
 	}
+	s.SyncPauses = len(r.syncPauses)
+	if s.SyncPauses > 0 {
+		s.MeanSyncPause = avgDur(r.syncPauses)
+		for _, d := range r.syncPauses {
+			if d > s.MaxSyncPause {
+				s.MaxSyncPause = d
+			}
+		}
+		s.P99SyncPause = Percentile(r.syncPauses, 0.99)
+		marked := make(map[int]bool, len(r.syncPauseMarks))
+		for _, at := range r.syncPauseMarks {
+			i := int(at / r.timeline.bucket)
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(r.timeline.buckets) {
+				i = len(r.timeline.buckets) - 1
+			}
+			marked[i] = true
+		}
+		s.CkptBucketP99, s.QuietBucketP99 = r.timeline.p99Split(marked)
+	}
+	s.MeanMaterialize = avgDur(r.materializeDur)
+	s.MeanUpload = avgDur(r.uploadDur)
 	if n := len(r.restartTimes); n > 0 {
 		s.RestartTime = r.restartTimes[n-1]
 	}
@@ -607,6 +684,33 @@ func (t *Timeline) Summarize() TimelineSummary {
 		out.P99 = pct(all, 0.99)
 	}
 	return out
+}
+
+// p99Split computes the sample-weighted p99 latency over two groups of
+// buckets: those whose index is in marked (buckets containing a checkpoint
+// capture) and the rest. Empty groups report 0.
+func (t *Timeline) p99Split(marked map[int]bool) (mk, quiet time.Duration) {
+	var mkSamples, quietSamples []time.Duration
+	for i, rv := range t.buckets {
+		rv.mu.Lock()
+		samples := append([]time.Duration(nil), rv.samples...)
+		rv.mu.Unlock()
+		if len(samples) == 0 {
+			continue
+		}
+		if marked[i] {
+			mkSamples = append(mkSamples, samples...)
+		} else {
+			quietSamples = append(quietSamples, samples...)
+		}
+	}
+	if len(mkSamples) > 0 {
+		mk = Percentile(mkSamples, 0.99)
+	}
+	if len(quietSamples) > 0 {
+		quiet = Percentile(quietSamples, 0.99)
+	}
+	return mk, quiet
 }
 
 // LastQuartileP50 returns the p50 over the last quarter of non-empty

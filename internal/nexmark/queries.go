@@ -187,7 +187,7 @@ func (j *q3Join) OnEvent(ctx core.Context, ev core.Event) {
 	case *Person:
 		j.scratch.Reset()
 		v.MarshalWire(j.scratch)
-		kv.Put(q3PersonKey(v.ID), j.scratch.Bytes())
+		kv.PutOwned(q3PersonKey(v.ID), ownedCopy(j.scratch))
 		if b, ok := kv.Get(q3AuctionKey(v.ID)); ok {
 			for _, auction := range wire.NewDecoder(b).UvarintSlice() {
 				ctx.Emit(v.ID, &Q3Result{Name: v.Name, City: v.City, State: v.State, Auction: auction})
@@ -211,8 +211,22 @@ func (j *q3Join) OnEvent(ctx core.Context, ev core.Event) {
 		ids = append(ids, v.ID)
 		j.scratch.Reset()
 		j.scratch.UvarintSlice(ids)
-		kv.Put(q3AuctionKey(v.Seller), j.scratch.Bytes())
+		kv.PutOwned(q3AuctionKey(v.Seller), ownedCopy(j.scratch))
 	}
+}
+
+// ownedCopy snapshots a scratch encoder's contents into an exactly-sized
+// buffer whose ownership transfers to the keyed store via PutOwned,
+// keeping the scratch encoder reusable for the next event. The cost is the
+// same one allocation + copy Put would take; the point is the explicit
+// ownership transfer — the backend's copy-on-write captures rely on stored
+// buffers never being touched again by the writer, and PutOwned states
+// that contract at the call site. Sites that already hold a throwaway
+// owned buffer (the q8 person name) genuinely skip Put's defensive copy.
+func ownedCopy(enc *wire.Encoder) []byte {
+	buf := make([]byte, enc.Len())
+	copy(buf, enc.Bytes())
+	return buf
 }
 
 // Snapshot implements core.Operator. The join state lives in the keyed
@@ -274,7 +288,9 @@ func (j *q8Join) OnEvent(ctx core.Context, ev core.Event) {
 	kv := ctx.KeyedState()
 	switch v := ev.Value.(type) {
 	case *Person:
-		kv.Put(q8Key(widx, v.ID, 0), []byte(v.Name))
+		// []byte(name) already allocates an owned copy; PutOwned stores it
+		// without the second copy Put would take.
+		kv.PutOwned(q8Key(widx, v.ID, 0), []byte(v.Name))
 		if b, ok := kv.Get(q8Key(widx, v.ID, 1)); ok {
 			for _, auction := range wire.NewDecoder(b).UvarintSlice() {
 				ctx.Emit(v.ID, &Q8Result{Person: v.ID, Name: v.Name, Auction: auction, Window: start})
@@ -293,7 +309,7 @@ func (j *q8Join) OnEvent(ctx core.Context, ev core.Event) {
 		ids = append(ids, v.ID)
 		j.scratch.Reset()
 		j.scratch.UvarintSlice(ids)
-		kv.Put(q8Key(widx, v.Seller, 1), j.scratch.Bytes())
+		kv.PutOwned(q8Key(widx, v.Seller, 1), ownedCopy(j.scratch))
 	}
 	ctx.SetTimer(start + 2*j.win)
 }
@@ -394,7 +410,7 @@ func (c *q12Count) OnEvent(ctx core.Context, ev core.Event) {
 	count++
 	c.scratch.Reset()
 	c.scratch.Uvarint(count)
-	kv.Put(q12Key(widx, b.Bidder), c.scratch.Bytes())
+	kv.PutOwned(q12Key(widx, b.Bidder), ownedCopy(c.scratch))
 	ctx.Emit(b.Bidder, &Q12Result{Bidder: b.Bidder, Count: count, Window: start})
 	ctx.SetTimer(start + 2*c.win)
 }

@@ -1,0 +1,382 @@
+package statestore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"checkmate/internal/wire"
+)
+
+// applyRandomOps drives identical random churn into both stores.
+func applyRandomOps(rng *rand.Rand, n int, stores ...*Store) {
+	for i := 0; i < n; i++ {
+		k := uint64(rng.Intn(512))
+		if rng.Intn(5) == 0 {
+			for _, s := range stores {
+				s.Delete(k)
+			}
+			continue
+		}
+		v := make([]byte, 1+rng.Intn(48))
+		rng.Read(v)
+		for _, s := range stores {
+			s.Put(k, v)
+		}
+	}
+}
+
+// TestCaptureMatchesSynchronousSnapshots interleaves random churn with
+// snapshots and verifies that a capture materialized later — after further
+// mutation — produces byte-identical output to the synchronous snapshot
+// taken at the same instant from a twin store.
+func TestCaptureMatchesSynchronousSnapshots(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	async, sync := New(), New()
+	var pending []*Capture
+	var want [][]byte
+	for round := 0; round < 40; round++ {
+		applyRandomOps(rng, 60, async, sync)
+		enc := wire.NewEncoder(nil)
+		if round%5 == 0 {
+			pending = append(pending, async.CaptureFull())
+			sync.SnapshotFull(enc)
+		} else {
+			pending = append(pending, async.CaptureDelta())
+			sync.SnapshotDelta(enc)
+		}
+		want = append(want, append([]byte(nil), enc.Bytes()...))
+	}
+	// Materialize everything only now, long after the store moved on.
+	for i, c := range pending {
+		enc := wire.NewEncoder(nil)
+		c.MaterializeTo(enc)
+		c.Release()
+		if !bytes.Equal(enc.Bytes(), want[i]) {
+			t.Fatalf("capture %d materialized %d bytes != synchronous %d bytes", i, enc.Len(), len(want[i]))
+		}
+	}
+	if got := async.captures.Load(); got != 0 {
+		t.Fatalf("%d captures still pinned after release", got)
+	}
+}
+
+// TestChainCaptureStress is the chain-order stress test: a mutating store
+// checkpoints through a streaming chain whose captures are materialized
+// concurrently on another goroutine — racing compaction (full/delta
+// boundaries of the ChainPolicy) — and the rebuilt store must be
+// byte-identical to one rebuilt from the synchronous chain of a twin store.
+// Run under -race in CI.
+func TestChainCaptureStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	async, sync := New(), New()
+	asyncChain := NewStreamingChain(ChainPolicy{MaxDeltas: 3, MaxDeltaFraction: 0.6})
+	syncChain := NewChain(ChainPolicy{MaxDeltas: 3, MaxDeltaFraction: 0.6})
+
+	type job struct {
+		c    *Capture
+		full bool
+	}
+	jobs := make(chan job, 256)
+	blobs := make(chan []byte, 256)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for j := range jobs {
+			enc := wire.NewEncoder(nil)
+			j.c.MaterializeTo(enc)
+			j.c.Release()
+			blobs <- append([]byte(nil), enc.Bytes()...)
+		}
+	}()
+
+	const rounds = 60
+	fulls := 0
+	for round := 0; round < rounds; round++ {
+		applyRandomOps(rng, 40, async, sync)
+		c, full := asyncChain.CaptureCheckpoint(async)
+		jobs <- job{c, full}
+		if full {
+			fulls++
+		}
+		syncChain.Checkpoint(sync)
+	}
+	close(jobs)
+	<-done
+	close(blobs)
+
+	// The async chain's newest base-plus-deltas sequence: take the suffix
+	// starting at the last full blob.
+	var all [][]byte
+	for b := range blobs {
+		all = append(all, b)
+	}
+	lastBase := -1
+	for i, b := range all {
+		full, _, err := SnapshotKind(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full {
+			lastBase = i
+		}
+	}
+	if lastBase < 0 {
+		t.Fatal("no full snapshot in the async chain")
+	}
+	if fulls < 2 {
+		t.Fatalf("policy never compacted (%d fulls): the stress test is vacuous", fulls)
+	}
+	restoredAsync, err := Rebuild(all[lastBase:])
+	if err != nil {
+		t.Fatalf("rebuild async chain: %v", err)
+	}
+	restoredSync, err := Rebuild(syncChain.Blobs())
+	if err != nil {
+		t.Fatalf("rebuild sync chain: %v", err)
+	}
+	// Compaction points may differ by one checkpoint (estimated vs exact
+	// sizes), but the restored *state* must be byte-identical: compare full
+	// snapshots of both restored stores.
+	a, b := wire.NewEncoder(nil), wire.NewEncoder(nil)
+	restoredAsync.SnapshotFull(a)
+	restoredSync.SnapshotFull(b)
+	// Seq counters can differ (chains of different shape); compare contents.
+	da, db := wire.NewDecoder(a.Bytes()), wire.NewDecoder(b.Bytes())
+	da.Byte()
+	da.Uvarint()
+	db.Byte()
+	db.Uvarint()
+	if !bytes.Equal(a.Bytes()[len(a.Bytes())-da.Remaining():], b.Bytes()[len(b.Bytes())-db.Remaining():]) {
+		t.Fatal("async-captured chain restored different state than the synchronous chain")
+	}
+}
+
+// TestPutOwnedTransfersOwnership verifies PutOwned stores the caller's
+// buffer without a copy and tracks bytes/dirty like Put.
+func TestPutOwnedTransfersOwnership(t *testing.T) {
+	s := New()
+	buf := []byte("owned-value")
+	s.PutOwned(1, buf)
+	got, ok := s.Get(1)
+	if !ok || &got[0] != &buf[0] {
+		t.Fatal("PutOwned copied the buffer (or lost it)")
+	}
+	if s.Bytes() != len(buf) || s.DirtyCount() != 1 {
+		t.Fatalf("bytes=%d dirty=%d after PutOwned", s.Bytes(), s.DirtyCount())
+	}
+}
+
+// TestPoisonCatchesRetainedGet verifies the aliasing-rule enforcement: a
+// slice returned by Get reads 0xDB after its value is superseded (no
+// capture live), and captures suppress the scribble until released so
+// materialization stays correct.
+func TestPoisonCatchesRetainedGet(t *testing.T) {
+	s := New()
+	s.SetPoison(true)
+	s.Put(1, []byte{1, 2, 3})
+	retained, _ := s.Get(1)
+	s.Put(1, []byte{9, 9, 9}) // supersedes the retained buffer
+	for _, b := range retained {
+		if b != 0xDB {
+			t.Fatalf("retained Get slice not poisoned: % x", retained)
+		}
+	}
+
+	// With a live capture the old bytes are pinned: no scribble, and the
+	// capture materializes the pre-overwrite value.
+	s.Put(2, []byte{4, 5, 6})
+	c := s.CaptureFull()
+	pinned, _ := s.Get(2)
+	s.Put(2, []byte{7, 7, 7})
+	if pinned[0] != 4 {
+		t.Fatalf("capture-pinned buffer was poisoned: % x", pinned)
+	}
+	enc := wire.NewEncoder(nil)
+	c.MaterializeTo(enc)
+	c.Release()
+	restored := New()
+	if err := restored.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := restored.Get(2); !bytes.Equal(v, []byte{4, 5, 6}) {
+		t.Fatalf("capture materialized post-overwrite value % x", v)
+	}
+
+	// After release, superseding poisons again.
+	s.Delete(2)
+	for _, b := range pinned {
+		_ = b // pinned was superseded before the capture released; it stays unpoisoned.
+	}
+	stale, _ := s.Get(1)
+	s.Delete(1)
+	for _, b := range stale {
+		if b != 0xDB {
+			t.Fatalf("deleted value not poisoned after capture release: % x", stale)
+		}
+	}
+}
+
+// TestDuplicateReleaseIsHarmless verifies that releasing a capture twice —
+// even after its gather slices were recycled into a successor capture —
+// never un-pins the successor: the Capture struct is never pooled, so the
+// stale pointer's released flag stays authoritative.
+func TestDuplicateReleaseIsHarmless(t *testing.T) {
+	s := New()
+	s.Put(1, []byte("a"))
+	c1 := s.CaptureFull()
+	c1.Release()
+	c2 := s.CaptureFull() // reuses c1's gather slices
+	c1.Release()          // duplicate: must not touch c2
+	if got := s.captures.Load(); got != 1 {
+		t.Fatalf("live captures = %d after duplicate release, want 1", got)
+	}
+	enc := wire.NewEncoder(nil)
+	c2.MaterializeTo(enc)
+	c2.Release()
+	restored := New()
+	if err := restored.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := restored.Get(1); string(v) != "a" {
+		t.Fatalf("successor capture corrupted by duplicate release: %q", v)
+	}
+	if got := s.captures.Load(); got != 0 {
+		t.Fatalf("live captures = %d after all releases, want 0", got)
+	}
+}
+
+// TestIndexBookkeepingStaysBounded drives a capture-only workload (the
+// asynchronous engine path, which never calls Range or SnapshotFull) with
+// delete/re-add churn and verifies the pending added/dead sets fold
+// instead of growing with the operation count.
+func TestIndexBookkeepingStaysBounded(t *testing.T) {
+	s := New()
+	for i := 0; i < 50_000; i++ {
+		k := uint64(i % 1000)
+		s.Put(k, []byte{byte(i)})
+		if i%3 == 0 {
+			s.Delete(k)
+		}
+		if i%500 == 0 {
+			s.CaptureDelta().Release()
+		}
+	}
+	if bound := len(s.m)/4 + 65; len(s.added) > bound || len(s.dead) > bound {
+		t.Fatalf("index bookkeeping grew unbounded: %d added, %d dead for %d live keys",
+			len(s.added), len(s.dead), len(s.m))
+	}
+}
+
+// TestIndexSurvivesChurn verifies the incrementally maintained sorted key
+// index against a reference map under add/delete/re-add churn.
+func TestIndexSurvivesChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := New()
+	ref := make(map[uint64][]byte)
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(300))
+		switch rng.Intn(4) {
+		case 0:
+			s.Delete(k)
+			delete(ref, k)
+		default:
+			v := []byte{byte(i), byte(i >> 8)}
+			s.Put(k, v)
+			ref[k] = v
+		}
+		if i%613 == 0 {
+			checkRange(t, s, ref)
+		}
+	}
+	checkRange(t, s, ref)
+	// Snapshot round trip keeps the index consistent too.
+	enc := wire.NewEncoder(nil)
+	s.SnapshotFull(enc)
+	restored := New()
+	if err := restored.Restore(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	checkRange(t, restored, ref)
+}
+
+func checkRange(t *testing.T, s *Store, ref map[uint64][]byte) {
+	t.Helper()
+	var prev uint64
+	first := true
+	seen := 0
+	s.Range(func(k uint64, v []byte) bool {
+		if !first && k <= prev {
+			t.Fatalf("Range out of order: %d after %d", k, prev)
+		}
+		first = false
+		prev = k
+		want, ok := ref[k]
+		if !ok {
+			t.Fatalf("Range visited deleted key %d", k)
+		}
+		if !bytes.Equal(v, want) {
+			t.Fatalf("key %d value % x, want % x", k, v, want)
+		}
+		seen++
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("Range visited %d keys, want %d", seen, len(ref))
+	}
+}
+
+// TestCaptureDeltaIsByteIdenticalAfterApply round-trips capture-produced
+// base+delta blobs through RebuildInto, the recovery path.
+func TestCaptureDeltaChainRebuild(t *testing.T) {
+	s := New()
+	var blobs [][]byte
+	mat := func(c *Capture) {
+		enc := wire.NewEncoder(nil)
+		c.MaterializeTo(enc)
+		c.Release()
+		blobs = append(blobs, append([]byte(nil), enc.Bytes()...))
+	}
+	s.Put(1, []byte("a"))
+	s.Put(2, []byte("b"))
+	mat(s.CaptureFull())
+	s.Put(3, []byte("c"))
+	s.Delete(1)
+	mat(s.CaptureDelta())
+	s.Put(2, []byte("b2"))
+	mat(s.CaptureDelta())
+
+	restored, err := Rebuild(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("restored %d keys, want 2", restored.Len())
+	}
+	if v, _ := restored.Get(2); string(v) != "b2" {
+		t.Fatalf("key 2 = %q", v)
+	}
+	if _, ok := restored.Get(1); ok {
+		t.Fatal("tombstone for key 1 not applied")
+	}
+	if v, _ := restored.Get(3); string(v) != "c" {
+		t.Fatalf("key 3 = %q", v)
+	}
+}
+
+func ExampleStore_capture() {
+	s := New()
+	s.Put(2, []byte("two"))
+	s.Put(1, []byte("one"))
+	c := s.CaptureFull()    // O(live-set) pointer gather, no serialization
+	s.Put(1, []byte("ONE")) // keeps mutating while the capture is live
+	enc := wire.NewEncoder(nil)
+	c.MaterializeTo(enc) // may run on another goroutine
+	c.Release()
+	restored := New()
+	_ = restored.Restore(wire.NewDecoder(enc.Bytes()))
+	v, _ := restored.Get(1)
+	fmt.Println(string(v))
+	// Output: one
+}

@@ -82,6 +82,34 @@ func (c *Chain) Checkpoint(s *Store) (blob []byte, full bool) {
 	return b, full
 }
 
+// CaptureCheckpoint freezes the next snapshot of the chain as a
+// copy-on-write view (full or delta per the policy) without serializing it:
+// the caller materializes the returned capture off-thread and must Release
+// it when done. Only streaming chains support captures — a retaining chain
+// needs the materialized blob, which does not exist yet at capture time.
+//
+// Policy bookkeeping uses the capture's estimated size instead of the exact
+// blob length (which is only known after materialization); the estimate is
+// within a few bytes per entry, so compaction points may shift by at most
+// one checkpoint relative to the synchronous path.
+func (c *Chain) CaptureCheckpoint(s *Store) (cap *Capture, full bool) {
+	if c.retain {
+		panic("statestore: CaptureCheckpoint on a retaining chain (use NewStreamingChain)")
+	}
+	full = c.shouldFull(s)
+	if full {
+		cap = s.CaptureFull()
+		c.n = 0
+		c.baseBytes = cap.EstimatedBytes()
+		c.deltaBytes = 0
+	} else {
+		cap = s.CaptureDelta()
+		c.deltaBytes += cap.EstimatedBytes()
+	}
+	c.n++
+	return cap, full
+}
+
 // Reset empties the chain so the next Checkpoint takes a full snapshot.
 // Use after a chain blob failed to persist: deltas on top of a lost base
 // could never be rebuilt.

@@ -11,6 +11,12 @@
 //   - SnapshotDelta / ApplyDelta write and apply only the keys changed since
 //     the previous snapshot (including deletions as tombstones), so frequent
 //     checkpoints pay for churn rather than total state size;
+//   - CaptureFull / CaptureDelta freeze a copy-on-write view of the same
+//     snapshot in O(dirty-set) (delta) or O(live-set) pointer-gather (full)
+//     time with no serialization; Capture.MaterializeTo then produces the
+//     exact bytes the synchronous snapshot would have, and may run on
+//     another goroutine while the store keeps mutating — the mechanism that
+//     takes checkpoint serialization off the record path;
 //   - Chain manages a base-plus-deltas checkpoint chain with a compaction
 //     policy (full snapshot every Nth checkpoint, or when the accumulated
 //     delta bytes exceed a fraction of the base).
@@ -18,18 +24,40 @@
 // Snapshots are deterministic: entries are emitted in ascending key order,
 // so two stores with equal contents produce byte-identical snapshots
 // regardless of insertion order.
+//
+// # Ownership and capture epochs
+//
+// Values are owned by the store and never mutated in place: Put copies its
+// input, PutOwned transfers ownership of the caller's buffer, and an
+// overwrite or delete simply drops the old buffer. That is what makes the
+// copy-on-write capture shallow — a frozen view shares value buffers with
+// the live store, and concurrent mutation replaces map entries without ever
+// touching the shared bytes.
+//
+// The flip side is an aliasing rule for readers: a slice returned by Get is
+// a borrowed reference into store-owned memory. Callers must not modify it,
+// and must not retain it across a capture epoch (the interval between two
+// Capture* calls): once the value is superseded the store is free to reuse
+// or scribble the buffer. SetPoison(true) enforces the rule in tests by
+// overwriting superseded buffers with 0xDB whenever no live capture pins
+// them, so a stale alias reads garbage deterministically instead of
+// corrupting silently.
 package statestore
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"checkmate/internal/wire"
 )
 
 // Store is a keyed state store with dirty tracking. It is not safe for
 // concurrent use; operator instances are single-threaded, matching the
-// engine's execution model.
+// engine's execution model. The one sanctioned form of concurrency is a
+// Capture being materialized on another goroutine while the owning
+// goroutine keeps mutating the store — see CaptureFull/CaptureDelta.
 type Store struct {
 	m map[uint64][]byte
 	// dirty records keys changed since the last snapshot. Deleted keys stay
@@ -40,6 +68,35 @@ type Store struct {
 	seq uint64
 	// bytes tracks the total payload size of live values.
 	bytes int
+
+	// Incrementally maintained sorted key index. sorted holds the live keys
+	// in ascending order as of the last rebuild and is immutable once built
+	// (rebuilds allocate a fresh slice, so frozen captures may alias it);
+	// added collects keys possibly new since then (unsorted, may contain
+	// duplicates after delete/re-add churn) and dead the keys deleted since.
+	// index() folds added/dead into a fresh sorted slice lazily, so Range
+	// and SnapshotFull pay an O(n) comparator-free merge amortized over the
+	// mutations instead of a full O(n log n) sort per call.
+	sorted []uint64
+	added  []uint64
+	dead   map[uint64]struct{}
+
+	// captures counts live (not yet released) frozen views. Decremented by
+	// Capture.Release on the materializing goroutine, hence atomic.
+	captures atomic.Int32
+	// capFree recycles the gather slices of released captures so
+	// steady-state captures allocate little beyond growth. Only the slices
+	// are pooled — never the Capture struct itself, so a (buggy) duplicate
+	// Release on a stale *Capture stays a harmless no-op instead of
+	// un-pinning a successor capture's buffers. Guarded by a mutex because
+	// Release runs on the materializing goroutine; the lock hand-off also
+	// orders the releaser's writes before reuse.
+	capFree struct {
+		sync.Mutex
+		free []captureBuf
+	}
+	// poison enables the debug mode scribbling superseded value buffers.
+	poison bool
 }
 
 // New returns an empty store.
@@ -47,11 +104,38 @@ func New() *Store {
 	return &Store{
 		m:     make(map[uint64][]byte),
 		dirty: make(map[uint64]struct{}),
+		dead:  make(map[uint64]struct{}),
 	}
 }
 
-// Get returns the value stored under key and whether it exists. The returned
-// slice is owned by the store; callers must not modify it.
+// SetPoison toggles the debug mode that scribbles superseded value buffers
+// with 0xDB when no live capture pins them, making violations of the Get
+// aliasing rule (retaining a returned slice across a capture epoch or past
+// the value's lifetime) fail deterministically. Returns the previous
+// setting.
+func (s *Store) SetPoison(enabled bool) (prev bool) {
+	prev = s.poison
+	s.poison = enabled
+	return prev
+}
+
+// poisonSuperseded scribbles a value buffer that just left the store, but
+// only while no capture is live: a frozen view may still reference the
+// buffer until it is materialized, and materialization must read the bytes
+// as they were at capture time.
+func (s *Store) poisonSuperseded(b []byte) {
+	if !s.poison || s.captures.Load() != 0 {
+		return
+	}
+	for i := range b {
+		b[i] = 0xDB
+	}
+}
+
+// Get returns the value stored under key and whether it exists. The
+// returned slice is owned by the store; callers must not modify it, and
+// must not retain it across a capture epoch (see the package comment —
+// SetPoison enforces this in tests).
 func (s *Store) Get(key uint64) ([]byte, bool) {
 	v, ok := s.m[key]
 	return v, ok
@@ -59,20 +143,59 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 
 // Put stores a copy of value under key.
 func (s *Store) Put(key uint64, value []byte) {
-	if old, ok := s.m[key]; ok {
+	s.putOwned(key, append([]byte(nil), value...))
+}
+
+// PutOwned stores value under key without the defensive copy Put takes:
+// ownership of the buffer transfers to the store, and the caller must not
+// read or write it afterwards. For codec-owned buffers that are already
+// exactly sized this removes one copy per write on the record path.
+func (s *Store) PutOwned(key uint64, value []byte) {
+	s.putOwned(key, value)
+}
+
+func (s *Store) putOwned(key uint64, value []byte) {
+	old, existed := s.m[key]
+	if existed {
 		s.bytes -= len(old)
+	} else {
+		// Key index maintenance: a genuinely new key (or a re-add of a key
+		// deleted since the last rebuild) joins the pending additions.
+		delete(s.dead, key)
+		s.added = append(s.added, key)
+		s.maybeFoldIndex()
 	}
-	s.m[key] = append([]byte(nil), value...)
+	s.m[key] = value
 	s.bytes += len(value)
 	s.dirty[key] = struct{}{}
+	if existed {
+		s.poisonSuperseded(old)
+	}
 }
 
 // Delete removes key. Deleting an absent key is a no-op.
 func (s *Store) Delete(key uint64) {
-	if old, ok := s.m[key]; ok {
-		s.bytes -= len(old)
-		delete(s.m, key)
-		s.dirty[key] = struct{}{}
+	old, ok := s.m[key]
+	if !ok {
+		return
+	}
+	s.bytes -= len(old)
+	delete(s.m, key)
+	s.dirty[key] = struct{}{}
+	s.dead[key] = struct{}{}
+	s.maybeFoldIndex()
+	s.poisonSuperseded(old)
+}
+
+// maybeFoldIndex folds the pending additions/deletions into the sorted
+// index once they outgrow a fraction of the live set, so a store that is
+// only ever captured (the asynchronous engine path never calls Range or
+// SnapshotFull) still keeps the index bookkeeping bounded under
+// delete/re-add churn. The geometric threshold makes the O(n) merge
+// amortized O(1) per mutation, like the map's own growth.
+func (s *Store) maybeFoldIndex() {
+	if len(s.added)+len(s.dead) > len(s.m)/4+64 {
+		s.index()
 	}
 }
 
@@ -91,7 +214,7 @@ func (s *Store) Seq() uint64 { return s.seq }
 // Range calls fn for every entry in ascending key order. fn returning false
 // stops the iteration.
 func (s *Store) Range(fn func(key uint64, value []byte) bool) {
-	for _, k := range s.sortedKeys() {
+	for _, k := range s.index() {
 		if !fn(k, s.m[k]) {
 			return
 		}
@@ -104,15 +227,63 @@ func (s *Store) Clear() {
 	s.m = make(map[uint64][]byte)
 	s.dirty = make(map[uint64]struct{})
 	s.bytes = 0
+	s.sorted = nil
+	s.added = s.added[:0]
+	s.dead = make(map[uint64]struct{})
 }
 
-func (s *Store) sortedKeys() []uint64 {
-	keys := make([]uint64, 0, len(s.m))
-	for k := range s.m {
-		keys = append(keys, k)
+// index returns the live keys in ascending order, folding pending
+// additions and deletions into a freshly allocated slice when any exist.
+// The returned slice must be treated as immutable: captures and previous
+// callers may still alias earlier generations.
+func (s *Store) index() []uint64 {
+	if len(s.added) == 0 && len(s.dead) == 0 {
+		return s.sorted
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
+	added := s.added
+	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
+	// Compact duplicates (delete/re-add churn can append a key twice).
+	w := 0
+	for i, k := range added {
+		if i == 0 || k != added[w-1] {
+			added[w] = k
+			w++
+		}
+	}
+	added = added[:w]
+	merged := make([]uint64, 0, len(s.sorted)+len(added))
+	i, j := 0, 0
+	emit := func(k uint64) {
+		if _, gone := s.dead[k]; !gone {
+			merged = append(merged, k)
+		}
+	}
+	for i < len(s.sorted) && j < len(added) {
+		switch {
+		case s.sorted[i] < added[j]:
+			emit(s.sorted[i])
+			i++
+		case s.sorted[i] > added[j]:
+			emit(added[j])
+			j++
+		default:
+			emit(s.sorted[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(s.sorted); i++ {
+		emit(s.sorted[i])
+	}
+	for ; j < len(added); j++ {
+		emit(added[j])
+	}
+	s.sorted = merged
+	s.added = s.added[:0]
+	if len(s.dead) > 0 {
+		s.dead = make(map[uint64]struct{})
+	}
+	return merged
 }
 
 func (s *Store) sortedDirty() []uint64 {
@@ -138,11 +309,11 @@ func (s *Store) SnapshotFull(enc *wire.Encoder) {
 	enc.Byte(kindFull)
 	enc.Uvarint(s.seq)
 	enc.Uvarint(uint64(len(s.m)))
-	for _, k := range s.sortedKeys() {
+	for _, k := range s.index() {
 		enc.Uvarint(k)
 		enc.Bytes2(s.m[k])
 	}
-	s.dirty = make(map[uint64]struct{})
+	s.clearDirty()
 }
 
 // SnapshotDelta appends only the entries changed since the previous snapshot
@@ -163,7 +334,198 @@ func (s *Store) SnapshotDelta(enc *wire.Encoder) {
 			enc.Bool(false)
 		}
 	}
+	s.clearDirty()
+}
+
+func (s *Store) clearDirty() {
 	s.dirty = make(map[uint64]struct{})
+}
+
+// Capture is a frozen copy-on-write view of one snapshot: the keys and
+// value references as of the capture instant, plus the stamped sequence
+// number. It shares value buffers with the live store — safe because the
+// store never mutates a value in place — so taking one costs a pointer
+// gather, not a serialization pass.
+//
+// MaterializeTo may run on any goroutine, concurrently with further store
+// mutation, and produces exactly the bytes SnapshotFull/SnapshotDelta would
+// have produced at the capture instant. Release must be called exactly once
+// when the capture is done (materialized or abandoned); until then the
+// store considers the referenced buffers pinned.
+type Capture struct {
+	store *Store
+	full  bool
+	seq   uint64
+	// keys/vals are aligned pairs, unsorted (sorting happens off-thread in
+	// MaterializeTo). For delta captures live[i] distinguishes a put from a
+	// tombstone (vals[i] is nil for tombstones).
+	keys []uint64
+	vals [][]byte
+	live []bool
+	// estBytes approximates the materialized size for chain-policy
+	// decisions that cannot wait for materialization.
+	estBytes int
+	released bool
+}
+
+// captureBuf is the recyclable gather-slice triple of a released capture.
+type captureBuf struct {
+	keys []uint64
+	vals [][]byte
+	live []bool
+}
+
+// newCapture returns a fresh capture, reusing a released one's gather
+// slices when available so steady-state captures stay allocation-light.
+func (s *Store) newCapture() *Capture {
+	s.capFree.Lock()
+	var buf captureBuf
+	if n := len(s.capFree.free); n > 0 {
+		buf = s.capFree.free[n-1]
+		s.capFree.free[n-1] = captureBuf{}
+		s.capFree.free = s.capFree.free[:n-1]
+	}
+	s.capFree.Unlock()
+	return &Capture{
+		store: s,
+		keys:  buf.keys[:0],
+		vals:  buf.vals[:0],
+		live:  buf.live[:0],
+	}
+}
+
+// CaptureFull freezes a full snapshot of the store in one O(live-set)
+// pointer-gather pass — no sort, no serialization — and clears dirty
+// tracking, exactly as SnapshotFull would.
+func (s *Store) CaptureFull() *Capture {
+	c := s.newCapture()
+	s.seq++
+	c.full = true
+	c.seq = s.seq
+	est := 0
+	for k, v := range s.m {
+		c.keys = append(c.keys, k)
+		c.vals = append(c.vals, v)
+		est += len(v) + perEntryOverhead
+	}
+	c.estBytes = est + snapshotHeaderOverhead
+	s.clearDirty()
+	s.captures.Add(1)
+	return c
+}
+
+// CaptureDelta freezes a delta snapshot (the dirty set, tombstones
+// included) in O(dirty-set) time and clears dirty tracking, exactly as
+// SnapshotDelta would.
+func (s *Store) CaptureDelta() *Capture {
+	c := s.newCapture()
+	s.seq++
+	c.seq = s.seq
+	est := 0
+	for k := range s.dirty {
+		v, ok := s.m[k]
+		c.keys = append(c.keys, k)
+		c.vals = append(c.vals, v)
+		c.live = append(c.live, ok)
+		est += len(v) + perEntryOverhead
+	}
+	c.estBytes = est + snapshotHeaderOverhead
+	s.clearDirty()
+	s.captures.Add(1)
+	return c
+}
+
+// Rough varint/flag cost per snapshot entry and per header, for the
+// pre-materialization size estimate.
+const (
+	perEntryOverhead       = 10
+	snapshotHeaderOverhead = 12
+)
+
+// Full reports whether the capture holds a full or a delta snapshot.
+func (c *Capture) Full() bool { return c.full }
+
+// Seq reports the snapshot sequence number stamped at capture time.
+func (c *Capture) Seq() uint64 { return c.seq }
+
+// Len reports the number of captured entries.
+func (c *Capture) Len() int { return len(c.keys) }
+
+// EstimatedBytes approximates the materialized snapshot size.
+func (c *Capture) EstimatedBytes() int { return c.estBytes }
+
+// MaterializeTo appends the snapshot encoding to enc: byte-identical to
+// what SnapshotFull (full captures) or SnapshotDelta (delta captures) would
+// have appended at the capture instant. Safe to call from a goroutine other
+// than the store owner's; the capture's pairs are sorted in place here, off
+// the record path.
+func (c *Capture) MaterializeTo(enc *wire.Encoder) {
+	sort.Sort((*capturePairs)(c))
+	if c.full {
+		enc.Byte(kindFull)
+		enc.Uvarint(c.seq)
+		enc.Uvarint(uint64(len(c.keys)))
+		for i, k := range c.keys {
+			enc.Uvarint(k)
+			enc.Bytes2(c.vals[i])
+		}
+		return
+	}
+	enc.Byte(kindDelta)
+	enc.Uvarint(c.seq)
+	enc.Uvarint(uint64(len(c.keys)))
+	for i, k := range c.keys {
+		enc.Uvarint(k)
+		if c.live[i] {
+			enc.Bool(true)
+			enc.Bytes2(c.vals[i])
+		} else {
+			enc.Bool(false)
+		}
+	}
+}
+
+// Release unpins the capture's value buffers and recycles the gather
+// slices for the store's next capture. Call it once per capture, after
+// MaterializeTo or when the capture is abandoned. Duplicate calls are
+// no-ops: the Capture struct itself is never reused, so the released flag
+// stays authoritative for the capture's whole lifetime.
+func (c *Capture) Release() {
+	if c.released {
+		return
+	}
+	c.released = true
+	s := c.store
+	// Drop the value references before pooling so a parked gather buffer
+	// does not pin superseded value buffers against the garbage collector.
+	for i := range c.vals {
+		c.vals[i] = nil
+	}
+	buf := captureBuf{keys: c.keys, vals: c.vals, live: c.live}
+	c.keys, c.vals, c.live = nil, nil, nil
+	s.capFree.Lock()
+	if len(s.capFree.free) < maxPooledCaptures {
+		s.capFree.free = append(s.capFree.free, buf)
+	}
+	s.capFree.Unlock()
+	s.captures.Add(-1)
+}
+
+// maxPooledCaptures bounds the per-store capture free list; more than a
+// couple of checkpoints rarely overlap.
+const maxPooledCaptures = 4
+
+// capturePairs sorts a capture's aligned slices by key.
+type capturePairs Capture
+
+func (p *capturePairs) Len() int           { return len(p.keys) }
+func (p *capturePairs) Less(i, j int) bool { return p.keys[i] < p.keys[j] }
+func (p *capturePairs) Swap(i, j int) {
+	p.keys[i], p.keys[j] = p.keys[j], p.keys[i]
+	p.vals[i], p.vals[j] = p.vals[j], p.vals[i]
+	if len(p.live) > 0 { // delta captures only; empty for full ones
+		p.live[i], p.live[j] = p.live[j], p.live[i]
+	}
 }
 
 // Restore replaces the store contents with a full snapshot read from dec.
@@ -181,6 +543,7 @@ func (s *Store) Restore(dec *wire.Decoder) error {
 		return dec.Err()
 	}
 	m := make(map[uint64][]byte, n)
+	sorted := make([]uint64, 0, n)
 	bytes := 0
 	for i := 0; i < n; i++ {
 		k := dec.Uvarint()
@@ -190,12 +553,18 @@ func (s *Store) Restore(dec *wire.Decoder) error {
 		}
 		cp := append([]byte(nil), v...)
 		m[k] = cp
+		// Snapshots are emitted in ascending key order, so the decoded key
+		// sequence rebuilds the sorted index directly.
+		sorted = append(sorted, k)
 		bytes += len(cp)
 	}
 	s.m = m
 	s.bytes = bytes
 	s.seq = seq
-	s.dirty = make(map[uint64]struct{})
+	s.sorted = sorted
+	s.added = s.added[:0]
+	s.dead = make(map[uint64]struct{})
+	s.clearDirty()
 	return nil
 }
 
@@ -226,24 +595,17 @@ func (s *Store) ApplyDelta(dec *wire.Decoder) error {
 			if dec.Err() != nil {
 				return dec.Err()
 			}
-			if old, ok := s.m[k]; ok {
-				s.bytes -= len(old)
-			}
-			cp := append([]byte(nil), v...)
-			s.m[k] = cp
-			s.bytes += len(cp)
+			// Route through putOwned so the key index stays consistent.
+			s.putOwned(k, append([]byte(nil), v...))
 		} else {
-			if old, ok := s.m[k]; ok {
-				s.bytes -= len(old)
-				delete(s.m, k)
-			}
+			s.Delete(k)
 		}
 		if dec.Err() != nil {
 			return dec.Err()
 		}
 	}
 	s.seq = seq
-	s.dirty = make(map[uint64]struct{})
+	s.clearDirty()
 	return nil
 }
 

@@ -3,7 +3,9 @@ package statestore
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
+	"time"
 
 	"checkmate/internal/wire"
 )
@@ -85,6 +87,124 @@ func BenchmarkChainCheckpointAndRebuild(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCaptureVsFullSerialize is the sync-pause micro-benchmark behind
+// asynchronous snapshots: at each state size it measures what the record
+// path pays per checkpoint — a synchronous SnapshotFull (sort + encode +
+// copy) versus a CaptureFull (pointer gather only; materialization happens
+// off-thread) and a CaptureDelta of a small dirty set (the steady-state
+// pause under chain checkpoints). CI runs this so pause regressions in the
+// capture path fail loudly.
+func BenchmarkCaptureVsFullSerialize(b *testing.B) {
+	for _, size := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("full-serialize/size=%d", size), func(b *testing.B) {
+			s := populate(size)
+			enc := wire.NewEncoder(make([]byte, 0, size*80))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc.Reset()
+				s.SnapshotFull(enc)
+			}
+		})
+		b.Run(fmt.Sprintf("full-serialize-presort/size=%d", size), func(b *testing.B) {
+			// The pre-index baseline: every snapshot re-collected and
+			// re-sorted the whole keyspace (the seed's sortedKeys), the
+			// pause the sorted key index and the capture path both replace.
+			s := populate(size)
+			enc := wire.NewEncoder(make([]byte, 0, size*80))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				keys := make([]uint64, 0, len(s.m))
+				for k := range s.m {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+				enc.Reset()
+				enc.Byte(kindFull)
+				enc.Uvarint(s.seq)
+				enc.Uvarint(uint64(len(s.m)))
+				for _, k := range keys {
+					enc.Uvarint(k)
+					enc.Bytes2(s.m[k])
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("capture-full/size=%d", size), func(b *testing.B) {
+			s := populate(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := s.CaptureFull()
+				c.Release()
+			}
+		})
+		b.Run(fmt.Sprintf("capture-delta/size=%d/churn=1000", size), func(b *testing.B) {
+			s := populate(size)
+			s.CaptureFull().Release()
+			v := make([]byte, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for k := 0; k < 1000; k++ {
+					s.Put(uint64((i*1000+k)%size), v)
+				}
+				b.StartTimer()
+				c := s.CaptureDelta()
+				c.Release()
+			}
+		})
+	}
+}
+
+// TestCapturePauseBudget is the loud regression gate run by the CI
+// statestore micro-benchmark job (without -short): at 100k keys the
+// capture pause must stay well under the synchronous full-serialize pause.
+// The bound is deliberately generous (3x, where the design headroom is
+// >10x) so scheduler noise cannot flake it.
+func TestCapturePauseBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive budget check; run by the CI bench job")
+	}
+	const size = 100_000
+	s := populate(size)
+	enc := wire.NewEncoder(make([]byte, 0, size*80))
+	v := make([]byte, 64)
+	next := uint64(size)
+	churn := func() {
+		// New keys between checkpoints, as a growing join table sees: the
+		// synchronous path then pays its index merge per snapshot, exactly
+		// like the engine's sync mode does.
+		for k := 0; k < 1000; k++ {
+			s.Put(next, v)
+			next++
+		}
+	}
+	trial := func(f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			churn()
+			t0 := time.Now()
+			f()
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serialize := trial(func() {
+		enc.Reset()
+		s.SnapshotFull(enc)
+	})
+	capture := trial(func() {
+		s.CaptureFull().Release()
+	})
+	if capture*3 > serialize {
+		t.Fatalf("CaptureFull pause %v is not well under SnapshotFull %v at %d keys — the async-snapshot pause win regressed", capture, serialize, size)
+	}
 }
 
 func BenchmarkGetPut(b *testing.B) {
