@@ -61,12 +61,19 @@ func main() {
 		localCache = flag.Bool("local-cache", false, "enable the worker-local state cache (warm recovery on surviving workers)")
 		benchRec   = flag.String("bench-recovery", "", "run the recovery benchmark grid (protocol x placement x cold/warm cache), print the RTO phase breakdown, and write machine-readable results to this file")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file on clean shutdown")
-		memProfile = flag.String("memprofile", "", "write an allocation (heap) profile to this file on clean shutdown")
+		cpus = flag.Int("cpus", 0, "pin runtime.GOMAXPROCS for the run (0 = leave the process setting)")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file on clean shutdown")
+		memProfile   = flag.String("memprofile", "", "write an allocation (heap) profile to this file on clean shutdown")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on clean shutdown")
+		blockProfile = flag.String("blockprofile", "", "write a blocking profile to this file on clean shutdown")
 	)
 	flag.Parse()
 
-	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if *cpus > 0 {
+		runtime.GOMAXPROCS(*cpus)
+	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *mutexProfile, *blockProfile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,6 +111,7 @@ func main() {
 		Query:                *query,
 		Protocol:             p,
 		Workers:              *workers,
+		CPUs:                 *cpus,
 		Rate:                 *rate,
 		Duration:             *duration,
 		FailureAt:            *failAt,
@@ -160,11 +168,12 @@ func main() {
 	}
 }
 
-// startProfiles starts CPU profiling (when cpuPath is set) and returns a
-// stop function that finalizes the CPU profile and writes the heap profile
-// (when memPath is set). The stop function runs on clean shutdown — paths
-// that exit through log.Fatal skip it by design.
-func startProfiles(cpuPath, memPath string) (func(), error) {
+// startProfiles starts CPU profiling (when cpuPath is set) and enables
+// mutex/block sampling (when their paths are set), returning a stop
+// function that finalizes the CPU profile and writes the heap, mutex and
+// block profiles. The stop function runs on clean shutdown — paths that
+// exit through log.Fatal skip it by design.
+func startProfiles(cpuPath, memPath, mutexPath, blockPath string) (func(), error) {
 	var cpuF *os.File
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
@@ -176,6 +185,32 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 			return nil, err
 		}
 		cpuF = f
+	}
+	// Contention sampling is off by default in the runtime; it only costs
+	// when a profile was requested. Fraction/rate 1 records every event —
+	// the runs here are short and the point is diagnosing regressions, not
+	// production overhead.
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	writeLookup := func(name, path string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Printf("checkmate: create %s profile: %v", name, err)
+			return
+		}
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			log.Printf("checkmate: write %s profile: %v", name, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %s profile to %s\n", name, path)
+		}
+		f.Close()
 	}
 	return func() {
 		if cpuF != nil {
@@ -202,6 +237,8 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 			}
 			f.Close()
 		}
+		writeLookup("mutex", mutexPath)
+		writeLookup("block", blockPath)
 	}, nil
 }
 
@@ -213,13 +250,24 @@ func runBenchGrid(path string) error {
 	protocols := []string{"COOR", "UNC", "CIC"}
 	batches := []int{1, 8, 64}
 	type benchFile struct {
-		GeneratedUnix int64                  `json:"generated_unix"`
-		CPUs          int                    `json:"cpus"`
-		Workers       int                    `json:"workers"`
-		Records       int                    `json:"records"`
-		Points        []checkmate.BenchPoint `json:"points"`
+		GeneratedUnix int64 `json:"generated_unix"`
+		// CPUs is the effective runtime.GOMAXPROCS the base grid ran under
+		// (scale-section points carry their own per-point cpus);
+		// PhysicalCPUs is the container's core count. GOMAXPROCS beyond the
+		// physical cores measures oversubscription, not hardware scaling.
+		CPUs         int                    `json:"cpus"`
+		PhysicalCPUs int                    `json:"physical_cpus"`
+		Workers      int                    `json:"workers"`
+		Records      int                    `json:"records"`
+		Points       []checkmate.BenchPoint `json:"points"`
 	}
-	out := benchFile{GeneratedUnix: time.Now().Unix(), CPUs: runtime.NumCPU(), Workers: 2, Records: 200_000}
+	out := benchFile{
+		GeneratedUnix: time.Now().Unix(),
+		CPUs:          runtime.GOMAXPROCS(0),
+		PhysicalCPUs:  runtime.NumCPU(),
+		Workers:       2,
+		Records:       200_000,
+	}
 	for _, q := range queries {
 		for _, pn := range protocols {
 			p, err := checkmate.ProtocolByName(pn)
@@ -284,6 +332,40 @@ func runBenchGrid(path string) error {
 			}
 		}
 	}
+	// Cores-axis scale grid: q1 per protocol at GOMAXPROCS 1/2/4/8, fixed
+	// batch 64 so the cores axis is the only variable. Each point records
+	// the effective GOMAXPROCS it ran under and its speedup against the
+	// same protocol's 1-cpu row.
+	for _, pn := range protocols {
+		p, err := checkmate.ProtocolByName(pn)
+		if err != nil {
+			return err
+		}
+		var base1 float64
+		for _, n := range []int{1, 2, 4, 8} {
+			pt, err := checkmate.BenchThroughput(checkmate.BenchConfig{
+				Query:           "q1",
+				Protocol:        p,
+				Workers:         out.Workers,
+				Records:         out.Records,
+				BatchMaxRecords: 64,
+				CPUs:            n,
+				Repeat:          3,
+			})
+			if err != nil {
+				return fmt.Errorf("bench scale q1/%s/cpus=%d: %w", pn, n, err)
+			}
+			if n == 1 {
+				base1 = pt.RecordsPerSec
+			}
+			if base1 > 0 {
+				pt.SpeedupVs1CPU = pt.RecordsPerSec / base1
+			}
+			fmt.Printf("q1   %-5s cpus=%-2d    %10.0f rec/s  %5.2fx vs 1 cpu  %6.2f allocs/rec  gc=%d/%.2fms\n",
+				pn, pt.CPUs, pt.RecordsPerSec, pt.SpeedupVs1CPU, pt.AllocsPerRecord, pt.GCCycles, pt.GCPauseTotalMs)
+			out.Points = append(out.Points, pt)
+		}
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -306,12 +388,20 @@ func runBenchGrid(path string) error {
 // (restored_bytes, which local+remote always sum to) would.
 func runRecoveryGrid(path string) error {
 	type benchFile struct {
-		GeneratedUnix int64                     `json:"generated_unix"`
-		CPUs          int                       `json:"cpus"`
-		Workers       int                       `json:"workers"`
-		Points        []checkmate.RecoveryPoint `json:"points"`
+		GeneratedUnix int64 `json:"generated_unix"`
+		// CPUs records the effective runtime.GOMAXPROCS of the run;
+		// PhysicalCPUs the container's core count.
+		CPUs         int                       `json:"cpus"`
+		PhysicalCPUs int                       `json:"physical_cpus"`
+		Workers      int                       `json:"workers"`
+		Points       []checkmate.RecoveryPoint `json:"points"`
 	}
-	out := benchFile{GeneratedUnix: time.Now().Unix(), CPUs: runtime.NumCPU(), Workers: 4}
+	out := benchFile{
+		GeneratedUnix: time.Now().Unix(),
+		CPUs:          runtime.GOMAXPROCS(0),
+		PhysicalCPUs:  runtime.NumCPU(),
+		Workers:       4,
+	}
 	printPt := func(pt checkmate.RecoveryPoint) {
 		cache := "cold"
 		if pt.LocalCache {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"checkmate/internal/recovery"
@@ -11,21 +12,39 @@ import (
 // coordinated checkpoint rounds, receives checkpoint metadata from all
 // instances, periodically computes the current recovery line to trim the
 // in-flight logs, and produces the line used for rollback after a failure.
+//
+// Reports arrive concurrently from the per-worker uploader goroutines, so
+// the hot accumulation state is sharded along the cluster topology: each
+// cluster worker owns a metaShard (its instances' metadata and durable-key
+// set — one uploader per worker means a shard's writer never contends), and
+// each coordinated round accumulates in its own roundState. The global mu is
+// taken only at round resolution, garbage collection, line computation, and
+// failure reset — never on the per-report fast path.
 type coordinator struct {
 	eng *Engine
 
-	mu           sync.Mutex
-	metas        []recovery.Meta
-	roundStart   map[uint64]time.Time
-	roundReports map[uint64]int
-	roundMetas   map[uint64][]recovery.Meta
+	// shards holds reported metadata partitioned by the cluster worker of
+	// the reporting instance. A meta's StoreKeys always reference blobs of
+	// its own instance's chain, so durability lookups for a checkpoint
+	// resolve entirely within the owning instance's shard.
+	shards []metaShard
+
+	// rounds accumulates coordinated-round reports; roundsMu guards only
+	// the map (get-or-create and purge), not the per-round accumulation.
+	roundsMu sync.Mutex
+	rounds   map[uint64]*roundState
+
 	// completedRound is the newest fully-reported coordinated round whose
 	// blob chains are all durable — the newest round recovery can use.
-	completedRound uint64
 	// resolvedRound is the newest fully-reported round regardless of chain
 	// durability; it gates round initiation so an undurable round (an
 	// abandoned chain segment) does not stall checkpointing forever.
-	resolvedRound uint64
+	// Atomics: read lock-free by round initiation, GC, and accounting;
+	// written only under mu (round resolution and failure reset).
+	completedRound atomic.Uint64
+	resolvedRound  atomic.Uint64
+
+	mu sync.Mutex
 	// initiatedRound is the newest round whose markers were injected.
 	initiatedRound uint64
 	lastInitiate   time.Time
@@ -33,14 +52,55 @@ type coordinator struct {
 	gcDone map[recovery.CkptRef]bool
 }
 
+// metaShard is one cluster worker's slice of the reported metadata. durable
+// indexes the self keys of the shard's metas — maintained incrementally on
+// report instead of rebuilt over all metas per durability check, which was
+// the coordinator's real serialization hotspot.
+type metaShard struct {
+	mu      sync.Mutex
+	metas   []recovery.Meta
+	durable map[string]bool
+	_       [24]byte // keep neighbouring shards off one cache line
+}
+
+// roundState accumulates one coordinated round's reports.
+type roundState struct {
+	mu      sync.Mutex
+	metas   []recovery.Meta
+	reports int
+	start   time.Time
+}
+
 func newCoordinator(eng *Engine) *coordinator {
-	return &coordinator{
-		eng:          eng,
-		roundStart:   make(map[uint64]time.Time),
-		roundReports: make(map[uint64]int),
-		roundMetas:   make(map[uint64][]recovery.Meta),
-		gcDone:       make(map[recovery.CkptRef]bool),
+	c := &coordinator{
+		eng:    eng,
+		shards: make([]metaShard, eng.topo.Workers()),
+		rounds: make(map[uint64]*roundState),
+		gcDone: make(map[recovery.CkptRef]bool),
 	}
+	for i := range c.shards {
+		c.shards[i].durable = make(map[string]bool)
+	}
+	return c
+}
+
+// shardOf returns the metaShard owning the given instance's metadata,
+// following the cluster placement (one uploader goroutine per worker feeds
+// exactly one shard).
+func (c *coordinator) shardOf(gid int) *metaShard {
+	return &c.shards[c.eng.topo.WorkerOf(gid)]
+}
+
+// round returns the accumulation state for a coordinated round.
+func (c *coordinator) round(r uint64) *roundState {
+	c.roundsMu.Lock()
+	rs, ok := c.rounds[r]
+	if !ok {
+		rs = &roundState{}
+		c.rounds[r] = rs
+	}
+	c.roundsMu.Unlock()
+	return rs
 }
 
 // metaWireSize approximates the encoded size of a checkpoint-metadata
@@ -56,58 +116,84 @@ func metaWireSize(m *recovery.Meta) int {
 	return n
 }
 
-// report registers a durable checkpoint. Called from upload goroutines.
+// report registers a durable checkpoint. Called concurrently from the
+// per-worker upload goroutines; the fast path touches only the reporting
+// worker's shard (and, for coordinated rounds, the round's own state) —
+// the coordinator-wide mu is taken by the single reporter that completes a
+// round, for the resolution itself.
 func (c *coordinator) report(m recovery.Meta, dur time.Duration) {
 	rec := c.eng.cfg.Recorder
 	rec.AddProtocolBytes(metaWireSize(&m))
-	kind := c.eng.cfg.Protocol.Kind()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.metas = append(c.metas, m)
-	switch kind {
+
+	sh := c.shardOf(m.Ref.Instance)
+	sh.mu.Lock()
+	sh.metas = append(sh.metas, m)
+	sh.durable[m.SelfKey()] = true
+	sh.mu.Unlock()
+
+	switch c.eng.cfg.Protocol.Kind() {
 	case KindCoordinated:
-		c.roundMetas[m.Round] = append(c.roundMetas[m.Round], m)
-		c.roundReports[m.Round]++
-		if c.roundReports[m.Round] == c.eng.total {
-			if m.Round > c.resolvedRound {
-				c.resolvedRound = m.Round
-			}
-			if start, ok := c.roundStart[m.Round]; ok {
-				rec.RecordRoundDuration(time.Since(start))
-			}
-			// The round only becomes the recovery anchor if every blob its
-			// chains reference is durable; a round leaning on an abandoned
-			// chain segment could never be restored. The next round's fresh
-			// full bases (abandonChainBlob) will complete normally.
-			if m.Round > c.completedRound && c.roundChainsDurableLocked(m.Round) {
-				c.completedRound = m.Round
-				// A completed round is durable at every instance: its
-				// epoch's transactional output commits.
-				c.eng.output.commitAll(m.Round, c.eng.nowNS())
-			}
+		rs := c.round(m.Round)
+		rs.mu.Lock()
+		rs.metas = append(rs.metas, m)
+		rs.reports++
+		complete := rs.reports == c.eng.total
+		var roundMetas []recovery.Meta
+		var start time.Time
+		if complete {
+			roundMetas = append([]recovery.Meta(nil), rs.metas...)
+			start = rs.start
+		}
+		rs.mu.Unlock()
+		if complete {
+			c.resolveRound(m.Round, roundMetas, start)
 		}
 	case KindUncoordinated, KindCIC:
 		rec.RecordCheckpointDuration(dur)
 	}
 }
 
-// durableKeysLocked returns the self keys of every reported checkpoint —
-// the blobs known to be in the object store.
-func (c *coordinator) durableKeysLocked() map[string]bool {
-	durable := make(map[string]bool, len(c.metas))
-	for i := range c.metas {
-		durable[c.metas[i].SelfKey()] = true
+// resolveRound runs once per coordinated round, by the reporter that
+// delivered the round's final report. All of the round's shard and durable
+// insertions happened-before that reporter observed the full count, so the
+// durability check sees every key the round depends on.
+func (c *coordinator) resolveRound(round uint64, metas []recovery.Meta, start time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if round > c.resolvedRound.Load() {
+		c.resolvedRound.Store(round)
 	}
-	return durable
+	if !start.IsZero() {
+		c.eng.cfg.Recorder.RecordRoundDuration(time.Since(start))
+	}
+	// The round only becomes the recovery anchor if every blob its chains
+	// reference is durable; a round leaning on an abandoned chain segment
+	// could never be restored. The next round's fresh full bases
+	// (abandonChainBlob) will complete normally.
+	if round > c.completedRound.Load() && c.roundChainsDurable(metas) {
+		c.completedRound.Store(round)
+		// A completed round is durable at every instance: its epoch's
+		// transactional output commits.
+		c.eng.output.commitAll(round, c.eng.nowNS())
+	}
 }
 
-// roundChainsDurableLocked reports whether every chain segment referenced
-// by the given round's checkpoints is durable.
-func (c *coordinator) roundChainsDurableLocked(round uint64) bool {
-	durable := c.durableKeysLocked()
-	for _, m := range c.roundMetas[round] {
+// isDurable reports whether the blob key, owned by the given instance's
+// chain, is known to be in the object store.
+func (c *coordinator) isDurable(instance int, key string) bool {
+	sh := c.shardOf(instance)
+	sh.mu.Lock()
+	ok := sh.durable[key]
+	sh.mu.Unlock()
+	return ok
+}
+
+// roundChainsDurable reports whether every chain segment referenced by the
+// given round's checkpoints is durable.
+func (c *coordinator) roundChainsDurable(metas []recovery.Meta) bool {
+	for _, m := range metas {
 		for _, k := range m.StoreKeys {
-			if !durable[k] {
+			if !c.isDurable(m.Ref.Instance, k) {
 				return false
 			}
 		}
@@ -115,17 +201,29 @@ func (c *coordinator) roundChainsDurableLocked(round uint64) bool {
 	return true
 }
 
-// usableMetasLocked returns the reported metadata whose blob chains are
-// fully durable. A checkpoint whose chain references an abandoned upload
-// can never be restored, so it must not anchor recovery lines, log
-// trimming, or output commits.
-func (c *coordinator) usableMetasLocked() []recovery.Meta {
-	durable := c.durableKeysLocked()
-	usable := make([]recovery.Meta, 0, len(c.metas))
-	for _, m := range c.metas {
+// allMetas returns a copy of all reported metadata, gathered shard by shard.
+func (c *coordinator) allMetas() []recovery.Meta {
+	var all []recovery.Meta
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.metas...)
+		sh.mu.Unlock()
+	}
+	return all
+}
+
+// usableMetas returns the reported metadata whose blob chains are fully
+// durable. A checkpoint whose chain references an abandoned upload can
+// never be restored, so it must not anchor recovery lines, log trimming, or
+// output commits. Off the report fast path (trim/GC/recovery cadence only).
+func (c *coordinator) usableMetas() []recovery.Meta {
+	all := c.allMetas()
+	usable := make([]recovery.Meta, 0, len(all))
+	for _, m := range all {
 		ok := true
 		for _, k := range m.StoreKeys {
-			if !durable[k] {
+			if !c.isDurable(m.Ref.Instance, k) {
 				ok = false
 				break
 			}
@@ -166,6 +264,23 @@ func (c *coordinator) run(w *world) {
 	}
 }
 
+// roundMetaView snapshots every round's accumulated metadata.
+func (c *coordinator) roundMetaView() map[uint64][]recovery.Meta {
+	c.roundsMu.Lock()
+	rounds := make(map[uint64]*roundState, len(c.rounds))
+	for r, rs := range c.rounds {
+		rounds[r] = rs
+	}
+	c.roundsMu.Unlock()
+	view := make(map[uint64][]recovery.Meta, len(rounds))
+	for r, rs := range rounds {
+		rs.mu.Lock()
+		view[r] = append([]recovery.Meta(nil), rs.metas...)
+		rs.mu.Unlock()
+	}
+	return view
+}
+
 // gcCoordinated deletes the checkpoints of rounds strictly older than the
 // newest completed round: a completed round is always a newer valid
 // recovery line, so older rounds can never be used again. Blobs still
@@ -173,10 +288,12 @@ func (c *coordinator) run(w *world) {
 // round's incremental checkpoint are kept until the chain compacts past
 // them.
 func (c *coordinator) gcCoordinated() {
+	view := c.roundMetaView()
 	c.mu.Lock()
+	completed := c.completedRound.Load()
 	retained := make(map[string]bool)
-	for round, metas := range c.roundMetas {
-		if round < c.completedRound {
+	for round, metas := range view {
+		if round < completed {
 			continue
 		}
 		for _, m := range metas {
@@ -186,8 +303,8 @@ func (c *coordinator) gcCoordinated() {
 		}
 	}
 	var victims []recovery.Meta
-	for round, metas := range c.roundMetas {
-		if round >= c.completedRound {
+	for round, metas := range view {
+		if round >= completed {
 			continue
 		}
 		for _, m := range metas {
@@ -255,12 +372,12 @@ func (c *coordinator) deleteBlobs(victims []recovery.Meta) {
 func (c *coordinator) maybeStartRound(w *world) {
 	c.mu.Lock()
 	due := time.Since(c.lastInitiate) >= c.eng.cfg.CheckpointInterval
-	idle := c.initiatedRound == c.resolvedRound
+	idle := c.initiatedRound == c.resolvedRound.Load()
 	var round uint64
 	if due && idle {
 		c.initiatedRound++
 		round = c.initiatedRound
-		c.roundStart[round] = time.Now()
+		c.round(round).start = time.Now()
 		c.lastInitiate = time.Now()
 	}
 	c.mu.Unlock()
@@ -285,9 +402,7 @@ func (c *coordinator) maybeStartRound(w *world) {
 // prefixes that can never be replayed again. Safe because the maximal
 // consistent line is monotone as checkpoints accumulate.
 func (c *coordinator) trimLogs() {
-	c.mu.Lock()
-	metas := c.usableMetasLocked()
-	c.mu.Unlock()
+	metas := c.usableMetas()
 	res := recovery.FindLine(c.eng.total, c.eng.channels, metas)
 	for _, ch := range c.eng.channels {
 		if ref := res.Line[ch.To]; ref.Seq > 0 {
@@ -324,65 +439,74 @@ func recvFrontier(metas []recovery.Meta, ref recovery.CkptRef, ch uint64) uint64
 // restored instances re-use those sequence numbers, and keeping the stale
 // entries would double-count invalid checkpoints and shadow fresh
 // metadata.
+//
+// Called after the world stopped and the upload queues drained: no report
+// runs concurrently, so the shards can be rebuilt wholesale.
 func (c *coordinator) resetAfterFailure(line recovery.Line) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for round := range c.roundMetas {
-		if round > c.completedRound {
-			delete(c.roundMetas, round)
-			delete(c.roundReports, round)
-			delete(c.roundStart, round)
+	completed := c.completedRound.Load()
+	c.roundsMu.Lock()
+	for round := range c.rounds {
+		if round > completed {
+			delete(c.rounds, round)
 		}
 	}
-	c.initiatedRound = c.completedRound
-	c.resolvedRound = c.completedRound
+	c.roundsMu.Unlock()
+	c.initiatedRound = completed
+	c.resolvedRound.Store(completed)
 	// Trigger the next round promptly after the restart, as production
 	// systems do after a restore.
 	c.lastInitiate = time.Time{}
 
-	keep := c.metas[:0]
-	for _, m := range c.metas {
-		if ref, ok := line[m.Ref.Instance]; !ok || m.Ref.Seq <= ref.Seq {
-			keep = append(keep, m)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		keep := sh.metas[:0]
+		for _, m := range sh.metas {
+			if ref, ok := line[m.Ref.Instance]; !ok || m.Ref.Seq <= ref.Seq {
+				keep = append(keep, m)
+			}
 		}
+		sh.metas = keep
+		sh.durable = make(map[string]bool, len(keep))
+		for _, m := range keep {
+			sh.durable[m.SelfKey()] = true
+		}
+		sh.mu.Unlock()
 	}
-	c.metas = keep
 }
 
 // snapshotMetas returns a copy of all reported metadata.
 func (c *coordinator) snapshotMetas() []recovery.Meta {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]recovery.Meta(nil), c.metas...)
+	return c.allMetas()
 }
 
 // lineForRecovery computes the protocol-appropriate recovery line together
 // with checkpoint accounting.
 func (c *coordinator) lineForRecovery() (recovery.Line, accounting, []recovery.Meta) {
 	kind := c.eng.cfg.Protocol.Kind()
-	c.mu.Lock()
-	metas := c.usableMetasLocked()
-	completed := c.completedRound
-	c.mu.Unlock()
-
 	switch kind {
 	case KindCoordinated:
+		completed := c.completedRound.Load()
 		line := make(recovery.Line, c.eng.total)
 		for gid := 0; gid < c.eng.total; gid++ {
 			line[gid] = recovery.CkptRef{Instance: gid, Seq: 0}
 		}
 		var lineMetas []recovery.Meta
 		if completed > 0 {
-			c.mu.Lock()
-			for _, m := range c.roundMetas[completed] {
+			rs := c.round(completed)
+			rs.mu.Lock()
+			for _, m := range rs.metas {
 				line[m.Ref.Instance] = m.Ref
 				lineMetas = append(lineMetas, m)
 			}
-			c.mu.Unlock()
+			rs.mu.Unlock()
 		}
 		acct := accounting{total: int(completed) * c.eng.total, invalid: 0}
 		return line, acct, lineMetas
 	case KindUncoordinated, KindCIC:
+		metas := c.usableMetas()
 		res := recovery.FindLine(c.eng.total, c.eng.channels, metas)
 		return res.Line, accounting{total: res.Total, invalid: res.Invalid}, metas
 	default:
@@ -399,15 +523,11 @@ func (c *coordinator) finalCommitOutput() {
 		return
 	}
 	kind := c.eng.cfg.Protocol.Kind()
-	c.mu.Lock()
-	metas := c.usableMetasLocked()
-	completed := c.completedRound
-	c.mu.Unlock()
 	switch {
 	case kind == KindCoordinated:
-		c.eng.output.commitAll(completed, c.eng.nowNS())
+		c.eng.output.commitAll(c.completedRound.Load(), c.eng.nowNS())
 	case kind.NeedsLogging():
-		res := recovery.FindLine(c.eng.total, c.eng.channels, metas)
+		res := recovery.FindLine(c.eng.total, c.eng.channels, c.usableMetas())
 		c.eng.output.commitLine(res.Line, c.eng.nowNS())
 	}
 }
@@ -416,14 +536,10 @@ func (c *coordinator) finalCommitOutput() {
 // occurred during the run.
 func (c *coordinator) endOfRunAccounting() accounting {
 	kind := c.eng.cfg.Protocol.Kind()
-	c.mu.Lock()
-	metas := c.usableMetasLocked()
-	completed := c.completedRound
-	c.mu.Unlock()
 	if kind == KindCoordinated {
-		return accounting{total: int(completed) * c.eng.total, invalid: 0}
+		return accounting{total: int(c.completedRound.Load()) * c.eng.total, invalid: 0}
 	}
-	res := recovery.FindLine(c.eng.total, c.eng.channels, metas)
+	res := recovery.FindLine(c.eng.total, c.eng.channels, c.usableMetas())
 	return accounting{total: res.Total, invalid: res.Invalid}
 }
 

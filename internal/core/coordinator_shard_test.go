@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"checkmate/internal/recovery"
+)
+
+// TestCoordinatorConcurrentReportsMatchSerial hammers the sharded
+// coordinator with checkpoint reports from many goroutines — rounds
+// interleaved, delivery order shuffled — and asserts it resolves to exactly
+// the same completed round and recovery line as a coordinator that received
+// the identical reports serially in order. The final round references an
+// abandoned chain segment ("dead"), so both coordinators must anchor on
+// rounds-1, proving the durability filter survives concurrent shard updates.
+func TestCoordinatorConcurrentReportsMatchSerial(t *testing.T) {
+	const rounds = 24
+
+	build := func() *Engine {
+		env, job := buildEnv(t, 4, 100, 10000)
+		eng, err := NewEngine(env.config(nullProto{KindCoordinated, "COOR"}), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	mkMetas := func(total int) []recovery.Meta {
+		var metas []recovery.Meta
+		for r := uint64(1); r <= rounds; r++ {
+			for i := 0; i < total; i++ {
+				key := fmt.Sprintf("blob-%d-%d", i, r)
+				keys := []string{key}
+				if r == rounds && i == 0 {
+					// Chain leaning on an upload that was abandoned and
+					// never reported: this round can never anchor recovery.
+					keys = []string{"dead", key}
+				}
+				metas = append(metas, recovery.Meta{
+					Ref:       recovery.CkptRef{Instance: i, Seq: r},
+					Round:     r,
+					StoreKeys: keys,
+				})
+			}
+		}
+		return metas
+	}
+
+	// Reference: serial, in-order delivery.
+	serial := build()
+	for _, m := range mkMetas(serial.total) {
+		serial.coord.report(m, 0)
+	}
+
+	// Concurrent: same reports, shuffled, from 8 goroutines.
+	conc := build()
+	metas := mkMetas(conc.total)
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(metas), func(i, j int) { metas[i], metas[j] = metas[j], metas[i] })
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		chunk := metas[g*len(metas)/goroutines : (g+1)*len(metas)/goroutines]
+		wg.Add(1)
+		go func(ms []recovery.Meta) {
+			defer wg.Done()
+			for _, m := range ms {
+				conc.coord.report(m, 0)
+			}
+		}(chunk)
+	}
+	wg.Wait()
+
+	if got, want := conc.coord.completedRound.Load(), serial.coord.completedRound.Load(); got != want {
+		t.Fatalf("completedRound diverged: concurrent=%d serial=%d", got, want)
+	}
+	if got := conc.coord.completedRound.Load(); got != rounds-1 {
+		t.Fatalf("completedRound = %d, want %d (final round's chain is undurable)", got, rounds-1)
+	}
+	if got, want := conc.coord.resolvedRound.Load(), serial.coord.resolvedRound.Load(); got != want {
+		t.Fatalf("resolvedRound diverged: concurrent=%d serial=%d", got, want)
+	}
+
+	lineS, acctS, _ := serial.coord.lineForRecovery()
+	lineC, acctC, _ := conc.coord.lineForRecovery()
+	if !reflect.DeepEqual(lineS, lineC) {
+		t.Fatalf("recovery line diverged:\nconcurrent %v\nserial     %v", lineC, lineS)
+	}
+	if acctS != acctC {
+		t.Fatalf("accounting diverged: concurrent=%+v serial=%+v", acctC, acctS)
+	}
+	if got, want := len(conc.coord.allMetas()), len(serial.coord.allMetas()); got != want {
+		t.Fatalf("allMetas count diverged: concurrent=%d serial=%d", got, want)
+	}
+}

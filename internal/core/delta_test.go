@@ -297,12 +297,8 @@ func TestBrokenChainMetasExcludedFromLines(t *testing.T) {
 	// Instance 0: a durable full checkpoint at seq 1, then a delta at seq 2
 	// whose chain references "dead" — a segment whose upload was abandoned
 	// and therefore never reported.
-	c.mu.Lock()
-	c.metas = append(c.metas,
-		recovery.Meta{Ref: recovery.CkptRef{Instance: 0, Seq: 1}, StoreKeys: []string{"k1"}},
-		recovery.Meta{Ref: recovery.CkptRef{Instance: 0, Seq: 2}, StoreKeys: []string{"k1", "dead", "k2"}},
-	)
-	c.mu.Unlock()
+	c.report(recovery.Meta{Ref: recovery.CkptRef{Instance: 0, Seq: 1}, StoreKeys: []string{"k1"}}, 0)
+	c.report(recovery.Meta{Ref: recovery.CkptRef{Instance: 0, Seq: 2}, StoreKeys: []string{"k1", "dead", "k2"}}, 0)
 	line, _, metas := c.lineForRecovery()
 	if got := line[0].Seq; got != 1 {
 		t.Fatalf("line picked seq %d for instance 0, want 1 (seq 2 chain references an undurable blob)", got)

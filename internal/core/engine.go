@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"hash/crc32"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -25,6 +26,12 @@ type Config struct {
 	// Workers is the default parallelism (one worker hosts one parallel
 	// instance of every operator, as in the paper's deployment).
 	Workers int
+	// CPUs pins runtime.GOMAXPROCS when the engine starts, making the
+	// cores axis an explicit experiment knob instead of whatever the
+	// process inherited. 0 leaves the runtime setting untouched. The
+	// setting is process-global; harness layers that sweep the cores axis
+	// restore the previous value around each run.
+	CPUs int
 	// Protocol is the checkpointing protocol under evaluation.
 	Protocol Protocol
 	// CheckpointInterval is the nominal interval between checkpoints
@@ -369,6 +376,9 @@ func (e *Engine) Start() error {
 	defer e.mu.Unlock()
 	if e.world != nil {
 		return fmt.Errorf("core: engine already started")
+	}
+	if e.cfg.CPUs > 0 {
+		runtime.GOMAXPROCS(e.cfg.CPUs)
 	}
 	e.start = time.Now()
 	w, err := e.buildWorld(nil, nil)

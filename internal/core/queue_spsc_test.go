@@ -1,0 +1,309 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSPSCMutexEquivalenceRandomized drives one SPSC inbox and one
+// mutex-fallback inbox with an identical randomized operation sequence and
+// asserts they are observationally indistinguishable: same delivery order,
+// same markCount values, same pending() accounting, same round-robin channel
+// choice. Occupancy is tracked so push never blocks (blocking equivalence is
+// covered by TestPushBlocksAtCapBothQueues).
+func TestSPSCMutexEquivalenceRandomized(t *testing.T) {
+	caps := []int{64, 4, 1024}
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			fast := newInboxQueues(caps, false)
+			slow := newInboxQueues(caps, true)
+			rng := rand.New(rand.NewSource(seed))
+
+			// occ models each channel's occupancy charge (records, with
+			// control frames charged one slot) so the test never issues a
+			// push that would block: push admits whenever occ < cap.
+			occ := make([]int, len(caps))
+			var seq uint32
+
+			mkData := func() []byte {
+				seq++
+				d := make([]byte, 4)
+				binary.LittleEndian.PutUint32(d, seq)
+				return d
+			}
+			check := func(op string, a, b interface{}) {
+				t.Helper()
+				if fmt.Sprint(a) != fmt.Sprint(b) {
+					t.Fatalf("%s diverged: spsc=%v mutex=%v", op, a, b)
+				}
+			}
+
+			for step := 0; step < 4000; step++ {
+				ch := rng.Intn(len(caps))
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // push a data envelope
+					count := 1 + rng.Intn(3)
+					if occ[ch] >= caps[ch] {
+						continue // would block; skip (same decision for both)
+					}
+					d := mkData()
+					okF := fast.push(ch, d, count)
+					okS := slow.push(ch, d, count)
+					check("push ok", okF, okS)
+					occ[ch] += count
+				case 4: // overtaking control frame (marker)
+					d := mkData()
+					okF := fast.pushFront(ch, d, 0)
+					okS := slow.pushFront(ch, d, 0)
+					check("pushFront ok", okF, okS)
+					occ[ch]++ // control frames charge one occupancy slot
+				case 5: // force past the cap (replay preload)
+					count := 1 + rng.Intn(3)
+					d := mkData()
+					fast.force(ch, d, count)
+					slow.force(ch, d, count)
+					occ[ch] += count
+				case 6: // single pop
+					dF, cF, chF, okF := fast.pop()
+					dS, cS, chS, okS := slow.pop()
+					check("pop", []interface{}{dF, cF, chF, okF}, []interface{}{dS, cS, chS, okS})
+					if okF {
+						occ[chF] -= qEntry{data: dF, count: cF}.occupancy()
+					}
+				case 7: // batched drain
+					n := 1 + rng.Intn(8)
+					bufF := make([]qEntry, 0, n)
+					bufS := make([]qEntry, 0, n)
+					outF, chF := fast.popMany(bufF)
+					outS, chS := slow.popMany(bufS)
+					check("popMany ch", chF, chS)
+					check("popMany entries", outF, outS)
+					for _, e := range outF {
+						occ[chF] -= e.occupancy()
+					}
+				case 8: // alignment block toggle
+					blocked := rng.Intn(2) == 0
+					fast.setBlocked(ch, blocked)
+					slow.setBlocked(ch, blocked)
+				case 9: // marker overtake accounting
+					mF := fast.takeMarkCount(ch)
+					mS := slow.takeMarkCount(ch)
+					check("takeMarkCount", mF, mS)
+				}
+				check("pending", fast.pending(), slow.pending())
+			}
+		})
+	}
+}
+
+// TestPushBlocksAtCapBothQueues verifies the backpressure contract is
+// identical across both queue implementations: push blocks while the channel
+// is at record capacity, resumes when the consumer drains, and returns false
+// once the inbox closes.
+func TestPushBlocksAtCapBothQueues(t *testing.T) {
+	for _, forceMutex := range []bool{false, true} {
+		name := "spsc"
+		if forceMutex {
+			name = "mutex"
+		}
+		t.Run(name, func(t *testing.T) {
+			in := newInboxQueues([]int{4}, forceMutex)
+			for i := 0; i < 4; i++ {
+				if !in.push(0, []byte{byte(i)}, 1) {
+					t.Fatal("push failed while under cap")
+				}
+			}
+			done := make(chan bool, 1)
+			go func() { done <- in.push(0, []byte{9}, 1) }()
+			select {
+			case <-done:
+				t.Fatal("push over cap did not block")
+			case <-time.After(20 * time.Millisecond):
+			}
+			if _, _, _, ok := in.pop(); !ok {
+				t.Fatal("pop found nothing in a full queue")
+			}
+			select {
+			case ok := <-done:
+				if !ok {
+					t.Fatal("unblocked push reported closed inbox")
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("push still blocked after drain")
+			}
+
+			// Refill and close: the blocked sender must wake and fail.
+			for in.pending() < 4 {
+				in.push(0, []byte{0}, 1)
+			}
+			go func() { done <- in.push(0, []byte{9}, 1) }()
+			time.Sleep(10 * time.Millisecond)
+			in.close()
+			select {
+			case ok := <-done:
+				if ok {
+					t.Fatal("push succeeded on a closed inbox")
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("close did not wake the blocked sender")
+			}
+		})
+	}
+}
+
+// BenchmarkQueuePushDrain is the A/B microbenchmark behind the SPSC fast
+// path: the same push/drain cycle over one channel, on the lock-free ring
+// versus the mutex fallback. The "par" variants run producer and consumer
+// on separate goroutines so the mutex version pays real handoffs.
+func BenchmarkQueuePushDrain(b *testing.B) {
+	for _, bc := range []struct {
+		name       string
+		forceMutex bool
+		parallel   bool
+	}{
+		{"spsc-seq", false, false},
+		{"mutex-seq", true, false},
+		{"spsc-par", false, true},
+		{"mutex-par", true, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			in := newInboxQueues([]int{128}, bc.forceMutex)
+			payload := make([]byte, 16)
+			buf := make([]qEntry, 0, 32)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if !bc.parallel {
+				for i := 0; i < b.N; i++ {
+					in.push(0, payload, 1)
+					if i%32 == 31 {
+						buf, _ = in.popMany(buf[:0])
+					}
+				}
+				b.StopTimer()
+				return
+			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				drained := 0
+				for drained < b.N {
+					out, ch := in.popMany(buf[:0])
+					if ch < 0 {
+						runtime.Gosched()
+						continue
+					}
+					drained += len(out)
+				}
+			}()
+			for i := 0; i < b.N; i++ {
+				in.push(0, payload, 1)
+			}
+			<-done
+		})
+	}
+}
+
+// TestSPSCConcurrentStress runs a real producer/consumer pair over the SPSC
+// fast path under load (run with -race): 50k records with backpressure,
+// overtaking markers with exact markCount validation, and alignment-block
+// toggles. Invariants checked on the consumer side:
+//   - every record arrives exactly once, in FIFO order;
+//   - each marker's markCount equals the number of records that were queued
+//     when the marker overtook them (records pushed before the marker minus
+//     records already drained — exact because pushFront and drains exclude
+//     each other, and a control frame is always the first entry of a drain);
+//   - a blocked channel delivers nothing until unblocked.
+func TestSPSCConcurrentStress(t *testing.T) {
+	const records = 50_000
+	in := newInboxQueues([]int{64}, false)
+
+	var (
+		markerOutstanding atomic.Bool
+		markersPushed     atomic.Int64
+		wg                sync.WaitGroup
+	)
+
+	wg.Add(1)
+	go func() { // producer: the single sender for channel 0
+		defer wg.Done()
+		for i := 0; i < records; i++ {
+			d := make([]byte, 8)
+			binary.LittleEndian.PutUint64(d, uint64(i))
+			if !in.push(0, d, 1) {
+				t.Error("push failed mid-run")
+				return
+			}
+			if i%512 == 511 && markerOutstanding.CompareAndSwap(false, true) {
+				m := make([]byte, 12)
+				binary.LittleEndian.PutUint64(m, ^uint64(0)) // marker tag
+				binary.LittleEndian.PutUint32(m[8:], uint32(i+1))
+				if !in.pushFront(0, m, 0) {
+					t.Error("pushFront failed mid-run")
+					return
+				}
+				markersPushed.Add(1)
+			}
+		}
+	}()
+
+	var (
+		delivered    uint64 // data records consumed
+		markers      int64
+		nextSeq      uint64
+		buf          = make([]qEntry, 0, 32)
+		blockToggles int
+	)
+	for delivered < records {
+		buf = buf[:0]
+		out, ch := in.popMany(buf)
+		if ch < 0 {
+			runtime.Gosched()
+			continue
+		}
+		for _, e := range out {
+			if e.count == 0 { // marker
+				pushedBefore := uint64(binary.LittleEndian.Uint32(e.data[8:]))
+				mc := in.takeMarkCount(0)
+				if want := pushedBefore - delivered; uint64(mc) != want {
+					t.Fatalf("marker overtook %d records, markCount says %d (pushedBefore=%d delivered=%d)",
+						want, mc, pushedBefore, delivered)
+				}
+				markers++
+				markerOutstanding.Store(false)
+				continue
+			}
+			got := binary.LittleEndian.Uint64(e.data)
+			if got != nextSeq {
+				t.Fatalf("record out of order: got seq %d, want %d", got, nextSeq)
+			}
+			nextSeq++
+			delivered += uint64(e.count)
+		}
+		// Occasionally exercise the alignment block from the receiver side.
+		if blockToggles < 50 && delivered%4096 < 32 {
+			blockToggles++
+			in.setBlocked(0, true)
+			if got, _ := in.popMany(buf[:0]); len(got) != 0 {
+				t.Fatal("blocked channel delivered envelopes")
+			}
+			if in.pending() != 0 {
+				t.Fatal("blocked channel counted as pending")
+			}
+			in.setBlocked(0, false)
+		}
+	}
+	wg.Wait()
+	if delivered != records {
+		t.Fatalf("delivered %d records, want %d", delivered, records)
+	}
+	if markers != markersPushed.Load() {
+		t.Fatalf("consumed %d markers, producer pushed %d", markers, markersPushed.Load())
+	}
+}

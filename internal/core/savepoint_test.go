@@ -236,7 +236,8 @@ func TestExportSavepointRequiresStopped(t *testing.T) {
 	env := newSPEnv(t, 2)
 	env.feed(500, 30000)
 	sinks := make([]*keyedSum, 2)
-	eng, err := NewEngine(env.config(2), env.job(sinks))
+	cfg := env.config(2)
+	eng, err := NewEngine(cfg, env.job(sinks))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,6 +246,23 @@ func TestExportSavepointRequiresStopped(t *testing.T) {
 	}
 	if _, err := eng.ExportSavepoint(); err == nil {
 		t.Fatal("savepoint of a running engine must be rejected")
+	}
+	// Drain before stopping: Stop is a hard cut, and ExportSavepoint
+	// refuses an engine stopped with queued input. With real parallelism
+	// (GOMAXPROCS > 1) an immediate Stop reliably strands in-flight
+	// messages; only a drained engine exports cleanly.
+	limit := time.Now().Add(15 * time.Second)
+	var last uint64
+	stable := time.Now()
+	for time.Now().Before(limit) {
+		if n := cfg.Recorder.SinkCount(); n != last {
+			last = n
+			stable = time.Now()
+		}
+		if eng.SourceBacklog() == 0 && time.Since(stable) > 200*time.Millisecond {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	eng.Stop()
 	if _, err := eng.ExportSavepoint(); err != nil {

@@ -22,6 +22,9 @@ type BenchConfig struct {
 	Protocol core.Protocol
 	// Workers is the parallelism. Defaults to 4.
 	Workers int
+	// CPUs pins runtime.GOMAXPROCS for the measurement (restored after),
+	// the cores axis of the scale grid. 0 keeps the process setting.
+	CPUs int
 	// Records is the total record volume to drain. Defaults to 100_000.
 	Records int
 	// BatchMaxRecords is the exchange batch size (0/1 = unbatched).
@@ -57,10 +60,16 @@ type BenchConfig struct {
 // BenchPoint is one machine-readable throughput measurement, the unit of
 // the committed BENCH_throughput.json trajectory.
 type BenchPoint struct {
-	Query           string  `json:"query"`
-	Protocol        string  `json:"protocol"`
-	BatchMaxRecords int     `json:"batch_max_records"`
-	Workers         int     `json:"workers"`
+	Query           string `json:"query"`
+	Protocol        string `json:"protocol"`
+	BatchMaxRecords int    `json:"batch_max_records"`
+	Workers         int    `json:"workers"`
+	// CPUs is the effective runtime.GOMAXPROCS the point ran under — read
+	// back from the runtime, never assumed. SpeedupVs1CPU relates the
+	// point's throughput to the same configuration's 1-cpu measurement
+	// (filled by the grid writer; 0 when no 1-cpu sibling exists).
+	CPUs            int     `json:"cpus,omitempty"`
+	SpeedupVs1CPU   float64 `json:"speedup_vs_1cpu,omitempty"`
 	Records         uint64  `json:"records"`
 	Seconds         float64 `json:"seconds"`
 	RecordsPerSec   float64 `json:"records_per_sec"`
@@ -121,6 +130,10 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 120 * time.Second
+	}
+	if cfg.CPUs > 0 {
+		prev := runtime.GOMAXPROCS(cfg.CPUs)
+		defer runtime.GOMAXPROCS(prev)
 	}
 	// Schedule the whole volume across a nominal 50ms window: effectively
 	// all records are due immediately, so sources run flat out.
@@ -213,6 +226,7 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		Protocol:        cfg.Protocol.Name(),
 		BatchMaxRecords: maxInt(cfg.BatchMaxRecords, 1),
 		Workers:         cfg.Workers,
+		CPUs:            runtime.GOMAXPROCS(0),
 		Records:         sum.SinkCount,
 		Seconds:         secs,
 		P50Millis:       float64(sum.Timeline.P50) / 1e6,

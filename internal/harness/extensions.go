@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"checkmate/internal/core"
@@ -452,6 +453,57 @@ func (s *Suite) AllocThroughputTable() (*metrics.Table, error) {
 			}
 		}
 		s.logf("alloc profile %-4s done", name)
+	}
+	return t, nil
+}
+
+// ScaleTable sweeps the cores axis: a q1 drain per protocol at GOMAXPROCS
+// 1/2/4/8 (batch 64, so the exchange runs its vectorized fast path),
+// reporting records/second and allocs/record next to the speedup over the
+// same protocol's 1-cpu row. This is the benchall view of the multi-core
+// scale-out work — lock-free SPSC exchange, sharded coordinator, striped
+// msglog; BENCH_throughput.json carries the same grid machine-readably.
+// The physical-core count is printed in the title: GOMAXPROCS beyond it
+// measures oversubscription behaviour (scheduler churn, lock convoying)
+// rather than hardware parallelism.
+func (s *Suite) ScaleTable() (*metrics.Table, error) {
+	t := metrics.NewTable(
+		fmt.Sprintf("Cores-axis scaling (q1 drain, 2 workers, 100k records, batch 64; %d physical cpus)", runtime.NumCPU()),
+		"Protocol", "CPUs", "krec/s", "vs 1 cpu", "allocs/rec", "GCs", "GC pause (ms)")
+	for _, name := range []string{"COOR", "UNC", "CIC"} {
+		p, err := protocol.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var base1 float64
+		for _, cpus := range []int{1, 2, 4, 8} {
+			pt, err := BenchThroughput(BenchConfig{
+				Query:           "q1",
+				Protocol:        p,
+				Workers:         2,
+				Records:         100_000,
+				BatchMaxRecords: 64,
+				CPUs:            cpus,
+				Seed:            s.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if cpus == 1 {
+				base1 = pt.RecordsPerSec
+			}
+			speedup := 0.0
+			if base1 > 0 {
+				speedup = pt.RecordsPerSec / base1
+			}
+			t.AddRow(pt.Protocol, pt.CPUs,
+				fmt.Sprintf("%.0f", pt.RecordsPerSec/1e3),
+				fmt.Sprintf("%.2fx", speedup),
+				fmt.Sprintf("%.2f", pt.AllocsPerRecord),
+				pt.GCCycles,
+				fmt.Sprintf("%.2f", pt.GCPauseTotalMs))
+		}
+		s.logf("scale sweep %-4s done", name)
 	}
 	return t, nil
 }

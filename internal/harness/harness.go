@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -33,6 +34,10 @@ type RunConfig struct {
 	Protocol core.Protocol
 	// Workers is the parallelism (one worker per parallel instance).
 	Workers int
+	// CPUs pins runtime.GOMAXPROCS for the run (restored afterwards),
+	// making the cores axis an explicit experiment dimension. 0 keeps the
+	// process setting.
+	CPUs int
 	// Rate is the total input event rate (events/second).
 	Rate float64
 	// Duration is the measured run length (the paper's 60 s, possibly
@@ -273,6 +278,10 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if cfg.PoisonFrames {
 		prev := core.SetFramePoison(true)
 		defer core.SetFramePoison(prev)
+	}
+	if cfg.CPUs > 0 {
+		prev := runtime.GOMAXPROCS(cfg.CPUs)
+		defer runtime.GOMAXPROCS(prev)
 	}
 	broker, job, produced, err := buildWorkload(&cfg)
 	if err != nil {

@@ -52,13 +52,20 @@ type channelLog struct {
 	bytes   uint64
 }
 
+// logShards stripes the channel→log map: every worker's sender goroutine
+// appends to the log on every flush under UNC/CIC, and a single map mutex
+// made those appends contend even though the per-channel logs underneath
+// already had their own locks. Channel ids spread across shards via a
+// Fibonacci hash, so appends from different workers (different channels)
+// take disjoint shard locks.
+const logShards = 32
+
 // Log is a collection of per-channel message logs. Channel identifiers are
 // opaque 64-bit keys chosen by the engine (they encode the edge and the
 // endpoint instances).
 type Log struct {
-	mu       sync.RWMutex
-	channels map[uint64]*channelLog
-	slicer   Slicer
+	shards [logShards]logShard
+	slicer Slicer
 	// slicerErrs counts frames whose re-framing failed (corrupt data).
 	// Range degrades to returning the whole frame (over-replay, which
 	// receivers deduplicate); TrimSuffix still drops the frame (a stale
@@ -67,9 +74,25 @@ type Log struct {
 	slicerErrs atomic.Uint64
 }
 
+// logShard is one stripe of the channel map. The RWMutex guards only the
+// map; entry mutation is guarded by each channelLog's own mutex.
+type logShard struct {
+	mu       sync.RWMutex
+	channels map[uint64]*channelLog
+}
+
+// shardOf picks the stripe for a channel id.
+func (l *Log) shardOf(ch uint64) *logShard {
+	return &l.shards[(ch*0x9E3779B97F4A7C15)>>(64-5)]
+}
+
 // New returns an empty log that only accepts single-record appends.
 func New() *Log {
-	return &Log{channels: make(map[uint64]*channelLog)}
+	l := &Log{}
+	for i := range l.shards {
+		l.shards[i].channels = make(map[uint64]*channelLog)
+	}
+	return l
 }
 
 // NewWithSlicer returns an empty log that accepts batched appends,
@@ -81,20 +104,30 @@ func NewWithSlicer(s Slicer) *Log {
 }
 
 func (l *Log) channel(ch uint64) *channelLog {
-	l.mu.RLock()
-	cl, ok := l.channels[ch]
-	l.mu.RUnlock()
+	s := l.shardOf(ch)
+	s.mu.RLock()
+	cl, ok := s.channels[ch]
+	s.mu.RUnlock()
 	if ok {
 		return cl
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if cl, ok = l.channels[ch]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cl, ok = s.channels[ch]; ok {
 		return cl
 	}
 	cl = &channelLog{base: 1}
-	l.channels[ch] = cl
+	s.channels[ch] = cl
 	return cl
+}
+
+// lookup returns the channel's log without creating it.
+func (l *Log) lookup(ch uint64) (*channelLog, bool) {
+	s := l.shardOf(ch)
+	s.mu.RLock()
+	cl, ok := s.channels[ch]
+	s.mu.RUnlock()
+	return cl, ok
 }
 
 // Append logs a single-record frame with sequence number seq on channel ch.
@@ -131,9 +164,7 @@ func (l *Log) AppendBatch(ch uint64, firstSeq uint64, count int, data []byte) {
 // the slicer so the returned entries cover exactly the requested records;
 // records below the trimmed prefix are silently absent.
 func (l *Log) Range(ch uint64, fromExcl, toIncl uint64) []Entry {
-	l.mu.RLock()
-	cl, ok := l.channels[ch]
-	l.mu.RUnlock()
+	cl, ok := l.lookup(ch)
 	if !ok {
 		return nil
 	}
@@ -188,9 +219,7 @@ func (l *Log) slice(e Entry, fromSeq, toSeq uint64) (Entry, error) {
 // It is called when a checkpoint frontier makes the prefix unnecessary.
 // A batch straddling the boundary is re-framed to its surviving suffix.
 func (l *Log) Trim(ch uint64, seq uint64) {
-	l.mu.RLock()
-	cl, ok := l.channels[ch]
-	l.mu.RUnlock()
+	cl, ok := l.lookup(ch)
 	if !ok {
 		return
 	}
@@ -228,9 +257,7 @@ func (l *Log) Trim(ch uint64, seq uint64) {
 // with different content), so the stale suffix must not survive. A batch
 // straddling the boundary is re-framed to its surviving prefix.
 func (l *Log) TrimSuffix(ch uint64, seq uint64) {
-	l.mu.RLock()
-	cl, ok := l.channels[ch]
-	l.mu.RUnlock()
+	cl, ok := l.lookup(ch)
 	if !ok {
 		return
 	}
@@ -265,12 +292,15 @@ func (l *Log) TrimSuffix(ch uint64, seq uint64) {
 // TrimSuffixAll applies TrimSuffix to every channel using the frontier map;
 // channels absent from the map are truncated entirely (frontier 0).
 func (l *Log) TrimSuffixAll(frontier map[uint64]uint64) {
-	l.mu.RLock()
-	chs := make([]uint64, 0, len(l.channels))
-	for ch := range l.channels {
-		chs = append(chs, ch)
+	var chs []uint64
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.RLock()
+		for ch := range s.channels {
+			chs = append(chs, ch)
+		}
+		s.mu.RUnlock()
 	}
-	l.mu.RUnlock()
 	for _, ch := range chs {
 		l.TrimSuffix(ch, frontier[ch])
 	}
@@ -291,19 +321,22 @@ type Stats struct {
 
 // Stats returns a snapshot of the log's aggregate size.
 func (l *Log) Stats() Stats {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
 	var s Stats
-	s.Channels = len(l.channels)
 	s.SlicerErrors = l.slicerErrs.Load()
-	for _, cl := range l.channels {
-		cl.mu.Lock()
-		s.Entries += len(cl.entries)
-		for _, e := range cl.entries {
-			s.Records += e.Count
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.RLock()
+		s.Channels += len(sh.channels)
+		for _, cl := range sh.channels {
+			cl.mu.Lock()
+			s.Entries += len(cl.entries)
+			for _, e := range cl.entries {
+				s.Records += e.Count
+			}
+			s.Bytes += cl.bytes
+			cl.mu.Unlock()
 		}
-		s.Bytes += cl.bytes
-		cl.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return s
 }
