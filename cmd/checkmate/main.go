@@ -51,6 +51,9 @@ func main() {
 		batch     = flag.Int("batch", 0, "exchange batch size in records (0/1 = unbatched)")
 		batchB    = flag.Int("batch-bytes", 0, "exchange batch size bound in bytes (0 = default 32KiB)")
 		batchL    = flag.Int("batch-linger", 0, "exchange batch linger bound in poll-interval ticks (0 = default 1)")
+		durable   = flag.Bool("durable", false, "enable the filesystem durability tier: disk-backed object store plus a WAL behind the message log (UNC/CIC)")
+		walDir    = flag.String("wal-dir", "", "directory for durable files (blobs/ and wal/); default: a fresh temp dir removed after the run")
+		walSync   = flag.String("wal-sync", "group", "WAL sync policy for -durable: always, group or interval")
 		benchJSON = flag.String("bench-json", "", "run the data-plane throughput grid (query x protocol x batch size) and write machine-readable results to this file")
 
 		clusterN   = flag.Int("cluster", 0, "cluster worker count instances are placed on (0 = -workers)")
@@ -138,6 +141,9 @@ func main() {
 		FailDomain:           *failDomain,
 		FailRackSize:         *rackSize,
 		LocalCache:           *localCache,
+		Durable:              *durable,
+		DurableDir:           *walDir,
+		WALSync:              *walSync,
 	}
 	switch *output {
 	case "none":
@@ -363,6 +369,40 @@ func runBenchGrid(path string) error {
 			}
 			fmt.Printf("q1   %-5s cpus=%-2d    %10.0f rec/s  %5.2fx vs 1 cpu  %6.2f allocs/rec  gc=%d/%.2fms\n",
 				pn, pt.CPUs, pt.RecordsPerSec, pt.SpeedupVs1CPU, pt.AllocsPerRecord, pt.GCCycles, pt.GCPauseTotalMs)
+			out.Points = append(out.Points, pt)
+		}
+	}
+	// Durability grid: q1 per protocol at batch 8, durability off (the
+	// in-memory baseline), group commit and fsync-per-commit. The logging
+	// protocols pay the WAL; COOR pays only the disk object store — the
+	// protocols' durability cost asymmetry, measured. 100k records keep the
+	// sync-always points (one fsync per WAL commit) from dominating the
+	// grid's runtime.
+	const durableRecords = 100_000
+	for _, pn := range protocols {
+		p, err := checkmate.ProtocolByName(pn)
+		if err != nil {
+			return err
+		}
+		for _, mode := range []string{"off", "group", "always"} {
+			cfg := checkmate.BenchConfig{
+				Query:           "q1",
+				Protocol:        p,
+				Workers:         out.Workers,
+				Records:         durableRecords,
+				BatchMaxRecords: 8,
+				Repeat:          3,
+			}
+			if mode != "off" {
+				cfg.Durable = true
+				cfg.WALSync = mode
+			}
+			pt, err := checkmate.BenchThroughput(cfg)
+			if err != nil {
+				return fmt.Errorf("bench durable q1/%s/%s: %w", pn, mode, err)
+			}
+			fmt.Printf("q1   %-5s durable=%-6s %10.0f rec/s  wal: %d appends / %d fsyncs (%d B)  store fsyncs: %d\n",
+				pn, mode, pt.RecordsPerSec, pt.WALAppends, pt.WALFsyncs, pt.WALBytes, pt.StoreFsyncs)
 			out.Points = append(out.Points, pt)
 		}
 	}
@@ -598,6 +638,14 @@ func printResult(res checkmate.RunResult) {
 		fmt.Printf("  rollback scope:     avg %.1f / max %d of %d instances (avg depth %.2f)\n",
 			res.Scope.AvgScope, res.Scope.MaxScope, res.Scope.Instances, res.Scope.AvgDepth)
 	}
+	if res.Config.Durable {
+		fmt.Printf("  durability:         wal-sync=%s, store fsyncs %d\n", res.Config.WALSync, res.Store.Fsyncs)
+		if res.WAL.Appends > 0 {
+			amort := float64(res.WAL.Appends) / float64(max64(res.WAL.Fsyncs, 1))
+			fmt.Printf("    wal: %d appends, %d fsyncs (%.1f appends/fsync), %d B written, %d segments, %d recovered\n",
+				res.WAL.Appends, res.WAL.Fsyncs, amort, res.WAL.BytesWritten, res.WAL.SegmentsCreated, res.WAL.Recovered)
+		}
+	}
 	for _, n := range s.Notes {
 		fmt.Printf("  note: %s\n", n)
 	}
@@ -607,4 +655,11 @@ func printResult(res checkmate.RunResult) {
 			pt.Start.Seconds(), pt.Count,
 			float64(pt.P50)/1e6, float64(pt.P99)/1e6)
 	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
 }

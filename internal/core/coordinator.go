@@ -356,6 +356,8 @@ func (c *coordinator) deleteBlobs(victims []recovery.Meta) {
 	var bytes uint64
 	for _, m := range victims {
 		bytes += uint64(c.eng.cfg.Store.Delete(m.SelfKey()))
+		// A GC'd checkpoint must not be rediscovered by a cold restart.
+		c.eng.dropMeta(m.SelfKey())
 		if c.eng.cache != nil {
 			// A blob deleted from the store must not linger in worker
 			// memory either, or a later recovery could restore state the
@@ -459,6 +461,7 @@ func (c *coordinator) resetAfterFailure(line recovery.Line) {
 	// systems do after a restore.
 	c.lastInitiate = time.Time{}
 
+	var purgedKeys []string
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -466,6 +469,8 @@ func (c *coordinator) resetAfterFailure(line recovery.Line) {
 		for _, m := range sh.metas {
 			if ref, ok := line[m.Ref.Instance]; !ok || m.Ref.Seq <= ref.Seq {
 				keep = append(keep, m)
+			} else if c.eng.cfg.Durability.Enabled {
+				purgedKeys = append(purgedKeys, m.SelfKey())
 			}
 		}
 		sh.metas = keep
@@ -474,6 +479,13 @@ func (c *coordinator) resetAfterFailure(line recovery.Line) {
 			sh.durable[m.SelfKey()] = true
 		}
 		sh.mu.Unlock()
+	}
+	// Rollback invalidated these checkpoints; their persisted metadata
+	// must not seed a later cold restart. (The restarted instances
+	// re-use the sequence numbers, so a stale meta would shadow the
+	// fresh checkpoint's meta blob under the same key.)
+	for _, k := range purgedKeys {
+		c.eng.dropMeta(k)
 	}
 }
 

@@ -133,6 +133,10 @@ type Config struct {
 	// MaxRecords=1, which preserves the unbatched engine's per-message
 	// interleavings exactly.
 	Batching BatchingConfig
+	// Durability configures the real filesystem durability tier:
+	// persisted checkpoint metadata (cold restart) and, for the logging
+	// protocols, a WAL behind the message log. See durability.go.
+	Durability DurabilityConfig
 	// SyncSnapshots serializes checkpoint state on the processing goroutine
 	// (the pre-async behaviour) instead of freezing a copy-on-write capture
 	// and materializing it on the worker's uploader. Only the serialization
@@ -241,7 +245,11 @@ type Engine struct {
 	// queueIdx maps channelKey -> receiver's local queue index.
 	queueIdx map[uint64]int
 
-	log    *msglog.Log
+	// log is the message log behind the Backend seam: the in-memory Log
+	// by default, a WAL-backed DurableLog (dlog non-nil) when the
+	// durability tier is on.
+	log    msglog.Backend
+	dlog   *msglog.DurableLog
 	coord  *coordinator
 	output *outputCollector
 	start  time.Time
@@ -302,6 +310,9 @@ func NewEngine(cfg Config, job *JobSpec) (*Engine, error) {
 		log:       msglog.NewWithSlicer(sliceBatchEnvelope),
 		output:    newOutputCollector(cfg.Output),
 		lingerNS:  int64(cfg.Batching.LingerTicks) * cfg.PollInterval.Nanoseconds(),
+	}
+	if err := e.openDurableLog(); err != nil {
+		return nil, err
 	}
 	e.base = make([]int, len(job.Ops))
 	for i := range job.Ops {
@@ -381,9 +392,24 @@ func (e *Engine) Start() error {
 		runtime.GOMAXPROCS(e.cfg.CPUs)
 	}
 	e.start = time.Now()
-	w, err := e.buildWorld(nil, nil)
-	if err != nil {
-		return err
+	var (
+		w   *world
+		err error
+	)
+	if e.cfg.Durability.Enabled {
+		// Cold restart: if a previous process left durable checkpoints
+		// (and, for logging protocols, WAL segments) behind, restore
+		// from them instead of starting fresh.
+		w, err = e.coldStart()
+		if err != nil {
+			return err
+		}
+	}
+	if w == nil {
+		w, err = e.buildWorld(nil, nil)
+		if err != nil {
+			return err
+		}
 	}
 	e.world = w
 	e.launch(w)
@@ -1063,6 +1089,9 @@ func (e *Engine) Stop() {
 	if !acctSet {
 		acct := e.coord.endOfRunAccounting()
 		e.cfg.Recorder.SetCheckpointAccounting(acct.total, acct.invalid)
+	}
+	if e.dlog != nil {
+		e.dlog.Close()
 	}
 }
 

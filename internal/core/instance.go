@@ -751,6 +751,13 @@ func (it *instance) snapshotState(round uint64, forced bool) *uploadJob {
 	storeKey := it.storeKey()
 	sync := it.eng.cfg.SyncSnapshots
 	job := &uploadJob{it: it}
+	if it.eng.dlog != nil {
+		// Log-before-checkpoint barrier anchor: the flush above already
+		// wrote every append this checkpoint's sent frontier covers, so
+		// the current WAL position bounds them all. The uploader waits
+		// for the WAL to sync past it before the checkpoint is reported.
+		job.walLSN = it.eng.dlog.LastLSN()
+	}
 	enc := wire.NewEncoder(make([]byte, 0, 1024))
 	job.state = enc
 	switch {

@@ -41,6 +41,12 @@ type uploadJob struct {
 	// channel-state section. Owned by the job.
 	state *wire.Encoder
 	meta  recovery.Meta
+	// walLSN is the WAL position captured with the snapshot (durable
+	// runs of logging protocols only): the uploader blocks on the
+	// log-before-checkpoint barrier at this LSN before reporting, so a
+	// checkpoint never becomes part of a recovery line while an append
+	// it depends on is still waiting for its fsync.
+	walLSN uint64
 	// syncDur is the synchronous capture time the checkpoint already spent
 	// on its instance goroutine. The duration reported to the coordinator
 	// is syncDur plus the uploader's active time (materialize + compress +
@@ -161,6 +167,30 @@ func (it *instance) processUpload(job *uploadJob) {
 				// recovery that leaves this worker alive restores from here
 				// instead of the object store.
 				it.eng.cache.Put(it.worker, key, blob)
+			}
+			if it.eng.cfg.Durability.Enabled {
+				// Log-before-checkpoint barrier: the WAL must be synced
+				// past every append this checkpoint covers before the
+				// checkpoint can anchor a recovery line. This is where
+				// the pipelined group-commit append path pays its (one,
+				// amortized) fsync wait.
+				if it.eng.dlog != nil {
+					if berr := it.eng.dlog.Barrier(job.walLSN); berr != nil {
+						rec.Note("checkpoint %s wal barrier failed: %v", key, berr)
+						it.abandonChainBlob()
+						return
+					}
+				}
+				// The metadata blob makes the checkpoint discoverable by
+				// a cold restart. It must be durable before the
+				// coordinator can anchor anything on this checkpoint —
+				// a crash between blob and meta leaves an unreferenced
+				// blob (harmless), never a dangling meta.
+				if merr := it.eng.persistMeta(job.meta); merr != nil {
+					rec.Note("checkpoint metadata persist %s failed: %v", key, merr)
+					it.abandonChainBlob()
+					return
+				}
 			}
 			rec.RecordUploadDuration(time.Since(uploadStart))
 			it.eng.coord.report(job.meta, job.syncDur+time.Since(procStart))

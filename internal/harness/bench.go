@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"checkmate/internal/core"
 	"checkmate/internal/metrics"
 	"checkmate/internal/objstore"
+	"checkmate/internal/wal"
 )
 
 // BenchConfig describes one data-plane throughput measurement: a fixed
@@ -55,6 +58,14 @@ type BenchConfig struct {
 	// large-state configuration whose steady-state capture pause is
 	// O(dirty-set).
 	DeltaCheckpoints bool
+	// Durable runs the measurement over the real filesystem durability
+	// tier: disk-backed object store plus, for the logging protocols, a
+	// WAL behind the message log. Files live in a fresh temp directory
+	// removed after the measurement.
+	Durable bool
+	// WALSync is the WAL sync policy of a durable measurement ("always",
+	// "group" or "interval"; default "group").
+	WALSync string
 }
 
 // BenchPoint is one machine-readable throughput measurement, the unit of
@@ -105,6 +116,17 @@ type BenchPoint struct {
 	MeanMaterializeMs float64 `json:"mean_materialize_ms"`
 	MeanUploadMs      float64 `json:"mean_upload_ms"`
 	CkptP99DeltaMs    float64 `json:"ckpt_p99_delta_ms"`
+	// Durability columns (zero/absent unless the point ran durable).
+	// WALFsyncs/WALBytes count the message-log WAL's fsyncs and bytes
+	// written; StoreFsyncs counts the disk object store's fsyncs. The
+	// fsync-per-append ratio is the group-commit amortization the durable
+	// table demonstrates.
+	Durable     bool   `json:"durable,omitempty"`
+	WALSync     string `json:"wal_sync,omitempty"`
+	WALAppends  uint64 `json:"wal_appends,omitempty"`
+	WALFsyncs   uint64 `json:"wal_fsyncs,omitempty"`
+	WALBytes    uint64 `json:"wal_bytes,omitempty"`
+	StoreFsyncs uint64 `json:"store_fsyncs,omitempty"`
 }
 
 // BenchThroughput generates cfg.Records records all scheduled within the
@@ -151,12 +173,38 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 	if err != nil {
 		return BenchPoint{}, err
 	}
-	store := objstore.New(objstore.Config{
+	storeCfg := objstore.Config{
 		PutLatency:     2 * time.Millisecond,
 		GetLatency:     2 * time.Millisecond,
 		PerByteLatency: time.Nanosecond,
 		Seed:           cfg.Seed,
-	})
+	}
+	var durability core.DurabilityConfig
+	if cfg.Durable {
+		dir, terr := os.MkdirTemp("", "checkmate-bench-*")
+		if terr != nil {
+			return BenchPoint{}, fmt.Errorf("harness: durable bench dir: %w", terr)
+		}
+		defer os.RemoveAll(dir)
+		policy := wal.SyncGroup
+		if cfg.WALSync != "" {
+			p, perr := wal.PolicyByName(cfg.WALSync)
+			if perr != nil {
+				return BenchPoint{}, fmt.Errorf("harness: %w", perr)
+			}
+			policy = p
+		}
+		storeCfg.Dir = filepath.Join(dir, "blobs")
+		durability = core.DurabilityConfig{
+			Enabled: true,
+			WALDir:  filepath.Join(dir, "wal"),
+			Sync:    policy,
+		}
+	}
+	store, err := objstore.Open(storeCfg)
+	if err != nil {
+		return BenchPoint{}, fmt.Errorf("harness: open store: %w", err)
+	}
 	recorder := metrics.NewRecorder(time.Now(), cfg.Timeout, time.Second)
 	eng, err := core.NewEngine(core.Config{
 		Workers:            cfg.Workers,
@@ -170,6 +218,7 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		Batching:           core.BatchingConfig{MaxRecords: cfg.BatchMaxRecords},
 		SyncSnapshots:      cfg.SyncSnapshots,
 		DeltaCheckpoints:   cfg.DeltaCheckpoints,
+		Durability:         durability,
 		Seed:               cfg.Seed,
 	}, job)
 	if err != nil {
@@ -250,6 +299,15 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		MeanMaterializeMs: ms(sum.MeanMaterialize),
 		MeanUploadMs:      ms(sum.MeanUpload),
 		CkptP99DeltaMs:    ms(sum.CkptBucketP99 - sum.QuietBucketP99),
+	}
+	if cfg.Durable {
+		ws := eng.WALStats()
+		pt.Durable = true
+		pt.WALSync = string(durability.Sync)
+		pt.WALAppends = ws.Appends
+		pt.WALFsyncs = ws.Fsyncs
+		pt.WALBytes = ws.BytesWritten
+		pt.StoreFsyncs = store.Stats().Fsyncs
 	}
 	if sum.SinkCount > 0 {
 		pt.AllocsPerRecord = float64(m1.Mallocs-m0.Mallocs) / float64(sum.SinkCount)

@@ -507,3 +507,63 @@ func (s *Suite) ScaleTable() (*metrics.Table, error) {
 	}
 	return t, nil
 }
+
+// DurableTable measures what real durability costs: a q1 drain per
+// protocol with durability off (the in-memory baseline every other table
+// runs on), with group commit, and with an fsync per WAL commit. COOR
+// never message-logs, so its durable rows pay only the disk object
+// store's fsyncs; the logging families (UNC, CIC) additionally fsync the
+// message-log WAL, and the appends/fsync column is the amortization the
+// group-commit protocol buys back — many concurrent appends riding one
+// fsync instead of one each. BENCH_throughput.json carries the same grid
+// machine-readably.
+func (s *Suite) DurableTable() (*metrics.Table, error) {
+	t := metrics.NewTable("Durability cost (q1 drain, 2 workers, 100k records, batch 8)",
+		"Protocol", "Durability", "krec/s", "vs off", "WAL appends", "WAL fsyncs", "appends/fsync", "WAL MB", "store fsyncs")
+	for _, name := range []string{"COOR", "UNC", "CIC"} {
+		p, err := protocol.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var baseOff float64
+		for _, mode := range []string{"off", "group", "always"} {
+			cfg := BenchConfig{
+				Query:           "q1",
+				Protocol:        p,
+				Workers:         2,
+				Records:         100_000,
+				BatchMaxRecords: 8,
+				Seed:            s.Seed,
+			}
+			if mode != "off" {
+				cfg.Durable = true
+				cfg.WALSync = mode
+			}
+			pt, err := BenchThroughput(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if mode == "off" {
+				baseOff = pt.RecordsPerSec
+			}
+			rel := 0.0
+			if baseOff > 0 {
+				rel = pt.RecordsPerSec / baseOff
+			}
+			amort := "-"
+			if pt.WALFsyncs > 0 {
+				amort = fmt.Sprintf("%.1f", float64(pt.WALAppends)/float64(pt.WALFsyncs))
+			}
+			t.AddRow(pt.Protocol, mode,
+				fmt.Sprintf("%.0f", pt.RecordsPerSec/1e3),
+				fmt.Sprintf("%.2fx", rel),
+				pt.WALAppends,
+				pt.WALFsyncs,
+				amort,
+				fmt.Sprintf("%.1f", float64(pt.WALBytes)/1e6),
+				pt.StoreFsyncs)
+		}
+		s.logf("durable sweep %-4s done", name)
+	}
+	return t, nil
+}

@@ -7,6 +7,8 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"checkmate/internal/nexmark"
 	"checkmate/internal/objstore"
 	"checkmate/internal/recovery"
+	"checkmate/internal/wal"
 )
 
 // QueryCyclic names the cyclic reachability query in RunConfig.Query.
@@ -149,6 +152,18 @@ type RunConfig struct {
 	// window corrupts deterministically instead of silently. The setting is
 	// process-wide while the run executes and restored afterwards.
 	PoisonFrames bool
+	// Durable enables the filesystem durability tier: checkpoint blobs go
+	// to a disk-backed object store and, for the logging protocols, every
+	// message-log append tees through a segmented WAL before it is
+	// acknowledged. Store latency simulation (StorePutLatency etc.) still
+	// applies on top of the real disk I/O.
+	Durable bool
+	// DurableDir roots the durable files (blobs/ and wal/ subdirectories).
+	// Empty = a fresh temporary directory, removed when the run ends.
+	DurableDir string
+	// WALSync selects the WAL sync policy: "always", "group" (default) or
+	// "interval". See wal.SyncPolicy.
+	WALSync string
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -208,6 +223,9 @@ type RunResult struct {
 	VisibilityP50, VisibilityP99 time.Duration
 	// Store reports the checkpoint-store traffic of the run.
 	Store objstore.Stats
+	// WAL reports the message-log WAL counters of a durable run (zero
+	// unless RunConfig.Durable and the protocol logs messages).
+	WAL wal.Stats
 	// Scope summarizes the single-failure rollback-scope analysis (set by
 	// RunConfig.AnalyzeRollbackScope).
 	Scope ScopeStats
@@ -287,13 +305,43 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	store := objstore.New(objstore.Config{
+	storeCfg := objstore.Config{
 		PutLatency:     cfg.StorePutLatency,
 		GetLatency:     cfg.StoreGetLatency,
 		PerByteLatency: time.Nanosecond,
 		FailureRate:    cfg.StoreFailureRate,
 		Seed:           cfg.Seed,
-	})
+	}
+	var durability core.DurabilityConfig
+	if cfg.Durable {
+		dir := cfg.DurableDir
+		if dir == "" {
+			tmp, terr := os.MkdirTemp("", "checkmate-durable-*")
+			if terr != nil {
+				return RunResult{}, fmt.Errorf("harness: durable dir: %w", terr)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		policy := wal.SyncGroup
+		if cfg.WALSync != "" {
+			p, perr := wal.PolicyByName(cfg.WALSync)
+			if perr != nil {
+				return RunResult{}, fmt.Errorf("harness: %w", perr)
+			}
+			policy = p
+		}
+		storeCfg.Dir = filepath.Join(dir, "blobs")
+		durability = core.DurabilityConfig{
+			Enabled: true,
+			WALDir:  filepath.Join(dir, "wal"),
+			Sync:    policy,
+		}
+	}
+	store, err := objstore.Open(storeCfg)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("harness: open store: %w", err)
+	}
 	bucket := cfg.Duration / 60 // always 60 "paper seconds"
 	if bucket <= 0 {
 		bucket = time.Second
@@ -320,6 +368,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		WatermarkLag:        cfg.WatermarkLag,
 		CompressCheckpoints: cfg.CompressCheckpoints,
 		DeltaCheckpoints:    cfg.DeltaCheckpoints,
+		Durability:          durability,
 		SyncSnapshots:       cfg.SyncSnapshots,
 		Cluster: cluster.Config{
 			Workers:    cfg.ClusterWorkers,
@@ -421,6 +470,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Produced:    produced,
 	}
 	res.Store = store.Stats()
+	res.WAL = eng.WALStats()
 	if cfg.AnalyzeRollbackScope && cfg.Protocol.Kind().NeedsLogging() {
 		res.Scope = analyzeScope(eng)
 	}

@@ -289,9 +289,8 @@ func (l *Log) TrimSuffix(ch uint64, seq uint64) {
 	}
 }
 
-// TrimSuffixAll applies TrimSuffix to every channel using the frontier map;
-// channels absent from the map are truncated entirely (frontier 0).
-func (l *Log) TrimSuffixAll(frontier map[uint64]uint64) {
+// channelIDs snapshots the ids of every channel with a log.
+func (l *Log) channelIDs() []uint64 {
 	var chs []uint64
 	for i := range l.shards {
 		s := &l.shards[i]
@@ -301,7 +300,13 @@ func (l *Log) TrimSuffixAll(frontier map[uint64]uint64) {
 		}
 		s.mu.RUnlock()
 	}
-	for _, ch := range chs {
+	return chs
+}
+
+// TrimSuffixAll applies TrimSuffix to every channel using the frontier map;
+// channels absent from the map are truncated entirely (frontier 0).
+func (l *Log) TrimSuffixAll(frontier map[uint64]uint64) {
+	for _, ch := range l.channelIDs() {
 		l.TrimSuffix(ch, frontier[ch])
 	}
 }
@@ -317,6 +322,9 @@ type Stats struct {
 	// SlicerErrors counts frames whose record-granular re-framing failed;
 	// non-zero means corrupt logged data was handled conservatively.
 	SlicerErrors uint64
+	// WALErrors counts durable-backend write failures (always zero for
+	// the in-memory log).
+	WALErrors uint64
 }
 
 // Stats returns a snapshot of the log's aggregate size.

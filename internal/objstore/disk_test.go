@@ -1,0 +1,142 @@
+package objstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func openDiskT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open(Dir=%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestDiskPutGetDeleteRoundTrip(t *testing.T) {
+	s := openDiskT(t, t.TempDir())
+	key := "ckpt/q1/op/0/42" // slashes must survive the file-name escape
+	data := []byte("hello blob")
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+	if n := s.Delete(key); n != len(data) {
+		t.Fatalf("delete freed %d bytes, want %d", n, len(data))
+	}
+	if _, err := s.Get(key); err == nil {
+		t.Fatal("get after delete succeeded")
+	}
+	if s.Delete(key) != 0 {
+		t.Fatal("double delete freed bytes")
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openDiskT(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("meta/ckpt-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Crash": drop the Store value, reopen over the same directory.
+	s2 := openDiskT(t, dir)
+	keys := s2.List("meta/")
+	if len(keys) != 5 {
+		t.Fatalf("reopened store lists %d keys, want 5", len(keys))
+	}
+	got, err := s2.Get("meta/ckpt-3")
+	if err != nil || !bytes.Equal(got, []byte{3}) {
+		t.Fatalf("reopened get: %v %q", err, got)
+	}
+}
+
+// TestDiskCrashAtomicity drops stray *.tmp files (a crash mid-Put) into
+// the blob dir and asserts Get/List ignore them and a fresh Open sweeps
+// them away.
+func TestDiskCrashAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	s := openDiskT(t, dir)
+	if err := s.Put("real-key", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	for _, stray := range []string{"put-123.tmp", "put-deadbeef.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, stray), []byte("torn half-write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if keys := s.List(""); !reflect.DeepEqual(keys, []string{"real-key"}) {
+		t.Fatalf("List sees stray tmp files: %v", keys)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len counts stray tmp files: %d", s.Len())
+	}
+	if _, err := s.Get("put-123"); err == nil {
+		t.Fatal("Get served a stray tmp file")
+	}
+
+	// Startup sweep: reopening removes the strays from disk.
+	openDiskT(t, dir)
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("startup sweep left %s behind", e.Name())
+		}
+	}
+}
+
+func TestDiskFsyncCounted(t *testing.T) {
+	s := openDiskT(t, t.TempDir())
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Fsyncs == 0 {
+		t.Fatalf("disk Put issued no fsyncs: %+v", st)
+	}
+}
+
+// TestListSortedSnapshotEquality pins the List contract across the
+// sort-outside-the-lock change: the result is sorted and contains
+// exactly the matching key set, for both backends.
+func TestListSortedSnapshotEquality(t *testing.T) {
+	for _, mode := range []string{"mem", "disk"} {
+		t.Run(mode, func(t *testing.T) {
+			cfg := Config{}
+			if mode == "disk" {
+				cfg.Dir = t.TempDir()
+			}
+			s, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"a/3", "a/1", "a/2", "b/1", "a/10"}
+			for _, k := range want {
+				if err := s.Put(k, []byte(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := s.List("a/")
+			if !sort.StringsAreSorted(got) {
+				t.Fatalf("List not sorted: %v", got)
+			}
+			wantSet := []string{"a/1", "a/10", "a/2", "a/3"}
+			if !reflect.DeepEqual(got, wantSet) {
+				t.Fatalf("List result set changed: got %v want %v", got, wantSet)
+			}
+		})
+	}
+}

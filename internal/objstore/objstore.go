@@ -1,8 +1,15 @@
-// Package objstore simulates the persistent object store the paper's
+// Package objstore models the persistent object store the paper's
 // testbed uses for operator state checkpoints (Minio). It is a durable
 // (failure-surviving) key-value blob store with configurable PUT/GET
 // latency, so checkpoint time = serialization + upload, and restart time
 // includes state download — the two cost components the paper measures.
+//
+// Two backends sit behind the Store API: the default in-memory map (the
+// fast test path, surviving simulated worker failures but not process
+// crashes) and a disk backend (Config.Dir) that stores each blob as a
+// file via write-temp-fsync-rename, so checkpoints survive a real
+// process crash and a restarted engine can recover from the files.
+// Latency simulation and failure injection compose with either backend.
 package objstore
 
 import (
@@ -15,7 +22,7 @@ import (
 	"time"
 )
 
-// Config controls the simulated store behaviour.
+// Config controls the store behaviour.
 type Config struct {
 	// PutLatency is the simulated latency of a blob upload.
 	PutLatency time.Duration
@@ -30,32 +37,72 @@ type Config struct {
 	FailureRate float64
 	// Seed drives the deterministic failure injection.
 	Seed int64
+	// Dir, when non-empty, selects the disk backend: blobs live as
+	// files under Dir, written crash-atomically (temp + fsync + rename).
+	Dir string
+}
+
+// Backend is the seam between the Store API and blob persistence. The
+// in-memory map is the default; the disk backend adds real durability.
+// List returns an unsorted snapshot — the Store sorts above the seam so
+// no backend holds a lock across the sort.
+type Backend interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, bool, error)
+	Delete(key string) (int, error)
+	List(prefix string) ([]string, error)
+	Len() int
+	// Fsyncs reports how many fsync calls the backend has issued
+	// (always zero for the in-memory backend).
+	Fsyncs() uint64
 }
 
 // Store is a durable blob store. The zero value is not usable; construct
-// with New.
+// with New or Open.
 type Store struct {
-	cfg Config
-
-	mu    sync.RWMutex
-	blobs map[string][]byte
+	cfg     Config
+	backend Backend
 
 	puts      atomic.Uint64
 	gets      atomic.Uint64
 	putBytes  atomic.Uint64
 	getBytes  atomic.Uint64
 	failures  atomic.Uint64
+	errors    atomic.Uint64
 	sleepFunc func(time.Duration)
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 }
 
-// New returns an empty store with the given config.
-func New(cfg Config) *Store {
-	s := &Store{cfg: cfg, blobs: make(map[string][]byte), sleepFunc: time.Sleep}
+// Open returns a store with the backend selected by cfg: in-memory by
+// default, disk-backed when cfg.Dir is set (creating the directory and
+// sweeping stale *.tmp files left by a crash mid-Put).
+func Open(cfg Config) (*Store, error) {
+	var backend Backend
+	if cfg.Dir != "" {
+		db, err := newDiskBackend(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		backend = db
+	} else {
+		backend = newMemBackend()
+	}
+	s := &Store{cfg: cfg, backend: backend, sleepFunc: time.Sleep}
 	if cfg.FailureRate > 0 {
 		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return s, nil
+}
+
+// New returns an empty in-memory store with the given config. It
+// panics if cfg selects a disk backend that fails to initialize; use
+// Open to handle that error.
+func New(cfg Config) *Store {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("objstore: %v", err))
 	}
 	return s
 }
@@ -89,12 +136,11 @@ func (s *Store) Put(key string, data []byte) error {
 	if s.injectFailure() {
 		return fmt.Errorf("objstore: injected transient PUT failure for %q", key)
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
 	s.simulate(s.cfg.PutLatency, len(data))
-	s.mu.Lock()
-	s.blobs[key] = cp
-	s.mu.Unlock()
+	if err := s.backend.Put(key, data); err != nil {
+		s.errors.Add(1)
+		return fmt.Errorf("objstore: put %q: %w", key, err)
+	}
 	s.puts.Add(1)
 	s.putBytes.Add(uint64(len(data)))
 	return nil
@@ -105,51 +151,46 @@ func (s *Store) Get(key string) ([]byte, error) {
 	if s.injectFailure() {
 		return nil, fmt.Errorf("objstore: injected transient GET failure for %q", key)
 	}
-	s.mu.RLock()
-	data, ok := s.blobs[key]
-	s.mu.RUnlock()
+	data, ok, err := s.backend.Get(key)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, fmt.Errorf("objstore: get %q: %w", key, err)
+	}
 	if !ok {
 		return nil, fmt.Errorf("objstore: key %q not found", key)
 	}
 	s.simulate(s.cfg.GetLatency, len(data))
-	cp := make([]byte, len(data))
-	copy(cp, data)
 	s.gets.Add(1)
 	s.getBytes.Add(uint64(len(data)))
-	return cp, nil
+	return data, nil
 }
 
 // Delete removes the blob stored under key and returns the number of bytes
 // freed. Deleting a missing key is not an error (idempotent, like S3) and
 // frees zero bytes.
 func (s *Store) Delete(key string) int {
-	s.mu.Lock()
-	n := len(s.blobs[key])
-	delete(s.blobs, key)
-	s.mu.Unlock()
+	n, err := s.backend.Delete(key)
+	if err != nil {
+		s.errors.Add(1)
+	}
 	return n
 }
 
-// List returns all keys with the given prefix, sorted.
+// List returns all keys with the given prefix, sorted. The backend
+// hands back an unsorted snapshot and the sort happens here, above the
+// seam, so no lock is held across it.
 func (s *Store) List(prefix string) []string {
-	s.mu.RLock()
-	keys := make([]string, 0, 8)
-	for k := range s.blobs {
-		if strings.HasPrefix(k, prefix) {
-			keys = append(keys, k)
-		}
+	keys, err := s.backend.List(prefix)
+	if err != nil {
+		s.errors.Add(1)
+		return nil
 	}
-	s.mu.RUnlock()
 	sort.Strings(keys)
 	return keys
 }
 
 // Len reports the number of stored blobs.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.blobs)
-}
+func (s *Store) Len() int { return s.backend.Len() }
 
 // Stats reports cumulative operation counters.
 type Stats struct {
@@ -159,6 +200,10 @@ type Stats struct {
 	GetBytes uint64
 	// Failures counts injected transient errors.
 	Failures uint64
+	// Errors counts real backend I/O errors (disk backend only).
+	Errors uint64
+	// Fsyncs counts backend fsync calls (zero for in-memory).
+	Fsyncs uint64
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -169,5 +214,66 @@ func (s *Store) Stats() Stats {
 		PutBytes: s.putBytes.Load(),
 		GetBytes: s.getBytes.Load(),
 		Failures: s.failures.Load(),
+		Errors:   s.errors.Load(),
+		Fsyncs:   s.backend.Fsyncs(),
 	}
 }
+
+// memBackend is the default in-memory blob map.
+type memBackend struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+func newMemBackend() *memBackend {
+	return &memBackend{blobs: make(map[string][]byte)}
+}
+
+func (b *memBackend) Put(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	b.blobs[key] = cp
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *memBackend) Get(key string) ([]byte, bool, error) {
+	b.mu.RLock()
+	data, ok := b.blobs[key]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true, nil
+}
+
+func (b *memBackend) Delete(key string) (int, error) {
+	b.mu.Lock()
+	n := len(b.blobs[key])
+	delete(b.blobs, key)
+	b.mu.Unlock()
+	return n, nil
+}
+
+func (b *memBackend) List(prefix string) ([]string, error) {
+	b.mu.RLock()
+	keys := make([]string, 0, 8)
+	for k := range b.blobs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	b.mu.RUnlock()
+	return keys, nil
+}
+
+func (b *memBackend) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.blobs)
+}
+
+func (b *memBackend) Fsyncs() uint64 { return 0 }

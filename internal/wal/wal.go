@@ -1,0 +1,767 @@
+// Package wal implements a segment-rotating, CRC32C-framed write-ahead
+// log for the message-log durability tier.
+//
+// Records are length-prefixed (ch, firstSeq, count, payload) frames
+// appended to an active segment file. The active segment rotates at
+// MaxSegmentSize; sealed segments are immutable and are deleted whole
+// once the trim frontier passes every record they contain. Recovery
+// scans the segment files in order and stops at the first torn or
+// corrupt frame, so a crash mid-write loses at most the unacknowledged
+// tail.
+//
+// Three sync policies trade latency for durability:
+//
+//   - SyncAlways: every Append fsyncs before returning.
+//   - SyncGroup: appends block until a single committer goroutine has
+//     fsynced past their LSN; the committer batches all concurrently
+//     blocked appends into one fsync (group commit).
+//   - SyncInterval: appends return immediately; a background goroutine
+//     fsyncs every Interval. Crash may lose up to one interval of
+//     acknowledged appends — callers opting in accept that window.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when appends become durable.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs on every append before acknowledging.
+	SyncAlways SyncPolicy = "always"
+	// SyncGroup batches concurrent appends into one fsync (group commit).
+	SyncGroup SyncPolicy = "group"
+	// SyncInterval acknowledges immediately and fsyncs in the background.
+	SyncInterval SyncPolicy = "interval"
+)
+
+// PolicyByName parses a sync policy from its flag spelling.
+func PolicyByName(name string) (SyncPolicy, error) {
+	switch SyncPolicy(strings.ToLower(name)) {
+	case SyncAlways:
+		return SyncAlways, nil
+	case SyncGroup:
+		return SyncGroup, nil
+	case SyncInterval:
+		return SyncInterval, nil
+	}
+	return "", fmt.Errorf("wal: unknown sync policy %q (want always|group|interval)", name)
+}
+
+// Options configures a WAL.
+type Options struct {
+	// MaxSegmentSize rotates the active segment once it would exceed
+	// this many bytes. Default 4 MiB.
+	MaxSegmentSize int64
+	// Policy selects the sync policy. Default SyncGroup.
+	Policy SyncPolicy
+	// Interval is the background fsync period for SyncInterval.
+	// Default 5ms.
+	Interval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSegmentSize <= 0 {
+		o.MaxSegmentSize = 4 << 20
+	}
+	if o.Policy == "" {
+		o.Policy = SyncGroup
+	}
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Millisecond
+	}
+	return o
+}
+
+// RecordType tags a WAL frame.
+type RecordType uint8
+
+const (
+	// RecAppend carries a batch of message-log records.
+	RecAppend RecordType = 1
+	// RecTrim advances the prefix-trim frontier for a channel.
+	RecTrim RecordType = 2
+	// RecTrimSuffix drops acknowledged-but-rolled-back entries above Seq.
+	RecTrimSuffix RecordType = 3
+)
+
+// Record is one logical WAL entry.
+type Record struct {
+	Type  RecordType
+	Ch    uint64
+	Seq   uint64
+	Count uint32
+	Data  []byte
+}
+
+// Stats counts WAL activity. All fields are cumulative.
+type Stats struct {
+	Appends         uint64
+	Fsyncs          uint64
+	BytesWritten    uint64
+	SegmentsCreated uint64
+	SegmentsDeleted uint64
+	Recovered       uint64 // records replayed at Open
+	TornBytes       uint64 // bytes dropped at the torn tail during Open
+}
+
+// ErrClosed is returned by Append after Close or CrashClose.
+var ErrClosed = errors.New("wal: closed")
+
+const (
+	frameHeader = 8  // u32 body length + u32 CRC32C(body)
+	bodyFixed   = 21 // type(1) + ch(8) + seq(8) + count(4)
+	segSuffix   = ".wal"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+type segment struct {
+	index uint64
+	path  string
+	f     *os.File // nil once sealed
+	size  int64
+	// chMax records the highest data seq per channel in this segment;
+	// the segment is deletable once the trim frontier covers all of
+	// them. Control-only segments have an empty map and are deletable
+	// whenever they are the oldest (see dropSegmentsLocked).
+	chMax map[uint64]uint64
+}
+
+// WAL is a segmented write-ahead log. Safe for concurrent use.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex // write path: segments, active file, frontier
+	segs      []*segment // sealed, oldest first
+	active    *segment
+	frontier  map[uint64]uint64
+	nextIndex uint64
+	lsn       uint64 // last record written (under mu)
+	buf       []byte // frame scratch (under mu)
+
+	sm         sync.Mutex // sync state
+	wake       *sync.Cond // committer wake (on sm)
+	done       *sync.Cond // waiter wake (on sm)
+	pendingLSN uint64
+	syncedLSN  uint64
+	syncErr    error
+	closing    bool
+	crashed    bool
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	appends    atomic.Uint64
+	fsyncs     atomic.Uint64
+	bytes      atomic.Uint64
+	segCreated atomic.Uint64
+	segDeleted atomic.Uint64
+	recovered  uint64
+	tornBytes  uint64
+}
+
+// Open opens (or creates) a WAL in dir and returns the records
+// recovered from existing segments, in append order. Recovery stops at
+// the first torn or corrupt frame; segment files beyond that point are
+// removed so the on-disk state matches what was replayed. A fresh
+// active segment is always created — sealed segments are never
+// reopened for append.
+func Open(dir string, opts Options) (*WAL, []Record, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{
+		dir:      dir,
+		opts:     opts,
+		frontier: make(map[uint64]uint64),
+	}
+	w.wake = sync.NewCond(&w.sm)
+	w.done = sync.NewCond(&w.sm)
+
+	recs, err := w.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	w.mu.Lock()
+	err = w.openSegmentLocked()
+	w.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	switch opts.Policy {
+	case SyncGroup:
+		w.wg.Add(1)
+		go w.committer()
+	case SyncInterval:
+		w.wg.Add(1)
+		go w.ticker()
+	}
+	return w, recs, nil
+}
+
+func (w *WAL) recover() ([]Record, error) {
+	names, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, err
+	}
+	type segFile struct {
+		index uint64
+		path  string
+	}
+	var files []segFile
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			continue // not a segment file
+		}
+		files = append(files, segFile{index: idx, path: filepath.Join(w.dir, name)})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].index < files[j].index })
+
+	var recs []Record
+	torn := false
+	for i, sf := range files {
+		if torn {
+			// A torn segment is only ever the last one written; any
+			// files after it hold frames that were never acknowledged
+			// in order. Drop them so disk matches the replayed state.
+			os.Remove(sf.path)
+			continue
+		}
+		seg, segRecs, tornHere, err := w.scanSegment(sf.index, sf.path)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, segRecs...)
+		w.segs = append(w.segs, seg)
+		torn = tornHere
+		if tornHere {
+			// Physically drop the torn tail so the segment scans clean
+			// on the next recovery — otherwise records appended after
+			// this recovery (which land in newer segments) would be
+			// discarded as "past the tear" next time.
+			if err := truncateSegment(sf.path, seg.size); err != nil {
+				return nil, err
+			}
+		}
+		w.nextIndex = sf.index + 1
+		_ = i
+	}
+	for _, r := range recs {
+		if r.Type == RecTrim && r.Seq > w.frontier[r.Ch] {
+			w.frontier[r.Ch] = r.Seq
+		}
+	}
+	w.recovered = uint64(len(recs))
+	return recs, nil
+}
+
+func truncateSegment(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// scanSegment reads a segment and decodes its committed prefix. A
+// frame is committed iff its length prefix fits the file and its
+// CRC32C matches; the scan stops at the first violation (torn tail).
+func (w *WAL) scanSegment(index uint64, path string) (*segment, []Record, bool, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	seg := &segment{index: index, path: path, chMax: make(map[uint64]uint64)}
+	var recs []Record
+	off := 0
+	torn := false
+	for {
+		if off+frameHeader > len(buf) {
+			torn = off < len(buf)
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		crc := binary.LittleEndian.Uint32(buf[off+4:])
+		if n < bodyFixed || off+frameHeader+n > len(buf) {
+			torn = true
+			break
+		}
+		body := buf[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(body, castagnoli) != crc {
+			torn = true
+			break
+		}
+		typ := RecordType(body[0])
+		if typ != RecAppend && typ != RecTrim && typ != RecTrimSuffix {
+			torn = true
+			break
+		}
+		r := Record{
+			Type:  typ,
+			Ch:    binary.LittleEndian.Uint64(body[1:]),
+			Seq:   binary.LittleEndian.Uint64(body[9:]),
+			Count: binary.LittleEndian.Uint32(body[17:]),
+		}
+		if n > bodyFixed {
+			r.Data = body[bodyFixed:]
+		}
+		if r.Type == RecAppend {
+			last := r.Seq + uint64(r.Count) - 1
+			if r.Count == 0 {
+				last = r.Seq
+			}
+			if last > seg.chMax[r.Ch] {
+				seg.chMax[r.Ch] = last
+			}
+		}
+		recs = append(recs, r)
+		off += frameHeader + n
+	}
+	seg.size = int64(off)
+	if torn {
+		w.tornBytes += uint64(len(buf) - off)
+	}
+	return seg, recs, torn, nil
+}
+
+func (w *WAL) openSegmentLocked() error {
+	idx := w.nextIndex
+	w.nextIndex++
+	path := filepath.Join(w.dir, fmt.Sprintf("%012d%s", idx, segSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	// Make the new file name durable so recovery sees the segment even
+	// if we crash before its first fsync.
+	w.syncDir()
+	w.active = &segment{index: idx, path: path, f: f, chMax: make(map[uint64]uint64)}
+	w.segCreated.Add(1)
+	return nil
+}
+
+func (w *WAL) syncDir() {
+	d, err := os.Open(w.dir)
+	if err != nil {
+		return
+	}
+	if d.Sync() == nil {
+		w.fsyncs.Add(1)
+	}
+	d.Close()
+}
+
+// Append writes r to the log. Durability on return depends on the sync
+// policy: always and group guarantee the record is on disk; interval
+// only guarantees it is in the OS buffer.
+func (w *WAL) Append(r Record) error {
+	if w.closed.Load() {
+		return ErrClosed
+	}
+	lsn, err := w.write(r)
+	if err != nil {
+		return err
+	}
+	w.appends.Add(1)
+	switch w.opts.Policy {
+	case SyncAlways, SyncInterval:
+		return nil // always synced inline in write(); interval returns early
+	}
+	// Group commit: wait for the committer to fsync past our LSN.
+	w.sm.Lock()
+	defer w.sm.Unlock()
+	if lsn > w.pendingLSN {
+		w.pendingLSN = lsn
+	}
+	w.wake.Signal()
+	for w.syncedLSN < lsn && w.syncErr == nil && !w.crashed {
+		w.done.Wait()
+	}
+	if w.syncErr != nil {
+		return w.syncErr
+	}
+	if w.syncedLSN < lsn {
+		return ErrClosed
+	}
+	return nil
+}
+
+// AppendAsync writes r and returns its LSN without waiting for
+// durability: the record is scheduled for the next fsync of the
+// configured policy (SyncAlways still fsyncs inline before returning).
+// Callers pair it with WaitSynced at their durability barrier — the
+// pipelined shape of group commit, which keeps the fsync cost entirely
+// off the append path.
+func (w *WAL) AppendAsync(r Record) (uint64, error) {
+	if w.closed.Load() {
+		return 0, ErrClosed
+	}
+	lsn, err := w.write(r)
+	if err != nil {
+		return 0, err
+	}
+	w.appends.Add(1)
+	if w.opts.Policy == SyncGroup {
+		w.sm.Lock()
+		if lsn > w.pendingLSN {
+			w.pendingLSN = lsn
+		}
+		w.wake.Signal()
+		w.sm.Unlock()
+	}
+	return lsn, nil
+}
+
+// LastLSN returns the LSN of the most recently written record.
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lsn
+}
+
+// WaitSynced blocks until the log is durable through lsn. A graceful
+// Close releases waiters after its final fsync; a CrashClose releases
+// them immediately — across a crash boundary there is no durability
+// left to wait for, and the caller's engine is being torn down anyway.
+func (w *WAL) WaitSynced(lsn uint64) error {
+	w.sm.Lock()
+	defer w.sm.Unlock()
+	for w.syncedLSN < lsn && w.syncErr == nil && !w.crashed {
+		w.done.Wait()
+	}
+	return w.syncErr
+}
+
+// Trim records a prefix-trim for ch through seq and deletes any sealed
+// segments wholly below the new frontier.
+func (w *WAL) Trim(ch, seq uint64) error {
+	err := w.Append(Record{Type: RecTrim, Ch: ch, Seq: seq})
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	if seq > w.frontier[ch] {
+		w.frontier[ch] = seq
+	}
+	w.dropSegmentsLocked()
+	w.mu.Unlock()
+	return nil
+}
+
+// TrimSuffix records a suffix-trim (post-failure rollback of
+// acknowledged-but-uncheckpointed entries above seq). The suffixed
+// data always lives in the same or an older segment than this record,
+// so oldest-first whole-segment deletion can never resurrect it.
+func (w *WAL) TrimSuffix(ch, seq uint64) error {
+	return w.Append(Record{Type: RecTrimSuffix, Ch: ch, Seq: seq})
+}
+
+func (w *WAL) write(r Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.active == nil || w.active.f == nil {
+		return 0, ErrClosed
+	}
+	frameLen := int64(frameHeader + bodyFixed + len(r.Data))
+	if w.active.size > 0 && w.active.size+frameLen > w.opts.MaxSegmentSize {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	// Build the frame in the scratch buffer: header is filled after the
+	// body so the CRC covers a contiguous slice.
+	need := int(frameLen)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, need)
+	}
+	buf := w.buf[:need]
+	body := buf[frameHeader:]
+	body[0] = byte(r.Type)
+	binary.LittleEndian.PutUint64(body[1:], r.Ch)
+	binary.LittleEndian.PutUint64(body[9:], r.Seq)
+	binary.LittleEndian.PutUint32(body[17:], r.Count)
+	copy(body[bodyFixed:], r.Data)
+	binary.LittleEndian.PutUint32(buf, uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(body, castagnoli))
+
+	if _, err := w.active.f.Write(buf); err != nil {
+		return 0, err
+	}
+	w.active.size += frameLen
+	w.bytes.Add(uint64(frameLen))
+	if r.Type == RecAppend {
+		last := r.Seq
+		if r.Count > 0 {
+			last = r.Seq + uint64(r.Count) - 1
+		}
+		if last > w.active.chMax[r.Ch] {
+			w.active.chMax[r.Ch] = last
+		}
+	}
+	w.lsn++
+	lsn := w.lsn
+
+	switch w.opts.Policy {
+	case SyncAlways:
+		if err := w.active.f.Sync(); err != nil {
+			return 0, err
+		}
+		w.fsyncs.Add(1)
+		w.sm.Lock()
+		if lsn > w.pendingLSN {
+			w.pendingLSN = lsn
+		}
+		if lsn > w.syncedLSN {
+			w.syncedLSN = lsn
+		}
+		w.done.Broadcast()
+		w.sm.Unlock()
+	case SyncInterval:
+		w.sm.Lock()
+		if lsn > w.pendingLSN {
+			w.pendingLSN = lsn
+		}
+		w.sm.Unlock()
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens a
+// fresh one. The seal fsync preserves the group-commit invariant that
+// every record outside the current active file is already durable.
+func (w *WAL) rotateLocked() error {
+	s := w.active
+	if s.f != nil {
+		if err := s.f.Sync(); err != nil {
+			s.f.Close()
+			s.f = nil
+			return err
+		}
+		w.fsyncs.Add(1)
+		s.f.Close()
+		s.f = nil
+	}
+	w.segs = append(w.segs, s)
+	w.dropSegmentsLocked()
+	return w.openSegmentLocked()
+}
+
+// dropSegmentsLocked deletes sealed segments oldest-first while the
+// trim frontier covers every data record they hold. Deleting oldest
+// first is what keeps control records safe: a TrimSuffix (or Trim)
+// record only suppresses data in the same or older segments, so by the
+// time its segment is deleted the data it suppressed is gone too.
+func (w *WAL) dropSegmentsLocked() {
+	for len(w.segs) > 0 {
+		s := w.segs[0]
+		deletable := true
+		for ch, max := range s.chMax {
+			if w.frontier[ch] < max {
+				deletable = false
+				break
+			}
+		}
+		if !deletable {
+			break
+		}
+		os.Remove(s.path)
+		w.segs = w.segs[1:]
+		w.segDeleted.Add(1)
+	}
+}
+
+// committer is the single group-commit goroutine: it batches every
+// append that arrived since the last fsync into one write+fsync and
+// wakes all waiters at once.
+func (w *WAL) committer() {
+	defer w.wg.Done()
+	for {
+		w.sm.Lock()
+		for w.pendingLSN == w.syncedLSN && !w.closing {
+			w.wake.Wait()
+		}
+		if w.closing {
+			w.sm.Unlock()
+			return
+		}
+		target := w.pendingLSN
+		w.sm.Unlock()
+
+		err := w.syncActive()
+
+		w.sm.Lock()
+		if err != nil && w.syncErr == nil {
+			w.syncErr = err
+		}
+		if target > w.syncedLSN {
+			w.syncedLSN = target
+		}
+		w.done.Broadcast()
+		w.sm.Unlock()
+	}
+}
+
+// ticker is the background-fsync goroutine for SyncInterval.
+func (w *WAL) ticker() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for range t.C {
+		w.sm.Lock()
+		if w.closing {
+			w.sm.Unlock()
+			return
+		}
+		target := w.pendingLSN
+		dirty := target > w.syncedLSN
+		w.sm.Unlock()
+		if !dirty {
+			continue
+		}
+		err := w.syncActive()
+		w.sm.Lock()
+		if err != nil && w.syncErr == nil {
+			w.syncErr = err
+		}
+		if target > w.syncedLSN {
+			w.syncedLSN = target
+		}
+		w.done.Broadcast()
+		w.sm.Unlock()
+	}
+}
+
+// syncActive fsyncs the current active file. Records written to a
+// previous active file are already durable (rotation seals with its
+// own fsync), so syncing only the current file is sufficient.
+func (w *WAL) syncActive() error {
+	w.mu.Lock()
+	var f *os.File
+	if w.active != nil {
+		f = w.active.f
+	}
+	w.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		// The file may have been sealed (fsynced and closed) by a
+		// concurrent rotation — its data is durable either way.
+		if errors.Is(err, os.ErrClosed) {
+			return nil
+		}
+		return err
+	}
+	w.fsyncs.Add(1)
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the log. Pending group-commit
+// waiters are released successfully once the final fsync lands.
+func (w *WAL) Close() error {
+	if w.closed.Swap(true) {
+		return nil
+	}
+	w.sm.Lock()
+	w.closing = true
+	w.wake.Broadcast()
+	w.sm.Unlock()
+	w.wg.Wait()
+
+	w.mu.Lock()
+	var err error
+	if w.active != nil && w.active.f != nil {
+		if e := w.active.f.Sync(); e != nil {
+			err = e
+		} else {
+			w.fsyncs.Add(1)
+		}
+		if e := w.active.f.Close(); e != nil && err == nil {
+			err = e
+		}
+		w.active.f = nil
+	}
+	w.mu.Unlock()
+
+	w.sm.Lock()
+	if w.pendingLSN > w.syncedLSN {
+		w.syncedLSN = w.pendingLSN
+	}
+	w.done.Broadcast()
+	w.sm.Unlock()
+	return err
+}
+
+// CrashClose simulates a crash: the file is closed without a final
+// fsync and pending waiters get ErrClosed. Used by chaos tests to
+// exercise torn-tail recovery against real on-disk state.
+func (w *WAL) CrashClose() error {
+	if w.closed.Swap(true) {
+		return nil
+	}
+	w.sm.Lock()
+	w.closing = true
+	w.crashed = true
+	w.wake.Broadcast()
+	w.done.Broadcast()
+	w.sm.Unlock()
+	w.wg.Wait()
+
+	w.mu.Lock()
+	if w.active != nil && w.active.f != nil {
+		w.active.f.Close()
+		w.active.f = nil
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// Stats returns cumulative counters. Safe to call concurrently.
+func (w *WAL) Stats() Stats {
+	return Stats{
+		Appends:         w.appends.Load(),
+		Fsyncs:          w.fsyncs.Load(),
+		BytesWritten:    w.bytes.Load(),
+		SegmentsCreated: w.segCreated.Load(),
+		SegmentsDeleted: w.segDeleted.Load(),
+		Recovered:       w.recovered,
+		TornBytes:       w.tornBytes,
+	}
+}
+
+// Segments returns the number of segment files currently on disk
+// (sealed + active). For tests and observability.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.segs)
+	if w.active != nil {
+		n++
+	}
+	return n
+}
