@@ -57,6 +57,7 @@ import (
 	"checkmate/internal/objstore"
 	"checkmate/internal/protocol"
 	"checkmate/internal/statestore"
+	"checkmate/internal/trace"
 	"checkmate/internal/wire"
 )
 
@@ -338,6 +339,35 @@ func SetFramePooling(enabled bool) (prev bool) { return core.SetFramePooling(ena
 
 // ReadFramePoolStats returns the process-wide frame pool counters.
 func ReadFramePoolStats() FramePoolStats { return core.ReadFramePoolStats() }
+
+// Observability: the checkpoint-lifecycle span collector and its exports.
+type (
+	// Tracer is the run-scoped span collector (RunConfig.Trace enables
+	// it; RunResult.Trace carries it; EngineConfig.Trace attaches one to
+	// a custom engine).
+	Tracer = trace.Tracer
+	// TraceTrack is one goroutine's span timeline within a Tracer.
+	TraceTrack = trace.Track
+	// TraceEvent is one recorded span or instant.
+	TraceEvent = trace.Event
+	// PhaseStat aggregates the spans of one lifecycle phase
+	// (Summary.RoundPhases).
+	PhaseStat = metrics.PhaseStat
+)
+
+// NewTracer returns an enabled span collector; capPerTrack bounds each
+// track's event ring (<= 0 selects the default).
+func NewTracer(capPerTrack int) *Tracer { return trace.New(capPerTrack) }
+
+// ValidateChromeTrace parses a Chrome trace-event file written by
+// Tracer.WriteChromeFile and verifies that the spans of every track form
+// a proper nesting tree. Returns the span count.
+func ValidateChromeTrace(path string) (int, error) { return trace.ValidateChromeFile(path) }
+
+// ServeObservability binds addr and serves /metrics (from snapshot),
+// /trace.json (from tr) and /debug/pprof until Close. Either argument
+// may be nil (its endpoint 404s). See trace.Serve.
+var ServeObservability = trace.Serve
 
 // NewSuite returns the bench-scale experiment suite (20× time-compressed).
 func NewSuite() *Suite { return harness.NewSuite() }

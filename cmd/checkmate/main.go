@@ -16,8 +16,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"syscall"
 	"time"
 
 	"checkmate"
@@ -66,21 +69,46 @@ func main() {
 
 		cpus = flag.Int("cpus", 0, "pin runtime.GOMAXPROCS for the run (0 = leave the process setting)")
 
-		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file on clean shutdown")
-		memProfile   = flag.String("memprofile", "", "write an allocation (heap) profile to this file on clean shutdown")
-		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on clean shutdown")
-		blockProfile = flag.String("blockprofile", "", "write a blocking profile to this file on clean shutdown")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file on shutdown (clean or SIGINT/SIGTERM)")
+		memProfile   = flag.String("memprofile", "", "write an allocation (heap) profile to this file on shutdown (clean or SIGINT/SIGTERM)")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on shutdown")
+		blockProfile = flag.String("blockprofile", "", "write a blocking profile to this file on shutdown")
+
+		traceOut   = flag.String("trace", "", "trace the checkpoint lifecycle and write a Chrome trace-event JSON to this file (load at ui.perfetto.dev)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /trace.json and /debug/pprof on this address for the duration of the run (e.g. :8080)")
+		checkTrace = flag.String("check-trace", "", "validate a Chrome trace file written by -trace (JSON parses, spans nest per track) and exit")
 	)
 	flag.Parse()
+
+	if *checkTrace != "" {
+		spans, err := checkmate.ValidateChromeTrace(*checkTrace)
+		if err != nil {
+			log.Fatalf("checkmate: trace %s: %v", *checkTrace, err)
+		}
+		fmt.Printf("%s: %d spans, nesting ok\n", *checkTrace, spans)
+		return
+	}
 
 	if *cpus > 0 {
 		runtime.GOMAXPROCS(*cpus)
 	}
-	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *mutexProfile, *blockProfile)
+	stop, err := startProfiles(*cpuProfile, *memProfile, *mutexProfile, *blockProfile)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Flush profiles exactly once, on whichever exit path runs first —
+	// the deferred clean shutdown or the signal handler below.
+	var stopOnce sync.Once
+	stopProfiles := func() { stopOnce.Do(stop) }
 	defer stopProfiles()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "checkmate: %v — flushing profiles\n", s)
+		stopProfiles()
+		os.Exit(1)
+	}()
 
 	if *benchJSON != "" {
 		if err := runBenchGrid(*benchJSON); err != nil {
@@ -144,6 +172,8 @@ func main() {
 		Durable:              *durable,
 		DurableDir:           *walDir,
 		WALSync:              *walSync,
+		Trace:                *traceOut != "",
+		HTTPAddr:             *httpAddr,
 	}
 	switch *output {
 	case "none":
@@ -167,6 +197,16 @@ func main() {
 	res, err := checkmate.Run(base)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" && res.Trace != nil {
+		if err := res.Trace.WriteChromeFile(*traceOut); err != nil {
+			log.Fatalf("checkmate: write trace: %v", err)
+		}
+		spans, verr := checkmate.ValidateChromeTrace(*traceOut)
+		if verr != nil {
+			log.Fatalf("checkmate: trace validation: %v", verr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", spans, *traceOut)
 	}
 	printResult(res)
 	if !res.Sustainable && *failAt == 0 {
@@ -406,6 +446,34 @@ func runBenchGrid(path string) error {
 			out.Points = append(out.Points, pt)
 		}
 	}
+	// Tracing-overhead A/B: q1 per protocol at batch 8 with the
+	// checkpoint-lifecycle span collector off and on. The traced rows
+	// carry the span volume collected; the allocs/record column must not
+	// move between the pair — the enabled record path stores into
+	// preallocated rings.
+	for _, pn := range protocols {
+		p, err := checkmate.ProtocolByName(pn)
+		if err != nil {
+			return err
+		}
+		for _, traced := range []bool{false, true} {
+			pt, err := checkmate.BenchThroughput(checkmate.BenchConfig{
+				Query:           "q1",
+				Protocol:        p,
+				Workers:         out.Workers,
+				Records:         durableRecords,
+				BatchMaxRecords: 8,
+				Trace:           traced,
+				Repeat:          3,
+			})
+			if err != nil {
+				return fmt.Errorf("bench trace q1/%s/traced=%v: %w", pn, traced, err)
+			}
+			fmt.Printf("q1   %-5s traced=%-5v  %10.0f rec/s  %6d spans  %6.2f allocs/rec\n",
+				pn, traced, pt.RecordsPerSec, pt.TraceEvents, pt.AllocsPerRecord)
+			out.Points = append(out.Points, pt)
+		}
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -618,6 +686,13 @@ func printResult(res checkmate.RunResult) {
 			s.SyncPauses, s.MaxSyncPause.Round(10*time.Microsecond),
 			s.MeanSyncPause.Round(10*time.Microsecond), s.P99SyncPause.Round(10*time.Microsecond),
 			s.MeanMaterialize.Round(10*time.Microsecond), s.MeanUpload.Round(10*time.Microsecond))
+	}
+	if len(s.RoundPhases) > 0 {
+		fmt.Println("  checkpoint lifecycle (traced):")
+		for _, p := range s.RoundPhases {
+			fmt.Printf("    %-18s n=%-5d mean=%-10v max=%v\n",
+				p.Name, p.Count, p.Mean().Round(time.Microsecond), p.Max.Round(time.Microsecond))
+		}
 	}
 	if s.FullKeyedCkpts+s.DeltaKeyedCkpts > 0 {
 		fmt.Printf("  keyed snapshots:    %d full (%d B), %d delta (%d B), max chain %d\n",

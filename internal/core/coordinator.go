@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"checkmate/internal/recovery"
+	"checkmate/internal/trace"
 )
 
 // coordinator plays the role of the paper's coordinator node: it schedules
@@ -50,6 +51,11 @@ type coordinator struct {
 	lastInitiate   time.Time
 	// gcDone marks checkpoints already deleted by the garbage collector.
 	gcDone map[recovery.CkptRef]bool
+
+	// tk is the coordinator trace track (nil when tracing is off). Round
+	// spans are recorded under mu at resolution, so the track is
+	// effectively single-writer.
+	tk *trace.Track
 }
 
 // metaShard is one cluster worker's slice of the reported metadata. durable
@@ -69,6 +75,9 @@ type roundState struct {
 	metas   []recovery.Meta
 	reports int
 	start   time.Time
+	// startNS mirrors start on the tracer's run clock (0 when tracing is
+	// off), anchoring the round's resolution span.
+	startNS int64
 }
 
 func newCoordinator(eng *Engine) *coordinator {
@@ -81,6 +90,7 @@ func newCoordinator(eng *Engine) *coordinator {
 	for i := range c.shards {
 		c.shards[i].durable = make(map[string]bool)
 	}
+	c.tk = eng.cfg.Trace.NewTrack("coordinator", trace.PIDEngine)
 	return c
 }
 
@@ -140,13 +150,15 @@ func (c *coordinator) report(m recovery.Meta, dur time.Duration) {
 		complete := rs.reports == c.eng.total
 		var roundMetas []recovery.Meta
 		var start time.Time
+		var startNS int64
 		if complete {
 			roundMetas = append([]recovery.Meta(nil), rs.metas...)
 			start = rs.start
+			startNS = rs.startNS
 		}
 		rs.mu.Unlock()
 		if complete {
-			c.resolveRound(m.Round, roundMetas, start)
+			c.resolveRound(m.Round, roundMetas, start, startNS)
 		}
 	case KindUncoordinated, KindCIC:
 		rec.RecordCheckpointDuration(dur)
@@ -157,7 +169,7 @@ func (c *coordinator) report(m recovery.Meta, dur time.Duration) {
 // delivered the round's final report. All of the round's shard and durable
 // insertions happened-before that reporter observed the full count, so the
 // durability check sees every key the round depends on.
-func (c *coordinator) resolveRound(round uint64, metas []recovery.Meta, start time.Time) {
+func (c *coordinator) resolveRound(round uint64, metas []recovery.Meta, start time.Time, startNS int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if round > c.resolvedRound.Load() {
@@ -165,6 +177,10 @@ func (c *coordinator) resolveRound(round uint64, metas []recovery.Meta, start ti
 	}
 	if !start.IsZero() {
 		c.eng.cfg.Recorder.RecordRoundDuration(time.Since(start))
+		// The full-round span: marker injection to last durable report.
+		// Rounds never overlap (initiation waits for resolution), so these
+		// spans are disjoint on the coordinator track.
+		c.tk.SpanAt("ckpt.round", round, uint64(len(metas)), startNS, c.eng.cfg.Trace.Now())
 	}
 	// The round only becomes the recovery anchor if every blob its chains
 	// reference is durable; a round leaning on an abandoned chain segment
@@ -379,7 +395,9 @@ func (c *coordinator) maybeStartRound(w *world) {
 	if due && idle {
 		c.initiatedRound++
 		round = c.initiatedRound
-		c.round(round).start = time.Now()
+		rs := c.round(round)
+		rs.start = time.Now()
+		rs.startNS = c.eng.cfg.Trace.Now()
 		c.lastInitiate = time.Now()
 	}
 	c.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 
 	"checkmate/internal/msglog"
 	"checkmate/internal/recovery"
+	"checkmate/internal/trace"
 	"checkmate/internal/wal"
 )
 
@@ -69,6 +70,7 @@ func (e *Engine) openDurableLog() error {
 		MaxSegmentSize: d.MaxSegmentBytes,
 		Policy:         d.Sync,
 		Interval:       d.SyncInterval,
+		Trace:          e.cfg.Trace.NewTrack("wal", trace.PIDEngine),
 	}, sliceBatchEnvelope)
 	if err != nil {
 		return fmt.Errorf("core: open durable message log: %w", err)

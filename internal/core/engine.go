@@ -18,6 +18,7 @@ import (
 	"checkmate/internal/objstore"
 	"checkmate/internal/recovery"
 	"checkmate/internal/statestore"
+	"checkmate/internal/trace"
 	"checkmate/internal/wire"
 )
 
@@ -137,6 +138,13 @@ type Config struct {
 	// persisted checkpoint metadata (cold restart) and, for the logging
 	// protocols, a WAL behind the message log. See durability.go.
 	Durability DurabilityConfig
+	// Trace, when non-nil, collects the checkpoint lifecycle as spans:
+	// marker injection, per-channel alignment waits, sync capture,
+	// materialize/compress/upload, the WAL barrier, metadata persistence,
+	// coordinator reporting and round resolution, plus recovery's RTO
+	// phases and WAL fsync batches. A nil tracer costs nothing on the
+	// record path (every tracing call is a no-op on a nil track).
+	Trace *trace.Tracer
 	// SyncSnapshots serializes checkpoint state on the processing goroutine
 	// (the pre-async behaviour) instead of freezing a copy-on-write capture
 	// and materializing it on the worker's uploader. Only the serialization
@@ -216,7 +224,10 @@ type world struct {
 	// up holds one checkpoint uploader queue per cluster worker; each
 	// instance's checkpoints materialize and upload FIFO on its worker's
 	// uploader goroutine (see uploader.go).
-	up       []*uploadQueue
+	up []*uploadQueue
+	// upTracks are the uploader goroutines' trace tracks (nil entries
+	// when tracing is off).
+	upTracks []*trace.Track
 	stopOnce sync.Once
 }
 
@@ -269,6 +280,10 @@ type Engine struct {
 	// recovering guards against overlapping recoveries.
 	recovering bool
 	sinkGoal   uint64
+
+	// recTrack carries the recovery RTO phases when tracing (nil
+	// otherwise; recording on a nil track is a no-op).
+	recTrack *trace.Track
 }
 
 // NewEngine validates the job and builds the wiring tables.
@@ -311,6 +326,7 @@ func NewEngine(cfg Config, job *JobSpec) (*Engine, error) {
 		output:    newOutputCollector(cfg.Output),
 		lingerNS:  int64(cfg.Batching.LingerTicks) * cfg.PollInterval.Nanoseconds(),
 	}
+	e.recTrack = cfg.Trace.NewTrack("recovery", trace.PIDEngine)
 	if err := e.openDurableLog(); err != nil {
 		return nil, err
 	}
@@ -426,6 +442,12 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world,
 	for i := range w.up {
 		w.up[i] = newUploadQueue()
 	}
+	if e.cfg.Trace.Enabled() {
+		w.upTracks = make([]*trace.Track, len(w.up))
+		for i := range w.upTracks {
+			w.upTracks[i] = e.cfg.Trace.NewTrack(fmt.Sprintf("uploader w%d g%d", i, w.gen), i)
+		}
+	}
 	kind := e.cfg.Protocol.Kind()
 	for op := range e.job.Ops {
 		spec := &e.job.Ops[op]
@@ -448,6 +470,10 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world,
 			}
 			it.sentSeq = make([]uint64, len(it.outChans))
 			it.recvSeq = make([]uint64, len(it.inChans))
+			if e.cfg.Trace.Enabled() {
+				it.tt = e.cfg.Trace.NewTrack(fmt.Sprintf("%s[%d] g%d", spec.Name, idx, w.gen), it.worker)
+				it.alignT0 = make([]int64, len(it.inChans))
+			}
 			// Store-key prefix with room for the sequence digits, so the
 			// snapshot path builds keys without fmt.
 			it.keyBuf = append(make([]byte, 0, 64), "ckpt/"...)
@@ -533,9 +559,13 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world,
 
 // launch starts all goroutines of a world.
 func (e *Engine) launch(w *world) {
-	for _, q := range w.up {
+	for i, q := range w.up {
 		w.uploadWG.Add(1)
-		go w.runUploader(q)
+		var tk *trace.Track
+		if w.upTracks != nil {
+			tk = w.upTracks[i]
+		}
+		go w.runUploader(q, tk)
 	}
 	for _, it := range w.instances {
 		w.wg.Add(1)
@@ -809,7 +839,24 @@ func (e *Engine) recover(failedAt, detectAt time.Time, failedWorkers []int, fail
 	rto.Replay = time.Since(phase)
 	rec.RecordRTO(rto)
 	rec.RecordRestart(time.Since(detectAt))
-	go e.monitorCatchUp(w, detectAt)
+	// The RTO phases land on the recovery track as one back-to-back span
+	// sequence (each phase starts where the previous ended), tagged with
+	// the new world generation.
+	var catchStart int64
+	if tk := e.recTrack; tk != nil {
+		gen := uint64(w.gen)
+		t0 := e.cfg.Trace.At(failedAt)
+		end := t0 + rto.Detect.Nanoseconds()
+		tk.SpanAt("rto.detect", gen, 0, t0, end)
+		t0, end = end, end+rto.Rollback.Nanoseconds()
+		tk.SpanAt("rto.rollback", gen, uint64(rto.ScopeInstances), t0, end)
+		t0, end = end, end+rto.Fetch.Nanoseconds()
+		tk.SpanAt("rto.fetch", gen, rto.RestoredBytes, t0, end)
+		t0, end = end, end+rto.Replay.Nanoseconds()
+		tk.SpanAt("rto.replay", gen, replayed, t0, end)
+		catchStart = end
+	}
+	go e.monitorCatchUp(w, detectAt, catchStart)
 }
 
 // fetchAcct accounts where the restored checkpoint state of one recovery
@@ -983,8 +1030,10 @@ func replayFrame(data []byte) []byte {
 }
 
 // monitorCatchUp polls source lag after a restart and records the recovery
-// time once the pipeline caught up with its input schedule.
-func (e *Engine) monitorCatchUp(w *world, detectAt time.Time) {
+// time once the pipeline caught up with its input schedule. catchStart is
+// the run-clock instant the replay phase ended (0 when tracing is off),
+// anchoring the rto.catchup span.
+func (e *Engine) monitorCatchUp(w *world, detectAt time.Time, catchStart int64) {
 	ticker := time.NewTicker(5 * time.Millisecond)
 	defer ticker.Stop()
 	for {
@@ -1007,6 +1056,9 @@ func (e *Engine) monitorCatchUp(w *world, detectAt time.Time) {
 			d := time.Since(detectAt)
 			e.cfg.Recorder.RecordRecovery(d)
 			e.cfg.Recorder.CompleteRTO(d)
+			if tk := e.recTrack; tk != nil {
+				tk.SpanAt("rto.catchup", uint64(w.gen), 0, catchStart, e.cfg.Trace.Now())
+			}
 			return
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"checkmate/internal/metrics"
 	"checkmate/internal/recovery"
 	"checkmate/internal/statestore"
+	"checkmate/internal/trace"
 	"checkmate/internal/wire"
 )
 
@@ -111,6 +112,13 @@ type instance struct {
 	alignRound uint64
 	alignGot   []bool
 	alignCount int
+
+	// tt is the instance's lifecycle trace track (nil when tracing is
+	// off — every recording call no-ops); alignT0 holds the run-clock
+	// instant each input channel blocked for alignment, allocated only
+	// when tracing.
+	tt      *trace.Track
+	alignT0 []int64
 
 	// Current-event context for Context callbacks.
 	curSchedNS int64
@@ -321,6 +329,7 @@ func (it *instance) flushLingering() {
 // under backpressure — exactly the failure mode the paper attributes to
 // the aligned protocol.
 func (it *instance) sendMarker(round uint64) {
+	ts := it.tt.Begin()
 	it.flushAllOut(metrics.FlushControl)
 	rec := it.eng.cfg.Recorder
 	for i := range it.outChans {
@@ -342,6 +351,7 @@ func (it *instance) sendMarker(round uint64) {
 			putFrame(data)
 		}
 	}
+	it.tt.Span("ckpt.marker", round, uint64(len(it.outChans)), ts)
 }
 
 // sendWatermark forwards a watermark on every outgoing channel, flushing
@@ -701,10 +711,23 @@ func (it *instance) handleMarker(m Message, ch int) {
 	it.alignCount++
 	if it.alignCount < len(it.inChans) {
 		// Block the channel until all markers of this round arrived.
+		if it.tt != nil {
+			it.alignT0[ch] = it.tt.Begin()
+		}
 		it.in.setBlocked(ch, true)
 		return
 	}
-	// All markers received: snapshot, forward markers, unblock.
+	// All markers received: snapshot, forward markers, unblock. The
+	// per-channel alignment waits all end here, so the spans nest (the
+	// earliest-blocked channel's wait contains the later ones).
+	if it.tt != nil {
+		end := it.tt.Begin()
+		for i := range it.alignGot {
+			if it.alignGot[i] && i != ch {
+				it.tt.SpanAt("ckpt.align", it.alignRound, uint64(i), it.alignT0[i], end)
+			}
+		}
+	}
 	it.takeCheckpoint(it.alignRound, false)
 	it.sendMarker(it.alignRound)
 	it.in.unblockAll()
@@ -867,11 +890,13 @@ func (it *instance) abandonChainBlob() {
 // materialization and upload to the worker's uploader. round is non-zero
 // for coordinated checkpoints; forced marks CIC forced ones.
 func (it *instance) takeCheckpoint(round uint64, forced bool) {
+	ts := it.tt.Begin()
 	t0 := time.Now()
 	job := it.snapshotState(round, forced)
 	// Aligned and local checkpoints carry no channel state.
 	job.state.Uvarint(0)
 	job.syncDur = time.Since(t0)
+	it.tt.Span("ckpt.capture", round, job.meta.Ref.Seq, ts)
 	it.eng.cfg.Recorder.RecordSyncPause(time.Duration(it.eng.nowNS()), job.syncDur)
 	it.enqueueUpload(job)
 }
@@ -882,9 +907,11 @@ func (it *instance) takeCheckpoint(round uint64, forced bool) {
 // captured into the checkpoint as channel state while processing continues.
 func (it *instance) handleUnalignedMarker(m Message, ch int) {
 	if it.ua == nil {
+		ts := it.tt.Begin()
 		t0 := time.Now()
 		job := it.snapshotState(m.Round, false)
 		job.syncDur = time.Since(t0)
+		it.tt.Span("ckpt.capture", m.Round, job.meta.Ref.Seq, ts)
 		it.eng.cfg.Recorder.RecordSyncPause(time.Duration(it.eng.nowNS()), job.syncDur)
 		it.ua = &uaPending{
 			round:      m.Round,

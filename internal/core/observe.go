@@ -1,0 +1,56 @@
+package core
+
+import "fmt"
+
+// MetricsSnapshot samples the engine's live gauges and counters for the
+// /metrics endpoint. It is safe to call concurrently with a running job:
+// everything read is either atomic, mutex-guarded, or a per-queue
+// snapshot. The map encodes deterministically as JSON (encoding/json
+// sorts keys), so the endpoint is diff-friendly.
+func (e *Engine) MetricsSnapshot() map[string]any {
+	m := map[string]any{
+		"source_backlog_records": e.SourceBacklog(),
+		"max_source_lag_ms":      float64(e.MaxSourceLag().Microseconds()) / 1e3,
+		"rounds_completed":       e.coord.completedRound.Load(),
+		"rounds_resolved":        e.coord.resolvedRound.Load(),
+		"dup_dropped":            e.cfg.Recorder.DupDropped(),
+	}
+
+	ws := e.WALStats()
+	m["wal_appends"] = ws.Appends
+	m["wal_fsyncs"] = ws.Fsyncs
+	m["wal_bytes_written"] = ws.BytesWritten
+	if ws.Fsyncs > 0 {
+		m["wal_appends_per_fsync"] = float64(ws.Appends) / float64(ws.Fsyncs)
+	} else {
+		m["wal_appends_per_fsync"] = 0.0
+	}
+
+	e.mu.Lock()
+	w := e.world
+	e.mu.Unlock()
+	if w == nil {
+		return m
+	}
+
+	inboxes := make(map[string]int, len(w.instances))
+	for _, it := range w.instances {
+		if it.in == nil {
+			continue
+		}
+		inboxes[fmt.Sprintf("%s[%d]", it.spec.Name, it.idx)] = it.in.pending()
+	}
+	m["inbox_depth"] = inboxes
+
+	uq := make([]int, len(w.up))
+	for i, q := range w.up {
+		uq[i] = q.depth()
+	}
+	m["uploader_queue_depth"] = uq
+	m["generation"] = w.gen
+
+	if tr := e.cfg.Trace; tr.Enabled() {
+		m["trace_events"] = tr.EventCount()
+	}
+	return m
+}

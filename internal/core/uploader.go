@@ -6,6 +6,7 @@ import (
 
 	"checkmate/internal/recovery"
 	"checkmate/internal/statestore"
+	"checkmate/internal/trace"
 	"checkmate/internal/wire"
 )
 
@@ -54,6 +55,10 @@ type uploadJob struct {
 	// queue wait behind other checkpoints of the same worker, which the
 	// former goroutine-per-checkpoint model did not have either.
 	syncDur time.Duration
+	// enqNS is the run-clock instant the job entered its worker's FIFO
+	// (tracing runs only; 0 otherwise). The uploader turns it into the
+	// ckpt.queue_wait span — the wait the reported duration excludes.
+	enqNS int64
 }
 
 // uploadQueue is the FIFO of one worker's uploader goroutine.
@@ -106,20 +111,46 @@ func (q *uploadQueue) close() {
 
 // runUploader is the per-worker uploader goroutine: it materializes and
 // persists checkpoints in FIFO order until the queue is closed and empty.
-func (w *world) runUploader(q *uploadQueue) {
+// tk is the worker's uploader trace track (nil when tracing is off).
+func (w *world) runUploader(q *uploadQueue, tk *trace.Track) {
 	defer w.uploadWG.Done()
+	var lastEnd int64
 	for {
 		j := q.pop()
 		if j == nil {
 			return
 		}
-		j.it.processUpload(j)
+		if tk != nil && j.enqNS > 0 {
+			// The FIFO wait: enqueue → pop. Clamp the span's start to the
+			// previous job's end so the track stays a proper tree — the
+			// clamped-off portion is the wait behind that job, which its
+			// own spans already depict. The full wait rides in Arg (ns).
+			now := j.it.eng.cfg.Trace.Now()
+			start := j.enqNS
+			if start < lastEnd {
+				start = lastEnd
+			}
+			tk.SpanAt("ckpt.queue_wait", j.meta.Round, uint64(now-j.enqNS), start, now)
+		}
+		j.it.processUpload(j, tk)
+		if tk != nil {
+			lastEnd = j.it.eng.cfg.Trace.Now()
+		}
 	}
 }
 
 // enqueueUpload hands a finished capture to the hosting worker's uploader.
 func (it *instance) enqueueUpload(job *uploadJob) {
+	job.enqNS = it.eng.cfg.Trace.Now()
 	it.w.up[it.worker].push(job)
+}
+
+// depth reports the number of jobs queued (live /metrics gauge).
+func (q *uploadQueue) depth() int {
+	q.mu.Lock()
+	n := len(q.jobs)
+	q.mu.Unlock()
+	return n
 }
 
 // processUpload materializes one checkpoint blob and persists it: the
@@ -127,10 +158,12 @@ func (it *instance) enqueueUpload(job *uploadJob) {
 // few times (an un-uploaded checkpoint simply never joins a recovery line,
 // so giving up after retries is safe); an abandoned chain segment forces
 // the instance's next keyed snapshot to start a fresh full base.
-func (it *instance) processUpload(job *uploadJob) {
+func (it *instance) processUpload(job *uploadJob, tk *trace.Track) {
 	rec := it.eng.cfg.Recorder
+	round := job.meta.Round
 	procStart := time.Now()
 	matStart := procStart
+	ts := tk.Begin()
 	seg := job.seg
 	if job.capture != nil {
 		segEnc := wire.NewEncoder(make([]byte, 0, job.capture.EstimatedBytes()+16))
@@ -149,19 +182,24 @@ func (it *instance) processUpload(job *uploadJob) {
 		rec.AddKeyedSnapshot(len(seg), job.chainLen)
 	}
 	rec.RecordMaterializeDuration(time.Since(matStart))
+	tk.Span("ckpt.materialize", round, uint64(len(blob)), ts)
 
 	key := job.meta.SelfKey()
 	var err error
 	if it.eng.cfg.CompressCheckpoints {
+		ts = tk.Begin()
 		if blob, err = flateCompress(blob); err != nil {
 			rec.Note("checkpoint compression %s failed: %v", key, err)
 			it.abandonChainBlob()
 			return
 		}
+		tk.Span("ckpt.compress", round, uint64(len(blob)), ts)
 	}
 	uploadStart := time.Now()
+	ts = tk.Begin()
 	for attempt := 0; attempt < storeRetries; attempt++ {
 		if err = it.eng.cfg.Store.Put(key, blob); err == nil {
+			tk.Span("ckpt.upload", round, uint64(len(blob)), ts)
 			if it.eng.cache != nil {
 				// The uploader's worker keeps the blob in local memory: a
 				// recovery that leaves this worker alive restores from here
@@ -175,25 +213,31 @@ func (it *instance) processUpload(job *uploadJob) {
 				// the pipelined group-commit append path pays its (one,
 				// amortized) fsync wait.
 				if it.eng.dlog != nil {
+					ts = tk.Begin()
 					if berr := it.eng.dlog.Barrier(job.walLSN); berr != nil {
 						rec.Note("checkpoint %s wal barrier failed: %v", key, berr)
 						it.abandonChainBlob()
 						return
 					}
+					tk.Span("ckpt.wal_barrier", round, job.walLSN, ts)
 				}
 				// The metadata blob makes the checkpoint discoverable by
 				// a cold restart. It must be durable before the
 				// coordinator can anchor anything on this checkpoint —
 				// a crash between blob and meta leaves an unreferenced
 				// blob (harmless), never a dangling meta.
+				ts = tk.Begin()
 				if merr := it.eng.persistMeta(job.meta); merr != nil {
 					rec.Note("checkpoint metadata persist %s failed: %v", key, merr)
 					it.abandonChainBlob()
 					return
 				}
+				tk.Span("ckpt.meta", round, job.meta.Ref.Seq, ts)
 			}
 			rec.RecordUploadDuration(time.Since(uploadStart))
+			ts = tk.Begin()
 			it.eng.coord.report(job.meta, job.syncDur+time.Since(procStart))
+			tk.Span("ckpt.report", round, job.meta.Ref.Seq, ts)
 			return
 		}
 	}

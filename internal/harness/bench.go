@@ -11,6 +11,7 @@ import (
 	"checkmate/internal/core"
 	"checkmate/internal/metrics"
 	"checkmate/internal/objstore"
+	"checkmate/internal/trace"
 	"checkmate/internal/wal"
 )
 
@@ -66,6 +67,9 @@ type BenchConfig struct {
 	// WALSync is the WAL sync policy of a durable measurement ("always",
 	// "group" or "interval"; default "group").
 	WALSync string
+	// Trace enables the checkpoint-lifecycle span collector during the
+	// measurement — the traced side of the tracing-overhead A/B.
+	Trace bool
 }
 
 // BenchPoint is one machine-readable throughput measurement, the unit of
@@ -121,6 +125,10 @@ type BenchPoint struct {
 	// written; StoreFsyncs counts the disk object store's fsyncs. The
 	// fsync-per-append ratio is the group-commit amortization the durable
 	// table demonstrates.
+	// Traced marks the point as measured with the span collector enabled
+	// (the tracing-overhead A/B); TraceEvents counts the spans collected.
+	Traced      bool   `json:"traced,omitempty"`
+	TraceEvents uint64 `json:"trace_events,omitempty"`
 	Durable     bool   `json:"durable,omitempty"`
 	WALSync     string `json:"wal_sync,omitempty"`
 	WALAppends  uint64 `json:"wal_appends,omitempty"`
@@ -206,7 +214,12 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		return BenchPoint{}, fmt.Errorf("harness: open store: %w", err)
 	}
 	recorder := metrics.NewRecorder(time.Now(), cfg.Timeout, time.Second)
+	var tracer *trace.Tracer
+	if cfg.Trace {
+		tracer = trace.New(0)
+	}
 	eng, err := core.NewEngine(core.Config{
+		Trace:              tracer,
 		Workers:            cfg.Workers,
 		Protocol:           cfg.Protocol,
 		CheckpointInterval: cfg.CheckpointInterval,
@@ -299,6 +312,9 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		MeanMaterializeMs: ms(sum.MeanMaterialize),
 		MeanUploadMs:      ms(sum.MeanUpload),
 		CkptP99DeltaMs:    ms(sum.CkptBucketP99 - sum.QuietBucketP99),
+
+		Traced:      cfg.Trace,
+		TraceEvents: tracer.EventCount(),
 	}
 	if cfg.Durable {
 		ws := eng.WALStats()

@@ -567,3 +567,55 @@ func (s *Suite) DurableTable() (*metrics.Table, error) {
 	}
 	return t, nil
 }
+
+// TraceOverheadTable measures what the checkpoint-lifecycle span
+// collector costs: a q1 drain per protocol with tracing off (the
+// baseline every other table runs on) and on, reporting the throughput
+// delta, the span volume collected, and the per-record allocation count
+// — which must not move, since the enabled record path stores into
+// preallocated rings and the disabled path is a nil check. The median of
+// three runs damps scheduler noise on shared machines;
+// BENCH_throughput.json carries the same A/B machine-readably.
+func (s *Suite) TraceOverheadTable() (*metrics.Table, error) {
+	t := metrics.NewTable("Tracing overhead (q1 drain, 2 workers, 100k records, batch 8, median of 3)",
+		"Protocol", "Trace", "krec/s", "vs off", "spans", "allocs/rec")
+	for _, name := range []string{"COOR", "UNC", "CIC"} {
+		p, err := protocol.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var baseOff float64
+		for _, traced := range []bool{false, true} {
+			pt, err := BenchThroughput(BenchConfig{
+				Query:           "q1",
+				Protocol:        p,
+				Workers:         2,
+				Records:         100_000,
+				BatchMaxRecords: 8,
+				Repeat:          3,
+				Trace:           traced,
+				Seed:            s.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			mode := "off"
+			if traced {
+				mode = "on"
+			} else {
+				baseOff = pt.RecordsPerSec
+			}
+			rel := 0.0
+			if baseOff > 0 {
+				rel = pt.RecordsPerSec / baseOff
+			}
+			t.AddRow(pt.Protocol, mode,
+				fmt.Sprintf("%.0f", pt.RecordsPerSec/1e3),
+				fmt.Sprintf("%.2fx", rel),
+				pt.TraceEvents,
+				fmt.Sprintf("%.2f", pt.AllocsPerRecord))
+		}
+		s.logf("trace overhead %-4s done", name)
+	}
+	return t, nil
+}

@@ -21,6 +21,7 @@ import (
 	"checkmate/internal/nexmark"
 	"checkmate/internal/objstore"
 	"checkmate/internal/recovery"
+	"checkmate/internal/trace"
 	"checkmate/internal/wal"
 )
 
@@ -164,6 +165,17 @@ type RunConfig struct {
 	// WALSync selects the WAL sync policy: "always", "group" (default) or
 	// "interval". See wal.SyncPolicy.
 	WALSync string
+	// Trace enables the checkpoint-lifecycle span collector for the run.
+	// The collected spans land in RunResult.Trace (export with
+	// trace.WriteChromeFile) and feed Summary.RoundPhases.
+	Trace bool
+	// TraceCap bounds each trace track's event ring (0 =
+	// trace.DefaultTrackCap).
+	TraceCap int
+	// HTTPAddr, when non-empty, serves the live observability endpoint
+	// (/metrics, /trace.json, /debug/pprof) on this address for the
+	// duration of the run. Use ":0" to bind an ephemeral port.
+	HTTPAddr string
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -229,6 +241,12 @@ type RunResult struct {
 	// Scope summarizes the single-failure rollback-scope analysis (set by
 	// RunConfig.AnalyzeRollbackScope).
 	Scope ScopeStats
+	// Trace holds the run's span collector (nil unless RunConfig.Trace).
+	// Export with Trace.WriteChromeFile.
+	Trace *trace.Tracer
+	// HTTPAddr is the bound observability address (set when
+	// RunConfig.HTTPAddr was non-empty; useful with ":0").
+	HTTPAddr string
 }
 
 // ScopeStats aggregates recovery.RollbackScope over every possible
@@ -347,7 +365,12 @@ func Run(cfg RunConfig) (RunResult, error) {
 		bucket = time.Second
 	}
 	recorder := metrics.NewRecorder(time.Now(), cfg.Duration+cfg.DrainGrace, bucket)
+	var tracer *trace.Tracer
+	if cfg.Trace {
+		tracer = trace.New(cfg.TraceCap)
+	}
 	eng, err := core.NewEngine(core.Config{
+		Trace:               tracer,
 		Workers:             cfg.Workers,
 		Protocol:            cfg.Protocol,
 		CheckpointInterval:  cfg.CheckpointInterval,
@@ -384,6 +407,14 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}, job)
 	if err != nil {
 		return RunResult{}, err
+	}
+	var obs *trace.Server
+	if cfg.HTTPAddr != "" {
+		obs, err = trace.Serve(cfg.HTTPAddr, tracer, eng.MetricsSnapshot)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("harness: observability endpoint: %w", err)
+		}
+		defer obs.Close()
 	}
 	if err := eng.Start(); err != nil {
 		return RunResult{}, err
@@ -462,6 +493,13 @@ func Run(cfg RunConfig) (RunResult, error) {
 	eng.Stop()
 
 	sum := recorder.Summarize(cfg.Protocol.Kind() == core.KindCoordinated)
+	if tracer != nil {
+		for _, p := range tracer.PhaseStats() {
+			sum.RoundPhases = append(sum.RoundPhases, metrics.PhaseStat{
+				Name: p.Name, Count: p.Count, Total: p.Total, Max: p.Max,
+			})
+		}
+	}
 	res := RunResult{
 		Config:      cfg,
 		Summary:     sum,
@@ -471,6 +509,10 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	res.Store = store.Stats()
 	res.WAL = eng.WALStats()
+	res.Trace = tracer
+	if obs != nil {
+		res.HTTPAddr = obs.Addr()
+	}
 	if cfg.AnalyzeRollbackScope && cfg.Protocol.Kind().NeedsLogging() {
 		res.Scope = analyzeScope(eng)
 	}

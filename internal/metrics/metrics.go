@@ -199,6 +199,10 @@ func (r *Recorder) IncReplayMessages(n int) { r.replayMessages.Add(uint64(n)) }
 // IncDupDropped counts a message dropped by deduplication.
 func (r *Recorder) IncDupDropped() { r.dupDropped.Add(1) }
 
+// DupDropped reports the messages dropped by deduplication so far (live
+// gauge; the end-of-run value lands in Summary.DupDropped).
+func (r *Recorder) DupDropped() uint64 { return r.dupDropped.Load() }
+
 // AddGCReclaimed accounts checkpoints (and their bytes) deleted from the
 // store by the checkpoint garbage collector.
 func (r *Recorder) AddGCReclaimed(ckpts int, bytes uint64) {
@@ -468,8 +472,30 @@ type Summary struct {
 	// failure order (see RTO).
 	RTOs []RTO
 
+	// RoundPhases is the per-phase breakdown of the checkpoint lifecycle
+	// (marker, align, capture, materialize, compress, upload, wal barrier,
+	// meta, report, round), aggregated from the run's trace spans. Empty
+	// when the run was not traced.
+	RoundPhases []PhaseStat
+
 	Timeline TimelineSummary
 	Notes    []string
+}
+
+// PhaseStat aggregates the spans of one named lifecycle phase.
+type PhaseStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean is the average span duration of the phase (0 when Count is 0).
+func (p PhaseStat) Mean() time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Count)
 }
 
 // Summarize computes the summary. coordinated selects whether the average

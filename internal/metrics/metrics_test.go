@@ -216,3 +216,74 @@ func TestTableRendering(t *testing.T) {
 		t.Fatalf("table has %d lines:\n%s", len(lines), out)
 	}
 }
+
+func TestEmptyPauseBucketsYieldZero(t *testing.T) {
+	// A run with no checkpoint captures (NONE protocol, or a traced run that
+	// ended before the first round) must summarize to zeros — never NaN or
+	// an index panic in the percentile machinery.
+	r := NewRecorder(time.Now(), 10*time.Second, time.Second)
+	r.RecordSinkLatencySince(time.Millisecond, 3*time.Millisecond)
+	s := r.Summarize(true)
+	if s.SyncPauses != 0 {
+		t.Fatalf("SyncPauses = %d", s.SyncPauses)
+	}
+	if s.MeanSyncPause != 0 || s.MaxSyncPause != 0 || s.P99SyncPause != 0 {
+		t.Fatalf("pause stats = %v/%v/%v, want zeros", s.MeanSyncPause, s.MaxSyncPause, s.P99SyncPause)
+	}
+	if s.CkptBucketP99 != 0 || s.QuietBucketP99 != 0 {
+		t.Fatalf("bucket p99s = %v/%v, want zeros", s.CkptBucketP99, s.QuietBucketP99)
+	}
+}
+
+func TestPauseMarksInEmptyTimeline(t *testing.T) {
+	// Sync pauses recorded but no latency samples at all: both split
+	// groups are empty and must report 0, while the pause percentiles
+	// themselves still compute.
+	r := NewRecorder(time.Now(), 10*time.Second, time.Second)
+	r.RecordSyncPause(2*time.Second, 5*time.Millisecond)
+	r.RecordSyncPause(100*time.Second, 7*time.Millisecond) // out-of-horizon mark clamps
+	s := r.Summarize(true)
+	if s.SyncPauses != 2 || s.P99SyncPause != 7*time.Millisecond {
+		t.Fatalf("pauses = %d p99 = %v", s.SyncPauses, s.P99SyncPause)
+	}
+	if s.CkptBucketP99 != 0 || s.QuietBucketP99 != 0 {
+		t.Fatalf("bucket p99s = %v/%v, want zeros for empty timeline", s.CkptBucketP99, s.QuietBucketP99)
+	}
+}
+
+func TestP99SplitPartitions(t *testing.T) {
+	tl := NewTimeline(4*time.Second, time.Second)
+	tl.Record(500*time.Millisecond, 10*time.Millisecond)  // bucket 0 (marked)
+	tl.Record(1500*time.Millisecond, 30*time.Millisecond) // bucket 1 (quiet)
+	mk, quiet := tl.p99Split(map[int]bool{0: true})
+	if mk != 10*time.Millisecond || quiet != 30*time.Millisecond {
+		t.Fatalf("split = %v/%v", mk, quiet)
+	}
+	// All buckets marked: quiet group empty → 0, not a panic.
+	mk, quiet = tl.p99Split(map[int]bool{0: true, 1: true})
+	if mk != 30*time.Millisecond || quiet != 0 {
+		t.Fatalf("all-marked split = %v/%v", mk, quiet)
+	}
+}
+
+func TestPhaseStatMean(t *testing.T) {
+	if got := (PhaseStat{}).Mean(); got != 0 {
+		t.Fatalf("empty phase mean = %v", got)
+	}
+	p := PhaseStat{Name: "ckpt.upload", Count: 4, Total: 8 * time.Millisecond, Max: 3 * time.Millisecond}
+	if got := p.Mean(); got != 2*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestDupDroppedAccessor(t *testing.T) {
+	r := NewRecorder(time.Now(), time.Second, time.Second)
+	if r.DupDropped() != 0 {
+		t.Fatal("fresh recorder reports drops")
+	}
+	r.IncDupDropped()
+	r.IncDupDropped()
+	if got := r.DupDropped(); got != 2 {
+		t.Fatalf("DupDropped = %d", got)
+	}
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Chrome trace-event export: the collected spans serialized in the
+// trace-event JSON array format, loadable in Perfetto (ui.perfetto.dev)
+// or chrome://tracing. One trace-viewer "process" per cluster worker
+// (plus the engine-level process), one "thread" per track, spans
+// colored by checkpoint round so consecutive rounds alternate visually.
+
+// chromeEvent is one trace-viewer event. ts/dur are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+	CName string         `json:"cname,omitempty"`
+}
+
+// roundPalette cycles reserved trace-viewer color names by round so
+// adjacent checkpoint rounds render in different colors.
+var roundPalette = []string{
+	"thread_state_running",
+	"rail_response",
+	"rail_animation",
+	"thread_state_iowait",
+	"rail_load",
+	"cq_build_running",
+	"good",
+	"thread_state_runnable",
+}
+
+// WriteChrome serializes the collected trace as a Chrome trace-event
+// JSON array. Safe on a nil tracer (writes an empty array).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+	seenPID := map[int]bool{}
+	for _, ts := range t.Snapshot() {
+		if !seenPID[ts.PID] {
+			seenPID[ts.PID] = true
+			if err := emit(chromeEvent{
+				Name: "process_name", Phase: "M", PID: ts.PID,
+				Args: map[string]any{"name": pidName(ts.PID)},
+			}); err != nil {
+				return err
+			}
+		}
+		if err := emit(chromeEvent{
+			Name: "thread_name", Phase: "M", PID: ts.PID, TID: ts.TID,
+			Args: map[string]any{"name": ts.Name},
+		}); err != nil {
+			return err
+		}
+		for _, e := range ts.Events {
+			ev := chromeEvent{
+				Name:  e.Name,
+				TS:    float64(e.Start) / 1e3,
+				PID:   ts.PID,
+				TID:   ts.TID,
+				Args:  map[string]any{"round": e.Round},
+				CName: roundPalette[e.Round%uint64(len(roundPalette))],
+			}
+			if e.Arg != 0 {
+				ev.Args["arg"] = e.Arg
+			}
+			if e.Dur > 0 {
+				ev.Phase = "X"
+				ev.Dur = float64(e.Dur) / 1e3
+			} else {
+				ev.Phase = "i"
+				ev.Args["s"] = "t" // instant scoped to its thread
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the Chrome trace to path.
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// PIDEngine is the Chrome-trace process id of engine-level tracks
+// (coordinator, recovery, WAL); worker-hosted tracks use the worker
+// index as their pid.
+const PIDEngine = 1000
+
+func pidName(pid int) string {
+	if pid == PIDEngine {
+		return "engine"
+	}
+	return fmt.Sprintf("worker %d", pid)
+}
+
+// ValidateChromeFile parses a Chrome trace-event JSON file, checks the
+// required fields, and runs the span-nesting checker per (pid, tid)
+// track. It returns the number of duration spans validated — the CI
+// smoke gate behind `checkmate -check-trace`.
+func ValidateChromeFile(path string) (spans int, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal(raw, &evs); err != nil {
+		return 0, fmt.Errorf("%s: not a trace-event JSON array: %w", path, err)
+	}
+	type trackKey struct{ pid, tid int }
+	tracks := map[trackKey][]Event{}
+	for i, ev := range evs {
+		switch ev.Phase {
+		case "M", "i":
+			continue
+		case "X":
+			if ev.Name == "" {
+				return 0, fmt.Errorf("%s: event %d: empty name", path, i)
+			}
+			if ev.Dur < 0 || ev.TS < 0 {
+				return 0, fmt.Errorf("%s: event %d (%s): negative ts/dur", path, i, ev.Name)
+			}
+			k := trackKey{ev.PID, ev.TID}
+			var round uint64
+			if ev.Args != nil {
+				if r, ok := ev.Args["round"].(float64); ok {
+					round = uint64(r)
+				}
+			}
+			// Round instead of truncating: µs floats reconstruct the
+			// original integer nanoseconds to well under half an ns, and
+			// truncation jitter would break shared-edge nesting checks.
+			tracks[k] = append(tracks[k], Event{
+				Name:  ev.Name,
+				Start: int64(math.Round(ev.TS * 1e3)),
+				Dur:   int64(math.Round(ev.Dur * 1e3)),
+				Round: round,
+			})
+			spans++
+		default:
+			return 0, fmt.Errorf("%s: event %d: unexpected phase %q", path, i, ev.Phase)
+		}
+	}
+	for k, evs := range tracks {
+		if err := CheckNesting(evs); err != nil {
+			return 0, fmt.Errorf("%s: pid %d tid %d: %w", path, k.pid, k.tid, err)
+		}
+	}
+	return spans, nil
+}

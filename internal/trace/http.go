@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Live observability endpoint: a tiny HTTP server exposing
+//
+//	/metrics     — expvar-style JSON counters and gauges, sampled from
+//	               the running engine on every request (inbox depths,
+//	               source backlog, uploader queue depth, WAL appends
+//	               per fsync, rounds completed/resolved, dup-dropped …)
+//	/trace.json  — the Chrome trace collected so far (when tracing)
+//	/debug/pprof — the standard Go profiling handlers
+//
+// Everything is stdlib; the metrics snapshot function is supplied by
+// the engine so this package stays import-free within the repo.
+
+// NewMux builds the observability handler. snapshot supplies the
+// /metrics payload (may be nil → 404); tr supplies /trace.json (nil →
+// 404).
+func NewMux(tr *Tracer, snapshot func() map[string]any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if snapshot == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snapshot()) // keys sort deterministically via encoding/json
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		tr.WriteChrome(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}
+
+// Serve binds addr and serves the observability mux in the background
+// until Close. Binding synchronously (rather than inside ListenAndServe)
+// lets callers use ":0" and read the bound address, and surfaces
+// bind errors immediately.
+func Serve(addr string, tr *Tracer, snapshot func() map[string]any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(tr, snapshot), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}

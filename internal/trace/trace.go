@@ -1,0 +1,309 @@
+// Package trace is a run-scoped, low-overhead span collector for the
+// checkpoint lifecycle. It is always compiled in but costs nothing when
+// disabled: a nil *Tracer hands out nil *Tracks, and every method on a
+// nil receiver is a no-op the compiler reduces to a nil check — zero
+// allocations, zero atomic traffic on the record path.
+//
+// When enabled, each track is a fixed-size ring of Events with an atomic
+// cursor: recording a span is one atomic add plus a struct store into a
+// preallocated slot (no heap allocation per span, drop-oldest when the
+// ring laps). Timestamps come from a single monotonic run clock shared
+// by all tracks, so spans from different goroutines line up on one
+// timeline.
+//
+// The package deliberately imports nothing from the rest of the repo so
+// every layer — wal, msglog, core, harness — can hold a *Track without
+// creating an import cycle.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTrackCap is the per-track ring capacity used when New is given
+// a non-positive capacity. 4096 spans of 48 bytes is ~192 KiB per track.
+const DefaultTrackCap = 4096
+
+// Event is one recorded span (Dur > 0) or instant (Dur == 0). Name must
+// be a static string: the collector stores it by reference and never
+// copies, which is what keeps the enabled path allocation-free.
+type Event struct {
+	Name  string
+	Start int64 // ns since the tracer's run epoch
+	Dur   int64 // ns; 0 for instants
+	Round uint64
+	Arg   uint64 // span-specific payload: channel id, batch size, byte count …
+}
+
+// End returns the span's end timestamp.
+func (e Event) End() int64 { return e.Start + e.Dur }
+
+// Tracer owns the run clock and the set of tracks. A nil Tracer is the
+// disabled collector.
+type Tracer struct {
+	epoch time.Time
+	cap   int
+
+	mu     sync.Mutex
+	tracks []*Track
+}
+
+// New returns an enabled tracer whose run clock starts now. capPerTrack
+// bounds each track's ring; <= 0 selects DefaultTrackCap.
+func New(capPerTrack int) *Tracer {
+	if capPerTrack <= 0 {
+		capPerTrack = DefaultTrackCap
+	}
+	return &Tracer{epoch: time.Now(), cap: capPerTrack}
+}
+
+// Enabled reports whether spans are being collected.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now returns the current run-clock reading in nanoseconds (0 when
+// disabled). Use the result as the start argument of Track.Span.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch).Nanoseconds()
+}
+
+// At converts an absolute wall-clock instant to the run clock. Instants
+// before the epoch clamp to 0.
+func (t *Tracer) At(at time.Time) int64 {
+	if t == nil {
+		return 0
+	}
+	ns := at.Sub(t.epoch).Nanoseconds()
+	if ns < 0 {
+		return 0
+	}
+	return ns
+}
+
+// NewTrack registers a new span track. name labels the Chrome-trace
+// thread; pid groups tracks into Chrome-trace processes (one per cluster
+// worker, plus PIDEngine for engine-level tracks). Returns nil — the
+// no-op track — when the tracer is disabled.
+//
+// A track is intended to have a single writing goroutine (instance,
+// uploader, coordinator-under-mutex …). Concurrent writers are memory-
+// safe (slots are reserved atomically) but a lapped ring may tear an
+// event; single-writer tracks cannot.
+func (t *Tracer) NewTrack(name string, pid int) *Track {
+	if t == nil {
+		return nil
+	}
+	tk := &Track{tr: t, name: name, pid: pid, events: make([]Event, t.cap)}
+	t.mu.Lock()
+	tk.tid = len(t.tracks) + 1
+	t.tracks = append(t.tracks, tk)
+	t.mu.Unlock()
+	return tk
+}
+
+// EventCount returns the total number of events recorded across all
+// tracks, including any dropped by ring lapping. 0 when disabled.
+func (t *Tracer) EventCount() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n uint64
+	for _, tk := range t.tracks {
+		n += tk.cursor.Load()
+	}
+	return n
+}
+
+// TrackSnapshot is one track's retained events in chronological order.
+type TrackSnapshot struct {
+	Name    string
+	PID     int
+	TID     int
+	Events  []Event
+	Dropped uint64 // events lost to ring lapping
+}
+
+// Snapshot copies out every track's retained events. Call after the
+// writing goroutines have stopped (end of run) for a consistent view.
+func (t *Tracer) Snapshot() []TrackSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tracks := append([]*Track(nil), t.tracks...)
+	t.mu.Unlock()
+	out := make([]TrackSnapshot, 0, len(tracks))
+	for _, tk := range tracks {
+		out = append(out, tk.snapshot())
+	}
+	return out
+}
+
+// PhaseStat aggregates every span sharing one name.
+type PhaseStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration.
+func (p PhaseStat) Mean() time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Count)
+}
+
+// PhaseStats aggregates all retained spans by name, sorted by name. Nil
+// tracer returns nil.
+func (t *Tracer) PhaseStats() []PhaseStat {
+	if t == nil {
+		return nil
+	}
+	agg := map[string]*PhaseStat{}
+	for _, ts := range t.Snapshot() {
+		for _, e := range ts.Events {
+			p := agg[e.Name]
+			if p == nil {
+				p = &PhaseStat{Name: e.Name}
+				agg[e.Name] = p
+			}
+			p.Count++
+			d := time.Duration(e.Dur)
+			p.Total += d
+			if d > p.Max {
+				p.Max = d
+			}
+		}
+	}
+	out := make([]PhaseStat, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Track is one timeline of spans written by (normally) one goroutine.
+// The zero track — nil — discards everything at no cost.
+type Track struct {
+	tr     *Tracer
+	name   string
+	pid    int
+	tid    int
+	cursor atomic.Uint64
+	events []Event
+}
+
+// Begin returns the run-clock start timestamp for a span about to be
+// measured; pass it to Span when the phase completes. 0 when disabled.
+func (tk *Track) Begin() int64 {
+	if tk == nil {
+		return 0
+	}
+	return tk.tr.Now()
+}
+
+// Span records a completed span that began at start (a Begin or Tracer.
+// Now reading) and ends now. name must be a static string; round and
+// arg ride along into the Event.
+func (tk *Track) Span(name string, round, arg uint64, start int64) {
+	if tk == nil {
+		return
+	}
+	end := tk.tr.Now()
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	tk.record(Event{Name: name, Start: start, Dur: dur, Round: round, Arg: arg})
+}
+
+// SpanAt records a completed span with an explicit [start, end] window,
+// for phases timed outside the tracer (wall-clock RTO phases).
+func (tk *Track) SpanAt(name string, round, arg uint64, start, end int64) {
+	if tk == nil {
+		return
+	}
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	tk.record(Event{Name: name, Start: start, Dur: dur, Round: round, Arg: arg})
+}
+
+// Instant records a zero-duration event at the current run-clock time.
+func (tk *Track) Instant(name string, round, arg uint64) {
+	if tk == nil {
+		return
+	}
+	tk.record(Event{Name: name, Start: tk.tr.Now(), Round: round, Arg: arg})
+}
+
+func (tk *Track) record(e Event) {
+	i := tk.cursor.Add(1) - 1
+	tk.events[i%uint64(len(tk.events))] = e
+}
+
+// snapshot copies the retained events in chronological order.
+func (tk *Track) snapshot() TrackSnapshot {
+	n := tk.cursor.Load()
+	cap64 := uint64(len(tk.events))
+	ts := TrackSnapshot{Name: tk.name, PID: tk.pid, TID: tk.tid}
+	if n > cap64 {
+		ts.Dropped = n - cap64
+		// Oldest retained slot is cursor mod cap; unwrap from there.
+		start := n % cap64
+		ts.Events = make([]Event, 0, cap64)
+		ts.Events = append(ts.Events, tk.events[start:]...)
+		ts.Events = append(ts.Events, tk.events[:start]...)
+	} else {
+		ts.Events = append([]Event(nil), tk.events[:n]...)
+	}
+	sort.SliceStable(ts.Events, func(i, j int) bool { return ts.Events[i].Start < ts.Events[j].Start })
+	return ts
+}
+
+// CheckNesting verifies that the spans of one track form a proper tree:
+// sorted by start, every span either begins at or after the previous
+// open span's end (sibling) or is fully contained in it (child). Equal
+// boundaries are allowed — phases recorded back to back share an edge
+// timestamp. Instants (Dur == 0) always nest.
+func CheckNesting(events []Event) error {
+	spans := make([]Event, 0, len(events))
+	for _, e := range events {
+		if e.Dur > 0 {
+			spans = append(spans, e)
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Dur > spans[j].Dur // parent before child at equal start
+	})
+	var stack []Event
+	for _, e := range spans {
+		for len(stack) > 0 && stack[len(stack)-1].End() <= e.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if e.End() > top.End() {
+				return fmt.Errorf("span %q [%d,%d] overlaps %q [%d,%d] without nesting",
+					e.Name, e.Start, e.End(), top.Name, top.Start, top.End())
+			}
+		}
+		stack = append(stack, e)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsFreeAndSilent(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Now() != 0 || tr.At(time.Now()) != 0 {
+		t.Fatal("nil tracer clock not zero")
+	}
+	tk := tr.NewTrack("x", 0)
+	if tk != nil {
+		t.Fatal("nil tracer handed out a non-nil track")
+	}
+	// Every record-path operation on the nil track must be a no-op with
+	// zero heap allocations — that is the whole disabled-path contract.
+	allocs := testing.AllocsPerRun(100, func() {
+		ts := tk.Begin()
+		tk.Span("ckpt.capture", 1, 2, ts)
+		tk.SpanAt("ckpt.round", 1, 2, 0, 10)
+		tk.Instant("wal.rotate", 0, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled record path allocated %.1f per op", allocs)
+	}
+	if tr.EventCount() != 0 || tr.Snapshot() != nil || tr.PhaseStats() != nil {
+		t.Fatal("nil tracer retained events")
+	}
+}
+
+func TestEnabledRecordPathDoesNotAllocate(t *testing.T) {
+	tr := New(64)
+	tk := tr.NewTrack("hot", 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		ts := tk.Begin()
+		tk.Span("ckpt.capture", 3, 4, ts)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled record path allocated %.1f per span", allocs)
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	tr := New(4)
+	tk := tr.NewTrack("ring", 1)
+	for i := 0; i < 10; i++ {
+		tk.SpanAt("s", uint64(i), 0, int64(i*100), int64(i*100+50))
+	}
+	snaps := tr.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d tracks", len(snaps))
+	}
+	ts := snaps[0]
+	if ts.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", ts.Dropped)
+	}
+	if len(ts.Events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ts.Events))
+	}
+	// Oldest retained must be round 6 (rounds 0..5 lapped), in order.
+	for i, e := range ts.Events {
+		if e.Round != uint64(6+i) {
+			t.Fatalf("event %d: round %d, want %d", i, e.Round, 6+i)
+		}
+	}
+	if tr.EventCount() != 10 {
+		t.Fatalf("EventCount = %d, want 10", tr.EventCount())
+	}
+}
+
+func TestCheckNestingAcceptsTree(t *testing.T) {
+	events := []Event{
+		{Name: "round", Start: 0, Dur: 100},
+		{Name: "capture", Start: 10, Dur: 20},
+		{Name: "upload", Start: 30, Dur: 70}, // shares round's end edge
+		{Name: "put", Start: 40, Dur: 10},
+		{Name: "next", Start: 100, Dur: 50}, // sibling, shared edge
+		{Name: "mark", Start: 120},          // instant inside next
+	}
+	if err := CheckNesting(events); err != nil {
+		t.Fatalf("proper tree rejected: %v", err)
+	}
+}
+
+func TestCheckNestingRejectsOverlap(t *testing.T) {
+	events := []Event{
+		{Name: "a", Start: 0, Dur: 50},
+		{Name: "b", Start: 30, Dur: 40}, // ends at 70 > a's 50
+	}
+	if err := CheckNesting(events); err == nil {
+		t.Fatal("overlapping spans accepted")
+	}
+}
+
+func TestPhaseStats(t *testing.T) {
+	tr := New(16)
+	tk := tr.NewTrack("t", 1)
+	tk.SpanAt("upload", 1, 0, 0, 100)
+	tk.SpanAt("upload", 2, 0, 200, 500)
+	tk.SpanAt("capture", 1, 0, 0, 10)
+	ps := tr.PhaseStats()
+	if len(ps) != 2 {
+		t.Fatalf("got %d phases", len(ps))
+	}
+	// Sorted by name: capture, upload.
+	if ps[0].Name != "capture" || ps[0].Count != 1 || ps[0].Total != 10 {
+		t.Fatalf("capture stat = %+v", ps[0])
+	}
+	up := ps[1]
+	if up.Name != "upload" || up.Count != 2 || up.Total != 400 || up.Max != 300 {
+		t.Fatalf("upload stat = %+v", up)
+	}
+	if up.Mean() != 200 {
+		t.Fatalf("upload mean = %v", up.Mean())
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := New(32)
+	a := tr.NewTrack("worker-a", 0)
+	b := tr.NewTrack("coordinator", PIDEngine)
+	a.SpanAt("ckpt.capture", 1, 9, 1000, 2000)
+	a.SpanAt("ckpt.upload", 1, 9, 2000, 9000)
+	a.Instant("wal.rotate", 0, 3)
+	b.SpanAt("ckpt.round", 1, 2, 500, 12000)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteChromeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ValidateChromeFile(path)
+	if err != nil {
+		t.Fatalf("round-trip validation: %v", err)
+	}
+	if spans != 3 {
+		t.Fatalf("validated %d spans, want 3", spans)
+	}
+}
+
+func TestValidateChromeFileRejectsOverlap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	bad := `[
+{"name":"a","ph":"X","ts":0,"dur":50,"pid":1,"tid":1},
+{"name":"b","ph":"X","ts":30,"dur":40,"pid":1,"tid":1}
+]`
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeFile(path); err == nil {
+		t.Fatal("overlapping trace file accepted")
+	}
+}
+
+func TestClockAt(t *testing.T) {
+	tr := New(8)
+	if tr.At(tr.epoch.Add(-time.Second)) != 0 {
+		t.Fatal("pre-epoch instant did not clamp to 0")
+	}
+	if got := tr.At(tr.epoch.Add(time.Millisecond)); got != time.Millisecond.Nanoseconds() {
+		t.Fatalf("At = %d", got)
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"checkmate/internal/trace"
 )
 
 // SyncPolicy selects when appends become durable.
@@ -70,6 +72,11 @@ type Options struct {
 	// Interval is the background fsync period for SyncInterval.
 	// Default 5ms.
 	Interval time.Duration
+	// Trace, when non-nil, records every fsync as a span on this track:
+	// "wal.fsync" with Arg = the number of appends the fsync made durable
+	// (the group-commit batch size), plus "wal.rotate" for segment-seal
+	// fsyncs. Nil disables at zero cost.
+	Trace *trace.Track
 }
 
 func (o Options) withDefaults() Options {
@@ -528,10 +535,12 @@ func (w *WAL) write(r Record) (uint64, error) {
 
 	switch w.opts.Policy {
 	case SyncAlways:
+		ts := w.opts.Trace.Begin()
 		if err := w.active.f.Sync(); err != nil {
 			return 0, err
 		}
 		w.fsyncs.Add(1)
+		w.opts.Trace.Span("wal.fsync", 0, 1, ts)
 		w.sm.Lock()
 		if lsn > w.pendingLSN {
 			w.pendingLSN = lsn
@@ -563,6 +572,9 @@ func (w *WAL) rotateLocked() error {
 			return err
 		}
 		w.fsyncs.Add(1)
+		// An instant, not a span: the seal fsync runs on the append path
+		// and may overlap the committer/ticker fsync span on this track.
+		w.opts.Trace.Instant("wal.rotate", 0, uint64(s.index))
 		s.f.Close()
 		s.f = nil
 	}
@@ -610,9 +622,12 @@ func (w *WAL) committer() {
 			return
 		}
 		target := w.pendingLSN
+		batch := target - w.syncedLSN
 		w.sm.Unlock()
 
+		ts := w.opts.Trace.Begin()
 		err := w.syncActive()
+		w.opts.Trace.Span("wal.fsync", 0, batch, ts)
 
 		w.sm.Lock()
 		if err != nil && w.syncErr == nil {
@@ -638,12 +653,14 @@ func (w *WAL) ticker() {
 			return
 		}
 		target := w.pendingLSN
-		dirty := target > w.syncedLSN
+		batch := target - w.syncedLSN
 		w.sm.Unlock()
-		if !dirty {
+		if batch == 0 {
 			continue
 		}
+		ts := w.opts.Trace.Begin()
 		err := w.syncActive()
+		w.opts.Trace.Span("wal.fsync", 0, batch, ts)
 		w.sm.Lock()
 		if err != nil && w.syncErr == nil {
 			w.syncErr = err
