@@ -28,36 +28,40 @@ import (
 
 func main() {
 	var (
-		query     = flag.String("query", "q1", "query: q1, q2, q3, q4, q5, q7, q8, q11, q12, q12et or cyclic")
-		proto     = flag.String("protocol", "COOR", "protocol: NONE, COOR, UNC, CIC, UCOOR or BCS")
-		workers   = flag.Int("workers", 4, "parallelism (workers)")
-		rate      = flag.Float64("rate", 20000, "input rate (events/second)")
-		duration  = flag.Duration("duration", 6*time.Second, "run duration")
-		failAt    = flag.Duration("failure-at", 0, "inject a worker failure at this offset (0 = none)")
-		hot       = flag.Float64("hot", 0, "hot-items ratio (0..1)")
-		interval  = flag.Duration("interval", 0, "checkpoint interval (default duration/12)")
-		window    = flag.Duration("window", 0, "Q8/Q12 tumbling window and Q5 sliding size (default duration/6)")
-		slide     = flag.Duration("slide", 0, "Q5 sliding-window step (default window/2)")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		mst       = flag.Bool("mst", false, "search the maximum sustainable throughput instead of a fixed-rate run")
-		netWork   = flag.Int("netcost", 0, "synthetic per-byte network cost factor (0 = default)")
-		semantics = flag.String("semantics", "exactly-once", "processing guarantee for UNC/CIC: exactly-once, at-least-once, at-most-once")
-		policy    = flag.String("policy", "", "UNC trigger policy: fixed, events=<n>, idle=<dur> (default: jittered interval)")
-		straggler = flag.Duration("straggler", 0, "per-event delay injected on one worker (straggler simulation)")
-		gc        = flag.Bool("gc", false, "enable checkpoint garbage collection")
-		flaky     = flag.Float64("store-failure-rate", 0, "transient object-store failure rate (0..1), retried by the engine")
-		output    = flag.String("output", "none", "sink output mode: none, immediate, transactional")
-		compress  = flag.Bool("compress", false, "deflate checkpoint blobs before upload")
-		delta     = flag.Bool("delta", false, "incremental (base+delta) checkpoints of keyed operator state")
-		syncSnap  = flag.Bool("sync-snapshots", false, "serialize checkpoint state on the processing goroutine (pre-async baseline) instead of asynchronous copy-on-write snapshots")
-		scope     = flag.Bool("scope", false, "analyze the single-failure rollback scope after the run (UNC/CIC)")
-		batch     = flag.Int("batch", 0, "exchange batch size in records (0/1 = unbatched)")
-		batchB    = flag.Int("batch-bytes", 0, "exchange batch size bound in bytes (0 = default 32KiB)")
-		batchL    = flag.Int("batch-linger", 0, "exchange batch linger bound in poll-interval ticks (0 = default 1)")
-		durable   = flag.Bool("durable", false, "enable the filesystem durability tier: disk-backed object store plus a WAL behind the message log (UNC/CIC)")
-		walDir    = flag.String("wal-dir", "", "directory for durable files (blobs/ and wal/); default: a fresh temp dir removed after the run")
-		walSync   = flag.String("wal-sync", "group", "WAL sync policy for -durable: always, group or interval")
-		benchJSON = flag.String("bench-json", "", "run the data-plane throughput grid (query x protocol x batch size) and write machine-readable results to this file")
+		query        = flag.String("query", "q1", "query: q1, q2, q3, q4, q5, q7, q8, q11, q12, q12et or cyclic")
+		proto        = flag.String("protocol", "COOR", "protocol: NONE, COOR, UNC, CIC, UCOOR or BCS")
+		workers      = flag.Int("workers", 4, "parallelism (workers)")
+		rate         = flag.Float64("rate", 20000, "input rate (events/second)")
+		duration     = flag.Duration("duration", 6*time.Second, "run duration")
+		failAt       = flag.Duration("failure-at", 0, "inject a worker failure at this offset (0 = none)")
+		hot          = flag.Float64("hot", 0, "hot-items ratio (0..1)")
+		interval     = flag.Duration("interval", 0, "checkpoint interval (default duration/12)")
+		window       = flag.Duration("window", 0, "Q8/Q12 tumbling window and Q5 sliding size (default duration/6)")
+		slide        = flag.Duration("slide", 0, "Q5 sliding-window step (default window/2)")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		mst          = flag.Bool("mst", false, "search the maximum sustainable throughput instead of a fixed-rate run")
+		netWork      = flag.Int("netcost", 0, "synthetic per-byte network cost factor (0 = default)")
+		semantics    = flag.String("semantics", "exactly-once", "processing guarantee for UNC/CIC: exactly-once, at-least-once, at-most-once")
+		policy       = flag.String("policy", "", "UNC trigger policy: fixed, events=<n>, idle=<dur> (default: jittered interval)")
+		straggler    = flag.Duration("straggler", 0, "per-event delay injected on one worker (straggler simulation)")
+		gc           = flag.Bool("gc", false, "enable checkpoint garbage collection")
+		flaky        = flag.Float64("store-failure-rate", 0, "transient object-store failure rate (0..1), retried by the engine")
+		output       = flag.String("output", "none", "sink output mode: none, immediate, transactional")
+		compress     = flag.Bool("compress", false, "deflate checkpoint blobs before upload")
+		delta        = flag.Bool("delta", false, "incremental (base+delta) checkpoints of keyed operator state")
+		syncSnap     = flag.Bool("sync-snapshots", false, "serialize checkpoint state on the processing goroutine (pre-async baseline) instead of asynchronous copy-on-write snapshots")
+		scope        = flag.Bool("scope", false, "analyze the single-failure rollback scope after the run (UNC/CIC)")
+		batch        = flag.Int("batch", 0, "exchange batch size in records (0/1 = unbatched)")
+		batchB       = flag.Int("batch-bytes", 0, "exchange batch size bound in bytes (0 = default 32KiB)")
+		batchL       = flag.Int("batch-linger", 0, "exchange batch linger bound in poll-interval ticks (0 = default 1)")
+		spill        = flag.Bool("spill", false, "run keyed operator state on the spillable backend: bounded in-memory overlay over mmap'd on-disk segments")
+		spillMaxMB   = flag.Int("spill-max-mb", 0, "per-instance resident-overlay budget in MiB for -spill (0 = backend default, 64)")
+		spillEntries = flag.Int("spill-max-entries", 0, "per-instance overlay entry budget for -spill (0 = backend default)")
+		spillDir     = flag.String("spill-dir", "", "directory for spilled state segments; default: a fresh temp dir removed after the run")
+		durable      = flag.Bool("durable", false, "enable the filesystem durability tier: disk-backed object store plus a WAL behind the message log (UNC/CIC)")
+		walDir       = flag.String("wal-dir", "", "directory for durable files (blobs/ and wal/); default: a fresh temp dir removed after the run")
+		walSync      = flag.String("wal-sync", "group", "WAL sync policy for -durable: always, group or interval")
+		benchJSON    = flag.String("bench-json", "", "run the data-plane throughput grid (query x protocol x batch size) and write machine-readable results to this file")
 
 		clusterN   = flag.Int("cluster", 0, "cluster worker count instances are placed on (0 = -workers)")
 		placement  = flag.String("placement", "", "placement policy: spread (default), round-robin, colocate")
@@ -169,6 +173,10 @@ func main() {
 		FailDomain:           *failDomain,
 		FailRackSize:         *rackSize,
 		LocalCache:           *localCache,
+		SpillState:           *spill,
+		SpillMaxMB:           *spillMaxMB,
+		SpillMaxEntries:      *spillEntries,
+		SpillDir:             *spillDir,
 		Durable:              *durable,
 		DurableDir:           *walDir,
 		WALSync:              *walSync,
@@ -446,6 +454,87 @@ func runBenchGrid(path string) error {
 			out.Points = append(out.Points, pt)
 		}
 	}
+	// Larger-than-memory state A/B: q3 grown to ≥5M distinct join keys
+	// (the ROADMAP's "millions of users" scale), resident versus spilled
+	// under a 32 MiB per-instance overlay budget, plus a cheaper q8 pair.
+	// In drain mode the broker retains every generated event for replay, so
+	// process RSS is dominated by the workload; the bounded quantity is the
+	// state-attributable memory — state_mb is the logical keyed state both
+	// rows carry, spill_resident_mb is the in-memory share the budget caps
+	// (the rest lives in mmap'd segments, counted by peak_mapped_mb).
+	type spillRow struct {
+		query   string
+		records int
+		capMB   int
+		// strictKeys requires both rows to stop with identical key counts.
+		// Only meaningful for ever-growing state (q3): q8's windowed state
+		// evicts on wall-clock window boundaries, so its count at stop
+		// depends on drain duration.
+		strictKeys bool
+	}
+	for _, row := range []spillRow{{"q3", 45_000_000, 32, true}, {"q8", 4_000_000, 2, false}} {
+		p, err := checkmate.ProtocolByName("COOR")
+		if err != nil {
+			return err
+		}
+		var resident, spilled checkmate.BenchPoint
+		for _, spill := range []bool{false, true} {
+			cfg := checkmate.BenchConfig{
+				Query:              row.query,
+				Protocol:           p,
+				Workers:            out.Workers,
+				Records:            row.records,
+				BatchMaxRecords:    64,
+				CheckpointInterval: time.Second,
+				DeltaCheckpoints:   true,
+				Timeout:            900 * time.Second,
+				MemSample:          true,
+			}
+			if spill {
+				cfg.SpillState = true
+				cfg.SpillMaxMB = row.capMB
+			}
+			pt, err := checkmate.BenchThroughput(cfg)
+			if err != nil {
+				return fmt.Errorf("bench spill %s/spill=%v: %w", row.query, spill, err)
+			}
+			mode := "resident"
+			if spill {
+				mode = "spill"
+				spilled = pt
+			} else {
+				resident = pt
+			}
+			fmt.Printf("%-4s %-8s cap=%-3dMB %10.0f rec/s  keys=%-8d state=%7.1fMB  heap=%7.1fMB mapped=%7.1fMB rss=%7.1fMB resident=%6.1fMB  segs=%d spills=%d compactions=%d\n",
+				row.query, mode, row.capMB*boolToInt(spill), pt.RecordsPerSec, pt.StateKeys, pt.StateMB,
+				pt.PeakHeapMB, pt.PeakMappedMB, pt.PeakRSSMB, pt.SpillResidentMB,
+				pt.SegmentsPeak, pt.Spills, pt.SpillCompactions)
+			out.Points = append(out.Points, pt)
+		}
+		// The pair is only evidence if both rows processed the same state and
+		// the budget actually bound the spilling row's resident share while
+		// the resident row held everything in memory.
+		if row.strictKeys && spilled.StateKeys != resident.StateKeys {
+			return fmt.Errorf("bench spill %s: key divergence (%d resident vs %d spilled)",
+				row.query, resident.StateKeys, spilled.StateKeys)
+		}
+		if spilled.Spills == 0 {
+			return fmt.Errorf("bench spill %s: the spilling row never spilled (state %.1f MB under %d MB cap?)",
+				row.query, spilled.StateMB, row.capMB)
+		}
+		// Per-instance budgets are soft (a flush runs after the overlay
+		// crosses the cap), so allow 2x headroom across instances.
+		if maxMB := float64(2 * 2 * row.capMB); spilled.SpillResidentMB > maxMB {
+			return fmt.Errorf("bench spill %s: resident overlay peaked at %.1f MB, above the %0.f MB bound",
+				row.query, spilled.SpillResidentMB, maxMB)
+		}
+		// Final state vs peak overlay is only comparable when state never
+		// shrinks (windowed q8 evicts, so its final count undershoots).
+		if row.strictKeys && resident.StateMB < spilled.SpillResidentMB {
+			return fmt.Errorf("bench spill %s: resident-only run held less state (%.1f MB) than the spilling overlay (%.1f MB)",
+				row.query, resident.StateMB, spilled.SpillResidentMB)
+		}
+	}
 	// Tracing-overhead A/B: q1 per protocol at batch 8 with the
 	// checkpoint-lifecycle span collector off and on. The traced rows
 	// carry the span volume collected; the allocs/record column must not
@@ -554,6 +643,29 @@ func runRecoveryGrid(path string) error {
 		if err := run(checkmate.RecoveryBenchConfig{
 			Query: "q3", Protocol: p, Workers: out.Workers, Placement: pl, FailWorker: fw, LocalCache: true, Repeat: 3,
 		}); err != nil {
+			return err
+		}
+	}
+	// Spillable-state recovery: the same q3 failure on base-plus-delta
+	// chains, keyed state resident versus spilled under a tight overlay
+	// budget. The spilled point restores by mmapping the fetched segment
+	// blobs (zero-copy install) instead of decoding them entry by entry —
+	// the fetch/replay columns of the pair are the restore-path A/B.
+	for _, spill := range []bool{false, true} {
+		p, err := checkmate.ProtocolByName("COOR")
+		if err != nil {
+			return err
+		}
+		cfg := checkmate.RecoveryBenchConfig{
+			Query: "q3", Protocol: p, Workers: out.Workers, Repeat: 3,
+			Rate:             40000,
+			DeltaCheckpoints: true,
+		}
+		if spill {
+			cfg.SpillState = true
+			cfg.SpillMaxEntries = 2048
+		}
+		if err := run(cfg); err != nil {
 			return err
 		}
 	}
@@ -713,6 +825,11 @@ func printResult(res checkmate.RunResult) {
 		fmt.Printf("  rollback scope:     avg %.1f / max %d of %d instances (avg depth %.2f)\n",
 			res.Scope.AvgScope, res.Scope.MaxScope, res.Scope.Instances, res.Scope.AvgDepth)
 	}
+	if res.Config.SpillState {
+		fmt.Printf("  spillable state:    resident %.2f MB, mapped %.2f MB, %d segments; %d spills, %d compactions, %d errors\n",
+			float64(res.Spill.ResidentBytes)/(1<<20), float64(res.Spill.MappedBytes)/(1<<20),
+			res.Spill.Segments, res.Spill.Spills, res.Spill.Compactions, res.Spill.Errors)
+	}
 	if res.Config.Durable {
 		fmt.Printf("  durability:         wal-sync=%s, store fsyncs %d\n", res.Config.WALSync, res.Store.Fsyncs)
 		if res.WAL.Appends > 0 {
@@ -730,6 +847,13 @@ func printResult(res checkmate.RunResult) {
 			pt.Start.Seconds(), pt.Count,
 			float64(pt.P50)/1e6, float64(pt.P99)/1e6)
 	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func max64(a, b uint64) uint64 {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"hash/crc32"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -128,6 +129,12 @@ type Config struct {
 	// ChainPolicy tunes base-vs-delta compaction when DeltaCheckpoints is
 	// set. The zero value selects statestore.DefaultChainPolicy.
 	ChainPolicy statestore.ChainPolicy
+	// StateSpill enables the spillable keyed-state backend: each
+	// KeyedStateUser instance's store keeps a bounded in-memory overlay
+	// over mmap'd on-disk segments, so keyed state larger than memory
+	// stays runnable and restore maps fetched checkpoint blobs instead of
+	// decoding them. See statestore.NewSpilling.
+	StateSpill StateSpillConfig
 	// Batching configures the vectorized exchange: records crossing a
 	// channel are staged in per-channel output buffers and shipped as one
 	// batch envelope sharing the routing header. The zero value defaults to
@@ -154,6 +161,20 @@ type Config struct {
 	SyncSnapshots bool
 	// Seed derives per-instance jitter.
 	Seed int64
+}
+
+// StateSpillConfig selects and budgets the spillable keyed-state backend.
+type StateSpillConfig struct {
+	// Enabled switches KeyedStateUser instances from the resident map
+	// backend to the spillable backend.
+	Enabled bool
+	// Dir is the root directory for segment files; each instance gets a
+	// per-generation subdirectory. Required when Enabled.
+	Dir string
+	// MaxResidentBytes / MaxOverlayEntries bound each instance's in-memory
+	// overlay (<= 0 selects the statestore defaults).
+	MaxResidentBytes  int
+	MaxOverlayEntries int
 }
 
 // BatchingConfig is the flush policy of the vectorized exchange. A batch is
@@ -499,7 +520,29 @@ func (e *Engine) buildWorld(line recovery.Line, blobs map[int][][]byte) (*world,
 			} else {
 				it.oper = spec.New(idx)
 				if _, ok := it.oper.(KeyedStateUser); ok {
-					it.kv = statestore.New()
+					if e.cfg.StateSpill.Enabled {
+						scfg := statestore.SpillConfig{
+							// Per-generation directories keep a rebuilt
+							// world's segments disjoint from a dying world's
+							// still-pinned ones.
+							Dir: filepath.Join(e.cfg.StateSpill.Dir,
+								fmt.Sprintf("g%d-%s-%d", w.gen, spec.Name, idx)),
+							MaxResidentBytes:  e.cfg.StateSpill.MaxResidentBytes,
+							MaxOverlayEntries: e.cfg.StateSpill.MaxOverlayEntries,
+							Track:             it.tt,
+						}
+						if e.cfg.Trace.Enabled() {
+							scfg.CompactTrack = e.cfg.Trace.NewTrack(
+								fmt.Sprintf("%s[%d] compact g%d", spec.Name, idx, w.gen), it.worker)
+						}
+						kv, err := statestore.NewSpilling(scfg)
+						if err != nil {
+							return nil, fmt.Errorf("core: spill backend for %s[%d]: %w", spec.Name, idx, err)
+						}
+						it.kv = kv
+					} else {
+						it.kv = statestore.New()
+					}
 					it.kvEnc = wire.NewEncoder(make([]byte, 0, 1024))
 					if e.cfg.DeltaCheckpoints {
 						// A fresh chain starts with a full snapshot, so a
@@ -638,6 +681,20 @@ func (e *Engine) stopWorld(w *world) {
 	w.uploadWG.Wait()
 }
 
+// closeStores releases a stopped world's keyed-state backends: for
+// spillable stores this stops the compactor and unmaps/deletes segment
+// files. Only safe after stopWorld (uploads drained, so no capture pins a
+// store), and only once the world's state will never be read again — the
+// recovery path closes the replaced world; the final world is closed by
+// Engine.Close, not Stop, so ExportSavepoint can still read it.
+func (w *world) closeStores() {
+	for _, it := range w.instances {
+		if it.kv != nil {
+			it.kv.Close()
+		}
+	}
+}
+
 // InjectFailure simulates the crash of one cluster worker: all instances
 // the placement hosts on it die immediately; the coordinator detects the
 // failure after the configured detection delay and performs a rollback.
@@ -733,6 +790,12 @@ func (e *Engine) recover(failedAt, detectAt time.Time, failedWorkers []int, fail
 		return
 	}
 	e.mu.Unlock()
+
+	// The failed world is being permanently replaced: release its
+	// keyed-state backends (compactor goroutines, mmap'd segment files).
+	// The new world restores from durable checkpoint blobs, never from the
+	// dead world's stores.
+	failedWorld.closeStores()
 
 	kind := e.cfg.Protocol.Kind()
 	var (
@@ -1144,6 +1207,20 @@ func (e *Engine) Stop() {
 	}
 	if e.dlog != nil {
 		e.dlog.Close()
+	}
+}
+
+// Close releases resources that outlive Stop: the final world's
+// keyed-state backends — for spillable state, the compactor goroutines
+// and mmap'd segment files. Call once the engine's state will never be
+// read again (after any ExportSavepoint or final metrics collection).
+// Idempotent; resident-only stores make it a no-op.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	w := e.world
+	e.mu.Unlock()
+	if w != nil {
+		w.closeStores()
 	}
 }
 

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"checkmate/internal/statestore"
+)
 
 // MetricsSnapshot samples the engine's live gauges and counters for the
 // /metrics endpoint. It is safe to call concurrently with a running job:
@@ -49,8 +53,90 @@ func (e *Engine) MetricsSnapshot() map[string]any {
 	m["uploader_queue_depth"] = uq
 	m["generation"] = w.gen
 
+	if e.cfg.StateSpill.Enabled {
+		ss := aggregateSpillStats(w)
+		m["state_resident_bytes"] = ss.ResidentBytes
+		m["state_mapped_bytes"] = ss.MappedBytes
+		m["state_segments"] = ss.Segments
+		m["state_spills"] = ss.Spills
+		m["state_compactions"] = ss.Compactions
+		m["state_spill_errors"] = ss.Errors
+	}
+
 	if tr := e.cfg.Trace; tr.Enabled() {
 		m["trace_events"] = tr.EventCount()
 	}
 	return m
+}
+
+// aggregateSpillStats sums the spillable-backend gauges over a world's
+// instances. The per-store stats are atomics, so this is safe concurrent
+// with the running job.
+func aggregateSpillStats(w *world) statestore.SpillStats {
+	var agg statestore.SpillStats
+	for _, it := range w.instances {
+		if it.kv == nil {
+			continue
+		}
+		st := it.kv.SpillStats()
+		agg.ResidentBytes += st.ResidentBytes
+		agg.MappedBytes += st.MappedBytes
+		agg.Segments += st.Segments
+		agg.Spills += st.Spills
+		agg.Compactions += st.Compactions
+		agg.Errors += st.Errors
+	}
+	return agg
+}
+
+// StateKeys sums the live keyed-state entries across the current world's
+// instances. Unlike StateStats it reads the stores' plain (non-atomic)
+// counters, so call it only when processing is quiesced — after Stop, or
+// once a drain has settled.
+func (e *Engine) StateKeys() int {
+	e.mu.Lock()
+	w := e.world
+	e.mu.Unlock()
+	if w == nil {
+		return 0
+	}
+	n := 0
+	for _, it := range w.instances {
+		if it.kv != nil {
+			n += it.kv.Len()
+		}
+	}
+	return n
+}
+
+// StateBytes sums the logical live keyed-state bytes across the current
+// world's instances — spilled or resident, the state the job would have to
+// restore. Same quiescence requirement as StateKeys.
+func (e *Engine) StateBytes() uint64 {
+	e.mu.Lock()
+	w := e.world
+	e.mu.Unlock()
+	if w == nil {
+		return 0
+	}
+	var n uint64
+	for _, it := range w.instances {
+		if it.kv != nil {
+			n += uint64(it.kv.Bytes())
+		}
+	}
+	return n
+}
+
+// StateStats aggregates the spillable keyed-state gauges across the live
+// world (zero when spilling is disabled or no world is running). Safe to
+// call concurrently with the job — benchmarks sample it while draining.
+func (e *Engine) StateStats() statestore.SpillStats {
+	e.mu.Lock()
+	w := e.world
+	e.mu.Unlock()
+	if w == nil {
+		return statestore.SpillStats{}
+	}
+	return aggregateSpillStats(w)
 }

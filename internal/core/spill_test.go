@@ -1,0 +1,107 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"checkmate/internal/statestore"
+)
+
+// runSpillJob drives the keyed-tally pipeline through a worker failure
+// with incremental checkpoints, optionally on the spillable state
+// backend with a budget far below the working set, and returns the
+// per-key sums, the exactly-once total and the spill gauges.
+func runSpillJob(t *testing.T, spill bool) (map[uint64]uint64, uint64, statestore.SpillStats) {
+	t.Helper()
+	env, job := buildEnv(t, 2, 4000, 12000)
+	useKeyedTally(job)
+	cfg := env.config(nullProto{KindUncoordinated, "UNC"})
+	cfg.DeltaCheckpoints = true
+	if spill {
+		cfg.StateSpill = StateSpillConfig{
+			Enabled:           true,
+			Dir:               t.TempDir(),
+			MaxResidentBytes:  2 << 10, // ~4000 live keys: forces heavy spilling
+			MaxOverlayEntries: 256,
+		}
+	}
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	eng.InjectFailure(1)
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	stats := eng.StateStats()
+	eng.Close()
+	sums, total := collectSums(eng, env.workers)
+	sum := env.recorder.Summarize(false)
+	if len(sum.RTOs) != 1 {
+		t.Fatalf("expected 1 recovery, got %d", len(sum.RTOs))
+	}
+	return sums, total, stats
+}
+
+// TestSpillStateEquivalence is the backend A/B: the same job, failure and
+// recovery produce identical sink output whether keyed state lives in the
+// resident map or spills to mmap'd segments — with the spilling run
+// actually spilling, recovering through the segment-install (mmap) restore
+// path, and never degrading on errors.
+func TestSpillStateEquivalence(t *testing.T) {
+	base, baseTotal, _ := runSpillJob(t, false)
+	sums, total, stats := runSpillJob(t, true)
+	if want := uint64(4000 * 2); total != want {
+		t.Fatalf("exactly-once violated with spilling: total = %d, want %d", total, want)
+	}
+	if total != baseTotal || !reflect.DeepEqual(base, sums) {
+		t.Fatalf("spill-on output differs from spill-off (totals %d vs %d)", total, baseTotal)
+	}
+	if stats.Spills == 0 || stats.Segments == 0 {
+		t.Fatalf("spilling run never spilled: %+v", stats)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("spill errors during run: %+v", stats)
+	}
+}
+
+// TestSpillRestoreIsSegmentInstall pins the zero-copy restore property:
+// after recovery, the rebuilt instances' stores hold mmap'd segment
+// layers installed from the fetched blobs (not just re-decoded overlay),
+// visible as mapped bytes and segments on the new generation before any
+// post-restore flush could have created them.
+func TestSpillRestoreIsSegmentInstall(t *testing.T) {
+	env, job := buildEnv(t, 2, 3000, 12000)
+	useKeyedTally(job)
+	cfg := env.config(nullProto{KindCoordinated, "COOR"})
+	cfg.DeltaCheckpoints = true
+	cfg.StateSpill = StateSpillConfig{
+		Enabled:           true,
+		Dir:               t.TempDir(),
+		MaxResidentBytes:  2 << 10,
+		MaxOverlayEntries: 256,
+	}
+	eng, err := NewEngine(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	eng.InjectFailure(0)
+	waitDrained(t, eng, env, 15*time.Second)
+	eng.Stop()
+	defer eng.Close()
+	if _, total := collectSums(eng, env.workers); total != 3000*2 {
+		t.Fatalf("exactly-once violated: total = %d", total)
+	}
+	st := eng.StateStats()
+	if st.MappedBytes == 0 || st.Segments == 0 {
+		t.Fatalf("recovered world has no mapped segments: %+v", st)
+	}
+}

@@ -70,6 +70,18 @@ type BenchConfig struct {
 	// Trace enables the checkpoint-lifecycle span collector during the
 	// measurement — the traced side of the tracing-overhead A/B.
 	Trace bool
+	// SpillState runs keyed state on the spillable backend (bounded
+	// resident overlay over mmap'd segments); SpillMaxMB / SpillMaxEntries
+	// budget each instance's overlay (0 = statestore defaults). The drain
+	// loop then samples peak heap and mapped bytes, the bounded-RSS
+	// evidence of the spill table.
+	SpillState      bool
+	SpillMaxMB      int
+	SpillMaxEntries int
+	// MemSample turns on the drain-loop peak-memory sampling without
+	// spilling — the resident baseline rows of the spill table, whose RSS
+	// grows with total state. Implied by SpillState.
+	MemSample bool
 }
 
 // BenchPoint is one machine-readable throughput measurement, the unit of
@@ -135,6 +147,22 @@ type BenchPoint struct {
 	WALFsyncs   uint64 `json:"wal_fsyncs,omitempty"`
 	WALBytes    uint64 `json:"wal_bytes,omitempty"`
 	StoreFsyncs uint64 `json:"store_fsyncs,omitempty"`
+	// Spillable-state columns (absent unless the point ran with
+	// SpillState). Peak values are sampled over the drain; PeakRSSMB is
+	// heap-in-use plus mmap'd segment bytes — the process-memory bound the
+	// spill budget enforces — while SpillResidentMB is the per-sample sum
+	// of the stores' resident overlay bytes the budget applies to.
+	SpillState       bool    `json:"spill_state,omitempty"`
+	SpillMaxMB       int     `json:"spill_max_mb,omitempty"`
+	StateKeys        int     `json:"state_keys,omitempty"`
+	StateMB          float64 `json:"state_mb,omitempty"`
+	PeakHeapMB       float64 `json:"peak_heap_mb,omitempty"`
+	PeakMappedMB     float64 `json:"peak_mapped_mb,omitempty"`
+	PeakRSSMB        float64 `json:"peak_rss_mb,omitempty"`
+	SpillResidentMB  float64 `json:"spill_resident_mb,omitempty"`
+	Spills           uint64  `json:"spills,omitempty"`
+	SpillCompactions uint64  `json:"spill_compactions,omitempty"`
+	SegmentsPeak     int64   `json:"segments_peak,omitempty"`
 }
 
 // BenchThroughput generates cfg.Records records all scheduled within the
@@ -213,6 +241,20 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 	if err != nil {
 		return BenchPoint{}, fmt.Errorf("harness: open store: %w", err)
 	}
+	var stateSpill core.StateSpillConfig
+	if cfg.SpillState {
+		dir, terr := os.MkdirTemp("", "checkmate-spill-*")
+		if terr != nil {
+			return BenchPoint{}, fmt.Errorf("harness: spill bench dir: %w", terr)
+		}
+		defer os.RemoveAll(dir)
+		stateSpill = core.StateSpillConfig{
+			Enabled:           true,
+			Dir:               dir,
+			MaxResidentBytes:  cfg.SpillMaxMB << 20,
+			MaxOverlayEntries: cfg.SpillMaxEntries,
+		}
+	}
 	recorder := metrics.NewRecorder(time.Now(), cfg.Timeout, time.Second)
 	var tracer *trace.Tracer
 	if cfg.Trace {
@@ -231,12 +273,14 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		Batching:           core.BatchingConfig{MaxRecords: cfg.BatchMaxRecords},
 		SyncSnapshots:      cfg.SyncSnapshots,
 		DeltaCheckpoints:   cfg.DeltaCheckpoints,
+		StateSpill:         stateSpill,
 		Durability:         durability,
 		Seed:               cfg.Seed,
 	}, job)
 	if err != nil {
 		return BenchPoint{}, err
 	}
+	defer eng.Close()
 	if cfg.NoFramePool {
 		prev := core.SetFramePooling(false)
 		defer core.SetFramePooling(prev)
@@ -256,6 +300,33 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 	var lastCount uint64
 	stableSince := time.Now()
 	var elapsed time.Duration
+	// Peak-memory sampling for the spill table: heap-in-use plus mapped
+	// segment bytes approximates the process RSS attributable to keyed
+	// state. Sampling is gated on SpillState (ReadMemStats stops the
+	// world) and throttled to ~20 Hz.
+	var peakHeap, peakMapped, peakRSS, peakResident uint64
+	var peakSegments int64
+	lastSample := time.Now()
+	sampleMem := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		st := eng.StateStats()
+		if ms.HeapInuse > peakHeap {
+			peakHeap = ms.HeapInuse
+		}
+		if uint64(st.MappedBytes) > peakMapped {
+			peakMapped = uint64(st.MappedBytes)
+		}
+		if rss := ms.HeapInuse + uint64(st.MappedBytes); rss > peakRSS {
+			peakRSS = rss
+		}
+		if uint64(st.ResidentBytes) > peakResident {
+			peakResident = uint64(st.ResidentBytes)
+		}
+		if st.Segments > peakSegments {
+			peakSegments = st.Segments
+		}
+	}
 	for {
 		if time.Now().After(deadline) {
 			eng.Stop()
@@ -268,6 +339,10 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 			stableSince = time.Now()
 			elapsed = time.Since(start)
 		}
+		if (cfg.SpillState || cfg.MemSample) && time.Since(lastSample) > 50*time.Millisecond {
+			lastSample = time.Now()
+			sampleMem()
+		}
 		// Check the (expensive, whole-backlog-scanning) SourceBacklog only
 		// once the sink count has already settled, so the measurement loop
 		// does not steal CPU from the data plane under measurement.
@@ -276,11 +351,19 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	if cfg.SpillState || cfg.MemSample {
+		sampleMem() // final sample at full state size
+	}
 	// Snapshot memory stats before Stop: the drain is over, and Stop-side
 	// finalization (summaries, upload teardown) is not data-plane work.
 	var m1 runtime.MemStats
 	runtime.ReadMemStats(&m1)
 	eng.Stop()
+	// Keys and logical bytes are counted on the stopped engine — Len and
+	// Bytes read the stores' plain counters, safe only once processing is
+	// quiesced.
+	stateKeys := eng.StateKeys()
+	stateBytes := eng.StateBytes()
 	sum := recorder.Summarize(cfg.Protocol.Kind() == core.KindCoordinated)
 	secs := elapsed.Seconds()
 	pt := BenchPoint{
@@ -315,6 +398,22 @@ func (cfg BenchConfig) run() (BenchPoint, error) {
 
 		Traced:      cfg.Trace,
 		TraceEvents: tracer.EventCount(),
+	}
+	if cfg.SpillState || cfg.MemSample {
+		pt.PeakHeapMB = float64(peakHeap) / (1 << 20)
+		pt.PeakMappedMB = float64(peakMapped) / (1 << 20)
+		pt.PeakRSSMB = float64(peakRSS) / (1 << 20)
+		pt.StateKeys = stateKeys
+		pt.StateMB = float64(stateBytes) / (1 << 20)
+	}
+	if cfg.SpillState {
+		st := eng.StateStats()
+		pt.SpillState = true
+		pt.SpillMaxMB = cfg.SpillMaxMB
+		pt.SpillResidentMB = float64(peakResident) / (1 << 20)
+		pt.Spills = st.Spills
+		pt.SpillCompactions = st.Compactions
+		pt.SegmentsPeak = peakSegments
 	}
 	if cfg.Durable {
 		ws := eng.WALStats()

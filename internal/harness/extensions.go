@@ -619,3 +619,65 @@ func (s *Suite) TraceOverheadTable() (*metrics.Table, error) {
 	}
 	return t, nil
 }
+
+// SpillTable is the larger-than-memory state backend A/B: a state-heavy
+// q3/q8 drain with keyed state resident (baseline) versus spilled to
+// mmap'd segments under a resident budget far below the working set. The
+// RSS column (peak heap-in-use plus mapped segment bytes) is the bound
+// the spill budget enforces: the spilling rows hold it near the budget
+// while the resident rows grow with total state. Segments/spills/
+// compactions show the LSM-style layer dynamics behind the bound.
+func (s *Suite) SpillTable() (*metrics.Table, error) {
+	t := metrics.NewTable("Spillable keyed state (COOR drain, 2 workers, delta checkpoints, 1 MiB / 4096-entry overlay budget)",
+		"Query", "Spill", "keys", "krec/s", "peak heap MB", "mapped MB", "RSS MB", "resident MB", "segs", "spills", "compactions")
+	p, err := protocol.ByName("COOR")
+	if err != nil {
+		return nil, err
+	}
+	for _, query := range []string{"q3", "q8"} {
+		records := 450_000
+		if query == "q8" {
+			records = 150_000 // q8 drains an order of magnitude slower
+		}
+		for _, spill := range []bool{false, true} {
+			cfg := BenchConfig{
+				Query:              query,
+				Protocol:           p,
+				Workers:            2,
+				Records:            records,
+				BatchMaxRecords:    64,
+				CheckpointInterval: 200 * time.Millisecond,
+				DeltaCheckpoints:   true,
+				Seed:               s.Seed,
+			}
+			if spill {
+				cfg.SpillState = true
+				cfg.SpillMaxMB = 1
+				cfg.SpillMaxEntries = 4096
+			} else {
+				cfg.MemSample = true // resident baseline still reports RSS
+			}
+			pt, err := BenchThroughput(cfg)
+			if err != nil {
+				return nil, err
+			}
+			mode := "off"
+			if spill {
+				mode = "on"
+			}
+			heap := fmt.Sprintf("%.1f", pt.PeakHeapMB)
+			mapped := fmt.Sprintf("%.1f", pt.PeakMappedMB)
+			rss := fmt.Sprintf("%.1f", pt.PeakRSSMB)
+			resident := "-"
+			if spill {
+				resident = fmt.Sprintf("%.2f", pt.SpillResidentMB)
+			}
+			t.AddRow(pt.Query, mode, pt.StateKeys,
+				fmt.Sprintf("%.0f", pt.RecordsPerSec/1e3),
+				heap, mapped, rss, resident,
+				pt.SegmentsPeak, pt.Spills, pt.SpillCompactions)
+		}
+		s.logf("spill table %-3s done", query)
+	}
+	return t, nil
+}

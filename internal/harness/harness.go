@@ -21,6 +21,7 @@ import (
 	"checkmate/internal/nexmark"
 	"checkmate/internal/objstore"
 	"checkmate/internal/recovery"
+	"checkmate/internal/statestore"
 	"checkmate/internal/trace"
 	"checkmate/internal/wal"
 )
@@ -135,6 +136,20 @@ type RunConfig struct {
 	// goroutine, the pre-async baseline (default: copy-on-write capture +
 	// off-thread materialization, see core.Config.SyncSnapshots).
 	SyncSnapshots bool
+	// SpillState switches the keyed-state backend of backend-using
+	// operators to the spillable backend: a bounded in-memory overlay over
+	// mmap'd on-disk segments, keeping larger-than-memory keyed state
+	// runnable and making restore an mmap instead of a decode.
+	SpillState bool
+	// SpillMaxMB bounds each instance's resident keyed-state bytes in MiB
+	// (0 = statestore default, 64 MiB).
+	SpillMaxMB int
+	// SpillMaxEntries bounds each instance's overlay entry count (0 =
+	// statestore default).
+	SpillMaxEntries int
+	// SpillDir roots the segment files. Empty = a fresh temporary
+	// directory, removed when the run ends.
+	SpillDir string
 	// BatchMaxRecords / BatchMaxBytes / BatchLingerTicks configure the
 	// vectorized exchange (core.BatchingConfig): how many records, encoded
 	// bytes, or poll-interval ticks an output batch may accumulate before
@@ -238,6 +253,9 @@ type RunResult struct {
 	// WAL reports the message-log WAL counters of a durable run (zero
 	// unless RunConfig.Durable and the protocol logs messages).
 	WAL wal.Stats
+	// Spill aggregates the spillable keyed-state gauges at end of run
+	// (zero unless RunConfig.SpillState).
+	Spill statestore.SpillStats
 	// Scope summarizes the single-failure rollback-scope analysis (set by
 	// RunConfig.AnalyzeRollbackScope).
 	Scope ScopeStats
@@ -360,6 +378,24 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, fmt.Errorf("harness: open store: %w", err)
 	}
+	var stateSpill core.StateSpillConfig
+	if cfg.SpillState {
+		dir := cfg.SpillDir
+		if dir == "" {
+			tmp, terr := os.MkdirTemp("", "checkmate-spill-*")
+			if terr != nil {
+				return RunResult{}, fmt.Errorf("harness: spill dir: %w", terr)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		stateSpill = core.StateSpillConfig{
+			Enabled:           true,
+			Dir:               dir,
+			MaxResidentBytes:  cfg.SpillMaxMB << 20,
+			MaxOverlayEntries: cfg.SpillMaxEntries,
+		}
+	}
 	bucket := cfg.Duration / 60 // always 60 "paper seconds"
 	if bucket <= 0 {
 		bucket = time.Second
@@ -391,6 +427,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		WatermarkLag:        cfg.WatermarkLag,
 		CompressCheckpoints: cfg.CompressCheckpoints,
 		DeltaCheckpoints:    cfg.DeltaCheckpoints,
+		StateSpill:          stateSpill,
 		Durability:          durability,
 		SyncSnapshots:       cfg.SyncSnapshots,
 		Cluster: cluster.Config{
@@ -408,6 +445,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	defer eng.Close()
 	var obs *trace.Server
 	if cfg.HTTPAddr != "" {
 		obs, err = trace.Serve(cfg.HTTPAddr, tracer, eng.MetricsSnapshot)
@@ -509,6 +547,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	res.Store = store.Stats()
 	res.WAL = eng.WALStats()
+	res.Spill = eng.StateStats()
 	res.Trace = tracer
 	if obs != nil {
 		res.HTTPAddr = obs.Addr()

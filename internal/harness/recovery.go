@@ -50,6 +50,16 @@ type RecoveryBenchConfig struct {
 	// Repeat runs the measurement this many times and reports the run
 	// with the median RTO, damping scheduler noise. Defaults to 1.
 	Repeat int
+	// DeltaCheckpoints persists keyed state as base-plus-delta chains
+	// (larger-state configuration; chains are fetched and composed on
+	// recovery).
+	DeltaCheckpoints bool
+	// SpillState runs keyed state on the spillable backend, making
+	// restore an mmap of fetched segment blobs instead of a full decode —
+	// the FetchMs column then measures the zero-copy path.
+	SpillState      bool
+	SpillMaxMB      int
+	SpillMaxEntries int
 }
 
 func (cfg *RecoveryBenchConfig) applyDefaults() error {
@@ -125,6 +135,12 @@ type RecoveryPoint struct {
 	// the source rewind distance.
 	ReplayedRecords uint64 `json:"replayed_records"`
 	RollbackRecords uint64 `json:"rollback_records"`
+
+	// Spillable-state markers: when set, FetchMs covers the mmap
+	// (segment-install) restore path instead of the wire decode.
+	SpillState       bool `json:"spill_state,omitempty"`
+	SpillMaxMB       int  `json:"spill_max_mb,omitempty"`
+	DeltaCheckpoints bool `json:"delta_checkpoints,omitempty"`
 }
 
 func (cfg RecoveryBenchConfig) point(rto metrics.RTO, sum metrics.Summary) RecoveryPoint {
@@ -157,6 +173,10 @@ func (cfg RecoveryBenchConfig) point(rto metrics.RTO, sum metrics.Summary) Recov
 
 		ReplayedRecords: sum.ReplayedOnRecovery,
 		RollbackRecords: sum.RollbackDistance,
+
+		SpillState:       cfg.SpillState,
+		SpillMaxMB:       cfg.SpillMaxMB,
+		DeltaCheckpoints: cfg.DeltaCheckpoints,
 	}
 	if !pt.Recovered {
 		// The run ended before catch-up: report the restart portion so the
@@ -183,6 +203,10 @@ func (cfg RecoveryBenchConfig) run() (RecoveryPoint, error) {
 		Placement:          cfg.Placement,
 		LocalCache:         cfg.LocalCache,
 		Seed:               cfg.Seed,
+		DeltaCheckpoints:   cfg.DeltaCheckpoints,
+		SpillState:         cfg.SpillState,
+		SpillMaxMB:         cfg.SpillMaxMB,
+		SpillMaxEntries:    cfg.SpillMaxEntries,
 	})
 	if err != nil {
 		return RecoveryPoint{}, err

@@ -168,17 +168,80 @@ func Rebuild(blobs [][]byte) (*Store, error) {
 // full snapshot and every subsequent blob a delta whose sequence number
 // directly follows its predecessor's; a missing, duplicated or reordered
 // delta fails the rebuild.
+//
+// Blobs may be wire-format snapshots or spill-mode segment images, in any
+// combination. A spilling store installs segment blobs as mmap'd layers —
+// the zero-copy restore path, O(header+index) instead of O(state) — while
+// a resident store decodes them entry by entry; wire blobs take the
+// classic decode path on either.
 func RebuildInto(s *Store, blobs [][]byte) error {
 	if len(blobs) == 0 {
 		return fmt.Errorf("statestore: rebuild with no blobs")
 	}
-	if err := s.Restore(wire.NewDecoder(blobs[0])); err != nil {
+	if s.sp != nil {
+		return s.spillRebuild(blobs)
+	}
+	if err := restoreAny(s, blobs[0]); err != nil {
 		return fmt.Errorf("statestore: rebuild base: %w", err)
 	}
 	for i, b := range blobs[1:] {
-		if err := s.ApplyDelta(wire.NewDecoder(b)); err != nil {
+		if err := applyDeltaAny(s, b); err != nil {
 			return fmt.Errorf("statestore: rebuild delta %d: %w", i+1, err)
 		}
 	}
+	return nil
+}
+
+// restoreAny restores a full blob of either format into a resident store.
+func restoreAny(s *Store, blob []byte) error {
+	if !isSegmentBlob(blob) {
+		return s.Restore(wire.NewDecoder(blob))
+	}
+	s.Clear()
+	h, err := forEachSegmentEntry(blob, func(k uint64, v []byte, tomb bool) error {
+		if tomb {
+			return fmt.Errorf("statestore: tombstone in full segment layer (key %d)", k)
+		}
+		s.putOwned(k, append([]byte(nil), v...))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if h.flags&segFlagFull == 0 {
+		return fmt.Errorf("statestore: restore from a delta segment layer")
+	}
+	s.seq = h.seq
+	s.clearDirty()
+	return nil
+}
+
+// applyDeltaAny layers a delta blob of either format onto a resident store.
+func applyDeltaAny(s *Store, blob []byte) error {
+	if !isSegmentBlob(blob) {
+		return s.ApplyDelta(wire.NewDecoder(blob))
+	}
+	full, seq, err := segmentBlobHeader(blob)
+	if err != nil {
+		return err
+	}
+	if full {
+		return fmt.Errorf("statestore: apply-delta on a full segment layer")
+	}
+	if seq != s.seq+1 {
+		return fmt.Errorf("statestore: delta seq %d applied to store at seq %d", seq, s.seq)
+	}
+	if _, err := forEachSegmentEntry(blob, func(k uint64, v []byte, tomb bool) error {
+		if tomb {
+			s.Delete(k)
+		} else {
+			s.putOwned(k, append([]byte(nil), v...))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	s.seq = seq
+	s.clearDirty()
 	return nil
 }

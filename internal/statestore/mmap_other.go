@@ -1,0 +1,28 @@
+//go:build !unix
+
+package statestore
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mmapFile on platforms without syscall.Mmap reads the file into a heap
+// buffer instead. The buffer is backed by a []uint64 allocation so the
+// segment index can still be viewed through the same 8-byte-aligned
+// cast as a real mapping.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	words := make([]uint64, (size+7)/8)
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := f.ReadAt(b, 0); err != nil && err != io.EOF {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+// munmapBytes is a no-op for the heap-copy fallback.
+func munmapBytes([]byte) {}

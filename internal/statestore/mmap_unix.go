@@ -1,0 +1,30 @@
+//go:build unix
+
+package statestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The returned bool reports
+// whether the slice is a real mapping (and must go through munmapBytes)
+// or a heap copy. A page-aligned mapping also guarantees the 8-byte
+// alignment the cast-after-validate index view needs.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// munmapBytes releases a mapping produced by mmapFile.
+func munmapBytes(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Munmap(b)
+	}
+}

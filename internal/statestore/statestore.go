@@ -49,6 +49,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"checkmate/internal/wire"
 )
@@ -66,8 +67,25 @@ type Store struct {
 	// seq counts snapshots taken (full or delta); it stamps every snapshot
 	// so chains can reject out-of-order application.
 	seq uint64
-	// bytes tracks the total payload size of live values.
+	// bytes tracks the total payload size of live values (overlay and
+	// segment layers combined when spilling).
 	bytes int
+	// count tracks the live logical entry count when spilling (the map
+	// alone no longer knows it); unused for a resident-only store.
+	count int
+
+	// sp is the spillable backend, nil for a resident-only store. When
+	// set, m/dirty/sorted become the in-memory overlay over sp's mmap'd
+	// segment layers.
+	sp *spill
+
+	// deferred holds superseded value buffers retired while a capture was
+	// live: a frozen view may still reference them, so they stay pinned
+	// (and, with poison on, unscribbled) until no captures remain.
+	// pinnedBytes sums their lengths — resident memory beyond live values
+	// that the spill threshold must see. Owner-goroutine only.
+	deferred    [][]byte
+	pinnedBytes int
 
 	// Incrementally maintained sorted key index. sorted holds the live keys
 	// in ascending order as of the last rebuild and is immutable once built
@@ -119,17 +137,68 @@ func (s *Store) SetPoison(enabled bool) (prev bool) {
 	return prev
 }
 
-// poisonSuperseded scribbles a value buffer that just left the store, but
-// only while no capture is live: a frozen view may still reference the
-// buffer until it is materialized, and materialization must read the bytes
-// as they were at capture time.
-func (s *Store) poisonSuperseded(b []byte) {
-	if !s.poison || s.captures.Load() != 0 {
+// retireBuffer handles a value buffer that just left the store (overwrite,
+// delete, or overlay flush). While a capture is live the buffer may still
+// be referenced by the frozen view, so it is parked on the deferred list —
+// pinned for resident-byte accounting and, in poison mode, scribbled only
+// once every capture drained. With no captures it is scribbled (poison
+// mode) or simply dropped.
+func (s *Store) retireBuffer(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	if s.captures.Load() != 0 {
+		s.deferred = append(s.deferred, b)
+		s.pinnedBytes += len(b)
+		return
+	}
+	s.scribble(b)
+}
+
+// drainDeferred scribbles (poison mode) and drops the deferred buffers
+// once no capture is live. Runs on the owner goroutine at every mutation
+// and capture point, so the pinned window ends promptly after a release.
+func (s *Store) drainDeferred() {
+	if len(s.deferred) == 0 || s.captures.Load() != 0 {
+		return
+	}
+	for i, b := range s.deferred {
+		s.scribble(b)
+		s.deferred[i] = nil
+	}
+	s.deferred = s.deferred[:0]
+	s.pinnedBytes = 0
+}
+
+// scribble poisons a buffer that left the store. Buffers inside an mmap'd
+// segment are never touched: those pages are shared, read-only state —
+// scribbling them would corrupt every reader and fault the process. (A
+// segment-backed value can only end up here through an ownership-contract
+// violation, e.g. PutOwned of a slice Get returned; the guard keeps even
+// that failure mode non-fatal.)
+func (s *Store) scribble(b []byte) {
+	if !s.poison || s.inMmap(b) {
 		return
 	}
 	for i := range b {
 		b[i] = 0xDB
 	}
+}
+
+// inMmap reports whether b points into one of the store's mapped segment
+// images.
+func (s *Store) inMmap(b []byte) bool {
+	p := s.sp
+	if p == nil || len(b) == 0 {
+		return false
+	}
+	addr := uintptr(unsafe.Pointer(&b[0]))
+	for _, g := range p.segs {
+		if g.contains(addr) {
+			return true
+		}
+	}
+	return false
 }
 
 // Get returns the value stored under key and whether it exists. The
@@ -138,7 +207,12 @@ func (s *Store) poisonSuperseded(b []byte) {
 // SetPoison enforces this in tests).
 func (s *Store) Get(key uint64) ([]byte, bool) {
 	v, ok := s.m[key]
-	return v, ok
+	if ok || s.sp == nil {
+		return v, ok
+	}
+	// Spilling: fall through overlay → tombstones → segments newest-first.
+	// A hit returns a zero-copy subslice of the mapped segment.
+	return s.spillGet(key)
 }
 
 // Put stores a copy of value under key.
@@ -155,6 +229,10 @@ func (s *Store) PutOwned(key uint64, value []byte) {
 }
 
 func (s *Store) putOwned(key uint64, value []byte) {
+	p := s.sp
+	if p != nil && len(value) > segMaxValueLen {
+		panic(fmt.Sprintf("statestore: value of %d bytes exceeds the spillable backend's %d-byte limit", len(value), segMaxValueLen))
+	}
 	old, existed := s.m[key]
 	if existed {
 		s.bytes -= len(old)
@@ -164,19 +242,59 @@ func (s *Store) putOwned(key uint64, value []byte) {
 		delete(s.dead, key)
 		s.added = append(s.added, key)
 		s.maybeFoldIndex()
+		if p != nil {
+			// Logical accounting against the layers underneath: overlaying
+			// a live segment entry replaces it; anything else is a new key.
+			if _, dead := p.tomb[key]; dead {
+				delete(p.tomb, key)
+				s.count++
+			} else if sv, ok := p.segLookup(key); ok {
+				s.bytes -= len(sv)
+			} else {
+				s.count++
+			}
+		}
 	}
 	s.m[key] = value
 	s.bytes += len(value)
+	if p != nil {
+		if existed {
+			p.overlayBytes -= len(old)
+		}
+		p.overlayBytes += len(value)
+	}
 	s.dirty[key] = struct{}{}
 	if existed {
-		s.poisonSuperseded(old)
+		s.retireBuffer(old)
+	}
+	if p != nil {
+		s.maybeSpill()
+	} else {
+		s.drainDeferred()
 	}
 }
 
 // Delete removes key. Deleting an absent key is a no-op.
 func (s *Store) Delete(key uint64) {
 	old, ok := s.m[key]
+	p := s.sp
 	if !ok {
+		if p == nil {
+			return
+		}
+		// Spilling: the key may live in a segment layer underneath.
+		if _, dead := p.tomb[key]; dead {
+			return
+		}
+		sv, live := p.segLookup(key)
+		if !live {
+			return
+		}
+		s.bytes -= len(sv)
+		s.count--
+		p.tomb[key] = struct{}{}
+		s.dirty[key] = struct{}{}
+		s.maybeSpill()
 		return
 	}
 	s.bytes -= len(old)
@@ -184,7 +302,21 @@ func (s *Store) Delete(key uint64) {
 	s.dirty[key] = struct{}{}
 	s.dead[key] = struct{}{}
 	s.maybeFoldIndex()
-	s.poisonSuperseded(old)
+	if p != nil {
+		s.count--
+		p.overlayBytes -= len(old)
+		// A tombstone is only needed if a layer underneath could still
+		// resurface the key on a future flush.
+		if len(p.segs) > 0 {
+			p.tomb[key] = struct{}{}
+		}
+	}
+	s.retireBuffer(old)
+	if p != nil {
+		s.maybeSpill()
+	} else {
+		s.drainDeferred()
+	}
 }
 
 // maybeFoldIndex folds the pending additions/deletions into the sorted
@@ -199,11 +331,34 @@ func (s *Store) maybeFoldIndex() {
 	}
 }
 
-// Len reports the number of live entries.
-func (s *Store) Len() int { return len(s.m) }
+// Len reports the number of live entries (across overlay and segment
+// layers when spilling).
+func (s *Store) Len() int {
+	if s.sp != nil {
+		return s.count
+	}
+	return len(s.m)
+}
 
-// Bytes reports the total payload size of live values.
+// Bytes reports the total payload size of live values — the logical state
+// size, independent of where the bytes reside. Memory-footprint
+// accounting, including superseded buffers still pinned by live captures,
+// is ResidentBytes.
 func (s *Store) Bytes() int { return s.bytes }
+
+// ResidentBytes reports the heap bytes the store currently holds: live
+// value payloads resident in memory (the overlay, when spilling; all
+// values otherwise), tombstone bookkeeping, and superseded or deleted
+// buffers a live capture still pins. It is the quantity the spill
+// threshold compares against MaxResidentBytes — tombstoned-but-pinned
+// values count, so delete-heavy churn under a slow capture cannot sneak
+// past the budget.
+func (s *Store) ResidentBytes() int {
+	if p := s.sp; p != nil {
+		return s.residentBytes(p)
+	}
+	return s.bytes + s.pinnedBytes
+}
 
 // DirtyCount reports the number of keys changed since the last snapshot.
 func (s *Store) DirtyCount() int { return len(s.dirty) }
@@ -212,8 +367,15 @@ func (s *Store) DirtyCount() int { return len(s.dirty) }
 func (s *Store) Seq() uint64 { return s.seq }
 
 // Range calls fn for every entry in ascending key order. fn returning false
-// stops the iteration.
+// stops the iteration. When spilling, this is the two-pointer merge of the
+// overlay iterator and the segment iterators (newest source wins,
+// tombstones suppress older layers); deleting already-visited keys from fn
+// is allowed, as the nexmark window operators do.
 func (s *Store) Range(fn func(key uint64, value []byte) bool) {
+	if s.sp != nil {
+		s.rangeMerged(fn)
+		return
+	}
 	for _, k := range s.index() {
 		if !fn(k, s.m[k]) {
 			return
@@ -224,6 +386,11 @@ func (s *Store) Range(fn func(key uint64, value []byte) bool) {
 // Clear drops all entries and dirty tracking but keeps the snapshot
 // sequence.
 func (s *Store) Clear() {
+	if s.sp != nil {
+		s.spillReset()
+		s.sp.updateGauges(s)
+		return
+	}
 	s.m = make(map[uint64][]byte)
 	s.dirty = make(map[uint64]struct{})
 	s.bytes = 0
@@ -308,6 +475,19 @@ func (s *Store) SnapshotFull(enc *wire.Encoder) {
 	s.seq++
 	enc.Byte(kindFull)
 	enc.Uvarint(s.seq)
+	if s.sp != nil {
+		// Wire-format full snapshot of the merged layers: the portable
+		// path (savepoints, sync snapshots) — works on any store, at the
+		// cost of a full serialization pass.
+		enc.Uvarint(uint64(s.count))
+		s.rangeMerged(func(k uint64, v []byte) bool {
+			enc.Uvarint(k)
+			enc.Bytes2(v)
+			return true
+		})
+		s.clearDirty()
+		return
+	}
 	enc.Uvarint(uint64(len(s.m)))
 	for _, k := range s.index() {
 		enc.Uvarint(k)
@@ -327,7 +507,7 @@ func (s *Store) SnapshotDelta(enc *wire.Encoder) {
 	enc.Uvarint(uint64(len(s.dirty)))
 	for _, k := range s.sortedDirty() {
 		enc.Uvarint(k)
-		if v, ok := s.m[k]; ok {
+		if v, ok := s.dirtyLookup(k); ok {
 			enc.Bool(true)
 			enc.Bytes2(v)
 		} else {
@@ -335,6 +515,23 @@ func (s *Store) SnapshotDelta(enc *wire.Encoder) {
 		}
 	}
 	s.clearDirty()
+}
+
+// dirtyLookup resolves a dirty key to its current value. On a resident
+// store dirty keys live in the map or are tombstones; on a spilling store
+// a dirty key may have been flushed to a segment since it was touched —
+// the segment layers then hold its authoritative state (a flush persists
+// overlay tombstones too, so a miss there is a real tombstone).
+func (s *Store) dirtyLookup(k uint64) ([]byte, bool) {
+	if v, ok := s.m[k]; ok {
+		return v, true
+	}
+	if p := s.sp; p != nil {
+		if _, dead := p.tomb[k]; !dead {
+			return p.segLookup(k)
+		}
+	}
+	return nil, false
 }
 
 func (s *Store) clearDirty() {
@@ -366,6 +563,15 @@ type Capture struct {
 	// decisions that cannot wait for materialization.
 	estBytes int
 	released bool
+
+	// Spilling stores only: spill marks the capture as materializing to a
+	// segment image instead of a wire snapshot, and segs pins the layer
+	// list as of the capture instant. Pinned segments back two things:
+	// mmap'd values gathered into vals (delta captures of flushed dirty
+	// keys) and the k-way merge a full capture materializes from. Release
+	// unpins them.
+	spill bool
+	segs  []*segment
 }
 
 // captureBuf is the recyclable gather-slice triple of a released capture.
@@ -398,15 +604,40 @@ func (s *Store) newCapture() *Capture {
 // pointer-gather pass — no sort, no serialization — and clears dirty
 // tracking, exactly as SnapshotFull would.
 func (s *Store) CaptureFull() *Capture {
+	s.drainDeferred()
 	c := s.newCapture()
 	s.seq++
 	c.full = true
 	c.seq = s.seq
 	est := 0
-	for k, v := range s.m {
-		c.keys = append(c.keys, k)
-		c.vals = append(c.vals, v)
-		est += len(v) + perEntryOverhead
+	if p := s.sp; p != nil {
+		// Spilling: freeze the overlay (tombstones included, they suppress
+		// segment entries during the merge) and pin the layer list. The
+		// gather is O(overlay) — bounded by the spill policy — no matter
+		// how large the total state is; the O(state) merge happens at
+		// materialization, off the record path.
+		c.spill = true
+		for k, v := range s.m {
+			c.keys = append(c.keys, k)
+			c.vals = append(c.vals, v)
+			c.live = append(c.live, true)
+			est += len(v) + perEntryOverhead
+		}
+		for k := range p.tomb {
+			c.keys = append(c.keys, k)
+			c.vals = append(c.vals, nil)
+			c.live = append(c.live, false)
+		}
+		c.segs = p.pinSegs()
+		for _, g := range c.segs {
+			est += int(g.liveB) + g.liveN*perEntryOverhead
+		}
+	} else {
+		for k, v := range s.m {
+			c.keys = append(c.keys, k)
+			c.vals = append(c.vals, v)
+			est += len(v) + perEntryOverhead
+		}
 	}
 	c.estBytes = est + snapshotHeaderOverhead
 	s.clearDirty()
@@ -418,16 +649,32 @@ func (s *Store) CaptureFull() *Capture {
 // included) in O(dirty-set) time and clears dirty tracking, exactly as
 // SnapshotDelta would.
 func (s *Store) CaptureDelta() *Capture {
+	s.drainDeferred()
 	c := s.newCapture()
 	s.seq++
 	c.seq = s.seq
 	est := 0
-	for k := range s.dirty {
-		v, ok := s.m[k]
-		c.keys = append(c.keys, k)
-		c.vals = append(c.vals, v)
-		c.live = append(c.live, ok)
-		est += len(v) + perEntryOverhead
+	if p := s.sp; p != nil {
+		// Spilling: a dirty key may have been flushed since it was
+		// touched; resolve it from the layers (mmap'd values stay valid —
+		// the capture pins the segments below).
+		c.spill = true
+		for k := range s.dirty {
+			v, ok := s.dirtyLookup(k)
+			c.keys = append(c.keys, k)
+			c.vals = append(c.vals, v)
+			c.live = append(c.live, ok)
+			est += len(v) + perEntryOverhead
+		}
+		c.segs = p.pinSegs()
+	} else {
+		for k := range s.dirty {
+			v, ok := s.m[k]
+			c.keys = append(c.keys, k)
+			c.vals = append(c.vals, v)
+			c.live = append(c.live, ok)
+			est += len(v) + perEntryOverhead
+		}
 	}
 	c.estBytes = est + snapshotHeaderOverhead
 	s.clearDirty()
@@ -460,6 +707,13 @@ func (c *Capture) EstimatedBytes() int { return c.estBytes }
 // than the store owner's; the capture's pairs are sorted in place here, off
 // the record path.
 func (c *Capture) MaterializeTo(enc *wire.Encoder) {
+	if c.spill {
+		// Spilling stores materialize segment images, not wire snapshots:
+		// the blob *is* an on-disk layer, so restore maps it instead of
+		// decoding it. See materializeSpill.
+		c.materializeSpill(enc)
+		return
+	}
 	sort.Sort((*capturePairs)(c))
 	if c.full {
 		enc.Byte(kindFull)
@@ -501,6 +755,16 @@ func (c *Capture) Release() {
 	for i := range c.vals {
 		c.vals[i] = nil
 	}
+	// Unpin the segment layers (spilling stores). This must never poison
+	// the mmap'd values the capture referenced: the pages are shared,
+	// read-only state of the live store. Releasing a reference is the
+	// whole teardown; the last reference (the store's, or a newer
+	// capture's) controls unmapping.
+	for i, g := range c.segs {
+		g.release()
+		c.segs[i] = nil
+	}
+	c.segs = nil
 	buf := captureBuf{keys: c.keys, vals: c.vals, live: c.live}
 	c.keys, c.vals, c.live = nil, nil, nil
 	s.capFree.Lock()
@@ -541,6 +805,9 @@ func (s *Store) Restore(dec *wire.Decoder) error {
 	n := int(dec.Uvarint())
 	if dec.Err() != nil {
 		return dec.Err()
+	}
+	if s.sp != nil {
+		return s.spillRestoreWire(dec, seq, n)
 	}
 	m := make(map[uint64][]byte, n)
 	sorted := make([]uint64, 0, n)
@@ -610,8 +877,13 @@ func (s *Store) ApplyDelta(dec *wire.Decoder) error {
 }
 
 // SnapshotKind reports whether blob holds a full or a delta snapshot and its
-// sequence number, without decoding the contents.
+// sequence number, without decoding the contents. Both wire-format
+// snapshots and spill-mode segment images are recognized (the segment
+// magic's first byte is disjoint from the wire kind bytes).
 func SnapshotKind(blob []byte) (full bool, seq uint64, err error) {
+	if isSegmentBlob(blob) {
+		return segmentBlobHeader(blob)
+	}
 	dec := wire.NewDecoder(blob)
 	kind := dec.Byte()
 	seq = dec.Uvarint()
