@@ -48,6 +48,7 @@
 package checkmate
 
 import (
+	"checkmate/internal/chaos"
 	"checkmate/internal/cluster"
 	"checkmate/internal/core"
 	"checkmate/internal/harness"
@@ -190,6 +191,8 @@ const (
 	FailRack = cluster.DomainRack
 	// FailRolling crashes workers one after another.
 	FailRolling = cluster.DomainRolling
+	// FailFlapping crashes the same worker repeatedly.
+	FailFlapping = cluster.DomainFlapping
 )
 
 // Processing guarantees (paper §II-A, Definitions 1-3).
@@ -287,6 +290,26 @@ type (
 	// RecoveryPoint is one machine-readable RTO measurement, the unit of
 	// the committed BENCH_recovery.json trajectory.
 	RecoveryPoint = harness.RecoveryPoint
+	// ChaosPlan is the deterministic fault-injection plan of a run:
+	// windowed store brownouts/outages/latency spikes, WAL fsync stalls
+	// and exchange delay/jitter (RunConfig.Chaos).
+	ChaosPlan = chaos.Plan
+	// ChaosWindow is one fault window of a ChaosPlan, offset from engine
+	// start.
+	ChaosWindow = chaos.Window
+	// ChaosStats is the robustness accounting of a run: retry/backoff
+	// counters, injected faults, watchdog round abandonments and the
+	// degraded-mode ledger (RunResult.Chaos).
+	ChaosStats = core.ChaosStats
+	// RetryConfig tunes the engine's shared store retry policy
+	// (EngineConfig.Retry).
+	RetryConfig = core.RetryConfig
+	// ScenarioConfig selects one named hostile scenario run (see
+	// RunScenario and Scenarios).
+	ScenarioConfig = harness.ScenarioConfig
+	// ScenarioPoint is one machine-readable hostile-scenario measurement,
+	// the unit of the committed BENCH_scenarios.json trajectory.
+	ScenarioPoint = harness.ScenarioPoint
 	// Summary is the full metric snapshot of a run.
 	Summary = metrics.Summary
 	// Table is an aligned-text result table.
@@ -322,6 +345,19 @@ func BenchThroughput(cfg BenchConfig) (BenchPoint, error) { return harness.Bench
 // catch-up) — the measurement behind the committed BENCH_recovery.json
 // baseline.
 func BenchRecovery(cfg RecoveryBenchConfig) (RecoveryPoint, error) { return harness.BenchRecovery(cfg) }
+
+// RunScenario runs one named hostile scenario (deterministic fault
+// injection + failure plan + workload skew) with transactional output and
+// reduces it to a ScenarioPoint carrying the exactly-once verdict — the
+// measurement behind the committed BENCH_scenarios.json baseline.
+func RunScenario(cfg ScenarioConfig) (ScenarioPoint, error) { return harness.RunScenario(cfg) }
+
+// Scenarios lists the registered hostile-scenario names, sorted.
+func Scenarios() []string { return harness.Scenarios() }
+
+// ScenarioDoc returns the one-line description of a named scenario ("" if
+// unknown).
+func ScenarioDoc(name string) string { return harness.ScenarioDoc(name) }
 
 // FramePoolStats is a snapshot of the engine's frame-pool counters (see
 // ReadFramePoolStats).

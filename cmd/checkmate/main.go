@@ -62,14 +62,19 @@ func main() {
 		walDir       = flag.String("wal-dir", "", "directory for durable files (blobs/ and wal/); default: a fresh temp dir removed after the run")
 		walSync      = flag.String("wal-sync", "group", "WAL sync policy for -durable: always, group or interval")
 		benchJSON    = flag.String("bench-json", "", "run the data-plane throughput grid (query x protocol x batch size) and write machine-readable results to this file")
+		scenario     = flag.String("scenario", "", "run one named hostile scenario (see -scenarios) under -protocol with transactional output and print its point")
+		listScen     = flag.Bool("scenarios", false, "list the registered hostile scenarios and exit")
+		benchScen    = flag.String("bench-scenarios", "", "run the hostile-scenario matrix (scenario x COOR/UNC/CIC) and write machine-readable results to this file")
 
-		clusterN   = flag.Int("cluster", 0, "cluster worker count instances are placed on (0 = -workers)")
-		placement  = flag.String("placement", "", "placement policy: spread (default), round-robin, colocate")
-		failWorker = flag.Int("fail-worker", 0, "cluster worker killed at -failure-at (first worker of rack/rolling domains)")
-		failDomain = flag.String("fail-domain", "", "failure domain at -failure-at: worker (default), rack, rolling")
-		rackSize   = flag.Int("rack-size", 0, "blast radius of rack/rolling failure domains (default 2)")
-		localCache = flag.Bool("local-cache", false, "enable the worker-local state cache (warm recovery on surviving workers)")
-		benchRec   = flag.String("bench-recovery", "", "run the recovery benchmark grid (protocol x placement x cold/warm cache), print the RTO phase breakdown, and write machine-readable results to this file")
+		clusterN     = flag.Int("cluster", 0, "cluster worker count instances are placed on (0 = -workers)")
+		placement    = flag.String("placement", "", "placement policy: spread (default), round-robin, colocate")
+		failWorker   = flag.Int("fail-worker", 0, "cluster worker killed at -failure-at (first worker of rack/rolling/flapping domains)")
+		failDomain   = flag.String("fail-domain", "", "failure domain at -failure-at: worker (default), rack, rolling, flapping")
+		rackSize     = flag.Int("rack-size", 0, "blast radius of rack/rolling failure domains (default 2)")
+		failCount    = flag.Int("fail-count", 0, "crash count of the flapping failure domain (default 3)")
+		failInterval = flag.Duration("fail-interval", 0, "gap between successive rolling/flapping crashes (default duration/10)")
+		localCache   = flag.Bool("local-cache", false, "enable the worker-local state cache (warm recovery on surviving workers)")
+		benchRec     = flag.String("bench-recovery", "", "run the recovery benchmark grid (protocol x placement x cold/warm cache), print the RTO phase breakdown, and write machine-readable results to this file")
 
 		cpus = flag.Int("cpus", 0, "pin runtime.GOMAXPROCS for the run (0 = leave the process setting)")
 
@@ -90,6 +95,12 @@ func main() {
 			log.Fatalf("checkmate: trace %s: %v", *checkTrace, err)
 		}
 		fmt.Printf("%s: %d spans, nesting ok\n", *checkTrace, spans)
+		return
+	}
+	if *listScen {
+		for _, name := range checkmate.Scenarios() {
+			fmt.Printf("%-24s %s\n", name, checkmate.ScenarioDoc(name))
+		}
 		return
 	}
 
@@ -123,6 +134,46 @@ func main() {
 	if *benchRec != "" {
 		if err := runRecoveryGrid(*benchRec); err != nil {
 			log.Fatal(err)
+		}
+		return
+	}
+	if *benchScen != "" {
+		if err := runScenarioGrid(*benchScen); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *scenario != "" {
+		p, err := checkmate.ProtocolByName(*proto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pt, err := checkmate.RunScenario(checkmate.ScenarioConfig{
+			Scenario:           *scenario,
+			Protocol:           p,
+			Query:              *query,
+			Workers:            *workers,
+			Rate:               *rate,
+			Duration:           *duration,
+			CheckpointInterval: *interval,
+			Seed:               *seed,
+			Trace:              *traceOut != "",
+			TracePath:          *traceOut,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *traceOut != "" {
+			spans, verr := checkmate.ValidateChromeTrace(*traceOut)
+			if verr != nil {
+				log.Fatalf("checkmate: trace validation: %v", verr)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", spans, *traceOut)
+		}
+		printScenarioPoint(pt)
+		if !pt.ExactlyOnce {
+			log.Fatalf("checkmate: scenario %s/%s violated exactly-once: %d duplicate results",
+				pt.Scenario, pt.Protocol, pt.DuplicateUIDs)
 		}
 		return
 	}
@@ -172,6 +223,8 @@ func main() {
 		FailWorker:           *failWorker,
 		FailDomain:           *failDomain,
 		FailRackSize:         *rackSize,
+		FailCount:            *failCount,
+		FailInterval:         *failInterval,
 		LocalCache:           *localCache,
 		SpillState:           *spill,
 		SpillMaxMB:           *spillMaxMB,
@@ -699,6 +752,120 @@ func runRecoveryGrid(path string) error {
 	return nil
 }
 
+// runScenarioGrid runs the full hostile-scenario matrix (every registered
+// scenario x COOR/UNC/CIC, transactional output) and writes the
+// machine-readable baseline consumed by the BENCH_scenarios.json
+// trajectory. Every cell must come back exactly-once, and each scenario
+// must demonstrably exercise its fault: brownouts inject store faults,
+// outages enter degraded mode, worker scenarios recover every crash.
+func runScenarioGrid(path string) error {
+	type benchFile struct {
+		GeneratedUnix int64 `json:"generated_unix"`
+		// CPUs is the effective runtime.GOMAXPROCS of the grid;
+		// PhysicalCPUs the container's core count.
+		CPUs         int                       `json:"cpus"`
+		PhysicalCPUs int                       `json:"physical_cpus"`
+		Workers      int                       `json:"workers"`
+		DurationMs   float64                   `json:"duration_ms"`
+		Points       []checkmate.ScenarioPoint `json:"points"`
+	}
+	const cellDuration = 3 * time.Second
+	out := benchFile{
+		GeneratedUnix: time.Now().Unix(),
+		CPUs:          runtime.GOMAXPROCS(0),
+		PhysicalCPUs:  runtime.NumCPU(),
+		Workers:       4,
+		DurationMs:    float64(cellDuration) / 1e6,
+	}
+	for _, name := range checkmate.Scenarios() {
+		for _, pn := range []string{"COOR", "UNC", "CIC"} {
+			p, err := checkmate.ProtocolByName(pn)
+			if err != nil {
+				return err
+			}
+			pt, err := checkmate.RunScenario(checkmate.ScenarioConfig{
+				Scenario: name,
+				Protocol: p,
+				Workers:  out.Workers,
+				Duration: cellDuration,
+			})
+			if err != nil {
+				return fmt.Errorf("bench-scenarios %s/%s: %w", name, pn, err)
+			}
+			fmt.Printf("%-24s %-4s %9.0f rec/s  p99=%7.1fms  rounds=%d/%d abandoned  degraded=%5.0fms(%dx)  retries=%-3d  rto=%6.1fms  exactly-once=%v\n",
+				pt.Scenario, pt.Protocol, pt.RecordsPerSec, pt.P99Millis,
+				pt.RoundsCompleted, pt.RoundsAbandoned,
+				pt.DegradedMillis, pt.DegradedEntries, pt.Retries, pt.RTOMillis, pt.ExactlyOnce)
+			if !pt.ExactlyOnce {
+				return fmt.Errorf("bench-scenarios: %s/%s violated exactly-once (%d duplicate results)",
+					name, pn, pt.DuplicateUIDs)
+			}
+			if pt.Records == 0 || pt.OutputVisible == 0 {
+				return fmt.Errorf("bench-scenarios: %s/%s produced no visible output", name, pn)
+			}
+			switch name {
+			case "store-brownout":
+				if pt.InjectedStoreErrors+pt.InjectedStoreSpikes == 0 {
+					return fmt.Errorf("bench-scenarios: %s/%s injected no store faults", name, pn)
+				}
+			case "store-outage":
+				if pt.InjectedStoreErrors == 0 {
+					return fmt.Errorf("bench-scenarios: %s/%s injected no store errors", name, pn)
+				}
+			case "flapping-worker":
+				if pt.Failures != 3 || !pt.Recovered {
+					return fmt.Errorf("bench-scenarios: %s/%s failures=%d recovered=%v, want 3/true",
+						name, pn, pt.Failures, pt.Recovered)
+				}
+			case "rack-loss-during-round":
+				if pt.Failures == 0 || !pt.Recovered {
+					return fmt.Errorf("bench-scenarios: %s/%s rack loss did not recover", name, pn)
+				}
+			}
+			out.Points = append(out.Points, pt)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d points to %s\n", len(out.Points), path)
+	return nil
+}
+
+// printScenarioPoint prints one hostile-scenario cell the way printResult
+// prints a plain run.
+func printScenarioPoint(pt checkmate.ScenarioPoint) {
+	fmt.Printf("scenario %s | protocol %s | query %s | %d workers\n",
+		pt.Scenario, pt.Protocol, pt.Query, pt.Workers)
+	fmt.Printf("  throughput:         %.0f rec/s (%d records in %.1fs)\n", pt.RecordsPerSec, pt.Records, pt.Seconds)
+	fmt.Printf("  p50 / p99 latency:  %.1fms / %.1fms\n", pt.P50Millis, pt.P99Millis)
+	fmt.Printf("  checkpoints:        %d total, %d invalid; rounds %d completed, %d abandoned\n",
+		pt.Checkpoints, pt.InvalidCheckpoints, pt.RoundsCompleted, pt.RoundsAbandoned)
+	if pt.Failures > 0 {
+		fmt.Printf("  failures:           %d (recovered=%v, rto %.1fms)\n", pt.Failures, pt.Recovered, pt.RTOMillis)
+	}
+	if pt.RetryAttempts > 0 {
+		fmt.Printf("  store retries:      %d attempts, %d retries, %d exhausted, %.1fms backoff\n",
+			pt.RetryAttempts, pt.Retries, pt.RetryExhausted, pt.RetryBackoffMillis)
+	}
+	if pt.DegradedEntries > 0 {
+		fmt.Printf("  degraded mode:      %d episode(s), %.0fms total, %d uploads shed\n",
+			pt.DegradedEntries, pt.DegradedMillis, pt.UploadsShed)
+	}
+	if pt.InjectedStoreErrors+pt.InjectedStoreSpikes+pt.InjectedFsyncStalls > 0 {
+		fmt.Printf("  injected faults:    %d store errors, %d latency spikes, %d fsync stalls\n",
+			pt.InjectedStoreErrors, pt.InjectedStoreSpikes, pt.InjectedFsyncStalls)
+	}
+	fmt.Printf("  output:             %d visible, %d dup UIDs, %d replay-dedup drops\n",
+		pt.OutputVisible, pt.DuplicateUIDs, pt.DupDropped)
+	fmt.Printf("  exactly-once:       %v\n", pt.ExactlyOnce)
+}
+
 // busiestWorker materializes the placement of query under the given policy
 // (via a never-started engine) and returns the worker hosting the most
 // instances — the highest-impact failure target.
@@ -820,6 +987,22 @@ func printResult(res checkmate.RunResult) {
 		fmt.Printf("  output:             %d visible, %d dup UIDs, %d discarded, %d pending; vis p50/p99 %v / %v\n",
 			res.Output.Visible, res.DuplicateUIDs, res.Output.Discarded, res.Output.Pending,
 			res.VisibilityP50.Round(time.Millisecond), res.VisibilityP99.Round(time.Millisecond))
+	}
+	c := res.Chaos
+	if c.Retry.Retries > 0 || c.RoundsAbandoned > 0 || c.DegradedEntries > 0 {
+		fmt.Printf("  store retries:      %d attempts, %d retries, %d exhausted, %v backoff\n",
+			c.Retry.Attempts, c.Retry.Retries, c.Retry.Exhausted, c.Retry.Backoff.Round(100*time.Microsecond))
+		if c.RoundsAbandoned > 0 {
+			fmt.Printf("  rounds abandoned:   %d (watchdog)\n", c.RoundsAbandoned)
+		}
+		if c.DegradedEntries > 0 {
+			fmt.Printf("  degraded mode:      %d episode(s), %v total, %d uploads shed\n",
+				c.DegradedEntries, c.DegradedTime.Round(time.Millisecond), c.UploadsShed)
+		}
+	}
+	if c.Injected.StoreErrors+c.Injected.StoreSpikes+c.Injected.FsyncStalls > 0 {
+		fmt.Printf("  injected faults:    %d store errors, %d latency spikes, %d fsync stalls\n",
+			c.Injected.StoreErrors, c.Injected.StoreSpikes, c.Injected.FsyncStalls)
 	}
 	if res.Scope.Instances > 0 {
 		fmt.Printf("  rollback scope:     avg %.1f / max %d of %d instances (avg depth %.2f)\n",

@@ -161,3 +161,33 @@ func TestFailurePlanEvents(t *testing.T) {
 		t.Error("unknown domain accepted")
 	}
 }
+
+func TestFailurePlanFlapping(t *testing.T) {
+	evs, err := FailurePlan{Domain: DomainFlapping, Worker: 1, Count: 4, Interval: 20 * time.Millisecond}.Events(4)
+	if err != nil || len(evs) != 4 {
+		t.Fatalf("flapping plan: %v, %v", evs, err)
+	}
+	for i, ev := range evs {
+		if len(ev.Workers) != 1 || ev.Workers[0] != 1 {
+			t.Fatalf("flap %d should hit worker 1 again: %v", i, ev.Workers)
+		}
+		wantGap := 20 * time.Millisecond
+		if i == 0 {
+			wantGap = 0
+		}
+		if ev.AfterPrev != wantGap {
+			t.Fatalf("flap %d gap = %v, want %v", i, ev.AfterPrev, wantGap)
+		}
+	}
+	// Defaults: 3 flaps, 500ms apart, worker wrapped into the ring.
+	evs, err = FailurePlan{Domain: DomainFlapping, Worker: 5}.Events(4)
+	if err != nil || len(evs) != 3 {
+		t.Fatalf("default flapping plan: %v, %v", evs, err)
+	}
+	if evs[0].Workers[0] != 1 || evs[1].AfterPrev != 500*time.Millisecond {
+		t.Fatalf("default flapping: %v", evs)
+	}
+	if _, err := ParseDomain("flapping"); err != nil {
+		t.Fatalf("ParseDomain(flapping): %v", err)
+	}
+}

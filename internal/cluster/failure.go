@@ -20,6 +20,10 @@ const (
 	// apart — a rolling restart where each worker recovers before (or
 	// while) the next one goes down.
 	DomainRolling Domain = "rolling"
+	// DomainFlapping crashes the SAME worker Count times, Interval apart —
+	// a flapping node that keeps crashing and recovering, stressing
+	// repeated rollback/recovery of one placement.
+	DomainFlapping Domain = "flapping"
 )
 
 // ParseDomain resolves a failure domain by name ("" = DomainWorker).
@@ -31,8 +35,10 @@ func ParseDomain(name string) (Domain, error) {
 		return DomainRack, nil
 	case DomainRolling:
 		return DomainRolling, nil
+	case DomainFlapping:
+		return DomainFlapping, nil
 	default:
-		return "", fmt.Errorf("cluster: unknown failure domain %q (want worker, rack or rolling)", name)
+		return "", fmt.Errorf("cluster: unknown failure domain %q (want worker, rack, rolling or flapping)", name)
 	}
 }
 
@@ -45,9 +51,12 @@ type FailurePlan struct {
 	// Size is the blast radius of rack and rolling domains (<=1 defaults
 	// to 2). Ignored by DomainWorker.
 	Size int
-	// Interval separates successive rolling failures (<=0 defaults to
-	// 500ms). Ignored by the one-shot domains.
+	// Interval separates successive rolling or flapping failures (<=0
+	// defaults to 500ms). Ignored by the one-shot domains.
 	Interval time.Duration
+	// Count is how many times the flapping worker crashes (<=0 defaults
+	// to 3). Ignored by the other domains.
+	Count int
 }
 
 // FailureEvent is one injection: the workers to kill together, and how
@@ -107,6 +116,21 @@ func (p FailurePlan) Events(workers int) ([]FailureEvent, error) {
 		events := make([]FailureEvent, 0, size)
 		for i := 0; i < size; i++ {
 			ev := FailureEvent{Workers: []int{wrap(p.Worker + i)}}
+			if i > 0 {
+				ev.AfterPrev = interval
+			}
+			events = append(events, ev)
+		}
+		return events, nil
+	case DomainFlapping:
+		count := p.Count
+		if count <= 0 {
+			count = 3
+		}
+		w := wrap(p.Worker)
+		events := make([]FailureEvent, 0, count)
+		for i := 0; i < count; i++ {
+			ev := FailureEvent{Workers: []int{w}}
 			if i > 0 {
 				ev.AfterPrev = interval
 			}

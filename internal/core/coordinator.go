@@ -45,6 +45,10 @@ type coordinator struct {
 	completedRound atomic.Uint64
 	resolvedRound  atomic.Uint64
 
+	// roundsAbandoned counts rounds the watchdog gave up on (stalled past
+	// Config.RoundDeadline without resolving).
+	roundsAbandoned atomic.Uint64
+
 	mu sync.Mutex
 	// initiatedRound is the newest round whose markers were injected.
 	initiatedRound uint64
@@ -266,6 +270,7 @@ func (c *coordinator) run(w *world) {
 		}
 		switch {
 		case kind == KindCoordinated:
+			c.watchdog()
 			c.maybeStartRound(w)
 			if c.eng.cfg.CheckpointGC && time.Since(lastTrim) >= c.eng.cfg.CheckpointInterval {
 				lastTrim = time.Now()
@@ -384,10 +389,40 @@ func (c *coordinator) deleteBlobs(victims []recovery.Meta) {
 	c.eng.cfg.Recorder.AddGCReclaimed(len(victims), bytes)
 }
 
+// watchdog abandons a coordinated round stalled past Config.RoundDeadline.
+// Reports only happen on successful durable upload, so a round whose
+// uploads were all abandoned (store outage) never resolves — and since
+// rounds never overlap, initiation would stall forever. The watchdog marks
+// such a round resolved (initiation moves on) but never completed (an
+// unresolvable round must not anchor recovery or commit output); a late
+// report for it is still harmless, resolution is monotone.
+func (c *coordinator) watchdog() {
+	deadline := c.eng.cfg.RoundDeadline
+	if deadline <= 0 {
+		return
+	}
+	c.mu.Lock()
+	var round uint64
+	if c.initiatedRound > c.resolvedRound.Load() && !c.lastInitiate.IsZero() &&
+		time.Since(c.lastInitiate) > deadline {
+		round = c.initiatedRound
+		c.resolvedRound.Store(round)
+	}
+	c.mu.Unlock()
+	if round != 0 {
+		c.roundsAbandoned.Add(1)
+		c.eng.cfg.Recorder.Note("round %d abandoned by watchdog: unresolved after %v", round, deadline)
+	}
+}
+
 // maybeStartRound initiates the next coordinated round once the interval
 // elapsed and the previous round completed (rounds never overlap, as in
-// Flink's default configuration).
+// Flink's default configuration). Suspended while the engine is degraded —
+// a round started during a store outage could only be abandoned.
 func (c *coordinator) maybeStartRound(w *world) {
+	if c.eng.degraded.Load() {
+		return
+	}
 	c.mu.Lock()
 	due := time.Since(c.lastInitiate) >= c.eng.cfg.CheckpointInterval
 	idle := c.initiatedRound == c.resolvedRound.Load()

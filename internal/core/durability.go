@@ -71,6 +71,7 @@ func (e *Engine) openDurableLog() error {
 		Policy:         d.Sync,
 		Interval:       d.SyncInterval,
 		Trace:          e.cfg.Trace.NewTrack("wal", trace.PIDEngine),
+		FsyncDelay:     e.cfg.Chaos.FsyncDelay,
 	}, sliceBatchEnvelope)
 	if err != nil {
 		return fmt.Errorf("core: open durable message log: %w", err)
@@ -89,13 +90,9 @@ func (e *Engine) persistMeta(m recovery.Meta) error {
 	if err != nil {
 		return err
 	}
-	var perr error
-	for attempt := 0; attempt < storeRetries; attempt++ {
-		if perr = e.cfg.Store.Put(metaPrefix+m.SelfKey(), data); perr == nil {
-			return nil
-		}
-	}
-	return perr
+	return e.retry.Do("meta.put", func() error {
+		return e.cfg.Store.Put(metaPrefix+m.SelfKey(), data)
+	})
 }
 
 // dropMeta removes a checkpoint's persisted metadata blob (GC, or

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"checkmate/internal/chaos"
 	"checkmate/internal/cluster"
 	"checkmate/internal/dedup"
 	"checkmate/internal/metrics"
@@ -161,6 +162,42 @@ type Config struct {
 	SyncSnapshots bool
 	// Seed derives per-instance jitter.
 	Seed int64
+	// Chaos, when non-nil, is the deterministic fault plane: its windows
+	// (store brownouts/outages/latency spikes, WAL fsync stalls, exchange
+	// delay) are armed relative to Start. The engine consults it for WAL
+	// stalls and exchange shaping; plug the same injector into the object
+	// store via objstore.Config.Fault. Nil injects nothing.
+	Chaos *chaos.Injector
+	// Retry shapes the shared store retry policy every store-facing
+	// operation (checkpoint uploads, metadata writes, recovery fetches)
+	// runs under. Zero fields keep the defaults: 4 attempts, 1ms base
+	// delay doubling to a 100ms cap, +-50% jitter, no deadline or budget.
+	Retry RetryConfig
+	// RoundDeadline is the coordinator round watchdog: a coordinated round
+	// still unresolved this long after initiation is abandoned (marked
+	// resolved but never completed) so checkpointing can move on — without
+	// it, a round whose uploads were all abandoned would stall round
+	// initiation forever. <= 0 defaults to 3x CheckpointInterval.
+	RoundDeadline time.Duration
+}
+
+// RetryConfig tunes the engine's shared chaos.RetryPolicy without exposing
+// its non-copyable internals through Config.
+type RetryConfig struct {
+	// MaxAttempts bounds tries per operation (<=0 defaults to 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff sleep (<=0 defaults to 1ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (<=0 defaults to 100ms).
+	MaxDelay time.Duration
+	// OpDeadline caps one operation's total wall-clock time across
+	// retries. 0 disables.
+	OpDeadline time.Duration
+	// BudgetTokens/BudgetRefillPerSec, when BudgetTokens > 0, bound total
+	// retries across all operations with a token bucket, so a dead store
+	// fails fast instead of being hammered.
+	BudgetTokens       float64
+	BudgetRefillPerSec float64
 }
 
 // StateSpillConfig selects and budgets the spillable keyed-state backend.
@@ -231,6 +268,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Batching.LingerTicks <= 0 {
 		c.Batching.LingerTicks = 1
+	}
+	if c.RoundDeadline <= 0 {
+		c.RoundDeadline = 3 * c.CheckpointInterval
 	}
 }
 
@@ -305,6 +345,25 @@ type Engine struct {
 	// recTrack carries the recovery RTO phases when tracing (nil
 	// otherwise; recording on a nil track is a no-op).
 	recTrack *trace.Track
+
+	// retry is the shared store retry policy: checkpoint uploads, metadata
+	// writes and recovery blob fetches all run under it, accumulating into
+	// retryCtr. retryTrack carries one span per backoff sleep when tracing.
+	retry      *chaos.RetryPolicy
+	retryCtr   chaos.RetryCounters
+	retryTrack *trace.Track
+
+	// Degraded mode: entered when a store operation exhausts its retries
+	// (sustained outage), the engine keeps draining records with
+	// checkpointing suspended; a prober goroutine watches the store and on
+	// recovery resumes checkpointing with forced fresh full bases.
+	degraded        atomic.Bool
+	degradedSince   atomic.Int64 // unix nanos of the current entry, 0 when healthy
+	degradedNanos   atomic.Int64 // cumulative time of completed degraded episodes
+	degradedEntries atomic.Uint64
+	uploadsShed     atomic.Uint64 // uploads fast-failed while degraded
+	proberWG        sync.WaitGroup
+	chaosStop       chan struct{}
 }
 
 // NewEngine validates the job and builds the wiring tables.
@@ -346,8 +405,11 @@ func NewEngine(cfg Config, job *JobSpec) (*Engine, error) {
 		log:       msglog.NewWithSlicer(sliceBatchEnvelope),
 		output:    newOutputCollector(cfg.Output),
 		lingerNS:  int64(cfg.Batching.LingerTicks) * cfg.PollInterval.Nanoseconds(),
+		chaosStop: make(chan struct{}),
 	}
 	e.recTrack = cfg.Trace.NewTrack("recovery", trace.PIDEngine)
+	e.retryTrack = cfg.Trace.NewTrack("retry", trace.PIDEngine)
+	e.retry = e.buildRetryPolicy()
 	if err := e.openDurableLog(); err != nil {
 		return nil, err
 	}
@@ -429,6 +491,9 @@ func (e *Engine) Start() error {
 		runtime.GOMAXPROCS(e.cfg.CPUs)
 	}
 	e.start = time.Now()
+	// Fault windows are offsets from engine start (first Arm wins, so a
+	// restart within one run does not shift the schedule).
+	e.cfg.Chaos.Arm()
 	var (
 		w   *world
 		err error
@@ -988,11 +1053,11 @@ func (e *Engine) fetchBlobs(line recovery.Line, metas []recovery.Meta) (map[int]
 					blob, local = e.cache.Get(worker, key)
 				}
 				if !local {
-					for attempt := 0; attempt < storeRetries; attempt++ {
-						if blob, err = e.cfg.Store.Get(key); err == nil {
-							break
-						}
-					}
+					err = e.retry.Do("ckpt.get", func() error {
+						var gerr error
+						blob, gerr = e.cfg.Store.Get(key)
+						return gerr
+					})
 					if err == nil && e.cache != nil {
 						// Re-warm: the restored instance's worker holds the
 						// blob again, exactly as if it had just uploaded it.
@@ -1200,6 +1265,8 @@ func (e *Engine) Stop() {
 	if w != nil {
 		e.stopWorld(w)
 	}
+	close(e.chaosStop)
+	e.proberWG.Wait()
 	e.coord.finalCommitOutput()
 	if !acctSet {
 		acct := e.coord.endOfRunAccounting()
@@ -1293,10 +1360,15 @@ func (e *Engine) OperatorState(op, idx int) Operator {
 // netWork burns CPU proportional to the envelope size, modelling
 // serialization plus NIC/bandwidth cost of the simulated network.
 func (e *Engine) netWork(data []byte) {
+	var sum uint32
 	for i := 0; i < e.cfg.NetWorkFactor; i++ {
-		crcSink += crc32.ChecksumIEEE(data)
+		sum += crc32.ChecksumIEEE(data)
+	}
+	if sum != 0 {
+		crcSink.Store(sum)
 	}
 }
 
-// crcSink defeats dead-code elimination of the synthetic network work.
-var crcSink uint32
+// crcSink defeats dead-code elimination of the synthetic network work. It
+// is written from every instance goroutine, hence atomic.
+var crcSink atomic.Uint32

@@ -291,6 +291,13 @@ func (it *instance) flushOut(t int, reason metrics.FlushReason) {
 	}
 	target := it.w.instances[oc.toGID]
 	it.eng.netWork(data)
+	if d := it.eng.cfg.Chaos.ExchangeDelay(); d > 0 {
+		// Chaos-plane network shaping: the sender stalls before the
+		// handoff, modelling per-batch link delay/jitter. Applied to data
+		// envelopes only — markers and control flow ride the same channels
+		// via these batches, so protocol ordering is untouched.
+		time.Sleep(d)
+	}
 	if !target.in.push(oc.toQueue, data, count) {
 		putFrame(data) // inbox closed: ownership never transferred
 	}
@@ -870,9 +877,6 @@ func (it *instance) snapshotState(round uint64, forced bool) *uploadJob {
 	return job
 }
 
-// storeRetries bounds the retry loops around object-store RPCs.
-const storeRetries = 4
-
 // abandonChainBlob records that a checkpoint blob was dropped without
 // becoming durable. For self-contained checkpoints that is harmless (the
 // checkpoint simply never joins a recovery line), but a chain segment
@@ -890,6 +894,14 @@ func (it *instance) abandonChainBlob() {
 // materialization and upload to the worker's uploader. round is non-zero
 // for coordinated checkpoints; forced marks CIC forced ones.
 func (it *instance) takeCheckpoint(round uint64, forced bool) {
+	if round == 0 && it.eng.degraded.Load() {
+		// Degraded mode suspends local (UNC/CIC) checkpoint triggers: the
+		// store is out, so a capture could only be shed by the uploader.
+		// Marker-driven coordinated checkpoints (round > 0) still run —
+		// round initiation is already gated, and a marker in flight from
+		// before the outage must complete its alignment protocol.
+		return
+	}
 	ts := it.tt.Begin()
 	t0 := time.Now()
 	job := it.snapshotState(round, forced)

@@ -20,6 +20,23 @@ func (e *Engine) MetricsSnapshot() map[string]any {
 		"dup_dropped":            e.cfg.Recorder.DupDropped(),
 	}
 
+	cs := e.ChaosStats()
+	m["store_retry_attempts"] = cs.Retry.Attempts
+	m["store_retries"] = cs.Retry.Retries
+	m["store_retry_exhausted"] = cs.Retry.Exhausted
+	m["store_retry_budget_denied"] = cs.Retry.BudgetDenied
+	m["store_retry_backoff_ms"] = float64(cs.Retry.Backoff.Microseconds()) / 1e3
+	m["rounds_abandoned"] = cs.RoundsAbandoned
+	m["degraded"] = cs.Degraded
+	m["degraded_entries"] = cs.DegradedEntries
+	m["degraded_ms"] = float64(cs.DegradedTime.Microseconds()) / 1e3
+	m["uploads_shed_degraded"] = cs.UploadsShed
+	if e.cfg.Chaos != nil {
+		m["chaos_store_errors"] = cs.Injected.StoreErrors
+		m["chaos_store_spikes"] = cs.Injected.StoreSpikes
+		m["chaos_fsync_stalls"] = cs.Injected.FsyncStalls
+	}
+
 	ws := e.WALStats()
 	m["wal_appends"] = ws.Appends
 	m["wal_fsyncs"] = ws.Fsyncs

@@ -154,10 +154,12 @@ func (q *uploadQueue) depth() int {
 }
 
 // processUpload materializes one checkpoint blob and persists it: the
-// asynchronous half of a checkpoint. Transient store errors are retried a
-// few times (an un-uploaded checkpoint simply never joins a recovery line,
-// so giving up after retries is safe); an abandoned chain segment forces
-// the instance's next keyed snapshot to start a fresh full base.
+// asynchronous half of a checkpoint. Transient store errors are retried
+// under the engine's shared RetryPolicy (an un-uploaded checkpoint simply
+// never joins a recovery line, so giving up is safe); an abandoned chain
+// segment forces the instance's next keyed snapshot to start a fresh full
+// base, and retry exhaustion flips the engine into degraded mode (see
+// chaosplane.go).
 func (it *instance) processUpload(job *uploadJob, tk *trace.Track) {
 	rec := it.eng.cfg.Recorder
 	round := job.meta.Round
@@ -195,52 +197,64 @@ func (it *instance) processUpload(job *uploadJob, tk *trace.Track) {
 		}
 		tk.Span("ckpt.compress", round, uint64(len(blob)), ts)
 	}
+	if it.eng.degraded.Load() {
+		// Degraded mode sheds uploads without retrying: the store is known
+		// to be out, and burning the full backoff schedule per queued job
+		// would stall the worker's FIFO (and teardown's drain) for nothing.
+		// An un-uploaded checkpoint simply never joins a recovery line.
+		it.eng.uploadsShed.Add(1)
+		it.abandonChainBlob()
+		return
+	}
 	uploadStart := time.Now()
 	ts = tk.Begin()
-	for attempt := 0; attempt < storeRetries; attempt++ {
-		if err = it.eng.cfg.Store.Put(key, blob); err == nil {
-			tk.Span("ckpt.upload", round, uint64(len(blob)), ts)
-			if it.eng.cache != nil {
-				// The uploader's worker keeps the blob in local memory: a
-				// recovery that leaves this worker alive restores from here
-				// instead of the object store.
-				it.eng.cache.Put(it.worker, key, blob)
-			}
-			if it.eng.cfg.Durability.Enabled {
-				// Log-before-checkpoint barrier: the WAL must be synced
-				// past every append this checkpoint covers before the
-				// checkpoint can anchor a recovery line. This is where
-				// the pipelined group-commit append path pays its (one,
-				// amortized) fsync wait.
-				if it.eng.dlog != nil {
-					ts = tk.Begin()
-					if berr := it.eng.dlog.Barrier(job.walLSN); berr != nil {
-						rec.Note("checkpoint %s wal barrier failed: %v", key, berr)
-						it.abandonChainBlob()
-						return
-					}
-					tk.Span("ckpt.wal_barrier", round, job.walLSN, ts)
-				}
-				// The metadata blob makes the checkpoint discoverable by
-				// a cold restart. It must be durable before the
-				// coordinator can anchor anything on this checkpoint —
-				// a crash between blob and meta leaves an unreferenced
-				// blob (harmless), never a dangling meta.
-				ts = tk.Begin()
-				if merr := it.eng.persistMeta(job.meta); merr != nil {
-					rec.Note("checkpoint metadata persist %s failed: %v", key, merr)
-					it.abandonChainBlob()
-					return
-				}
-				tk.Span("ckpt.meta", round, job.meta.Ref.Seq, ts)
-			}
-			rec.RecordUploadDuration(time.Since(uploadStart))
+	err = it.eng.retry.Do("ckpt.put", func() error {
+		return it.eng.cfg.Store.Put(key, blob)
+	})
+	if err != nil {
+		rec.Note("checkpoint upload %s abandoned: %v", key, err)
+		it.abandonChainBlob()
+		it.eng.enterDegraded("checkpoint upload retries exhausted")
+		return
+	}
+	tk.Span("ckpt.upload", round, uint64(len(blob)), ts)
+	if it.eng.cache != nil {
+		// The uploader's worker keeps the blob in local memory: a
+		// recovery that leaves this worker alive restores from here
+		// instead of the object store.
+		it.eng.cache.Put(it.worker, key, blob)
+	}
+	if it.eng.cfg.Durability.Enabled {
+		// Log-before-checkpoint barrier: the WAL must be synced
+		// past every append this checkpoint covers before the
+		// checkpoint can anchor a recovery line. This is where
+		// the pipelined group-commit append path pays its (one,
+		// amortized) fsync wait.
+		if it.eng.dlog != nil {
 			ts = tk.Begin()
-			it.eng.coord.report(job.meta, job.syncDur+time.Since(procStart))
-			tk.Span("ckpt.report", round, job.meta.Ref.Seq, ts)
+			if berr := it.eng.dlog.Barrier(job.walLSN); berr != nil {
+				rec.Note("checkpoint %s wal barrier failed: %v", key, berr)
+				it.abandonChainBlob()
+				return
+			}
+			tk.Span("ckpt.wal_barrier", round, job.walLSN, ts)
+		}
+		// The metadata blob makes the checkpoint discoverable by
+		// a cold restart. It must be durable before the
+		// coordinator can anchor anything on this checkpoint —
+		// a crash between blob and meta leaves an unreferenced
+		// blob (harmless), never a dangling meta.
+		ts = tk.Begin()
+		if merr := it.eng.persistMeta(job.meta); merr != nil {
+			rec.Note("checkpoint metadata persist %s failed: %v", key, merr)
+			it.abandonChainBlob()
+			it.eng.enterDegraded("checkpoint metadata retries exhausted")
 			return
 		}
+		tk.Span("ckpt.meta", round, job.meta.Ref.Seq, ts)
 	}
-	rec.Note("checkpoint upload %s failed after %d attempts: %v", key, storeRetries, err)
-	it.abandonChainBlob()
+	rec.RecordUploadDuration(time.Since(uploadStart))
+	ts = tk.Begin()
+	it.eng.coord.report(job.meta, job.syncDur+time.Since(procStart))
+	tk.Span("ckpt.report", round, job.meta.Ref.Seq, ts)
 }

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"checkmate/internal/chaos"
 	"checkmate/internal/cluster"
 	"checkmate/internal/core"
 	"checkmate/internal/cyclic"
@@ -62,9 +63,11 @@ type RunConfig struct {
 	// FailRackSize is the blast radius of rack/rolling failures
 	// (default 2).
 	FailRackSize int
-	// FailInterval separates successive rolling failures (default
-	// Duration/10).
+	// FailInterval separates successive rolling or flapping failures
+	// (default Duration/10).
 	FailInterval time.Duration
+	// FailCount is how many times a flapping worker crashes (default 3).
+	FailCount int
 	// ClusterWorkers is the simulated cluster size instances are placed
 	// on (0 = Workers, the legacy one-worker-per-parallel-instance
 	// model).
@@ -117,6 +120,13 @@ type RunConfig struct {
 	// StoreFailureRate injects transient object-store errors (0..1); the
 	// engine retries them.
 	StoreFailureRate float64
+	// Chaos is the deterministic fault plan for the run: windowed store
+	// brownouts/outages/latency spikes, WAL fsync stalls and exchange
+	// delay/jitter, armed at engine start. The zero plan injects nothing.
+	Chaos chaos.Plan
+	// RoundDeadline overrides the coordinator round watchdog deadline
+	// (0 = engine default of 3x CheckpointInterval).
+	RoundDeadline time.Duration
 	// Output selects sink-output collection: none (default), immediate
 	// (duplicates visible after failures), or transactional (exactly-once
 	// output via epoch commit).
@@ -256,6 +266,10 @@ type RunResult struct {
 	// Spill aggregates the spillable keyed-state gauges at end of run
 	// (zero unless RunConfig.SpillState).
 	Spill statestore.SpillStats
+	// Chaos reports the run's robustness accounting: retry/backoff
+	// counters, injected faults, watchdog round abandonments and the
+	// degraded-mode ledger.
+	Chaos core.ChaosStats
 	// Scope summarizes the single-failure rollback-scope analysis (set by
 	// RunConfig.AnalyzeRollbackScope).
 	Scope ScopeStats
@@ -347,6 +361,15 @@ func Run(cfg RunConfig) (RunResult, error) {
 		PerByteLatency: time.Nanosecond,
 		FailureRate:    cfg.StoreFailureRate,
 		Seed:           cfg.Seed,
+	}
+	var injector *chaos.Injector
+	if !cfg.Chaos.Empty() {
+		plan := cfg.Chaos
+		if plan.Seed == 0 {
+			plan.Seed = cfg.Seed
+		}
+		injector = chaos.NewInjector(plan)
+		storeCfg.Fault = injector
 	}
 	var durability core.DurabilityConfig
 	if cfg.Durable {
@@ -440,7 +463,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 			MaxBytes:    cfg.BatchMaxBytes,
 			LingerTicks: cfg.BatchLingerTicks,
 		},
-		Seed: cfg.Seed,
+		Seed:          cfg.Seed,
+		Chaos:         injector,
+		RoundDeadline: cfg.RoundDeadline,
 	}, job)
 	if err != nil {
 		return RunResult{}, err
@@ -473,6 +498,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 			Worker:   cfg.FailWorker,
 			Size:     cfg.FailRackSize,
 			Interval: interval,
+			Count:    cfg.FailCount,
 		}.Events(clusterWorkers)
 		if perr != nil {
 			eng.Stop()
@@ -548,6 +574,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	res.Store = store.Stats()
 	res.WAL = eng.WALStats()
 	res.Spill = eng.StateStats()
+	res.Chaos = eng.ChaosStats()
 	res.Trace = tracer
 	if obs != nil {
 		res.HTTPAddr = obs.Addr()

@@ -1,0 +1,331 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"checkmate/internal/chaos"
+	"checkmate/internal/core"
+	"checkmate/internal/metrics"
+	"checkmate/internal/protocol"
+)
+
+// The named hostile scenarios: each is a deterministic composition of the
+// chaos plane (internal/chaos fault windows), the cluster failure domains
+// and the workload knobs, expressed relative to the run duration D so the
+// same scenario scales from a CI smoke to a full benchmark cell. Every
+// scenario runs with transactional output so its point carries the
+// exactly-once verdict (duplicate_uids == 0) alongside throughput, rounds
+// completed/abandoned, degraded time and RTO.
+
+// scenarioSpec is one registered hostile scenario.
+type scenarioSpec struct {
+	name string
+	doc  string
+	// apply mutates the base run configuration; d is the run duration and
+	// ci the checkpoint interval, both already defaulted.
+	apply func(cfg *RunConfig, d, ci time.Duration)
+}
+
+// scenarioRegistry returns the registered scenarios, sorted by name.
+func scenarioRegistry() []scenarioSpec {
+	specs := []scenarioSpec{
+		{
+			name: "store-brownout",
+			doc:  "object store browns out for the middle half of the run (60% error rate + latency spikes); retries absorb it",
+			apply: func(cfg *RunConfig, d, ci time.Duration) {
+				cfg.Chaos.Brownout = []chaos.Window{{At: d / 4, For: d / 2}}
+				cfg.Chaos.BrownoutRate = 0.6
+				cfg.Chaos.LatencySpike = []chaos.Window{{At: d / 4, For: d / 2}}
+			},
+		},
+		{
+			name: "store-outage",
+			doc:  "object store is fully out for 20% of the run; the engine degrades (drains without checkpointing) and resumes",
+			apply: func(cfg *RunConfig, d, ci time.Duration) {
+				cfg.Chaos.Outage = []chaos.Window{{At: 2 * d / 5, For: d / 5}}
+			},
+		},
+		{
+			name: "flapping-worker",
+			doc:  "one worker crashes and recovers three times in quick succession",
+			apply: func(cfg *RunConfig, d, ci time.Duration) {
+				cfg.FailDomain = "flapping"
+				cfg.FailWorker = 1
+				cfg.FailCount = 3
+				cfg.FailureAt = 3 * d / 10
+				cfg.FailInterval = d / 8
+			},
+		},
+		{
+			name: "rack-loss-during-round",
+			doc:  "two co-racked workers die mid-checkpoint-round, while a round is collecting reports",
+			apply: func(cfg *RunConfig, d, ci time.Duration) {
+				cfg.FailDomain = "rack"
+				cfg.FailWorker = 1
+				cfg.FailRackSize = 2
+				// Land the failure mid-round: past the round boundary at
+				// 5x the interval, before the one at 6x.
+				cfg.FailureAt = 5*ci + ci/2
+			},
+		},
+		{
+			name: "straggler-skew",
+			doc:  "hot-key skew (80% hot) plus a straggling worker and exchange jitter",
+			apply: func(cfg *RunConfig, d, ci time.Duration) {
+				cfg.HotRatio = 0.8
+				cfg.StragglerDelay = 200 * time.Microsecond
+				cfg.StragglerWorker = 0
+				cfg.Chaos.ExchangeJitter = 100 * time.Microsecond
+			},
+		},
+	}
+	sort.Slice(specs, func(a, b int) bool { return specs[a].name < specs[b].name })
+	return specs
+}
+
+// Scenarios lists the registered hostile-scenario names, sorted.
+func Scenarios() []string {
+	specs := scenarioRegistry()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.name
+	}
+	return names
+}
+
+// ScenarioDoc returns the one-line description of a named scenario ("" if
+// unknown).
+func ScenarioDoc(name string) string {
+	for _, s := range scenarioRegistry() {
+		if s.name == name {
+			return s.doc
+		}
+	}
+	return ""
+}
+
+// ScenarioConfig selects one hostile scenario run.
+type ScenarioConfig struct {
+	// Scenario is the registered scenario name (see Scenarios).
+	Scenario string
+	// Protocol is the checkpointing protocol under test (must checkpoint:
+	// the scenarios assert exactly-once via transactional output).
+	Protocol core.Protocol
+	// Query is the workload (default q3, the stateful join).
+	Query string
+	// Workers is the parallelism (default 4).
+	Workers int
+	// Rate is the input rate in events/second (default 8000).
+	Rate float64
+	// Duration is the run length D the scenario's fault windows scale
+	// with (default 3s).
+	Duration time.Duration
+	// CheckpointInterval defaults to Duration/12 (so every scenario sees
+	// plenty of rounds).
+	CheckpointInterval time.Duration
+	// Seed drives all deterministic randomness, fault injection included
+	// (default 1).
+	Seed int64
+	// Trace enables span collection for the run.
+	Trace bool
+	// TracePath writes the Chrome trace there after the run (requires
+	// Trace).
+	TracePath string
+}
+
+// ScenarioPoint is one measured scenario cell, shaped for
+// BENCH_scenarios.json.
+type ScenarioPoint struct {
+	Scenario string `json:"scenario"`
+	Protocol string `json:"protocol"`
+	Query    string `json:"query"`
+	Workers  int    `json:"workers"`
+	// Records is the sink output count; Seconds the measured wall time.
+	Records       uint64  `json:"records"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	P50Millis     float64 `json:"p50_ms"`
+	P99Millis     float64 `json:"p99_ms"`
+	// Round/checkpoint progress under fire.
+	RoundsCompleted    uint64 `json:"rounds_completed,omitempty"`
+	RoundsAbandoned    uint64 `json:"rounds_abandoned,omitempty"`
+	Checkpoints        int    `json:"checkpoints"`
+	InvalidCheckpoints int    `json:"invalid_checkpoints,omitempty"`
+	// Failure/recovery accounting (worker-failure scenarios).
+	Failures  int     `json:"failures,omitempty"`
+	Recovered bool    `json:"recovered,omitempty"`
+	RTOMillis float64 `json:"rto_ms,omitempty"`
+	// Degraded-mode ledger (sustained-outage scenarios).
+	DegradedEntries uint64  `json:"degraded_entries,omitempty"`
+	DegradedMillis  float64 `json:"degraded_ms,omitempty"`
+	UploadsShed     uint64  `json:"uploads_shed,omitempty"`
+	// Shared retry-policy counters.
+	RetryAttempts      uint64  `json:"retry_attempts,omitempty"`
+	Retries            uint64  `json:"retries,omitempty"`
+	RetryExhausted     uint64  `json:"retry_exhausted,omitempty"`
+	RetryBackoffMillis float64 `json:"retry_backoff_ms,omitempty"`
+	// Injected-fault counters from the chaos plan.
+	InjectedStoreErrors uint64 `json:"injected_store_errors,omitempty"`
+	InjectedStoreSpikes uint64 `json:"injected_store_spikes,omitempty"`
+	InjectedFsyncStalls uint64 `json:"injected_fsync_stalls,omitempty"`
+	// Exactly-once verdict: results the external transactional consumer
+	// saw, duplicates among them (must be 0), and replay-side dedup drops.
+	OutputVisible uint64 `json:"output_visible"`
+	DuplicateUIDs int    `json:"duplicate_uids"`
+	DupDropped    uint64 `json:"dup_dropped,omitempty"`
+	ExactlyOnce   bool   `json:"exactly_once"`
+}
+
+// scenarioRunConfig builds the RunConfig of one scenario cell (defaults
+// applied, scenario mutation included).
+func scenarioRunConfig(sc ScenarioConfig) (RunConfig, error) {
+	var spec *scenarioSpec
+	for _, s := range scenarioRegistry() {
+		if s.name == sc.Scenario {
+			spec = &s
+			break
+		}
+	}
+	if spec == nil {
+		return RunConfig{}, fmt.Errorf("harness: unknown scenario %q (want one of %s)",
+			sc.Scenario, strings.Join(Scenarios(), ", "))
+	}
+	if sc.Protocol == nil {
+		return RunConfig{}, fmt.Errorf("harness: scenario %q needs a checkpointing protocol", sc.Scenario)
+	}
+	if sc.Protocol.Kind() == core.KindNone {
+		return RunConfig{}, fmt.Errorf("harness: scenario %q asserts exactly-once output; protocol %s does not checkpoint",
+			sc.Scenario, sc.Protocol.Name())
+	}
+	if sc.Query == "" {
+		sc.Query = "q3"
+	}
+	if sc.Workers <= 0 {
+		sc.Workers = 4
+	}
+	if sc.Rate <= 0 {
+		sc.Rate = 8000
+	}
+	if sc.Duration <= 0 {
+		sc.Duration = 3 * time.Second
+	}
+	if sc.CheckpointInterval <= 0 {
+		sc.CheckpointInterval = sc.Duration / 12
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	cfg := RunConfig{
+		Query:              sc.Query,
+		Protocol:           sc.Protocol,
+		Workers:            sc.Workers,
+		Rate:               sc.Rate,
+		Duration:           sc.Duration,
+		CheckpointInterval: sc.CheckpointInterval,
+		Seed:               sc.Seed,
+		Output:             core.OutputTransactional,
+		Trace:              sc.Trace,
+	}
+	spec.apply(&cfg, sc.Duration, sc.CheckpointInterval)
+	return cfg, nil
+}
+
+// RunScenario runs one hostile scenario cell and reduces it to a point.
+// Every point carries the exactly-once verdict: the run collects output
+// transactionally and counts result UIDs the external consumer observed
+// twice — zero under a correct protocol, failures and faults included.
+func RunScenario(sc ScenarioConfig) (ScenarioPoint, error) {
+	cfg, err := scenarioRunConfig(sc)
+	if err != nil {
+		return ScenarioPoint{}, err
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		return ScenarioPoint{}, fmt.Errorf("harness: scenario %s/%s: %w", sc.Scenario, sc.Protocol.Name(), err)
+	}
+	if sc.TracePath != "" && res.Trace != nil {
+		if err := res.Trace.WriteChromeFile(sc.TracePath); err != nil {
+			return ScenarioPoint{}, fmt.Errorf("harness: scenario trace: %w", err)
+		}
+	}
+	sum := res.Summary
+	secs := cfg.Duration.Seconds()
+	pt := ScenarioPoint{
+		Scenario:            sc.Scenario,
+		Protocol:            sc.Protocol.Name(),
+		Query:               cfg.Query,
+		Workers:             cfg.Workers,
+		Records:             sum.SinkCount,
+		Seconds:             secs,
+		P50Millis:           ms(sum.Timeline.P50),
+		P99Millis:           ms(sum.Timeline.P99),
+		RoundsCompleted:     res.Chaos.RoundsCompleted,
+		RoundsAbandoned:     res.Chaos.RoundsAbandoned,
+		Checkpoints:         sum.TotalCheckpoints,
+		InvalidCheckpoints:  sum.InvalidCheckpoints,
+		Failures:            sum.Failures,
+		Recovered:           sum.Recovered,
+		RTOMillis:           ms(sum.RecoveryTime),
+		DegradedEntries:     res.Chaos.DegradedEntries,
+		DegradedMillis:      ms(res.Chaos.DegradedTime),
+		UploadsShed:         res.Chaos.UploadsShed,
+		RetryAttempts:       res.Chaos.Retry.Attempts,
+		Retries:             res.Chaos.Retry.Retries,
+		RetryExhausted:      res.Chaos.Retry.Exhausted,
+		RetryBackoffMillis:  ms(res.Chaos.Retry.Backoff),
+		InjectedStoreErrors: res.Chaos.Injected.StoreErrors,
+		InjectedStoreSpikes: res.Chaos.Injected.StoreSpikes,
+		InjectedFsyncStalls: res.Chaos.Injected.FsyncStalls,
+		OutputVisible:       res.Output.Visible,
+		DuplicateUIDs:       res.DuplicateUIDs,
+		DupDropped:          sum.DupDropped,
+		ExactlyOnce:         res.DuplicateUIDs == 0,
+	}
+	if secs > 0 {
+		pt.RecordsPerSec = float64(sum.SinkCount) / secs
+	}
+	return pt, nil
+}
+
+// scenarioProtocols is the protocol axis of the scenario matrix: one
+// protocol per checkpointing family (coordinated, uncoordinated,
+// communication-induced).
+func scenarioProtocols() []core.Protocol {
+	return []core.Protocol{protocol.Coordinated{}, protocol.Uncoordinated{}, protocol.CIC{}}
+}
+
+// ScenarioTable runs the full hostile-scenario matrix (every registered
+// scenario x COOR/UNC/CIC) and tabulates it — the benchall "scenarios"
+// experiment.
+func (s *Suite) ScenarioTable() (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"Robustness: hostile scenarios x protocols (q3, transactional output)",
+		"Scenario", "Protocol", "Records/s", "p99(ms)", "Rounds", "Abandoned",
+		"Degraded(ms)", "Retries", "RTO(ms)", "ExactlyOnce")
+	for _, name := range Scenarios() {
+		for _, p := range scenarioProtocols() {
+			s.logf("scenario %-22s %-4s", name, p.Name())
+			pt, err := RunScenario(ScenarioConfig{
+				Scenario: name,
+				Protocol: p,
+				Duration: s.dur(36),
+				Seed:     s.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(pt.Scenario, pt.Protocol,
+				fmt.Sprintf("%.0f", pt.RecordsPerSec),
+				fmt.Sprintf("%.1f", pt.P99Millis),
+				pt.RoundsCompleted, pt.RoundsAbandoned,
+				fmt.Sprintf("%.0f", pt.DegradedMillis),
+				pt.Retries,
+				fmt.Sprintf("%.1f", pt.RTOMillis),
+				pt.ExactlyOnce)
+		}
+	}
+	return t, nil
+}

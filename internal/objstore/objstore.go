@@ -40,6 +40,19 @@ type Config struct {
 	// Dir, when non-empty, selects the disk backend: blobs live as
 	// files under Dir, written crash-atomically (temp + fsync + rename).
 	Dir string
+	// Fault, when non-nil, is consulted on every Put/Get and may add
+	// latency and/or fail the operation — the chaos plane's windowed
+	// brownouts, outages and latency spikes plug in here, composing
+	// with (not replacing) the Bernoulli FailureRate above.
+	Fault FaultInjector
+}
+
+// FaultInjector is the chaos-plane seam: given an operation name ("put",
+// "get") and a payload size, it returns extra latency to add and/or an
+// error that fails the operation. Implemented by chaos.Injector; defined
+// here so objstore does not import the chaos package.
+type FaultInjector interface {
+	StoreOp(op string, n int) (time.Duration, error)
 }
 
 // Backend is the seam between the Store API and blob persistence. The
@@ -124,6 +137,23 @@ func (s *Store) injectFailure() bool {
 // SetSleepFunc overrides the latency sleep, for tests.
 func (s *Store) SetSleepFunc(f func(time.Duration)) { s.sleepFunc = f }
 
+// injectFault consults the configured chaos-plane injector: any extra
+// latency is slept through sleepFunc; a returned error fails the op and
+// counts as an injected failure.
+func (s *Store) injectFault(op string, n int) error {
+	if s.cfg.Fault == nil {
+		return nil
+	}
+	d, err := s.cfg.Fault.StoreOp(op, n)
+	if d > 0 {
+		s.sleepFunc(d)
+	}
+	if err != nil {
+		s.failures.Add(1)
+	}
+	return err
+}
+
 func (s *Store) simulate(base time.Duration, n int) {
 	d := base + time.Duration(n)*s.cfg.PerByteLatency
 	if d > 0 {
@@ -135,6 +165,9 @@ func (s *Store) simulate(base time.Duration, n int) {
 func (s *Store) Put(key string, data []byte) error {
 	if s.injectFailure() {
 		return fmt.Errorf("objstore: injected transient PUT failure for %q", key)
+	}
+	if err := s.injectFault("put", len(data)); err != nil {
+		return fmt.Errorf("objstore: put %q: %w", key, err)
 	}
 	s.simulate(s.cfg.PutLatency, len(data))
 	if err := s.backend.Put(key, data); err != nil {
@@ -150,6 +183,9 @@ func (s *Store) Put(key string, data []byte) error {
 func (s *Store) Get(key string) ([]byte, error) {
 	if s.injectFailure() {
 		return nil, fmt.Errorf("objstore: injected transient GET failure for %q", key)
+	}
+	if err := s.injectFault("get", 0); err != nil {
+		return nil, fmt.Errorf("objstore: get %q: %w", key, err)
 	}
 	data, ok, err := s.backend.Get(key)
 	if err != nil {

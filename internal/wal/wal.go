@@ -77,6 +77,10 @@ type Options struct {
 	// (the group-commit batch size), plus "wal.rotate" for segment-seal
 	// fsyncs. Nil disables at zero cost.
 	Trace *trace.Track
+	// FsyncDelay, when non-nil, is consulted before every data fsync and
+	// the returned duration is slept first — the chaos plane's fsync-stall
+	// windows plug in here. Nil disables at zero cost.
+	FsyncDelay func() time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -372,6 +376,16 @@ func (w *WAL) openSegmentLocked() error {
 	return nil
 }
 
+// stall sleeps through any configured chaos fsync delay before a data
+// fsync, modelling a device or filesystem that has gone slow.
+func (w *WAL) stall() {
+	if f := w.opts.FsyncDelay; f != nil {
+		if d := f(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
 func (w *WAL) syncDir() {
 	d, err := os.Open(w.dir)
 	if err != nil {
@@ -535,6 +549,7 @@ func (w *WAL) write(r Record) (uint64, error) {
 
 	switch w.opts.Policy {
 	case SyncAlways:
+		w.stall()
 		ts := w.opts.Trace.Begin()
 		if err := w.active.f.Sync(); err != nil {
 			return 0, err
@@ -566,6 +581,7 @@ func (w *WAL) write(r Record) (uint64, error) {
 func (w *WAL) rotateLocked() error {
 	s := w.active
 	if s.f != nil {
+		w.stall()
 		if err := s.f.Sync(); err != nil {
 			s.f.Close()
 			s.f = nil
@@ -686,6 +702,7 @@ func (w *WAL) syncActive() error {
 	if f == nil {
 		return nil
 	}
+	w.stall()
 	if err := f.Sync(); err != nil {
 		// The file may have been sealed (fsynced and closed) by a
 		// concurrent rotation — its data is durable either way.
